@@ -1,0 +1,70 @@
+//! # ifko-baselines — the comparison points of the paper's figures
+//!
+//! The paper's Figures 2–4 compare six tuning methodologies per kernel:
+//! `gcc+ref`, `icc+ref`, `icc+prof`, `ATLAS` (hand-tuned kernels selected
+//! by ATLAS's own empirical search), `FKO` (static defaults) and `ifko`
+//! (full empirical search). This crate provides the first four.
+//!
+//! **Substitution note** (see DESIGN.md): the real gcc/icc binaries and
+//! ATLAS's hand-written assembly are not available, so each baseline is a
+//! *model* defined by the set of optimizations it applies — which is what
+//! distinguishes the methods in the paper — all emitting code for the same
+//! simulated machine through the same backend, so comparisons are
+//! apples-to-apples:
+//!
+//! * [`models::compile_gcc`] — scalar code, moderate unrolling
+//!   (`-funroll-all-loops`), no software prefetch, no non-temporal stores;
+//! * [`models::compile_icc`] — vectorizes loops in the "friendly" form
+//!   (the paper had to rewrite ATLAS's loop headers before icc would
+//!   vectorize them — the unfriendly form is available for that ablation),
+//!   fixed untuned prefetch heuristic;
+//! * [`models::compile_icc_prof`] — icc plus profile knowledge of N:
+//!   applies non-temporal writes *blindly* whenever the profiled working
+//!   set exceeds the cache, reproducing the paper's observation that
+//!   icc+prof is "many times slower than icc+ref" on Opteron swap/axpy
+//!   because the Opteron penalizes NT stores to read-write operands;
+//! * [`atlas`] — a library of hand-tuned kernel variants per operation
+//!   (including the SIMD-vectorized `iamax` and the block-fetch `dcopy`
+//!   that beat iFKO in the paper) plus ATLAS-style empirical selection of
+//!   the best variant by timing.
+
+pub mod asm_kernels;
+pub mod atlas;
+pub mod models;
+
+pub use atlas::{atlas_best, AtlasChoice};
+pub use models::{compile_gcc, compile_icc, compile_icc_prof, LoopForm};
+
+/// The six methodologies of Figures 2-4, in the paper's legend order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    GccRef,
+    IccRef,
+    IccProf,
+    Atlas,
+    Fko,
+    Ifko,
+}
+
+impl Method {
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::GccRef => "gcc+ref",
+            Method::IccRef => "icc+ref",
+            Method::IccProf => "icc+prof",
+            Method::Atlas => "ATLAS",
+            Method::Fko => "FKO",
+            Method::Ifko => "ifko",
+        }
+    }
+    pub fn all() -> [Method; 6] {
+        [
+            Method::GccRef,
+            Method::IccRef,
+            Method::IccProf,
+            Method::Atlas,
+            Method::Fko,
+            Method::Ifko,
+        ]
+    }
+}

@@ -1,0 +1,132 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each
+//! prints the simulated-cycle consequences of flipping one mechanism:
+//!
+//! * prefetch drop-on-busy-bus vs always-accepted;
+//! * interaction-aware (restricted 2-D) line search vs pure 1-D;
+//! * min-of-6 timing vs single noisy timing;
+//! * the CISC memory-operand peephole on/off.
+//!
+//! These are Criterion benches so they run under `cargo bench`, but the
+//! interesting output is the printed simulated-cycle comparison (host
+//! nanoseconds are incidental here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifko::runner::{run_once, Context, KernelArgs};
+use ifko::search::{line_search, SearchOptions};
+use ifko::Timer;
+use ifko_blas::hil_src::hil_source;
+use ifko_blas::ops::BlasOp;
+use ifko_blas::{Kernel, Workload};
+use ifko_fko::{analyze_kernel, compile_ir, TransformParams};
+use ifko_xsim::isa::Prec;
+use ifko_xsim::p4e;
+
+/// Prefetch dropping: out-of-cache dot with tuned prefetch, with and
+/// without the drop-when-busy rule.
+fn ablation_prefetch_drop(c: &mut Criterion) {
+    let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+    let w = Workload::generate(20_000, 5);
+    let src = hil_source(k.op, k.prec);
+
+    let mut cycles = Vec::new();
+    for drop in [true, false] {
+        let mut mach = p4e();
+        mach.drop_prefetch_when_busy = drop;
+        let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+        let mut p = TransformParams::defaults(&rep, &mach);
+        for s in &mut p.prefetch {
+            s.dist = 256;
+        }
+        let compiled = compile_ir(&ir, &p, &rep).unwrap();
+        let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+        let out = run_once(&compiled, &args, &mach).unwrap();
+        cycles.push((drop, out.stats.cycles, out.stats.prefetch_dropped));
+    }
+    println!("\n[ablation] prefetch drop-on-busy: {cycles:?}");
+    c.bench_function("ablation/prefetch_drop_flag", |b| {
+        b.iter(|| {
+            let mach = p4e();
+            let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+            compile_ir(&ir, &TransformParams::defaults(&rep, &mach), &rep)
+                .unwrap()
+                .program
+                .len()
+        })
+    });
+}
+
+/// Search refinement: pure 1-D line search vs interaction-aware re-sweeps
+/// (the paper's "restricted 2-D search" modification).
+fn ablation_search_refinement(c: &mut Criterion) {
+    let mach = p4e();
+    let k = Kernel { op: BlasOp::Iamax, prec: Prec::S };
+    let w = Workload::generate(20_000, 5);
+    let src = hil_source(k.op, k.prec);
+    let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+
+    let mut results = Vec::new();
+    for refine in [false, true] {
+        let mut opts = SearchOptions::quick();
+        opts.timer = Timer::exact();
+        opts.refine = refine;
+        let r = line_search(&ir, &rep, k, &w, Context::OutOfCache, &mach, &opts);
+        results.push((refine, r.best_cycles, r.evaluations));
+    }
+    println!("\n[ablation] line-search refinement (refine, cycles, evals): {results:?}");
+    c.bench_function("ablation/search_refinement", |b| {
+        let mut opts = SearchOptions::quick();
+        opts.timer = Timer::exact();
+        b.iter(|| line_search(&ir, &rep, k, &w, Context::OutOfCache, &mach, &opts).best_cycles)
+    });
+}
+
+/// Timing protocol: single noisy timing vs the paper's min-of-6.
+fn ablation_min_of_reps(c: &mut Criterion) {
+    let mach = p4e();
+    let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+    let w = Workload::generate(4096, 5);
+    let src = hil_source(k.op, k.prec);
+    let compiled = ifko_fko::compile_defaults(&src, &mach).unwrap();
+    let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+
+    let exact = Timer::exact().time(&compiled, &args, &mach).unwrap();
+    let one = Timer { reps: 1, interference: 0.05, seed: 9 }.time(&compiled, &args, &mach).unwrap();
+    let six = Timer { reps: 6, interference: 0.05, seed: 9 }.time(&compiled, &args, &mach).unwrap();
+    println!("\n[ablation] timing protocol: exact={exact} one_rep={one} min_of_6={six}");
+    c.bench_function("ablation/min_of_reps", |b| {
+        b.iter(|| Timer::default().time(&compiled, &args, &mach).unwrap())
+    });
+}
+
+/// The x86 CISC memory-operand peephole (paper §2.2.4): on vs off.
+fn ablation_cisc_memops(c: &mut Criterion) {
+    let mach = p4e();
+    let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+    let w = Workload::generate(2048, 5);
+    let src = hil_source(k.op, k.prec);
+    let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+
+    let mut results = Vec::new();
+    for cisc in [true, false] {
+        let mut p = TransformParams::defaults(&rep, &mach);
+        p.cisc_memops = cisc;
+        let compiled = compile_ir(&ir, &p, &rep).unwrap();
+        let args = KernelArgs { kernel: k, workload: &w, context: Context::InL2 };
+        let out = run_once(&compiled, &args, &mach).unwrap();
+        results.push((cisc, out.stats.cycles, out.stats.insts, compiled.program.len()));
+    }
+    println!("\n[ablation] CISC mem-operand fusion (on, cycles, dyn insts, static): {results:?}");
+    c.bench_function("ablation/cisc_memops", |b| {
+        let p = TransformParams::defaults(&rep, &mach);
+        b.iter(|| compile_ir(&ir, &p, &rep).unwrap().program.len())
+    });
+}
+
+criterion_group!(
+    benches,
+    ablation_prefetch_drop,
+    ablation_search_refinement,
+    ablation_min_of_reps,
+    ablation_cisc_memops
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches over the simulated kernels: for each representative
+//! kernel, measure the *host-side* cost of simulating the FKO-default and
+//! ifko-tuned variants (the simulated cycle counts themselves are printed
+//! by the figure binaries; these benches track the speed of the
+//! reproduction pipeline itself and catch performance regressions in the
+//! simulator and compiler).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifko::runner::{run_once, Context, KernelArgs};
+use ifko::{tune, TuneOptions};
+use ifko_blas::hil_src::hil_source;
+use ifko_blas::ops::BlasOp;
+use ifko_blas::{Kernel, Workload};
+use ifko_fko::compile_defaults;
+use ifko_xsim::isa::Prec;
+use ifko_xsim::p4e;
+
+fn bench_simulated_kernels(c: &mut Criterion) {
+    let mach = p4e();
+    let n = 4096usize;
+    let w = Workload::generate(n, 7);
+    let mut group = c.benchmark_group("simulate");
+    for op in [BlasOp::Dot, BlasOp::Axpy, BlasOp::Copy, BlasOp::Iamax] {
+        let k = Kernel { op, prec: Prec::D };
+        let src = hil_source(op, Prec::D);
+        let compiled = compile_defaults(&src, &mach).unwrap();
+        group.bench_with_input(BenchmarkId::new("fko_defaults", k.name()), &compiled, |b, cc| {
+            b.iter(|| {
+                let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+                run_once(cc, &args, &mach).unwrap().stats.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_pipeline(c: &mut Criterion) {
+    let mach = p4e();
+    let src = hil_source(BlasOp::Dot, Prec::D);
+    c.bench_function("compile/ddot_defaults", |b| {
+        b.iter(|| compile_defaults(&src, &mach).unwrap().program.len())
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mach = p4e();
+    let k = Kernel { op: BlasOp::Asum, prec: Prec::D };
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    group.bench_function("quick_line_search/dasum", |b| {
+        b.iter(|| {
+            tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(2048))
+                .unwrap()
+                .result
+                .best_cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_kernels, bench_compile_pipeline, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches of the simulator substrate itself: instruction
+//! throughput of the interpreter and the cost of the cache/bus model.
+//! These guard the reproduction's own performance (the empirical search
+//! runs hundreds of simulated timings per kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ifko_xsim::isa::Inst::*;
+use ifko_xsim::isa::{Addr, Cond, FReg, IReg, Prec, RegOrMem};
+use ifko_xsim::{p4e, Asm, Cpu, Memory};
+
+fn ddot_prog(unroll: usize) -> ifko_xsim::Program {
+    let mut a = Asm::new();
+    a.push(FZero(FReg(7)));
+    let top = a.here();
+    for u in 0..unroll {
+        let off = (u * 8) as i64;
+        a.push(FLd(FReg(0), Addr::base_disp(IReg(0), off), Prec::D));
+        a.push(FMul(FReg(0), RegOrMem::Mem(Addr::base_disp(IReg(1), off)), Prec::D));
+        a.push(FAdd(FReg(7), RegOrMem::Reg(FReg(0)), Prec::D));
+    }
+    a.push(IAddImm(IReg(0), (unroll * 8) as i64));
+    a.push(IAddImm(IReg(1), (unroll * 8) as i64));
+    a.push(ISubImm(IReg(2), unroll as i64));
+    a.push(ICmpImm(IReg(2), 0));
+    a.push(Jcc(Cond::Gt, top));
+    a.push(Halt);
+    a.finish()
+}
+
+fn bench_interpreter_throughput(c: &mut Criterion) {
+    let n = 16_384usize;
+    let prog = ddot_prog(4);
+    let mut mem = Memory::new(4 << 20);
+    let xa = mem.alloc_vector(n as u64, 8);
+    let ya = mem.alloc_vector(n as u64, 8);
+    let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    mem.store_f64_slice(xa, &data).unwrap();
+    mem.store_f64_slice(ya, &data).unwrap();
+
+    // Dynamic instruction count for throughput reporting.
+    let dyn_insts = {
+        let mut cpu = Cpu::new(p4e());
+        cpu.set_ireg(IReg(0), xa as i64);
+        cpu.set_ireg(IReg(1), ya as i64);
+        cpu.set_ireg(IReg(2), n as i64);
+        cpu.run(&prog, &mut mem).unwrap().insts
+    };
+
+    let mut group = c.benchmark_group("interpreter");
+    group.throughput(Throughput::Elements(dyn_insts));
+    group.bench_function("ddot_16k_warm", |b| {
+        let mut cpu = Cpu::new(p4e());
+        b.iter(|| {
+            cpu.set_ireg(IReg(0), xa as i64);
+            cpu.set_ireg(IReg(1), ya as i64);
+            cpu.set_ireg(IReg(2), n as i64);
+            cpu.run(&prog, &mut mem).unwrap().cycles
+        })
+    });
+    group.bench_function("ddot_16k_cold", |b| {
+        let mut cpu = Cpu::new(p4e());
+        b.iter(|| {
+            cpu.flush_caches();
+            cpu.set_ireg(IReg(0), xa as i64);
+            cpu.set_ireg(IReg(1), ya as i64);
+            cpu.set_ireg(IReg(2), n as i64);
+            cpu.run(&prog, &mut mem).unwrap().cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter_throughput);
+criterion_main!(benches);

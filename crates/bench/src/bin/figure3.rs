@@ -1,0 +1,23 @@
+//! Regenerates the paper's **Figure 3**: percent of best observed
+//! performance for each tuning methodology (gcc+ref, icc+ref, icc+prof,
+//! ATLAS, FKO, ifko) across the 14 Level 1 BLAS kernels, with the AVG and
+//! VAVG summary columns. Kernels where ATLAS selected an all-assembly
+//! variant are starred, as in the paper.
+
+use ifko::runner::Context;
+use ifko_bench::{format_relative_table, run_sweep, ExpConfig};
+use ifko_xsim::opteron;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let mach = opteron();
+    let n = cfg.n_for(Context::OutOfCache);
+    let rows = run_sweep(&mach, Context::OutOfCache, &cfg);
+    println!(
+        "{}",
+        format_relative_table(
+            &format!("Figure 3. Relative speedups of various tuning methods on Opteron, out-of-cache, N={n} (% of best)"),
+            &rows
+        )
+    );
+}

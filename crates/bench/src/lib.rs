@@ -1,0 +1,332 @@
+//! # ifko-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index); this library holds the shared machinery: running all six
+//! tuning methodologies on a kernel ([`run_methods`]), formatting the
+//! relative-performance rows of Figures 2–4 ([`format_relative_table`]),
+//! Table 3 rows, and the Figure 7 per-phase decomposition.
+//!
+//! All binaries accept `--quick` (reduced N and search) so CI can exercise
+//! them; without it they run at paper scale (N=80000 / N=1024).
+
+use ifko::runner::Context;
+use ifko::{time_fko_defaults, tune, Timer, TuneOptions};
+use ifko_baselines::{atlas_best, compile_gcc, compile_icc, compile_icc_prof, LoopForm, Method};
+use ifko_blas::{Kernel, Workload, ALL_KERNELS};
+use ifko_fko::CompiledKernel;
+use ifko_xsim::MachineConfig;
+use std::collections::HashMap;
+
+/// Configuration of one experiment sweep.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    pub n_out_of_cache: usize,
+    pub n_in_l2: usize,
+    pub quick: bool,
+    pub seed: u64,
+}
+
+impl ExpConfig {
+    /// Parse from CLI args: `--quick` reduces problem and search sizes.
+    pub fn from_args() -> ExpConfig {
+        let quick = std::env::args().any(|a| a == "--quick");
+        ExpConfig::new(quick)
+    }
+    pub fn new(quick: bool) -> ExpConfig {
+        if quick {
+            ExpConfig { n_out_of_cache: 20_000, n_in_l2: 1024, quick: true, seed: 0xb1a5 }
+        } else {
+            ExpConfig {
+                n_out_of_cache: ifko_blas::workload::N_OUT_OF_CACHE,
+                n_in_l2: ifko_blas::workload::N_IN_L2,
+                quick: false,
+                seed: 0xb1a5,
+            }
+        }
+    }
+    pub fn n_for(&self, ctx: Context) -> usize {
+        match ctx {
+            Context::OutOfCache => self.n_out_of_cache,
+            Context::InL2 => self.n_in_l2,
+        }
+    }
+    pub fn tune_options(&self, ctx: Context) -> TuneOptions {
+        let mut o = if self.quick {
+            TuneOptions::quick(self.n_for(ctx))
+        } else {
+            TuneOptions::default()
+        };
+        o.n = Some(self.n_for(ctx));
+        o.seed = self.seed;
+        o
+    }
+    pub fn timer(&self) -> Timer {
+        if self.quick {
+            Timer::exact()
+        } else {
+            Timer::default()
+        }
+    }
+}
+
+/// Results for one kernel: cycles per method.
+#[derive(Clone, Debug)]
+pub struct KernelRow {
+    pub kernel: Kernel,
+    pub cycles: HashMap<Method, u64>,
+    /// The ATLAS variant chosen (with `*` marking assembly, as the paper's
+    /// figures annotate).
+    pub atlas_variant: Option<String>,
+    /// Tuning outcome of the ifko run (Table 3 parameters, Figure 7 gains).
+    pub tune: Option<ifko::TuneOutcome>,
+}
+
+impl KernelRow {
+    /// Fastest method's cycles.
+    pub fn best_cycles(&self) -> u64 {
+        self.cycles.values().copied().min().unwrap_or(u64::MAX)
+    }
+    /// Percent-of-best for one method (the Figures 2-4 metric).
+    pub fn percent(&self, m: Method) -> f64 {
+        match self.cycles.get(&m) {
+            Some(&c) if c > 0 => 100.0 * self.best_cycles() as f64 / c as f64,
+            _ => 0.0,
+        }
+    }
+    /// The figure label: kernel name, with `*` when ATLAS selected an
+    /// all-assembly kernel.
+    pub fn label(&self) -> String {
+        let starred = self
+            .atlas_variant
+            .as_deref()
+            .map(|v| v.ends_with('*'))
+            .unwrap_or(false);
+        if starred {
+            format!("{}*", self.kernel.name())
+        } else {
+            self.kernel.name()
+        }
+    }
+}
+
+/// Time one compiled baseline with the experiment timer.
+fn time_compiled(
+    compiled: &CompiledKernel,
+    kernel: Kernel,
+    w: &Workload,
+    ctx: Context,
+    mach: &MachineConfig,
+    timer: &Timer,
+) -> Option<u64> {
+    let args = ifko::runner::KernelArgs { kernel, workload: w, context: ctx };
+    // Baselines are verified too — a wrong baseline would corrupt the
+    // comparison silently.
+    let out = ifko::runner::run_once(compiled, &args, mach).ok()?;
+    ifko::verify(kernel, w, &out).ok()?;
+    timer.time(compiled, &args, mach).ok()
+}
+
+/// Run all six methodologies for one kernel on one machine/context.
+pub fn run_methods(
+    kernel: Kernel,
+    mach: &MachineConfig,
+    ctx: Context,
+    cfg: &ExpConfig,
+) -> KernelRow {
+    let n = cfg.n_for(ctx);
+    let w = Workload::generate(n, cfg.seed);
+    let timer = cfg.timer();
+    let mut cycles = HashMap::new();
+
+    if let Ok(c) = compile_gcc(kernel, mach) {
+        if let Some(t) = time_compiled(&c, kernel, &w, ctx, mach, &timer) {
+            cycles.insert(Method::GccRef, t);
+        }
+    }
+    if let Ok(c) = compile_icc(kernel, mach, LoopForm::Friendly) {
+        if let Some(t) = time_compiled(&c, kernel, &w, ctx, mach, &timer) {
+            cycles.insert(Method::IccRef, t);
+        }
+    }
+    if let Ok(c) = compile_icc_prof(kernel, mach, n) {
+        if let Some(t) = time_compiled(&c, kernel, &w, ctx, mach, &timer) {
+            cycles.insert(Method::IccProf, t);
+        }
+    }
+    // ATLAS's install-time search selects its kernel with out-of-cache
+    // timings (its default timing regime); the selected kernel is then
+    // used in whatever context the caller measures — which is how the
+    // paper's Figure 4 bars came to be.
+    let mut atlas_variant = None;
+    let select_w = Workload::generate(cfg.n_out_of_cache, cfg.seed);
+    if let Some(choice) = atlas_best(kernel, mach, Context::OutOfCache, &select_w, &timer) {
+        if let Some(t) = time_compiled(&choice.compiled, kernel, &w, ctx, mach, &timer) {
+            cycles.insert(Method::Atlas, t);
+        }
+        atlas_variant = Some(choice.variant);
+    }
+    let opts = cfg.tune_options(ctx);
+    if let Ok(c) = time_fko_defaults(kernel, mach, ctx, &opts) {
+        cycles.insert(Method::Fko, c);
+    }
+    let tune_outcome = tune(kernel, mach, ctx, &opts).ok();
+    if let Some(t) = &tune_outcome {
+        cycles.insert(Method::Ifko, t.cycles);
+    }
+
+    KernelRow { kernel, cycles, atlas_variant, tune: tune_outcome }
+}
+
+/// Run the full 14-kernel sweep.
+pub fn run_sweep(mach: &MachineConfig, ctx: Context, cfg: &ExpConfig) -> Vec<KernelRow> {
+    ALL_KERNELS
+        .iter()
+        .map(|k| {
+            eprintln!("  ... {} on {} ({})", k.name(), mach.name, ctx.label());
+            run_methods(*k, mach, ctx, cfg)
+        })
+        .collect()
+}
+
+/// Average of percent-of-best (the paper's AVG) and the vectorizable-only
+/// average (VAVG: everything except iamax, which neither icc nor iFKO
+/// vectorize).
+pub fn averages(rows: &[KernelRow], m: Method) -> (f64, f64) {
+    let all: Vec<f64> = rows.iter().map(|r| r.percent(m)).collect();
+    let avg = all.iter().sum::<f64>() / all.len().max(1) as f64;
+    let vecd: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.kernel.op != ifko_blas::BlasOp::Iamax)
+        .map(|r| r.percent(m))
+        .collect();
+    let vavg = vecd.iter().sum::<f64>() / vecd.len().max(1) as f64;
+    (avg, vavg)
+}
+
+/// Render a Figures-2/3/4-style table: % of best per kernel and method,
+/// plus AVG and VAVG columns.
+pub fn format_relative_table(title: &str, rows: &[KernelRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = write!(s, "{:<10}", "method");
+    for r in rows {
+        let _ = write!(s, "{:>9}", r.label());
+    }
+    let _ = writeln!(s, "{:>8}{:>8}", "AVG", "VAVG");
+    for m in Method::all() {
+        let _ = write!(s, "{:<10}", m.label());
+        for r in rows {
+            let _ = write!(s, "{:>9.1}", r.percent(m));
+        }
+        let (avg, vavg) = averages(rows, m);
+        let _ = writeln!(s, "{avg:>8.1}{vavg:>8.1}");
+    }
+    s
+}
+
+/// Render Table-3-style rows for a sweep.
+pub fn format_table3(title: &str, rows: &[KernelRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(
+        s,
+        "{:<8} {:<6} {:>12} {:>12} {:>7}",
+        "BLAS", "SV:WNT", "PF X INS:DST", "PF Y INS:DST", "UR:AE"
+    );
+    for r in rows {
+        if let Some(t) = &r.tune {
+            // table3_row = "Y:N pfx pfy UR:AE"
+            let parts: Vec<&str> = t.table3_row.split_whitespace().collect();
+            let _ = writeln!(
+                s,
+                "{:<8} {:<6} {:>12} {:>12} {:>7}",
+                r.kernel.name(),
+                parts.first().copied().unwrap_or("-"),
+                parts.get(1).copied().unwrap_or("-"),
+                parts.get(2).copied().unwrap_or("-"),
+                parts.get(3).copied().unwrap_or("-"),
+            );
+        }
+    }
+    s
+}
+
+/// Figure 7 data: per-kernel speedup of ifko over FKO, decomposed by
+/// search phase.
+pub fn format_figure7(title: &str, rows: &[KernelRow]) -> String {
+    use ifko::search::Phase;
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = write!(s, "{:<10}", "kernel");
+    for p in Phase::figure7() {
+        let _ = write!(s, "{:>9}", p.label());
+    }
+    let _ = writeln!(s, "{:>9}", "total");
+    let mut sums = vec![0.0f64; Phase::figure7().len()];
+    let mut total_sum = 0.0;
+    let mut count = 0usize;
+    for r in rows {
+        let Some(t) = &r.tune else { continue };
+        let _ = write!(s, "{:<10}", r.kernel.name());
+        for (i, p) in Phase::figure7().iter().enumerate() {
+            // Multi-pass searches can visit a phase more than once; the
+            // phase's contribution is the product of its passes.
+            let g: f64 = t
+                .result
+                .gains
+                .iter()
+                .filter(|g| g.phase == *p)
+                .map(|g| g.speedup())
+                .product();
+            sums[i] += g;
+            let _ = write!(s, "{:>8.1}%", (g - 1.0) * 100.0);
+        }
+        let tot = t.result.speedup_over_default();
+        total_sum += tot;
+        count += 1;
+        let _ = writeln!(s, "{:>8.2}x", tot);
+    }
+    if count > 0 {
+        let _ = write!(s, "{:<10}", "average");
+        for v in &sums {
+            let _ = write!(s, "{:>8.1}%", (v / count as f64 - 1.0) * 100.0);
+        }
+        let _ = writeln!(s, "{:>8.2}x", total_sum / count as f64);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifko_blas::ops::BlasOp;
+    use ifko_xsim::isa::Prec;
+    use ifko_xsim::p4e;
+
+    #[test]
+    fn run_methods_produces_all_six() {
+        let cfg = ExpConfig { n_out_of_cache: 3000, n_in_l2: 512, quick: true, seed: 1 };
+        let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+        let row = run_methods(k, &p4e(), Context::OutOfCache, &cfg);
+        for m in Method::all() {
+            assert!(row.cycles.contains_key(&m), "missing {m:?}");
+        }
+        assert!(row.percent(Method::Ifko) > 0.0);
+        let best = row.best_cycles();
+        assert!(row.cycles.values().all(|&c| c >= best));
+    }
+
+    #[test]
+    fn relative_table_formats() {
+        let cfg = ExpConfig { n_out_of_cache: 2000, n_in_l2: 512, quick: true, seed: 1 };
+        let k = Kernel { op: BlasOp::Asum, prec: Prec::S };
+        let rows = vec![run_methods(k, &p4e(), Context::InL2, &cfg)];
+        let t = format_relative_table("test", &rows);
+        assert!(t.contains("ifko"));
+        assert!(t.contains("sasum"));
+        assert!(t.contains("AVG"));
+    }
+}

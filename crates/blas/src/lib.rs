@@ -1,0 +1,24 @@
+//! # ifko-blas — the Level 1 BLAS kernel suite
+//!
+//! The paper evaluates iFKO on the most commonly used Level 1 BLAS
+//! routines (its Table 1): swap, scal, copy, axpy, dot, asum and iamax, in
+//! single and double precision, on contiguous vectors. This crate provides
+//! everything about those kernels that is independent of any particular
+//! code generator:
+//!
+//! * the operation catalog with FLOP accounting ([`ops`], Table 1's FLOPs
+//!   column — copy/swap do no arithmetic but are conventionally rated at
+//!   N "FLOPs" so MFLOPS remains a speed metric);
+//! * HIL sources for each kernel/precision ([`hil_src`]), matching the
+//!   paper's Figure 6 listings;
+//! * Rust reference implementations used as ground truth by the tester
+//!   ([`mod@reference`]);
+//! * deterministic workload generation ([`workload`]).
+
+pub mod hil_src;
+pub mod ops;
+pub mod reference;
+pub mod workload;
+
+pub use ops::{all_ops, BlasOp, Kernel, RetKind, ALL_KERNELS};
+pub use workload::Workload;

@@ -1,0 +1,155 @@
+//! Rust reference implementations — the tester's ground truth. These are
+//! straight transliterations of Table 1's ANSI C loops.
+
+/// Minimal float abstraction so references cover both precisions without
+/// external crates.
+pub trait Real: Copy + PartialOrd + core::ops::Add<Output = Self> + core::ops::Mul<Output = Self> + core::ops::AddAssign + core::ops::MulAssign {
+    const ZERO: Self;
+    fn abs_val(self) -> Self;
+}
+
+impl Real for f32 {
+    const ZERO: Self = 0.0;
+    fn abs_val(self) -> Self {
+        self.abs()
+    }
+}
+impl Real for f64 {
+    const ZERO: Self = 0.0;
+    fn abs_val(self) -> Self {
+        self.abs()
+    }
+}
+
+/// `{tmp=y[i]; y[i]=x[i]; x[i]=tmp}`
+pub fn swap<T: Real>(x: &mut [T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        core::mem::swap(&mut x[i], &mut y[i]);
+    }
+}
+
+/// `y[i] *= alpha`
+pub fn scal<T: Real>(alpha: T, x: &mut [T]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// `y[i] = x[i]`
+pub fn copy<T: Real>(x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    y.copy_from_slice_ref(x);
+}
+
+trait CopyFrom<T> {
+    fn copy_from_slice_ref(&mut self, src: &[T]);
+}
+impl<T: Copy> CopyFrom<T> for [T] {
+    fn copy_from_slice_ref(&mut self, src: &[T]) {
+        self.copy_from_slice(src);
+    }
+}
+
+/// `y[i] += alpha * x[i]`
+pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// `dot += y[i] * x[i]`
+pub fn dot<T: Real>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len());
+    let mut d = T::ZERO;
+    for i in 0..x.len() {
+        d += x[i] * y[i];
+    }
+    d
+}
+
+/// `sum += fabs(x[i])`
+pub fn asum<T: Real>(x: &[T]) -> T {
+    let mut s = T::ZERO;
+    for &v in x {
+        s += v.abs_val();
+    }
+    s
+}
+
+/// Givens rotation: `{t=c*x+s*y; y=c*y-s*x; x=t}`.
+pub fn rot<T: Real + core::ops::Sub<Output = T>>(c: T, s: T, x: &mut [T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        let t = c * x[i] + s * y[i];
+        y[i] = c * y[i] - s * x[i];
+        x[i] = t;
+    }
+}
+
+/// Euclidean norm (unscaled textbook form, like the kernel).
+pub fn nrm2_f64(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+pub fn nrm2_f32(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Index of the first absolute-value maximum (0-based).
+pub fn iamax<T: Real>(x: &[T]) -> usize {
+    if x.is_empty() {
+        return 0;
+    }
+    let mut imax = 0;
+    let mut maxval = x[0].abs_val();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v.abs_val() > maxval {
+            imax = i;
+            maxval = v.abs_val();
+        }
+    }
+    imax
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_works() {
+        let mut a = vec![1.0f64, 2.0, 3.0];
+        let mut b = vec![4.0, 5.0, 6.0];
+        swap(&mut a, &mut b);
+        assert_eq!(a, vec![4.0, 5.0, 6.0]);
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn scal_and_copy() {
+        let mut a = vec![1.0f32, -2.0];
+        scal(2.0, &mut a);
+        assert_eq!(a, vec![2.0, -4.0]);
+        let mut b = vec![0.0; 2];
+        copy(&a, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn axpy_dot_asum() {
+        let x = vec![1.0f64, 2.0, 3.0];
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+        assert_eq!(dot(&x, &y), 3.0 + 10.0 + 21.0);
+        assert_eq!(asum(&[-1.0f64, 2.0, -3.0]), 6.0);
+    }
+
+    #[test]
+    fn iamax_first_max_wins() {
+        assert_eq!(iamax(&[1.0f64, -5.0, 5.0, 2.0]), 1, "first of equal magnitudes");
+        assert_eq!(iamax(&[3.0f32]), 0);
+        assert_eq!(iamax::<f64>(&[]), 0);
+        assert_eq!(iamax(&[-1.0f64, -9.0, 4.0]), 1);
+    }
+}

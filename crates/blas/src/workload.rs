@@ -1,0 +1,87 @@
+//! Deterministic workload generation for timing and testing.
+//!
+//! The paper times N=80000 out-of-cache and N=1024 in-L2-cache; all
+//! timings are repeatable, so workloads are seeded deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's problem sizes.
+pub const N_OUT_OF_CACHE: usize = 80_000;
+pub const N_IN_L2: usize = 1024;
+
+/// A generated kernel workload: up to two vectors and a scalar.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub n: usize,
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    pub alpha: f64,
+    /// Second scalar (e.g. `rot`'s s next to its c in `alpha`).
+    pub beta: f64,
+}
+
+impl Workload {
+    /// Deterministic workload for a given size and seed. Values are in
+    /// [-1, 1] with a distinct absolute maximum (so `iamax` is unambiguous
+    /// across summation orders).
+    pub fn generate(n: usize, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1f3a_5c77);
+        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        if n > 0 {
+            // Plant a strict maximum at a random position.
+            let pos = rng.gen_range(0..n);
+            x[pos] = if rng.gen_bool(0.5) { 1.5 } else { -1.5 };
+        }
+        let alpha = 1.0 + rng.gen_range(0.0..1.0);
+        let beta = rng.gen_range(-1.0..1.0);
+        Workload { n, x, y, alpha, beta }
+    }
+
+    /// Single-precision views of the data.
+    pub fn x_f32(&self) -> Vec<f32> {
+        self.x.iter().map(|&v| v as f32).collect()
+    }
+    pub fn y_f32(&self) -> Vec<f32> {
+        self.y.iter().map(|&v| v as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Workload::generate(100, 7);
+        let b = Workload::generate(100, 7);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.alpha, b.alpha);
+        let c = Workload::generate(100, 8);
+        assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn planted_max_is_unique() {
+        let w = Workload::generate(5000, 3);
+        let mx = w.x.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        assert_eq!(mx, 1.5);
+        let count = w.x.iter().filter(|v| v.abs() == 1.5).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn alpha_nontrivial() {
+        let w = Workload::generate(10, 1);
+        assert!(w.alpha > 1.0 && w.alpha < 2.0);
+    }
+
+    #[test]
+    fn f32_views_match() {
+        let w = Workload::generate(16, 2);
+        assert_eq!(w.x_f32().len(), 16);
+        assert_eq!(w.x_f32()[0], w.x[0] as f32);
+    }
+}

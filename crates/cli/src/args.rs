@@ -1,0 +1,128 @@
+//! Tiny dependency-free flag parser for the `ifko` CLI.
+
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub file: String,
+    pub machine: String,
+    pub context: String,
+    pub n: Option<usize>,
+    pub seed: u64,
+    pub full: bool,
+    pub scalar: bool,
+    pub ur: Option<u32>,
+    pub ae: Option<u32>,
+    pub wnt: bool,
+    pub no_pf: bool,
+    pub pf_dist: Option<i64>,
+}
+
+impl Args {
+    pub fn parse(argv: Vec<String>) -> Result<Args, String> {
+        let mut a = Args {
+            file: String::new(),
+            machine: "p4e".into(),
+            context: "oc".into(),
+            n: None,
+            seed: 0xb1a5,
+            full: false,
+            scalar: false,
+            ur: None,
+            ae: None,
+            wnt: false,
+            no_pf: false,
+            pf_dist: None,
+        };
+        let mut it = argv.into_iter();
+        while let Some(tok) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match tok.as_str() {
+                "--machine" | "-m" => a.machine = value("--machine")?,
+                "--context" | "-c" => a.context = value("--context")?,
+                "--n" => {
+                    a.n = Some(
+                        value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+                    )
+                }
+                "--seed" => {
+                    a.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                }
+                "--full" => a.full = true,
+                "--scalar" => a.scalar = true,
+                "--ur" => a.ur = Some(value("--ur")?.parse().map_err(|e| format!("--ur: {e}"))?),
+                "--ae" => a.ae = Some(value("--ae")?.parse().map_err(|e| format!("--ae: {e}"))?),
+                "--wnt" => a.wnt = true,
+                "--no-pf" => a.no_pf = true,
+                "--pf-dist" => {
+                    a.pf_dist = Some(
+                        value("--pf-dist")?.parse().map_err(|e| format!("--pf-dist: {e}"))?,
+                    )
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown flag `{other}`"))
+                }
+                file => {
+                    if a.file.is_empty() {
+                        a.file = file.to_string();
+                    } else {
+                        return Err(format!("unexpected argument `{file}`"));
+                    }
+                }
+            }
+        }
+        if a.file.is_empty() {
+            return Err("no kernel file given".into());
+        }
+        Ok(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_positional() {
+        let a = Args::parse(v(&["k.hil"])).unwrap();
+        assert_eq!(a.file, "k.hil");
+        assert_eq!(a.machine, "p4e");
+        assert_eq!(a.context, "oc");
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = Args::parse(v(&[
+            "k.hil", "--machine", "opteron", "--context", "ic", "--n", "2048", "--ur", "8",
+            "--ae", "4", "--wnt", "--no-pf", "--full", "--seed", "9",
+        ]))
+        .unwrap();
+        assert_eq!(a.machine, "opteron");
+        assert_eq!(a.context, "ic");
+        assert_eq!(a.n, Some(2048));
+        assert_eq!(a.ur, Some(8));
+        assert_eq!(a.ae, Some(4));
+        assert!(a.wnt && a.no_pf && a.full);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn missing_file_rejected() {
+        assert!(Args::parse(v(&["--wnt"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(Args::parse(v(&["k.hil", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(Args::parse(v(&["k.hil", "--ur"])).is_err());
+    }
+}

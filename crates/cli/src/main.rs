@@ -1,0 +1,185 @@
+//! `ifko` — the command-line driver of the iterative/empirical compiler.
+//!
+//! ```text
+//! ifko analyze  kernel.hil [--machine p4e|opteron]
+//! ifko compile  kernel.hil [--machine M] [--scalar] [--ur N] [--ae N]
+//!                          [--wnt] [--pf-dist BYTES] [--no-pf]
+//! ifko tune     kernel.hil [--machine M] [--context oc|ic] [--n N]
+//!                          [--seed S] [--full]
+//! ```
+//!
+//! `analyze` prints what FKO reports back to the search (paper §2.2.2);
+//! `compile` runs the full pipeline at explicit parameters and dumps the
+//! generated pseudo-assembly; `tune` runs the empirical line search with
+//! differential verification against the untransformed build and reports
+//! the winning parameters — for *any* kernel written in the HIL, not only
+//! the BLAS suite.
+
+use ifko::runner::Context;
+use ifko::{tune_source, SearchOptions};
+use ifko_fko::{analyze_kernel, compile_ir, TransformParams};
+use ifko_xsim::{asm, opteron, p4e, MachineConfig};
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("usage: ifko <analyze|compile|tune> <kernel.hil> [options]");
+        return ExitCode::from(2);
+    }
+    let cmd = argv.remove(0);
+    let mut args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ifko: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ifko: cannot read {}: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    let machine = match args.machine.as_str() {
+        "p4e" => p4e(),
+        "opteron" | "opt" => opteron(),
+        other => {
+            eprintln!("ifko: unknown machine `{other}` (p4e | opteron)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let r = match cmd.as_str() {
+        "analyze" => cmd_analyze(&src, &machine),
+        "compile" => cmd_compile(&src, &machine, &args),
+        "tune" => cmd_tune(&src, &machine, &mut args),
+        other => {
+            eprintln!("ifko: unknown command `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ifko: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_analyze(src: &str, machine: &MachineConfig) -> Result<(), String> {
+    let (ir, rep) = analyze_kernel(src, machine).map_err(|e| e.to_string())?;
+    println!("kernel       : {} ({:?})", ir.name, ir.prec);
+    println!("machine      : {}", rep.arch.name);
+    for (i, (size, line)) in rep.arch.caches.iter().enumerate() {
+        println!("cache L{}     : {} KB, {}B lines", i + 1, size / 1024, line);
+    }
+    println!("L_e          : {} elements per line", rep.arch.line_elems);
+    println!("tuned loop   : {}", if rep.has_tuned_loop { "found" } else { "NONE" });
+    println!("max unroll   : {}", rep.max_unroll);
+    match &rep.vectorizable {
+        Ok(()) => println!("vectorizable : yes"),
+        Err(b) => println!("vectorizable : no ({b})"),
+    }
+    println!(
+        "AE candidates: {}",
+        if rep.ae_candidates.is_empty() {
+            "none".to_string()
+        } else {
+            format!("{} accumulator(s)", rep.ae_candidates.len())
+        }
+    );
+    let pf: Vec<String> =
+        rep.pf_candidates.iter().map(|p| ir.ptrs[p.0 as usize].name.clone()).collect();
+    println!("PF candidates: {}", if pf.is_empty() { "none".into() } else { pf.join(", ") });
+    let wnt: Vec<String> =
+        rep.wnt_candidates.iter().map(|p| ir.ptrs[p.0 as usize].name.clone()).collect();
+    println!("WNT targets  : {}", if wnt.is_empty() { "none".into() } else { wnt.join(", ") });
+    println!("\nscalars (vreg: role, sets/uses):");
+    for s in &rep.scalars {
+        println!("  v{:<4} {:?}  {}/{}", s.vreg, s.role, s.sets, s.uses);
+    }
+    Ok(())
+}
+
+fn cmd_compile(src: &str, machine: &MachineConfig, args: &Args) -> Result<(), String> {
+    let (ir, rep) = analyze_kernel(src, machine).map_err(|e| e.to_string())?;
+    let mut p = TransformParams::defaults(&rep, machine);
+    if args.scalar {
+        p.simd = false;
+    }
+    if let Some(ur) = args.ur {
+        p.unroll = ur;
+    }
+    if let Some(ae) = args.ae {
+        p.accum_expand = ae;
+    }
+    if args.wnt {
+        p.wnt = true;
+    }
+    if args.no_pf {
+        p.prefetch.clear();
+    } else if let Some(d) = args.pf_dist {
+        for s in &mut p.prefetch {
+            s.dist = d;
+        }
+    }
+    let compiled = compile_ir(&ir, &p, &rep).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# {} for {}: {} instructions, frame {} bytes",
+        compiled.name,
+        machine.name,
+        compiled.program.len(),
+        compiled.frame_bytes
+    );
+    print!("{}", asm::disassemble(&compiled.program));
+    Ok(())
+}
+
+fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), String> {
+    let context = match args.context.as_str() {
+        "oc" => Context::OutOfCache,
+        "ic" => Context::InL2,
+        other => return Err(format!("unknown context `{other}` (oc | ic)")),
+    };
+    let n = args.n.unwrap_or(match context {
+        Context::OutOfCache => 40_000,
+        Context::InL2 => 1024,
+    });
+    let opts = if args.full { SearchOptions::default() } else { SearchOptions::quick() };
+    eprintln!("tuning on {} ({}), N={n} ...", machine.name, context.label());
+    let out = tune_source(src, machine, context, n, args.seed, &opts)
+        .map_err(|e| e.to_string())?;
+    println!("baseline (untuned) : not measured (search starts at FKO defaults)");
+    println!("FKO defaults       : {:>10} cycles", out.result.default_cycles);
+    println!(
+        "iFKO best          : {:>10} cycles  ({:.2}x)",
+        out.result.best_cycles,
+        out.result.speedup_over_default()
+    );
+    println!(
+        "evaluations        : {} ({} rejected)",
+        out.result.evaluations, out.result.rejected
+    );
+    println!("\nwinning parameters:");
+    println!("  SV  : {}", if out.result.best.simd { "yes" } else { "no" });
+    println!("  UR  : {}", out.result.best.unroll);
+    println!("  AE  : {}", out.result.best.accum_expand);
+    println!("  WNT : {}", if out.result.best.wnt { "yes" } else { "no" });
+    for s in &out.result.best.prefetch {
+        match s.kind {
+            Some(k) => println!("  PF  : array {} -> {}:{}", s.ptr.0, k.abbrev(), s.dist),
+            None => println!("  PF  : array {} -> none", s.ptr.0),
+        }
+    }
+    println!("\nper-phase gains:");
+    for g in &out.result.gains {
+        println!("  {:<7} {:>6.1}%", g.phase.label(), (g.speedup() - 1.0) * 100.0);
+    }
+    Ok(())
+}

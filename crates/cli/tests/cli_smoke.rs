@@ -1,0 +1,66 @@
+//! Smoke tests of the `ifko` CLI binary against the shipped sample
+//! kernels.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ifko")
+}
+
+fn repo(path: &str) -> String {
+    format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), path)
+}
+
+#[test]
+fn analyze_reports_search_feedback() {
+    let out = Command::new(bin())
+        .args(["analyze", &repo("kernels/ddot.hil")])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vectorizable : yes"));
+    assert!(text.contains("PF candidates: X, Y"));
+    assert!(text.contains("ReductionAdd"));
+}
+
+#[test]
+fn compile_dumps_assembly() {
+    let out = Command::new(bin())
+        .args(["compile", &repo("kernels/ddot.hil"), "--ur", "4", "--scalar"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fmuld"), "scalar multiply expected:\n{text}");
+    assert!(text.contains("jgt"), "loop branch expected");
+}
+
+#[test]
+fn tune_improves_custom_kernel() {
+    let out = Command::new(bin())
+        .args(["tune", &repo("kernels/waxpby.hil"), "--n", "4000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("winning parameters"));
+    assert!(text.contains("SV  : yes"));
+}
+
+#[test]
+fn bad_file_fails_cleanly() {
+    let out = Command::new(bin()).args(["analyze", "no_such.hil"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn nrm2_sample_compiles_with_sqrt() {
+    let out = Command::new(bin())
+        .args(["compile", &repo("kernels/snrm2.hil"), "--no-pf"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fsqrt"), "sqrt epilogue expected:\n{text}");
+}

@@ -1,0 +1,189 @@
+//! One-call tuning driver: ties the front end, analysis, search, and
+//! timing together (the outer loop of the paper's Figure 1).
+
+use crate::runner::Context;
+use crate::search::{line_search, SearchOptions, SearchResult};
+use crate::timer::Timer;
+use ifko_blas::hil_src::hil_source;
+use ifko_blas::{Kernel, Workload};
+use ifko_fko::{analyze_kernel, compile_ir, CompiledKernel, TransformParams};
+use ifko_xsim::MachineConfig;
+
+/// Options for a tuning run.
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// Problem size (defaults to the paper size for the context).
+    pub n: Option<usize>,
+    /// Workload seed.
+    pub seed: u64,
+    pub search: SearchOptions,
+    /// Timer for the final (reported) measurement.
+    pub final_timer: Timer,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            n: None,
+            seed: 0xb1a5,
+            search: SearchOptions::default(),
+            final_timer: Timer::default(),
+        }
+    }
+}
+
+impl TuneOptions {
+    /// Reduced sizes/search for tests and demos.
+    pub fn quick(n: usize) -> Self {
+        TuneOptions {
+            n: Some(n),
+            seed: 0xb1a5,
+            search: SearchOptions::quick(),
+            final_timer: Timer::exact(),
+        }
+    }
+}
+
+/// Everything produced by tuning one kernel on one machine/context.
+#[derive(Clone, Debug)]
+pub struct TuneOutcome {
+    pub kernel: Kernel,
+    pub machine: String,
+    pub context: Context,
+    pub n: usize,
+    pub result: SearchResult,
+    /// The winning kernel, recompiled at the best parameters.
+    pub compiled: CompiledKernel,
+    /// Final reported cycles (paper timer protocol) and MFLOPS.
+    pub cycles: u64,
+    pub mflops: f64,
+    /// Table-3 style parameter summary for the winning point.
+    pub table3_row: String,
+}
+
+/// Tuning failure.
+#[derive(Debug)]
+pub struct TuneError(pub String);
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for TuneError {}
+
+/// Tune one kernel with the iterative empirical search (the paper's
+/// "ifko" data point).
+pub fn tune(
+    kernel: Kernel,
+    machine: &MachineConfig,
+    context: Context,
+    opts: &TuneOptions,
+) -> Result<TuneOutcome, TuneError> {
+    let n = opts.n.unwrap_or_else(|| context.paper_n());
+    let src = hil_source(kernel.op, kernel.prec);
+    let (ir, rep) =
+        analyze_kernel(&src, machine).map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let workload = Workload::generate(n, opts.seed);
+
+    let result = line_search(&ir, &rep, kernel, &workload, context, machine, &opts.search);
+    let compiled = compile_ir(&ir, &result.best, &rep)
+        .map_err(|e| TuneError(format!("{}: best params failed to recompile: {e}", kernel.name())))?;
+
+    let args =
+        crate::runner::KernelArgs { kernel, workload: &workload, context };
+    let cycles = opts
+        .final_timer
+        .time(&compiled, &args, machine)
+        .map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let mflops = flops_rate(kernel, n, cycles, machine);
+
+    Ok(TuneOutcome {
+        kernel,
+        machine: machine.name.to_string(),
+        context,
+        n,
+        table3_row: result.best.table3_row(&rep),
+        result,
+        compiled,
+        cycles,
+        mflops,
+    })
+}
+
+/// Time a kernel compiled at FKO's static defaults (the paper's "FKO"
+/// data point — no search).
+pub fn time_fko_defaults(
+    kernel: Kernel,
+    machine: &MachineConfig,
+    context: Context,
+    opts: &TuneOptions,
+) -> Result<u64, TuneError> {
+    let n = opts.n.unwrap_or_else(|| context.paper_n());
+    let src = hil_source(kernel.op, kernel.prec);
+    let (ir, rep) =
+        analyze_kernel(&src, machine).map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let params = TransformParams::defaults(&rep, machine);
+    let compiled = compile_ir(&ir, &params, &rep)
+        .map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let workload = Workload::generate(n, opts.seed);
+    let args = crate::runner::KernelArgs { kernel, workload: &workload, context };
+    // Verify, then time.
+    let out = crate::runner::run_once(&compiled, &args, machine)
+        .map_err(|e| TuneError(e.to_string()))?;
+    crate::tester::verify(kernel, &workload, &out)
+        .map_err(|e| TuneError(format!("{} defaults failed verify: {e}", kernel.name())))?;
+    opts.final_timer.time(&compiled, &args, machine).map_err(|e| TuneError(e.to_string()))
+}
+
+/// MFLOPS for a kernel run (paper Figure 5 metric).
+pub fn flops_rate(kernel: Kernel, n: usize, cycles: u64, machine: &MachineConfig) -> f64 {
+    kernel.flops(n as u64) as f64 * machine.mhz as f64 / cycles.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifko_blas::ops::BlasOp;
+    use ifko_xsim::isa::Prec;
+    use ifko_xsim::{opteron, p4e};
+
+    #[test]
+    fn tune_ddot_beats_or_matches_defaults() {
+        let mach = p4e();
+        let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+        let out = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(8192)).unwrap();
+        assert!(out.result.best_cycles <= out.result.default_cycles);
+        assert!(out.mflops > 0.0);
+        assert!(out.table3_row.starts_with("Y:"), "{}", out.table3_row);
+    }
+
+    #[test]
+    fn tune_works_single_precision_on_opteron() {
+        let mach = opteron();
+        let k = Kernel { op: BlasOp::Scal, prec: Prec::S };
+        let out = tune(k, &mach, Context::InL2, &TuneOptions::quick(1024)).unwrap();
+        assert!(out.cycles > 0);
+        assert_eq!(out.machine, "Opteron");
+    }
+
+    #[test]
+    fn defaults_time_is_reproducible_and_geq_tuned() {
+        let mach = p4e();
+        let k = Kernel { op: BlasOp::Asum, prec: Prec::D };
+        let opts = TuneOptions::quick(4096);
+        let d1 = time_fko_defaults(k, &mach, Context::OutOfCache, &opts).unwrap();
+        let d2 = time_fko_defaults(k, &mach, Context::OutOfCache, &opts).unwrap();
+        assert_eq!(d1, d2);
+        let tuned = tune(k, &mach, Context::OutOfCache, &opts).unwrap();
+        assert!(tuned.cycles <= d1);
+    }
+
+    #[test]
+    fn mflops_formula() {
+        let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+        let mach = p4e(); // 2800 MHz
+        // 2N flops, N=1000, 2800 cycles -> 2000 flops in 1us = 2000 MFLOPS.
+        assert!((flops_rate(k, 1000, 2800, &mach) - 2000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ifko — the iterative and empirical compilation framework
+//!
+//! This crate is the paper's primary contribution: the part of the system
+//! that makes the FKO compiler *iterative and empirical* (the paper's
+//! Figure 1). It contains:
+//!
+//! * [`runner`] — executes any compiled kernel on the simulated machine
+//!   under a memory **context** (out-of-cache or in-L2-cache, the paper's
+//!   two timing regimes) and extracts results;
+//! * [`tester`] — checks a candidate kernel's output against the Rust
+//!   reference implementation ("unnecessary in theory, but useful in
+//!   practice");
+//! * [`timer`] — cycle-accurate timing with the paper's protocol: each
+//!   timing repeated (six times by default) on a quiet machine and the
+//!   **minimum** taken, with deterministic synthetic interference standing
+//!   in for the walltime noise the paper guards against;
+//! * [`search`] — the modified line search over the fundamental
+//!   transformation parameters (§2.3), seeded at FKO's defaults, with
+//!   interaction-aware refinement (restricted 2-D re-sweeps) and
+//!   per-phase gain tracking (Figure 7's decomposition);
+//! * [`driver`] — one-call tuning of a BLAS kernel on a machine/context.
+
+pub mod driver;
+pub mod generic;
+pub mod runner;
+pub mod search;
+pub mod tester;
+pub mod timer;
+
+pub use driver::{time_fko_defaults, tune, TuneError, TuneOptions, TuneOutcome};
+pub use runner::{Context, KernelArgs, Outputs, RunFailure};
+pub use generic::{tune_source, GenericTuneOutcome, GenericWorkload};
+pub use search::{SearchOptions, SearchResult};
+pub use tester::verify;
+pub use timer::Timer;

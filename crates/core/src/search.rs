@@ -1,0 +1,463 @@
+//! The iterative search (paper §2.3): a modified line search over the
+//! fundamental transformation parameters.
+//!
+//! "In a pure line search, the N_T-dimensional problem is split into N_T
+//! separate 1-D searches, where the starting points correspond to the
+//! initial parameter selection (in our case, FKO defaults)." The
+//! modifications that make this a "de-facto expert system / search
+//! hybrid": the search understands which parameters interact (unrolling
+//! changes how many prefetches fit in a body, so prefetch distance is
+//! re-swept after the unroll phase — a restricted 2-D search), and every
+//! candidate is verified for correctness before its timing can win.
+//!
+//! Phase order follows the paper's Figure 7 decomposition:
+//! `[WNT, PF DST, PF INS, UR, AE]`, and per-phase gains are recorded so
+//! that figure can be regenerated.
+
+use crate::runner::{run_once, Context, KernelArgs};
+use crate::tester::verify;
+use crate::timer::Timer;
+use ifko_blas::{Kernel, Workload};
+use ifko_fko::ir::KernelIr;
+use ifko_fko::{compile_ir, AnalysisReport, TransformParams};
+use ifko_xsim::MachineConfig;
+use std::collections::HashMap;
+
+/// Which phase of the line search produced a gain.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    Sv,
+    Wnt,
+    PfDist,
+    PfIns,
+    Ur,
+    Ae,
+}
+
+impl Phase {
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Sv => "SV",
+            Phase::Wnt => "WNT",
+            Phase::PfDist => "PF DST",
+            Phase::PfIns => "PF INS",
+            Phase::Ur => "UR",
+            Phase::Ae => "AE",
+        }
+    }
+    /// The Figure 7 phases in paper order.
+    pub fn figure7() -> [Phase; 5] {
+        [Phase::Wnt, Phase::PfDist, Phase::PfIns, Phase::Ur, Phase::Ae]
+    }
+}
+
+/// Cycles before/after one search phase.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseGain {
+    pub phase: Phase,
+    pub before: u64,
+    pub after: u64,
+}
+
+impl PhaseGain {
+    /// Multiplicative speedup contributed by this phase.
+    pub fn speedup(&self) -> f64 {
+        self.before as f64 / self.after.max(1) as f64
+    }
+}
+
+/// Search configuration.
+#[derive(Clone, Debug)]
+pub struct SearchOptions {
+    pub timer: Timer,
+    /// Unroll factors to try.
+    pub ur_candidates: Vec<u32>,
+    /// Prefetch distances (bytes) to try per array.
+    pub pf_dists: Vec<i64>,
+    /// Accumulator counts to try.
+    pub ae_candidates: Vec<u32>,
+    /// Also try disabling vectorization (off by default: the paper's
+    /// search keeps SV at its default).
+    pub try_sv_off: bool,
+    /// Interaction-aware refinement (restricted 2-D re-sweeps).
+    pub refine: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            timer: Timer::quick(),
+            ur_candidates: vec![1, 2, 3, 4, 5, 6, 8, 12, 16, 24, 32, 64, 128],
+            pf_dists: vec![64, 128, 256, 384, 512, 768, 1024, 1536, 1920, 2048],
+            ae_candidates: vec![1, 2, 3, 4, 5, 6],
+            try_sv_off: false,
+            refine: true,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// A reduced search for tests and quick demos.
+    pub fn quick() -> Self {
+        SearchOptions {
+            timer: Timer::quick(),
+            ur_candidates: vec![1, 2, 4, 8, 16],
+            pf_dists: vec![128, 512, 1024],
+            ae_candidates: vec![1, 2, 4],
+            try_sv_off: false,
+            refine: true,
+        }
+    }
+}
+
+/// Outcome of a search.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    pub best: TransformParams,
+    pub best_cycles: u64,
+    /// Cycles at FKO's static defaults (the paper's "FKO" data point).
+    pub default_cycles: u64,
+    pub gains: Vec<PhaseGain>,
+    /// Candidate evaluations performed (compile+verify+time).
+    pub evaluations: u32,
+    /// Candidates rejected by compile failure or the tester.
+    pub rejected: u32,
+}
+
+impl SearchResult {
+    /// iFKO-over-FKO speedup (Figure 7's total).
+    pub fn speedup_over_default(&self) -> f64 {
+        self.default_cycles as f64 / self.best_cycles.max(1) as f64
+    }
+}
+
+/// The search driver: evaluates candidates with memoization.
+struct Evaluator<'a> {
+    ir: &'a KernelIr,
+    rep: &'a AnalysisReport,
+    kernel: Kernel,
+    workload: &'a Workload,
+    context: Context,
+    machine: &'a MachineConfig,
+    timer: Timer,
+    cache: HashMap<String, Option<u64>>,
+    evaluations: u32,
+    rejected: u32,
+}
+
+impl Evaluator<'_> {
+    /// Compile + verify + time a parameter point. `None` = rejected.
+    fn eval(&mut self, p: &TransformParams) -> Option<u64> {
+        let key = format!("{p:?}");
+        if let Some(v) = self.cache.get(&key) {
+            return *v;
+        }
+        self.evaluations += 1;
+        let result = self.eval_uncached(p);
+        if result.is_none() {
+            self.rejected += 1;
+        }
+        self.cache.insert(key, result);
+        result
+    }
+
+    fn eval_uncached(&mut self, p: &TransformParams) -> Option<u64> {
+        let compiled = compile_ir(self.ir, p, self.rep).ok()?;
+        let args =
+            KernelArgs { kernel: self.kernel, workload: self.workload, context: self.context };
+        // Verify first (the paper's tester step).
+        let out = run_once(&compiled, &args, self.machine).ok()?;
+        verify(self.kernel, self.workload, &out).ok()?;
+        self.timer.time(&compiled, &args, self.machine).ok()
+    }
+}
+
+/// Run the modified line search for a BLAS kernel (memoized evaluator
+/// over compile + verify + time).
+#[allow(clippy::too_many_arguments)]
+pub fn line_search(
+    ir: &KernelIr,
+    rep: &AnalysisReport,
+    kernel: Kernel,
+    workload: &Workload,
+    context: Context,
+    machine: &MachineConfig,
+    opts: &SearchOptions,
+) -> SearchResult {
+    let mut ev = Evaluator {
+        ir,
+        rep,
+        kernel,
+        workload,
+        context,
+        machine,
+        timer: opts.timer.clone(),
+        cache: HashMap::new(),
+        evaluations: 0,
+        rejected: 0,
+    };
+    let mut r = line_search_with(rep, machine, opts, |p| ev.eval(p));
+    r.evaluations = ev.evaluations;
+    r.rejected = ev.rejected;
+    r
+}
+
+/// The search skeleton over an arbitrary candidate evaluator: `eval`
+/// returns the (min-of-reps) cycles of a parameter point, or `None` if the
+/// point failed to compile or verify. Used both for the BLAS suite and for
+/// tuning arbitrary user kernels (differential verification).
+pub fn line_search_with(
+    rep: &AnalysisReport,
+    machine: &MachineConfig,
+    opts: &SearchOptions,
+    mut eval: impl FnMut(&TransformParams) -> Option<u64>,
+) -> SearchResult {
+    struct Ev<'f> {
+        f: &'f mut dyn FnMut(&TransformParams) -> Option<u64>,
+    }
+    impl Ev<'_> {
+        fn eval(&mut self, p: &TransformParams) -> Option<u64> {
+            (self.f)(p)
+        }
+    }
+    let mut ev = Ev { f: &mut eval };
+
+    let mut best = TransformParams::defaults(rep, machine);
+    let mut best_cycles = match ev.eval(&best) {
+        Some(c) => c,
+        None => {
+            // Defaults failed (should not happen): fall back to everything
+            // off, which must compile.
+            best = TransformParams::off();
+            ev.eval(&best).expect("even untransformed kernel failed")
+        }
+    };
+    let default_cycles = best_cycles;
+    let mut gains = Vec::new();
+
+    // With refinement on, the whole phase sequence repeats while it keeps
+    // improving (max 2 passes): parameters interact — e.g. WNT only pays
+    // off once the written array's prefetch has been dropped, so a second
+    // WNT phase after the PF INS phase can flip it (the Opteron copy case).
+    let passes = if opts.refine { 2 } else { 1 };
+
+    let try_candidate =
+        |ev: &mut Ev, best: &mut TransformParams, best_cycles: &mut u64, cand: TransformParams| {
+            if let Some(c) = ev.eval(&cand) {
+                if c < *best_cycles {
+                    *best_cycles = c;
+                    *best = cand;
+                }
+            }
+        };
+
+    // ---- optional SV phase ----
+    if opts.try_sv_off && best.simd {
+        let before = best_cycles;
+        let mut cand = best.clone();
+        cand.simd = false;
+        try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
+        gains.push(PhaseGain { phase: Phase::Sv, before, after: best_cycles });
+    }
+
+    for _pass in 0..passes {
+    let cycles_at_pass_start = best_cycles;
+    // ---- WNT ----
+    {
+        let before = best_cycles;
+        if !rep.wnt_candidates.is_empty() {
+            let mut cand = best.clone();
+            cand.wnt = !cand.wnt;
+            try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
+        }
+        gains.push(PhaseGain { phase: Phase::Wnt, before, after: best_cycles });
+    }
+
+    // ---- PF DST: 1-D sweep per candidate array ----
+    let pf_dist_sweep = |ev: &mut Ev,
+                         best: &mut TransformParams,
+                         best_cycles: &mut u64,
+                         dists: &[i64]| {
+        let arrays: Vec<_> = best.prefetch.iter().map(|s| s.ptr).collect();
+        for ptr in arrays {
+            for &d in dists {
+                let mut cand = best.clone();
+                if let Some(spec) = cand.prefetch.iter_mut().find(|s| s.ptr == ptr) {
+                    if spec.dist == d {
+                        continue;
+                    }
+                    spec.dist = d;
+                } else {
+                    continue;
+                }
+                if let Some(c) = ev.eval(&cand) {
+                    if c < *best_cycles {
+                        *best_cycles = c;
+                        *best = cand;
+                    }
+                }
+            }
+        }
+    };
+    {
+        let before = best_cycles;
+        pf_dist_sweep(&mut ev, &mut best, &mut best_cycles, &opts.pf_dists);
+        gains.push(PhaseGain { phase: Phase::PfDist, before, after: best_cycles });
+    }
+
+    // ---- PF INS: per-array instruction type, including "none" ----
+    {
+        let before = best_cycles;
+        let arrays: Vec<_> = best.prefetch.iter().map(|s| s.ptr).collect();
+        for ptr in arrays {
+            // "none" — drop the prefetch entirely.
+            let mut cand = best.clone();
+            if let Some(spec) = cand.prefetch.iter_mut().find(|s| s.ptr == ptr) {
+                spec.kind = None;
+            }
+            try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
+            for kind in machine.prefetch_kinds {
+                let mut cand = best.clone();
+                if let Some(spec) = cand.prefetch.iter_mut().find(|s| s.ptr == ptr) {
+                    if spec.kind == Some(*kind) {
+                        continue;
+                    }
+                    spec.kind = Some(*kind);
+                }
+                try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
+            }
+        }
+        gains.push(PhaseGain { phase: Phase::PfIns, before, after: best_cycles });
+    }
+
+    // ---- UR ----
+    {
+        let before = best_cycles;
+        for &ur in &opts.ur_candidates {
+            if ur > rep.max_unroll || ur == best.unroll {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand.unroll = ur;
+            try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
+        }
+        // Restricted 2-D refinement: unrolling changes the prefetch
+        // schedule, so re-sweep the distances at the new unroll.
+        if opts.refine {
+            pf_dist_sweep(&mut ev, &mut best, &mut best_cycles, &opts.pf_dists);
+        }
+        gains.push(PhaseGain { phase: Phase::Ur, before, after: best_cycles });
+    }
+
+    // ---- AE ----
+    {
+        let before = best_cycles;
+        if !rep.ae_candidates.is_empty() {
+            for &ae in &opts.ae_candidates {
+                if ae == best.accum_expand {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.accum_expand = ae;
+                try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
+            }
+            // AE interacts with UR (accumulators rotate over unroll
+            // copies): re-check a few unroll factors at the chosen AE.
+            if opts.refine {
+                for &ur in &opts.ur_candidates {
+                    if ur > rep.max_unroll || ur == best.unroll {
+                        continue;
+                    }
+                    let mut cand = best.clone();
+                    cand.unroll = ur;
+                    try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
+                }
+            }
+        }
+        gains.push(PhaseGain { phase: Phase::Ae, before, after: best_cycles });
+    }
+    if best_cycles == cycles_at_pass_start {
+        break; // fixed point: nothing improved this pass
+    }
+    }
+
+    SearchResult {
+        best,
+        best_cycles,
+        default_cycles,
+        gains,
+        evaluations: 0, // filled in by callers that track it
+        rejected: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifko_blas::hil_src::hil_source;
+    use ifko_blas::ops::BlasOp;
+    use ifko_fko::analyze_kernel;
+    use ifko_xsim::isa::Prec;
+    use ifko_xsim::p4e;
+
+    fn search_kernel(op: BlasOp, n: usize, ctx: Context) -> SearchResult {
+        let mach = p4e();
+        let src = hil_source(op, Prec::D);
+        let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+        let kernel = Kernel { op, prec: Prec::D };
+        let w = Workload::generate(n, 42);
+        let mut opts = SearchOptions::quick();
+        opts.timer = Timer::exact();
+        line_search(&ir, &rep, kernel, &w, ctx, &mach, &opts)
+    }
+
+    #[test]
+    fn search_improves_over_defaults_for_dot() {
+        let r = search_kernel(BlasOp::Dot, 8192, Context::OutOfCache);
+        assert!(r.best_cycles <= r.default_cycles);
+        assert!(r.evaluations > 5);
+        assert_eq!(r.rejected, 0, "no candidate should fail on dot");
+        // Phase records cover the Figure 7 set.
+        let phases: Vec<Phase> = r.gains.iter().map(|g| g.phase).collect();
+        for p in Phase::figure7() {
+            assert!(phases.contains(&p), "missing phase {p:?}");
+        }
+    }
+
+    #[test]
+    fn gains_chain_multiplies_to_total() {
+        let r = search_kernel(BlasOp::Asum, 4096, Context::InL2);
+        let product: f64 = r.gains.iter().map(|g| g.speedup()).product();
+        let total = r.speedup_over_default();
+        assert!(
+            (product - total).abs() < 1e-9,
+            "phase speedups ({product}) must compose to the total ({total})"
+        );
+    }
+
+    #[test]
+    fn ae_phase_fires_for_reductions_in_cache() {
+        let r = search_kernel(BlasOp::Asum, 2048, Context::InL2);
+        let ae_gain = r.gains.iter().find(|g| g.phase == Phase::Ae).unwrap();
+        assert!(
+            ae_gain.speedup() > 1.02 || r.best.accum_expand > 1,
+            "asum in-cache should profit from AE (got {:?})",
+            r.best
+        );
+    }
+
+    #[test]
+    fn iamax_searches_without_vectorization() {
+        let r = search_kernel(BlasOp::Iamax, 4096, Context::OutOfCache);
+        assert!(!r.best.simd, "iamax must not vectorize");
+        assert!(r.best_cycles <= r.default_cycles);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let a = search_kernel(BlasOp::Dot, 2048, Context::OutOfCache);
+        let b = search_kernel(BlasOp::Dot, 2048, Context::OutOfCache);
+        assert_eq!(a.best_cycles, b.best_cycles);
+        assert_eq!(a.best, b.best);
+    }
+}

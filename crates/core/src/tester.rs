@@ -1,0 +1,240 @@
+//! Correctness tester: compares a kernel run's outputs against the Rust
+//! reference implementation at the kernel's own precision. The paper runs
+//! the tester on every candidate the search tries — "unnecessary in
+//! theory, but useful in practice" — and so do we: a transformation bug
+//! rejects the candidate instead of silently winning the search.
+
+use crate::runner::Outputs;
+use ifko_blas::ops::{BlasOp, Kernel};
+use ifko_blas::{reference as r, Workload};
+use ifko_xsim::isa::Prec;
+
+/// Verification failure description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyError(pub String);
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for VerifyError {}
+
+/// Relative tolerance for reductions: vectorization and accumulator
+/// expansion reorder the sum, so bit-exactness cannot be demanded; the
+/// bound scales with machine epsilon and problem size.
+fn reduction_tol(prec: Prec, n: usize) -> f64 {
+    let eps = match prec {
+        Prec::S => f32::EPSILON as f64,
+        Prec::D => f64::EPSILON,
+    };
+    eps * (n.max(4) as f64).sqrt() * 8.0
+}
+
+/// Verify one run against the references.
+pub fn verify(kernel: Kernel, w: &Workload, out: &Outputs) -> Result<(), VerifyError> {
+    match kernel.prec {
+        Prec::D => verify_d(kernel.op, w, out),
+        Prec::S => verify_s(kernel.op, w, out),
+    }
+}
+
+fn verify_d(op: BlasOp, w: &Workload, out: &Outputs) -> Result<(), VerifyError> {
+    let n = w.n;
+    match op {
+        BlasOp::Swap => {
+            expect_vec("x", &out.x, &w.y)?;
+            expect_vec("y", &out.y, &w.x)
+        }
+        BlasOp::Scal => {
+            let mut x = w.x.clone();
+            r::scal(w.alpha, &mut x);
+            expect_vec("x", &out.x, &x)
+        }
+        BlasOp::Copy => {
+            expect_vec("y", &out.y, &w.x)?;
+            expect_vec("x", &out.x, &w.x)
+        }
+        BlasOp::Axpy => {
+            let mut y = w.y.clone();
+            r::axpy(w.alpha, &w.x, &mut y);
+            expect_vec("y", &out.y, &y)?;
+            expect_vec("x", &out.x, &w.x)
+        }
+        BlasOp::Dot => {
+            let want = r::dot(&w.x, &w.y);
+            expect_scalar(out.ret_f, want, reduction_tol(Prec::D, n))
+        }
+        BlasOp::Asum => {
+            let want = r::asum(&w.x);
+            expect_scalar(out.ret_f, want, reduction_tol(Prec::D, n))
+        }
+        BlasOp::Iamax => {
+            let want = r::iamax(&w.x) as i64;
+            if out.ret_i != want {
+                return Err(VerifyError(format!("iamax: got {}, want {want}", out.ret_i)));
+            }
+            Ok(())
+        }
+        BlasOp::Rot => {
+            let mut x = w.x.clone();
+            let mut y = w.y.clone();
+            r::rot(w.alpha, w.beta, &mut x, &mut y);
+            expect_vec("x", &out.x, &x)?;
+            expect_vec("y", &out.y, &y)
+        }
+        BlasOp::Nrm2 => {
+            let want = r::nrm2_f64(&w.x);
+            expect_scalar(out.ret_f, want, reduction_tol(Prec::D, n))
+        }
+    }
+}
+
+fn verify_s(op: BlasOp, w: &Workload, out: &Outputs) -> Result<(), VerifyError> {
+    let n = w.n;
+    let xs = w.x_f32();
+    let ys = w.y_f32();
+    let widen = |v: &[f32]| -> Vec<f64> { v.iter().map(|&x| x as f64).collect() };
+    match op {
+        BlasOp::Swap => {
+            expect_vec("x", &out.x, &widen(&ys))?;
+            expect_vec("y", &out.y, &widen(&xs))
+        }
+        BlasOp::Scal => {
+            let mut x = xs.clone();
+            r::scal(w.alpha as f32, &mut x);
+            expect_vec("x", &out.x, &widen(&x))
+        }
+        BlasOp::Copy => expect_vec("y", &out.y, &widen(&xs)),
+        BlasOp::Axpy => {
+            let mut y = ys.clone();
+            r::axpy(w.alpha as f32, &xs, &mut y);
+            expect_vec("y", &out.y, &widen(&y))
+        }
+        BlasOp::Dot => {
+            let want = r::dot(&xs, &ys) as f64;
+            expect_scalar(out.ret_f, want, reduction_tol(Prec::S, n))
+        }
+        BlasOp::Asum => {
+            let want = r::asum(&xs) as f64;
+            expect_scalar(out.ret_f, want, reduction_tol(Prec::S, n))
+        }
+        BlasOp::Iamax => {
+            let want = r::iamax(&xs) as i64;
+            if out.ret_i != want {
+                return Err(VerifyError(format!("isamax: got {}, want {want}", out.ret_i)));
+            }
+            Ok(())
+        }
+        BlasOp::Rot => {
+            let mut x = xs.clone();
+            let mut y = ys.clone();
+            r::rot(w.alpha as f32, w.beta as f32, &mut x, &mut y);
+            expect_vec("x", &out.x, &widen(&x))?;
+            expect_vec("y", &out.y, &widen(&y))
+        }
+        BlasOp::Nrm2 => {
+            let want = r::nrm2_f32(&xs) as f64;
+            expect_scalar(out.ret_f, want, reduction_tol(Prec::S, n))
+        }
+    }
+}
+
+fn expect_vec(name: &str, got: &[f64], want: &[f64]) -> Result<(), VerifyError> {
+    if got.len() != want.len() {
+        return Err(VerifyError(format!(
+            "{name}: length mismatch {} vs {}",
+            got.len(),
+            want.len()
+        )));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g != w && !(g.is_nan() && w.is_nan()) {
+            return Err(VerifyError(format!("{name}[{i}]: got {g}, want {w}")));
+        }
+    }
+    Ok(())
+}
+
+fn expect_scalar(got: f64, want: f64, rel_tol: f64) -> Result<(), VerifyError> {
+    let tol = rel_tol * want.abs().max(1.0);
+    if (got - want).abs() > tol {
+        return Err(VerifyError(format!("scalar result: got {got}, want {want} (tol {tol:.3e})")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_once, Context, KernelArgs};
+    use ifko_blas::hil_src::hil_source;
+    use ifko_fko::compile_defaults;
+    use ifko_xsim::p4e;
+
+    /// Every kernel x precision verifies under FKO defaults.
+    #[test]
+    fn all_kernels_verify_under_defaults() {
+        let mach = p4e();
+        let w = Workload::generate(600, 11);
+        for k in ifko_blas::ALL_KERNELS {
+            let src = hil_source(k.op, k.prec);
+            let compiled = compile_defaults(&src, &mach)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            let out = run_once(
+                &compiled,
+                &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                &mach,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            verify(k, &w, &out).unwrap_or_else(|e| panic!("{} failed verify: {e}", k.name()));
+        }
+    }
+
+    #[test]
+    fn detects_wrong_scalar() {
+        let w = Workload::generate(8, 1);
+        let out = Outputs {
+            ret_f: 123.0,
+            ret_i: 0,
+            x: w.x.clone(),
+            y: w.y.clone(),
+            stats: Default::default(),
+        };
+        let k = ifko_blas::Kernel { op: BlasOp::Dot, prec: Prec::D };
+        assert!(verify(k, &w, &out).is_err());
+    }
+
+    #[test]
+    fn detects_unmodified_output_vector() {
+        let w = Workload::generate(8, 2);
+        let out = Outputs {
+            ret_f: 0.0,
+            ret_i: 0,
+            x: w.x.clone(),
+            y: w.y.clone(), // axpy should have changed y
+            stats: Default::default(),
+        };
+        let k = ifko_blas::Kernel { op: BlasOp::Axpy, prec: Prec::D };
+        assert!(verify(k, &w, &out).is_err());
+    }
+
+    #[test]
+    fn detects_clobbered_input_vector() {
+        let w = Workload::generate(8, 3);
+        let mut y = w.y.clone();
+        ifko_blas::reference::axpy(w.alpha, &w.x, &mut y);
+        let mut bad_x = w.x.clone();
+        bad_x[3] = 999.0;
+        let out =
+            Outputs { ret_f: 0.0, ret_i: 0, x: bad_x, y, stats: Default::default() };
+        let k = ifko_blas::Kernel { op: BlasOp::Axpy, prec: Prec::D };
+        assert!(verify(k, &w, &out).is_err());
+    }
+
+    #[test]
+    fn reduction_tolerance_scales() {
+        assert!(reduction_tol(Prec::S, 80000) > reduction_tol(Prec::S, 100));
+        assert!(reduction_tol(Prec::D, 1000) < reduction_tol(Prec::S, 1000));
+    }
+}

@@ -1,0 +1,129 @@
+//! Tests for the extension kernels beyond the paper's surveyed set
+//! (`rot`, `nrm2`): they exercise multi-FP-scalar argument passing and the
+//! post-loop `SQRT` epilogue, and must tune end-to-end like the paper's
+//! kernels.
+
+use ifko::runner::{run_once, Context, KernelArgs};
+use ifko::{tune, verify, TuneOptions};
+use ifko_blas::hil_src::hil_source;
+use ifko_blas::ops::{BlasOp, EXTENDED_KERNELS};
+use ifko_blas::{Kernel, Workload};
+use ifko_fko::{analyze_kernel, compile_defaults, compile_ir, TransformParams};
+use ifko_xsim::isa::Prec;
+use ifko_xsim::{opteron, p4e};
+
+#[test]
+fn extended_kernels_verify_under_defaults() {
+    let w = Workload::generate(700, 77);
+    for mach in [p4e(), opteron()] {
+        for k in EXTENDED_KERNELS {
+            let src = hil_source(k.op, k.prec);
+            let compiled = compile_defaults(&src, &mach)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            let out = run_once(
+                &compiled,
+                &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                &mach,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            verify(k, &w, &out)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name(), mach.name));
+        }
+    }
+}
+
+#[test]
+fn rot_is_vectorizable_with_two_broadcast_invariants() {
+    let mach = p4e();
+    let src = hil_source(BlasOp::Rot, Prec::S);
+    let (_, rep) = analyze_kernel(&src, &mach).unwrap();
+    assert!(rep.vectorizable.is_ok(), "{:?}", rep.vectorizable);
+    assert_eq!(rep.pf_candidates.len(), 2);
+    assert_eq!(rep.wnt_candidates.len(), 2);
+}
+
+#[test]
+fn nrm2_blocks_vectorization_of_nothing_but_keeps_sqrt_out_of_loop() {
+    // The sqrt lives in post-loop code, so nrm2's loop *is* vectorizable.
+    let mach = p4e();
+    let src = hil_source(BlasOp::Nrm2, Prec::D);
+    let (_, rep) = analyze_kernel(&src, &mach).unwrap();
+    assert!(rep.vectorizable.is_ok(), "{:?}", rep.vectorizable);
+    assert_eq!(rep.ae_candidates.len(), 1, "sum of squares is a reduction");
+}
+
+#[test]
+fn rot_correct_across_param_matrix() {
+    let mach = p4e();
+    let k = Kernel { op: BlasOp::Rot, prec: Prec::D };
+    let src = hil_source(k.op, k.prec);
+    let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+    for n in [0usize, 1, 7, 250] {
+        let w = Workload::generate(n, n as u64 + 5);
+        for (simd, ur, wnt) in
+            [(false, 1, false), (true, 1, false), (true, 4, true), (false, 5, false)]
+        {
+            let mut p = TransformParams::defaults(&rep, &mach);
+            p.simd = simd;
+            p.unroll = ur;
+            p.wnt = wnt;
+            let c = compile_ir(&ir, &p, &rep).unwrap();
+            let out = run_once(
+                &c,
+                &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                &mach,
+            )
+            .unwrap();
+            verify(k, &w, &out)
+                .unwrap_or_else(|e| panic!("rot n={n} simd={simd} ur={ur} wnt={wnt}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn extended_kernels_tune_end_to_end() {
+    let mach = opteron();
+    for k in EXTENDED_KERNELS {
+        let t = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(3000))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+        assert!(
+            t.result.best_cycles <= t.result.default_cycles,
+            "{}: tuning must not regress",
+            k.name()
+        );
+        assert!(t.result.best.simd, "{}: both extensions vectorize", k.name());
+    }
+}
+
+#[test]
+fn srot_uses_both_scalar_argument_registers() {
+    let mach = p4e();
+    let src = hil_source(BlasOp::Rot, Prec::S);
+    let c = compile_defaults(&src, &mach).unwrap();
+    let fregs: Vec<u8> = c
+        .arg_convention
+        .iter()
+        .filter_map(|s| match s {
+            ifko_fko::ArgSlot::FReg(r) => Some(*r),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(fregs, vec![7, 6], "c arrives in x7, s in x6");
+}
+
+#[test]
+fn nrm2_matches_reference_precisely_in_double() {
+    let mach = p4e();
+    let k = Kernel { op: BlasOp::Nrm2, prec: Prec::D };
+    let src = hil_source(k.op, k.prec);
+    let c = compile_defaults(&src, &mach).unwrap();
+    let w = Workload::generate(1000, 9);
+    let out = run_once(
+        &c,
+        &KernelArgs { kernel: k, workload: &w, context: Context::InL2 },
+        &mach,
+    )
+    .unwrap();
+    let want = ifko_blas::reference::nrm2_f64(&w.x);
+    assert!((out.ret_f - want).abs() < 1e-9 * want, "got {} want {want}", out.ret_f);
+}

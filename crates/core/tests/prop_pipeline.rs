@@ -1,0 +1,87 @@
+//! Pipeline-level properties: determinism of the simulator and search,
+//! monotonicity of the tuner, and agreement across machines on functional
+//! results.
+
+use ifko::runner::{run_once, Context, KernelArgs};
+use ifko::{tune, verify, TuneOptions};
+use ifko_blas::hil_src::hil_source;
+use ifko_blas::ops::BlasOp;
+use ifko_blas::{Kernel, Workload};
+use ifko_fko::{analyze_kernel, compile_ir, TransformParams};
+use ifko_xsim::isa::Prec;
+use ifko_xsim::{opteron, p4e};
+use proptest::prelude::*;
+
+fn ops() -> impl Strategy<Value = BlasOp> {
+    prop_oneof![
+        Just(BlasOp::Swap),
+        Just(BlasOp::Scal),
+        Just(BlasOp::Copy),
+        Just(BlasOp::Axpy),
+        Just(BlasOp::Dot),
+        Just(BlasOp::Asum),
+        Just(BlasOp::Iamax),
+        Just(BlasOp::Rot),
+        Just(BlasOp::Nrm2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two identical runs produce identical cycle counts and outputs —
+    /// the determinism the whole timing methodology relies on.
+    #[test]
+    fn simulation_is_deterministic(op in ops(), n in 1usize..400, seed in 0u64..100) {
+        let mach = p4e();
+        let k = Kernel { op, prec: Prec::D };
+        let src = hil_source(op, Prec::D);
+        let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+        let c = compile_ir(&ir, &TransformParams::defaults(&rep, &mach), &rep).unwrap();
+        let w = Workload::generate(n, seed);
+        let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+        let a = run_once(&c, &args, &mach).unwrap();
+        let b = run_once(&c, &args, &mach).unwrap();
+        prop_assert_eq!(a.stats.cycles, b.stats.cycles);
+        prop_assert_eq!(a.stats.insts, b.stats.insts);
+        prop_assert_eq!(a.ret_f.to_bits(), b.ret_f.to_bits());
+        prop_assert_eq!(a.x, b.x);
+    }
+
+    /// The two machines produce bit-identical *functional* results for
+    /// the same kernel and workload (they differ only in timing).
+    #[test]
+    fn machines_agree_functionally(op in ops(), n in 1usize..300, seed in 0u64..100) {
+        let k = Kernel { op, prec: Prec::D };
+        let src = hil_source(op, Prec::D);
+        let w = Workload::generate(n, seed);
+        let mut outs = Vec::new();
+        for mach in [p4e(), opteron()] {
+            let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+            let c = compile_ir(&ir, &TransformParams::defaults(&rep, &mach), &rep).unwrap();
+            let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+            let out = run_once(&c, &args, &mach).unwrap();
+            verify(k, &w, &out).unwrap();
+            outs.push(out);
+        }
+        prop_assert_eq!(outs[0].ret_f.to_bits(), outs[1].ret_f.to_bits());
+        prop_assert_eq!(outs[0].ret_i, outs[1].ret_i);
+        prop_assert_eq!(&outs[0].x, &outs[1].x);
+        prop_assert_eq!(&outs[0].y, &outs[1].y);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tuning never loses to the defaults, for any kernel and seed.
+    #[test]
+    fn tuner_is_monotone(op in ops(), seed in 0u64..50) {
+        let mach = p4e();
+        let k = Kernel { op, prec: Prec::S };
+        let mut opts = TuneOptions::quick(2000);
+        opts.seed = seed;
+        let t = tune(k, &mach, Context::OutOfCache, &opts).unwrap();
+        prop_assert!(t.result.best_cycles <= t.result.default_cycles);
+    }
+}

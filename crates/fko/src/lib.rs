@@ -1,0 +1,96 @@
+//! # ifko-fko — FKO, the Floating point Kernel Optimizer
+//!
+//! FKO is the compiler half of the paper's iFKO framework: a backend
+//! specialized for empirical optimization of floating-point kernels. It
+//! accepts kernels written in the HIL (see `ifko-hil`), reports an
+//! analysis of the tuned loop back to the search ([`analysis`]), applies
+//! the *fundamental* transformations under explicit empirically-tuned
+//! parameters ([`params::TransformParams`], [`xform`]), runs the
+//! *repeatable* scoped optimizations ([`opt`]), allocates the eight
+//! architectural registers of each class ([`regalloc`]), and emits code
+//! for the simulated x86-like machine ([`codegen`]).
+//!
+//! The one-call entry points are [`compile`] (full pipeline under given
+//! parameters) and [`analyze_kernel`] (front end + analysis only, used by
+//! the search to build the optimization space).
+
+pub mod analysis;
+pub mod codegen;
+pub mod ir;
+pub mod lower;
+pub mod opt;
+pub mod params;
+pub mod regalloc;
+pub mod xform;
+
+pub use analysis::{AnalysisReport, ScalarRole, VecBlocker};
+pub use codegen::{ArgSlot, CompiledKernel, RetSlot};
+pub use params::{PrefSpec, TransformParams};
+
+use ifko_xsim::MachineConfig;
+
+/// Any failure along the compilation pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    Frontend(String),
+    Lower(String),
+    Xform(String),
+    Alloc(String),
+    Codegen(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Frontend(m) => write!(f, "front end: {m}"),
+            CompileError::Lower(m) => write!(f, "lowering: {m}"),
+            CompileError::Xform(m) => write!(f, "transform: {m}"),
+            CompileError::Alloc(m) => write!(f, "register allocation: {m}"),
+            CompileError::Codegen(m) => write!(f, "code generation: {m}"),
+        }
+    }
+}
+impl std::error::Error for CompileError {}
+
+/// Front end + lowering + analysis: what the search needs before tuning.
+pub fn analyze_kernel(
+    src: &str,
+    mach: &MachineConfig,
+) -> Result<(ir::KernelIr, AnalysisReport), CompileError> {
+    let (routine, info) =
+        ifko_hil::compile_frontend(src).map_err(|e| CompileError::Frontend(e.to_string()))?;
+    let k = lower::lower(&routine, &info).map_err(|e| CompileError::Lower(e.to_string()))?;
+    let rep = analysis::analyze(&k, mach);
+    Ok((k, rep))
+}
+
+/// Compile an already-lowered kernel under the given parameters.
+pub fn compile_ir(
+    k: &ir::KernelIr,
+    params: &TransformParams,
+    rep: &AnalysisReport,
+) -> Result<CompiledKernel, CompileError> {
+    let mut lin =
+        xform::apply_transforms(k, params, rep).map_err(|e| CompileError::Xform(e.to_string()))?;
+    opt::optimize(&mut lin, params);
+    let alloc = regalloc::allocate(&mut lin).map_err(|e| CompileError::Alloc(e.to_string()))?;
+    codegen::codegen(&lin, &alloc).map_err(|e| CompileError::Codegen(e.to_string()))
+}
+
+/// Full pipeline: HIL source → compiled kernel for `mach` under `params`.
+pub fn compile(
+    src: &str,
+    mach: &MachineConfig,
+    params: &TransformParams,
+) -> Result<CompiledKernel, CompileError> {
+    let (k, rep) = analyze_kernel(src, mach)?;
+    compile_ir(&k, params, &rep)
+}
+
+/// Compile with FKO's static defaults (the paper's "FKO" data point — no
+/// empirical search).
+pub fn compile_defaults(src: &str, mach: &MachineConfig) -> Result<CompiledKernel, CompileError> {
+    let (k, rep) = analyze_kernel(src, mach)?;
+    let params = TransformParams::defaults(&rep, mach);
+    compile_ir(&k, &params, &rep)
+}

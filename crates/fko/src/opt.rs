@@ -1,0 +1,537 @@
+//! The repeatable transformations (paper §2.2.4), applied in an
+//! optimization block that repeats while they keep changing the code:
+//! copy propagation, dead-code elimination, the x86 CISC memory-operand
+//! peephole ("exploit the fact that the x86 is not a true load/store
+//! architecture — relatively important when the ISA has only eight
+//! registers"), loop-control optimization (dec-and-branch), and branch
+//! chaining / useless-jump / useless-label elimination, which together
+//! merge basic blocks (critical after extensive loop unrolling).
+
+use crate::ir::*;
+use crate::params::TransformParams;
+use crate::xform::LinearKernel;
+use std::collections::{HashMap, HashSet};
+
+/// Run the repeatable optimization block to a fixed point.
+pub fn optimize(k: &mut LinearKernel, params: &TransformParams) {
+    for _ in 0..8 {
+        let mut changed = false;
+        if params.copy_prop {
+            changed |= copy_propagate(k);
+            changed |= coalesce_movs(k);
+        }
+        if params.dead_code_elim {
+            changed |= dead_code_elim(k);
+        }
+        if params.cisc_memops {
+            changed |= fuse_mem_operands(k);
+        }
+        if params.loop_control {
+            changed |= loop_control(k);
+        }
+        if params.branch_cleanup {
+            changed |= branch_cleanup(k);
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Forward copy propagation within extended basic blocks (reset at labels).
+/// The tied `a` operand of two-address `FBin`/`IBin` is never substituted,
+/// preserving the `dst == a` invariant.
+pub fn copy_propagate(k: &mut LinearKernel) -> bool {
+    let mut changed = false;
+    let mut copies: HashMap<V, V> = HashMap::new();
+    for op in &mut k.ops {
+        if matches!(op, Op::Label(_)) {
+            copies.clear();
+            continue;
+        }
+        // Substitute uses (except tied operands).
+        match op {
+            Op::FBin { b, .. } => {
+                if let RoM::Reg(r) = b {
+                    if let Some(&nv) = copies.get(r) {
+                        *r = nv;
+                        changed = true;
+                    }
+                }
+            }
+            Op::IBin { b, .. } => {
+                if let IOrImm::Reg(r) = b {
+                    if let Some(&nv) = copies.get(r) {
+                        *r = nv;
+                        changed = true;
+                    }
+                }
+            }
+            Op::IDecFlags(_) => {}
+            _ => {
+                op.map_uses(&mut |v| {
+                    if let Some(&nv) = copies.get(&v) {
+                        if nv != v {
+                            changed = true;
+                        }
+                        nv
+                    } else {
+                        v
+                    }
+                });
+            }
+        }
+        // Update the copy table.
+        let new_copy = match op {
+            Op::FMov { dst, src, .. } => Some((*dst, *src)),
+            Op::IMov { dst, src } => Some((*dst, *src)),
+            _ => None,
+        };
+        if let Some(d) = op.def() {
+            copies.remove(&d);
+            copies.retain(|_, v| *v != d);
+        }
+        if let Some((d, s)) = new_copy {
+            if d != s {
+                let root = copies.get(&s).copied().unwrap_or(s);
+                if root != d {
+                    copies.insert(d, root);
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Coalesce `def v; mov t, v` pairs where `v` has no other use: the def
+/// writes `t` directly and the move disappears. This catches the tied
+/// two-address chains copy propagation must not touch (e.g. the
+/// `t = x; t *= y` shape produced by expression lowering).
+pub fn coalesce_movs(k: &mut LinearKernel) -> bool {
+    let mut use_count: HashMap<V, u32> = HashMap::new();
+    for op in &k.ops {
+        for u in op.uses() {
+            *use_count.entry(u).or_insert(0) += 1;
+        }
+    }
+    match k.ret {
+        RetVal::F(v) | RetVal::I(v) => {
+            *use_count.entry(v).or_insert(0) += 1;
+        }
+        RetVal::None => {}
+    }
+    let mut changed = false;
+    let mut i = 0;
+    while i + 1 < k.ops.len() {
+        let (dst, src, is_f) = match &k.ops[i + 1] {
+            Op::FMov { dst, src, .. } => (*dst, *src, true),
+            Op::IMov { dst, src } => (*dst, *src, false),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let def_matches = k.ops[i].def() == Some(src)
+            && use_count.get(&src).copied().unwrap_or(0) == 1
+            && !k.ops[i].uses().contains(&src)
+            && !k.ops[i].uses().contains(&dst);
+        // Classes must be compatible (mov direction fixes them equal).
+        let class_ok = if is_f {
+            k.vregs[dst as usize] == k.vregs[src as usize]
+        } else {
+            true
+        };
+        if def_matches && class_ok {
+            k.ops[i].map_def(&mut |v| if v == src { dst } else { v });
+            // Tied ops: the `a` operand mirrors the def.
+            if let Op::FBin { dst: d, a, .. } = &mut k.ops[i] {
+                if a == &src {
+                    *a = *d;
+                }
+            }
+            if let Op::IBin { dst: d, a, .. } = &mut k.ops[i] {
+                if a == &src {
+                    *a = *d;
+                }
+            }
+            k.ops.remove(i + 1);
+            changed = true;
+        }
+        i += 1;
+    }
+    changed
+}
+
+/// Remove pure ops whose results are never used (iterated to fixpoint by
+/// the caller). Uses a whole-program used-set, which is conservative and
+/// loop-safe.
+pub fn dead_code_elim(k: &mut LinearKernel) -> bool {
+    let mut used: HashSet<V> = HashSet::new();
+    for op in &k.ops {
+        for u in op.uses() {
+            used.insert(u);
+        }
+    }
+    match k.ret {
+        RetVal::F(v) | RetVal::I(v) => {
+            used.insert(v);
+        }
+        RetVal::None => {}
+    }
+    let is_pure_def = |op: &Op| -> Option<V> {
+        match op {
+            Op::FLd { dst, .. } | Op::FMov { dst, .. } | Op::FConst { dst, .. }
+            | Op::FZero { dst, .. } | Op::FBin { dst, .. } | Op::FAbs { dst, .. }
+            | Op::FSqrt { dst, .. } | Op::FBcast { dst, .. } | Op::FHSum { dst, .. }
+            | Op::FHMax { dst, .. } | Op::IConst { dst, .. } | Op::IMov { dst, .. }
+            | Op::IBin { dst, .. } => Some(*dst),
+            Op::IParamMov { dst, .. } | Op::FParamMov { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    };
+    let before = k.ops.len();
+    k.ops.retain(|op| match is_pure_def(op) {
+        Some(d) => used.contains(&d),
+        None => true,
+    });
+    // Also drop self-moves.
+    k.ops.retain(|op| {
+        !matches!(op, Op::FMov { dst, src, .. } if dst == src)
+            && !matches!(op, Op::IMov { dst, src } if dst == src)
+    });
+    k.ops.len() != before
+}
+
+/// Fuse a single-use `FLd` into the memory operand of the consuming
+/// `FBin`/`FCmp` when no intervening op can change the loaded location.
+pub fn fuse_mem_operands(k: &mut LinearKernel) -> bool {
+    // Count uses of every vreg.
+    let mut use_count: HashMap<V, u32> = HashMap::new();
+    for op in &k.ops {
+        for u in op.uses() {
+            *use_count.entry(u).or_insert(0) += 1;
+        }
+    }
+    match k.ret {
+        RetVal::F(v) | RetVal::I(v) => {
+            *use_count.entry(v).or_insert(0) += 1;
+        }
+        RetVal::None => {}
+    }
+
+    let mut remove: Vec<usize> = Vec::new();
+    let mut changed = false;
+    'outer: for i in 0..k.ops.len() {
+        let (dst, mem, w) = match &k.ops[i] {
+            Op::FLd { dst, mem, w } => (*dst, *mem, *w),
+            _ => continue,
+        };
+        if use_count.get(&dst).copied().unwrap_or(0) != 1 {
+            continue;
+        }
+        // Find the single consumer in the same block, with no hazards.
+        for j in i + 1..k.ops.len() {
+            match &k.ops[j] {
+                Op::Label(_) | Op::Br(_) | Op::CondBr { .. } => continue 'outer,
+                Op::FSt { mem: smem, .. } if smem.ptr == mem.ptr => continue 'outer,
+                Op::PtrBump { ptr, .. } if *ptr == mem.ptr => continue 'outer,
+                Op::FLd { dst: d2, .. } if *d2 == dst => continue 'outer,
+                op2 if op2.uses().contains(&dst) => {
+                    match &mut k.ops[j] {
+                        Op::FBin { a, b: b @ RoM::Reg(_), w: w2, .. }
+                            if *b == RoM::Reg(dst) && *w2 == w && *a != dst =>
+                        {
+                            *b = RoM::Mem(mem);
+                            remove.push(i);
+                            changed = true;
+                        }
+                        Op::FCmp { a, b: b @ RoM::Reg(_) }
+                            if *b == RoM::Reg(dst) && w == Width::S && *a != dst =>
+                        {
+                            *b = RoM::Mem(mem);
+                            remove.push(i);
+                            changed = true;
+                        }
+                        _ => {}
+                    }
+                    continue 'outer;
+                }
+                _ => {}
+            }
+        }
+    }
+    for idx in remove.into_iter().rev() {
+        k.ops.remove(idx);
+    }
+    changed
+}
+
+/// LC: rewrite `x -= 1; cmp x, 0; jcc` into `dec x; jcc`.
+pub fn loop_control(k: &mut LinearKernel) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i + 2 < k.ops.len() {
+        let matched = matches!(
+            (&k.ops[i], &k.ops[i + 1], &k.ops[i + 2]),
+            (
+                Op::IBin { op: IOp::Sub, dst, a, b: IOrImm::Imm(1) },
+                Op::ICmp { a: ca, b: IOrImm::Imm(0) },
+                Op::CondBr { cond: Cond::Gt | Cond::Ge | Cond::Ne | Cond::Eq | Cond::Le, .. },
+            ) if dst == a && ca == dst
+        );
+        if matched {
+            let x = match &k.ops[i] {
+                Op::IBin { dst, .. } => *dst,
+                _ => unreachable!(),
+            };
+            k.ops[i] = Op::IDecFlags(x);
+            k.ops.remove(i + 1);
+            changed = true;
+        }
+        i += 1;
+    }
+    changed
+}
+
+/// Branch chaining, useless-jump elimination, and useless-label
+/// elimination (merging basic blocks).
+pub fn branch_cleanup(k: &mut LinearKernel) -> bool {
+    let mut changed = false;
+
+    // Map label -> position.
+    let positions: HashMap<LabelId, usize> = k
+        .ops
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| match o {
+            Op::Label(l) => Some((*l, i)),
+            _ => None,
+        })
+        .collect();
+
+    // Branch chaining: a branch to a label followed immediately by an
+    // unconditional Br is retargeted.
+    let chase = |mut l: LabelId| -> LabelId {
+        let mut hops = 0;
+        while hops < 8 {
+            let Some(&pos) = positions.get(&l) else { break };
+            // Skip consecutive labels.
+            let mut q = pos + 1;
+            while matches!(k.ops.get(q), Some(Op::Label(_))) {
+                q += 1;
+            }
+            match k.ops.get(q) {
+                Some(Op::Br(next)) => {
+                    l = *next;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        l
+    };
+    let mut retargets: Vec<(usize, LabelId)> = Vec::new();
+    for (i, op) in k.ops.iter().enumerate() {
+        match op {
+            Op::Br(l) | Op::CondBr { target: l, .. } => {
+                let n = chase(*l);
+                if n != *l {
+                    retargets.push((i, n));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (i, n) in retargets {
+        match &mut k.ops[i] {
+            Op::Br(l) | Op::CondBr { target: l, .. } => {
+                *l = n;
+                changed = true;
+            }
+            _ => {}
+        }
+    }
+
+    // Useless jumps: Br to the label that directly follows (possibly after
+    // other labels).
+    let mut i = 0;
+    while i < k.ops.len() {
+        if let Op::Br(l) = &k.ops[i] {
+            let mut q = i + 1;
+            let mut falls_through = false;
+            while let Some(Op::Label(lab)) = k.ops.get(q) {
+                if lab == l {
+                    falls_through = true;
+                    break;
+                }
+                q += 1;
+            }
+            if falls_through {
+                k.ops.remove(i);
+                changed = true;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Useless labels: never referenced (keep the last label, which is the
+    // halt label — it is always referenced by the structural Br, but guard
+    // anyway).
+    let referenced: HashSet<LabelId> = k
+        .ops
+        .iter()
+        .filter_map(|o| match o {
+            Op::Br(l) | Op::CondBr { target: l, .. } => Some(*l),
+            _ => None,
+        })
+        .collect();
+    let before = k.ops.len();
+    let last_idx = k.ops.len().saturating_sub(1);
+    let mut idx = 0;
+    k.ops.retain(|op| {
+        let keep = match op {
+            Op::Label(l) => referenced.contains(l) || idx == last_idx,
+            _ => true,
+        };
+        idx += 1;
+        keep
+    });
+    changed |= k.ops.len() != before;
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::lower::lower;
+    use crate::xform::apply_transforms;
+    use ifko_hil::compile_frontend;
+    use ifko_xsim::p4e;
+
+    const DOT: &str = r#"
+ROUTINE dot(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR, N = INT;
+SCALARS :: dot = DOUBLE:OUT, x = DOUBLE, y = DOUBLE;
+ROUT_BEGIN
+  dot = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    y = Y[0];
+    dot += x * y;
+    X += 1;
+    Y += 1;
+  LOOP_END
+  RETURN dot;
+ROUT_END
+"#;
+
+    fn linear(src: &str, p: &TransformParams) -> LinearKernel {
+        let (r, info) = compile_frontend(src).unwrap();
+        let k = lower(&r, &info).unwrap();
+        let rep = analyze(&k, &p4e());
+        apply_transforms(&k, p, &rep).unwrap()
+    }
+
+    #[test]
+    fn pipeline_shrinks_dot_body() {
+        let mut k = linear(DOT, &TransformParams::off());
+        let before = k.ops.len();
+        optimize(&mut k, &TransformParams::off());
+        assert!(k.ops.len() < before, "optimization must shrink the op count");
+        // The multiply should now take its Y operand from memory.
+        assert!(k
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::FBin { op: FOp::Mul, b: RoM::Mem(_), .. })));
+        // Loop control: dec-and-branch replaces sub+cmp.
+        assert!(k.ops.iter().any(|o| matches!(o, Op::IDecFlags(_))));
+    }
+
+    #[test]
+    fn copy_prop_then_dce_removes_mov_chain() {
+        let mut k = linear(DOT, &TransformParams::off());
+        // Body contains FMov t, x (from `dot += x*y` lowering). After
+        // copy-prop + DCE the extra moves disappear.
+        copy_propagate(&mut k);
+        dead_code_elim(&mut k);
+        let movs = k.ops.iter().filter(|o| matches!(o, Op::FMov { .. })).count();
+        assert!(movs <= 1, "most FMovs should be propagated away, {movs} left");
+    }
+
+    #[test]
+    fn fusion_requires_single_use() {
+        // In swap-like code the loaded value is stored (not an FBin use),
+        // so no fusion happens.
+        let src = r#"
+ROUTINE swap(X, Y, N);
+PARAMS :: X = DOUBLE_PTR:INOUT, Y = DOUBLE_PTR:INOUT, N = INT;
+SCALARS :: a = DOUBLE, b = DOUBLE;
+ROUT_BEGIN
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    a = X[0];
+    b = Y[0];
+    X[0] = b;
+    Y[0] = a;
+    X += 1;
+    Y += 1;
+  LOOP_END
+ROUT_END
+"#;
+        let mut k = linear(src, &TransformParams::off());
+        let before: Vec<Op> = k.ops.clone();
+        fuse_mem_operands(&mut k);
+        assert_eq!(before, k.ops, "stores must not be fused");
+    }
+
+    #[test]
+    fn fusion_blocked_by_store_to_same_pointer() {
+        let src = r#"
+ROUTINE scal(X, alpha, N);
+PARAMS :: X = DOUBLE_PTR:INOUT, alpha = DOUBLE, N = INT;
+SCALARS :: x = DOUBLE;
+ROUT_BEGIN
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    x *= alpha;
+    X[0] = x;
+    X += 1;
+  LOOP_END
+ROUT_END
+"#;
+        let mut k = linear(src, &TransformParams::off());
+        optimize(&mut k, &TransformParams::off());
+        // x is multiply-used (load, multiplied, stored): the load of X[0]
+        // must remain a load, not be folded past the store.
+        assert!(k.ops.iter().any(|o| matches!(o, Op::FLd { .. })));
+    }
+
+    #[test]
+    fn branch_cleanup_removes_jump_to_next() {
+        let mut k = linear(DOT, &TransformParams::off());
+        // The structural `Br halt_label` immediately precedes the halt
+        // label when there is no cold code: cleanup removes it.
+        optimize(&mut k, &TransformParams::off());
+        let has_br_to_next = k.ops.windows(2).any(|w| match (&w[0], &w[1]) {
+            (Op::Br(l), Op::Label(l2)) => l == l2,
+            _ => false,
+        });
+        assert!(!has_br_to_next);
+    }
+
+    #[test]
+    fn lc_can_be_disabled() {
+        let mut k = linear(DOT, &TransformParams::off());
+        let mut p = TransformParams::off();
+        p.loop_control = false;
+        optimize(&mut k, &p);
+        assert!(!k.ops.iter().any(|o| matches!(o, Op::IDecFlags(_))));
+    }
+}

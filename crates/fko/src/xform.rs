@@ -1,0 +1,799 @@
+//! The fundamental transformations (paper §2.2.3), applied once, in a
+//! fixed order: SIMD vectorization (SV), loop unrolling (UR), loop-control
+//! optimization (LC, realized as a peephole in [`crate::opt`]), accumulator
+//! expansion (AE), prefetch insertion (PF), and non-temporal writes (WNT) —
+//! followed by linearization of the loop structure into a flat virtual-
+//! register program (`LinearKernel`): trip-count computation, the unrolled
+//! main loop with latch-combined pointer bumps, the reduction epilogues,
+//! a scalar remainder loop (instantiated from the untransformed body so
+//! arbitrary N remain correct), and the cold out-of-line blocks at the end.
+
+use crate::analysis::{classify_scalars, AnalysisReport, ScalarRole};
+use crate::ir::*;
+use crate::params::TransformParams;
+use std::collections::HashMap;
+
+/// Transform failure.
+#[derive(Clone, PartialEq, Debug)]
+pub struct XformError(pub String);
+
+impl std::fmt::Display for XformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for XformError {}
+
+/// A fully linearized kernel on virtual registers.
+#[derive(Clone, Debug)]
+pub struct LinearKernel {
+    pub name: String,
+    pub prec: Prec,
+    pub ptrs: Vec<PtrInfo>,
+    pub params: Vec<ParamSlot>,
+    pub vregs: Vec<VClass>,
+    pub ops: Vec<Op>,
+    pub ret: RetVal,
+    pub n_labels: u32,
+}
+
+impl LinearKernel {
+    pub fn new_vreg(&mut self, c: VClass) -> V {
+        self.vregs.push(c);
+        (self.vregs.len() - 1) as V
+    }
+    pub fn new_label(&mut self) -> LabelId {
+        self.n_labels += 1;
+        LabelId(self.n_labels - 1)
+    }
+}
+
+/// Apply the fundamental transformations and linearize.
+pub fn apply_transforms(
+    kernel: &KernelIr,
+    params: &TransformParams,
+    rep: &AnalysisReport,
+) -> Result<LinearKernel, XformError> {
+    let mut k = kernel.clone();
+    let Some(mut l) = k.loop_.take() else {
+        return Err(XformError("kernel has no tuned loop".into()));
+    };
+    // Snapshot the untransformed loop for the remainder instantiation.
+    let orig = l.clone();
+
+    // Role map over original vregs; updated as SV renames them.
+    let mut roles: HashMap<V, ScalarRole> = classify_scalars(&k, &l)
+        .into_iter()
+        .map(|s| (s.vreg, s.role))
+        .collect();
+
+    let mut epilogue: Vec<Op> = Vec::new();
+
+    // ---- SV: SIMD vectorization ----
+    let do_simd = params.simd && rep.vectorizable.is_ok();
+    if do_simd {
+        vectorize(&mut k, &mut l, &mut roles, &mut epilogue)?;
+    }
+
+    // ---- UR: loop unrolling ----
+    let unroll = params.unroll.max(1);
+    let mut body = l.body.clone();
+    let mut cold = l.cold.clone();
+    if unroll > 1 {
+        (body, cold) = unroll_loop(&mut k, &l, &roles, unroll)?;
+    }
+
+    // ---- AE: accumulator expansion ----
+    let ae = params.accum_expand.max(1);
+    if ae > 1 {
+        accumulate_expand(&mut k, &mut body, &roles, ae, &mut epilogue, do_simd)?;
+    }
+
+    // ---- PF: prefetch insertion ----
+    insert_prefetches(&k, &mut body, &l, unroll, params);
+
+    // ---- WNT: non-temporal writes ----
+    if params.wnt {
+        for op in body.iter_mut().chain(cold.iter_mut()) {
+            if let Op::FSt { nt, .. } = op {
+                *nt = true;
+            }
+        }
+    }
+
+    // ---- linearize ----
+    linearize(k, l, orig, body, cold, epilogue, unroll, &roles)
+}
+
+/// Replace scalar FP ops by vector ops; returns via out-params the updated
+/// role map and reduction epilogue.
+fn vectorize(
+    k: &mut KernelIr,
+    l: &mut LoopIr,
+    roles: &mut HashMap<V, ScalarRole>,
+    epilogue: &mut Vec<Op>,
+) -> Result<(), XformError> {
+    let veclen = k.prec.veclen();
+    // Map each FP scalar vreg used in the body to a vector twin.
+    let mut vmap: HashMap<V, V> = HashMap::new();
+    let mut pre_add: Vec<Op> = Vec::new();
+    let body_vregs: Vec<V> = {
+        let mut vs: Vec<V> = l
+            .body
+            .iter()
+            .flat_map(|o| o.uses().into_iter().chain(o.def()))
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    };
+    for v in body_vregs {
+        if k.class(v) != VClass::F {
+            continue;
+        }
+        let role = roles.get(&v).copied().unwrap_or(ScalarRole::Private);
+        let nv = k.new_vreg(VClass::Vec);
+        match role {
+            ScalarRole::Invariant => {
+                // Broadcast once before the loop.
+                pre_add.push(Op::FBcast { dst: nv, src: v });
+            }
+            ScalarRole::ReductionAdd => {
+                // Vector accumulator, zeroed before the loop; horizontal
+                // sum folded into the original scalar after it.
+                pre_add.push(Op::FZero { dst: nv, w: Width::V });
+                let t = k.new_vreg(VClass::F);
+                epilogue.push(Op::FHSum { dst: t, src: nv });
+                epilogue.push(Op::FBin { op: FOp::Add, dst: v, a: v, b: RoM::Reg(t), w: Width::S });
+            }
+            ScalarRole::Private => {}
+            ScalarRole::Carried => {
+                return Err(XformError("cannot vectorize carried scalar".into()))
+            }
+        }
+        roles.insert(nv, role);
+        vmap.insert(v, nv);
+    }
+    // Rewrite the body.
+    for op in &mut l.body {
+        let mut sub = |v: V| vmap.get(&v).copied().unwrap_or(v);
+        op.map_uses(&mut sub);
+        op.map_def(&mut sub);
+        match op {
+            Op::FLd { w, .. } | Op::FSt { w, .. } | Op::FMov { w, .. } | Op::FBin { w, .. }
+            | Op::FAbs { w, .. } | Op::FZero { w, .. } => *w = Width::V,
+            Op::FConst { .. } => {
+                return Err(XformError("FP constant inside loop body (hoist it)".into()))
+            }
+            _ => {}
+        }
+    }
+    k.pre.extend(pre_add);
+    l.vectorized = true;
+    l.elems_per_iter *= veclen;
+    for (_, e) in &mut l.bumps {
+        *e *= veclen as i64;
+    }
+    Ok(())
+}
+
+/// Produce `unroll` copies of the body (and cold blocks), renaming private
+/// vregs and labels per copy, shifting memory offsets, and adjusting
+/// induction-variable uses.
+fn unroll_loop(
+    k: &mut KernelIr,
+    l: &LoopIr,
+    roles: &HashMap<V, ScalarRole>,
+    unroll: u32,
+) -> Result<(Vec<Op>, Vec<Op>), XformError> {
+    let mut body = Vec::new();
+    let mut cold = Vec::new();
+    for c in 0..unroll {
+        let (b, cd) = instantiate_copy(k, l, roles, c, c != 0)?;
+        body.extend(b);
+        cold.extend(cd);
+    }
+    Ok((body, cold))
+}
+
+/// Instantiate one copy of body+cold. `rename` renames labels and private
+/// vregs (copy 0 of the main loop keeps the originals).
+fn instantiate_copy(
+    k: &mut KernelIr,
+    l: &LoopIr,
+    roles: &HashMap<V, ScalarRole>,
+    copy: u32,
+    rename: bool,
+) -> Result<(Vec<Op>, Vec<Op>), XformError> {
+    let mut vmap: HashMap<V, V> = HashMap::new();
+    let mut lmap: HashMap<LabelId, LabelId> = HashMap::new();
+    let bump_of: HashMap<u32, i64> = l.bumps.iter().map(|(p, e)| (p.0, *e)).collect();
+
+    // Collect private vregs (renamed per copy).
+    if rename {
+        let mut seen: Vec<V> = l
+            .body
+            .iter()
+            .chain(&l.cold)
+            .flat_map(|o| o.uses().into_iter().chain(o.def()))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for v in seen {
+            if roles.get(&v) == Some(&ScalarRole::Private) {
+                let nv = k.new_vreg(k.class(v));
+                vmap.insert(v, nv);
+            }
+        }
+        // Fresh labels.
+        let mut labels: Vec<LabelId> = l
+            .body
+            .iter()
+            .chain(&l.cold)
+            .filter_map(|o| match o {
+                Op::Label(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        labels.sort_by_key(|l| l.0);
+        labels.dedup();
+        for lab in labels {
+            lmap.insert(lab, k.new_label());
+        }
+    }
+
+    let ivar = match &l.counter {
+        Counter::Visible { ivar, .. } => Some(*ivar),
+        Counter::Hidden { .. } => None,
+    };
+    // If this copy reads the induction variable, materialize the adjusted
+    // value `ivar - copy` once at the top of the copy.
+    let mut ivar_sub: Option<V> = None;
+    let reads_ivar = |ops: &[Op], iv: V| ops.iter().any(|o| o.uses().contains(&iv));
+    if let Some(iv) = ivar {
+        if copy > 0 && (reads_ivar(&l.body, iv) || reads_ivar(&l.cold, iv)) {
+            let t = k.new_vreg(VClass::Int);
+            ivar_sub = Some(t);
+        }
+    }
+
+    let rewrite = |ops: &[Op], k: &KernelIr, vmap: &HashMap<V, V>, lmap: &HashMap<LabelId, LabelId>| -> Vec<Op> {
+        let _ = k;
+        let mut out = Vec::new();
+        for op in ops {
+            let mut op = op.clone();
+            let mut subst = |v: V| {
+                if Some(v) == ivar {
+                    if let Some(t) = ivar_sub {
+                        return t;
+                    }
+                }
+                vmap.get(&v).copied().unwrap_or(v)
+            };
+            op.map_uses(&mut subst);
+            let mut subst_def = |v: V| vmap.get(&v).copied().unwrap_or(v);
+            op.map_def(&mut subst_def);
+            if let Some(mem) = op.mem_mut() {
+                let bump = bump_of.get(&mem.ptr.0).copied().unwrap_or(0);
+                mem.off_elems += copy as i64 * bump;
+            }
+            match &mut op {
+                Op::Label(id) => {
+                    if let Some(n) = lmap.get(id) {
+                        *id = *n;
+                    }
+                }
+                Op::Br(id) | Op::CondBr { target: id, .. } => {
+                    if let Some(n) = lmap.get(id) {
+                        *id = *n;
+                    }
+                }
+                _ => {}
+            }
+            out.push(op);
+        }
+        out
+    };
+
+    let mut body = Vec::new();
+    if let Some(t) = ivar_sub {
+        let iv = ivar.unwrap();
+        body.push(Op::IMov { dst: t, src: iv });
+        body.push(Op::IBin { op: IOp::Sub, dst: t, a: t, b: IOrImm::Imm(copy as i64) });
+    }
+    body.extend(rewrite(&l.body, k, &vmap, &lmap));
+    let cold = rewrite(&l.cold, k, &vmap, &lmap);
+    Ok((body, cold))
+}
+
+/// Rewrite reduction updates to rotate over `ae` accumulators; zero the
+/// extras in `pre` and fold them in the epilogue.
+fn accumulate_expand(
+    k: &mut KernelIr,
+    body: &mut [Op],
+    roles: &HashMap<V, ScalarRole>,
+    ae: u32,
+    epilogue: &mut Vec<Op>,
+    vectorized: bool,
+) -> Result<(), XformError> {
+    // Accumulators present in this (possibly vectorized) body.
+    let accs: Vec<V> = {
+        let mut vs: Vec<V> = body
+            .iter()
+            .filter_map(|o| match o {
+                Op::FBin { op: FOp::Add, dst, a, .. } if dst == a => Some(*dst),
+                _ => None,
+            })
+            .filter(|v| {
+                matches!(
+                    roles.get(v),
+                    Some(ScalarRole::ReductionAdd)
+                )
+            })
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    };
+    if accs.is_empty() {
+        return Err(XformError("accumulator expansion requested but no candidates".into()));
+    }
+    let class = if vectorized { VClass::Vec } else { VClass::F };
+    let w = if vectorized { Width::V } else { Width::S };
+    let mut fold_ops = Vec::new();
+    let mut pre_add = Vec::new();
+    for &acc in &accs {
+        // acc_0 is the original; create ae-1 extras.
+        let mut bank = vec![acc];
+        for _ in 1..ae {
+            let nv = k.new_vreg(class);
+            pre_add.push(Op::FZero { dst: nv, w });
+            bank.push(nv);
+        }
+        // Rotate occurrences.
+        let mut occ = 0usize;
+        for op in body.iter_mut() {
+            if let Op::FBin { op: FOp::Add, dst, a, .. } = op {
+                if *dst == acc && *a == acc {
+                    let slot = bank[occ % bank.len()];
+                    *dst = slot;
+                    *a = slot;
+                    occ += 1;
+                }
+            }
+        }
+        // Fold extras back into the original before any SV epilogue.
+        for &extra in &bank[1..] {
+            fold_ops.push(Op::FBin { op: FOp::Add, dst: acc, a: acc, b: RoM::Reg(extra), w });
+        }
+    }
+    k.pre.extend(pre_add);
+    // Folds must precede the (SV) horizontal-sum epilogue.
+    let mut new_epi = fold_ops;
+    new_epi.append(epilogue);
+    *epilogue = new_epi;
+    Ok(())
+}
+
+/// Insert prefetch ops into the unrolled body: one per cache line consumed
+/// per array per unrolled iteration, spread through the body, with
+/// distances stepping a line apart (paper: "prefetching one array can
+/// require multiple prefetch requests in the unrolled loop body, as each
+/// x86 prefetch instruction fetches only one cache line").
+fn insert_prefetches(
+    k: &KernelIr,
+    body: &mut Vec<Op>,
+    l: &LoopIr,
+    unroll: u32,
+    params: &TransformParams,
+) {
+    const LINE: i64 = 64;
+    let mut inserts: Vec<(usize, Op)> = Vec::new();
+    for spec in &params.prefetch {
+        let Some(kind) = spec.kind else { continue };
+        let bump = l
+            .bumps
+            .iter()
+            .find(|(p, _)| *p == spec.ptr)
+            .map(|(_, e)| *e)
+            .unwrap_or(0);
+        if bump == 0 {
+            continue;
+        }
+        let bytes_per_iter = bump * unroll as i64 * k.prec.bytes() as i64;
+        let n_pref = ((bytes_per_iter + LINE - 1) / LINE).max(1);
+        for j in 0..n_pref {
+            let pos = (body.len() * (j as usize + 1)) / (n_pref as usize + 1);
+            inserts.push((
+                pos,
+                Op::Prefetch { ptr: spec.ptr, dist_bytes: spec.dist + j * LINE, kind },
+            ));
+        }
+    }
+    // Insert from the back so positions stay valid.
+    inserts.sort_by_key(|(pos, _)| std::cmp::Reverse(*pos));
+    for (pos, op) in inserts {
+        body.insert(pos.min(body.len()), op);
+    }
+}
+
+/// Assemble the final flat program.
+#[allow(clippy::too_many_arguments)]
+fn linearize(
+    mut k: KernelIr,
+    l: LoopIr,
+    orig: LoopIr,
+    body: Vec<Op>,
+    cold: Vec<Op>,
+    epilogue: Vec<Op>,
+    unroll: u32,
+    roles: &HashMap<V, ScalarRole>,
+) -> Result<LinearKernel, XformError> {
+    let step = (l.elems_per_iter * unroll as u64) as i64;
+    let total_bumps: Vec<(PtrId, i64)> =
+        l.bumps.iter().map(|(p, e)| (*p, e * unroll as i64)).collect();
+
+    let mut ops: Vec<Op> = Vec::new();
+    ops.extend(k.pre.clone());
+
+    match l.counter.clone() {
+        Counter::Hidden { trips: n } => {
+            let t_main = k.new_vreg(VClass::Int);
+            ops.push(Op::IMov { dst: t_main, src: n });
+            let t_rem = if step > 1 {
+                ops.push(Op::IBin { op: IOp::Div, dst: t_main, a: t_main, b: IOrImm::Imm(step) });
+                let t_rem = k.new_vreg(VClass::Int);
+                ops.push(Op::IMov { dst: t_rem, src: n });
+                ops.push(Op::IBin { op: IOp::Rem, dst: t_rem, a: t_rem, b: IOrImm::Imm(step) });
+                Some(t_rem)
+            } else {
+                None
+            };
+            let l_top = k.new_label();
+            let l_done = k.new_label();
+            ops.push(Op::ICmp { a: t_main, b: IOrImm::Imm(0) });
+            ops.push(Op::CondBr { cond: Cond::Le, target: l_done });
+            ops.push(Op::Label(l_top));
+            ops.extend(body);
+            for (p, e) in &total_bumps {
+                ops.push(Op::PtrBump { ptr: *p, elems: *e });
+            }
+            ops.push(Op::IBin { op: IOp::Sub, dst: t_main, a: t_main, b: IOrImm::Imm(1) });
+            ops.push(Op::ICmp { a: t_main, b: IOrImm::Imm(0) });
+            ops.push(Op::CondBr { cond: Cond::Gt, target: l_top });
+            ops.push(Op::Label(l_done));
+            ops.extend(epilogue);
+
+            // Scalar remainder loop from the untransformed body.
+            let mut rem_cold = Vec::new();
+            if let Some(t_rem) = t_rem {
+                let (rbody, rcold) =
+                    instantiate_copy(&mut k, &orig, roles, 0, true)?;
+                rem_cold = rcold;
+                let r_top = k.new_label();
+                let r_done = k.new_label();
+                ops.push(Op::ICmp { a: t_rem, b: IOrImm::Imm(0) });
+                ops.push(Op::CondBr { cond: Cond::Le, target: r_done });
+                ops.push(Op::Label(r_top));
+                ops.extend(rbody);
+                for (p, e) in &orig.bumps {
+                    ops.push(Op::PtrBump { ptr: *p, elems: *e });
+                }
+                ops.push(Op::IBin { op: IOp::Sub, dst: t_rem, a: t_rem, b: IOrImm::Imm(1) });
+                ops.push(Op::ICmp { a: t_rem, b: IOrImm::Imm(0) });
+                ops.push(Op::CondBr { cond: Cond::Gt, target: r_top });
+                ops.push(Op::Label(r_done));
+            }
+            ops.extend(k.post.clone());
+            ops.push(Op::Br(LabelId(u32::MAX))); // placeholder: jump to halt
+            ops.extend(cold);
+            ops.extend(rem_cold);
+            finish(k, ops)
+        }
+        Counter::Visible { ivar, n, down } => {
+            if !down {
+                return Err(XformError("visible upward counters are not supported".into()));
+            }
+            ops.push(Op::IMov { dst: ivar, src: n });
+            let l_top = k.new_label();
+            let l_done = k.new_label();
+            if unroll > 1 {
+                ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(step) });
+                ops.push(Op::CondBr { cond: Cond::Lt, target: l_done });
+            } else {
+                ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(0) });
+                ops.push(Op::CondBr { cond: Cond::Le, target: l_done });
+            }
+            ops.push(Op::Label(l_top));
+            ops.extend(body);
+            for (p, e) in &total_bumps {
+                ops.push(Op::PtrBump { ptr: *p, elems: *e });
+            }
+            ops.push(Op::IBin { op: IOp::Sub, dst: ivar, a: ivar, b: IOrImm::Imm(step) });
+            ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(if unroll > 1 { step } else { 0 }) });
+            ops.push(Op::CondBr {
+                cond: if unroll > 1 { Cond::Ge } else { Cond::Gt },
+                target: l_top,
+            });
+            ops.push(Op::Label(l_done));
+            ops.extend(epilogue);
+
+            // Remainder: continue while ivar >= 1 with the original body.
+            let mut rem_cold = Vec::new();
+            if unroll > 1 {
+                let (rbody, rcold) = instantiate_copy(&mut k, &orig, roles, 0, true)?;
+                rem_cold = rcold;
+                let r_top = k.new_label();
+                let r_done = k.new_label();
+                ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(0) });
+                ops.push(Op::CondBr { cond: Cond::Le, target: r_done });
+                ops.push(Op::Label(r_top));
+                ops.extend(rbody);
+                for (p, e) in &orig.bumps {
+                    ops.push(Op::PtrBump { ptr: *p, elems: *e });
+                }
+                ops.push(Op::IBin { op: IOp::Sub, dst: ivar, a: ivar, b: IOrImm::Imm(1) });
+                ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(0) });
+                ops.push(Op::CondBr { cond: Cond::Gt, target: r_top });
+                ops.push(Op::Label(r_done));
+            }
+            ops.extend(k.post.clone());
+            ops.push(Op::Br(LabelId(u32::MAX)));
+            ops.extend(cold);
+            ops.extend(rem_cold);
+            finish(k, ops)
+        }
+    }
+}
+
+/// Resolve the halt-jump placeholder and package the linear kernel.
+fn finish(mut k: KernelIr, mut ops: Vec<Op>) -> Result<LinearKernel, XformError> {
+    let halt_label = k.new_label();
+    for op in &mut ops {
+        if let Op::Br(id) = op {
+            if id.0 == u32::MAX {
+                *id = halt_label;
+            }
+        }
+    }
+    // The halt label is bound at the end of the op stream; codegen places
+    // the return-value move and Halt there.
+    ops.push(Op::Label(halt_label));
+    // Materialize non-pointer parameters from their arrival registers as
+    // ordinary defs, so register allocation (and spilling) treats them
+    // like any other value. Arrival registers follow the shared calling
+    // convention: ints/pointers count up from r0, FP scalars down from x7.
+    let mut param_moves = Vec::new();
+    let mut int_slot = 0u8;
+    let mut fp_slot = 7u8;
+    for pslot in &k.params {
+        match pslot {
+            ParamSlot::Ptr(_) => int_slot += 1,
+            ParamSlot::Int { vreg } => {
+                param_moves.push(Op::IParamMov { dst: *vreg, arrival: int_slot });
+                int_slot += 1;
+            }
+            ParamSlot::FScalar { vreg } => {
+                param_moves.push(Op::FParamMov { dst: *vreg, arrival: fp_slot });
+                fp_slot -= 1;
+            }
+        }
+    }
+    param_moves.extend(ops);
+    let ops = param_moves;
+    Ok(LinearKernel {
+        name: k.name,
+        prec: k.prec,
+        ptrs: k.ptrs,
+        params: k.params,
+        vregs: k.vregs,
+        ops,
+        ret: k.ret,
+        n_labels: k.n_labels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::lower::lower;
+    use ifko_hil::compile_frontend;
+    use ifko_xsim::p4e;
+
+    const DOT: &str = r#"
+ROUTINE dot(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR, N = INT;
+SCALARS :: dot = DOUBLE:OUT, x = DOUBLE, y = DOUBLE;
+ROUT_BEGIN
+  dot = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    y = Y[0];
+    dot += x * y;
+    X += 1;
+    Y += 1;
+  LOOP_END
+  RETURN dot;
+ROUT_END
+"#;
+
+    fn setup(src: &str) -> (KernelIr, AnalysisReport) {
+        let (r, info) = compile_frontend(src).unwrap();
+        let k = lower(&r, &info).unwrap();
+        let rep = analyze(&k, &p4e());
+        (k, rep)
+    }
+
+    #[test]
+    fn scalar_untransformed_linearizes() {
+        let (k, rep) = setup(DOT);
+        let lin = apply_transforms(&k, &TransformParams::off(), &rep).unwrap();
+        // One loop, no remainder (step == 1): exactly two CondBr for the
+        // main loop plus none for a remainder.
+        let brs = lin.ops.iter().filter(|o| matches!(o, Op::CondBr { .. })).count();
+        assert_eq!(brs, 2);
+        assert!(lin.ops.iter().any(|o| matches!(o, Op::PtrBump { .. })));
+        assert!(!lin.ops.iter().any(|o| matches!(o, Op::IBin { op: IOp::Div, .. })));
+    }
+
+    #[test]
+    fn vectorized_kernel_has_vector_ops_and_epilogue() {
+        let (k, rep) = setup(DOT);
+        let mut p = TransformParams::off();
+        p.simd = true;
+        let lin = apply_transforms(&k, &p, &rep).unwrap();
+        assert!(lin.ops.iter().any(|o| matches!(o, Op::FLd { w: Width::V, .. })));
+        assert!(lin.ops.iter().any(|o| matches!(o, Op::FHSum { .. })));
+        // Remainder loop exists (step = 2 for doubles).
+        assert!(lin.ops.iter().any(|o| matches!(o, Op::IBin { op: IOp::Rem, .. })));
+        // Vector bump: 2 elems * 8 bytes per iteration.
+        assert!(lin
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::PtrBump { elems: 2, .. })));
+    }
+
+    #[test]
+    fn unroll_duplicates_and_shifts_offsets() {
+        let (k, rep) = setup(DOT);
+        let mut p = TransformParams::off();
+        p.unroll = 4;
+        let lin = apply_transforms(&k, &p, &rep).unwrap();
+        let offs: Vec<i64> = lin
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::FLd { mem, .. } if mem.ptr == PtrId(0) => Some(mem.off_elems),
+                _ => None,
+            })
+            .collect();
+        // Main loop copies at offsets 0..3, plus the remainder load at 0.
+        assert_eq!(offs, vec![0, 1, 2, 3, 0]);
+        // Combined bump of 4 elems; remainder bump of 1.
+        assert!(lin.ops.iter().any(|o| matches!(o, Op::PtrBump { elems: 4, .. })));
+        assert!(lin.ops.iter().any(|o| matches!(o, Op::PtrBump { elems: 1, .. })));
+    }
+
+    #[test]
+    fn sv_plus_unroll_compose() {
+        let (k, rep) = setup(DOT);
+        let mut p = TransformParams::off();
+        p.simd = true;
+        p.unroll = 4;
+        let lin = apply_transforms(&k, &p, &rep).unwrap();
+        // Vector loads at vector offsets 0, 2, 4, 6 (elems).
+        let offs: Vec<i64> = lin
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::FLd { mem, w: Width::V, .. } if mem.ptr == PtrId(0) => Some(mem.off_elems),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offs, vec![0, 2, 4, 6]);
+        assert!(lin.ops.iter().any(|o| matches!(o, Op::PtrBump { elems: 8, .. })));
+    }
+
+    #[test]
+    fn ae_rotates_accumulators() {
+        let (k, rep) = setup(DOT);
+        let mut p = TransformParams::off();
+        p.unroll = 4;
+        p.accum_expand = 2;
+        let lin = apply_transforms(&k, &p, &rep).unwrap();
+        // The reduction adds in the main body must target 2 distinct accs.
+        let mut accs: Vec<V> = lin
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::FBin { op: FOp::Add, dst, a, b: RoM::Reg(_), w: Width::S } if dst == a => {
+                    Some(*dst)
+                }
+                _ => None,
+            })
+            .collect();
+        accs.sort_unstable();
+        accs.dedup();
+        assert!(accs.len() >= 2, "expected >=2 accumulators, got {accs:?}");
+        assert!(lin.ops.iter().any(|o| matches!(o, Op::FZero { .. })));
+    }
+
+    #[test]
+    fn prefetch_count_scales_with_unroll() {
+        let (k, rep) = setup(DOT);
+        let mut p = TransformParams::defaults(&rep, &p4e());
+        p.simd = false;
+        p.unroll = 16; // 16 doubles = 2 lines per array per iter
+        let lin = apply_transforms(&k, &p, &rep).unwrap();
+        let prefs = lin.ops.iter().filter(|o| matches!(o, Op::Prefetch { .. })).count();
+        assert_eq!(prefs, 4, "2 arrays x 2 lines per unrolled iteration");
+    }
+
+    #[test]
+    fn wnt_marks_stores() {
+        let src = r#"
+ROUTINE copy(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR:OUT, N = INT;
+SCALARS :: x = DOUBLE;
+ROUT_BEGIN
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    Y[0] = x;
+    X += 1;
+    Y += 1;
+  LOOP_END
+ROUT_END
+"#;
+        let (k, rep) = setup(src);
+        let mut p = TransformParams::off();
+        p.wnt = true;
+        let lin = apply_transforms(&k, &p, &rep).unwrap();
+        assert!(lin.ops.iter().any(|o| matches!(o, Op::FSt { nt: true, .. })));
+    }
+
+    const AMAX: &str = r#"
+ROUTINE iamax(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: amax = DOUBLE, imax = INT:OUT, x = DOUBLE;
+ROUT_BEGIN
+  amax = -1.0;
+  imax = 0;
+  !! TUNE LOOP
+  LOOP i = N, 0, -1
+  LOOP_BODY
+    x = X[0];
+    x = ABS x;
+    IF (x > amax) GOTO NEWMAX;
+  ENDOFLOOP:
+    X += 1;
+  LOOP_END
+  RETURN imax;
+NEWMAX:
+  amax = x;
+  imax = N - i;
+  GOTO ENDOFLOOP;
+ROUT_END
+"#;
+
+    #[test]
+    fn amax_unrolls_with_duplicated_cold_blocks() {
+        let (k, rep) = setup(AMAX);
+        let mut p = TransformParams::off();
+        p.unroll = 4;
+        let lin = apply_transforms(&k, &p, &rep).unwrap();
+        // 4 cold copies in main + 1 in remainder = 5 labels' worth of
+        // cold Br-back ops, plus loop-structure branches.
+        let labels = lin.ops.iter().filter(|o| matches!(o, Op::Label(_))).count();
+        assert!(labels >= 10, "expected many labels after unroll, got {labels}");
+        // Induction adjustments appear (IMov from ivar then Sub imm).
+        assert!(lin
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::IBin { op: IOp::Sub, b: IOrImm::Imm(2), .. })));
+    }
+}

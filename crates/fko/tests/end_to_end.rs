@@ -1,0 +1,387 @@
+//! End-to-end: HIL source → FKO pipeline → execution on the simulated
+//! machine, with results checked against Rust reference implementations
+//! across a matrix of transformation parameters. This is the test that
+//! guarantees every (SV, UR, AE, PF, WNT) combination the search may try
+//! produces *correct* code.
+
+use ifko_fko::ir::{PrefKind, PtrId};
+use ifko_fko::{analyze_kernel, compile_ir, ArgSlot, PrefSpec, RetSlot, TransformParams};
+use ifko_xsim::{opteron, p4e, Cpu, FReg, IReg, MachineConfig, Memory};
+
+const DOT: &str = r#"
+ROUTINE dot(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR, N = INT;
+SCALARS :: dot = DOUBLE:OUT, x = DOUBLE, y = DOUBLE;
+ROUT_BEGIN
+  dot = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    y = Y[0];
+    dot += x * y;
+    X += 1;
+    Y += 1;
+  LOOP_END
+  RETURN dot;
+ROUT_END
+"#;
+
+const AXPY: &str = r#"
+ROUTINE axpy(alpha, X, Y, N);
+PARAMS :: alpha = DOUBLE, X = DOUBLE_PTR, Y = DOUBLE_PTR:INOUT, N = INT;
+SCALARS :: x = DOUBLE;
+ROUT_BEGIN
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    x *= alpha;
+    Y[0] += x;
+    X += 1;
+    Y += 1;
+  LOOP_END
+ROUT_END
+"#;
+
+const ASUM: &str = r#"
+ROUTINE asum(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: sum = DOUBLE:OUT, x = DOUBLE;
+ROUT_BEGIN
+  sum = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    x = ABS x;
+    sum += x;
+    X += 1;
+  LOOP_END
+  RETURN sum;
+ROUT_END
+"#;
+
+const IAMAX: &str = r#"
+ROUTINE iamax(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: amax = DOUBLE, imax = INT:OUT, x = DOUBLE;
+ROUT_BEGIN
+  amax = -1.0;
+  imax = 0;
+  !! TUNE LOOP
+  LOOP i = N, 0, -1
+  LOOP_BODY
+    x = X[0];
+    x = ABS x;
+    IF (x > amax) GOTO NEWMAX;
+  ENDOFLOOP:
+    X += 1;
+  LOOP_END
+  RETURN imax;
+NEWMAX:
+  amax = x;
+  imax = N - i;
+  GOTO ENDOFLOOP;
+ROUT_END
+"#;
+
+const SCAL: &str = r#"
+ROUTINE scal(alpha, X, N);
+PARAMS :: alpha = DOUBLE, X = DOUBLE_PTR:INOUT, N = INT;
+SCALARS :: x = DOUBLE;
+ROUT_BEGIN
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    x *= alpha;
+    X[0] = x;
+    X += 1;
+  LOOP_END
+ROUT_END
+"#;
+
+const SWAP: &str = r#"
+ROUTINE swap(X, Y, N);
+PARAMS :: X = DOUBLE_PTR:INOUT, Y = DOUBLE_PTR:INOUT, N = INT;
+SCALARS :: a = DOUBLE, b = DOUBLE;
+ROUT_BEGIN
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    a = X[0];
+    b = Y[0];
+    X[0] = b;
+    Y[0] = a;
+    X += 1;
+    Y += 1;
+  LOOP_END
+ROUT_END
+"#;
+
+/// Run a compiled kernel with up to two vectors and an optional alpha,
+/// returning (scalar result, final x, final y, cycles).
+struct RunOut {
+    ret_f: f64,
+    ret_i: i64,
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+fn run_kernel(
+    src: &str,
+    params: &TransformParams,
+    mach: MachineConfig,
+    n: usize,
+    alpha: f64,
+    xs: &[f64],
+    ys: &[f64],
+) -> RunOut {
+    let (k, rep) = analyze_kernel(src, &mach).unwrap();
+    let compiled = compile_ir(&k, params, &rep)
+        .unwrap_or_else(|e| panic!("compile {} failed: {e}", k.name));
+
+    let mut mem = Memory::new(64 << 20);
+    let xaddr = mem.alloc_vector(n.max(1) as u64, 8);
+    let yaddr = mem.alloc_vector(n.max(1) as u64, 8);
+    mem.store_f64_slice(xaddr, xs).unwrap();
+    mem.store_f64_slice(yaddr, ys).unwrap();
+    let frame = if compiled.frame_bytes > 0 {
+        mem.alloc(compiled.frame_bytes, 16)
+    } else {
+        0
+    };
+
+    let mut cpu = Cpu::new(mach);
+    cpu.flush_caches();
+    // Bind arguments: pointers in declaration order (X then Y), N, alpha.
+    let mut ptrs = [xaddr, yaddr].into_iter();
+    for slot in &compiled.arg_convention {
+        match slot {
+            ArgSlot::PtrReg(r) => cpu.set_ireg(IReg(*r), ptrs.next().unwrap() as i64),
+            ArgSlot::IntReg(r) => cpu.set_ireg(IReg(*r), n as i64),
+            ArgSlot::FReg(r) => cpu.set_freg_f64(FReg(*r), alpha),
+        }
+    }
+    cpu.set_ireg(IReg(7), frame as i64);
+    cpu.run(&compiled.program, &mut mem).unwrap_or_else(|e| {
+        panic!(
+            "run {} failed: {e}\n{}",
+            compiled.name,
+            ifko_xsim::asm::disassemble(&compiled.program)
+        )
+    });
+    RunOut {
+        ret_f: match compiled.ret {
+            RetSlot::F0 => cpu.freg_f64(FReg(0)),
+            _ => 0.0,
+        },
+        ret_i: match compiled.ret {
+            RetSlot::I0 => cpu.ireg(IReg(0)),
+            _ => 0,
+        },
+        x: mem.load_f64_slice(xaddr, n).unwrap(),
+        y: mem.load_f64_slice(yaddr, n).unwrap(),
+    }
+}
+
+fn test_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.25).collect();
+    let ys: Vec<f64> = (0..n).map(|i| ((i * 53 % 89) as f64 - 44.0) * 0.5).collect();
+    (xs, ys)
+}
+
+/// Parameter matrix covering every transformation and interactions.
+fn param_matrix() -> Vec<TransformParams> {
+    let mut out = Vec::new();
+    for (simd, ur, ae, wnt, pf) in [
+        (false, 1, 1, false, false),
+        (false, 4, 1, false, false),
+        (false, 3, 3, false, true), // non-power-of-two unroll
+        (true, 1, 1, false, false),
+        (true, 4, 1, false, true),
+        (true, 8, 4, false, true),
+        (true, 2, 2, true, false),
+        (false, 1, 1, true, true),
+        (true, 16, 2, true, true),
+        (false, 7, 1, false, false), // awkward remainder
+    ] {
+        let mut p = TransformParams::off();
+        p.simd = simd;
+        p.unroll = ur;
+        p.accum_expand = ae;
+        p.wnt = wnt;
+        if pf {
+            p.prefetch = vec![
+                PrefSpec { ptr: PtrId(0), kind: Some(PrefKind::Nta), dist: 512 },
+                PrefSpec { ptr: PtrId(1), kind: Some(PrefKind::T0), dist: 256 },
+            ];
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// AE only applies when the kernel has reduction candidates; mask it
+/// off otherwise, and prefetch specs must name existing arrays.
+fn adapt(p: &TransformParams, has_red: bool, n_ptrs: usize) -> TransformParams {
+    let mut p = p.clone();
+    if !has_red {
+        p.accum_expand = 1;
+    }
+    p.prefetch.retain(|s| (s.ptr.0 as usize) < n_ptrs);
+    p
+}
+
+#[test]
+fn ddot_matrix_correct_on_both_machines() {
+    for mach in [p4e(), opteron()] {
+        for n in [0usize, 1, 5, 64, 1000] {
+            let (xs, ys) = test_data(n);
+            let expected: f64 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+            for p in param_matrix() {
+                let p = adapt(&p, true, 2);
+                let out = run_kernel(DOT, &p, mach.clone(), n, 0.0, &xs, &ys);
+                assert!(
+                    (out.ret_f - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+                    "dot n={n} {p:?}: got {} want {}",
+                    out.ret_f,
+                    expected
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn daxpy_matrix_correct() {
+    let mach = p4e();
+    for n in [0usize, 1, 7, 128, 999] {
+        let (xs, ys) = test_data(n);
+        let alpha = 1.75;
+        for p in param_matrix() {
+            let p = adapt(&p, false, 2);
+            let out = run_kernel(AXPY, &p, mach.clone(), n, alpha, &xs, &ys);
+            for i in 0..n {
+                let want = ys[i] + alpha * xs[i];
+                assert!(
+                    (out.y[i] - want).abs() < 1e-12,
+                    "axpy n={n} i={i} {p:?}: got {} want {}",
+                    out.y[i],
+                    want
+                );
+            }
+            assert_eq!(out.x, xs, "axpy must not modify X");
+        }
+    }
+}
+
+#[test]
+fn dasum_matrix_correct() {
+    let mach = opteron();
+    for n in [0usize, 2, 17, 512] {
+        let (xs, _) = test_data(n);
+        let expected: f64 = xs.iter().map(|v| v.abs()).sum();
+        for p in param_matrix() {
+            let p = adapt(&p, true, 1);
+            let out = run_kernel(ASUM, &p, mach.clone(), n, 0.0, &xs, &xs.clone());
+            assert!(
+                (out.ret_f - expected).abs() <= 1e-9 * expected.max(1.0),
+                "asum n={n} {p:?}: got {} want {expected}",
+                out.ret_f
+            );
+        }
+    }
+}
+
+#[test]
+fn idamax_matrix_correct() {
+    let mach = p4e();
+    for n in [1usize, 2, 9, 100, 777] {
+        let (xs, _) = test_data(n);
+        let expected = xs
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v.abs() > bv {
+                    (i, v.abs())
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0;
+        for p in param_matrix() {
+            // iamax is not vectorizable; SV is ignored by the pipeline.
+            let p = adapt(&p, false, 1);
+            let out = run_kernel(IAMAX, &p, mach.clone(), n, 0.0, &xs, &xs.clone());
+            assert_eq!(
+                out.ret_i, expected as i64,
+                "iamax n={n} {p:?}: got {} want {expected}",
+                out.ret_i
+            );
+        }
+    }
+}
+
+#[test]
+fn dscal_matrix_correct() {
+    let mach = p4e();
+    for n in [0usize, 3, 33, 400] {
+        let (xs, _) = test_data(n);
+        for p in param_matrix() {
+            let p = adapt(&p, false, 1);
+            let out = run_kernel(SCAL, &p, mach.clone(), n, -0.5, &xs, &xs.clone());
+            for i in 0..n {
+                assert_eq!(out.x[i], xs[i] * -0.5, "scal n={n} i={i} {p:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dswap_matrix_correct() {
+    let mach = opteron();
+    for n in [0usize, 1, 10, 250] {
+        let (xs, ys) = test_data(n);
+        for p in param_matrix() {
+            let p = adapt(&p, false, 2);
+            let out = run_kernel(SWAP, &p, mach.clone(), n, 0.0, &xs, &ys);
+            assert_eq!(out.x, ys, "swap n={n} {p:?} X");
+            assert_eq!(out.y, xs, "swap n={n} {p:?} Y");
+        }
+    }
+}
+
+#[test]
+fn vectorization_actually_speeds_up_in_cache() {
+    // 2 x 6.4 KB fits the P4E's 16 KB L1.
+    let n = 800;
+    let (xs, ys) = test_data(n);
+    let mach = p4e();
+    let cycles = |p: &TransformParams| {
+        let (k, rep) = analyze_kernel(DOT, &mach).unwrap();
+        let c = compile_ir(&k, p, &rep).unwrap();
+        let mut mem = Memory::new(16 << 20);
+        let xa = mem.alloc_vector(n as u64, 8);
+        let ya = mem.alloc_vector(n as u64, 8);
+        mem.store_f64_slice(xa, &xs).unwrap();
+        mem.store_f64_slice(ya, &ys).unwrap();
+        let mut cpu = Cpu::new(mach.clone());
+        cpu.preload_all(xa, 2 * n as u64 * 8 + 4096);
+        cpu.set_ireg(IReg(0), xa as i64);
+        cpu.set_ireg(IReg(1), ya as i64);
+        cpu.set_ireg(IReg(2), n as i64);
+        cpu.run(&c.program, &mut mem).unwrap().cycles
+    };
+    let scalar = cycles(&TransformParams::off());
+    let mut pv = TransformParams::off();
+    pv.simd = true;
+    pv.unroll = 4;
+    pv.accum_expand = 4;
+    let tuned = cycles(&pv);
+    assert!(
+        tuned * 2 < scalar,
+        "SV+UR+AE in-cache ({tuned}) must be >2x faster than scalar ({scalar})"
+    );
+}

@@ -1,0 +1,155 @@
+//! Golden-output tests: the generated pseudo-assembly of known kernels at
+//! fixed parameters is pinned structurally (instruction mnemonics in
+//! order, ignoring register numbers), so codegen regressions show up as
+//! diffs rather than silent performance shifts.
+
+use ifko_fko::ir::{PrefKind, PtrId};
+use ifko_fko::{analyze_kernel, compile_ir, PrefSpec, TransformParams};
+use ifko_xsim::asm::disassemble;
+use ifko_xsim::p4e;
+
+const DOT: &str = r#"
+ROUTINE dot(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR, N = INT;
+SCALARS :: dot = DOUBLE:OUT, x = DOUBLE, y = DOUBLE;
+ROUT_BEGIN
+  dot = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    y = Y[0];
+    dot += x * y;
+    X += 1;
+    Y += 1;
+  LOOP_END
+  RETURN dot;
+ROUT_END
+"#;
+
+/// Extract the mnemonic sequence from a disassembly.
+fn mnemonics(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            if l.ends_with(':') || l.is_empty() {
+                return None;
+            }
+            // "0007  fldd x0, [r0]" -> "fldd"
+            l.split_whitespace().nth(1).map(str::to_string)
+        })
+        .collect()
+}
+
+#[test]
+fn scalar_dot_shape_is_pinned() {
+    let mach = p4e();
+    let (ir, rep) = analyze_kernel(DOT, &mach).unwrap();
+    let c = compile_ir(&ir, &TransformParams::off(), &rep).unwrap();
+    let m = mnemonics(&disassemble(&c.program));
+    // mov N; fzero acc; trip check; loop: fld, fmul(mem), fadd, bumps,
+    // dec+branch; ret move; halt.
+    assert_eq!(
+        m,
+        vec![
+            "mov",   // N copy
+            "fldid", // dot = 0.0
+            "mov",   // trip counter
+            "cmp", "jle", // skip empty loop
+            "fldd", "fmuld", "faddd", // fused body
+            "add", "add", // pointer bumps
+            "dec", "jgt", // LC latch
+            "fmovd", // ret to x0
+            "halt"
+        ],
+        "full disassembly:\n{}",
+        disassemble(&c.program)
+    );
+}
+
+#[test]
+fn vectorized_unrolled_dot_structure() {
+    let mach = p4e();
+    let (ir, rep) = analyze_kernel(DOT, &mach).unwrap();
+    let mut p = TransformParams::off();
+    p.simd = true;
+    p.unroll = 2;
+    p.accum_expand = 2;
+    p.prefetch = vec![
+        PrefSpec { ptr: PtrId(0), kind: Some(PrefKind::Nta), dist: 256 },
+        PrefSpec { ptr: PtrId(1), kind: None, dist: 0 },
+    ];
+    let c = compile_ir(&ir, &p, &rep).unwrap();
+    let text = disassemble(&c.program);
+    let m = mnemonics(&text);
+    // Structure assertions (not exact sequence): one prefetch, two vector
+    // multiply-accumulate groups, AE fold + hsum epilogue, a scalar
+    // remainder loop, dec-based latches.
+    let count = |op: &str| m.iter().filter(|x| x.as_str() == op).count();
+    assert_eq!(count("pref.nta"), 1, "{text}");
+    assert_eq!(count("vldda"), 2, "two vector loads of X\n{text}");
+    assert_eq!(count("vmuld"), 2, "{text}");
+    assert!(count("vaddd") >= 3, "2 accumulates + AE fold\n{text}");
+    assert_eq!(count("vhsumd"), 1, "{text}");
+    assert_eq!(count("idiv"), 1, "trip division\n{text}");
+    assert_eq!(count("irem"), 1, "remainder count\n{text}");
+    assert_eq!(count("fmuld"), 1, "scalar remainder multiply\n{text}");
+    assert_eq!(count("dec"), 2, "main + remainder latches\n{text}");
+    assert_eq!(count("halt"), 1);
+}
+
+#[test]
+fn wnt_emits_nt_stores_only_in_main_loop_stores() {
+    let src = r#"
+ROUTINE copy(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR:OUT, N = INT;
+SCALARS :: x = DOUBLE;
+ROUT_BEGIN
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    Y[0] = x;
+    X += 1;
+    Y += 1;
+  LOOP_END
+ROUT_END
+"#;
+    let mach = p4e();
+    let (ir, rep) = analyze_kernel(src, &mach).unwrap();
+    let mut p = TransformParams::off();
+    p.simd = true;
+    p.unroll = 4;
+    p.wnt = true;
+    let c = compile_ir(&ir, &p, &rep).unwrap();
+    let text = disassemble(&c.program);
+    let m = mnemonics(&text);
+    let count = |op: &str| m.iter().filter(|x| x.as_str() == op).count();
+    assert_eq!(count("vstntd"), 4, "four NT vector stores\n{text}");
+    // The scalar remainder uses plain... also NT (WNT applies to it too via
+    // the cold/remainder instantiation? No: remainder comes from the
+    // untransformed body, so it stores normally).
+    assert_eq!(count("fstd"), 1, "scalar remainder store\n{text}");
+}
+
+#[test]
+fn program_sizes_scale_sanely_with_unroll() {
+    let mach = p4e();
+    let (ir, rep) = analyze_kernel(DOT, &mach).unwrap();
+    let size = |ur: u32| {
+        let mut p = TransformParams::off();
+        p.simd = true;
+        p.unroll = ur;
+        compile_ir(&ir, &p, &rep).unwrap().program.len()
+    };
+    let s1 = size(1);
+    let s8 = size(8);
+    let s32 = size(32);
+    assert!(s8 > s1 && s32 > s8);
+    // Per-copy cost is ~3 instructions (ld, mul, add): growth should be
+    // roughly linear, not quadratic.
+    assert!(
+        (s32 - s8) < 5 * (32 - 8),
+        "unroll growth too steep: {s1}/{s8}/{s32}"
+    );
+}

@@ -1,0 +1,219 @@
+//! Focused unit tests of the repeatable optimization passes over
+//! hand-constructed linear kernels (no front end involved), covering edge
+//! cases the kernel suite doesn't reach.
+
+use ifko_fko::ir::*;
+use ifko_fko::opt;
+use ifko_fko::xform::LinearKernel;
+
+fn kernel(ops: Vec<Op>, nvregs: usize) -> LinearKernel {
+    LinearKernel {
+        name: "t".into(),
+        prec: Prec::D,
+        ptrs: vec![PtrInfo { name: "X".into(), written: true, read: true, no_prefetch: false }],
+        params: vec![ParamSlot::Ptr(PtrId(0))],
+        vregs: vec![VClass::F; nvregs],
+        ops,
+        ret: RetVal::None,
+        n_labels: 8,
+    }
+}
+
+fn mem(off: i64) -> MemRef {
+    MemRef { ptr: PtrId(0), off_elems: off }
+}
+
+#[test]
+fn copy_prop_resets_at_labels() {
+    // mov v1, v0; label; use v1 — the copy table must clear at the label,
+    // so v1 is NOT replaced by v0 (v0 might differ on another path).
+    let mut k = kernel(
+        vec![
+            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
+            Op::FMov { dst: 1, src: 0, w: Width::S },
+            Op::Label(LabelId(0)),
+            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+            Op::Br(LabelId(0)),
+        ],
+        2,
+    );
+    opt::copy_propagate(&mut k);
+    assert!(
+        matches!(k.ops[3], Op::FSt { src: 1, .. }),
+        "use after label must keep v1: {:?}",
+        k.ops
+    );
+}
+
+#[test]
+fn copy_prop_propagates_within_block() {
+    let mut k = kernel(
+        vec![
+            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
+            Op::FMov { dst: 1, src: 0, w: Width::S },
+            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+        ],
+        2,
+    );
+    opt::copy_propagate(&mut k);
+    assert!(matches!(k.ops[2], Op::FSt { src: 0, .. }), "{:?}", k.ops);
+}
+
+#[test]
+fn copy_prop_invalidated_by_redefinition() {
+    // mov v1, v0; redefine v0; store v1 — must NOT substitute v0.
+    let mut k = kernel(
+        vec![
+            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
+            Op::FMov { dst: 1, src: 0, w: Width::S },
+            Op::FLd { dst: 0, mem: mem(2), w: Width::S },
+            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+        ],
+        2,
+    );
+    opt::copy_propagate(&mut k);
+    assert!(matches!(k.ops[3], Op::FSt { src: 1, .. }), "{:?}", k.ops);
+}
+
+#[test]
+fn dce_keeps_stores_and_flag_setters() {
+    let mut k = kernel(
+        vec![
+            Op::FLd { dst: 0, mem: mem(0), w: Width::S }, // dead (v0 unused)
+            Op::ICmp { a: 1, b: IOrImm::Imm(0) },         // flags: must stay
+            Op::FSt { mem: mem(1), src: 2, w: Width::S, nt: false }, // side effect
+        ],
+        3,
+    );
+    // v1 must be Int class for ICmp realism.
+    k.vregs[1] = VClass::Int;
+    opt::dead_code_elim(&mut k);
+    assert_eq!(k.ops.len(), 2, "{:?}", k.ops);
+    assert!(matches!(k.ops[0], Op::ICmp { .. }));
+    assert!(matches!(k.ops[1], Op::FSt { .. }));
+}
+
+#[test]
+fn fusion_blocked_by_intervening_label() {
+    let mut k = kernel(
+        vec![
+            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
+            Op::Label(LabelId(0)),
+            Op::FBin { op: FOp::Add, dst: 1, a: 1, b: RoM::Reg(0), w: Width::S },
+            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+        ],
+        2,
+    );
+    let before = k.ops.clone();
+    opt::fuse_mem_operands(&mut k);
+    assert_eq!(before, k.ops, "fusion must not cross block boundaries");
+}
+
+#[test]
+fn fusion_blocked_by_pointer_bump() {
+    let mut k = kernel(
+        vec![
+            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
+            Op::PtrBump { ptr: PtrId(0), elems: 1 },
+            Op::FBin { op: FOp::Add, dst: 1, a: 1, b: RoM::Reg(0), w: Width::S },
+            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+        ],
+        2,
+    );
+    let before = k.ops.clone();
+    opt::fuse_mem_operands(&mut k);
+    assert_eq!(before, k.ops, "the bump changes the address meaning");
+}
+
+#[test]
+fn fusion_applies_in_the_clean_case() {
+    let mut k = kernel(
+        vec![
+            Op::FLd { dst: 0, mem: mem(3), w: Width::S },
+            Op::FBin { op: FOp::Mul, dst: 1, a: 1, b: RoM::Reg(0), w: Width::S },
+            Op::FSt { mem: mem(9), src: 1, w: Width::S, nt: false },
+        ],
+        2,
+    );
+    opt::fuse_mem_operands(&mut k);
+    assert_eq!(k.ops.len(), 2);
+    match &k.ops[0] {
+        Op::FBin { b: RoM::Mem(m), .. } => assert_eq!(m.off_elems, 3),
+        other => panic!("expected fused FBin, got {other:?}"),
+    }
+}
+
+#[test]
+fn branch_cleanup_collapses_chains() {
+    // br L0; ... L0: br L1; L1: <st>. The first branch retargets to L1.
+    let mut k = kernel(
+        vec![
+            Op::Br(LabelId(0)),
+            Op::FSt { mem: mem(0), src: 0, w: Width::S, nt: false }, // dead path
+            Op::Label(LabelId(0)),
+            Op::Br(LabelId(1)),
+            Op::Label(LabelId(1)),
+            Op::FSt { mem: mem(1), src: 0, w: Width::S, nt: false },
+        ],
+        1,
+    );
+    opt::branch_cleanup(&mut k);
+    let first_branch = k.ops.iter().find_map(|o| match o {
+        Op::Br(l) => Some(*l),
+        _ => None,
+    });
+    assert_eq!(first_branch, Some(LabelId(1)), "{:?}", k.ops);
+}
+
+#[test]
+fn coalesce_merges_load_into_single_use_mov() {
+    let mut k = kernel(
+        vec![
+            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
+            Op::FMov { dst: 1, src: 0, w: Width::S },
+            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+        ],
+        2,
+    );
+    opt::coalesce_movs(&mut k);
+    assert_eq!(k.ops.len(), 2, "{:?}", k.ops);
+    assert!(matches!(k.ops[0], Op::FLd { dst: 1, .. }));
+}
+
+#[test]
+fn coalesce_refuses_multi_use_source() {
+    let mut k = kernel(
+        vec![
+            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
+            Op::FMov { dst: 1, src: 0, w: Width::S },
+            Op::FSt { mem: mem(1), src: 0, w: Width::S, nt: false }, // second use
+        ],
+        2,
+    );
+    let before = k.ops.clone();
+    opt::coalesce_movs(&mut k);
+    assert_eq!(before, k.ops);
+}
+
+#[test]
+fn loop_control_rewrites_only_the_pattern() {
+    let mut k = kernel(
+        vec![
+            Op::IBin { op: IOp::Sub, dst: 0, a: 0, b: IOrImm::Imm(1) },
+            Op::ICmp { a: 0, b: IOrImm::Imm(0) },
+            Op::CondBr { cond: Cond::Gt, target: LabelId(0) },
+            Op::Label(LabelId(0)),
+            // Not the pattern: subtract by 2.
+            Op::IBin { op: IOp::Sub, dst: 1, a: 1, b: IOrImm::Imm(2) },
+            Op::ICmp { a: 1, b: IOrImm::Imm(0) },
+            Op::CondBr { cond: Cond::Gt, target: LabelId(0) },
+        ],
+        2,
+    );
+    k.vregs = vec![VClass::Int; 2];
+    opt::loop_control(&mut k);
+    assert!(matches!(k.ops[0], Op::IDecFlags(0)), "{:?}", k.ops);
+    // The by-2 latch is untouched.
+    assert!(k.ops.iter().any(|o| matches!(o, Op::IBin { b: IOrImm::Imm(2), .. })));
+    assert_eq!(k.ops.iter().filter(|o| matches!(o, Op::IDecFlags(_))).count(), 1);
+}

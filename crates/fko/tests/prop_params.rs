@@ -1,0 +1,220 @@
+//! Property-based compiler correctness: arbitrary transformation
+//! parameters and problem sizes never change kernel semantics. This is
+//! the reproduction's strongest guarantee — the empirical search may try
+//! any point in this space, so every point must be correct.
+
+use ifko_fko::ir::{PrefKind, PtrId};
+use ifko_fko::{analyze_kernel, compile_ir, ArgSlot, PrefSpec, RetSlot, TransformParams};
+use ifko_xsim::{opteron, p4e, Cpu, FReg, IReg, MachineConfig, Memory};
+use proptest::prelude::*;
+
+fn arb_params(n_ptrs: usize, has_red: bool) -> impl Strategy<Value = TransformParams> {
+    let kind = prop_oneof![
+        Just(None),
+        Just(Some(PrefKind::Nta)),
+        Just(Some(PrefKind::T0)),
+        Just(Some(PrefKind::T1)),
+        Just(Some(PrefKind::W)),
+    ];
+    (
+        any::<bool>(),                                   // simd
+        prop_oneof![Just(1u32), Just(2), Just(3), Just(4), Just(5), Just(8), Just(16), Just(32)],
+        if has_red {
+            prop_oneof![Just(1u32), Just(2), Just(3), Just(4), Just(6)].boxed()
+        } else {
+            Just(1u32).boxed()
+        },
+        any::<bool>(),                                   // wnt
+        prop::collection::vec((kind, 0i64..2048), n_ptrs..=n_ptrs),
+        any::<bool>(),                                   // loop_control
+        any::<bool>(),                                   // cisc
+        any::<bool>(),                                   // copy prop
+    )
+        .prop_map(move |(simd, unroll, ae, wnt, pf, lc, cisc, cp)| {
+            let mut p = TransformParams::off();
+            p.simd = simd;
+            p.unroll = unroll;
+            p.accum_expand = ae;
+            p.wnt = wnt;
+            p.prefetch = pf
+                .into_iter()
+                .enumerate()
+                .map(|(i, (kind, dist))| PrefSpec { ptr: PtrId(i as u32), kind, dist })
+                .collect();
+            p.loop_control = lc;
+            p.cisc_memops = cisc;
+            p.copy_prop = cp;
+            p
+        })
+}
+
+/// Run a two-vector kernel and return (ret_f, ret_i, x, y).
+fn exec(
+    src: &str,
+    mach: &MachineConfig,
+    params: &TransformParams,
+    n: usize,
+    alpha: f64,
+    xs: &[f64],
+    ys: &[f64],
+) -> (f64, i64, Vec<f64>, Vec<f64>) {
+    let (ir, rep) = analyze_kernel(src, mach).unwrap();
+    let compiled = compile_ir(&ir, params, &rep)
+        .unwrap_or_else(|e| panic!("compile failed under {params:?}: {e}"));
+    let mut mem = Memory::new(16 << 20);
+    let xa = mem.alloc_vector(n.max(1) as u64, 8);
+    let ya = mem.alloc_vector(n.max(1) as u64, 8);
+    mem.store_f64_slice(xa, xs).unwrap();
+    mem.store_f64_slice(ya, ys).unwrap();
+    let frame = if compiled.frame_bytes > 0 { mem.alloc(compiled.frame_bytes, 16) } else { 0 };
+    let mut cpu = Cpu::new(mach.clone());
+    cpu.flush_caches();
+    let mut ptrs = [xa, ya].into_iter();
+    for slot in &compiled.arg_convention {
+        match slot {
+            ArgSlot::PtrReg(r) => cpu.set_ireg(IReg(*r), ptrs.next().unwrap() as i64),
+            ArgSlot::IntReg(r) => cpu.set_ireg(IReg(*r), n as i64),
+            ArgSlot::FReg(r) => cpu.set_freg_f64(FReg(*r), alpha),
+        }
+    }
+    cpu.set_ireg(IReg(7), frame as i64);
+    cpu.run(&compiled.program, &mut mem).unwrap();
+    (
+        if compiled.ret == RetSlot::F0 { cpu.freg_f64(FReg(0)) } else { 0.0 },
+        if compiled.ret == RetSlot::I0 { cpu.ireg(IReg(0)) } else { 0 },
+        mem.load_f64_slice(xa, n).unwrap(),
+        mem.load_f64_slice(ya, n).unwrap(),
+    )
+}
+
+fn data(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        ((s % 2000) as f64 - 1000.0) / 512.0
+    };
+    ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+}
+
+const DOT: &str = r#"
+ROUTINE dot(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR, N = INT;
+SCALARS :: dot = DOUBLE:OUT, x = DOUBLE, y = DOUBLE;
+ROUT_BEGIN
+  dot = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    y = Y[0];
+    dot += x * y;
+    X += 1;
+    Y += 1;
+  LOOP_END
+  RETURN dot;
+ROUT_END
+"#;
+
+const AXPY: &str = r#"
+ROUTINE axpy(alpha, X, Y, N);
+PARAMS :: alpha = DOUBLE, X = DOUBLE_PTR, Y = DOUBLE_PTR:INOUT, N = INT;
+SCALARS :: x = DOUBLE;
+ROUT_BEGIN
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    x *= alpha;
+    Y[0] += x;
+    X += 1;
+    Y += 1;
+  LOOP_END
+ROUT_END
+"#;
+
+const IAMAX: &str = r#"
+ROUTINE iamax(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: amax = DOUBLE, imax = INT:OUT, x = DOUBLE;
+ROUT_BEGIN
+  amax = -1.0;
+  imax = 0;
+  !! TUNE LOOP
+  LOOP i = N, 0, -1
+  LOOP_BODY
+    x = X[0];
+    x = ABS x;
+    IF (x > amax) GOTO NEWMAX;
+  ENDOFLOOP:
+    X += 1;
+  LOOP_END
+  RETURN imax;
+NEWMAX:
+  amax = x;
+  imax = N - i;
+  GOTO ENDOFLOOP;
+ROUT_END
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ddot is correct under arbitrary parameters, sizes, machines.
+    #[test]
+    fn ddot_correct_under_arbitrary_params(
+        params in arb_params(2, true),
+        n in 0usize..600,
+        seed in 0u64..1000,
+        on_opteron in any::<bool>(),
+    ) {
+        let mach = if on_opteron { opteron() } else { p4e() };
+        let (xs, ys) = data(n, seed);
+        let want: f64 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        let (got, _, x_after, y_after) = exec(DOT, &mach, &params, n, 0.0, &xs, &ys);
+        prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "got {got} want {want} under {params:?}");
+        prop_assert_eq!(x_after, xs, "dot must not write X");
+        prop_assert_eq!(y_after, ys, "dot must not write Y");
+    }
+
+    /// daxpy is bit-exact under arbitrary parameters (no reductions, so
+    /// reassociation cannot change results).
+    #[test]
+    fn daxpy_exact_under_arbitrary_params(
+        params in arb_params(2, false),
+        n in 0usize..600,
+        seed in 0u64..1000,
+    ) {
+        let mach = p4e();
+        let (xs, ys) = data(n, seed);
+        let alpha = 1.25;
+        let (_, _, x_after, y_after) = exec(AXPY, &mach, &params, n, alpha, &xs, &ys);
+        for i in 0..n {
+            prop_assert_eq!(y_after[i], ys[i] + alpha * xs[i], "i={}", i);
+        }
+        prop_assert_eq!(x_after, xs);
+    }
+
+    /// idamax (control flow + cold blocks + unroll) returns the exact
+    /// first-maximum index under arbitrary parameters.
+    #[test]
+    fn idamax_exact_under_arbitrary_params(
+        params in arb_params(1, false),
+        n in 1usize..400,
+        seed in 0u64..1000,
+    ) {
+        let mach = p4e();
+        let (xs, _) = data(n, seed);
+        let want = xs
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v.abs() > bv { (i, v.abs()) } else { (bi, bv) }
+            })
+            .0 as i64;
+        let (_, got, ..) = exec(IAMAX, &mach, &params, n, 0.0, &xs, &xs.clone());
+        prop_assert_eq!(got, want, "n={} params={:?}", n, params);
+    }
+}

@@ -1,0 +1,318 @@
+//! Lexer for the HIL.
+//!
+//! Comments: `#` to end of line. Mark-up: `!!` to end of line is captured
+//! as a [`Tok::Markup`] token so the parser can attach it to the next
+//! statement. Identifiers are case-sensitive; keywords are upper-case.
+
+/// A token with its 1-based source line (for diagnostics).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    /// A `!! ...` mark-up line (content after `!!`, trimmed).
+    Markup(String),
+    // punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    DoubleColon,
+    // operators
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Gt,
+    Ge,
+    Lt,
+    Le,
+    EqEq,
+    Ne,
+    Eof,
+}
+
+/// Lexing failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+impl std::error::Error for LexError {}
+
+/// Tokenize a full source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Token { tok: $t, line })
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'!' if i + 1 < b.len() && b[i + 1] == b'!' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let text = src[start..j].trim().to_string();
+                push!(Tok::Markup(text));
+                i = j;
+            }
+            b'!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                push!(Tok::Ne);
+                i += 2;
+            }
+            b'(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            b'[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            b']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            b',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            b';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            b':' => {
+                if i + 1 < b.len() && b[i + 1] == b':' {
+                    push!(Tok::DoubleColon);
+                    i += 2;
+                } else {
+                    push!(Tok::Colon);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::EqEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                }
+            }
+            b'+' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::PlusAssign);
+                    i += 2;
+                } else {
+                    push!(Tok::Plus);
+                    i += 1;
+                }
+            }
+            b'-' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::MinusAssign);
+                    i += 2;
+                } else {
+                    push!(Tok::Minus);
+                    i += 1;
+                }
+            }
+            b'*' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::StarAssign);
+                    i += 2;
+                } else {
+                    push!(Tok::Star);
+                    i += 1;
+                }
+            }
+            b'/' => {
+                push!(Tok::Slash);
+                i += 1;
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::Ge);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(Tok::Le);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                // Exponent part (1e-3).
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let save = i;
+                    i += 1;
+                    if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                        i += 1;
+                    }
+                    if i < b.len() && b[i].is_ascii_digit() {
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    } else {
+                        i = save;
+                    }
+                }
+                let text = &src[start..i];
+                if text.contains('.') || text.contains('e') || text.contains('E') {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| LexError { line, msg: format!("bad float `{text}`") })?;
+                    push!(Tok::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| LexError { line, msg: format!("bad integer `{text}`") })?;
+                    push!(Tok::Int(v));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_string()));
+            }
+            _ => {
+                return Err(LexError { line, msg: format!("unexpected character `{}`", c as char) })
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            kinds("a += b[0] * 2;"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PlusAssign,
+                Tok::Ident("b".into()),
+                Tok::LBracket,
+                Tok::Int(0),
+                Tok::RBracket,
+                Tok::Star,
+                Tok::Int(2),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_exponents() {
+        assert_eq!(kinds("0.5"), vec![Tok::Float(0.5), Tok::Eof]);
+        assert_eq!(kinds("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+        assert_eq!(kinds("2.5e-2"), vec![Tok::Float(0.025), Tok::Eof]);
+        assert_eq!(kinds("42"), vec![Tok::Int(42), Tok::Eof]);
+    }
+
+    #[test]
+    fn markup_captured() {
+        let toks = kinds("!! TUNE LOOP\nLOOP");
+        assert_eq!(toks[0], Tok::Markup("TUNE LOOP".into()));
+        assert_eq!(toks[1], Tok::Ident("LOOP".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("# a comment\nx"), vec![Tok::Ident("x".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            kinds("> >= < <= == !="),
+            vec![Tok::Gt, Tok::Ge, Tok::Lt, Tok::Le, Tok::EqEq, Tok::Ne, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn double_colon() {
+        assert_eq!(kinds(":: :"), vec![Tok::DoubleColon, Tok::Colon, Tok::Eof]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn negative_handled_as_minus_then_int() {
+        assert_eq!(kinds("-1"), vec![Tok::Minus, Tok::Int(1), Tok::Eof]);
+    }
+}

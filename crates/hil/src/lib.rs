@@ -1,0 +1,75 @@
+//! # ifko-hil — the kernel input language of FKO
+//!
+//! The paper describes FKO's input as a "high-level intermediate language"
+//! (HIL): close to ANSI C in form, with usage rules closer to Fortran 77
+//! (output-array aliasing disallowed unless annotated), plus user mark-up
+//! that replaces front-end analysis — most importantly the flag that marks
+//! the loop the iterative search should tune. This crate implements that
+//! language: lexer ([`lex`]), AST ([`ast`]), recursive-descent parser
+//! ([`parse`]), semantic analysis ([`sema`]) and a pretty-printer
+//! ([`pretty`]).
+//!
+//! The concrete grammar follows the paper's Figure 6 examples:
+//!
+//! ```text
+//! ROUTINE dot(X, Y, N);
+//! PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR, N = INT;
+//! SCALARS :: dot = DOUBLE:OUT, x = DOUBLE, y = DOUBLE;
+//! ROUT_BEGIN
+//!   dot = 0.0;
+//!   !! TUNE LOOP
+//!   LOOP i = 0, N
+//!   LOOP_BODY
+//!     x = X[0];
+//!     y = Y[0];
+//!     dot += x * y;
+//!     X += 1;
+//!     Y += 1;
+//!   LOOP_END
+//!   RETURN dot;
+//! ROUT_END
+//! ```
+//!
+//! Mark-up lines start with `!!` and attach to the next statement:
+//! `!! TUNE LOOP` flags the loop for empirical tuning, `!! NOPREFETCH X`
+//! excludes an array from prefetch candidacy (the paper's "arrays known to
+//! be already in cache"), and `!! ALIAS X Y` permits the otherwise
+//! forbidden aliasing of an output array.
+//!
+//! Loops may also count down (`LOOP i = N, 0, -1`), branches are
+//! `IF (x > amax) GOTO NEWMAX;` with targets declared as `NEWMAX:` — see
+//! the `amax` loop in the paper's Figure 6(b).
+
+pub mod ast;
+pub mod lex;
+pub mod parse;
+pub mod pretty;
+pub mod sema;
+
+pub use ast::{AssignOp, CmpOp, Expr, Intent, LValue, ParamType, Prec, Routine, Stmt, UnOp};
+pub use parse::{parse_routine, ParseError};
+pub use sema::{analyze, SemaError, SemaInfo};
+
+/// Parse and semantically check a routine in one call.
+pub fn compile_frontend(src: &str) -> Result<(ast::Routine, sema::SemaInfo), FrontendError> {
+    let routine = parse::parse_routine(src).map_err(FrontendError::Parse)?;
+    let info = sema::analyze(&routine).map_err(FrontendError::Sema)?;
+    Ok((routine, info))
+}
+
+/// Either phase of front-end failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    Parse(parse::ParseError),
+    Sema(sema::SemaError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Sema(e) => write!(f, "semantic error: {e}"),
+        }
+    }
+}
+impl std::error::Error for FrontendError {}

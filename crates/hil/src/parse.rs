@@ -1,0 +1,606 @@
+//! Recursive-descent parser for the HIL.
+
+use crate::ast::*;
+use crate::lex::{lex, LexError, Tok, Token};
+use std::collections::HashSet;
+
+/// Parse failure with a source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, msg: e.msg }
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    /// Pointer-typed parameter names, needed to distinguish `X += 1;`
+    /// (pointer bump) from scalar accumulation.
+    pointers: HashSet<String>,
+    markup: Markup,
+    /// Pending `TUNE LOOP` mark-up to attach to the next loop.
+    pending_tune: bool,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a complete routine.
+pub fn parse_routine(src: &str) -> PResult<Routine> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        pointers: HashSet::new(),
+        markup: Markup::default(),
+        pending_tune: false,
+    };
+    p.routine()
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError { line: self.line(), msg: msg.into() })
+    }
+    fn expect(&mut self, t: Tok, what: &str) -> PResult<()> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+    fn ident(&mut self, what: &str) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                line: self.line(),
+                msg: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+    fn keyword(&mut self, kw: &str) -> PResult<()> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {other:?}")),
+        }
+    }
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    /// Consume any mark-up tokens, folding them into routine/pending state.
+    fn eat_markup(&mut self) -> PResult<()> {
+        while let Tok::Markup(m) = self.peek() {
+            let m = m.clone();
+            self.bump();
+            let words: Vec<&str> = m.split_whitespace().collect();
+            match words.as_slice() {
+                ["TUNE", "LOOP"] => self.pending_tune = true,
+                ["NOPREFETCH", arr] => self.markup.no_prefetch.push(arr.to_string()),
+                ["ALIAS", a, b] => self.markup.alias_ok.push((a.to_string(), b.to_string())),
+                _ => return self.err(format!("unknown mark-up `!! {m}`")),
+            }
+        }
+        Ok(())
+    }
+
+    fn routine(&mut self) -> PResult<Routine> {
+        self.eat_markup()?;
+        self.keyword("ROUTINE")?;
+        let name = self.ident("routine name")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let mut order = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                order.push(self.ident("parameter name")?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        self.expect(Tok::Semi, "`;`")?;
+
+        self.keyword("PARAMS")?;
+        self.expect(Tok::DoubleColon, "`::`")?;
+        let mut params = Vec::new();
+        loop {
+            let pname = self.ident("parameter name")?;
+            self.expect(Tok::Assign, "`=`")?;
+            let ty = self.param_type()?;
+            if matches!(ty, ParamType::Ptr { .. }) {
+                self.pointers.insert(pname.clone());
+            }
+            params.push(Param { name: pname, ty });
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::Semi, "`;`")?;
+        // All declared names must appear in the header list and vice versa.
+        for p in &params {
+            if !order.contains(&p.name) {
+                return self.err(format!("parameter `{}` not in routine header", p.name));
+            }
+        }
+        for o in &order {
+            if !params.iter().any(|p| &p.name == o) {
+                return self.err(format!("header parameter `{o}` has no PARAMS declaration"));
+            }
+        }
+        // Reorder params to header order.
+        params.sort_by_key(|p| order.iter().position(|o| o == &p.name).unwrap());
+
+        let mut scalars = Vec::new();
+        if self.at_keyword("SCALARS") {
+            self.bump();
+            self.expect(Tok::DoubleColon, "`::`")?;
+            loop {
+                let sname = self.ident("scalar name")?;
+                self.expect(Tok::Assign, "`=`")?;
+                let tyname = self.ident("scalar type")?;
+                let prec = match tyname.as_str() {
+                    "INT" => None,
+                    "FLOAT" => Some(Prec::S),
+                    "DOUBLE" => Some(Prec::D),
+                    other => return self.err(format!("unknown scalar type `{other}`")),
+                };
+                let mut out = false;
+                if *self.peek() == Tok::Colon {
+                    self.bump();
+                    self.keyword("OUT")?;
+                    out = true;
+                }
+                scalars.push(ScalarDecl { name: sname, prec, out });
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::Semi, "`;`")?;
+        }
+
+        self.eat_markup()?;
+        self.keyword("ROUT_BEGIN")?;
+        let body = self.stmts_until("ROUT_END")?;
+        self.keyword("ROUT_END")?;
+        Ok(Routine { name, params, scalars, body, markup: std::mem::take(&mut self.markup) })
+    }
+
+    fn param_type(&mut self) -> PResult<ParamType> {
+        let tyname = self.ident("parameter type")?;
+        let ty = match tyname.as_str() {
+            "INT" => ParamType::Int,
+            "FLOAT" => ParamType::Scalar(Prec::S),
+            "DOUBLE" => ParamType::Scalar(Prec::D),
+            "FLOAT_PTR" | "DOUBLE_PTR" => {
+                let prec = if tyname.starts_with("FLOAT") { Prec::S } else { Prec::D };
+                let mut intent = Intent::In;
+                if *self.peek() == Tok::Colon {
+                    self.bump();
+                    let iname = self.ident("intent")?;
+                    intent = match iname.as_str() {
+                        "IN" => Intent::In,
+                        "OUT" => Intent::Out,
+                        "INOUT" => Intent::InOut,
+                        other => return self.err(format!("unknown intent `{other}`")),
+                    };
+                }
+                ParamType::Ptr { prec, intent }
+            }
+            other => return self.err(format!("unknown parameter type `{other}`")),
+        };
+        Ok(ty)
+    }
+
+    fn stmts_until(&mut self, end_kw: &str) -> PResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        loop {
+            self.eat_markup()?;
+            if self.at_keyword(end_kw) || *self.peek() == Tok::Eof {
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        if self.at_keyword("LOOP") {
+            return self.loop_stmt();
+        }
+        if self.at_keyword("IF") {
+            return self.if_goto();
+        }
+        if self.at_keyword("GOTO") {
+            self.bump();
+            let l = self.ident("label")?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Stmt::Goto(l));
+        }
+        if self.at_keyword("RETURN") {
+            self.bump();
+            let e = self.expr()?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Stmt::Return(e));
+        }
+        // Label or assignment: both start with an identifier.
+        let name = self.ident("statement")?;
+        if *self.peek() == Tok::Colon {
+            self.bump();
+            return Ok(Stmt::Label(name));
+        }
+        // lvalue: `name` or `name[k]`
+        let lhs = if *self.peek() == Tok::LBracket {
+            self.bump();
+            let off = self.int_const()?;
+            self.expect(Tok::RBracket, "`]`")?;
+            LValue::ArrayElem { ptr: name.clone(), offset: off }
+        } else {
+            LValue::Scalar(name.clone())
+        };
+        let op = match self.bump() {
+            Tok::Assign => AssignOp::Set,
+            Tok::PlusAssign => AssignOp::Add,
+            Tok::MinusAssign => AssignOp::Sub,
+            Tok::StarAssign => AssignOp::Mul,
+            other => {
+                return Err(ParseError {
+                    line: self.line(),
+                    msg: format!("expected assignment operator, found {other:?}"),
+                })
+            }
+        };
+        let rhs = self.expr()?;
+        self.expect(Tok::Semi, "`;`")?;
+        // Pointer bump: `X += k;` where X is a pointer parameter.
+        if let (LValue::Scalar(n), AssignOp::Add, Expr::IConst(k)) = (&lhs, op, &rhs) {
+            if self.pointers.contains(n) {
+                return Ok(Stmt::PtrBump { ptr: n.clone(), elems: *k });
+            }
+        }
+        if let (LValue::Scalar(n), AssignOp::Sub, Expr::IConst(k)) = (&lhs, op, &rhs) {
+            if self.pointers.contains(n) {
+                return Ok(Stmt::PtrBump { ptr: n.clone(), elems: -*k });
+            }
+        }
+        Ok(Stmt::Assign { lhs, op, rhs })
+    }
+
+    fn loop_stmt(&mut self) -> PResult<Stmt> {
+        let tuned = std::mem::take(&mut self.pending_tune);
+        self.keyword("LOOP")?;
+        let var = self.ident("loop variable")?;
+        self.expect(Tok::Assign, "`=`")?;
+        let start = self.expr()?;
+        self.expect(Tok::Comma, "`,`")?;
+        let end = self.expr()?;
+        let mut down = false;
+        if *self.peek() == Tok::Comma {
+            self.bump();
+            let step = self.int_const()?;
+            match step {
+                -1 => down = true,
+                1 => down = false,
+                other => return self.err(format!("loop step must be 1 or -1, got {other}")),
+            }
+        }
+        self.keyword("LOOP_BODY")?;
+        let body = self.stmts_until("LOOP_END")?;
+        self.keyword("LOOP_END")?;
+        Ok(Stmt::Loop(Loop { var, start, end, down, body, tuned }))
+    }
+
+    fn if_goto(&mut self) -> PResult<Stmt> {
+        self.keyword("IF")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let lhs = self.expr()?;
+        let cmp = match self.bump() {
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::EqEq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            other => {
+                return Err(ParseError {
+                    line: self.line(),
+                    msg: format!("expected comparison, found {other:?}"),
+                })
+            }
+        };
+        let rhs = self.expr()?;
+        self.expect(Tok::RParen, "`)`")?;
+        self.keyword("GOTO")?;
+        let label = self.ident("label")?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(Stmt::IfGoto { lhs, cmp, rhs, label })
+    }
+
+    fn int_const(&mut self) -> PResult<i64> {
+        let neg = if *self.peek() == Tok::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            Tok::Int(v) => Ok(if neg { -v } else { v }),
+            other => Err(ParseError {
+                line: self.line(),
+                msg: format!("expected integer constant, found {other:?}"),
+            }),
+        }
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinaryOp::Add,
+                Tok::Minus => BinaryOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    // term := factor (('*'|'/') factor)*
+    fn term(&mut self) -> PResult<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinaryOp::Mul,
+                Tok::Slash => BinaryOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn factor(&mut self) -> PResult<Expr> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::IConst(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::FConst(v))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.factor()?)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) if name == "ABS" => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Abs, Box::new(self.factor()?)))
+            }
+            Tok::Ident(name) if name == "SQRT" => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Sqrt, Box::new(self.factor()?)))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if *self.peek() == Tok::LBracket {
+                    self.bump();
+                    let off = self.int_const()?;
+                    self.expect(Tok::RBracket, "`]`")?;
+                    Ok(Expr::Load { ptr: name, offset: off })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOT: &str = r#"
+ROUTINE dot(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR, N = INT;
+SCALARS :: dot = DOUBLE:OUT, x = DOUBLE, y = DOUBLE;
+ROUT_BEGIN
+  dot = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    y = Y[0];
+    dot += x * y;
+    X += 1;
+    Y += 1;
+  LOOP_END
+  RETURN dot;
+ROUT_END
+"#;
+
+    #[test]
+    fn parses_dot() {
+        let r = parse_routine(DOT).unwrap();
+        assert_eq!(r.name, "dot");
+        assert_eq!(r.params.len(), 3);
+        assert_eq!(r.scalars.len(), 3);
+        let l = r.tuned_loop().expect("tuned loop");
+        assert_eq!(l.var, "i");
+        assert!(!l.down);
+        assert_eq!(l.body.len(), 5);
+        assert!(matches!(l.body[3], Stmt::PtrBump { ref ptr, elems: 1 } if ptr == "X"));
+    }
+
+    #[test]
+    fn parses_amax_style_downward_loop_and_branches() {
+        let src = r#"
+ROUTINE amax(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: amax = DOUBLE, imax = INT:OUT, x = DOUBLE;
+ROUT_BEGIN
+  !! TUNE LOOP
+  LOOP i = N, 0, -1
+  LOOP_BODY
+    x = X[0];
+    x = ABS x;
+    IF (x > amax) GOTO NEWMAX;
+  ENDOFLOOP:
+    X += 1;
+  LOOP_END
+  RETURN imax;
+NEWMAX:
+  amax = x;
+  imax = N - i;
+  GOTO ENDOFLOOP;
+ROUT_END
+"#;
+        let r = parse_routine(src).unwrap();
+        let l = r.tuned_loop().unwrap();
+        assert!(l.down);
+        assert!(l.body.iter().any(|s| matches!(s, Stmt::IfGoto { .. })));
+        assert!(l.body.iter().any(|s| matches!(s, Stmt::Label(n) if n == "ENDOFLOOP")));
+        // Trailing statements after RETURN (the out-of-line NEWMAX block).
+        assert!(r.body.iter().any(|s| matches!(s, Stmt::Label(n) if n == "NEWMAX")));
+    }
+
+    #[test]
+    fn markup_noprefetch_and_alias() {
+        let src = r#"
+!! NOPREFETCH X
+!! ALIAS X Y
+ROUTINE f(X, Y, N);
+PARAMS :: X = FLOAT_PTR, Y = FLOAT_PTR:OUT, N = INT;
+ROUT_BEGIN
+ROUT_END
+"#;
+        let r = parse_routine(src).unwrap();
+        assert_eq!(r.markup.no_prefetch, vec!["X"]);
+        assert_eq!(r.markup.alias_ok, vec![("X".to_string(), "Y".to_string())]);
+    }
+
+    #[test]
+    fn param_order_follows_header() {
+        let src = r#"
+ROUTINE f(N, X);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+ROUT_BEGIN
+ROUT_END
+"#;
+        let r = parse_routine(src).unwrap();
+        assert_eq!(r.params[0].name, "N");
+        assert_eq!(r.params[1].name, "X");
+    }
+
+    #[test]
+    fn undeclared_header_param_rejected() {
+        let src = r#"
+ROUTINE f(X, M);
+PARAMS :: X = DOUBLE_PTR;
+ROUT_BEGIN
+ROUT_END
+"#;
+        assert!(parse_routine(src).is_err());
+    }
+
+    #[test]
+    fn scalar_minus_const_is_not_ptr_bump() {
+        let src = r#"
+ROUTINE f(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: s = DOUBLE;
+ROUT_BEGIN
+  s += 1;
+  X += 2;
+  X -= 1;
+ROUT_END
+"#;
+        let r = parse_routine(src).unwrap();
+        assert!(matches!(r.body[0], Stmt::Assign { .. }));
+        assert!(matches!(r.body[1], Stmt::PtrBump { elems: 2, .. }));
+        assert!(matches!(r.body[2], Stmt::PtrBump { elems: -1, .. }));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let src = r#"
+ROUTINE f(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: s = DOUBLE, a = DOUBLE, b = DOUBLE;
+ROUT_BEGIN
+  s = a + b * 2.0;
+ROUT_END
+"#;
+        let r = parse_routine(src).unwrap();
+        match &r.body[0] {
+            Stmt::Assign { rhs: Expr::Bin(crate::ast::BinaryOp::Add, _, rhs), .. } => {
+                assert!(matches!(**rhs, Expr::Bin(crate::ast::BinaryOp::Mul, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_step_rejected() {
+        let src = r#"
+ROUTINE f(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+ROUT_BEGIN
+  LOOP i = 0, N, -2
+  LOOP_BODY
+  LOOP_END
+ROUT_END
+"#;
+        assert!(parse_routine(src).is_err());
+    }
+
+    #[test]
+    fn unknown_markup_rejected() {
+        let src = "!! FROBNICATE\nROUTINE f(N);\nPARAMS :: N = INT;\nROUT_BEGIN\nROUT_END";
+        assert!(parse_routine(src).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Pretty-printer: renders an AST back to parseable HIL source. Used for
+//! diagnostics and round-trip testing of the front end.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a routine as HIL source.
+pub fn print_routine(r: &Routine) -> String {
+    let mut s = String::new();
+    for a in &r.markup.no_prefetch {
+        let _ = writeln!(s, "!! NOPREFETCH {a}");
+    }
+    for (a, b) in &r.markup.alias_ok {
+        let _ = writeln!(s, "!! ALIAS {a} {b}");
+    }
+    let names: Vec<&str> = r.params.iter().map(|p| p.name.as_str()).collect();
+    let _ = writeln!(s, "ROUTINE {}({});", r.name, names.join(", "));
+    let decls: Vec<String> = r
+        .params
+        .iter()
+        .map(|p| {
+            let ty = match p.ty {
+                ParamType::Int => "INT".to_string(),
+                ParamType::Scalar(Prec::S) => "FLOAT".to_string(),
+                ParamType::Scalar(Prec::D) => "DOUBLE".to_string(),
+                ParamType::Ptr { prec, intent } => {
+                    let base = match prec {
+                        Prec::S => "FLOAT_PTR",
+                        Prec::D => "DOUBLE_PTR",
+                    };
+                    match intent {
+                        Intent::In => base.to_string(),
+                        Intent::Out => format!("{base}:OUT"),
+                        Intent::InOut => format!("{base}:INOUT"),
+                    }
+                }
+            };
+            format!("{} = {}", p.name, ty)
+        })
+        .collect();
+    let _ = writeln!(s, "PARAMS :: {};", decls.join(", "));
+    if !r.scalars.is_empty() {
+        let decls: Vec<String> = r
+            .scalars
+            .iter()
+            .map(|d| {
+                let ty = match d.prec {
+                    None => "INT",
+                    Some(Prec::S) => "FLOAT",
+                    Some(Prec::D) => "DOUBLE",
+                };
+                if d.out {
+                    format!("{} = {}:OUT", d.name, ty)
+                } else {
+                    format!("{} = {}", d.name, ty)
+                }
+            })
+            .collect();
+        let _ = writeln!(s, "SCALARS :: {};", decls.join(", "));
+    }
+    let _ = writeln!(s, "ROUT_BEGIN");
+    print_stmts(&mut s, &r.body, 1);
+    let _ = writeln!(s, "ROUT_END");
+    s
+}
+
+fn indent(s: &mut String, level: usize) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+fn print_stmts(s: &mut String, stmts: &[Stmt], level: usize) {
+    for st in stmts {
+        match st {
+            Stmt::Assign { lhs, op, rhs } => {
+                indent(s, level);
+                let opstr = match op {
+                    AssignOp::Set => "=",
+                    AssignOp::Add => "+=",
+                    AssignOp::Sub => "-=",
+                    AssignOp::Mul => "*=",
+                };
+                let _ = writeln!(s, "{} {} {};", print_lvalue(lhs), opstr, print_expr(rhs));
+            }
+            Stmt::PtrBump { ptr, elems } => {
+                indent(s, level);
+                if *elems >= 0 {
+                    let _ = writeln!(s, "{ptr} += {elems};");
+                } else {
+                    let _ = writeln!(s, "{ptr} -= {};", -elems);
+                }
+            }
+            Stmt::Loop(l) => {
+                if l.tuned {
+                    indent(s, level);
+                    let _ = writeln!(s, "!! TUNE LOOP");
+                }
+                indent(s, level);
+                if l.down {
+                    let _ = writeln!(
+                        s,
+                        "LOOP {} = {}, {}, -1",
+                        l.var,
+                        print_expr(&l.start),
+                        print_expr(&l.end)
+                    );
+                } else {
+                    let _ = writeln!(
+                        s,
+                        "LOOP {} = {}, {}",
+                        l.var,
+                        print_expr(&l.start),
+                        print_expr(&l.end)
+                    );
+                }
+                indent(s, level);
+                let _ = writeln!(s, "LOOP_BODY");
+                print_stmts(s, &l.body, level + 1);
+                indent(s, level);
+                let _ = writeln!(s, "LOOP_END");
+            }
+            Stmt::IfGoto { lhs, cmp, rhs, label } => {
+                indent(s, level);
+                let c = match cmp {
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Eq => "==",
+                    CmpOp::Ne => "!=",
+                };
+                let _ =
+                    writeln!(s, "IF ({} {} {}) GOTO {};", print_expr(lhs), c, print_expr(rhs), label);
+            }
+            Stmt::Goto(l) => {
+                indent(s, level);
+                let _ = writeln!(s, "GOTO {l};");
+            }
+            Stmt::Label(l) => {
+                let _ = writeln!(s, "{l}:");
+            }
+            Stmt::Return(e) => {
+                indent(s, level);
+                let _ = writeln!(s, "RETURN {};", print_expr(e));
+            }
+        }
+    }
+}
+
+fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Scalar(n) => n.clone(),
+        LValue::ArrayElem { ptr, offset } => format!("{ptr}[{offset}]"),
+    }
+}
+
+/// Render an expression (fully parenthesized where needed).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::FConst(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::IConst(v) => format!("{v}"),
+        Expr::Var(n) => n.clone(),
+        Expr::Load { ptr, offset } => format!("{ptr}[{offset}]"),
+        Expr::Unary(UnOp::Neg, inner) => format!("-{}", print_factor(inner)),
+        Expr::Unary(UnOp::Abs, inner) => format!("ABS {}", print_factor(inner)),
+        Expr::Unary(UnOp::Sqrt, inner) => format!("SQRT {}", print_factor(inner)),
+        Expr::Bin(op, a, b) => {
+            let o = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Div => "/",
+            };
+            format!("{} {} {}", print_factor(a), o, print_factor(b))
+        }
+    }
+}
+
+fn print_factor(e: &Expr) -> String {
+    match e {
+        Expr::Bin(..) => format!("({})", print_expr(e)),
+        _ => print_expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_routine;
+
+    const DOT: &str = r#"
+ROUTINE dot(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR, N = INT;
+SCALARS :: dot = DOUBLE:OUT, x = DOUBLE, y = DOUBLE;
+ROUT_BEGIN
+  dot = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    y = Y[0];
+    dot += x * y;
+    X += 1;
+    Y += 1;
+  LOOP_END
+  RETURN dot;
+ROUT_END
+"#;
+
+    #[test]
+    fn round_trip_is_stable() {
+        let r1 = parse_routine(DOT).unwrap();
+        let printed = print_routine(&r1);
+        let r2 = parse_routine(&printed).expect("printed source must re-parse");
+        assert_eq!(r1, r2, "round trip must preserve the AST");
+        // Second round trip must be a fixed point textually.
+        assert_eq!(printed, print_routine(&r2));
+    }
+
+    #[test]
+    fn prints_downward_loop_and_branch() {
+        let src = r#"
+ROUTINE amax(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: amax = DOUBLE, imax = INT:OUT, x = DOUBLE;
+ROUT_BEGIN
+  LOOP i = N, 0, -1
+  LOOP_BODY
+    x = X[0];
+    x = ABS x;
+    IF (x > amax) GOTO NEWMAX;
+  ENDOFLOOP:
+    X += 1;
+  LOOP_END
+  RETURN imax;
+NEWMAX:
+  amax = x;
+  imax = N - i;
+  GOTO ENDOFLOOP;
+ROUT_END
+"#;
+        let r1 = parse_routine(src).unwrap();
+        let printed = print_routine(&r1);
+        assert!(printed.contains(", -1"));
+        assert!(printed.contains("IF (x > amax) GOTO NEWMAX;"));
+        let r2 = parse_routine(&printed).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn expr_precedence_preserved() {
+        let e = Expr::Bin(
+            BinaryOp::Mul,
+            Box::new(Expr::Bin(
+                BinaryOp::Add,
+                Box::new(Expr::Var("a".into())),
+                Box::new(Expr::Var("b".into())),
+            )),
+            Box::new(Expr::Var("c".into())),
+        );
+        assert_eq!(print_expr(&e), "(a + b) * c");
+    }
+}

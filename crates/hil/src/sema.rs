@@ -1,0 +1,466 @@
+//! Semantic analysis: symbol resolution, type checking, Fortran-77-style
+//! intent/aliasing rules, and label checking.
+
+use crate::ast::*;
+use std::collections::{HashMap, HashSet};
+
+/// Kind of a resolved symbol.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SymKind {
+    IntParam,
+    FScalarParam(Prec),
+    Ptr { prec: Prec, intent: Intent },
+    IntScalar,
+    FScalar(Prec),
+    LoopVar,
+}
+
+/// Result of semantic analysis.
+#[derive(Clone, Debug, Default)]
+pub struct SemaInfo {
+    /// Every declared symbol.
+    pub symbols: HashMap<String, SymKindOwned>,
+    /// The single floating-point precision used by the routine's data.
+    pub prec: Option<Prec>,
+    /// Name of the OUT scalar (routine result), if any.
+    pub out_scalar: Option<String>,
+    /// Whether a `!! TUNE LOOP` exists.
+    pub has_tuned_loop: bool,
+}
+
+/// Owned variant of [`SymKind`] stored in the table.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SymKindOwned(pub SymKind);
+
+/// Semantic failure.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SemaError(pub String);
+
+impl std::fmt::Display for SemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for SemaError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SemaError> {
+    Err(SemaError(msg.into()))
+}
+
+/// Analyze a routine.
+pub fn analyze(r: &Routine) -> Result<SemaInfo, SemaError> {
+    let mut info = SemaInfo::default();
+    let mut precs: HashSet<Prec> = HashSet::new();
+
+    for p in &r.params {
+        let kind = match p.ty {
+            ParamType::Int => SymKind::IntParam,
+            ParamType::Scalar(prec) => {
+                precs.insert(prec);
+                SymKind::FScalarParam(prec)
+            }
+            ParamType::Ptr { prec, intent } => {
+                precs.insert(prec);
+                SymKind::Ptr { prec, intent }
+            }
+        };
+        if info.symbols.insert(p.name.clone(), SymKindOwned(kind)).is_some() {
+            return err(format!("duplicate symbol `{}`", p.name));
+        }
+    }
+    for s in &r.scalars {
+        let kind = match s.prec {
+            None => SymKind::IntScalar,
+            Some(prec) => {
+                precs.insert(prec);
+                SymKind::FScalar(prec)
+            }
+        };
+        if info.symbols.insert(s.name.clone(), SymKindOwned(kind)).is_some() {
+            return err(format!("duplicate symbol `{}`", s.name));
+        }
+        if s.out {
+            if info.out_scalar.is_some() {
+                return err("multiple OUT scalars");
+            }
+            info.out_scalar = Some(s.name.clone());
+        }
+    }
+    if precs.len() > 1 {
+        return err("mixed single/double precision in one routine is not supported");
+    }
+    info.prec = precs.into_iter().next();
+
+    // Collect labels (at any nesting level) and check uses; visit statements.
+    let mut labels = HashSet::new();
+    collect_labels(&r.body, &mut labels);
+    let mut ctx = Ctx { info: &mut info, labels: &labels, routine: r, loop_vars: Vec::new() };
+    ctx.stmts(&r.body)?;
+    info.has_tuned_loop = r.tuned_loop().is_some();
+
+    // Mark-up references must name real arrays.
+    for a in &r.markup.no_prefetch {
+        match info.symbols.get(a) {
+            Some(SymKindOwned(SymKind::Ptr { .. })) => {}
+            _ => return err(format!("NOPREFETCH names unknown array `{a}`")),
+        }
+    }
+    Ok(info)
+}
+
+fn collect_labels(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Label(l) => {
+                out.insert(l.clone());
+            }
+            Stmt::Loop(l) => collect_labels(&l.body, out),
+            _ => {}
+        }
+    }
+}
+
+struct Ctx<'a> {
+    info: &'a mut SemaInfo,
+    labels: &'a HashSet<String>,
+    routine: &'a Routine,
+    loop_vars: Vec<String>,
+}
+
+impl Ctx<'_> {
+    fn kind(&self, name: &str) -> Option<SymKind> {
+        if self.loop_vars.iter().any(|v| v == name) {
+            return Some(SymKind::LoopVar);
+        }
+        self.info.symbols.get(name).map(|k| k.0)
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), SemaError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), SemaError> {
+        match s {
+            Stmt::Assign { lhs, op: _, rhs } => {
+                let lty = self.lvalue(lhs)?;
+                let rty = self.expr(rhs)?;
+                match (lty, rty) {
+                    (Ty::Int, Ty::Int) => Ok(()),
+                    (Ty::F(_), Ty::F(_)) | (Ty::F(_), Ty::Int) => Ok(()),
+                    (Ty::Int, Ty::F(_)) => {
+                        err("cannot assign floating value to integer location")
+                    }
+                }
+            }
+            Stmt::PtrBump { ptr, elems: _ } => match self.kind(ptr) {
+                Some(SymKind::Ptr { .. }) => Ok(()),
+                _ => err(format!("`{ptr} += k` requires a pointer parameter")),
+            },
+            Stmt::Loop(l) => {
+                match self.kind(&l.var) {
+                    None => {}
+                    Some(_) => {
+                        return err(format!("loop variable `{}` shadows a declaration", l.var))
+                    }
+                }
+                let st = self.expr(&l.start)?;
+                let en = self.expr(&l.end)?;
+                if st != Ty::Int || en != Ty::Int {
+                    return err("loop bounds must be integers");
+                }
+                // The variable stays visible after the loop: out-of-line
+                // cold blocks (e.g. the paper's NEWMAX block) read it.
+                self.loop_vars.push(l.var.clone());
+                self.stmts(&l.body)
+            }
+            Stmt::IfGoto { lhs, cmp: _, rhs, label } => {
+                let a = self.expr(lhs)?;
+                let b = self.expr(rhs)?;
+                match (a, b) {
+                    (Ty::Int, Ty::Int) | (Ty::F(_), Ty::F(_)) | (Ty::F(_), Ty::Int)
+                    | (Ty::Int, Ty::F(_)) => {}
+                }
+                if !self.labels.contains(label) {
+                    return err(format!("GOTO to undefined label `{label}`"));
+                }
+                Ok(())
+            }
+            Stmt::Goto(label) => {
+                if !self.labels.contains(label) {
+                    return err(format!("GOTO to undefined label `{label}`"));
+                }
+                Ok(())
+            }
+            Stmt::Label(_) => Ok(()),
+            Stmt::Return(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn lvalue(&mut self, lv: &LValue) -> Result<Ty, SemaError> {
+        match lv {
+            LValue::Scalar(name) => match self.kind(name) {
+                Some(SymKind::FScalar(p)) | Some(SymKind::FScalarParam(p)) => Ok(Ty::F(p)),
+                Some(SymKind::IntScalar) => Ok(Ty::Int),
+                Some(SymKind::LoopVar) => err(format!("cannot assign to loop variable `{name}`")),
+                Some(SymKind::IntParam) => err(format!("cannot assign to INT parameter `{name}`")),
+                Some(SymKind::Ptr { .. }) => {
+                    err(format!("cannot assign to pointer `{name}` (use `{name} += k`)"))
+                }
+                None => err(format!("unknown symbol `{name}`")),
+            },
+            LValue::ArrayElem { ptr, offset: _ } => match self.kind(ptr) {
+                Some(SymKind::Ptr { prec, intent }) => {
+                    if intent == Intent::In {
+                        return err(format!(
+                            "store through IN pointer `{ptr}` (declare it :OUT or :INOUT)"
+                        ));
+                    }
+                    Ok(Ty::F(prec))
+                }
+                _ => err(format!("`{ptr}[..]` requires a pointer parameter")),
+            },
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Ty, SemaError> {
+        match e {
+            Expr::FConst(_) => {
+                Ok(Ty::F(self.info.prec.unwrap_or(Prec::D)))
+            }
+            Expr::IConst(_) => Ok(Ty::Int),
+            Expr::Var(name) => match self.kind(name) {
+                Some(SymKind::FScalar(p)) | Some(SymKind::FScalarParam(p)) => Ok(Ty::F(p)),
+                Some(SymKind::IntScalar) | Some(SymKind::IntParam) | Some(SymKind::LoopVar) => {
+                    Ok(Ty::Int)
+                }
+                Some(SymKind::Ptr { .. }) => {
+                    err(format!("pointer `{name}` used as a value (subscript it)"))
+                }
+                None => err(format!("unknown symbol `{name}`")),
+            },
+            Expr::Load { ptr, offset: _ } => match self.kind(ptr) {
+                Some(SymKind::Ptr { prec, .. }) => Ok(Ty::F(prec)),
+                _ => err(format!("`{ptr}[..]` requires a pointer parameter")),
+            },
+            Expr::Unary(op, inner) => {
+                let t = self.expr(inner)?;
+                match (op, t) {
+                    (UnOp::Abs, Ty::F(p)) => Ok(Ty::F(p)),
+                    (UnOp::Abs, Ty::Int) => err("ABS of an integer is not supported"),
+                    (UnOp::Sqrt, Ty::F(p)) => Ok(Ty::F(p)),
+                    (UnOp::Sqrt, Ty::Int) => err("SQRT of an integer is not supported"),
+                    (UnOp::Neg, t) => Ok(t),
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                let ta = self.expr(a)?;
+                let tb = self.expr(b)?;
+                match (ta, tb) {
+                    (Ty::Int, Ty::Int) => Ok(Ty::Int),
+                    (Ty::F(p), _) | (_, Ty::F(p)) => Ok(Ty::F(p)),
+                }
+            }
+        }
+    }
+}
+
+/// Internal type lattice.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Ty {
+    Int,
+    F(Prec),
+}
+
+// Unused import guard: Routine is used via Ctx.
+impl Ctx<'_> {
+    #[allow(dead_code)]
+    fn routine_name(&self) -> &str {
+        &self.routine.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_routine;
+
+    fn check(src: &str) -> Result<SemaInfo, SemaError> {
+        analyze(&parse_routine(src).unwrap())
+    }
+
+    const OK_DOT: &str = r#"
+ROUTINE dot(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = DOUBLE_PTR, N = INT;
+SCALARS :: dot = DOUBLE:OUT, x = DOUBLE, y = DOUBLE;
+ROUT_BEGIN
+  dot = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    y = Y[0];
+    dot += x * y;
+    X += 1;
+    Y += 1;
+  LOOP_END
+  RETURN dot;
+ROUT_END
+"#;
+
+    #[test]
+    fn dot_passes_and_reports() {
+        let info = check(OK_DOT).unwrap();
+        assert_eq!(info.prec, Some(Prec::D));
+        assert_eq!(info.out_scalar.as_deref(), Some("dot"));
+        assert!(info.has_tuned_loop);
+    }
+
+    #[test]
+    fn store_through_in_pointer_rejected() {
+        let src = r#"
+ROUTINE f(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: t = DOUBLE;
+ROUT_BEGIN
+  X[0] = 1.0;
+ROUT_END
+"#;
+        let e = check(src).unwrap_err();
+        assert!(e.0.contains("IN pointer"), "{e}");
+    }
+
+    #[test]
+    fn store_through_out_pointer_ok() {
+        let src = r#"
+ROUTINE f(X, N);
+PARAMS :: X = DOUBLE_PTR:OUT, N = INT;
+ROUT_BEGIN
+  X[0] = 1.0;
+ROUT_END
+"#;
+        assert!(check(src).is_ok());
+    }
+
+    #[test]
+    fn mixed_precision_rejected() {
+        let src = r#"
+ROUTINE f(X, Y, N);
+PARAMS :: X = DOUBLE_PTR, Y = FLOAT_PTR, N = INT;
+ROUT_BEGIN
+ROUT_END
+"#;
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let src = r#"
+ROUTINE f(N);
+PARAMS :: N = INT;
+SCALARS :: s = DOUBLE;
+ROUT_BEGIN
+  s = zz;
+ROUT_END
+"#;
+        assert!(check(src).unwrap_err().0.contains("unknown symbol"));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let src = r#"
+ROUTINE f(N);
+PARAMS :: N = INT;
+ROUT_BEGIN
+  GOTO nowhere;
+ROUT_END
+"#;
+        assert!(check(src).unwrap_err().0.contains("undefined label"));
+    }
+
+    #[test]
+    fn loop_var_assignment_rejected() {
+        let src = r#"
+ROUTINE f(N);
+PARAMS :: N = INT;
+SCALARS :: s = INT;
+ROUT_BEGIN
+  LOOP i = 0, N
+  LOOP_BODY
+    i = 3;
+  LOOP_END
+ROUT_END
+"#;
+        assert!(check(src).unwrap_err().0.contains("loop variable"));
+    }
+
+    #[test]
+    fn loop_var_readable_as_int() {
+        let src = r#"
+ROUTINE f(N);
+PARAMS :: N = INT;
+SCALARS :: s = INT;
+ROUT_BEGIN
+  LOOP i = 0, N
+  LOOP_BODY
+    s = N - i;
+  LOOP_END
+ROUT_END
+"#;
+        assert!(check(src).is_ok());
+    }
+
+    #[test]
+    fn float_to_int_assignment_rejected() {
+        let src = r#"
+ROUTINE f(N);
+PARAMS :: N = INT;
+SCALARS :: s = INT, x = DOUBLE;
+ROUT_BEGIN
+  s = x;
+ROUT_END
+"#;
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let src = r#"
+ROUTINE f(N);
+PARAMS :: N = INT;
+SCALARS :: N = DOUBLE;
+ROUT_BEGIN
+ROUT_END
+"#;
+        assert!(check(src).unwrap_err().0.contains("duplicate"));
+    }
+
+    #[test]
+    fn noprefetch_must_name_array() {
+        let src = r#"
+!! NOPREFETCH Q
+ROUTINE f(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+ROUT_BEGIN
+ROUT_END
+"#;
+        assert!(check(src).unwrap_err().0.contains("NOPREFETCH"));
+    }
+
+    #[test]
+    fn multiple_out_scalars_rejected() {
+        let src = r#"
+ROUTINE f(N);
+PARAMS :: N = INT;
+SCALARS :: a = DOUBLE:OUT, b = DOUBLE:OUT;
+ROUT_BEGIN
+ROUT_END
+"#;
+        assert!(check(src).unwrap_err().0.contains("multiple OUT"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based front-end tests: generated routines survive a
+//! pretty-print → re-parse round trip, and the lexer never panics.
+
+use ifko_hil::ast::*;
+use ifko_hil::{parse_routine, pretty};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid the fixed names used elsewhere in the generated routine
+    // (pointers, N, and the loop variable `i`).
+    "[a-z][a-z0-9_]{0,6}".prop_filter("reserved", |s| {
+        !matches!(s.as_str(), "i" | "px" | "py" | "nn" | "gen")
+    })
+}
+
+fn fexpr(vars: Vec<String>, ptrs: Vec<String>) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(|v| Expr::FConst(v as f64 * 0.5)),
+        prop::sample::select(vars).prop_map(Expr::Var),
+        (prop::sample::select(ptrs), 0i64..4)
+            .prop_map(|(p, off)| Expr::Load { ptr: p, offset: off }),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                BinaryOp::Add,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                BinaryOp::Mul,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.prop_map(|a| Expr::Unary(UnOp::Abs, Box::new(a))),
+        ]
+    })
+}
+
+/// Generate a well-formed routine: two pointers, N, some FP scalars, and
+/// a tuned loop whose body assigns scalars from loads and stores back.
+fn routine() -> impl Strategy<Value = Routine> {
+    let scalars = prop::collection::hash_set(ident(), 2..5);
+    scalars.prop_flat_map(|scal_set| {
+        let scal_names: Vec<String> = {
+            let mut v: Vec<String> = scal_set.into_iter().collect();
+            v.sort();
+            v
+        };
+        let ptr_names = vec!["px".to_string(), "py".to_string()];
+        let n_stmts = prop::collection::vec(
+            (
+                prop::sample::select(scal_names.clone()),
+                fexpr(scal_names.clone(), ptr_names.clone()),
+                prop_oneof![
+                    Just(AssignOp::Set),
+                    Just(AssignOp::Add),
+                    Just(AssignOp::Mul)
+                ],
+            ),
+            1..6,
+        );
+        let scal_names2 = scal_names.clone();
+        n_stmts.prop_map(move |stmts| {
+            let mut body: Vec<Stmt> = stmts
+                .into_iter()
+                .map(|(lhs, rhs, op)| Stmt::Assign { lhs: LValue::Scalar(lhs), op, rhs })
+                .collect();
+            // Store something through the OUT pointer, then bump both.
+            body.push(Stmt::Assign {
+                lhs: LValue::ArrayElem { ptr: "py".into(), offset: 0 },
+                op: AssignOp::Set,
+                rhs: Expr::Var(scal_names2[0].clone()),
+            });
+            body.push(Stmt::PtrBump { ptr: "px".into(), elems: 1 });
+            body.push(Stmt::PtrBump { ptr: "py".into(), elems: 1 });
+            Routine {
+                name: "gen".into(),
+                params: vec![
+                    Param {
+                        name: "px".into(),
+                        ty: ParamType::Ptr { prec: Prec::D, intent: Intent::In },
+                    },
+                    Param {
+                        name: "py".into(),
+                        ty: ParamType::Ptr { prec: Prec::D, intent: Intent::Out },
+                    },
+                    Param { name: "nn".into(), ty: ParamType::Int },
+                ],
+                scalars: scal_names2
+                    .iter()
+                    .map(|s| ScalarDecl { name: s.clone(), prec: Some(Prec::D), out: false })
+                    .collect(),
+                body: vec![Stmt::Loop(Loop {
+                    var: "i".into(),
+                    start: Expr::IConst(0),
+                    end: Expr::Var("nn".into()),
+                    down: false,
+                    body,
+                    tuned: true,
+                })],
+                markup: Markup::default(),
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print(parse(print(r))) is a fixed point and preserves the AST.
+    #[test]
+    fn pretty_parse_roundtrip(r in routine()) {
+        let printed = pretty::print_routine(&r);
+        let reparsed = parse_routine(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        prop_assert_eq!(&r, &reparsed);
+        let printed2 = pretty::print_routine(&reparsed);
+        prop_assert_eq!(printed, printed2);
+    }
+
+    /// Generated routines pass semantic analysis.
+    #[test]
+    fn generated_routines_analyze(r in routine()) {
+        let info = ifko_hil::analyze(&r).unwrap();
+        prop_assert_eq!(info.prec, Some(Prec::D));
+        prop_assert!(info.has_tuned_loop);
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(s in ".*") {
+        let _ = ifko_hil::lex::lex(&s);
+    }
+
+    /// The parser never panics on arbitrary token-ish input.
+    #[test]
+    fn parser_total(s in "[A-Za-z0-9 =+*;:,()\\[\\]\n<>!-]{0,200}") {
+        let _ = parse_routine(&s);
+    }
+}

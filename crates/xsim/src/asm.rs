@@ -1,0 +1,218 @@
+//! Program builder with forward-reference labels and a disassembler.
+
+use crate::isa::{Inst, Label, Program};
+
+/// Assembler: collects instructions and resolves labels.
+#[derive(Default, Debug)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Asm {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an instruction; returns its index.
+    pub fn push(&mut self, i: Inst) -> usize {
+        self.insts.push(i);
+        self.insts.len() - 1
+    }
+
+    /// Append many instructions.
+    pub fn extend(&mut self, it: impl IntoIterator<Item = Inst>) {
+        self.insts.extend(it);
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Bind `l` to the next instruction to be pushed.
+    pub fn bind(&mut self, l: Label) {
+        let slot = &mut self.labels[l.0 as usize];
+        assert!(slot.is_none(), "label {:?} bound twice", l);
+        *slot = Some(self.insts.len());
+    }
+
+    /// Create a label bound right here.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Current instruction count.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Finish assembly. Panics on unbound labels (a codegen bug).
+    pub fn finish(self) -> Program {
+        let labels: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.unwrap_or_else(|| panic!("label L{i} never bound")))
+            .collect();
+        for (idx, inst) in self.insts.iter().enumerate() {
+            match inst {
+                Inst::Jmp(l) | Inst::Jcc(_, l) => {
+                    assert!(
+                        labels[l.0 as usize] <= self.insts.len(),
+                        "inst {idx}: branch target out of range"
+                    );
+                }
+                _ => {}
+            }
+        }
+        Program { insts: self.insts, labels }
+    }
+}
+
+/// Render a program as pseudo-assembly, one instruction per line, with
+/// label comments — used by `--dump-asm` style debugging in the harness.
+pub fn disassemble(p: &Program) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    // Invert label map: instruction index -> labels bound there.
+    let mut at: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (l, &idx) in p.labels.iter().enumerate() {
+        at.entry(idx).or_default().push(l);
+    }
+    for (i, inst) in p.insts.iter().enumerate() {
+        if let Some(ls) = at.get(&i) {
+            for l in ls {
+                let _ = writeln!(out, "L{l}:");
+            }
+        }
+        let _ = writeln!(out, "  {:04}  {}", i, render(inst));
+    }
+    out
+}
+
+fn render(i: &Inst) -> String {
+    use Inst::*;
+    match i {
+        IMovImm(d, v) => format!("mov   {d}, {v}"),
+        IMov(d, s) => format!("mov   {d}, {s}"),
+        IAdd(d, s) => format!("add   {d}, {s}"),
+        IAddImm(d, v) => format!("add   {d}, {v}"),
+        ISub(d, s) => format!("sub   {d}, {s}"),
+        ISubImm(d, v) => format!("sub   {d}, {v}"),
+        IShlImm(d, s) => format!("shl   {d}, {s}"),
+        IDivImm(d, v) => format!("idiv  {d}, {v}"),
+        IRemImm(d, v) => format!("irem  {d}, {v}"),
+        Lea(d, a) => format!("lea   {d}, {a}"),
+        ICmp(a, b) => format!("cmp   {a}, {b}"),
+        ICmpImm(a, v) => format!("cmp   {a}, {v}"),
+        IDec(d) => format!("dec   {d}"),
+        ILoad(d, a) => format!("ld    {d}, {a}"),
+        IStore(a, s) => format!("st    {a}, {s}"),
+        Jmp(l) => format!("jmp   L{}", l.0),
+        Jcc(c, l) => format!("j{:<4} L{}", format!("{c:?}").to_lowercase(), l.0),
+        Halt => "halt".into(),
+        FLd(d, a, p) => format!("fld{} {d}, {a}", p.blas_char()),
+        FSt(a, s, p) => format!("fst{} {a}, {s}", p.blas_char()),
+        FStNt(a, s, p) => format!("fstnt{} {a}, {s}", p.blas_char()),
+        FMov(d, s, p) => format!("fmov{} {d}, {s}", p.blas_char()),
+        FLdImm(d, v, p) => format!("fldi{} {d}, {v}", p.blas_char()),
+        FZero(d) => format!("fzero {d}"),
+        FAdd(d, s, p) => format!("fadd{} {d}, {s}", p.blas_char()),
+        FSub(d, s, p) => format!("fsub{} {d}, {s}", p.blas_char()),
+        FMul(d, s, p) => format!("fmul{} {d}, {s}", p.blas_char()),
+        FDiv(d, s, p) => format!("fdiv{} {d}, {s}", p.blas_char()),
+        FAbs(d, p) => format!("fabs{} {d}", p.blas_char()),
+        FSqrt(d, p) => format!("fsqrt{} {d}", p.blas_char()),
+        FMax(d, s, p) => format!("fmax{} {d}, {s}", p.blas_char()),
+        FCmp(a, b, p) => format!("fcmp{} {a}, {b}", p.blas_char()),
+        VLd(d, a, p, al) => {
+            format!("vld{}{} {d}, {a}", p.blas_char(), if *al { "a" } else { "u" })
+        }
+        VSt(a, s, p, al) => {
+            format!("vst{}{} {a}, {s}", p.blas_char(), if *al { "a" } else { "u" })
+        }
+        VStNt(a, s, p) => format!("vstnt{} {a}, {s}", p.blas_char()),
+        VMov(d, s) => format!("vmov  {d}, {s}"),
+        VBcast(d, s, p) => format!("vbcast{} {d}, {s}", p.blas_char()),
+        VAdd(d, s, p) => format!("vadd{} {d}, {s}", p.blas_char()),
+        VSub(d, s, p) => format!("vsub{} {d}, {s}", p.blas_char()),
+        VMul(d, s, p) => format!("vmul{} {d}, {s}", p.blas_char()),
+        VAbs(d, p) => format!("vabs{} {d}", p.blas_char()),
+        VMax(d, s, p) => format!("vmax{} {d}, {s}", p.blas_char()),
+        VCmpGt(d, s, p) => format!("vcmpgt{} {d}, {s}", p.blas_char()),
+        VMovMsk(d, s, p) => format!("vmovmsk{} {d}, {s}", p.blas_char()),
+        VHSum(d, s, p) => format!("vhsum{} {d}, {s}", p.blas_char()),
+        VHMax(d, s, p) => format!("vhmax{} {d}, {s}", p.blas_char()),
+        Prefetch(a, k) => format!("pref.{} {a}", k.abbrev()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Addr, Cond, FReg, IReg, Prec};
+
+    #[test]
+    fn forward_label_resolution() {
+        let mut a = Asm::new();
+        let end = a.new_label();
+        a.push(Inst::IMovImm(IReg(0), 5));
+        a.push(Inst::Jmp(end));
+        a.push(Inst::IMovImm(IReg(0), 7)); // skipped
+        a.bind(end);
+        a.push(Inst::Halt);
+        let p = a.finish();
+        assert_eq!(p.target(end), 3);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn here_binds_backward() {
+        let mut a = Asm::new();
+        a.push(Inst::IMovImm(IReg(0), 3));
+        let top = a.here();
+        a.push(Inst::IDec(IReg(0)));
+        a.push(Inst::Jcc(Cond::Gt, top));
+        a.push(Inst::Halt);
+        let p = a.finish();
+        assert_eq!(p.target(top), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.push(Inst::Jmp(l));
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn disassembly_mentions_labels_and_ops() {
+        let mut a = Asm::new();
+        let top = a.here();
+        a.push(Inst::FLd(FReg(0), Addr::base(IReg(1)), Prec::D));
+        a.push(Inst::Jcc(Cond::Ne, top));
+        a.push(Inst::Halt);
+        let text = disassemble(&a.finish());
+        assert!(text.contains("L0:"));
+        assert!(text.contains("fldd"));
+        assert!(text.contains("jne"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Set-associative cache model with LRU replacement and in-flight fills.
+//!
+//! Each line records the cycle at which its fill completes, so a software
+//! prefetch issued too close to the demand access yields only a *partial*
+//! latency hiding — this is what gives prefetch distance its interior
+//! optimum in the empirical search (too small: fill not complete; too
+//! large: line evicted again before use in a small L1).
+
+/// Static configuration of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheCfg {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Associativity (ways per set).
+    pub assoc: u64,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheCfg {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size / (self.line * self.assoc)
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp (larger = more recently used).
+    lru: u64,
+    /// Cycle at which the line's fill completes (0 if long resident).
+    fill_done: u64,
+}
+
+/// Result of probing a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Line present; data available at `max(now, fill_done)`.
+    Hit { fill_done: u64 },
+    Miss,
+}
+
+/// A line evicted by an insertion; dirty lines must be written back by the
+/// caller (they cost bus bandwidth).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    pub addr: u64,
+    pub dirty: bool,
+}
+
+/// One level of set-associative cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheCfg,
+    sets: u64,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+impl Cache {
+    pub fn new(cfg: CacheCfg) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two: {:?}", cfg);
+        assert!(cfg.line.is_power_of_two());
+        Cache { cfg, sets, lines: vec![Line::default(); (sets * cfg.assoc) as usize], tick: 0 }
+    }
+
+    pub fn cfg(&self) -> &CacheCfg {
+        &self.cfg
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> (u64, u64) {
+        let lineno = addr / self.cfg.line;
+        let set = lineno & (self.sets - 1);
+        let tag = lineno >> self.sets.trailing_zeros();
+        (set, tag)
+    }
+
+    #[inline]
+    fn set_slice(&mut self, set: u64) -> &mut [Line] {
+        let a = (set * self.cfg.assoc) as usize;
+        let b = a + self.cfg.assoc as usize;
+        &mut self.lines[a..b]
+    }
+
+    /// Probe for the line containing `addr`; updates LRU on hit.
+    pub fn probe(&mut self, addr: u64) -> Probe {
+        let (set, tag) = self.index(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        for l in self.set_slice(set) {
+            if l.valid && l.tag == tag {
+                l.lru = tick;
+                return Probe::Hit { fill_done: l.fill_done };
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Probe without disturbing LRU state (used by the harness/tests).
+    pub fn peek(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let a = (set * self.cfg.assoc) as usize;
+        self.lines[a..a + self.cfg.assoc as usize].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Insert the line containing `addr`, with its fill completing at
+    /// `fill_done`. Returns the victim if a valid line was evicted.
+    pub fn insert(&mut self, addr: u64, fill_done: u64, dirty: bool) -> Option<Evicted> {
+        let (set, tag) = self.index(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let line_bytes = self.cfg.line;
+        let sets = self.sets;
+        let set_bits = sets.trailing_zeros() as u64;
+        let slice = self.set_slice(set);
+        // Already present (e.g. prefetch raced a demand fill): refresh.
+        if let Some(l) = slice.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = tick;
+            l.dirty |= dirty;
+            l.fill_done = l.fill_done.min(fill_done);
+            return None;
+        }
+        // Choose victim: invalid first, else LRU.
+        let victim = slice
+            .iter_mut()
+            .min_by_key(|l| if l.valid { (1, l.lru) } else { (0, 0) })
+            .expect("assoc >= 1");
+        let evicted = if victim.valid {
+            let old_lineno = (victim.tag << set_bits) | set;
+            Some(Evicted { addr: old_lineno * line_bytes, dirty: victim.dirty })
+        } else {
+            None
+        };
+        *victim = Line { tag, valid: true, dirty, lru: tick, fill_done };
+        evicted
+    }
+
+    /// Mark the line containing `addr` dirty (if present). Returns whether
+    /// the line was present.
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        for l in self.set_slice(set) {
+            if l.valid && l.tag == tag {
+                l.dirty = true;
+                l.lru = tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidate the line containing `addr` (non-temporal store semantics).
+    /// Returns the evicted line if it was present.
+    pub fn invalidate(&mut self, addr: u64) -> Option<Evicted> {
+        let (set, tag) = self.index(addr);
+        let line_bytes = self.cfg.line;
+        for l in self.set_slice(set) {
+            if l.valid && l.tag == tag {
+                let dirty = l.dirty;
+                l.valid = false;
+                l.dirty = false;
+                let _ = line_bytes;
+                return Some(Evicted { addr: addr / line_bytes * line_bytes, dirty });
+            }
+        }
+        None
+    }
+
+    /// Drop all contents (cold-cache setup for out-of-cache timings).
+    pub fn flush_all(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+        self.tick = 0;
+    }
+
+    /// Number of valid lines (test/diagnostic helper).
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheCfg { size: 512, line: 64, assoc: 2, latency: 3 })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert_eq!(c.probe(0x1000), Probe::Miss);
+        c.insert(0x1000, 100, false);
+        assert!(matches!(c.probe(0x1000), Probe::Hit { fill_done: 100 }));
+        // Same line, different offset.
+        assert!(matches!(c.probe(0x103f), Probe::Hit { .. }));
+        // Next line misses.
+        assert_eq!(c.probe(0x1040), Probe::Miss);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 lines * 64B = 256B).
+        c.insert(0x0000, 0, false);
+        c.insert(0x0100, 0, false);
+        // Touch the first so the second is LRU.
+        c.probe(0x0000);
+        let ev = c.insert(0x0200, 0, false).expect("eviction");
+        assert_eq!(ev.addr, 0x0100);
+        assert!(!ev.dirty);
+        assert!(c.peek(0x0000));
+        assert!(!c.peek(0x0100));
+        assert!(c.peek(0x0200));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.insert(0x0000, 0, false);
+        assert!(c.mark_dirty(0x0008));
+        c.insert(0x0100, 0, false);
+        let ev = c.insert(0x0200, 0, false).unwrap();
+        assert!(ev.dirty, "dirty victim must be reported for writeback");
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.insert(0x0000, 0, true);
+        let ev = c.invalidate(0x0010).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.addr, 0x0000);
+        assert_eq!(c.probe(0x0000), Probe::Miss);
+        assert!(c.invalidate(0x0000).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_fill_time() {
+        let mut c = tiny();
+        c.insert(0x0000, 500, false);
+        c.insert(0x0000, 200, true);
+        match c.probe(0x0000) {
+            Probe::Hit { fill_done } => assert_eq!(fill_done, 200),
+            _ => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut c = tiny();
+        c.insert(0x0000, 0, false);
+        c.insert(0x0040, 0, false);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush_all();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.probe(0x0000), Probe::Miss);
+    }
+
+    #[test]
+    fn sets_computed() {
+        let cfg = CacheCfg { size: 16 * 1024, line: 64, assoc: 8, latency: 4 };
+        assert_eq!(cfg.sets(), 32);
+    }
+}

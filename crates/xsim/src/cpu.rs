@@ -1,0 +1,1213 @@
+//! The simulated processor: a functional interpreter with cycle accounting.
+//!
+//! Execution is in-order superscalar with a register scoreboard: each
+//! instruction issues at `max(next issue slot, all source operands ready)`
+//! and its destination becomes ready after the operation latency (memory
+//! latencies come from the cache/bus model). This is simpler than the
+//! out-of-order cores it models, but it is the *same* model for every code
+//! generator being compared (FKO, the gcc/icc models, the hand-tuned ATLAS
+//! kernels), so relative results — which is all the paper's figures report —
+//! are meaningful. Crucially, the model is sensitive to exactly the
+//! transformations the paper tunes: dependent FP adds serialize on
+//! `fadd_lat` (accumulator expansion), loop overhead consumes issue slots
+//! (unrolling, loop control), prefetches hide `mem_lat` only when issued
+//! early enough and are dropped when the bus is busy, and non-temporal
+//! stores change bus traffic and (on the Opteron-like config) penalize
+//! read-write operands.
+
+use crate::bus::Bus;
+use crate::cache::{Cache, Probe};
+use crate::isa::*;
+use crate::machine::MachineConfig;
+use crate::mem::{MemFault, Memory};
+use crate::stats::RunStats;
+
+/// Errors raised during simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// Out-of-range data access.
+    Fault(MemFault),
+    /// Instruction budget exhausted (runaway loop in generated code).
+    InstLimit { limit: u64 },
+    /// Fell off the end of the program without `Halt`.
+    RanOffEnd,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Fault(m) => write!(f, "{m}"),
+            RunError::InstLimit { limit } => {
+                write!(f, "instruction limit ({limit}) exceeded — runaway loop?")
+            }
+            RunError::RanOffEnd => write!(f, "execution ran past the end of the program"),
+        }
+    }
+}
+impl std::error::Error for RunError {}
+
+impl From<MemFault> for RunError {
+    fn from(m: MemFault) -> Self {
+        RunError::Fault(m)
+    }
+}
+
+/// Default dynamic instruction budget.
+pub const DEFAULT_INST_LIMIT: u64 = 500_000_000;
+
+/// The simulated CPU. Construct once per machine; caches persist across
+/// [`Cpu::run`] calls so the harness can model in-cache and out-of-cache
+/// contexts ([`Cpu::flush_caches`], [`Cpu::preload_l2`]).
+pub struct Cpu {
+    cfg: MachineConfig,
+    l1: Cache,
+    l2: Cache,
+    bus: Bus,
+
+    iregs: [i64; NUM_IREGS],
+    fregs: [[u8; 16]; NUM_FREGS],
+    ireg_ready: [u64; NUM_IREGS],
+    freg_ready: [u64; NUM_FREGS],
+    /// Flags as a three-way ordering (-1, 0, 1) plus readiness.
+    flags: i32,
+    flags_ready: u64,
+
+    cycle: u64,
+    slots: u32,
+    width: u32,
+
+    /// 1-bit dynamic branch predictor, indexed by instruction address.
+    predictor: Vec<u8>,
+    /// Write-combining buffers for non-temporal stores: (line addr,
+    /// bytes) per buffer, FIFO-evicted. x86 provides several, so multiple
+    /// interleaved NT store streams (e.g. swap's X and Y) each fill whole
+    /// lines before flushing.
+    wc: Vec<(u64, u64)>,
+    /// Hardware stream prefetcher state: per-stream frontier line address
+    /// (`u64::MAX` = free slot) and a small recent-miss table used for
+    /// stream detection (two consecutive line misses start a stream).
+    hw_streams: [u64; 4],
+    hw_misses: [u64; 8],
+    hw_next: usize,
+
+    pub stats: RunStats,
+    inst_limit: u64,
+}
+
+const PRED_UNSEEN: u8 = 2;
+
+impl Cpu {
+    pub fn new(cfg: MachineConfig) -> Self {
+        let l1 = Cache::new(cfg.l1);
+        let l2 = Cache::new(cfg.l2);
+        let bus = Bus::new(cfg.bus);
+        Cpu {
+            cfg,
+            l1,
+            l2,
+            bus,
+            iregs: [0; NUM_IREGS],
+            fregs: [[0; 16]; NUM_FREGS],
+            ireg_ready: [0; NUM_IREGS],
+            freg_ready: [0; NUM_FREGS],
+            flags: 0,
+            flags_ready: 0,
+            cycle: 0,
+            slots: 0,
+            width: 3,
+            predictor: Vec::new(),
+            wc: Vec::new(),
+            hw_streams: [u64::MAX; 4],
+            hw_misses: [u64::MAX; 8],
+            hw_next: 0,
+            stats: RunStats::default(),
+            inst_limit: DEFAULT_INST_LIMIT,
+        }
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Override the dynamic instruction budget.
+    pub fn set_inst_limit(&mut self, limit: u64) {
+        self.inst_limit = limit;
+    }
+
+    /// Set an integer register before a run (argument passing).
+    pub fn set_ireg(&mut self, r: IReg, v: i64) {
+        self.iregs[r.0 as usize] = v;
+    }
+    pub fn ireg(&self, r: IReg) -> i64 {
+        self.iregs[r.0 as usize]
+    }
+    /// Set lane 0 of an FP register before a run (FP argument passing).
+    pub fn set_freg_f64(&mut self, r: FReg, v: f64) {
+        self.fregs[r.0 as usize] = [0; 16];
+        self.fregs[r.0 as usize][0..8].copy_from_slice(&v.to_le_bytes());
+    }
+    pub fn set_freg_f32(&mut self, r: FReg, v: f32) {
+        self.fregs[r.0 as usize] = [0; 16];
+        self.fregs[r.0 as usize][0..4].copy_from_slice(&v.to_le_bytes());
+    }
+    /// Lane 0 of an FP register as f64.
+    pub fn freg_f64(&self, r: FReg) -> f64 {
+        f64::from_le_bytes(self.fregs[r.0 as usize][0..8].try_into().unwrap())
+    }
+    pub fn freg_f32(&self, r: FReg) -> f32 {
+        f32::from_le_bytes(self.fregs[r.0 as usize][0..4].try_into().unwrap())
+    }
+
+    /// Cold-cache setup: empty both cache levels and idle the bus.
+    pub fn flush_caches(&mut self) {
+        self.l1.flush_all();
+        self.l2.flush_all();
+        self.bus.reset();
+        self.wc.clear();
+        self.hw_streams = [u64::MAX; 4];
+        self.hw_misses = [u64::MAX; 8];
+        self.hw_next = 0;
+    }
+
+    /// Pull the address range into L2 only (the paper's "in-L2-cache"
+    /// context: operands pre-loaded in cache before timing).
+    pub fn preload_l2(&mut self, addr: u64, len: u64) {
+        let line = self.cfg.l2.line;
+        let mut a = addr / line * line;
+        while a < addr + len {
+            if let Some(ev) = self.l2.insert(a, 0, false) {
+                let _ = ev; // setup traffic is not timed
+            }
+            a += line;
+        }
+    }
+
+    /// Pull the address range into both levels (fully warm).
+    pub fn preload_all(&mut self, addr: u64, len: u64) {
+        self.preload_l2(addr, len);
+        let line = self.cfg.l1.line;
+        let mut a = addr / line * line;
+        while a < addr + len {
+            let _ = self.l1.insert(a, 0, false);
+            a += line;
+        }
+    }
+
+    /// Is the line containing `addr` resident in L2? (harness/test helper)
+    pub fn l2_resident(&self, addr: u64) -> bool {
+        self.l2.peek(addr)
+    }
+    pub fn l1_resident(&self, addr: u64) -> bool {
+        self.l1.peek(addr)
+    }
+
+    // ---------------------------------------------------------------- issue
+
+    #[inline]
+    fn issue_at(&mut self, ready: u64) -> u64 {
+        if ready > self.cycle {
+            self.cycle = ready;
+            self.slots = 0;
+        }
+        let t = self.cycle;
+        self.slots += 1;
+        if self.slots >= self.width {
+            self.cycle += 1;
+            self.slots = 0;
+        }
+        t
+    }
+
+    /// End the current issue group (taken branches).
+    #[inline]
+    fn end_group(&mut self) {
+        if self.slots != 0 {
+            self.cycle += 1;
+            self.slots = 0;
+        }
+    }
+
+    // --------------------------------------------------------------- memory
+
+    /// Handle a line evicted from L1: dirty data falls into L2; if L2
+    /// cannot absorb it, the displaced dirty L2 line goes over the bus.
+    fn l1_evict(&mut self, ev: crate::cache::Evicted, now: u64) {
+        if !ev.dirty {
+            return;
+        }
+        if self.l2.mark_dirty(ev.addr) {
+            return;
+        }
+        if let Some(ev2) = self.l2.insert(ev.addr, now, true) {
+            if ev2.dirty {
+                self.bus.write(now, self.cfg.l2.line);
+            }
+        }
+    }
+
+    fn l2_evict(&mut self, ev: crate::cache::Evicted, now: u64) {
+        if ev.dirty {
+            self.bus.write(now, self.cfg.l2.line);
+        }
+    }
+
+    /// A demand load of `bytes` at `addr`; returns the data-ready cycle.
+    fn load_access(&mut self, addr: u64, bytes: u64, now: u64) -> u64 {
+        let line = self.cfg.l1.line;
+        if addr / line != (addr + bytes - 1) / line {
+            // Line-crossing access: both lines, plus the unaligned penalty.
+            let split = (addr / line + 1) * line;
+            let a = self.load_access_aligned(addr, now);
+            let b = self.load_access_aligned(split, now);
+            return a.max(b) + self.cfg.unaligned_penalty;
+        }
+        self.load_access_aligned(addr, now)
+    }
+
+    fn load_access_aligned(&mut self, addr: u64, now: u64) -> u64 {
+        self.stats.loads += 1;
+        match self.l1.probe(addr) {
+            Probe::Hit { fill_done } => {
+                self.stats.l1_hits += 1;
+                now.max(fill_done) + self.cfg.l1.latency
+            }
+            Probe::Miss => {
+                self.stats.l1_misses += 1;
+                match self.l2.probe(addr) {
+                    Probe::Hit { fill_done } => {
+                        self.stats.l2_hits += 1;
+                        let ready = now.max(fill_done) + self.cfg.l2.latency;
+                        if let Some(ev) = self.l1.insert(addr, ready, false) {
+                            self.l1_evict(ev, now);
+                        }
+                        self.hw_stream_access(addr, now, false);
+                        ready
+                    }
+                    Probe::Miss => {
+                        self.stats.l2_misses += 1;
+                        let (_, done) = self.bus.read(now, self.cfg.l1.line);
+                        let ready = done + self.cfg.mem_lat;
+                        if let Some(ev) = self.l2.insert(addr, ready, false) {
+                            self.l2_evict(ev, now);
+                        }
+                        if let Some(ev) = self.l1.insert(addr, ready, false) {
+                            self.l1_evict(ev, now);
+                        }
+                        self.hw_stream_access(addr, now, true);
+                        ready
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hardware stream prefetcher, consulted on every access that reaches
+    /// the L2 (demand L2 miss or L2 hit). An ascending stream is detected
+    /// after two consecutive line misses; once running, its frontier is
+    /// kept `hw_prefetch_depth` lines ahead of the demand access. Fills go
+    /// to **L2 only**, cannot cross a `hw_prefetch_page` boundary (the
+    /// stream must be re-detected in the next page), and back off when the
+    /// bus is saturated — all three of which are why well-tuned *software*
+    /// prefetch still beats the hardware engine, while un-prefetched
+    /// streaming code (e.g. copy with PF=none, as the paper's search picks
+    /// on the P4E) still approaches bus speed.
+    fn hw_stream_access(&mut self, addr: u64, now: u64, was_miss: bool) {
+        let depth = self.cfg.hw_prefetch_depth;
+        if depth == 0 {
+            return;
+        }
+        let line = self.cfg.l2.line;
+        let page = self.cfg.hw_prefetch_page;
+        let cur = addr / line * line;
+        let window = depth * line;
+        // Advance an existing stream whose frontier is within reach.
+        for i in 0..self.hw_streams.len() {
+            let frontier = self.hw_streams[i];
+            if frontier != u64::MAX && cur <= frontier && frontier <= cur + window {
+                let page_end = (cur / page + 1) * page;
+                let target = (cur + window).min(page_end - line);
+                let mut l = frontier + line;
+                while l <= target {
+                    if !self.hw_fill_l2(l, now) {
+                        break;
+                    }
+                    self.hw_streams[i] = l;
+                    l += line;
+                }
+                if self.hw_streams[i] + line > page_end {
+                    self.hw_streams[i] = u64::MAX; // stream dies at the page edge
+                }
+                return;
+            }
+        }
+        if !was_miss {
+            return;
+        }
+        // Detection: this miss plus a recent miss on the previous line.
+        if self.hw_misses.contains(&cur.wrapping_sub(line)) {
+            // Allocate a stream slot (round robin) with frontier at `cur`.
+            let slot = self.hw_next % self.hw_streams.len();
+            self.hw_streams[slot] = cur;
+            let page_end = (cur / page + 1) * page;
+            let target = (cur + window).min(page_end - line);
+            let mut l = cur + line;
+            while l <= target {
+                if !self.hw_fill_l2(l, now) {
+                    break;
+                }
+                self.hw_streams[slot] = l;
+                l += line;
+            }
+        }
+        self.hw_misses[self.hw_next % self.hw_misses.len()] = cur;
+        self.hw_next = self.hw_next.wrapping_add(1);
+    }
+
+    /// Fetch one line into L2 on behalf of the hardware prefetcher.
+    /// Returns false (without fetching) when the bus is saturated. The
+    /// hardware engine is lower priority than explicit software prefetch:
+    /// it only fills when the bus is nearly idle, so it never crowds out
+    /// tuned prefetch streams.
+    fn hw_fill_l2(&mut self, line_addr: u64, now: u64) -> bool {
+        if self.l2.peek(line_addr) {
+            return true;
+        }
+        if self.bus.effective_free(now) > now + self.cfg.pf_queue_slack / 4 {
+            return false;
+        }
+        let (_, done) = self.bus.read(now, self.cfg.l2.line);
+        let ready = done + self.cfg.mem_lat;
+        if let Some(ev) = self.l2.insert(line_addr, ready, false) {
+            self.l2_evict(ev, now);
+        }
+        self.stats.hw_prefetches += 1;
+        true
+    }
+
+    /// A normal (write-allocate) store. Stores retire through a store
+    /// buffer and do not stall the pipeline; they only change cache state
+    /// and consume bus bandwidth (read-for-ownership on miss).
+    fn store_access(&mut self, addr: u64, bytes: u64, now: u64) {
+        let line = self.cfg.l1.line;
+        if addr / line != (addr + bytes - 1) / line {
+            let split = (addr / line + 1) * line;
+            self.store_access_aligned(addr, now);
+            self.store_access_aligned(split, now);
+            return;
+        }
+        self.store_access_aligned(addr, now);
+    }
+
+    fn store_access_aligned(&mut self, addr: u64, now: u64) {
+        self.stats.stores += 1;
+        if self.l1.mark_dirty(addr) {
+            self.stats.l1_hits += 1;
+            return;
+        }
+        self.stats.l1_misses += 1;
+        match self.l2.probe(addr) {
+            Probe::Hit { .. } => {
+                self.stats.l2_hits += 1;
+                if let Some(ev) = self.l1.insert(addr, now + self.cfg.l2.latency, true) {
+                    self.l1_evict(ev, now);
+                }
+                self.hw_stream_access(addr, now, false);
+            }
+            Probe::Miss => {
+                self.stats.l2_misses += 1;
+                // Read-for-ownership: the line must be fetched before the
+                // (partial) write can merge into it.
+                let (_, done) = self.bus.read(now, self.cfg.l1.line);
+                let ready = done + self.cfg.mem_lat;
+                if let Some(ev) = self.l2.insert(addr, ready, false) {
+                    self.l2_evict(ev, now);
+                }
+                if let Some(ev) = self.l1.insert(addr, ready, true) {
+                    self.l1_evict(ev, now);
+                }
+                self.hw_stream_access(addr, now, true);
+            }
+        }
+    }
+
+    /// A non-temporal store: bypasses the caches via a write-combining
+    /// buffer. Cached copies of the line stay readable until the buffer
+    /// flushes (when the line fills or a new line starts); at flush the
+    /// line is invalidated, and — if it was cache-resident, i.e. the
+    /// operand was read earlier and is not write-only — the machine's
+    /// `nt_cached_penalty` stalls the core once per line. This is the
+    /// Opteron behaviour behind the paper's icc+prof swap/axpy collapse,
+    /// while sequential read-then-NT-write streams (unrolled swap on the
+    /// P4E) proceed unharmed.
+    fn nt_store_access(&mut self, addr: u64, bytes: u64, now: u64) {
+        self.stats.stores += 1;
+        self.stats.nt_stores += 1;
+        let line = self.cfg.l1.line;
+        let line_addr = addr / line * line;
+        if let Some(entry) = self.wc.iter_mut().find(|(l, _)| *l == line_addr) {
+            entry.1 = (entry.1 + bytes).min(line);
+            if entry.1 >= line {
+                let idx = self.wc.iter().position(|(l, _)| *l == line_addr).unwrap();
+                self.flush_wc_entry(idx, now);
+            }
+            return;
+        }
+        if self.wc.len() >= self.cfg.wc_buffers {
+            // All buffers busy: flush the oldest (FIFO), possibly partial.
+            self.flush_wc_entry(0, now);
+        }
+        self.wc.push((line_addr, bytes));
+    }
+
+    fn flush_wc_entry(&mut self, idx: usize, now: u64) {
+        let (line_addr, b) = self.wc.remove(idx);
+        self.bus.write(now, b);
+        self.stats.wc_flushes += 1;
+        let mut hit_cached = false;
+        if self.l1.invalidate(line_addr).is_some() {
+            hit_cached = true;
+        }
+        if self.l2.invalidate(line_addr).is_some() {
+            hit_cached = true;
+        }
+        if hit_cached && self.cfg.nt_cached_penalty > 0 {
+            self.cycle = self.cycle.max(now) + self.cfg.nt_cached_penalty;
+            self.slots = 0;
+        }
+    }
+
+    fn flush_wc(&mut self, now: u64) {
+        while !self.wc.is_empty() {
+            self.flush_wc_entry(0, now);
+        }
+    }
+
+    fn prefetch_access(&mut self, addr: u64, kind: PrefKind, now: u64) {
+        let (to_l1, to_l2, dirty) = match kind {
+            PrefKind::T0 => (true, true, false),
+            PrefKind::T1 | PrefKind::T2 => (false, true, false),
+            PrefKind::Nta => (true, false, false),
+            PrefKind::W => (true, true, true),
+        };
+        // Useless if the target level nearest the CPU already has the line.
+        let already = if to_l1 { self.l1.peek(addr) } else { self.l2.peek(addr) };
+        if already {
+            self.stats.prefetch_useless += 1;
+            return;
+        }
+        // L2-resident line moving to L1 needs no bus.
+        if to_l1 && self.l2.peek(addr) {
+            let ready = now + self.cfg.l2.latency;
+            if let Some(ev) = self.l1.insert(addr, ready, dirty) {
+                self.l1_evict(ev, now);
+            }
+            self.stats.prefetch_issued += 1;
+            return;
+        }
+        if self.cfg.drop_prefetch_when_busy
+            && self.bus.effective_free(now) > now + self.cfg.pf_queue_slack
+        {
+            self.stats.prefetch_dropped += 1;
+            return;
+        }
+        let (_, done) = self.bus.read(now, self.cfg.l1.line);
+        let ready = done + self.cfg.mem_lat;
+        if to_l2 {
+            if let Some(ev) = self.l2.insert(addr, ready, false) {
+                self.l2_evict(ev, now);
+            }
+        }
+        if to_l1 {
+            if let Some(ev) = self.l1.insert(addr, ready, dirty) {
+                self.l1_evict(ev, now);
+            }
+        }
+        self.stats.prefetch_issued += 1;
+    }
+
+    // ------------------------------------------------------------ operands
+
+    #[inline]
+    fn ea(&self, a: &Addr) -> u64 {
+        let mut v = self.iregs[a.base.0 as usize];
+        if let Some((idx, sc)) = a.index {
+            v += self.iregs[idx.0 as usize] * sc as i64;
+        }
+        (v + a.disp) as u64
+    }
+
+    #[inline]
+    fn addr_ready(&self, a: &Addr) -> u64 {
+        let mut r = self.ireg_ready[a.base.0 as usize];
+        if let Some((idx, _)) = a.index {
+            r = r.max(self.ireg_ready[idx.0 as usize]);
+        }
+        r
+    }
+
+    #[inline]
+    fn f64x2(&self, r: FReg) -> [f64; 2] {
+        let b = &self.fregs[r.0 as usize];
+        [
+            f64::from_le_bytes(b[0..8].try_into().unwrap()),
+            f64::from_le_bytes(b[8..16].try_into().unwrap()),
+        ]
+    }
+    #[inline]
+    fn set_f64x2(&mut self, r: FReg, v: [f64; 2]) {
+        let b = &mut self.fregs[r.0 as usize];
+        b[0..8].copy_from_slice(&v[0].to_le_bytes());
+        b[8..16].copy_from_slice(&v[1].to_le_bytes());
+    }
+    #[inline]
+    fn f32x4(&self, r: FReg) -> [f32; 4] {
+        let b = &self.fregs[r.0 as usize];
+        [
+            f32::from_le_bytes(b[0..4].try_into().unwrap()),
+            f32::from_le_bytes(b[4..8].try_into().unwrap()),
+            f32::from_le_bytes(b[8..12].try_into().unwrap()),
+            f32::from_le_bytes(b[12..16].try_into().unwrap()),
+        ]
+    }
+    #[inline]
+    fn set_f32x4(&mut self, r: FReg, v: [f32; 4]) {
+        let b = &mut self.fregs[r.0 as usize];
+        for (i, x) in v.iter().enumerate() {
+            b[i * 4..i * 4 + 4].copy_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Read a scalar (lane 0) value as f64 regardless of precision.
+    #[inline]
+    fn scalar(&self, r: FReg, p: Prec) -> f64 {
+        match p {
+            Prec::S => self.freg_f32(r) as f64,
+            Prec::D => self.freg_f64(r),
+        }
+    }
+    #[inline]
+    fn set_scalar(&mut self, r: FReg, p: Prec, v: f64) {
+        let b = &mut self.fregs[r.0 as usize];
+        match p {
+            Prec::S => b[0..4].copy_from_slice(&(v as f32).to_le_bytes()),
+            Prec::D => b[0..8].copy_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    /// Register readiness an instruction with this RHS must wait for at
+    /// *issue*: the register itself, or — for a memory operand — only the
+    /// address registers. Cache/memory latency of the operand does **not**
+    /// block issue (the load is pipelined); it only delays the result.
+    fn rhs_issue_ready(&self, src: &RegOrMem) -> u64 {
+        match src {
+            RegOrMem::Reg(r) => self.freg_ready[r.0 as usize],
+            RegOrMem::Mem(a) => self.addr_ready(a),
+        }
+    }
+
+    /// Resolve a scalar RHS at issue time `at`: returns (value, data-ready
+    /// time). Memory operands perform a timed load of `prec` bytes
+    /// initiated at `at`.
+    fn scalar_rhs(
+        &mut self,
+        src: &RegOrMem,
+        p: Prec,
+        mem: &Memory,
+        at: u64,
+    ) -> Result<(f64, u64), RunError> {
+        match src {
+            RegOrMem::Reg(r) => Ok((self.scalar(*r, p), self.freg_ready[r.0 as usize])),
+            RegOrMem::Mem(a) => {
+                let addr = self.ea(a);
+                let ready = self.load_access(addr, p.bytes(), at);
+                let v = match p {
+                    Prec::S => mem.read_f32(addr)? as f64,
+                    Prec::D => mem.read_f64(addr)?,
+                };
+                Ok((v, ready))
+            }
+        }
+    }
+
+    /// Resolve a vector RHS as 2 f64 lanes or 4 f32 lanes widened to f64.
+    fn vector_rhs(
+        &mut self,
+        src: &RegOrMem,
+        p: Prec,
+        mem: &Memory,
+        at: u64,
+    ) -> Result<([f64; 4], u64), RunError> {
+        match src {
+            RegOrMem::Reg(r) => {
+                let v = self.read_lanes(*r, p);
+                Ok((v, self.freg_ready[r.0 as usize]))
+            }
+            RegOrMem::Mem(a) => {
+                let addr = self.ea(a);
+                let ready = self.load_access(addr, 16, at);
+                let v = self.load_lanes(mem, addr, p)?;
+                Ok((v, ready))
+            }
+        }
+    }
+
+    #[inline]
+    fn read_lanes(&self, r: FReg, p: Prec) -> [f64; 4] {
+        match p {
+            Prec::D => {
+                let [a, b] = self.f64x2(r);
+                [a, b, 0.0, 0.0]
+            }
+            Prec::S => {
+                let v = self.f32x4(r);
+                [v[0] as f64, v[1] as f64, v[2] as f64, v[3] as f64]
+            }
+        }
+    }
+
+    #[inline]
+    fn write_lanes(&mut self, r: FReg, p: Prec, v: [f64; 4]) {
+        match p {
+            Prec::D => self.set_f64x2(r, [v[0], v[1]]),
+            Prec::S => self.set_f32x4(r, [v[0] as f32, v[1] as f32, v[2] as f32, v[3] as f32]),
+        }
+    }
+
+    fn load_lanes(&self, mem: &Memory, addr: u64, p: Prec) -> Result<[f64; 4], RunError> {
+        Ok(match p {
+            Prec::D => [mem.read_f64(addr)?, mem.read_f64(addr + 8)?, 0.0, 0.0],
+            Prec::S => [
+                mem.read_f32(addr)? as f64,
+                mem.read_f32(addr + 4)? as f64,
+                mem.read_f32(addr + 8)? as f64,
+                mem.read_f32(addr + 12)? as f64,
+            ],
+        })
+    }
+
+    fn store_lanes(&self, mem: &mut Memory, addr: u64, p: Prec, r: FReg) -> Result<(), RunError> {
+        match p {
+            Prec::D => {
+                let [a, b] = self.f64x2(r);
+                mem.write_f64(addr, a)?;
+                mem.write_f64(addr + 8, b)?;
+            }
+            Prec::S => {
+                let v = self.f32x4(r);
+                for (i, x) in v.iter().enumerate() {
+                    mem.write_f32(addr + 4 * i as u64, *x)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------- run
+
+    /// Execute `prog` to `Halt`. Register and memory state persist; timing
+    /// state (cycle counter, scoreboard, stats) is reset at entry, cache
+    // ----------------------------------------------------------------- run
+
+    /// Enforce the finite out-of-order window: the in-order issue front
+    /// end may run at most `window_cycles` ahead of the oldest incomplete
+    /// result. Short (cache-hit) latencies are fully hidden; DRAM misses
+    /// exceed the window and stall the core for the excess — which is why
+    /// prefetching remains essential while in-cache dependence chains
+    /// (FP-add accumulators) still surface.
+    #[inline]
+    fn enforce_window(&mut self, ready: u64) {
+        let horizon = self.cycle + self.cfg.window_cycles;
+        if ready > horizon {
+            self.cycle = ready - self.cfg.window_cycles;
+            self.slots = 0;
+        }
+    }
+
+    /// Execute `prog` to `Halt`. Register and memory state persist; timing
+    /// state (cycle counter, scoreboard, stats) is reset at entry, cache
+    /// contents are **not** (context setup is the harness's job).
+    pub fn run(&mut self, prog: &Program, mem: &mut Memory) -> Result<RunStats, RunError> {
+        self.cycle = 0;
+        self.slots = 0;
+        self.ireg_ready = [0; NUM_IREGS];
+        self.freg_ready = [0; NUM_FREGS];
+        self.flags_ready = 0;
+        self.stats = RunStats::default();
+        self.bus.reset();
+        self.wc.clear();
+        self.width = self.cfg.effective_width(prog.len());
+        self.predictor.clear();
+        self.predictor.resize(prog.len(), PRED_UNSEEN);
+
+        let mut pc = 0usize;
+        let fadd = self.cfg.fadd_lat;
+        let fmul = self.cfg.fmul_lat;
+        let fdiv = self.cfg.fdiv_lat;
+        let fmov = self.cfg.fmov_lat;
+        let intl = self.cfg.int_lat;
+
+        loop {
+            if self.stats.insts >= self.inst_limit {
+                return Err(RunError::InstLimit { limit: self.inst_limit });
+            }
+            let Some(inst) = prog.insts.get(pc) else {
+                return Err(RunError::RanOffEnd);
+            };
+            self.stats.insts += 1;
+            let mut next_pc = pc + 1;
+
+            macro_rules! ird {
+                ($r:expr) => {
+                    self.ireg_ready[$r.0 as usize]
+                };
+            }
+            macro_rules! frd {
+                ($r:expr) => {
+                    self.freg_ready[$r.0 as usize]
+                };
+            }
+            // Issue at the next front-end slot; operand readiness delays
+            // only the *result*, bounded by the window.
+            macro_rules! fin {
+                ($dst_ready:expr) => {{
+                    let r = $dst_ready;
+                    self.enforce_window(r);
+                    r
+                }};
+            }
+
+            match inst {
+                Inst::IMovImm(d, v) => {
+                    let t = self.issue_at(0);
+                    self.iregs[d.0 as usize] = *v;
+                    ird!(d) = fin!(t + intl);
+                }
+                Inst::IMov(d, s) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(s)) + intl;
+                    self.iregs[d.0 as usize] = self.iregs[s.0 as usize];
+                    ird!(d) = fin!(r);
+                }
+                Inst::IAdd(d, s) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(d)).max(ird!(s)) + intl;
+                    self.iregs[d.0 as usize] =
+                        self.iregs[d.0 as usize].wrapping_add(self.iregs[s.0 as usize]);
+                    ird!(d) = fin!(r);
+                }
+                Inst::IAddImm(d, v) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(d)) + intl;
+                    self.iregs[d.0 as usize] = self.iregs[d.0 as usize].wrapping_add(*v);
+                    ird!(d) = fin!(r);
+                }
+                Inst::ISub(d, s) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(d)).max(ird!(s)) + intl;
+                    self.iregs[d.0 as usize] =
+                        self.iregs[d.0 as usize].wrapping_sub(self.iregs[s.0 as usize]);
+                    ird!(d) = fin!(r);
+                }
+                Inst::ISubImm(d, v) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(d)) + intl;
+                    self.iregs[d.0 as usize] = self.iregs[d.0 as usize].wrapping_sub(*v);
+                    ird!(d) = fin!(r);
+                }
+                Inst::IShlImm(d, s) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(d)) + intl;
+                    self.iregs[d.0 as usize] <<= s;
+                    ird!(d) = fin!(r);
+                }
+                Inst::IDivImm(d, v) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(d)) + 20;
+                    self.iregs[d.0 as usize] /= v;
+                    ird!(d) = fin!(r);
+                }
+                Inst::IRemImm(d, v) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(d)) + 20;
+                    self.iregs[d.0 as usize] %= v;
+                    ird!(d) = fin!(r);
+                }
+                Inst::Lea(d, a) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(self.addr_ready(a)) + intl;
+                    self.iregs[d.0 as usize] = self.ea(a) as i64;
+                    ird!(d) = fin!(r);
+                }
+                Inst::ICmp(a, b) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(a)).max(ird!(b)) + intl;
+                    self.flags = threeway(self.iregs[a.0 as usize], self.iregs[b.0 as usize]);
+                    self.flags_ready = fin!(r);
+                }
+                Inst::ICmpImm(a, v) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(a)) + intl;
+                    self.flags = threeway(self.iregs[a.0 as usize], *v);
+                    self.flags_ready = fin!(r);
+                }
+                Inst::IDec(d) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(ird!(d)) + intl;
+                    self.iregs[d.0 as usize] -= 1;
+                    self.flags = threeway(self.iregs[d.0 as usize], 0);
+                    ird!(d) = r;
+                    self.flags_ready = fin!(r);
+                }
+                Inst::ILoad(d, a) => {
+                    let t = self.issue_at(0);
+                    let start = t.max(self.addr_ready(a));
+                    let addr = self.ea(a);
+                    let ready = self.load_access(addr, 8, start);
+                    self.iregs[d.0 as usize] = mem.read_i64(addr)?;
+                    ird!(d) = fin!(ready);
+                }
+                Inst::IStore(a, s) => {
+                    let t = self.issue_at(0);
+                    let te = t.max(self.addr_ready(a)).max(ird!(s));
+                    let addr = self.ea(a);
+                    self.store_access(addr, 8, te);
+                    mem.write_i64(addr, self.iregs[s.0 as usize])?;
+                }
+                Inst::Jmp(l) => {
+                    self.issue_at(0);
+                    self.end_group();
+                    next_pc = prog.target(*l);
+                }
+                Inst::Jcc(c, l) => {
+                    let t = self.issue_at(0);
+                    self.stats.branches += 1;
+                    let taken = c.eval(self.flags);
+                    let pred = self.predictor[pc];
+                    let predicted_taken = match pred {
+                        PRED_UNSEEN => prog.target(*l) <= pc, // static: backward taken
+                        p => p == 1,
+                    };
+                    if predicted_taken != taken {
+                        // The pipeline restarts once the branch resolves
+                        // (flags ready), plus the mispredict penalty.
+                        self.stats.mispredicts += 1;
+                        self.cycle = t.max(self.flags_ready) + self.cfg.branch_misp;
+                        self.slots = 0;
+                    } else if taken {
+                        self.end_group();
+                    }
+                    self.predictor[pc] = taken as u8;
+                    if taken {
+                        next_pc = prog.target(*l);
+                    }
+                }
+                Inst::Halt => {
+                    let now = self.cycle;
+                    self.flush_wc(now);
+                    // All in-flight results must complete.
+                    let regs_done = self
+                        .ireg_ready
+                        .iter()
+                        .chain(self.freg_ready.iter())
+                        .copied()
+                        .max()
+                        .unwrap_or(0)
+                        .max(self.flags_ready);
+                    let drained = self.bus.drain_all(self.cycle);
+                    self.stats.cycles = self.cycle.max(regs_done).max(drained);
+                    self.stats.bus_read_bytes = self.bus.bytes_read;
+                    self.stats.bus_write_bytes = self.bus.bytes_written;
+                    return Ok(self.stats);
+                }
+
+                Inst::FLd(d, a, p) => {
+                    let t = self.issue_at(0);
+                    let start = t.max(self.addr_ready(a));
+                    let addr = self.ea(a);
+                    let ready = self.load_access(addr, p.bytes(), start);
+                    let v = match p {
+                        Prec::S => mem.read_f32(addr)? as f64,
+                        Prec::D => mem.read_f64(addr)?,
+                    };
+                    self.fregs[d.0 as usize] = [0; 16];
+                    self.set_scalar(*d, *p, v);
+                    frd!(d) = fin!(ready);
+                }
+                Inst::FSt(a, s, p) => {
+                    let t = self.issue_at(0);
+                    let te = t.max(self.addr_ready(a)).max(frd!(s));
+                    let addr = self.ea(a);
+                    self.store_access(addr, p.bytes(), te);
+                    let v = self.scalar(*s, *p);
+                    match p {
+                        Prec::S => mem.write_f32(addr, v as f32)?,
+                        Prec::D => mem.write_f64(addr, v)?,
+                    }
+                }
+                Inst::FStNt(a, s, p) => {
+                    let t = self.issue_at(0);
+                    let te = t.max(self.addr_ready(a)).max(frd!(s));
+                    let addr = self.ea(a);
+                    self.nt_store_access(addr, p.bytes(), te);
+                    let v = self.scalar(*s, *p);
+                    match p {
+                        Prec::S => mem.write_f32(addr, v as f32)?,
+                        Prec::D => mem.write_f64(addr, v)?,
+                    }
+                }
+                Inst::FMov(d, s, _p) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(frd!(s)) + fmov;
+                    self.fregs[d.0 as usize] = self.fregs[s.0 as usize];
+                    frd!(d) = fin!(r);
+                }
+                Inst::FLdImm(d, v, p) => {
+                    let t = self.issue_at(0);
+                    self.fregs[d.0 as usize] = [0; 16];
+                    self.set_scalar(*d, *p, *v);
+                    frd!(d) = fin!(t + fmov);
+                }
+                Inst::FZero(d) => {
+                    let t = self.issue_at(0);
+                    self.fregs[d.0 as usize] = [0; 16];
+                    frd!(d) = fin!(t + fmov);
+                }
+                Inst::FAdd(d, s, p) | Inst::FSub(d, s, p) | Inst::FMul(d, s, p)
+                | Inst::FDiv(d, s, p) | Inst::FMax(d, s, p) => {
+                    let t = self.issue_at(0);
+                    let load_at = t.max(self.rhs_issue_ready(s));
+                    let (rhs, rhs_ready) = self.scalar_rhs(s, *p, mem, load_at)?;
+                    let lhs = self.scalar(*d, *p);
+                    let (out, lat) = match inst {
+                        Inst::FAdd(..) => (lhs + rhs, fadd),
+                        Inst::FSub(..) => (lhs - rhs, fadd),
+                        Inst::FMul(..) => (lhs * rhs, fmul),
+                        Inst::FDiv(..) => (lhs / rhs, fdiv),
+                        Inst::FMax(..) => (if rhs > lhs { rhs } else { lhs }, fadd),
+                        _ => unreachable!(),
+                    };
+                    let out = match p {
+                        Prec::S => (out as f32) as f64,
+                        Prec::D => out,
+                    };
+                    let r = t.max(frd!(d)).max(rhs_ready) + lat;
+                    self.set_scalar(*d, *p, out);
+                    frd!(d) = fin!(r);
+                }
+                Inst::FAbs(d, p) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(frd!(d)) + fmov;
+                    let v = self.scalar(*d, *p).abs();
+                    self.set_scalar(*d, *p, v);
+                    frd!(d) = fin!(r);
+                }
+                Inst::FSqrt(d, p) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(frd!(d)) + fdiv; // sqrt ~ divide latency
+                    let v = match p {
+                        Prec::S => (self.scalar(*d, *p) as f32).sqrt() as f64,
+                        Prec::D => self.scalar(*d, *p).sqrt(),
+                    };
+                    self.set_scalar(*d, *p, v);
+                    frd!(d) = fin!(r);
+                }
+                Inst::FCmp(a, b, p) => {
+                    let t = self.issue_at(0);
+                    let load_at = t.max(self.rhs_issue_ready(b));
+                    let (rhs, rhs_ready) = self.scalar_rhs(b, *p, mem, load_at)?;
+                    let lhs = self.scalar(*a, *p);
+                    self.flags = fthreeway(lhs, rhs);
+                    self.flags_ready = fin!(t.max(frd!(a)).max(rhs_ready) + self.cfg.fcmp_lat);
+                }
+
+                Inst::VLd(d, a, p, aligned) => {
+                    let t = self.issue_at(0);
+                    let start = t.max(self.addr_ready(a));
+                    let addr = self.ea(a);
+                    let mut ready = self.load_access(addr, 16, start);
+                    if !aligned {
+                        ready += self.cfg.unaligned_penalty;
+                    }
+                    let lanes = self.load_lanes(mem, addr, *p)?;
+                    self.write_lanes(*d, *p, lanes);
+                    frd!(d) = fin!(ready);
+                }
+                Inst::VSt(a, s, p, aligned) => {
+                    let t = self.issue_at(0);
+                    let mut te = t.max(self.addr_ready(a)).max(frd!(s));
+                    if !aligned {
+                        te += self.cfg.unaligned_penalty;
+                    }
+                    let addr = self.ea(a);
+                    self.store_access(addr, 16, te);
+                    self.store_lanes(mem, addr, *p, *s)?;
+                }
+                Inst::VStNt(a, s, p) => {
+                    let t = self.issue_at(0);
+                    let te = t.max(self.addr_ready(a)).max(frd!(s));
+                    let addr = self.ea(a);
+                    self.nt_store_access(addr, 16, te);
+                    self.store_lanes(mem, addr, *p, *s)?;
+                }
+                Inst::VMov(d, s) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(frd!(s)) + fmov;
+                    self.fregs[d.0 as usize] = self.fregs[s.0 as usize];
+                    frd!(d) = fin!(r);
+                }
+                Inst::VBcast(d, s, p) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(frd!(s)) + self.cfg.bcast_lat;
+                    let v = self.scalar(*s, *p);
+                    self.write_lanes(*d, *p, [v, v, v, v]);
+                    frd!(d) = fin!(r);
+                }
+                Inst::VAdd(d, s, p) | Inst::VSub(d, s, p) | Inst::VMul(d, s, p)
+                | Inst::VMax(d, s, p) => {
+                    let t = self.issue_at(0);
+                    let load_at = t.max(self.rhs_issue_ready(s));
+                    let (rhs, rhs_ready) = self.vector_rhs(s, *p, mem, load_at)?;
+                    let lhs = self.read_lanes(*d, *p);
+                    let n = p.veclen() as usize;
+                    let mut out = lhs;
+                    let lat = match inst {
+                        Inst::VAdd(..) => {
+                            for i in 0..n {
+                                out[i] = lhs[i] + rhs[i];
+                            }
+                            fadd
+                        }
+                        Inst::VSub(..) => {
+                            for i in 0..n {
+                                out[i] = lhs[i] - rhs[i];
+                            }
+                            fadd
+                        }
+                        Inst::VMul(..) => {
+                            for i in 0..n {
+                                out[i] = lhs[i] * rhs[i];
+                            }
+                            fmul
+                        }
+                        Inst::VMax(..) => {
+                            for i in 0..n {
+                                out[i] = if rhs[i] > lhs[i] { rhs[i] } else { lhs[i] };
+                            }
+                            fadd
+                        }
+                        _ => unreachable!(),
+                    };
+                    if *p == Prec::S {
+                        for v in out.iter_mut().take(n) {
+                            *v = (*v as f32) as f64;
+                        }
+                    }
+                    let r = t.max(frd!(d)).max(rhs_ready) + lat;
+                    self.write_lanes(*d, *p, out);
+                    frd!(d) = fin!(r);
+                }
+                Inst::VAbs(d, p) => {
+                    let t = self.issue_at(0);
+                    let r = t.max(frd!(d)) + fmov;
+                    let mut v = self.read_lanes(*d, *p);
+                    for x in &mut v {
+                        *x = x.abs();
+                    }
+                    self.write_lanes(*d, *p, v);
+                    frd!(d) = fin!(r);
+                }
+                Inst::VCmpGt(d, s, p) => {
+                    let t = self.issue_at(0);
+                    let load_at = t.max(self.rhs_issue_ready(s));
+                    let (rhs, rhs_ready) = self.vector_rhs(s, *p, mem, load_at)?;
+                    let lhs = self.read_lanes(*d, *p);
+                    let n = p.veclen() as usize;
+                    // Write lane masks as raw bit patterns (all-ones /
+                    // all-zeros), exactly like cmpps — never through float
+                    // casts, whose NaN handling is not bit-stable.
+                    let lane_bytes = p.bytes() as usize;
+                    let mut raw = [0u8; 16];
+                    for i in 0..n {
+                        if lhs[i] > rhs[i] {
+                            for b in 0..lane_bytes {
+                                raw[i * lane_bytes + b] = 0xFF;
+                            }
+                        }
+                    }
+                    let r = t.max(frd!(d)).max(rhs_ready) + self.cfg.fcmp_lat;
+                    self.fregs[d.0 as usize] = raw;
+                    frd!(d) = fin!(r);
+                }
+                Inst::VMovMsk(d, s, p) => {
+                    let t = self.issue_at(0);
+                    let n = p.veclen() as usize;
+                    let mut mask = 0i64;
+                    let b = &self.fregs[s.0 as usize];
+                    for i in 0..n {
+                        let sign = match p {
+                            Prec::D => b[i * 8 + 7] & 0x80 != 0,
+                            Prec::S => b[i * 4 + 3] & 0x80 != 0,
+                        };
+                        if sign {
+                            mask |= 1 << i;
+                        }
+                    }
+                    self.iregs[d.0 as usize] = mask;
+                    self.flags = if mask == 0 { 0 } else { 1 };
+                    let lat = self.cfg.fcmp_lat + 1;
+                    let r = t.max(frd!(s)) + lat;
+                    ird!(d) = r;
+                    self.flags_ready = fin!(r);
+                }
+                Inst::VHSum(d, s, p) => {
+                    let t = self.issue_at(0);
+                    let v = self.read_lanes(*s, *p);
+                    let n = p.veclen() as usize;
+                    let sum: f64 = v[..n].iter().sum();
+                    let sum = if *p == Prec::S { (sum as f32) as f64 } else { sum };
+                    self.fregs[d.0 as usize] = [0; 16];
+                    self.set_scalar(*d, *p, sum);
+                    frd!(d) = fin!(t.max(frd!(s)) + self.cfg.hsum_lat);
+                }
+                Inst::VHMax(d, s, p) => {
+                    let t = self.issue_at(0);
+                    let v = self.read_lanes(*s, *p);
+                    let n = p.veclen() as usize;
+                    let m = v[..n].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    self.fregs[d.0 as usize] = [0; 16];
+                    self.set_scalar(*d, *p, m);
+                    frd!(d) = fin!(t.max(frd!(s)) + self.cfg.hsum_lat);
+                }
+
+                Inst::Prefetch(a, kind) => {
+                    let t = self.issue_at(0);
+                    let at = t.max(self.addr_ready(a));
+                    let addr = self.ea(a);
+                    self.prefetch_access(addr, *kind, at);
+                }
+            }
+            pc = next_pc;
+        }
+    }
+}
+
+#[inline]
+fn threeway(a: i64, b: i64) -> i32 {
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    }
+}
+
+#[inline]
+fn fthreeway(a: f64, b: f64) -> i32 {
+    if a < b {
+        -1
+    } else if a > b {
+        1
+    } else {
+        0
+    }
+}
+

@@ -1,0 +1,53 @@
+//! # ifko-xsim — an executable x86-like machine simulator
+//!
+//! This crate is the hardware substrate for the iFKO reproduction. The
+//! original paper (Whaley & Whalley, ICPP 2005) timed compiled kernels on a
+//! 2.8 GHz Pentium 4E and a 1.6 GHz Opteron using cycle-accurate hardware
+//! walltimers. Neither machine (nor any 2005-era x86) is available here, so
+//! `xsim` provides the closest synthetic equivalent: a small, deterministic,
+//! *executable* machine model whose ISA and micro-architecture expose every
+//! mechanism the paper's empirical search tunes:
+//!
+//! * an SSE-style register file (8 XMM registers holding 4×f32 or 2×f64)
+//!   next to a small integer file, so SIMD vectorization ([`isa::Inst::VAdd`]
+//!   and friends) and register pressure are real;
+//! * a two-level set-associative cache hierarchy with a shared memory bus of
+//!   finite bandwidth and a read/write turnaround penalty, so prefetch
+//!   distance has an interior optimum and bus-bound kernels behave like the
+//!   paper's swap/axpy;
+//! * software prefetch instructions in the paper's four flavours
+//!   (`prefetcht0/t1/t2`, `prefetchnta`, 3DNow! `prefetchw`) that are
+//!   **dropped when the bus is busy**, reproducing the paper's observation
+//!   that bus-bound operations gain little from prefetch;
+//! * non-temporal stores whose cost model differs between the two machine
+//!   configurations exactly along the axis the paper describes: cheap on the
+//!   P4E-like machine, expensive on the Opteron-like machine whenever the
+//!   stored operand was also read (i.e. is not write-only);
+//! * an in-order, superscalar issue model with a scoreboard, a loop/trace
+//!   buffer whose capacity limits very large unrolled bodies, FP latencies
+//!   that make accumulator expansion profitable in-cache, and a 1-bit branch
+//!   predictor that penalizes the data-dependent branch in `iamax`.
+//!
+//! Programs are assembled with [`asm::Asm`], executed with [`cpu::Cpu`]
+//! against a [`mem::Memory`], on a [`machine::MachineConfig`] (see
+//! [`machine::p4e`] and [`machine::opteron`]). Execution is *functional*
+//! (stores really store, dot products really accumulate) **and** *timed*
+//! (the run returns simulated cycles plus detailed [`stats::RunStats`]), so
+//! the same run is used by the iFKO tester for correctness and by the timer
+//! for performance.
+
+pub mod asm;
+pub mod bus;
+pub mod cache;
+pub mod cpu;
+pub mod isa;
+pub mod machine;
+pub mod mem;
+pub mod stats;
+
+pub use asm::Asm;
+pub use cpu::{Cpu, RunError};
+pub use isa::{Addr, Cond, FReg, IReg, Inst, Prec, PrefKind, Program, RegOrMem};
+pub use machine::{opteron, p4e, MachineConfig};
+pub use mem::Memory;
+pub use stats::RunStats;

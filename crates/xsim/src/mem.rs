@@ -1,0 +1,204 @@
+//! Flat byte-addressable data memory with a bump allocator.
+//!
+//! Kernel operands (vectors, scalars spilled to stack) live here. Addresses
+//! are plain `u64` offsets from a nonzero base so that accidental
+//! null-pointer style bugs in generated code trap instead of silently
+//! reading byte 0.
+
+/// Default base address of the allocatable region. Chosen to be
+/// page- and line-aligned and nonzero.
+pub const DEFAULT_BASE: u64 = 0x1_0000;
+
+/// Simulated data memory.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    base: u64,
+    bytes: Vec<u8>,
+    next: u64,
+}
+
+/// Errors raised by out-of-range accesses from simulated code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemFault {
+    pub addr: u64,
+    pub len: u64,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory fault at 0x{:x} (len {})", self.addr, self.len)
+    }
+}
+impl std::error::Error for MemFault {}
+
+impl Memory {
+    /// Create a memory with `capacity` allocatable bytes.
+    pub fn new(capacity: usize) -> Self {
+        Memory { base: DEFAULT_BASE, bytes: vec![0; capacity], next: DEFAULT_BASE }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// First valid address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Allocate `len` bytes aligned to `align` (power of two); returns the
+    /// address. Panics if the region is exhausted — allocation happens at
+    /// harness setup time, not inside simulated code.
+    pub fn alloc(&mut self, len: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        let end = addr + len;
+        assert!(
+            end - self.base <= self.bytes.len() as u64,
+            "xsim memory exhausted: need {} bytes past 0x{:x}",
+            len,
+            addr
+        );
+        self.next = end;
+        addr
+    }
+
+    /// Allocate and zero-fill a vector of `n` elements of `elem_bytes`,
+    /// aligned to 16 bytes (SIMD) by default.
+    pub fn alloc_vector(&mut self, n: u64, elem_bytes: u64) -> u64 {
+        self.alloc(n * elem_bytes, 64)
+    }
+
+    #[inline]
+    fn offset(&self, addr: u64, len: u64) -> Result<usize, MemFault> {
+        if addr < self.base || addr + len > self.base + self.bytes.len() as u64 {
+            return Err(MemFault { addr, len });
+        }
+        Ok((addr - self.base) as usize)
+    }
+
+    /// Read `N` bytes.
+    #[inline]
+    pub fn read<const N: usize>(&self, addr: u64) -> Result<[u8; N], MemFault> {
+        let off = self.offset(addr, N as u64)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.bytes[off..off + N]);
+        Ok(out)
+    }
+
+    /// Write `N` bytes.
+    #[inline]
+    pub fn write<const N: usize>(&mut self, addr: u64, val: [u8; N]) -> Result<(), MemFault> {
+        let off = self.offset(addr, N as u64)?;
+        self.bytes[off..off + N].copy_from_slice(&val);
+        Ok(())
+    }
+
+    #[inline]
+    pub fn read_f32(&self, addr: u64) -> Result<f32, MemFault> {
+        Ok(f32::from_le_bytes(self.read::<4>(addr)?))
+    }
+    #[inline]
+    pub fn read_f64(&self, addr: u64) -> Result<f64, MemFault> {
+        Ok(f64::from_le_bytes(self.read::<8>(addr)?))
+    }
+    #[inline]
+    pub fn read_i64(&self, addr: u64) -> Result<i64, MemFault> {
+        Ok(i64::from_le_bytes(self.read::<8>(addr)?))
+    }
+    #[inline]
+    pub fn write_f32(&mut self, addr: u64, v: f32) -> Result<(), MemFault> {
+        self.write(addr, v.to_le_bytes())
+    }
+    #[inline]
+    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), MemFault> {
+        self.write(addr, v.to_le_bytes())
+    }
+    #[inline]
+    pub fn write_i64(&mut self, addr: u64, v: i64) -> Result<(), MemFault> {
+        self.write(addr, v.to_le_bytes())
+    }
+
+    /// Copy an `f64` slice into memory at `addr`.
+    pub fn store_f64_slice(&mut self, addr: u64, data: &[f64]) -> Result<(), MemFault> {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, v)?;
+        }
+        Ok(())
+    }
+
+    /// Copy an `f32` slice into memory at `addr`.
+    pub fn store_f32_slice(&mut self, addr: u64, data: &[f32]) -> Result<(), MemFault> {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u64, v)?;
+        }
+        Ok(())
+    }
+
+    /// Read `n` f64 values starting at `addr`.
+    pub fn load_f64_slice(&self, addr: u64, n: usize) -> Result<Vec<f64>, MemFault> {
+        (0..n).map(|i| self.read_f64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Read `n` f32 values starting at `addr`.
+    pub fn load_f32_slice(&self, addr: u64, n: usize) -> Result<Vec<f32>, MemFault> {
+        (0..n).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Reset the allocator (keeps capacity, zeroes nothing).
+    pub fn reset_alloc(&mut self) {
+        self.next = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_alignment_and_progress() {
+        let mut m = Memory::new(1 << 16);
+        let a = m.alloc(10, 64);
+        assert_eq!(a % 64, 0);
+        let b = m.alloc(1, 16);
+        assert!(b >= a + 10);
+        assert_eq!(b % 16, 0);
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = Memory::new(4096);
+        let a = m.alloc(64, 64);
+        m.write_f64(a, 3.25).unwrap();
+        m.write_f32(a + 8, -1.5).unwrap();
+        m.write_i64(a + 16, -42).unwrap();
+        assert_eq!(m.read_f64(a).unwrap(), 3.25);
+        assert_eq!(m.read_f32(a + 8).unwrap(), -1.5);
+        assert_eq!(m.read_i64(a + 16).unwrap(), -42);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let mut m = Memory::new(4096);
+        let a = m.alloc_vector(8, 8);
+        let data: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
+        m.store_f64_slice(a, &data).unwrap();
+        assert_eq!(m.load_f64_slice(a, 8).unwrap(), data);
+    }
+
+    #[test]
+    fn fault_below_base_and_past_end() {
+        let m = Memory::new(64);
+        assert!(m.read_f64(0).is_err());
+        assert!(m.read_f64(DEFAULT_BASE + 60).is_err());
+        assert!(m.read_f64(DEFAULT_BASE + 56).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_exhaustion_panics() {
+        let mut m = Memory::new(128);
+        m.alloc(256, 8);
+    }
+}

@@ -1,0 +1,88 @@
+//! Execution statistics returned by a simulated run.
+
+/// Counters collected during one program execution. `cycles` is the
+/// simulated wall time (including draining outstanding bus traffic at
+/// halt); everything else is diagnostic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total simulated core cycles.
+    pub cycles: u64,
+    /// Dynamic instructions executed.
+    pub insts: u64,
+    /// Data loads executed (scalar, vector, integer, and memory operands).
+    pub loads: u64,
+    /// Data stores executed (normal + non-temporal).
+    pub stores: u64,
+    /// L1 data cache hits / misses.
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    /// L2 hits / misses (probed only on L1 miss).
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    /// Bytes moved over the memory bus.
+    pub bus_read_bytes: u64,
+    pub bus_write_bytes: u64,
+    /// Software prefetches: accepted, dropped because the bus was busy, and
+    /// useless (line already resident in the target level).
+    pub prefetch_issued: u64,
+    pub prefetch_dropped: u64,
+    pub prefetch_useless: u64,
+    /// Lines fetched by the hardware stream prefetcher.
+    pub hw_prefetches: u64,
+    /// Non-temporal stores executed and write-combine buffer flushes.
+    pub nt_stores: u64,
+    pub wc_flushes: u64,
+    /// Conditional branches executed / mispredicted.
+    pub branches: u64,
+    pub mispredicts: u64,
+}
+
+impl RunStats {
+    /// MFLOPS given a FLOP count and a core frequency in MHz:
+    /// `flops / (cycles / mhz)` — the paper's Figure 5 metric.
+    pub fn mflops(&self, flops: u64, mhz: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        flops as f64 * mhz as f64 / self.cycles as f64
+    }
+
+    /// Cycles per element for an N-element kernel (diagnostic).
+    pub fn cycles_per_elem(&self, n: u64) -> f64 {
+        self.cycles as f64 / n.max(1) as f64
+    }
+
+    /// L1 miss ratio over all cache-probing accesses.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mflops_formula() {
+        let s = RunStats { cycles: 2800, ..Default::default() };
+        // 2800 cycles at 2800 MHz = 1 microsecond; 1000 flops in 1us = 1000 MFLOPS.
+        assert!((s.mflops(1000, 2800) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mflops_zero_cycles_is_zero() {
+        assert_eq!(RunStats::default().mflops(100, 1000), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let s = RunStats { l1_hits: 75, l1_misses: 25, ..Default::default() };
+        assert!((s.l1_miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(RunStats::default().l1_miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Coverage tests for the less-travelled corners of the ISA and CPU:
+//! indexed addressing, integer loads/stores, shifts, division, horizontal
+//! max, unaligned vector access, and the branch predictor.
+
+use ifko_xsim::isa::Inst::*;
+use ifko_xsim::isa::{Addr, Cond, FReg, IReg, Prec, RegOrMem};
+use ifko_xsim::{opteron, p4e, Asm, Cpu, Memory};
+
+fn fresh(memsize: usize) -> (Cpu, Memory) {
+    let mut cpu = Cpu::new(p4e());
+    cpu.flush_caches();
+    (cpu, Memory::new(memsize))
+}
+
+#[test]
+fn lea_and_indexed_addressing() {
+    let (mut cpu, mut m) = fresh(1 << 16);
+    let base = m.alloc(256, 64);
+    m.write_f64(base + 5 * 8, 42.5).unwrap();
+    let mut a = Asm::new();
+    // r1 = 5; load x0 from [r0 + r1*8]
+    a.push(IMovImm(IReg(1), 5));
+    a.push(FLd(FReg(0), Addr::base_index(IReg(0), IReg(1), 8, 0), Prec::D));
+    // lea r2 = r0 + r1*8 + 8
+    a.push(Lea(IReg(2), Addr::base_index(IReg(0), IReg(1), 8, 8)));
+    a.push(Halt);
+    cpu.set_ireg(IReg(0), base as i64);
+    cpu.run(&a.finish(), &mut m).unwrap();
+    assert_eq!(cpu.freg_f64(FReg(0)), 42.5);
+    assert_eq!(cpu.ireg(IReg(2)), (base + 48) as i64);
+}
+
+#[test]
+fn integer_load_store_roundtrip() {
+    let (mut cpu, mut m) = fresh(1 << 16);
+    let base = m.alloc(64, 64);
+    let mut a = Asm::new();
+    a.push(IMovImm(IReg(1), -123456789));
+    a.push(IStore(Addr::base(IReg(0)), IReg(1)));
+    a.push(ILoad(IReg(2), Addr::base(IReg(0))));
+    a.push(Halt);
+    cpu.set_ireg(IReg(0), base as i64);
+    cpu.run(&a.finish(), &mut m).unwrap();
+    assert_eq!(cpu.ireg(IReg(2)), -123456789);
+    assert_eq!(m.read_i64(base).unwrap(), -123456789);
+}
+
+#[test]
+fn shifts_div_rem() {
+    let (mut cpu, mut m) = fresh(4096);
+    let mut a = Asm::new();
+    a.push(IMovImm(IReg(0), 5));
+    a.push(IShlImm(IReg(0), 3)); // 40
+    a.push(IMov(IReg(1), IReg(0)));
+    a.push(IDivImm(IReg(1), 6)); // 6
+    a.push(IMov(IReg(2), IReg(0)));
+    a.push(IRemImm(IReg(2), 6)); // 4
+    a.push(Halt);
+    cpu.run(&a.finish(), &mut m).unwrap();
+    assert_eq!(cpu.ireg(IReg(0)), 40);
+    assert_eq!(cpu.ireg(IReg(1)), 6);
+    assert_eq!(cpu.ireg(IReg(2)), 4);
+}
+
+#[test]
+fn vhmax_reduces_lanes() {
+    let (mut cpu, mut m) = fresh(1 << 16);
+    let base = m.alloc(64, 64);
+    m.store_f64_slice(base, &[3.5, -7.0]).unwrap();
+    let mut a = Asm::new();
+    a.push(VLd(FReg(0), Addr::base(IReg(0)), Prec::D, true));
+    a.push(VHMax(FReg(1), FReg(0), Prec::D));
+    a.push(Halt);
+    cpu.set_ireg(IReg(0), base as i64);
+    cpu.run(&a.finish(), &mut m).unwrap();
+    assert_eq!(cpu.freg_f64(FReg(1)), 3.5);
+}
+
+#[test]
+fn fsqrt_computes_per_precision() {
+    let (mut cpu, mut m) = fresh(4096);
+    let mut a = Asm::new();
+    a.push(FLdImm(FReg(0), 2.0, Prec::D));
+    a.push(FSqrt(FReg(0), Prec::D));
+    a.push(FLdImm(FReg(1), 2.0, Prec::S));
+    a.push(FSqrt(FReg(1), Prec::S));
+    a.push(Halt);
+    cpu.run(&a.finish(), &mut m).unwrap();
+    assert_eq!(cpu.freg_f64(FReg(0)), 2.0f64.sqrt());
+    assert_eq!(cpu.freg_f32(FReg(1)), 2.0f32.sqrt());
+}
+
+#[test]
+fn unaligned_vector_access_works_and_costs_more() {
+    let run = |disp: i64| {
+        let (mut cpu, mut m) = fresh(1 << 16);
+        let base = m.alloc(4096, 64);
+        for i in 0..32 {
+            m.write_f64(base + 8 * i, i as f64).unwrap();
+        }
+        cpu.preload_all(base, 4096);
+        let mut a = Asm::new();
+        let aligned = disp % 16 == 0;
+        for k in 0..64 {
+            let _ = k;
+            a.push(VLd(FReg(0), Addr::base_disp(IReg(0), disp), Prec::D, aligned));
+            a.push(VAdd(FReg(1), RegOrMem::Reg(FReg(0)), Prec::D));
+        }
+        a.push(Halt);
+        cpu.set_ireg(IReg(0), base as i64);
+        let s = cpu.run(&a.finish(), &mut m).unwrap();
+        (cpu.freg_f64(FReg(1)), s.cycles)
+    };
+    let (lane0_a, cyc_a) = run(0);
+    let (lane0_u, cyc_u) = run(8); // unaligned to 16 bytes
+    // lane 0 accumulates element [disp/8] 64 times.
+    assert_eq!(lane0_a, 0.0);
+    assert_eq!(lane0_u, 64.0);
+    assert!(cyc_u > cyc_a, "unaligned ({cyc_u}) must cost more than aligned ({cyc_a})");
+}
+
+#[test]
+fn branch_predictor_learns_loop_exits() {
+    // A nested-style loop pattern: inner branch alternates direction each
+    // outer iteration; the 1-bit predictor mispredicts on changes only.
+    let (mut cpu, mut m) = fresh(4096);
+    let mut a = Asm::new();
+    a.push(IMovImm(IReg(0), 100)); // outer count
+    let outer = a.here();
+    a.push(IMovImm(IReg(1), 10)); // inner count
+    let inner = a.here();
+    a.push(IDec(IReg(1)));
+    a.push(Jcc(Cond::Gt, inner)); // taken 9x, not-taken once per outer
+    a.push(IDec(IReg(0)));
+    a.push(Jcc(Cond::Gt, outer));
+    a.push(Halt);
+    let s = cpu.run(&a.finish(), &mut m).unwrap();
+    // The inner exit mispredicts at most twice per outer iteration (once
+    // leaving, once re-entering); total branches = 100*10 + 100.
+    assert_eq!(s.branches, 1100);
+    assert!(
+        s.mispredicts <= 201,
+        "1-bit predictor should cap mispredicts at ~2/outer, got {}",
+        s.mispredicts
+    );
+    assert!(s.mispredicts >= 99, "loop exits must mispredict");
+}
+
+#[test]
+fn opteron_and_p4e_time_the_same_program_differently() {
+    let prog = {
+        let mut a = Asm::new();
+        a.push(IMovImm(IReg(1), 1000));
+        let top = a.here();
+        a.push(FAdd(FReg(0), RegOrMem::Reg(FReg(1)), Prec::D)); // lat chain
+        a.push(IDec(IReg(1)));
+        a.push(Jcc(Cond::Gt, top));
+        a.push(Halt);
+        a.finish()
+    };
+    let mut m1 = Memory::new(4096);
+    let mut c1 = Cpu::new(p4e());
+    let s1 = c1.run(&prog, &mut m1).unwrap();
+    let mut m2 = Memory::new(4096);
+    let mut c2 = Cpu::new(opteron());
+    let s2 = c2.run(&prog, &mut m2).unwrap();
+    // P4E fadd latency 5 vs Opteron 4: the chain dominates.
+    assert!(s1.cycles > s2.cycles, "P4E {} vs Opteron {}", s1.cycles, s2.cycles);
+    assert_eq!(s1.insts, s2.insts);
+}
+
+#[test]
+fn halt_waits_for_inflight_results() {
+    // A long-latency op right before halt must be counted.
+    let (mut cpu, mut m) = fresh(4096);
+    let mut a = Asm::new();
+    a.push(FLdImm(FReg(0), 2.0, Prec::D));
+    for _ in 0..4 {
+        a.push(FDiv(FReg(0), RegOrMem::Reg(FReg(0)), Prec::D));
+    }
+    a.push(Halt);
+    let s = cpu.run(&a.finish(), &mut m).unwrap();
+    // 4 dependent divides at 32 cycles each.
+    assert!(s.cycles >= 4 * 32, "cycles {} must cover the divide chain", s.cycles);
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the machine-model substrate: the cache against
+//! a reference set-associative LRU model, and bus invariants.
+
+use ifko_xsim::bus::{Bus, BusCfg};
+use ifko_xsim::cache::{Cache, CacheCfg, Probe};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference LRU model: per-set queue of tags, most recent at the back.
+struct RefCache {
+    cfg: CacheCfg,
+    sets: Vec<VecDeque<u64>>,
+}
+
+impl RefCache {
+    fn new(cfg: CacheCfg) -> Self {
+        let nsets = cfg.sets() as usize;
+        RefCache { cfg, sets: (0..nsets).map(|_| VecDeque::new()).collect() }
+    }
+    fn set_tag(&self, addr: u64) -> (usize, u64) {
+        let lineno = addr / self.cfg.line;
+        let set = (lineno % self.cfg.sets()) as usize;
+        let tag = lineno / self.cfg.sets();
+        (set, tag)
+    }
+    fn probe(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_tag(addr);
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&t| t == tag) {
+            q.remove(pos);
+            q.push_back(tag);
+            true
+        } else {
+            false
+        }
+    }
+    fn insert(&mut self, addr: u64) {
+        let (set, tag) = self.set_tag(addr);
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&t| t == tag) {
+            q.remove(pos);
+        } else if q.len() == self.cfg.assoc as usize {
+            q.pop_front();
+        }
+        q.push_back(tag);
+    }
+    fn invalidate(&mut self, addr: u64) {
+        let (set, tag) = self.set_tag(addr);
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&t| t == tag) {
+            q.remove(pos);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Probe(u64),
+    Insert(u64),
+    Invalidate(u64),
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    // Addresses in a small window so sets collide and evictions happen.
+    let addr = 0u64..8192;
+    prop::collection::vec(
+        prop_oneof![
+            addr.clone().prop_map(CacheOp::Probe),
+            addr.clone().prop_map(CacheOp::Insert),
+            addr.prop_map(CacheOp::Invalidate),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    /// The cache's hit/miss behaviour matches the reference LRU model
+    /// under arbitrary probe/insert/invalidate sequences.
+    #[test]
+    fn cache_matches_reference_lru(ops in cache_ops()) {
+        let cfg = CacheCfg { size: 1024, line: 64, assoc: 2, latency: 1 };
+        let mut dut = Cache::new(cfg);
+        let mut refc = RefCache::new(cfg);
+        for op in ops {
+            match op {
+                CacheOp::Probe(a) => {
+                    let hit_dut = matches!(dut.probe(a), Probe::Hit { .. });
+                    let hit_ref = refc.probe(a);
+                    prop_assert_eq!(hit_dut, hit_ref, "probe {:#x}", a);
+                }
+                CacheOp::Insert(a) => {
+                    dut.insert(a, 0, false);
+                    refc.insert(a);
+                }
+                CacheOp::Invalidate(a) => {
+                    dut.invalidate(a);
+                    refc.invalidate(a);
+                }
+            }
+        }
+    }
+
+    /// Bus reads never travel back in time and bandwidth is respected:
+    /// a read of B bytes occupies at least B/bpc cycles.
+    #[test]
+    fn bus_reads_are_monotonic_and_bandwidth_limited(
+        reqs in prop::collection::vec((0u64..10_000, 1u64..512), 1..100)
+    ) {
+        let bpc = 2.0;
+        let mut bus = Bus::new(BusCfg { bytes_per_cycle: bpc, turnaround: 8, write_queue: 256 });
+        let mut last_done = 0u64;
+        let mut now = 0u64;
+        for (advance, bytes) in reqs {
+            now += advance % 64;
+            let (start, done) = bus.read(now, bytes);
+            prop_assert!(start >= now, "transfer starts before request");
+            prop_assert!(start >= last_done.min(start), "overlapping transfers");
+            let min_cycles = (bytes as f64 / bpc).floor() as u64;
+            prop_assert!(done >= start + min_cycles.max(1) - 1,
+                "transfer faster than bandwidth: {} bytes in {} cycles", bytes, done - start);
+            prop_assert!(done > start);
+            last_done = done;
+        }
+    }
+
+    /// Buffered writes never reject and always increase the busy horizon,
+    /// and drain_all clears the backlog completely.
+    #[test]
+    fn bus_write_backlog_drains(writes in prop::collection::vec(1u64..256, 1..50)) {
+        let mut bus = Bus::new(BusCfg { bytes_per_cycle: 2.0, turnaround: 4, write_queue: 128 });
+        let mut total = 0u64;
+        for w in &writes {
+            bus.write(0, *w);
+            total += w;
+        }
+        prop_assert_eq!(bus.bytes_written, total);
+        let done = bus.drain_all(0);
+        // All bytes must take at least total/bpc cycles to drain.
+        prop_assert!(done >= (total as f64 / 2.0) as u64);
+        prop_assert!(!bus.busy(done));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Memory round-trips arbitrary f64 data at arbitrary (aligned)
+    /// offsets.
+    #[test]
+    fn memory_roundtrip(data in prop::collection::vec(prop::num::f64::ANY, 1..64), off in 0u64..128) {
+        let mut m = ifko_xsim::Memory::new(1 << 16);
+        let base = m.alloc(8 * 64 + 1024, 64) + off * 8;
+        for (i, v) in data.iter().enumerate() {
+            m.write_f64(base + 8 * i as u64, *v).unwrap();
+        }
+        for (i, v) in data.iter().enumerate() {
+            let got = m.read_f64(base + 8 * i as u64).unwrap();
+            prop_assert!(got == *v || (got.is_nan() && v.is_nan()));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Compare all six tuning methodologies (the paper's figure legend) on a
+//! single kernel/machine/context of your choice.
+//!
+//! ```text
+//! cargo run --release -p ifko-bench --example compare_methods -- ddot p4e oc
+//! cargo run --release -p ifko-bench --example compare_methods -- saxpy opteron ic
+//! ```
+
+use ifko::runner::Context;
+use ifko_baselines::Method;
+use ifko_bench::{run_methods, ExpConfig};
+use ifko_blas::{ALL_KERNELS};
+use ifko_xsim::{opteron, p4e};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kname = args.get(1).map(String::as_str).unwrap_or("ddot");
+    let mname = args.get(2).map(String::as_str).unwrap_or("p4e");
+    let cname = args.get(3).map(String::as_str).unwrap_or("oc");
+
+    let kernel = ALL_KERNELS
+        .iter()
+        .find(|k| k.name() == kname)
+        .copied()
+        .unwrap_or_else(|| {
+            eprintln!("unknown kernel `{kname}`; one of:");
+            for k in ALL_KERNELS {
+                eprint!(" {}", k.name());
+            }
+            eprintln!();
+            std::process::exit(1);
+        });
+    let mach = match mname {
+        "p4e" => p4e(),
+        "opteron" | "opt" => opteron(),
+        other => {
+            eprintln!("unknown machine `{other}` (p4e | opteron)");
+            std::process::exit(1);
+        }
+    };
+    let ctx = match cname {
+        "oc" => Context::OutOfCache,
+        "ic" => Context::InL2,
+        other => {
+            eprintln!("unknown context `{other}` (oc | ic)");
+            std::process::exit(1);
+        }
+    };
+
+    let cfg = ExpConfig::new(true);
+    let n = cfg.n_for(ctx);
+    println!("{} on {} ({}), N={n}\n", kernel.name(), mach.name, ctx.label());
+    let row = run_methods(kernel, &mach, ctx, &cfg);
+    let best = row.best_cycles();
+    println!("{:<10} {:>12} {:>10} {:>9}", "method", "cycles", "c/elem", "% best");
+    for m in Method::all() {
+        if let Some(&c) = row.cycles.get(&m) {
+            println!(
+                "{:<10} {:>12} {:>10.2} {:>8.1}%",
+                m.label(),
+                c,
+                c as f64 / n as f64,
+                100.0 * best as f64 / c as f64
+            );
+        }
+    }
+    if let Some(v) = &row.atlas_variant {
+        println!("\nATLAS selected variant: {v}");
+    }
+    if let Some(t) = &row.tune {
+        println!("ifko winning parameters: {}", t.table3_row);
+    }
+}

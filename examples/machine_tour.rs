@@ -1,0 +1,74 @@
+//! A tour of the simulated machine: assemble a tiny program by hand, run
+//! it on both machine configurations, and inspect the execution
+//! statistics. Useful as a first look at the `ifko-xsim` substrate on its
+//! own, independent of the compiler.
+//!
+//! ```text
+//! cargo run --release -p ifko-xsim --example machine_tour
+//! ```
+
+use ifko_xsim::isa::Inst::*;
+use ifko_xsim::isa::{Addr, Cond, FReg, IReg, Prec, RegOrMem};
+use ifko_xsim::{asm, machine, Asm, Cpu, Memory};
+
+fn main() {
+    // y[i] = 2*x[i] + y[i] over 4096 doubles, scalar, unrolled by 4.
+    let n = 4096usize;
+    let x = IReg(0);
+    let y = IReg(1);
+    let cnt = IReg(2);
+
+    let mut a = Asm::new();
+    a.push(FLdImm(FReg(7), 2.0, Prec::D));
+    let top = a.here();
+    for u in 0..4 {
+        let off = (u * 8) as i64;
+        a.push(FLd(FReg(0), Addr::base_disp(x, off), Prec::D));
+        a.push(FMul(FReg(0), RegOrMem::Reg(FReg(7)), Prec::D));
+        a.push(FAdd(FReg(0), RegOrMem::Mem(Addr::base_disp(y, off)), Prec::D));
+        a.push(FSt(Addr::base_disp(y, off), FReg(0), Prec::D));
+    }
+    a.push(IAddImm(x, 32));
+    a.push(IAddImm(y, 32));
+    a.push(ISubImm(cnt, 4));
+    a.push(ICmpImm(cnt, 0));
+    a.push(Jcc(Cond::Gt, top));
+    a.push(Halt);
+    let prog = a.finish();
+
+    println!("program ({} instructions):\n", prog.len());
+    for line in asm::disassemble(&prog).lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...\n");
+
+    for cfg in machine::all_machines() {
+        let mut mem = Memory::new(4 << 20);
+        let xa = mem.alloc_vector(n as u64, 8);
+        let ya = mem.alloc_vector(n as u64, 8);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.001).collect();
+        let ys: Vec<f64> = (0..n).map(|i| 1.0 - i as f64 * 0.0005).collect();
+        mem.store_f64_slice(xa, &xs).unwrap();
+        mem.store_f64_slice(ya, &ys).unwrap();
+
+        let mut cpu = Cpu::new(cfg.clone());
+        cpu.flush_caches();
+        cpu.set_ireg(x, xa as i64);
+        cpu.set_ireg(y, ya as i64);
+        cpu.set_ireg(cnt, n as i64);
+        let stats = cpu.run(&prog, &mut mem).expect("run");
+
+        // Check the arithmetic really happened.
+        let out = mem.load_f64_slice(ya, n).unwrap();
+        assert!(out.iter().zip(0..n).all(|(v, i)| *v == 2.0 * xs[i] + ys[i]));
+
+        println!("{} @ {} MHz:", cfg.name, cfg.mhz);
+        println!("  cycles            : {} ({:.2}/element)", stats.cycles, stats.cycles as f64 / n as f64);
+        println!("  dynamic insts     : {}", stats.insts);
+        println!("  L1 hits/misses    : {}/{}", stats.l1_hits, stats.l1_misses);
+        println!("  L2 hits/misses    : {}/{}", stats.l2_hits, stats.l2_misses);
+        println!("  bus read/written  : {}/{} bytes", stats.bus_read_bytes, stats.bus_write_bytes);
+        println!("  hw prefetch fills : {}", stats.hw_prefetches);
+        println!("  wall time @ clock : {:.1} us\n", stats.cycles as f64 / cfg.mhz as f64);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: empirically tune one BLAS kernel on the simulated Pentium
+//! 4E and print what the search found.
+//!
+//! ```text
+//! cargo run --release -p ifko --example quickstart
+//! ```
+
+use ifko::runner::Context;
+use ifko::{tune, TuneOptions};
+use ifko_blas::ops::BlasOp;
+use ifko_blas::Kernel;
+use ifko_xsim::isa::Prec;
+use ifko_xsim::p4e;
+
+fn main() {
+    let machine = p4e();
+    let kernel = Kernel { op: BlasOp::Dot, prec: Prec::D };
+
+    println!("Tuning {} on {} (out-of-cache, N=40000)...\n", kernel.name(), machine.name);
+    let mut opts = TuneOptions::default();
+    opts.n = Some(40_000);
+    let outcome = tune(kernel, &machine, Context::OutOfCache, &opts).expect("tuning failed");
+
+    println!("FKO static defaults : {:>9} cycles", outcome.result.default_cycles);
+    println!(
+        "iFKO empirical best : {:>9} cycles  ({:.2}x speedup, {:.0} MFLOPS)",
+        outcome.result.best_cycles,
+        outcome.result.speedup_over_default(),
+        outcome.mflops
+    );
+    println!("candidates evaluated: {:>9}", outcome.result.evaluations);
+    println!("\nwinning parameters (Table-3 format: SV:WNT PF_X PF_Y UR:AE):");
+    println!("  {}", outcome.table3_row);
+
+    println!("\nper-phase gains of the line search:");
+    for g in &outcome.result.gains {
+        println!(
+            "  {:<7} {:>7.1}%",
+            g.phase.label(),
+            (g.speedup() - 1.0) * 100.0
+        );
+    }
+
+    println!("\ngenerated code ({} instructions):", outcome.compiled.program.len());
+    let asm = ifko_xsim::asm::disassemble(&outcome.compiled.program);
+    for line in asm.lines().take(28) {
+        println!("  {line}");
+    }
+    if asm.lines().count() > 28 {
+        println!("  ...");
+    }
+}

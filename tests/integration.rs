@@ -1,0 +1,149 @@
+//! Workspace-level integration tests: the full pipeline from HIL source
+//! through FKO, the search, the baselines and the harness, exercised
+//! together across crates.
+
+use ifko::runner::{run_once, Context, KernelArgs};
+use ifko::{tune, verify, Timer, TuneOptions};
+use ifko_baselines::{atlas_best, compile_gcc, compile_icc, compile_icc_prof, LoopForm, Method};
+use ifko_bench::{run_methods, ExpConfig};
+use ifko_blas::hil_src::hil_source;
+use ifko_blas::ops::BlasOp;
+use ifko_blas::{Kernel, Workload, ALL_KERNELS};
+use ifko_fko::compile_defaults;
+use ifko_xsim::isa::Prec;
+use ifko_xsim::{opteron, p4e};
+
+/// Every kernel, every precision, every machine, both contexts: FKO
+/// defaults compile, run, and verify.
+#[test]
+fn defaults_verify_everywhere() {
+    let w = Workload::generate(700, 42);
+    for mach in [p4e(), opteron()] {
+        for k in ALL_KERNELS {
+            for ctx in [Context::OutOfCache, Context::InL2] {
+                let src = hil_source(k.op, k.prec);
+                let c = compile_defaults(&src, &mach)
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", mach.name, k.name()));
+                let out = run_once(
+                    &c,
+                    &KernelArgs { kernel: k, workload: &w, context: ctx },
+                    &mach,
+                )
+                .unwrap_or_else(|e| panic!("{} {}: {e}", mach.name, k.name()));
+                verify(k, &w, &out)
+                    .unwrap_or_else(|e| panic!("{} {} {:?}: {e}", mach.name, k.name(), ctx));
+            }
+        }
+    }
+}
+
+/// The tuned kernel never loses to FKO defaults, on any kernel or machine.
+#[test]
+fn tuning_never_hurts() {
+    let opts = TuneOptions::quick(2500);
+    for mach in [p4e(), opteron()] {
+        for k in ALL_KERNELS {
+            let t = tune(k, &mach, Context::OutOfCache, &opts)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", mach.name, k.name()));
+            assert!(
+                t.result.best_cycles <= t.result.default_cycles,
+                "{} {}: tuned {} > default {}",
+                mach.name,
+                k.name(),
+                t.result.best_cycles,
+                t.result.default_cycles
+            );
+        }
+    }
+}
+
+/// All baselines verify on both machines (spot sizes).
+#[test]
+fn baselines_verify_on_both_machines() {
+    let w = Workload::generate(900, 17);
+    for mach in [p4e(), opteron()] {
+        for k in ALL_KERNELS {
+            for (label, c) in [
+                ("gcc", compile_gcc(k, &mach)),
+                ("icc", compile_icc(k, &mach, LoopForm::Friendly)),
+                ("icc+prof", compile_icc_prof(k, &mach, 900)),
+            ] {
+                let c = c.unwrap_or_else(|e| panic!("{label} {}: {e}", k.name()));
+                let out = run_once(
+                    &c,
+                    &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                    &mach,
+                )
+                .unwrap();
+                verify(k, &w, &out)
+                    .unwrap_or_else(|e| panic!("{label} {} on {}: {e}", k.name(), mach.name));
+            }
+            let choice = atlas_best(k, &mach, Context::OutOfCache, &w, &Timer::exact())
+                .unwrap_or_else(|| panic!("atlas {}: no variant", k.name()));
+            assert!(choice.cycles > 0);
+        }
+    }
+}
+
+/// Different problem sizes exercise main loop + remainder combinations for
+/// a tuned (vectorized + unrolled) kernel.
+#[test]
+fn tuned_kernel_correct_across_sizes() {
+    let mach = p4e();
+    let k = Kernel { op: BlasOp::Dot, prec: Prec::S };
+    let t = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(4096)).unwrap();
+    for n in [0usize, 1, 2, 3, 5, 31, 63, 64, 65, 127, 1000] {
+        let w = Workload::generate(n, n as u64);
+        let out = run_once(
+            &t.compiled,
+            &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+            &mach,
+        )
+        .unwrap();
+        verify(k, &w, &out).unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+/// The harness produces a complete six-method row and ifko is never the
+/// worst method.
+#[test]
+fn harness_row_is_complete_and_sane() {
+    let cfg = ExpConfig { n_out_of_cache: 2500, n_in_l2: 512, quick: true, seed: 3 };
+    for k in [
+        Kernel { op: BlasOp::Axpy, prec: Prec::D },
+        Kernel { op: BlasOp::Iamax, prec: Prec::S },
+    ] {
+        let row = run_methods(k, &p4e(), Context::OutOfCache, &cfg);
+        for m in Method::all() {
+            assert!(row.cycles.contains_key(&m), "{}: missing {m:?}", k.name());
+        }
+        let ifko_c = row.cycles[&Method::Ifko];
+        let worst = row.cycles.values().copied().max().unwrap();
+        assert!(
+            ifko_c < worst || row.cycles.values().all(|&c| c == ifko_c),
+            "{}: ifko ({ifko_c}) is the worst method",
+            k.name()
+        );
+    }
+}
+
+/// Tuning adapts to context: the parameters chosen in-L2 differ from the
+/// out-of-cache ones for at least some kernels (the paper's §3.3 "adapting
+/// to context" claim).
+#[test]
+fn parameters_adapt_to_context() {
+    let mach = p4e();
+    let mut any_diff = false;
+    for k in [
+        Kernel { op: BlasOp::Asum, prec: Prec::D },
+        Kernel { op: BlasOp::Dot, prec: Prec::D },
+        Kernel { op: BlasOp::Copy, prec: Prec::D },
+    ] {
+        let oc = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(20_000)).unwrap();
+        let ic = tune(k, &mach, Context::InL2, &TuneOptions::quick(1024)).unwrap();
+        if oc.table3_row != ic.table3_row {
+            any_diff = true;
+        }
+    }
+    assert!(any_diff, "in-L2 and out-of-cache tuning should diverge somewhere");
+}

@@ -1,0 +1,163 @@
+//! Reproduction-shape tests: the paper's qualitative claims, asserted at
+//! reduced (CI-friendly) scale. These are the claims DESIGN.md commits to:
+//!
+//! 1. iFKO provides the best performance *on average* in every
+//!    machine/context chart (Figures 2-4);
+//! 2. ATLAS's hand-vectorized assembly wins `isamax` (neither icc nor
+//!    iFKO vectorize the branchy loop);
+//! 3. icc+prof collapses on Opteron swap/axpy (blind non-temporal writes
+//!    on read-write operands) but not on the P4E;
+//! 4. empirical tuning of prefetch distance is the largest average
+//!    contributor out-of-cache (Figure 7's [WNT, PF DST, PF INS, UR, AE]
+//!    = [2, 26, 3, 2, 5]%);
+//! 5. accumulator expansion matters in-cache for the reductions (paper:
+//!    41% of sasum's in-cache tuning gain);
+//! 6. iFKO beats FKO's static defaults overall (paper: 1.38x average).
+
+use ifko::runner::Context;
+use ifko::search::Phase;
+use ifko::{tune, TuneOptions};
+use ifko_baselines::Method;
+use ifko_bench::{averages, run_methods, ExpConfig};
+use ifko_blas::ops::BlasOp;
+use ifko_blas::{Kernel, ALL_KERNELS};
+use ifko_xsim::isa::Prec;
+use ifko_xsim::{opteron, p4e};
+
+fn cfg() -> ExpConfig {
+    ExpConfig { n_out_of_cache: 20_000, n_in_l2: 1024, quick: true, seed: 0xb1a5 }
+}
+
+#[test]
+fn claim1_ifko_best_on_average_everywhere() {
+    // The paper's claim is over the full 14-kernel suite; a subset
+    // over-weights the kernels ATLAS's assembly wins (iamax, copy).
+    let c = cfg();
+    for (mach, ctx) in [
+        (p4e(), Context::OutOfCache),
+        (opteron(), Context::OutOfCache),
+        (p4e(), Context::InL2),
+    ] {
+        let rows: Vec<_> =
+            ALL_KERNELS.iter().map(|k| run_methods(*k, &mach, ctx, &c)).collect();
+        let (ifko_avg, _) = averages(&rows, Method::Ifko);
+        for m in Method::all() {
+            if m == Method::Ifko {
+                continue;
+            }
+            let (avg, _) = averages(&rows, m);
+            assert!(
+                ifko_avg >= avg,
+                "{} {:?}: ifko avg {ifko_avg:.1} < {} avg {avg:.1}",
+                mach.name,
+                ctx,
+                m.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn claim2_atlas_assembly_wins_isamax() {
+    let c = cfg();
+    let k = Kernel { op: BlasOp::Iamax, prec: Prec::S };
+    for mach in [p4e(), opteron()] {
+        let row = run_methods(k, &mach, Context::OutOfCache, &c);
+        let atlas = row.cycles[&Method::Atlas];
+        let ifko = row.cycles[&Method::Ifko];
+        assert!(
+            atlas < ifko,
+            "{}: hand-vectorized isamax ({atlas}) must beat ifko ({ifko})",
+            mach.name
+        );
+        assert!(
+            row.atlas_variant.as_deref().unwrap_or("").ends_with('*'),
+            "ATLAS must have selected the assembly variant"
+        );
+    }
+}
+
+#[test]
+fn claim3_icc_prof_pathology_is_opteron_specific() {
+    let c = ExpConfig { n_out_of_cache: 80_000, n_in_l2: 1024, quick: true, seed: 0xb1a5 };
+    let k = Kernel { op: BlasOp::Swap, prec: Prec::D };
+    let row_o = run_methods(k, &opteron(), Context::OutOfCache, &c);
+    let ratio_o = row_o.cycles[&Method::IccProf] as f64 / row_o.cycles[&Method::IccRef] as f64;
+    assert!(ratio_o > 2.0, "Opteron dswap icc+prof/icc = {ratio_o:.2} (want > 2)");
+    let row_p = run_methods(k, &p4e(), Context::OutOfCache, &c);
+    let ratio_p = row_p.cycles[&Method::IccProf] as f64 / row_p.cycles[&Method::IccRef] as f64;
+    assert!(ratio_p < 2.0, "P4E dswap icc+prof/icc = {ratio_p:.2} (want < 2)");
+    assert!(ratio_o > 1.5 * ratio_p, "pathology must be Opteron-specific");
+}
+
+#[test]
+fn claim4_prefetch_distance_dominates_out_of_cache() {
+    // Average the Figure 7 phase gains over the reduction/streaming
+    // kernels out-of-cache on the P4E: PF DST must contribute the most.
+    let opts = TuneOptions::quick(20_000);
+    let mach = p4e();
+    let mut sums: std::collections::HashMap<Phase, f64> = Default::default();
+    let kernels = [
+        Kernel { op: BlasOp::Dot, prec: Prec::D },
+        Kernel { op: BlasOp::Asum, prec: Prec::D },
+        Kernel { op: BlasOp::Scal, prec: Prec::S },
+        Kernel { op: BlasOp::Axpy, prec: Prec::D },
+    ];
+    for k in kernels {
+        let t = tune(k, &mach, Context::OutOfCache, &opts).unwrap();
+        for g in &t.result.gains {
+            *sums.entry(g.phase).or_insert(0.0) += g.speedup() - 1.0;
+        }
+    }
+    let pf = sums.get(&Phase::PfDist).copied().unwrap_or(0.0);
+    for (p, v) in &sums {
+        if *p == Phase::PfDist {
+            continue;
+        }
+        assert!(
+            pf >= *v,
+            "PF DST ({pf:.3}) must dominate {p:?} ({v:.3}) out-of-cache"
+        );
+    }
+    assert!(pf > 0.2, "PF DST should average a solid gain, got {pf:.3}");
+}
+
+#[test]
+fn claim5_accumulator_expansion_matters_in_cache() {
+    let opts = TuneOptions::quick(1024);
+    let mach = p4e();
+    let k = Kernel { op: BlasOp::Asum, prec: Prec::S };
+    let t = tune(k, &mach, Context::InL2, &opts).unwrap();
+    assert!(
+        t.result.best.accum_expand > 1,
+        "sasum in-L2 should choose AE > 1 (got {:?})",
+        t.result.best
+    );
+    let ae_gain = t
+        .result
+        .gains
+        .iter()
+        .find(|g| g.phase == Phase::Ae)
+        .map(|g| g.speedup())
+        .unwrap_or(1.0);
+    assert!(ae_gain > 1.1, "AE should contribute >10% in-cache, got {ae_gain:.3}");
+}
+
+#[test]
+fn claim6_ifko_beats_fko_defaults_overall() {
+    let opts = TuneOptions::quick(8_000);
+    let mut total = 0.0;
+    let mut count = 0;
+    for mach in [p4e(), opteron()] {
+        for k in ALL_KERNELS.iter().step_by(3) {
+            let t = tune(*k, &mach, Context::OutOfCache, &opts).unwrap();
+            total += t.result.speedup_over_default();
+            count += 1;
+        }
+    }
+    let avg = total / count as f64;
+    assert!(
+        avg > 1.15,
+        "ifko should average a clear speedup over FKO defaults (paper 1.38x), got {avg:.2}x"
+    );
+}
