@@ -193,16 +193,22 @@ mod tests {
             let c = iamax_vectorized(prec);
             for n in [0usize, 1, 3, 4, 5, 17, 1000, 4099] {
                 let w = Workload::generate(n, n as u64 + 7);
-                let k = Kernel { op: BlasOp::Iamax, prec };
+                let k = Kernel {
+                    op: BlasOp::Iamax,
+                    prec,
+                };
                 let mach = ifko_xsim::p4e();
                 let out = run_once(
                     &c,
-                    &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                    &KernelArgs {
+                        kernel: k,
+                        workload: &w,
+                        context: Context::OutOfCache,
+                    },
                     &mach,
                 )
                 .unwrap();
-                verify(k, &w, &out)
-                    .unwrap_or_else(|e| panic!("{} n={n}: {e}", c.name));
+                verify(k, &w, &out).unwrap_or_else(|e| panic!("{} n={n}: {e}", c.name));
             }
         }
     }
@@ -213,16 +219,22 @@ mod tests {
             let c = copy_block_fetch(prec);
             for n in [0usize, 1, 63, 64, 65, 500, 4096] {
                 let w = Workload::generate(n, n as u64);
-                let k = Kernel { op: BlasOp::Copy, prec };
+                let k = Kernel {
+                    op: BlasOp::Copy,
+                    prec,
+                };
                 let mach = ifko_xsim::p4e();
                 let out = run_once(
                     &c,
-                    &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                    &KernelArgs {
+                        kernel: k,
+                        workload: &w,
+                        context: Context::OutOfCache,
+                    },
                     &mach,
                 )
                 .unwrap();
-                verify(k, &w, &out)
-                    .unwrap_or_else(|e| panic!("{} n={n}: {e}", c.name));
+                verify(k, &w, &out).unwrap_or_else(|e| panic!("{} n={n}: {e}", c.name));
             }
         }
     }
@@ -231,10 +243,17 @@ mod tests {
     fn vectorized_iamax_beats_scalar_compiled() {
         let mach = ifko_xsim::p4e();
         let prec = Prec::S;
-        let k = Kernel { op: BlasOp::Iamax, prec };
+        let k = Kernel {
+            op: BlasOp::Iamax,
+            prec,
+        };
         let w = Workload::generate(20_000, 3);
         let timer = ifko::Timer::exact();
-        let args = KernelArgs { kernel: k, workload: &w, context: Context::InL2 };
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::InL2,
+        };
         let asm = timer.time(&iamax_vectorized(prec), &args, &mach).unwrap();
         let compiled = crate::models::compile_gcc(k, &mach).unwrap();
         let gcc = timer.time(&compiled, &args, &mach).unwrap();

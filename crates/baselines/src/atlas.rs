@@ -40,13 +40,22 @@ pub fn atlas_variants(kernel: Kernel, mach: &MachineConfig) -> Vec<(String, bool
     // variant, a write-streaming variant, a compute-dense variant and an
     // in-cache variant — the classic ATLAS kernel family shapes.
     let src = hil_source(kernel.op, kernel.prec);
-    let Ok((ir, rep)) = analyze_kernel(&src, mach) else { return out };
+    let Ok((ir, rep)) = analyze_kernel(&src, mach) else {
+        return out;
+    };
     let line = mach.prefetch_line() as i64;
     let le = rep.arch.line_elems as u32;
     let has_red = !rep.ae_candidates.is_empty();
     let has_store = !rep.wnt_candidates.is_empty();
     let pf = |kind: Option<PrefKind>, dist: i64| -> Vec<PrefSpec> {
-        rep.pf_candidates.iter().map(|p| PrefSpec { ptr: *p, kind, dist }).collect()
+        rep.pf_candidates
+            .iter()
+            .map(|p| PrefSpec {
+                ptr: *p,
+                kind,
+                dist,
+            })
+            .collect()
     };
     let mut recipes: Vec<(&str, TransformParams)> = Vec::new();
     {
@@ -122,15 +131,28 @@ pub fn atlas_best(
 ) -> Option<AtlasChoice> {
     let mut best: Option<AtlasChoice> = None;
     for (variant, is_assembly, compiled) in atlas_variants(kernel, mach) {
-        let args = KernelArgs { kernel, workload, context };
-        let Ok(out) = run_once(&compiled, &args, mach) else { continue };
+        let args = KernelArgs {
+            kernel,
+            workload,
+            context,
+        };
+        let Ok(out) = run_once(&compiled, &args, mach) else {
+            continue;
+        };
         if verify(kernel, workload, &out).is_err() {
             continue;
         }
-        let Ok(cycles) = timer.time(&compiled, &args, mach) else { continue };
+        let Ok(cycles) = timer.time(&compiled, &args, mach) else {
+            continue;
+        };
         let better = best.as_ref().map(|b| cycles < b.cycles).unwrap_or(true);
         if better {
-            best = Some(AtlasChoice { compiled, variant, cycles, is_assembly });
+            best = Some(AtlasChoice {
+                compiled,
+                variant,
+                cycles,
+                is_assembly,
+            });
         }
     }
     best
@@ -149,7 +171,11 @@ mod tests {
             let vs = atlas_variants(k, &mach);
             assert!(vs.len() >= 4, "{}: only {} variants", k.name(), vs.len());
             if matches!(k.op, BlasOp::Iamax | BlasOp::Copy) {
-                assert!(vs.iter().any(|(_, asm, _)| *asm), "{} needs an asm variant", k.name());
+                assert!(
+                    vs.iter().any(|(_, asm, _)| *asm),
+                    "{} needs an asm variant",
+                    k.name()
+                );
             }
         }
     }
@@ -171,7 +197,10 @@ mod tests {
         let mach = p4e();
         let w = Workload::generate(8000, 33);
         let timer = Timer::exact();
-        let k = Kernel { op: BlasOp::Iamax, prec: Prec::S };
+        let k = Kernel {
+            op: BlasOp::Iamax,
+            prec: Prec::S,
+        };
         let choice = atlas_best(k, &mach, Context::InL2, &w, &timer).unwrap();
         assert!(
             choice.is_assembly,

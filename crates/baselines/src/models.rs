@@ -7,7 +7,9 @@
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::Kernel;
 use ifko_fko::ir::PrefKind;
-use ifko_fko::{analyze_kernel, compile_ir, CompileError, CompiledKernel, PrefSpec, TransformParams};
+use ifko_fko::{
+    analyze_kernel, compile_ir, CompileError, CompiledKernel, PrefSpec, TransformParams,
+};
 use ifko_xsim::MachineConfig;
 
 /// Loop-header form of the source given to the icc model. The paper found
@@ -23,10 +25,7 @@ pub enum LoopForm {
 /// gcc 3.x `-O3 -funroll-all-loops`: no auto-vectorization (2005-era gcc),
 /// moderate unrolling, decent scalar codegen, no prefetch insertion, no
 /// non-temporal stores.
-pub fn compile_gcc(
-    kernel: Kernel,
-    mach: &MachineConfig,
-) -> Result<CompiledKernel, CompileError> {
+pub fn compile_gcc(kernel: Kernel, mach: &MachineConfig) -> Result<CompiledKernel, CompileError> {
     let src = hil_source(kernel.op, kernel.prec);
     let (ir, rep) = analyze_kernel(&src, mach)?;
     let mut p = TransformParams::off();
@@ -53,13 +52,21 @@ pub fn compile_icc(
     p.simd = form == LoopForm::Friendly && rep.vectorizable.is_ok();
     p.unroll = 2;
     // icc's reduction splitting: two partial sums when it vectorizes one.
-    p.accum_expand = if p.simd && !rep.ae_candidates.is_empty() { 2 } else { 1 };
+    p.accum_expand = if p.simd && !rep.ae_candidates.is_empty() {
+        2
+    } else {
+        1
+    };
     // Fixed heuristic prefetch: nta, 8 lines ahead, every candidate array.
     let line = mach.prefetch_line() as i64;
     p.prefetch = rep
         .pf_candidates
         .iter()
-        .map(|ptr| PrefSpec { ptr: *ptr, kind: Some(PrefKind::Nta), dist: 6 * line })
+        .map(|ptr| PrefSpec {
+            ptr: *ptr,
+            kind: Some(PrefKind::Nta),
+            dist: 6 * line,
+        })
         .collect();
     p.wnt = false;
     compile_ir(&ir, &p, &rep)
@@ -82,12 +89,20 @@ pub fn compile_icc_prof(
     let mut p = TransformParams::off();
     p.simd = rep.vectorizable.is_ok();
     p.unroll = 4;
-    p.accum_expand = if p.simd && !rep.ae_candidates.is_empty() { 2 } else { 1 };
+    p.accum_expand = if p.simd && !rep.ae_candidates.is_empty() {
+        2
+    } else {
+        1
+    };
     let line = mach.prefetch_line() as i64;
     p.prefetch = rep
         .pf_candidates
         .iter()
-        .map(|ptr| PrefSpec { ptr: *ptr, kind: Some(PrefKind::Nta), dist: 6 * line })
+        .map(|ptr| PrefSpec {
+            ptr: *ptr,
+            kind: Some(PrefKind::Nta),
+            dist: 6 * line,
+        })
         .collect();
     // Blind WNT decision from the profile: working set vs L2 capacity.
     let bytes = profile_n as u64 * kernel.prec.bytes() * kernel.op.n_vectors() as u64;
@@ -119,7 +134,11 @@ mod tests {
             let c = compile(k, &mach).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
             let out = run_once(
                 &c,
-                &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                &KernelArgs {
+                    kernel: k,
+                    workload: &w,
+                    context: Context::OutOfCache,
+                },
                 &mach,
             )
             .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
@@ -129,7 +148,7 @@ mod tests {
 
     #[test]
     fn gcc_model_correct_for_all_kernels() {
-        check_method(|k, m| compile_gcc(k, m));
+        check_method(compile_gcc);
     }
 
     #[test]
@@ -145,13 +164,26 @@ mod tests {
     #[test]
     fn icc_beats_gcc_on_vectorizable_kernel() {
         let mach = p4e();
-        let k = Kernel { op: BlasOp::Dot, prec: Prec::S };
+        let k = Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::S,
+        };
         let w = Workload::generate(4096, 4);
         let timer = ifko::Timer::exact();
-        let args = KernelArgs { kernel: k, workload: &w, context: Context::InL2 };
-        let gcc = timer.time(&compile_gcc(k, &mach).unwrap(), &args, &mach).unwrap();
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::InL2,
+        };
+        let gcc = timer
+            .time(&compile_gcc(k, &mach).unwrap(), &args, &mach)
+            .unwrap();
         let icc = timer
-            .time(&compile_icc(k, &mach, LoopForm::Friendly).unwrap(), &args, &mach)
+            .time(
+                &compile_icc(k, &mach, LoopForm::Friendly).unwrap(),
+                &args,
+                &mach,
+            )
             .unwrap();
         assert!(icc < gcc, "icc ({icc}) should beat gcc ({gcc}) on sdot");
     }
@@ -159,15 +191,30 @@ mod tests {
     #[test]
     fn unfriendly_loop_form_blocks_icc_vectorization() {
         let mach = p4e();
-        let k = Kernel { op: BlasOp::Dot, prec: Prec::S };
+        let k = Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::S,
+        };
         let w = Workload::generate(2048, 4);
         let timer = ifko::Timer::exact();
-        let args = KernelArgs { kernel: k, workload: &w, context: Context::InL2 };
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::InL2,
+        };
         let friendly = timer
-            .time(&compile_icc(k, &mach, LoopForm::Friendly).unwrap(), &args, &mach)
+            .time(
+                &compile_icc(k, &mach, LoopForm::Friendly).unwrap(),
+                &args,
+                &mach,
+            )
             .unwrap();
         let unfriendly = timer
-            .time(&compile_icc(k, &mach, LoopForm::Unfriendly).unwrap(), &args, &mach)
+            .time(
+                &compile_icc(k, &mach, LoopForm::Unfriendly).unwrap(),
+                &args,
+                &mach,
+            )
             .unwrap();
         assert!(
             friendly < unfriendly,
@@ -181,16 +228,27 @@ mod tests {
         // operands is catastrophic on the Opteron and harmless on the P4E.
         let n = 80_000; // paper size: dswap working set 1.28 MB > 1 MB L2
         let w = Workload::generate(n, 5);
-        let k = Kernel { op: BlasOp::Swap, prec: Prec::D };
+        let k = Kernel {
+            op: BlasOp::Swap,
+            prec: Prec::D,
+        };
         let timer = ifko::Timer::exact();
-        let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::OutOfCache,
+        };
 
         let mach = opteron();
         let prof = timer
             .time(&compile_icc_prof(k, &mach, n).unwrap(), &args, &mach)
             .unwrap();
         let plain = timer
-            .time(&compile_icc(k, &mach, LoopForm::Friendly).unwrap(), &args, &mach)
+            .time(
+                &compile_icc(k, &mach, LoopForm::Friendly).unwrap(),
+                &args,
+                &mach,
+            )
             .unwrap();
         assert!(
             prof > plain * 2,
@@ -202,7 +260,11 @@ mod tests {
             .time(&compile_icc_prof(k, &mach, n).unwrap(), &args, &mach)
             .unwrap();
         let plain4 = timer
-            .time(&compile_icc(k, &mach, LoopForm::Friendly).unwrap(), &args, &mach)
+            .time(
+                &compile_icc(k, &mach, LoopForm::Friendly).unwrap(),
+                &args,
+                &mach,
+            )
             .unwrap();
         // On the P4E, NT writes to read-write operands cost moderately
         // (they forgo L2 write absorption) but do not collapse: the
@@ -221,16 +283,30 @@ mod tests {
     fn icc_prof_skips_wnt_for_small_profiles() {
         // In-L2 sizes: no WNT, so icc+prof behaves like icc (paper Fig 4).
         let mach = opteron();
-        let k = Kernel { op: BlasOp::Swap, prec: Prec::D };
+        let k = Kernel {
+            op: BlasOp::Swap,
+            prec: Prec::D,
+        };
         let w = Workload::generate(1024, 5);
         let timer = ifko::Timer::exact();
-        let args = KernelArgs { kernel: k, workload: &w, context: Context::InL2 };
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::InL2,
+        };
         let prof = timer
             .time(&compile_icc_prof(k, &mach, 1024).unwrap(), &args, &mach)
             .unwrap();
         let plain = timer
-            .time(&compile_icc(k, &mach, LoopForm::Friendly).unwrap(), &args, &mach)
+            .time(
+                &compile_icc(k, &mach, LoopForm::Friendly).unwrap(),
+                &args,
+                &mach,
+            )
             .unwrap();
-        assert!(prof <= plain * 11 / 10, "small-N profile must not trigger WNT");
+        assert!(
+            prof <= plain * 11 / 10,
+            "small-N profile must not trigger WNT"
+        );
     }
 }

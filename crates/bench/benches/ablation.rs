@@ -24,7 +24,10 @@ use ifko_xsim::p4e;
 /// Prefetch dropping: out-of-cache dot with tuned prefetch, with and
 /// without the drop-when-busy rule.
 fn ablation_prefetch_drop(c: &mut Criterion) {
-    let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+    let k = Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::D,
+    };
     let w = Workload::generate(20_000, 5);
     let src = hil_source(k.op, k.prec);
 
@@ -38,7 +41,11 @@ fn ablation_prefetch_drop(c: &mut Criterion) {
             s.dist = 256;
         }
         let compiled = compile_ir(&ir, &p, &rep).unwrap();
-        let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::OutOfCache,
+        };
         let out = run_once(&compiled, &args, &mach).unwrap();
         cycles.push((drop, out.stats.cycles, out.stats.prefetch_dropped));
     }
@@ -59,7 +66,10 @@ fn ablation_prefetch_drop(c: &mut Criterion) {
 /// (the paper's "restricted 2-D search" modification).
 fn ablation_search_refinement(c: &mut Criterion) {
     let mach = p4e();
-    let k = Kernel { op: BlasOp::Iamax, prec: Prec::S };
+    let k = Kernel {
+        op: BlasOp::Iamax,
+        prec: Prec::S,
+    };
     let w = Workload::generate(20_000, 5);
     let src = hil_source(k.op, k.prec);
     let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
@@ -83,15 +93,34 @@ fn ablation_search_refinement(c: &mut Criterion) {
 /// Timing protocol: single noisy timing vs the paper's min-of-6.
 fn ablation_min_of_reps(c: &mut Criterion) {
     let mach = p4e();
-    let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+    let k = Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::D,
+    };
     let w = Workload::generate(4096, 5);
     let src = hil_source(k.op, k.prec);
     let compiled = ifko_fko::compile_defaults(&src, &mach).unwrap();
-    let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+    let args = KernelArgs {
+        kernel: k,
+        workload: &w,
+        context: Context::OutOfCache,
+    };
 
     let exact = Timer::exact().time(&compiled, &args, &mach).unwrap();
-    let one = Timer { reps: 1, interference: 0.05, seed: 9 }.time(&compiled, &args, &mach).unwrap();
-    let six = Timer { reps: 6, interference: 0.05, seed: 9 }.time(&compiled, &args, &mach).unwrap();
+    let one = Timer {
+        reps: 1,
+        interference: 0.05,
+        seed: 9,
+    }
+    .time(&compiled, &args, &mach)
+    .unwrap();
+    let six = Timer {
+        reps: 6,
+        interference: 0.05,
+        seed: 9,
+    }
+    .time(&compiled, &args, &mach)
+    .unwrap();
     println!("\n[ablation] timing protocol: exact={exact} one_rep={one} min_of_6={six}");
     c.bench_function("ablation/min_of_reps", |b| {
         b.iter(|| Timer::default().time(&compiled, &args, &mach).unwrap())
@@ -101,7 +130,10 @@ fn ablation_min_of_reps(c: &mut Criterion) {
 /// The x86 CISC memory-operand peephole (paper §2.2.4): on vs off.
 fn ablation_cisc_memops(c: &mut Criterion) {
     let mach = p4e();
-    let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+    let k = Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::D,
+    };
     let w = Workload::generate(2048, 5);
     let src = hil_source(k.op, k.prec);
     let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
@@ -111,9 +143,18 @@ fn ablation_cisc_memops(c: &mut Criterion) {
         let mut p = TransformParams::defaults(&rep, &mach);
         p.cisc_memops = cisc;
         let compiled = compile_ir(&ir, &p, &rep).unwrap();
-        let args = KernelArgs { kernel: k, workload: &w, context: Context::InL2 };
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::InL2,
+        };
         let out = run_once(&compiled, &args, &mach).unwrap();
-        results.push((cisc, out.stats.cycles, out.stats.insts, compiled.program.len()));
+        results.push((
+            cisc,
+            out.stats.cycles,
+            out.stats.insts,
+            compiled.program.len(),
+        ));
     }
     println!("\n[ablation] CISC mem-operand fusion (on, cycles, dyn insts, static): {results:?}");
     c.bench_function("ablation/cisc_memops", |b| {

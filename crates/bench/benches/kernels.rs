@@ -24,12 +24,20 @@ fn bench_simulated_kernels(c: &mut Criterion) {
         let k = Kernel { op, prec: Prec::D };
         let src = hil_source(op, Prec::D);
         let compiled = compile_defaults(&src, &mach).unwrap();
-        group.bench_with_input(BenchmarkId::new("fko_defaults", k.name()), &compiled, |b, cc| {
-            b.iter(|| {
-                let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
-                run_once(cc, &args, &mach).unwrap().stats.cycles
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fko_defaults", k.name()),
+            &compiled,
+            |b, cc| {
+                b.iter(|| {
+                    let args = KernelArgs {
+                        kernel: k,
+                        workload: &w,
+                        context: Context::OutOfCache,
+                    };
+                    run_once(cc, &args, &mach).unwrap().stats.cycles
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -44,7 +52,10 @@ fn bench_compile_pipeline(c: &mut Criterion) {
 
 fn bench_search(c: &mut Criterion) {
     let mach = p4e();
-    let k = Kernel { op: BlasOp::Asum, prec: Prec::D };
+    let k = Kernel {
+        op: BlasOp::Asum,
+        prec: Prec::D,
+    };
     let mut group = c.benchmark_group("search");
     group.sample_size(10);
     group.bench_function("quick_line_search/dasum", |b| {
@@ -58,5 +69,10 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulated_kernels, bench_compile_pipeline, bench_search);
+criterion_group!(
+    benches,
+    bench_simulated_kernels,
+    bench_compile_pipeline,
+    bench_search
+);
 criterion_main!(benches);

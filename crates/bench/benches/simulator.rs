@@ -15,7 +15,11 @@ fn ddot_prog(unroll: usize) -> ifko_xsim::Program {
     for u in 0..unroll {
         let off = (u * 8) as i64;
         a.push(FLd(FReg(0), Addr::base_disp(IReg(0), off), Prec::D));
-        a.push(FMul(FReg(0), RegOrMem::Mem(Addr::base_disp(IReg(1), off)), Prec::D));
+        a.push(FMul(
+            FReg(0),
+            RegOrMem::Mem(Addr::base_disp(IReg(1), off)),
+            Prec::D,
+        ));
         a.push(FAdd(FReg(7), RegOrMem::Reg(FReg(0)), Prec::D));
     }
     a.push(IAddImm(IReg(0), (unroll * 8) as i64));

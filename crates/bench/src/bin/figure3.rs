@@ -4,20 +4,20 @@
 //! VAVG summary columns. Kernels where ATLAS selected an all-assembly
 //! variant are starred, as in the paper.
 
-use ifko::runner::Context;
-use ifko_bench::{format_relative_table, run_sweep, ExpConfig};
-use ifko_xsim::opteron;
+use ifko::prelude::*;
+use ifko_bench::{format_relative_table, Experiment};
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let mach = opteron();
-    let n = cfg.n_for(Context::OutOfCache);
-    let rows = run_sweep(&mach, Context::OutOfCache, &cfg);
+    let exp = Experiment::new("figure3")
+        .machine(opteron())
+        .context(Context::OutOfCache);
+    let n = exp.cfg().n_for(Context::OutOfCache);
+    let sweeps = exp.run();
     println!(
         "{}",
         format_relative_table(
             &format!("Figure 3. Relative speedups of various tuning methods on Opteron, out-of-cache, N={n} (% of best)"),
-            &rows
+            &sweeps[0].rows
         )
     );
 }

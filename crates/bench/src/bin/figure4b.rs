@@ -4,30 +4,36 @@
 //! of the speed of ifko-tuned code." This binary regenerates the full
 //! matrix so that quote can be checked.
 
-use ifko::runner::Context;
+use ifko::prelude::*;
 use ifko_baselines::Method;
-use ifko_bench::{averages, format_relative_table, run_sweep, ExpConfig};
-use ifko_xsim::opteron;
+use ifko_bench::{averages, format_relative_table, Experiment};
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let mach = opteron();
-    let n = cfg.n_for(Context::InL2);
-    let rows = run_sweep(&mach, Context::InL2, &cfg);
+    let exp = Experiment::new("figure4b")
+        .machine(opteron())
+        .context(Context::InL2);
+    let n = exp.cfg().n_for(Context::InL2);
+    let sweeps = exp.run();
+    let rows = &sweeps[0].rows;
     println!(
         "{}",
         format_relative_table(
             &format!("Figure 4b (omitted in the paper): Opteron, in-L2 cache, N={n} (% of best)"),
-            &rows
+            rows
         )
     );
     // The paper's summary sentence, checked.
-    let mut avgs: Vec<(Method, f64)> =
-        Method::all().iter().map(|m| (*m, averages(&rows, *m).0)).collect();
+    let mut avgs: Vec<(Method, f64)> = Method::all()
+        .iter()
+        .map(|m| (*m, averages(rows, *m).0))
+        .collect();
     avgs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!(
         "ranking by AVG: {}",
-        avgs.iter().map(|(m, a)| format!("{} ({a:.1})", m.label())).collect::<Vec<_>>().join(" > ")
+        avgs.iter()
+            .map(|(m, a)| format!("{} ({a:.1})", m.label()))
+            .collect::<Vec<_>>()
+            .join(" > ")
     );
     // icc relative to ifko, averaged per kernel (the paper's 68%).
     let ratios: Vec<f64> = rows

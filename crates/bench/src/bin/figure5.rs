@@ -4,52 +4,39 @@
 //!     kernels on the P4E — "a very good measure of how bus-bound an
 //!     operation is".
 
-use ifko::runner::Context;
-use ifko_bench::ExpConfig;
-use ifko_blas::ALL_KERNELS;
-use ifko_xsim::{opteron, p4e};
+use ifko::prelude::*;
+use ifko_bench::Experiment;
 
 fn main() {
-    let cfg = ExpConfig::from_args();
+    let exp = Experiment::new("figure5")
+        .sweep(p4e(), Context::OutOfCache)
+        .sweep(opteron(), Context::OutOfCache)
+        .sweep(p4e(), Context::InL2)
+        .tune_only();
+    let n_oc = exp.cfg().n_for(Context::OutOfCache) as f64;
+    let n_ic = exp.cfg().n_for(Context::InL2) as f64;
+    let sweeps = exp.run();
+    let (p4_oc, opt_oc, p4_ic) = (&sweeps[0].rows, &sweeps[1].rows, &sweeps[2].rows);
 
     println!("Figure 5(a). ifko-tuned kernel speed, out-of-cache (MFLOPS)");
     println!("{:<10} {:>10} {:>10}", "kernel", "P4E", "Opteron");
-    let mut p4_oc = std::collections::HashMap::new();
-    for k in ALL_KERNELS {
-        let mut cols = Vec::new();
-        for mach in [p4e(), opteron()] {
-            eprintln!("  tuning {} on {} (oc)", k.name(), mach.name);
-            let opts = cfg.tune_options(Context::OutOfCache);
-            match ifko::tune(k, &mach, Context::OutOfCache, &opts) {
-                Ok(t) => {
-                    if mach.name == "P4E" {
-                        p4_oc.insert(k.name(), t.cycles);
-                    }
-                    cols.push(format!("{:>10.0}", t.mflops));
-                }
-                Err(e) => cols.push(format!("{:>10}", format!("err:{e}"))),
-            }
-        }
-        println!("{:<10} {} {}", k.name(), cols[0], cols[1]);
+    for (a, b) in p4_oc.iter().zip(opt_oc) {
+        let col = |t: &Option<ifko::TuneOutcome>| match t {
+            Some(t) => format!("{:>10.0}", t.mflops),
+            None => format!("{:>10}", "err"),
+        };
+        println!("{:<10} {} {}", a.kernel.name(), col(&a.tune), col(&b.tune));
     }
 
     println!("\nFigure 5(b). P4E: speedup of in-L2-tuned over out-of-cache-tuned");
     println!("{:<10} {:>10}", "kernel", "speedup");
-    let mach = p4e();
-    for k in ALL_KERNELS {
-        eprintln!("  tuning {} on P4E (ic)", k.name());
-        let opts = cfg.tune_options(Context::InL2);
-        let Ok(ic) = ifko::tune(k, &mach, Context::InL2, &opts) else {
+    for (oc, ic) in p4_oc.iter().zip(p4_ic) {
+        let (Some(oc), Some(ic)) = (&oc.tune, &ic.tune) else {
             continue;
         };
         // Compare cycles/element: contexts use different N.
-        let oc_cycles = p4_oc.get(&k.name()).copied().unwrap_or(0);
-        let n_oc = cfg.n_for(Context::OutOfCache) as f64;
-        let n_ic = cfg.n_for(Context::InL2) as f64;
-        if oc_cycles > 0 {
-            let per_oc = oc_cycles as f64 / n_oc;
-            let per_ic = ic.cycles as f64 / n_ic;
-            println!("{:<10} {:>9.2}x", k.name(), per_oc / per_ic);
-        }
+        let per_oc = oc.cycles as f64 / n_oc;
+        let per_ic = ic.cycles as f64 / n_ic;
+        println!("{:<10} {:>9.2}x", oc.kernel.name(), per_oc / per_ic);
     }
 }

@@ -3,41 +3,42 @@
 //! ([WNT, PF DST, PF INS, UR, AE]), per kernel, architecture and context,
 //! with the overall ifko/FKO speedup. The paper's averages were
 //! [2, 26, 3, 2, 5]% for an overall 1.38x.
+//!
+//! In `--quick` mode (without an explicit `--trace`) the full search
+//! trace is dumped to `results/traces/figure7-quick.jsonl` as a sample of
+//! the structured trace layer.
 
-use ifko::runner::Context;
-use ifko_bench::{format_figure7, ExpConfig};
-use ifko_blas::ALL_KERNELS;
-use ifko_xsim::{opteron, p4e};
+use ifko::prelude::*;
+use ifko_bench::{format_figure7, Experiment};
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let sweeps = [
-        (p4e(), Context::OutOfCache, "P4E, out-of-cache"),
-        (opteron(), Context::OutOfCache, "Opteron, out-of-cache"),
-        (p4e(), Context::InL2, "P4E, in-L2 cache"),
-        (opteron(), Context::InL2, "Opteron, in-L2 cache"),
-    ];
+    let mut exp = Experiment::new("figure7")
+        .sweep(p4e(), Context::OutOfCache)
+        .sweep(opteron(), Context::OutOfCache)
+        .sweep(p4e(), Context::InL2)
+        .sweep(opteron(), Context::InL2)
+        .tune_only();
+    if exp.cfg().quick && exp.cfg().trace_path.is_none() {
+        let path = "results/traces/figure7-quick.jsonl";
+        match JsonlSink::create(path) {
+            Ok(sink) => {
+                eprintln!("[figure7] dumping sample search trace to {path}");
+                exp = exp.trace(sink);
+            }
+            Err(e) => eprintln!("[figure7] cannot open {path}: {e}"),
+        }
+    }
+    let sweeps = exp.run();
+
     println!("Figure 7. Speedup of ifko over FKO, by tuned transformation\n");
     let mut grand: Vec<f64> = Vec::new();
-    for (mach, ctx, title) in sweeps {
-        let rows: Vec<_> = ALL_KERNELS
-            .iter()
-            .map(|k| {
-                eprintln!("  tuning {} on {} ({})", k.name(), mach.name, ctx.label());
-                let opts = cfg.tune_options(ctx);
-                let tune = ifko::tune(*k, &mach, ctx, &opts).ok();
-                if let Some(t) = &tune {
-                    grand.push(t.result.speedup_over_default());
-                }
-                ifko_bench::KernelRow {
-                    kernel: *k,
-                    cycles: Default::default(),
-                    atlas_variant: None,
-                    tune,
-                }
-            })
-            .collect();
-        println!("{}", format_figure7(title, &rows));
+    for sweep in &sweeps {
+        for r in &sweep.rows {
+            if let Some(t) = &r.tune {
+                grand.push(t.result.speedup_over_default());
+            }
+        }
+        println!("{}", format_figure7(&sweep.title(), &sweep.rows));
     }
     if !grand.is_empty() {
         let avg = grand.iter().sum::<f64>() / grand.len() as f64;

@@ -9,17 +9,37 @@ fn main() {
     println!("Table 2. Platform / compiler information (simulated)");
     for m in all_machines() {
         println!("\n{} @ {} MHz", m.name, m.mhz);
-        println!("  issue width        : {} (loop buffer {} insts, {} wide beyond)",
-            m.issue_width, m.loop_buffer_insts, m.decode_width_big);
+        println!(
+            "  issue width        : {} (loop buffer {} insts, {} wide beyond)",
+            m.issue_width, m.loop_buffer_insts, m.decode_width_big
+        );
         println!("  OoO window         : {} cycles", m.window_cycles);
-        println!("  FP latencies       : add {} / mul {} / div {}", m.fadd_lat, m.fmul_lat, m.fdiv_lat);
-        println!("  L1                 : {} KB, {}-way, {}B lines, {} cycles",
-            m.l1.size / 1024, m.l1.assoc, m.l1.line, m.l1.latency);
-        println!("  L2                 : {} KB, {}-way, {}B lines, {} cycles",
-            m.l2.size / 1024, m.l2.assoc, m.l2.line, m.l2.latency);
-        println!("  memory             : {} cycles + bus {:.1} B/cycle (turnaround {})",
-            m.mem_lat, m.bus.bytes_per_cycle, m.bus.turnaround);
-        println!("  NT-store penalty   : {} cycles per cached line", m.nt_cached_penalty);
+        println!(
+            "  FP latencies       : add {} / mul {} / div {}",
+            m.fadd_lat, m.fmul_lat, m.fdiv_lat
+        );
+        println!(
+            "  L1                 : {} KB, {}-way, {}B lines, {} cycles",
+            m.l1.size / 1024,
+            m.l1.assoc,
+            m.l1.line,
+            m.l1.latency
+        );
+        println!(
+            "  L2                 : {} KB, {}-way, {}B lines, {} cycles",
+            m.l2.size / 1024,
+            m.l2.assoc,
+            m.l2.line,
+            m.l2.latency
+        );
+        println!(
+            "  memory             : {} cycles + bus {:.1} B/cycle (turnaround {})",
+            m.mem_lat, m.bus.bytes_per_cycle, m.bus.turnaround
+        );
+        println!(
+            "  NT-store penalty   : {} cycles per cached line",
+            m.nt_cached_penalty
+        );
         let kinds: Vec<&str> = m.prefetch_kinds.iter().map(|k| k.abbrev()).collect();
         println!("  prefetch kinds     : {}", kinds.join(", "));
         println!("  branch mispredict  : {} cycles", m.branch_misp);

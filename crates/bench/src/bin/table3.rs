@@ -2,34 +2,18 @@
 //! empirical search selects, per platform and context — `SV:WNT`,
 //! per-array prefetch instruction and distance, `UR:AE`.
 
-use ifko::runner::Context;
-use ifko_bench::{format_table3, ExpConfig};
-use ifko_blas::ALL_KERNELS;
-use ifko_xsim::{opteron, p4e};
+use ifko::prelude::*;
+use ifko_bench::{format_table3, Experiment};
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let sweeps = [
-        (p4e(), Context::OutOfCache, "P4E, out-of-cache"),
-        (opteron(), Context::OutOfCache, "Opteron, out-of-cache"),
-        (p4e(), Context::InL2, "P4E, in-L2 cache"),
-    ];
+    let sweeps = Experiment::new("table3")
+        .sweep(p4e(), Context::OutOfCache)
+        .sweep(opteron(), Context::OutOfCache)
+        .sweep(p4e(), Context::InL2)
+        .tune_only()
+        .run();
     println!("Table 3. Transformation parameters by architecture and context\n");
-    for (mach, ctx, title) in sweeps {
-        let rows: Vec<_> = ALL_KERNELS
-            .iter()
-            .map(|k| {
-                eprintln!("  tuning {} on {} ({})", k.name(), mach.name, ctx.label());
-                let opts = cfg.tune_options(ctx);
-                let tune = ifko::tune(*k, &mach, ctx, &opts).ok();
-                ifko_bench::KernelRow {
-                    kernel: *k,
-                    cycles: Default::default(),
-                    atlas_variant: None,
-                    tune,
-                }
-            })
-            .collect();
-        println!("{}", format_table3(title, &rows));
+    for sweep in &sweeps {
+        println!("{}", format_table3(&sweep.title(), &sweep.rows));
     }
 }

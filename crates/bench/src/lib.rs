@@ -1,7 +1,14 @@
 //! # ifko-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper (see DESIGN.md's experiment
-//! index); this library holds the shared machinery: running all six
+//! index). The [`Experiment`] builder is the shared entry point: name the
+//! experiment, pick machines/contexts (or explicit sweeps), and `run()`
+//! — flags (`--quick`, `--jobs N`, `--trace PATH`, `--no-cache`) are
+//! parsed from the command line, every sweep shares one evaluation cache
+//! (persisted under `results/cache/` so separate binaries reuse each
+//! other's points), and progress goes to stderr.
+//!
+//! The library also holds the lower-level machinery: running all six
 //! tuning methodologies on a kernel ([`run_methods`]), formatting the
 //! relative-performance rows of Figures 2–4 ([`format_relative_table`]),
 //! Table 3 rows, and the Figure 7 per-phase decomposition.
@@ -9,13 +16,15 @@
 //! All binaries accept `--quick` (reduced N and search) so CI can exercise
 //! them; without it they run at paper scale (N=80000 / N=1024).
 
-use ifko::runner::Context;
-use ifko::{time_fko_defaults, tune, Timer, TuneOptions};
+use ifko::prelude::*;
+use ifko::runner::KernelArgs;
 use ifko_baselines::{atlas_best, compile_gcc, compile_icc, compile_icc_prof, LoopForm, Method};
-use ifko_blas::{Kernel, Workload, ALL_KERNELS};
 use ifko_fko::CompiledKernel;
-use ifko_xsim::MachineConfig;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default location of the cross-process evaluation cache.
+pub const CACHE_DIR: &str = "results/cache";
 
 /// Configuration of one experiment sweep.
 #[derive(Clone, Debug)]
@@ -24,24 +33,55 @@ pub struct ExpConfig {
     pub n_in_l2: usize,
     pub quick: bool,
     pub seed: u64,
+    /// Worker threads per candidate batch (`--jobs N`; results are
+    /// bit-identical for every value).
+    pub jobs: usize,
+    /// JSONL search-trace destination (`--trace PATH`).
+    pub trace_path: Option<String>,
+    /// Persist/reuse evaluations under [`CACHE_DIR`] (disable with
+    /// `--no-cache`).
+    pub use_cache: bool,
 }
 
 impl ExpConfig {
-    /// Parse from CLI args: `--quick` reduces problem and search sizes.
+    /// Parse from CLI args: `--quick` reduces problem and search sizes,
+    /// `--jobs N` sets batch parallelism, `--trace PATH` dumps the JSONL
+    /// search trace, `--no-cache` skips the persistent evaluation cache.
     pub fn from_args() -> ExpConfig {
-        let quick = std::env::args().any(|a| a == "--quick");
-        ExpConfig::new(quick)
+        let args: Vec<String> = std::env::args().collect();
+        let mut cfg = ExpConfig::new(args.iter().any(|a| a == "--quick"));
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--jobs" => {
+                    if let Some(v) = it.next() {
+                        cfg.jobs = v.parse::<usize>().unwrap_or(1).max(1);
+                    }
+                }
+                "--trace" => cfg.trace_path = it.next().cloned(),
+                "--no-cache" => cfg.use_cache = false,
+                _ => {}
+            }
+        }
+        cfg
     }
     pub fn new(quick: bool) -> ExpConfig {
-        if quick {
-            ExpConfig { n_out_of_cache: 20_000, n_in_l2: 1024, quick: true, seed: 0xb1a5 }
+        let (n_oc, n_ic) = if quick {
+            (20_000, 1024)
         } else {
-            ExpConfig {
-                n_out_of_cache: ifko_blas::workload::N_OUT_OF_CACHE,
-                n_in_l2: ifko_blas::workload::N_IN_L2,
-                quick: false,
-                seed: 0xb1a5,
-            }
+            (
+                ifko_blas::workload::N_OUT_OF_CACHE,
+                ifko_blas::workload::N_IN_L2,
+            )
+        };
+        ExpConfig {
+            n_out_of_cache: n_oc,
+            n_in_l2: n_ic,
+            quick,
+            seed: 0xb1a5,
+            jobs: 1,
+            trace_path: None,
+            use_cache: true,
         }
     }
     pub fn n_for(&self, ctx: Context) -> usize {
@@ -50,15 +90,20 @@ impl ExpConfig {
             Context::InL2 => self.n_in_l2,
         }
     }
-    pub fn tune_options(&self, ctx: Context) -> TuneOptions {
-        let mut o = if self.quick {
-            TuneOptions::quick(self.n_for(ctx))
+    /// The tuning configuration for one machine/context under this
+    /// experiment config (cache/trace are attached by [`Experiment`]).
+    pub fn tune_config(&self, mach: &MachineConfig, ctx: Context) -> TuneConfig {
+        let n = self.n_for(ctx);
+        let base = if self.quick {
+            TuneConfig::quick(n)
         } else {
-            TuneOptions::default()
+            TuneConfig::paper()
         };
-        o.n = Some(self.n_for(ctx));
-        o.seed = self.seed;
-        o
+        base.machine(mach.clone())
+            .context(ctx)
+            .n(n)
+            .seed(self.seed)
+            .jobs(self.jobs)
     }
     pub fn timer(&self) -> Timer {
         if self.quick {
@@ -109,6 +154,216 @@ impl KernelRow {
     }
 }
 
+/// One machine/context sweep's results.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    pub machine: MachineConfig,
+    pub context: Context,
+    pub rows: Vec<KernelRow>,
+}
+
+impl Sweep {
+    /// Human title, e.g. `P4E, out-of-cache`.
+    pub fn title(&self) -> String {
+        let ctx = match self.context {
+            Context::OutOfCache => "out-of-cache",
+            Context::InL2 => "in-L2 cache",
+        };
+        format!("{}, {ctx}", self.machine.name)
+    }
+}
+
+/// Builder for one experiment: which machines, contexts, and kernels to
+/// sweep, and whether to run the full six-methodology comparison or just
+/// the iFKO tuner. All sweeps share the experiment's evaluation cache and
+/// trace sink.
+///
+/// ```no_run
+/// use ifko_bench::Experiment;
+/// use ifko::prelude::*;
+///
+/// let sweeps = Experiment::new("figure2").machine(p4e()).context(Context::OutOfCache).run();
+/// println!("{}", ifko_bench::format_relative_table("Figure 2", &sweeps[0].rows));
+/// ```
+pub struct Experiment {
+    name: String,
+    cfg: ExpConfig,
+    machines: Vec<MachineConfig>,
+    contexts: Vec<Context>,
+    explicit_sweeps: Vec<(MachineConfig, Context)>,
+    kernels: Vec<Kernel>,
+    tune_only: bool,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl Experiment {
+    /// A named experiment configured from the command line
+    /// (see [`ExpConfig::from_args`]). Defaults: P4E, out-of-cache, the
+    /// full 14-kernel suite, all six methodologies.
+    pub fn new(name: impl Into<String>) -> Experiment {
+        Experiment::with_config(name, ExpConfig::from_args())
+    }
+
+    /// Same, with an explicit config (used by tests).
+    pub fn with_config(name: impl Into<String>, cfg: ExpConfig) -> Experiment {
+        Experiment {
+            name: name.into(),
+            cfg,
+            machines: vec![p4e()],
+            contexts: vec![Context::OutOfCache],
+            explicit_sweeps: Vec::new(),
+            kernels: ALL_KERNELS.to_vec(),
+            tune_only: false,
+            trace: None,
+        }
+    }
+
+    /// Sweep this machine (replaces the default; call repeatedly or use
+    /// [`Self::machines`] for several).
+    pub fn machine(mut self, m: MachineConfig) -> Self {
+        self.machines = vec![m];
+        self
+    }
+    pub fn machines(mut self, ms: impl IntoIterator<Item = MachineConfig>) -> Self {
+        self.machines = ms.into_iter().collect();
+        self
+    }
+    /// Sweep this context (product with the machines).
+    pub fn context(mut self, c: Context) -> Self {
+        self.contexts = vec![c];
+        self
+    }
+    pub fn contexts(mut self, cs: impl IntoIterator<Item = Context>) -> Self {
+        self.contexts = cs.into_iter().collect();
+        self
+    }
+    /// Add one explicit (machine, context) sweep; when any are given they
+    /// replace the machines × contexts product.
+    pub fn sweep(mut self, m: MachineConfig, c: Context) -> Self {
+        self.explicit_sweeps.push((m, c));
+        self
+    }
+    /// Restrict the kernel set (default: the full suite).
+    pub fn kernels(mut self, ks: impl IntoIterator<Item = Kernel>) -> Self {
+        self.kernels = ks.into_iter().collect();
+        self
+    }
+    /// Only run the iFKO tuner (Table 3 / Figure 7 style experiments) —
+    /// skips the five baseline methodologies.
+    pub fn tune_only(mut self) -> Self {
+        self.tune_only = true;
+        self
+    }
+    /// Attach a trace sink programmatically (overrides `--trace`).
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+    pub fn cfg(&self) -> &ExpConfig {
+        &self.cfg
+    }
+
+    /// Run every sweep. Progress and a final fresh-vs-cached evaluation
+    /// summary go to stderr; results come back in sweep order.
+    pub fn run(self) -> Vec<Sweep> {
+        let cache: Arc<EvalCache> = if self.cfg.use_cache {
+            match EvalCache::persistent(CACHE_DIR) {
+                Ok(c) => {
+                    if !c.is_empty() {
+                        eprintln!(
+                            "[{}] warm evaluation cache: {} points from {CACHE_DIR}/evals.jsonl",
+                            self.name,
+                            c.len()
+                        );
+                    }
+                    Arc::new(c)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[{}] persistent cache unavailable ({e}); using memory",
+                        self.name
+                    );
+                    Arc::new(EvalCache::new())
+                }
+            }
+        } else {
+            Arc::new(EvalCache::new())
+        };
+        let trace: Option<Arc<dyn TraceSink>> = match (&self.trace, &self.cfg.trace_path) {
+            (Some(t), _) => Some(t.clone()),
+            (None, Some(p)) => match JsonlSink::create(p) {
+                Ok(s) => {
+                    eprintln!("[{}] tracing evaluations to {p}", self.name);
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("[{}] cannot open trace {p}: {e}", self.name);
+                    None
+                }
+            },
+            _ => None,
+        };
+
+        let pairs: Vec<(MachineConfig, Context)> = if !self.explicit_sweeps.is_empty() {
+            self.explicit_sweeps.clone()
+        } else {
+            self.machines
+                .iter()
+                .flat_map(|m| self.contexts.iter().map(move |c| (m.clone(), *c)))
+                .collect()
+        };
+
+        let mut out = Vec::new();
+        for (mach, ctx) in pairs {
+            let mut tune_cfg = self.cfg.tune_config(&mach, ctx).cache(cache.clone());
+            if let Some(t) = &trace {
+                tune_cfg = tune_cfg.trace(t.clone());
+            }
+            let rows = self
+                .kernels
+                .iter()
+                .map(|k| {
+                    eprintln!("  ... {} on {} ({})", k.name(), mach.name, ctx.label());
+                    if self.tune_only {
+                        KernelRow {
+                            kernel: *k,
+                            cycles: Default::default(),
+                            atlas_variant: None,
+                            tune: tune_cfg.tune(*k).ok(),
+                        }
+                    } else {
+                        run_methods_with(*k, &tune_cfg, &self.cfg)
+                    }
+                })
+                .collect();
+            out.push(Sweep {
+                machine: mach,
+                context: ctx,
+                rows,
+            });
+        }
+
+        let (fresh, hits) = out
+            .iter()
+            .flat_map(|s| &s.rows)
+            .filter_map(|r| r.tune.as_ref())
+            .fold((0u64, 0u64), |(f, h), t| {
+                (
+                    f + t.result.evaluations as u64,
+                    h + t.result.cache_hits as u64,
+                )
+            });
+        eprintln!(
+            "[{}] search evaluations: {fresh} fresh, {hits} cache hits",
+            self.name
+        );
+        if let Some(t) = &trace {
+            t.flush();
+        }
+        out
+    }
+}
+
 /// Time one compiled baseline with the experiment timer.
 fn time_compiled(
     compiled: &CompiledKernel,
@@ -118,7 +373,11 @@ fn time_compiled(
     mach: &MachineConfig,
     timer: &Timer,
 ) -> Option<u64> {
-    let args = ifko::runner::KernelArgs { kernel, workload: w, context: ctx };
+    let args = KernelArgs {
+        kernel,
+        workload: w,
+        context: ctx,
+    };
     // Baselines are verified too — a wrong baseline would corrupt the
     // comparison silently.
     let out = ifko::runner::run_once(compiled, &args, mach).ok()?;
@@ -126,30 +385,28 @@ fn time_compiled(
     timer.time(compiled, &args, mach).ok()
 }
 
-/// Run all six methodologies for one kernel on one machine/context.
-pub fn run_methods(
-    kernel: Kernel,
-    mach: &MachineConfig,
-    ctx: Context,
-    cfg: &ExpConfig,
-) -> KernelRow {
+/// Run all six methodologies for one kernel under a prepared
+/// [`TuneConfig`] (machine/context/cache/trace already attached).
+pub fn run_methods_with(kernel: Kernel, tune_cfg: &TuneConfig, cfg: &ExpConfig) -> KernelRow {
+    let mach = tune_cfg.machine_ref().clone();
+    let ctx = tune_cfg.context_of();
     let n = cfg.n_for(ctx);
     let w = Workload::generate(n, cfg.seed);
     let timer = cfg.timer();
     let mut cycles = HashMap::new();
 
-    if let Ok(c) = compile_gcc(kernel, mach) {
-        if let Some(t) = time_compiled(&c, kernel, &w, ctx, mach, &timer) {
+    if let Ok(c) = compile_gcc(kernel, &mach) {
+        if let Some(t) = time_compiled(&c, kernel, &w, ctx, &mach, &timer) {
             cycles.insert(Method::GccRef, t);
         }
     }
-    if let Ok(c) = compile_icc(kernel, mach, LoopForm::Friendly) {
-        if let Some(t) = time_compiled(&c, kernel, &w, ctx, mach, &timer) {
+    if let Ok(c) = compile_icc(kernel, &mach, LoopForm::Friendly) {
+        if let Some(t) = time_compiled(&c, kernel, &w, ctx, &mach, &timer) {
             cycles.insert(Method::IccRef, t);
         }
     }
-    if let Ok(c) = compile_icc_prof(kernel, mach, n) {
-        if let Some(t) = time_compiled(&c, kernel, &w, ctx, mach, &timer) {
+    if let Ok(c) = compile_icc_prof(kernel, &mach, n) {
+        if let Some(t) = time_compiled(&c, kernel, &w, ctx, &mach, &timer) {
             cycles.insert(Method::IccProf, t);
         }
     }
@@ -159,31 +416,48 @@ pub fn run_methods(
     // paper's Figure 4 bars came to be.
     let mut atlas_variant = None;
     let select_w = Workload::generate(cfg.n_out_of_cache, cfg.seed);
-    if let Some(choice) = atlas_best(kernel, mach, Context::OutOfCache, &select_w, &timer) {
-        if let Some(t) = time_compiled(&choice.compiled, kernel, &w, ctx, mach, &timer) {
+    if let Some(choice) = atlas_best(kernel, &mach, Context::OutOfCache, &select_w, &timer) {
+        if let Some(t) = time_compiled(&choice.compiled, kernel, &w, ctx, &mach, &timer) {
             cycles.insert(Method::Atlas, t);
         }
         atlas_variant = Some(choice.variant);
     }
-    let opts = cfg.tune_options(ctx);
-    if let Ok(c) = time_fko_defaults(kernel, mach, ctx, &opts) {
+    if let Ok(c) = tune_cfg.time_defaults(kernel) {
         cycles.insert(Method::Fko, c);
     }
-    let tune_outcome = tune(kernel, mach, ctx, &opts).ok();
+    let tune_outcome = tune_cfg.tune(kernel).ok();
     if let Some(t) = &tune_outcome {
         cycles.insert(Method::Ifko, t.cycles);
     }
 
-    KernelRow { kernel, cycles, atlas_variant, tune: tune_outcome }
+    KernelRow {
+        kernel,
+        cycles,
+        atlas_variant,
+        tune: tune_outcome,
+    }
 }
 
-/// Run the full 14-kernel sweep.
+/// Run all six methodologies for one kernel on one machine/context with a
+/// private evaluation cache (convenience over [`run_methods_with`]).
+pub fn run_methods(
+    kernel: Kernel,
+    mach: &MachineConfig,
+    ctx: Context,
+    cfg: &ExpConfig,
+) -> KernelRow {
+    run_methods_with(kernel, &cfg.tune_config(mach, ctx), cfg)
+}
+
+/// Run the full 14-kernel sweep with a private evaluation cache shared
+/// across the kernels (convenience over [`Experiment`]).
 pub fn run_sweep(mach: &MachineConfig, ctx: Context, cfg: &ExpConfig) -> Vec<KernelRow> {
+    let tune_cfg = cfg.tune_config(mach, ctx);
     ALL_KERNELS
         .iter()
         .map(|k| {
             eprintln!("  ... {} on {} ({})", k.name(), mach.name, ctx.label());
-            run_methods(*k, mach, ctx, cfg)
+            run_methods_with(*k, &tune_cfg, cfg)
         })
         .collect()
 }
@@ -256,7 +530,6 @@ pub fn format_table3(title: &str, rows: &[KernelRow]) -> String {
 /// Figure 7 data: per-kernel speedup of ifko over FKO, decomposed by
 /// search phase.
 pub fn format_figure7(title: &str, rows: &[KernelRow]) -> String {
-    use ifko::search::Phase;
     use std::fmt::Write;
     let mut s = String::new();
     let _ = writeln!(s, "{title}");
@@ -303,14 +576,26 @@ pub fn format_figure7(title: &str, rows: &[KernelRow]) -> String {
 mod tests {
     use super::*;
     use ifko_blas::ops::BlasOp;
-    use ifko_xsim::isa::Prec;
-    use ifko_xsim::p4e;
+
+    fn test_cfg() -> ExpConfig {
+        ExpConfig {
+            n_out_of_cache: 3000,
+            n_in_l2: 512,
+            quick: true,
+            seed: 1,
+            jobs: 1,
+            trace_path: None,
+            use_cache: false,
+        }
+    }
 
     #[test]
     fn run_methods_produces_all_six() {
-        let cfg = ExpConfig { n_out_of_cache: 3000, n_in_l2: 512, quick: true, seed: 1 };
-        let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
-        let row = run_methods(k, &p4e(), Context::OutOfCache, &cfg);
+        let k = Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        };
+        let row = run_methods(k, &p4e(), Context::OutOfCache, &test_cfg());
         for m in Method::all() {
             assert!(row.cycles.contains_key(&m), "missing {m:?}");
         }
@@ -321,12 +606,61 @@ mod tests {
 
     #[test]
     fn relative_table_formats() {
-        let cfg = ExpConfig { n_out_of_cache: 2000, n_in_l2: 512, quick: true, seed: 1 };
-        let k = Kernel { op: BlasOp::Asum, prec: Prec::S };
+        let mut cfg = test_cfg();
+        cfg.n_out_of_cache = 2000;
+        let k = Kernel {
+            op: BlasOp::Asum,
+            prec: Prec::S,
+        };
         let rows = vec![run_methods(k, &p4e(), Context::InL2, &cfg)];
         let t = format_relative_table("test", &rows);
         assert!(t.contains("ifko"));
         assert!(t.contains("sasum"));
         assert!(t.contains("AVG"));
+    }
+
+    #[test]
+    fn experiment_runs_tune_only_sweeps() {
+        let mut cfg = test_cfg();
+        cfg.n_in_l2 = 400;
+        let k = Kernel {
+            op: BlasOp::Scal,
+            prec: Prec::D,
+        };
+        let sweeps = Experiment::with_config("test-exp", cfg)
+            .sweep(p4e(), Context::InL2)
+            .sweep(opteron(), Context::InL2)
+            .kernels([k])
+            .tune_only()
+            .run();
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(sweeps[0].title(), "P4E, in-L2 cache");
+        assert_eq!(sweeps[1].title(), "Opteron, in-L2 cache");
+        for s in &sweeps {
+            assert_eq!(s.rows.len(), 1);
+            assert!(s.rows[0].tune.is_some());
+        }
+    }
+
+    #[test]
+    fn experiment_shares_cache_across_sweeps() {
+        // Same (machine, context) listed twice: the second sweep must be
+        // answered entirely from the experiment-wide cache.
+        let cfg = test_cfg();
+        let k = Kernel {
+            op: BlasOp::Copy,
+            prec: Prec::D,
+        };
+        let sweeps = Experiment::with_config("test-cache", cfg)
+            .sweep(p4e(), Context::OutOfCache)
+            .sweep(p4e(), Context::OutOfCache)
+            .kernels([k])
+            .tune_only()
+            .run();
+        let first = sweeps[0].rows[0].tune.as_ref().unwrap();
+        let second = sweeps[1].rows[0].tune.as_ref().unwrap();
+        assert!(first.result.evaluations > 0);
+        assert_eq!(second.result.evaluations, 0, "second sweep re-evaluated");
+        assert_eq!(first.result.best, second.result.best);
     }
 }

@@ -133,7 +133,15 @@ impl BlasOp {
 
 /// All surveyed ops in the paper's presentation order.
 pub fn all_ops() -> [BlasOp; 7] {
-    [BlasOp::Swap, BlasOp::Scal, BlasOp::Copy, BlasOp::Axpy, BlasOp::Dot, BlasOp::Asum, BlasOp::Iamax]
+    [
+        BlasOp::Swap,
+        BlasOp::Scal,
+        BlasOp::Copy,
+        BlasOp::Axpy,
+        BlasOp::Dot,
+        BlasOp::Asum,
+        BlasOp::Iamax,
+    ]
 }
 
 /// A (operation, precision) pair — one kernel of the study.
@@ -160,29 +168,83 @@ pub fn extended_ops() -> [BlasOp; 2] {
 
 /// The four extension kernels.
 pub const EXTENDED_KERNELS: [Kernel; 4] = [
-    Kernel { op: BlasOp::Rot, prec: Prec::S },
-    Kernel { op: BlasOp::Rot, prec: Prec::D },
-    Kernel { op: BlasOp::Nrm2, prec: Prec::S },
-    Kernel { op: BlasOp::Nrm2, prec: Prec::D },
+    Kernel {
+        op: BlasOp::Rot,
+        prec: Prec::S,
+    },
+    Kernel {
+        op: BlasOp::Rot,
+        prec: Prec::D,
+    },
+    Kernel {
+        op: BlasOp::Nrm2,
+        prec: Prec::S,
+    },
+    Kernel {
+        op: BlasOp::Nrm2,
+        prec: Prec::D,
+    },
 ];
 
 /// The paper's 14 studied kernels (7 ops × {s,d}), in figure order
 /// (s-precision first for each op, as in Figures 2-4).
 pub const ALL_KERNELS: [Kernel; 14] = [
-    Kernel { op: BlasOp::Swap, prec: Prec::S },
-    Kernel { op: BlasOp::Swap, prec: Prec::D },
-    Kernel { op: BlasOp::Scal, prec: Prec::S },
-    Kernel { op: BlasOp::Scal, prec: Prec::D },
-    Kernel { op: BlasOp::Copy, prec: Prec::S },
-    Kernel { op: BlasOp::Copy, prec: Prec::D },
-    Kernel { op: BlasOp::Axpy, prec: Prec::S },
-    Kernel { op: BlasOp::Axpy, prec: Prec::D },
-    Kernel { op: BlasOp::Dot, prec: Prec::S },
-    Kernel { op: BlasOp::Dot, prec: Prec::D },
-    Kernel { op: BlasOp::Asum, prec: Prec::S },
-    Kernel { op: BlasOp::Asum, prec: Prec::D },
-    Kernel { op: BlasOp::Iamax, prec: Prec::S },
-    Kernel { op: BlasOp::Iamax, prec: Prec::D },
+    Kernel {
+        op: BlasOp::Swap,
+        prec: Prec::S,
+    },
+    Kernel {
+        op: BlasOp::Swap,
+        prec: Prec::D,
+    },
+    Kernel {
+        op: BlasOp::Scal,
+        prec: Prec::S,
+    },
+    Kernel {
+        op: BlasOp::Scal,
+        prec: Prec::D,
+    },
+    Kernel {
+        op: BlasOp::Copy,
+        prec: Prec::S,
+    },
+    Kernel {
+        op: BlasOp::Copy,
+        prec: Prec::D,
+    },
+    Kernel {
+        op: BlasOp::Axpy,
+        prec: Prec::S,
+    },
+    Kernel {
+        op: BlasOp::Axpy,
+        prec: Prec::D,
+    },
+    Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::S,
+    },
+    Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::D,
+    },
+    Kernel {
+        op: BlasOp::Asum,
+        prec: Prec::S,
+    },
+    Kernel {
+        op: BlasOp::Asum,
+        prec: Prec::D,
+    },
+    Kernel {
+        op: BlasOp::Iamax,
+        prec: Prec::S,
+    },
+    Kernel {
+        op: BlasOp::Iamax,
+        prec: Prec::D,
+    },
 ];
 
 #[cfg(test)]

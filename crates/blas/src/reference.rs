@@ -3,7 +3,14 @@
 
 /// Minimal float abstraction so references cover both precisions without
 /// external crates.
-pub trait Real: Copy + PartialOrd + core::ops::Add<Output = Self> + core::ops::Mul<Output = Self> + core::ops::AddAssign + core::ops::MulAssign {
+pub trait Real:
+    Copy
+    + PartialOrd
+    + core::ops::Add<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::AddAssign
+    + core::ops::MulAssign
+{
     const ZERO: Self;
     fn abs_val(self) -> Self;
 }
@@ -147,7 +154,11 @@ mod tests {
 
     #[test]
     fn iamax_first_max_wins() {
-        assert_eq!(iamax(&[1.0f64, -5.0, 5.0, 2.0]), 1, "first of equal magnitudes");
+        assert_eq!(
+            iamax(&[1.0f64, -5.0, 5.0, 2.0]),
+            1,
+            "first of equal magnitudes"
+        );
         assert_eq!(iamax(&[3.0f32]), 0);
         assert_eq!(iamax::<f64>(&[]), 0);
         assert_eq!(iamax(&[-1.0f64, -9.0, 4.0]), 1);

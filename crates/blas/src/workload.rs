@@ -3,8 +3,7 @@
 //! The paper times N=80000 out-of-cache and N=1024 in-L2-cache; all
 //! timings are repeatable, so workloads are seeded deterministically.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ifko_xsim::rng::Rng64;
 
 /// The paper's problem sizes.
 pub const N_OUT_OF_CACHE: usize = 80_000;
@@ -26,17 +25,23 @@ impl Workload {
     /// [-1, 1] with a distinct absolute maximum (so `iamax` is unambiguous
     /// across summation orders).
     pub fn generate(n: usize, seed: u64) -> Workload {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x1f3a_5c77);
-        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x1f3a_5c77);
+        let mut x: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         if n > 0 {
             // Plant a strict maximum at a random position.
-            let pos = rng.gen_range(0..n);
+            let pos = rng.range_usize(n);
             x[pos] = if rng.gen_bool(0.5) { 1.5 } else { -1.5 };
         }
-        let alpha = 1.0 + rng.gen_range(0.0..1.0);
-        let beta = rng.gen_range(-1.0..1.0);
-        Workload { n, x, y, alpha, beta }
+        let alpha = 1.0 + rng.range_f64(0.01, 1.0);
+        let beta = rng.range_f64(-1.0, 1.0);
+        Workload {
+            n,
+            x,
+            y,
+            alpha,
+            beta,
+        }
     }
 
     /// Single-precision views of the data.

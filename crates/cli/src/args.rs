@@ -14,6 +14,8 @@ pub struct Args {
     pub wnt: bool,
     pub no_pf: bool,
     pub pf_dist: Option<i64>,
+    pub jobs: usize,
+    pub trace: Option<String>,
 }
 
 impl Args {
@@ -31,6 +33,8 @@ impl Args {
             wnt: false,
             no_pf: false,
             pf_dist: None,
+            jobs: 1,
+            trace: None,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -40,13 +44,11 @@ impl Args {
             match tok.as_str() {
                 "--machine" | "-m" => a.machine = value("--machine")?,
                 "--context" | "-c" => a.context = value("--context")?,
-                "--n" => {
-                    a.n = Some(
-                        value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
-                    )
-                }
+                "--n" => a.n = Some(value("--n")?.parse().map_err(|e| format!("--n: {e}"))?),
                 "--seed" => {
-                    a.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                    a.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
                 }
                 "--full" => a.full = true,
                 "--scalar" => a.scalar = true,
@@ -56,12 +58,19 @@ impl Args {
                 "--no-pf" => a.no_pf = true,
                 "--pf-dist" => {
                     a.pf_dist = Some(
-                        value("--pf-dist")?.parse().map_err(|e| format!("--pf-dist: {e}"))?,
+                        value("--pf-dist")?
+                            .parse()
+                            .map_err(|e| format!("--pf-dist: {e}"))?,
                     )
                 }
-                other if other.starts_with('-') => {
-                    return Err(format!("unknown flag `{other}`"))
+                "--jobs" | "-j" => {
+                    a.jobs = value("--jobs")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--jobs: {e}"))?
+                        .max(1)
                 }
+                "--trace" => a.trace = Some(value("--trace")?),
+                other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
                 file => {
                     if a.file.is_empty() {
                         a.file = file.to_string();
@@ -98,8 +107,22 @@ mod tests {
     #[test]
     fn flags_parse() {
         let a = Args::parse(v(&[
-            "k.hil", "--machine", "opteron", "--context", "ic", "--n", "2048", "--ur", "8",
-            "--ae", "4", "--wnt", "--no-pf", "--full", "--seed", "9",
+            "k.hil",
+            "--machine",
+            "opteron",
+            "--context",
+            "ic",
+            "--n",
+            "2048",
+            "--ur",
+            "8",
+            "--ae",
+            "4",
+            "--wnt",
+            "--no-pf",
+            "--full",
+            "--seed",
+            "9",
         ]))
         .unwrap();
         assert_eq!(a.machine, "opteron");
@@ -109,6 +132,16 @@ mod tests {
         assert_eq!(a.ae, Some(4));
         assert!(a.wnt && a.no_pf && a.full);
         assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn jobs_and_trace_parse() {
+        let a = Args::parse(v(&["k.hil", "--jobs", "4", "--trace", "t.jsonl"])).unwrap();
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
+        // --jobs clamps to at least one worker.
+        let a = Args::parse(v(&["k.hil", "-j", "0"])).unwrap();
+        assert_eq!(a.jobs, 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ifko compile  kernel.hil [--machine M] [--scalar] [--ur N] [--ae N]
 //!                          [--wnt] [--pf-dist BYTES] [--no-pf]
 //! ifko tune     kernel.hil [--machine M] [--context oc|ic] [--n N]
-//!                          [--seed S] [--full]
+//!                          [--seed S] [--full] [--jobs N] [--trace PATH]
 //! ```
 //!
 //! `analyze` prints what FKO reports back to the search (paper §2.2.2);
@@ -16,7 +16,7 @@
 //! the BLAS suite.
 
 use ifko::runner::Context;
-use ifko::{tune_source, SearchOptions};
+use ifko::{SearchOptions, TuneConfig};
 use ifko_fko::{analyze_kernel, compile_ir, TransformParams};
 use ifko_xsim::{asm, opteron, p4e, MachineConfig};
 use std::process::ExitCode;
@@ -80,7 +80,10 @@ fn cmd_analyze(src: &str, machine: &MachineConfig) -> Result<(), String> {
         println!("cache L{}     : {} KB, {}B lines", i + 1, size / 1024, line);
     }
     println!("L_e          : {} elements per line", rep.arch.line_elems);
-    println!("tuned loop   : {}", if rep.has_tuned_loop { "found" } else { "NONE" });
+    println!(
+        "tuned loop   : {}",
+        if rep.has_tuned_loop { "found" } else { "NONE" }
+    );
     println!("max unroll   : {}", rep.max_unroll);
     match &rep.vectorizable {
         Ok(()) => println!("vectorizable : yes"),
@@ -94,12 +97,32 @@ fn cmd_analyze(src: &str, machine: &MachineConfig) -> Result<(), String> {
             format!("{} accumulator(s)", rep.ae_candidates.len())
         }
     );
-    let pf: Vec<String> =
-        rep.pf_candidates.iter().map(|p| ir.ptrs[p.0 as usize].name.clone()).collect();
-    println!("PF candidates: {}", if pf.is_empty() { "none".into() } else { pf.join(", ") });
-    let wnt: Vec<String> =
-        rep.wnt_candidates.iter().map(|p| ir.ptrs[p.0 as usize].name.clone()).collect();
-    println!("WNT targets  : {}", if wnt.is_empty() { "none".into() } else { wnt.join(", ") });
+    let pf: Vec<String> = rep
+        .pf_candidates
+        .iter()
+        .map(|p| ir.ptrs[p.0 as usize].name.clone())
+        .collect();
+    println!(
+        "PF candidates: {}",
+        if pf.is_empty() {
+            "none".into()
+        } else {
+            pf.join(", ")
+        }
+    );
+    let wnt: Vec<String> = rep
+        .wnt_candidates
+        .iter()
+        .map(|p| ir.ptrs[p.0 as usize].name.clone())
+        .collect();
+    println!(
+        "WNT targets  : {}",
+        if wnt.is_empty() {
+            "none".into()
+        } else {
+            wnt.join(", ")
+        }
+    );
     println!("\nscalars (vreg: role, sets/uses):");
     for s in &rep.scalars {
         println!("  v{:<4} {:?}  {}/{}", s.vreg, s.role, s.sets, s.uses);
@@ -151,23 +174,50 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         Context::OutOfCache => 40_000,
         Context::InL2 => 1024,
     });
-    let opts = if args.full { SearchOptions::default() } else { SearchOptions::quick() };
-    eprintln!("tuning on {} ({}), N={n} ...", machine.name, context.label());
-    let out = tune_source(src, machine, context, n, args.seed, &opts)
-        .map_err(|e| e.to_string())?;
+    let opts = if args.full {
+        SearchOptions::default()
+    } else {
+        SearchOptions::quick()
+    };
+    let mut cfg = TuneConfig::paper()
+        .machine(machine.clone())
+        .context(context)
+        .n(n)
+        .seed(args.seed)
+        .search(opts)
+        .jobs(args.jobs);
+    if let Some(path) = &args.trace {
+        cfg = cfg
+            .trace_file(path)
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+        eprintln!("tracing evaluations to {path}");
+    }
+    eprintln!(
+        "tuning on {} ({}), N={n}, jobs={} ...",
+        machine.name,
+        context.label(),
+        args.jobs
+    );
+    let out = cfg.tune_source(src).map_err(|e| e.to_string())?;
     println!("baseline (untuned) : not measured (search starts at FKO defaults)");
-    println!("FKO defaults       : {:>10} cycles", out.result.default_cycles);
+    println!(
+        "FKO defaults       : {:>10} cycles",
+        out.result.default_cycles
+    );
     println!(
         "iFKO best          : {:>10} cycles  ({:.2}x)",
         out.result.best_cycles,
         out.result.speedup_over_default()
     );
     println!(
-        "evaluations        : {} ({} rejected)",
-        out.result.evaluations, out.result.rejected
+        "evaluations        : {} ({} rejected, {} cache hits)",
+        out.result.evaluations, out.result.rejected, out.result.cache_hits
     );
     println!("\nwinning parameters:");
-    println!("  SV  : {}", if out.result.best.simd { "yes" } else { "no" });
+    println!(
+        "  SV  : {}",
+        if out.result.best.simd { "yes" } else { "no" }
+    );
     println!("  UR  : {}", out.result.best.unroll);
     println!("  AE  : {}", out.result.best.accum_expand);
     println!("  WNT : {}", if out.result.best.wnt { "yes" } else { "no" });
@@ -179,7 +229,11 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
     }
     println!("\nper-phase gains:");
     for g in &out.result.gains {
-        println!("  {:<7} {:>6.1}%", g.phase.label(), (g.speedup() - 1.0) * 100.0);
+        println!(
+            "  {:<7} {:>6.1}%",
+            g.phase.label(),
+            (g.speedup() - 1.0) * 100.0
+        );
     }
     Ok(())
 }

@@ -17,7 +17,11 @@ fn analyze_reports_search_feedback() {
         .args(["analyze", &repo("kernels/ddot.hil")])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("vectorizable : yes"));
     assert!(text.contains("PF candidates: X, Y"));
@@ -27,7 +31,13 @@ fn analyze_reports_search_feedback() {
 #[test]
 fn compile_dumps_assembly() {
     let out = Command::new(bin())
-        .args(["compile", &repo("kernels/ddot.hil"), "--ur", "4", "--scalar"])
+        .args([
+            "compile",
+            &repo("kernels/ddot.hil"),
+            "--ur",
+            "4",
+            "--scalar",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -42,7 +52,11 @@ fn tune_improves_custom_kernel() {
         .args(["tune", &repo("kernels/waxpby.hil"), "--n", "4000"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("winning parameters"));
     assert!(text.contains("SV  : yes"));
@@ -50,7 +64,10 @@ fn tune_improves_custom_kernel() {
 
 #[test]
 fn bad_file_fails_cleanly() {
-    let out = Command::new(bin()).args(["analyze", "no_such.hil"]).output().unwrap();
+    let out = Command::new(bin())
+        .args(["analyze", "no_such.hil"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -60,7 +77,11 @@ fn nrm2_sample_compiles_with_sqrt() {
         .args(["compile", &repo("kernels/snrm2.hil"), "--no-pf"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("fsqrt"), "sqrt epilogue expected:\n{text}");
 }

@@ -1,0 +1,251 @@
+//! [`TuneConfig`]: the one configuration object for a tuning run.
+//!
+//! Replaces the old `TuneOptions` + positional `(machine, context)`
+//! sprawl with a builder: pick a preset (`paper()` for the paper's full
+//! search, `quick(n)` for tests and demos), then chain what differs.
+//!
+//! ```
+//! use ifko::prelude::*;
+//!
+//! let cfg = TuneConfig::quick(2048).machine(opteron()).context(Context::InL2).jobs(4);
+//! let out = cfg.tune(Kernel { op: BlasOp::Dot, prec: Prec::D }).unwrap();
+//! assert!(out.result.best_cycles <= out.result.default_cycles);
+//! ```
+//!
+//! One `TuneConfig` owns one [`EvalCache`] (shared by every search run
+//! through it, across kernels and contexts) and optionally a
+//! [`TraceSink`] every evaluation reports to.
+
+use crate::driver::{defaults_with_config, tune_with_config, TuneError, TuneOutcome};
+use crate::eval::{EvalCache, EvalEngine, JsonlSink, TraceSink};
+use crate::generic::{tune_source_with_config, GenericTuneOutcome};
+use crate::runner::Context;
+use crate::search::SearchOptions;
+use crate::timer::Timer;
+use ifko_blas::Kernel;
+use ifko_fko::CompileError;
+use ifko_xsim::{p4e, MachineConfig};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Builder-style configuration for tuning runs (see the module docs).
+#[derive(Clone)]
+pub struct TuneConfig {
+    pub(crate) machine: MachineConfig,
+    pub(crate) context: Context,
+    pub(crate) n: Option<usize>,
+    pub(crate) seed: u64,
+    pub(crate) search: SearchOptions,
+    pub(crate) final_timer: Timer,
+    pub(crate) jobs: usize,
+    pub(crate) trace: Option<Arc<dyn TraceSink>>,
+    pub(crate) cache: Arc<EvalCache>,
+}
+
+impl TuneConfig {
+    /// The paper's protocol: full candidate sets, min-of-6 timer, and the
+    /// paper problem size for the chosen context. Default machine is the
+    /// Pentium 4E; default context out-of-cache.
+    pub fn paper() -> TuneConfig {
+        TuneConfig {
+            machine: p4e(),
+            context: Context::OutOfCache,
+            n: None,
+            seed: 0xb1a5,
+            search: SearchOptions::default(),
+            final_timer: Timer::default(),
+            jobs: 1,
+            trace: None,
+            cache: Arc::new(EvalCache::new()),
+        }
+    }
+
+    /// Reduced candidate sets and an exact single-rep timer at size `n` —
+    /// for tests and demos.
+    pub fn quick(n: usize) -> TuneConfig {
+        TuneConfig {
+            n: Some(n),
+            search: SearchOptions::quick(),
+            final_timer: Timer::exact(),
+            ..TuneConfig::paper()
+        }
+    }
+
+    // ---- builder setters -------------------------------------------------
+
+    /// Tune for this machine model.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+    /// Tune in this timing context (out-of-cache / in-L2).
+    pub fn context(mut self, context: Context) -> Self {
+        self.context = context;
+        self
+    }
+    /// Override the problem size (default: the paper size for the context).
+    pub fn n(mut self, n: usize) -> Self {
+        self.n = Some(n);
+        self
+    }
+    /// Workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+    /// Evaluate candidate batches on `jobs` worker threads. The search
+    /// result is bit-identical for every value (see `ifko::eval`).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+    /// Send every evaluation's [`SearchEvent`](crate::eval::SearchEvent)
+    /// to this sink.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+    /// Trace to a JSONL file at `path` (convenience over [`Self::trace`]).
+    pub fn trace_file(self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let sink = JsonlSink::create(path)?;
+        Ok(self.trace(sink))
+    }
+    /// Share an evaluation cache with other configs/processes.
+    pub fn cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+    /// Mirror the evaluation cache to `dir/evals.jsonl` (warm-started from
+    /// whatever previous runs left there).
+    pub fn persistent_cache(self, dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let cache = Arc::new(EvalCache::persistent(dir)?);
+        Ok(self.cache(cache))
+    }
+    /// Replace the search-phase candidate sets / timer wholesale.
+    pub fn search(mut self, search: SearchOptions) -> Self {
+        self.search = search;
+        self
+    }
+    /// Timer used for the final reported measurement.
+    pub fn final_timer(mut self, timer: Timer) -> Self {
+        self.final_timer = timer;
+        self
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    pub fn machine_ref(&self) -> &MachineConfig {
+        &self.machine
+    }
+    pub fn context_of(&self) -> Context {
+        self.context
+    }
+    /// The problem size a run will use.
+    pub fn size(&self) -> usize {
+        self.n.unwrap_or_else(|| self.context.paper_n())
+    }
+    pub fn seed_of(&self) -> u64 {
+        self.seed
+    }
+    pub fn jobs_of(&self) -> usize {
+        self.jobs
+    }
+    pub fn search_ref(&self) -> &SearchOptions {
+        &self.search
+    }
+    pub fn cache_ref(&self) -> &Arc<EvalCache> {
+        &self.cache
+    }
+
+    /// Build the evaluation engine this config describes. All runs share
+    /// the config's cache and sink, so points evaluated while tuning one
+    /// kernel are free for the next.
+    pub fn engine(&self) -> EvalEngine {
+        let mut e = EvalEngine::new(self.jobs).with_cache(self.cache.clone());
+        if let Some(t) = &self.trace {
+            e = e.with_trace(t.clone());
+        }
+        e
+    }
+
+    // ---- runners ---------------------------------------------------------
+
+    /// Tune one BLAS kernel (the paper's "ifko" data point).
+    pub fn tune(&self, kernel: Kernel) -> Result<TuneOutcome, TuneError> {
+        tune_with_config(kernel, self)
+    }
+
+    /// Time a kernel at FKO's static defaults (the paper's "FKO" point).
+    pub fn time_defaults(&self, kernel: Kernel) -> Result<u64, TuneError> {
+        defaults_with_config(kernel, self)
+    }
+
+    /// Tune an arbitrary user HIL kernel with differential verification.
+    pub fn tune_source(&self, src: &str) -> Result<GenericTuneOutcome, CompileError> {
+        tune_source_with_config(src, self)
+    }
+}
+
+impl std::fmt::Debug for TuneConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuneConfig")
+            .field("machine", &self.machine.name)
+            .field("context", &self.context)
+            .field("n", &self.size())
+            .field("seed", &self.seed)
+            .field("jobs", &self.jobs)
+            .field("trace", &self.trace.is_some())
+            .field("cached_points", &self.cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::MemSink;
+    use ifko_blas::ops::BlasOp;
+    use ifko_xsim::isa::Prec;
+    use ifko_xsim::opteron;
+
+    #[test]
+    fn builder_chains() {
+        let sink = MemSink::new();
+        let cfg = TuneConfig::quick(512)
+            .machine(opteron())
+            .context(Context::InL2)
+            .seed(7)
+            .jobs(3)
+            .trace(sink);
+        assert_eq!(cfg.size(), 512);
+        assert_eq!(cfg.jobs_of(), 3);
+        assert_eq!(cfg.machine_ref().name, "Opteron");
+        assert_eq!(cfg.context_of(), Context::InL2);
+        assert_eq!(cfg.engine().jobs(), 3);
+        assert!(cfg.engine().trace().is_some());
+    }
+
+    #[test]
+    fn paper_preset_uses_paper_sizes() {
+        let cfg = TuneConfig::paper();
+        assert_eq!(cfg.size(), Context::OutOfCache.paper_n());
+        let cfg = cfg.context(Context::InL2);
+        assert_eq!(cfg.size(), Context::InL2.paper_n());
+    }
+
+    #[test]
+    fn cache_is_shared_across_runs_of_one_config() {
+        let cfg = TuneConfig::quick(1024);
+        let k = Kernel {
+            op: BlasOp::Scal,
+            prec: Prec::D,
+        };
+        let a = cfg.tune(k).unwrap();
+        assert!(a.result.evaluations > 0, "cold cache must evaluate");
+        let b = cfg.tune(k).unwrap();
+        assert_eq!(b.result.evaluations, 0, "warm cache: no re-evaluation");
+        assert!(b.result.cache_hits > 0);
+        assert_eq!(a.result.best, b.result.best);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,15 +1,22 @@
 //! One-call tuning driver: ties the front end, analysis, search, and
 //! timing together (the outer loop of the paper's Figure 1).
+//!
+//! Configuration lives in [`TuneConfig`](crate::config::TuneConfig); the
+//! entry points here are what its `tune` / `time_defaults` methods call.
+//! The old `TuneOptions`-based free functions remain as deprecated shims.
 
+use crate::config::TuneConfig;
+use crate::eval::EvalScope;
 use crate::runner::Context;
-use crate::search::{line_search, SearchOptions, SearchResult};
+use crate::search::{line_search_engine, SearchOptions, SearchResult};
 use crate::timer::Timer;
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::{Kernel, Workload};
 use ifko_fko::{analyze_kernel, compile_ir, CompiledKernel, TransformParams};
 use ifko_xsim::MachineConfig;
 
-/// Options for a tuning run.
+/// Options for a tuning run (legacy shim — see [`TuneConfig`]).
+#[deprecated(since = "0.2.0", note = "use `ifko::TuneConfig` (builder API)")]
 #[derive(Clone, Debug)]
 pub struct TuneOptions {
     /// Problem size (defaults to the paper size for the context).
@@ -21,6 +28,7 @@ pub struct TuneOptions {
     pub final_timer: Timer,
 }
 
+#[allow(deprecated)]
 impl Default for TuneOptions {
     fn default() -> Self {
         TuneOptions {
@@ -32,6 +40,7 @@ impl Default for TuneOptions {
     }
 }
 
+#[allow(deprecated)]
 impl TuneOptions {
     /// Reduced sizes/search for tests and demos.
     pub fn quick(n: usize) -> Self {
@@ -41,6 +50,19 @@ impl TuneOptions {
             search: SearchOptions::quick(),
             final_timer: Timer::exact(),
         }
+    }
+
+    fn to_config(&self, machine: &MachineConfig, context: Context) -> TuneConfig {
+        let mut cfg = TuneConfig::paper()
+            .machine(machine.clone())
+            .context(context)
+            .seed(self.seed)
+            .search(self.search.clone())
+            .final_timer(self.final_timer.clone());
+        if let Some(n) = self.n {
+            cfg = cfg.n(n);
+        }
+        cfg
     }
 }
 
@@ -72,27 +94,49 @@ impl std::fmt::Display for TuneError {
 }
 impl std::error::Error for TuneError {}
 
-/// Tune one kernel with the iterative empirical search (the paper's
-/// "ifko" data point).
-pub fn tune(
-    kernel: Kernel,
-    machine: &MachineConfig,
-    context: Context,
-    opts: &TuneOptions,
-) -> Result<TuneOutcome, TuneError> {
-    let n = opts.n.unwrap_or_else(|| context.paper_n());
+/// Tune one kernel under a [`TuneConfig`] (called by `TuneConfig::tune`).
+pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneOutcome, TuneError> {
+    let machine = &cfg.machine;
+    let context = cfg.context;
+    let n = cfg.size();
     let src = hil_source(kernel.op, kernel.prec);
     let (ir, rep) =
         analyze_kernel(&src, machine).map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
-    let workload = Workload::generate(n, opts.seed);
+    let workload = Workload::generate(n, cfg.seed);
 
-    let result = line_search(&ir, &rep, kernel, &workload, context, machine, &opts.search);
-    let compiled = compile_ir(&ir, &result.best, &rep)
-        .map_err(|e| TuneError(format!("{}: best params failed to recompile: {e}", kernel.name())))?;
+    let engine = cfg.engine();
+    let scope = EvalScope::new(
+        kernel.name(),
+        machine,
+        context,
+        n,
+        cfg.seed,
+        &cfg.search.timer,
+    );
+    let result = line_search_engine(
+        &ir,
+        &rep,
+        kernel,
+        &workload,
+        context,
+        machine,
+        &cfg.search,
+        &engine,
+        &scope,
+    );
+    let compiled = compile_ir(&ir, &result.best, &rep).map_err(|e| {
+        TuneError(format!(
+            "{}: best params failed to recompile: {e}",
+            kernel.name()
+        ))
+    })?;
 
-    let args =
-        crate::runner::KernelArgs { kernel, workload: &workload, context };
-    let cycles = opts
+    let args = crate::runner::KernelArgs {
+        kernel,
+        workload: &workload,
+        context,
+    };
+    let cycles = cfg
         .final_timer
         .time(&compiled, &args, machine)
         .map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
@@ -111,29 +155,61 @@ pub fn tune(
     })
 }
 
-/// Time a kernel compiled at FKO's static defaults (the paper's "FKO"
-/// data point — no search).
+/// Time FKO's static defaults under a [`TuneConfig`] (called by
+/// `TuneConfig::time_defaults`).
+pub(crate) fn defaults_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<u64, TuneError> {
+    let machine = &cfg.machine;
+    let context = cfg.context;
+    let n = cfg.size();
+    let src = hil_source(kernel.op, kernel.prec);
+    let (ir, rep) =
+        analyze_kernel(&src, machine).map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let params = TransformParams::defaults(&rep, machine);
+    let compiled =
+        compile_ir(&ir, &params, &rep).map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let workload = Workload::generate(n, cfg.seed);
+    let args = crate::runner::KernelArgs {
+        kernel,
+        workload: &workload,
+        context,
+    };
+    // Verify, then time.
+    let out =
+        crate::runner::run_once(&compiled, &args, machine).map_err(|e| TuneError(e.to_string()))?;
+    crate::tester::verify(kernel, &workload, &out)
+        .map_err(|e| TuneError(format!("{} defaults failed verify: {e}", kernel.name())))?;
+    cfg.final_timer
+        .time(&compiled, &args, machine)
+        .map_err(|e| TuneError(e.to_string()))
+}
+
+/// Tune one kernel with the iterative empirical search (legacy shim —
+/// see [`TuneConfig::tune`]).
+#[deprecated(since = "0.2.0", note = "use `TuneConfig::...().tune(kernel)`")]
+#[allow(deprecated)]
+pub fn tune(
+    kernel: Kernel,
+    machine: &MachineConfig,
+    context: Context,
+    opts: &TuneOptions,
+) -> Result<TuneOutcome, TuneError> {
+    tune_with_config(kernel, &opts.to_config(machine, context))
+}
+
+/// Time a kernel compiled at FKO's static defaults (legacy shim — see
+/// [`TuneConfig::time_defaults`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TuneConfig::...().time_defaults(kernel)`"
+)]
+#[allow(deprecated)]
 pub fn time_fko_defaults(
     kernel: Kernel,
     machine: &MachineConfig,
     context: Context,
     opts: &TuneOptions,
 ) -> Result<u64, TuneError> {
-    let n = opts.n.unwrap_or_else(|| context.paper_n());
-    let src = hil_source(kernel.op, kernel.prec);
-    let (ir, rep) =
-        analyze_kernel(&src, machine).map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
-    let params = TransformParams::defaults(&rep, machine);
-    let compiled = compile_ir(&ir, &params, &rep)
-        .map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
-    let workload = Workload::generate(n, opts.seed);
-    let args = crate::runner::KernelArgs { kernel, workload: &workload, context };
-    // Verify, then time.
-    let out = crate::runner::run_once(&compiled, &args, machine)
-        .map_err(|e| TuneError(e.to_string()))?;
-    crate::tester::verify(kernel, &workload, &out)
-        .map_err(|e| TuneError(format!("{} defaults failed verify: {e}", kernel.name())))?;
-    opts.final_timer.time(&compiled, &args, machine).map_err(|e| TuneError(e.to_string()))
+    defaults_with_config(kernel, &opts.to_config(machine, context))
 }
 
 /// MFLOPS for a kernel run (paper Figure 5 metric).
@@ -150,9 +226,11 @@ mod tests {
 
     #[test]
     fn tune_ddot_beats_or_matches_defaults() {
-        let mach = p4e();
-        let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
-        let out = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(8192)).unwrap();
+        let k = Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        };
+        let out = TuneConfig::quick(8192).tune(k).unwrap();
         assert!(out.result.best_cycles <= out.result.default_cycles);
         assert!(out.mflops > 0.0);
         assert!(out.table3_row.starts_with("Y:"), "{}", out.table3_row);
@@ -160,30 +238,56 @@ mod tests {
 
     #[test]
     fn tune_works_single_precision_on_opteron() {
-        let mach = opteron();
-        let k = Kernel { op: BlasOp::Scal, prec: Prec::S };
-        let out = tune(k, &mach, Context::InL2, &TuneOptions::quick(1024)).unwrap();
+        let k = Kernel {
+            op: BlasOp::Scal,
+            prec: Prec::S,
+        };
+        let out = TuneConfig::quick(1024)
+            .machine(opteron())
+            .context(Context::InL2)
+            .tune(k)
+            .unwrap();
         assert!(out.cycles > 0);
         assert_eq!(out.machine, "Opteron");
     }
 
     #[test]
     fn defaults_time_is_reproducible_and_geq_tuned() {
-        let mach = p4e();
-        let k = Kernel { op: BlasOp::Asum, prec: Prec::D };
-        let opts = TuneOptions::quick(4096);
-        let d1 = time_fko_defaults(k, &mach, Context::OutOfCache, &opts).unwrap();
-        let d2 = time_fko_defaults(k, &mach, Context::OutOfCache, &opts).unwrap();
+        let k = Kernel {
+            op: BlasOp::Asum,
+            prec: Prec::D,
+        };
+        let cfg = TuneConfig::quick(4096);
+        let d1 = cfg.time_defaults(k).unwrap();
+        let d2 = cfg.time_defaults(k).unwrap();
         assert_eq!(d1, d2);
-        let tuned = tune(k, &mach, Context::OutOfCache, &opts).unwrap();
+        let tuned = cfg.tune(k).unwrap();
         assert!(tuned.cycles <= d1);
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_agrees_with_config_path() {
+        let mach = p4e();
+        let k = Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        };
+        let old = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(2048)).unwrap();
+        let new = TuneConfig::quick(2048).tune(k).unwrap();
+        assert_eq!(old.cycles, new.cycles);
+        assert_eq!(old.result.best, new.result.best);
+        assert_eq!(old.result.evaluations, new.result.evaluations);
+    }
+
+    #[test]
     fn mflops_formula() {
-        let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+        let k = Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        };
         let mach = p4e(); // 2800 MHz
-        // 2N flops, N=1000, 2800 cycles -> 2000 flops in 1us = 2000 MFLOPS.
+                          // 2N flops, N=1000, 2800 cycles -> 2000 flops in 1us = 2000 MFLOPS.
         assert!((flops_rate(k, 1000, 2800, &mach) - 2000.0).abs() < 1e-9);
     }
 }

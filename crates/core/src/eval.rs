@@ -1,0 +1,728 @@
+//! The evaluation engine: parallel batched candidate evaluation with a
+//! sharded, optionally persistent, cross-phase evaluation cache and a
+//! structured search-trace layer.
+//!
+//! The paper's search evaluates each candidate point serially — compile,
+//! verify, time. Because `xsim` is a deterministic simulator, a candidate
+//! evaluation is a *pure function* of
+//! `(kernel, machine, context, n, seed, timer, TransformParams)`, so the
+//! engine may fan a phase's whole candidate sweep out across threads and
+//! memoize every result without changing any reported number. The
+//! **determinism invariant** is the headline contract:
+//!
+//! > A search run with `jobs = N` returns a bit-identical `SearchResult`
+//! > (best parameters, cycles, per-phase gains, evaluation counts) to the
+//! > same search run with `jobs = 1`.
+//!
+//! It holds because (a) each candidate runs on a private `Cpu` against
+//! the shared read-only workload, (b) results are collected by batch
+//! index and the winner is selected by a serial in-order scan (ties break
+//! toward the earliest candidate, exactly like the serial loop), and
+//! (c) cache lookups, bookkeeping, and trace emission happen serially
+//! before and after the parallel section.
+//!
+//! The [`EvalCache`] is keyed by the full evaluation scope plus the
+//! parameter point, shared across search phases, across the multi-pass
+//! refinement loop, and — with [`EvalCache::persistent`] — across
+//! processes (the figure/table binaries reuse each other's points via
+//! `results/cache/evals.jsonl`).
+//!
+//! Every evaluation (including cache hits) emits a [`SearchEvent`] to a
+//! pluggable [`TraceSink`]: a JSONL file via `--trace`, or an in-memory
+//! sink for tests.
+
+use ifko_fko::TransformParams;
+use ifko_xsim::MachineConfig;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::runner::Context;
+use crate::timer::Timer;
+
+/// FNV-1a over a byte string (stable fingerprinting, no external deps).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A stable fingerprint of a machine configuration: its name plus a hash
+/// of every model parameter, so "basically identical systems, varying
+/// only in the type or size of cache" (§1) never share cache entries.
+pub fn machine_fingerprint(machine: &MachineConfig) -> String {
+    format!(
+        "{}#{:016x}",
+        machine.name,
+        fnv64(format!("{machine:?}").as_bytes())
+    )
+}
+
+/// Everything that identifies one evaluation universe. Two evaluations
+/// with equal scopes and equal parameters are interchangeable.
+#[derive(Clone, Debug)]
+pub struct EvalScope {
+    /// Kernel label (BLAS name, or a content hash for user HIL sources).
+    pub kernel: String,
+    /// Machine fingerprint (see [`machine_fingerprint`]).
+    pub machine: String,
+    /// Timing context label (`oc` / `ic`).
+    pub context: &'static str,
+    /// Problem size.
+    pub n: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Timer protocol fingerprint (reps/interference/seed).
+    pub timer: String,
+    key: String,
+}
+
+impl EvalScope {
+    pub fn new(
+        kernel: impl Into<String>,
+        machine: &MachineConfig,
+        context: Context,
+        n: usize,
+        seed: u64,
+        timer: &Timer,
+    ) -> EvalScope {
+        let kernel = kernel.into();
+        let machine = machine_fingerprint(machine);
+        let timer = format!("r{}i{}s{:x}", timer.reps, timer.interference, timer.seed);
+        let key = format!(
+            "{kernel}@{machine}/{}/n{n}/s{seed:x}/{timer}",
+            context.label()
+        );
+        EvalScope {
+            kernel,
+            machine,
+            context: context.label(),
+            n,
+            seed,
+            timer,
+            key,
+        }
+    }
+
+    /// The canonical scope prefix of every cache key in this scope.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Full cache key for one parameter point.
+    pub fn point_key(&self, p: &TransformParams) -> String {
+        format!("{}|{p:?}", self.key)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace layer
+// ---------------------------------------------------------------------------
+
+/// One observed candidate evaluation (or cache hit) during a search.
+#[derive(Clone, Debug)]
+pub struct SearchEvent {
+    /// Scope key: kernel @ machine / context / n / seed / timer.
+    pub scope: String,
+    /// Search phase label (`SEED`, `WNT`, `PF DST`, ... or `FINAL`).
+    pub phase: &'static str,
+    /// Canonical parameter-point key (the `TransformParams` debug form).
+    pub params: String,
+    /// Min-of-reps cycles, or `None` when the candidate was rejected.
+    pub cycles: Option<u64>,
+    /// Whether the candidate compiled and passed the tester.
+    pub verified: bool,
+    /// Whether the result came from the evaluation cache.
+    pub cache_hit: bool,
+    /// Wall-clock cost of this evaluation in microseconds (0 for hits).
+    pub wall_us: u64,
+}
+
+impl SearchEvent {
+    /// One JSONL line (all strings we emit are quote/backslash-free, but
+    /// escape anyway so the file is always well-formed JSON).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        format!(
+            "{{\"scope\":\"{}\",\"phase\":\"{}\",\"params\":\"{}\",\"cycles\":{},\"verified\":{},\"cache_hit\":{},\"wall_us\":{}}}",
+            esc(&self.scope),
+            esc(self.phase),
+            esc(&self.params),
+            self.cycles.map_or("null".to_string(), |c| c.to_string()),
+            self.verified,
+            self.cache_hit,
+            self.wall_us,
+        )
+    }
+}
+
+/// Where search events go. Implementations must tolerate concurrent
+/// searches (events are recorded serially per batch, but multiple
+/// engines may share one sink).
+pub trait TraceSink: Send + Sync {
+    fn record(&self, ev: &SearchEvent);
+    /// Flush buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// In-memory sink for tests and ad-hoc inspection.
+#[derive(Default)]
+pub struct MemSink {
+    events: Mutex<Vec<SearchEvent>>,
+}
+
+impl MemSink {
+    pub fn new() -> Arc<MemSink> {
+        Arc::new(MemSink::default())
+    }
+    /// Snapshot of all recorded events.
+    pub fn events(&self) -> Vec<SearchEvent> {
+        self.events.lock().unwrap().clone()
+    }
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// (cache hits, misses) over everything recorded so far.
+    pub fn hit_miss(&self) -> (usize, usize) {
+        let evs = self.events.lock().unwrap();
+        let hits = evs.iter().filter(|e| e.cache_hit).count();
+        (hits, evs.len() - hits)
+    }
+}
+
+impl TraceSink for MemSink {
+    fn record(&self, ev: &SearchEvent) {
+        self.events.lock().unwrap().push(ev.clone());
+    }
+}
+
+/// JSONL file sink (one event per line), created by `--trace PATH`.
+pub struct JsonlSink {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Arc<JsonlSink>> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::File::create(&path)?;
+        Ok(Arc::new(JsonlSink {
+            out: Mutex::new(std::io::BufWriter::new(file)),
+            path,
+        }))
+    }
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, ev: &SearchEvent) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{}", ev.to_json());
+    }
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation cache
+// ---------------------------------------------------------------------------
+
+const SHARDS: usize = 16;
+
+/// A sharded map from evaluation keys to outcomes (`None` = the point was
+/// rejected by compilation or the tester). Optionally mirrored to an
+/// append-only JSONL file so separate processes share points.
+pub struct EvalCache {
+    shards: Vec<Mutex<HashMap<String, Option<u64>>>>,
+    disk: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
+}
+
+impl EvalCache {
+    /// Fresh in-memory cache.
+    pub fn new() -> EvalCache {
+        EvalCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            disk: None,
+        }
+    }
+
+    /// A cache mirrored to `dir/evals.jsonl`: existing entries are loaded
+    /// (warm start), and every new evaluation is appended immediately, so
+    /// even interrupted runs leave their points behind for the next one.
+    pub fn persistent(dir: impl AsRef<Path>) -> std::io::Result<EvalCache> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("evals.jsonl");
+        let mut cache = EvalCache::new();
+        if let Ok(file) = std::fs::File::open(&path) {
+            for line in std::io::BufReader::new(file).lines() {
+                let Ok(line) = line else { break };
+                if let Some((key, val)) = parse_cache_line(&line) {
+                    cache.insert_mem(key, val);
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        cache.disk = Some(Mutex::new(std::io::BufWriter::new(file)));
+        Ok(cache)
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Option<u64>>> {
+        &self.shards[(fnv64(key.as_bytes()) as usize) % SHARDS]
+    }
+
+    pub fn get(&self, key: &str) -> Option<Option<u64>> {
+        self.shard(key).lock().unwrap().get(key).copied()
+    }
+
+    fn insert_mem(&self, key: String, val: Option<u64>) {
+        self.shard(&key).lock().unwrap().insert(key, val);
+    }
+
+    /// Insert an outcome, mirroring it to disk when persistent.
+    pub fn insert(&self, key: String, val: Option<u64>) {
+        if let Some(disk) = &self.disk {
+            let line = match val {
+                Some(c) => format!("{{\"key\":\"{}\",\"cycles\":{c}}}", esc_key(&key)),
+                None => format!("{{\"key\":\"{}\",\"cycles\":null}}", esc_key(&key)),
+            };
+            let mut out = disk.lock().unwrap();
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+        self.insert_mem(key, val);
+    }
+
+    /// Total number of cached points.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn esc_key(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parse one `{"key":"...","cycles":N|null}` line (the only shape we
+/// write). Returns `None` on any malformed line.
+fn parse_cache_line(line: &str) -> Option<(String, Option<u64>)> {
+    let rest = line.trim().strip_prefix("{\"key\":\"")?;
+    // Scan to the terminating unescaped quote.
+    let mut key = String::new();
+    let mut chars = rest.char_indices();
+    let mut end = None;
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some((_, e)) = chars.next() {
+                    key.push(e);
+                }
+            }
+            '"' => {
+                end = Some(i);
+                break;
+            }
+            c => key.push(c),
+        }
+    }
+    let rest = &rest[end?..];
+    let rest = rest.strip_prefix("\",\"cycles\":")?;
+    let rest = rest.strip_suffix('}')?;
+    if rest == "null" {
+        Some((key, None))
+    } else {
+        rest.parse::<u64>().ok().map(|c| (key, Some(c)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Outcome of one batch submission.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Per-candidate cycles (index-aligned with the submitted batch).
+    pub results: Vec<Option<u64>>,
+    /// Fresh evaluations performed (compile + verify + time).
+    pub evaluated: u32,
+    /// Fresh evaluations rejected by compile failure or the tester.
+    pub rejected: u32,
+    /// Results served from the cache.
+    pub cache_hits: u32,
+}
+
+/// Cumulative engine statistics (monotonic over the engine's lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub evaluated: u64,
+    pub rejected: u64,
+    pub cache_hits: u64,
+}
+
+/// The evaluation engine: a scoped thread pool plus the shared cache and
+/// trace sink. Cheap to construct; share the [`EvalCache`] (and sink) to
+/// share work across searches, phases, and binaries.
+pub struct EvalEngine {
+    jobs: usize,
+    cache: Arc<EvalCache>,
+    trace: Option<Arc<dyn TraceSink>>,
+    evaluated: AtomicU64,
+    rejected: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl EvalEngine {
+    /// An engine with `jobs` worker threads (1 = serial) and a fresh
+    /// in-memory cache.
+    pub fn new(jobs: usize) -> EvalEngine {
+        EvalEngine {
+            jobs: jobs.max(1),
+            cache: Arc::new(EvalCache::new()),
+            trace: None,
+            evaluated: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Share an existing cache (cross-search / cross-process reuse).
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> EvalEngine {
+        self.cache = cache;
+        self
+    }
+
+    /// Attach a trace sink; every evaluation emits a [`SearchEvent`].
+    pub fn with_trace(mut self, trace: Arc<dyn TraceSink>) -> EvalEngine {
+        self.trace = Some(trace);
+        self
+    }
+
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+    pub fn cache(&self) -> &Arc<EvalCache> {
+        &self.cache
+    }
+    pub fn trace(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace.as_ref()
+    }
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            evaluated: self.evaluated.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evaluate a batch of candidate points, in parallel, memoized.
+    ///
+    /// `eval` is the pure evaluation function (compile + verify + time →
+    /// min cycles, `None` = rejected); it is called once per *unique
+    /// uncached* candidate. Results come back index-aligned with `cands`,
+    /// and all bookkeeping is order-deterministic regardless of `jobs`.
+    pub fn eval_batch<F>(
+        &self,
+        scope: &EvalScope,
+        phase: &'static str,
+        cands: &[TransformParams],
+        eval: F,
+    ) -> BatchOutcome
+    where
+        F: Fn(&TransformParams) -> Option<u64> + Sync,
+    {
+        let keys: Vec<String> = cands.iter().map(|p| scope.point_key(p)).collect();
+
+        // Serial pass: resolve cache hits and batch-internal duplicates.
+        let mut results: Vec<Option<Option<u64>>> = vec![None; cands.len()];
+        let mut hit: Vec<bool> = vec![false; cands.len()];
+        let mut primary: HashMap<&str, usize> = HashMap::new();
+        let mut dup_of: Vec<Option<usize>> = vec![None; cands.len()];
+        let mut work: Vec<usize> = Vec::new();
+        for i in 0..cands.len() {
+            if let Some(v) = self.cache.get(&keys[i]) {
+                results[i] = Some(v);
+                hit[i] = true;
+            } else if let Some(&j) = primary.get(keys[i].as_str()) {
+                dup_of[i] = Some(j);
+            } else {
+                primary.insert(keys[i].as_str(), i);
+                work.push(i);
+            }
+        }
+
+        // Parallel pass over the unique uncached points.
+        let mut wall_us: Vec<u64> = vec![0; cands.len()];
+        if !work.is_empty() {
+            let workers = self.jobs.min(work.len());
+            let cursor = AtomicUsize::new(0);
+            let done: Mutex<Vec<(usize, Option<u64>, u64)>> =
+                Mutex::new(Vec::with_capacity(work.len()));
+            let evalr = &eval;
+            let workr = &work;
+            let cursorr = &cursor;
+            let doner = &done;
+            if workers <= 1 {
+                for &i in workr {
+                    let t0 = std::time::Instant::now();
+                    let r = evalr(&cands[i]);
+                    done.lock()
+                        .unwrap()
+                        .push((i, r, t0.elapsed().as_micros() as u64));
+                }
+            } else {
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(move || loop {
+                            let w = cursorr.fetch_add(1, Ordering::Relaxed);
+                            if w >= workr.len() {
+                                break;
+                            }
+                            let i = workr[w];
+                            let t0 = std::time::Instant::now();
+                            let r = evalr(&cands[i]);
+                            doner
+                                .lock()
+                                .unwrap()
+                                .push((i, r, t0.elapsed().as_micros() as u64));
+                        });
+                    }
+                });
+            }
+            for (i, r, us) in done.into_inner().unwrap() {
+                results[i] = Some(r);
+                wall_us[i] = us;
+            }
+            // Serial: publish to the cache in candidate order.
+            for &i in &work {
+                self.cache
+                    .insert(keys[i].clone(), results[i].unwrap_or(None));
+            }
+        }
+        // Resolve duplicates from their primaries.
+        for i in 0..cands.len() {
+            if let Some(j) = dup_of[i] {
+                results[i] = results[j];
+                hit[i] = true;
+            }
+        }
+
+        let results: Vec<Option<u64>> = results.into_iter().map(|r| r.unwrap_or(None)).collect();
+        let evaluated = work.len() as u32;
+        let rejected = work.iter().filter(|&&i| results[i].is_none()).count() as u32;
+        let cache_hits = hit.iter().filter(|&&h| h).count() as u32;
+        self.evaluated
+            .fetch_add(evaluated as u64, Ordering::Relaxed);
+        self.rejected.fetch_add(rejected as u64, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(cache_hits as u64, Ordering::Relaxed);
+
+        if let Some(sink) = &self.trace {
+            for i in 0..cands.len() {
+                sink.record(&SearchEvent {
+                    scope: scope.key().to_string(),
+                    phase,
+                    params: format!("{:?}", cands[i]),
+                    cycles: results[i],
+                    verified: results[i].is_some(),
+                    cache_hit: hit[i],
+                    wall_us: wall_us[i],
+                });
+            }
+        }
+
+        BatchOutcome {
+            results,
+            evaluated,
+            rejected,
+            cache_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifko_fko::TransformParams;
+    use ifko_xsim::p4e;
+
+    fn scope() -> EvalScope {
+        EvalScope::new("test", &p4e(), Context::OutOfCache, 100, 1, &Timer::exact())
+    }
+
+    fn point(ur: u32) -> TransformParams {
+        let mut p = TransformParams::off();
+        p.unroll = ur;
+        p
+    }
+
+    #[test]
+    fn batch_results_are_index_aligned_and_cached() {
+        let eng = EvalEngine::new(4);
+        let cands: Vec<_> = (1..=8).map(point).collect();
+        let out = eng.eval_batch(&scope(), "UR", &cands, |p| Some(p.unroll as u64 * 10));
+        assert_eq!(
+            out.results,
+            (1..=8).map(|u| Some(u * 10)).collect::<Vec<_>>()
+        );
+        assert_eq!(out.evaluated, 8);
+        assert_eq!(out.cache_hits, 0);
+        // Second submission: all hits, evaluator must not run.
+        let out2 = eng.eval_batch(&scope(), "UR", &cands, |_| panic!("must be cached"));
+        assert_eq!(out2.results, out.results);
+        assert_eq!(out2.cache_hits, 8);
+        assert_eq!(out2.evaluated, 0);
+    }
+
+    #[test]
+    fn duplicates_within_a_batch_evaluate_once() {
+        let eng = EvalEngine::new(2);
+        let calls = AtomicU64::new(0);
+        let cands = vec![point(4), point(4), point(4)];
+        let out = eng.eval_batch(&scope(), "UR", &cands, |p| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Some(p.unroll as u64)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(out.evaluated, 1);
+        assert_eq!(out.cache_hits, 2);
+        assert_eq!(out.results, vec![Some(4), Some(4), Some(4)]);
+    }
+
+    #[test]
+    fn rejections_are_cached_too() {
+        let eng = EvalEngine::new(1);
+        let cands = vec![point(3)];
+        let out = eng.eval_batch(&scope(), "UR", &cands, |_| None);
+        assert_eq!(out.rejected, 1);
+        let out2 = eng.eval_batch(&scope(), "UR", &cands, |_| panic!("cached rejection"));
+        assert_eq!(out2.results, vec![None]);
+        assert_eq!(out2.cache_hits, 1);
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let cands: Vec<_> = (1..=13).map(point).collect();
+        let f = |p: &TransformParams| {
+            if p.unroll.is_multiple_of(5) {
+                None
+            } else {
+                Some(1000 / p.unroll as u64)
+            }
+        };
+        let serial = EvalEngine::new(1).eval_batch(&scope(), "UR", &cands, f);
+        let wide = EvalEngine::new(8).eval_batch(&scope(), "UR", &cands, f);
+        assert_eq!(serial.results, wide.results);
+        assert_eq!(serial.evaluated, wide.evaluated);
+        assert_eq!(serial.rejected, wide.rejected);
+    }
+
+    #[test]
+    fn trace_records_every_candidate_in_order() {
+        let sink = MemSink::new();
+        let eng = EvalEngine::new(4).with_trace(sink.clone());
+        let cands: Vec<_> = (1..=6).map(point).collect();
+        eng.eval_batch(&scope(), "UR", &cands, |p| Some(p.unroll as u64));
+        let evs = sink.events();
+        assert_eq!(evs.len(), 6);
+        for (ev, c) in evs.iter().zip(&cands) {
+            assert_eq!(ev.params, format!("{c:?}"));
+            assert_eq!(ev.phase, "UR");
+            assert!(ev.verified && !ev.cache_hit);
+        }
+    }
+
+    #[test]
+    fn scope_distinguishes_machines_and_contexts() {
+        let mut m2 = p4e();
+        m2.l2.latency += 1;
+        let a = EvalScope::new("k", &p4e(), Context::OutOfCache, 10, 1, &Timer::exact());
+        let b = EvalScope::new("k", &m2, Context::OutOfCache, 10, 1, &Timer::exact());
+        let c = EvalScope::new("k", &p4e(), Context::InL2, 10, 1, &Timer::exact());
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn persistent_cache_round_trips() {
+        let dir = std::env::temp_dir().join(format!("ifko-evalcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = EvalCache::persistent(&dir).unwrap();
+            cache.insert("scope|point-a".into(), Some(123));
+            cache.insert("scope|point-b".into(), None);
+        }
+        let warm = EvalCache::persistent(&dir).unwrap();
+        assert_eq!(warm.get("scope|point-a"), Some(Some(123)));
+        assert_eq!(warm.get("scope|point-b"), Some(None));
+        assert_eq!(warm.get("scope|point-c"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_line_parser_handles_escapes() {
+        let (k, v) = parse_cache_line(r#"{"key":"a\"b\\c","cycles":7}"#).unwrap();
+        assert_eq!(k, "a\"b\\c");
+        assert_eq!(v, Some(7));
+        assert!(parse_cache_line("garbage").is_none());
+        assert_eq!(
+            parse_cache_line(r#"{"key":"x","cycles":null}"#).unwrap().1,
+            None
+        );
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let ev = SearchEvent {
+            scope: "s".into(),
+            phase: "UR",
+            params: "p".into(),
+            cycles: Some(5),
+            verified: true,
+            cache_hit: false,
+            wall_us: 9,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"scope\":\"s\",\"phase\":\"UR\",\"params\":\"p\",\"cycles\":5,\"verified\":true,\"cache_hit\":false,\"wall_us\":9}"
+        );
+    }
+}

@@ -9,14 +9,16 @@
 //! kernel compiled with every transformation off. Reductions reassociate
 //! under SIMD/AE, so floating comparisons use a size-scaled tolerance.
 
+use crate::config::TuneConfig;
+use crate::eval::{fnv64, EvalScope};
 use crate::runner::Context;
-use crate::search::{line_search_with, SearchOptions, SearchResult};
-use ifko_fko::{analyze_kernel, compile_ir, ArgSlot, CompileError, CompiledKernel, RetSlot,
-    TransformParams};
+use crate::search::{line_search_batched, SearchOptions, SearchResult};
+use ifko_fko::{
+    analyze_kernel, compile_ir, ArgSlot, CompileError, CompiledKernel, RetSlot, TransformParams,
+};
 use ifko_xsim::isa::Prec;
+use ifko_xsim::rng::Rng64;
 use ifko_xsim::{Cpu, FReg, IReg, MachineConfig, Memory};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A workload for an arbitrary kernel, shaped by its argument convention.
 #[derive(Clone, Debug)]
@@ -31,17 +33,23 @@ pub struct GenericWorkload {
 impl GenericWorkload {
     /// Build a deterministic workload matching `compiled`'s convention.
     pub fn for_kernel(compiled: &CompiledKernel, n: usize, seed: u64) -> GenericWorkload {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
-        let n_ptrs =
-            compiled.arg_convention.iter().filter(|a| matches!(a, ArgSlot::PtrReg(_))).count();
-        let n_scal =
-            compiled.arg_convention.iter().filter(|a| matches!(a, ArgSlot::FReg(_))).count();
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x9e37);
+        let n_ptrs = compiled
+            .arg_convention
+            .iter()
+            .filter(|a| matches!(a, ArgSlot::PtrReg(_)))
+            .count();
+        let n_scal = compiled
+            .arg_convention
+            .iter()
+            .filter(|a| matches!(a, ArgSlot::FReg(_)))
+            .count();
         GenericWorkload {
             n,
             vectors: (0..n_ptrs)
-                .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .map(|_| (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect())
                 .collect(),
-            scalars: (0..n_scal).map(|_| rng.gen_range(0.5..1.5)).collect(),
+            scalars: (0..n_scal).map(|_| rng.range_f64(0.5, 1.5)).collect(),
         }
     }
 }
@@ -65,9 +73,13 @@ pub fn run_generic(
     let prec = compiled.prec;
     let eb = prec.bytes();
     let n = w.n;
-    let mut mem = Memory::new(((n as u64 * eb) * (w.vectors.len() as u64 + 1) + (1 << 20)) as usize);
-    let addrs: Vec<u64> =
-        w.vectors.iter().map(|_| mem.alloc_vector(n.max(1) as u64, eb)).collect();
+    let mut mem =
+        Memory::new(((n as u64 * eb) * (w.vectors.len() as u64 + 1) + (1 << 20)) as usize);
+    let addrs: Vec<u64> = w
+        .vectors
+        .iter()
+        .map(|_| mem.alloc_vector(n.max(1) as u64, eb))
+        .collect();
     for (a, v) in addrs.iter().zip(&w.vectors) {
         match prec {
             Prec::D => mem.store_f64_slice(*a, v).map_err(|e| e.to_string())?,
@@ -77,7 +89,11 @@ pub fn run_generic(
             }
         }
     }
-    let frame = if compiled.frame_bytes > 0 { mem.alloc(compiled.frame_bytes, 16) } else { 0 };
+    let frame = if compiled.frame_bytes > 0 {
+        mem.alloc(compiled.frame_bytes, 16)
+    } else {
+        0
+    };
 
     let mut cpu = Cpu::new(machine.clone());
     cpu.flush_caches();
@@ -104,7 +120,9 @@ pub fn run_generic(
         }
     }
     cpu.set_ireg(IReg(7), frame as i64);
-    let stats = cpu.run(&compiled.program, &mut mem).map_err(|e| e.to_string())?;
+    let stats = cpu
+        .run(&compiled.program, &mut mem)
+        .map_err(|e| e.to_string())?;
 
     let vectors = addrs
         .iter()
@@ -160,9 +178,64 @@ pub struct GenericTuneOutcome {
     pub compiled: CompiledKernel,
 }
 
+/// Tune a user HIL kernel under a [`TuneConfig`] (called by
+/// `TuneConfig::tune_source`). Candidates run through the config's
+/// evaluation engine: batched across its worker threads, memoized in its
+/// cache under a source-fingerprinted scope, and traced to its sink.
+pub(crate) fn tune_source_with_config(
+    src: &str,
+    cfg: &TuneConfig,
+) -> Result<GenericTuneOutcome, CompileError> {
+    let machine = &cfg.machine;
+    let context = cfg.context;
+    let n = cfg.size();
+    let opts = &cfg.search;
+    let (ir, rep) = analyze_kernel(src, machine)?;
+    // Baseline: everything off.
+    let base_compiled = compile_ir(&ir, &TransformParams::off(), &rep)?;
+    let w = GenericWorkload::for_kernel(&base_compiled, n, cfg.seed);
+    let baseline =
+        run_generic(&base_compiled, &w, context, machine).map_err(CompileError::Codegen)?;
+    let prec = base_compiled.prec;
+
+    let engine = cfg.engine();
+    // Arbitrary sources have no registry name: scope the cache by routine
+    // name plus a content hash, so two different bodies never collide.
+    let label = format!("hil:{}#{:016x}", ir.name, fnv64(src.as_bytes()));
+    let scope = EvalScope::new(label, machine, context, n, cfg.seed, &opts.timer);
+    let eval_point = |p: &TransformParams| -> Option<u64> {
+        let c = compile_ir(&ir, p, &rep).ok()?;
+        // Verify differentially, then time (best of the timer's reps —
+        // the simulator is deterministic, so one timed run suffices
+        // here; the BLAS path exercises the full min-of-6 protocol).
+        let got = run_generic(&c, &w, context, machine).ok()?;
+        if !outputs_agree(&got, &baseline, prec, n) {
+            return None;
+        }
+        Some(got.cycles)
+    };
+
+    let mut evals = 0u32;
+    let mut rejected = 0u32;
+    let mut hits = 0u32;
+    let mut result = line_search_batched(&rep, machine, opts, |phase, cands| {
+        let out = engine.eval_batch(&scope, phase, cands, eval_point);
+        evals += out.evaluated;
+        rejected += out.rejected;
+        hits += out.cache_hits;
+        out.results
+    });
+    result.evaluations = evals;
+    result.rejected = rejected;
+    result.cache_hits = hits;
+    let compiled = compile_ir(&ir, &result.best, &rep)?;
+    Ok(GenericTuneOutcome { result, compiled })
+}
+
 /// Tune any HIL source on a machine/context: analyze, establish the
 /// untransformed-baseline outputs, then line-search with differential
-/// verification.
+/// verification. Convenience wrapper over
+/// [`TuneConfig::tune_source`](crate::config::TuneConfig::tune_source).
 pub fn tune_source(
     src: &str,
     machine: &MachineConfig,
@@ -171,45 +244,13 @@ pub fn tune_source(
     seed: u64,
     opts: &SearchOptions,
 ) -> Result<GenericTuneOutcome, CompileError> {
-    let (ir, rep) = analyze_kernel(src, machine)?;
-    // Baseline: everything off.
-    let base_compiled = compile_ir(&ir, &TransformParams::off(), &rep)?;
-    let w = GenericWorkload::for_kernel(&base_compiled, n, seed);
-    let baseline = run_generic(&base_compiled, &w, context, machine)
-        .map_err(CompileError::Codegen)?;
-    let prec = base_compiled.prec;
-
-    let mut evals = 0u32;
-    let mut rejected = 0u32;
-    let mut cache: std::collections::HashMap<String, Option<u64>> = Default::default();
-    let result = line_search_with(&rep, machine, opts, |p| {
-        let key = format!("{p:?}");
-        if let Some(v) = cache.get(&key) {
-            return *v;
-        }
-        evals += 1;
-        let out = (|| {
-            let c = compile_ir(&ir, p, &rep).ok()?;
-            // Verify differentially, then time (best of the timer's reps —
-            // the simulator is deterministic, so one timed run suffices
-            // here; the BLAS path exercises the full min-of-6 protocol).
-            let got = run_generic(&c, &w, context, machine).ok()?;
-            if !outputs_agree(&got, &baseline, prec, n) {
-                return None;
-            }
-            Some(got.cycles)
-        })();
-        if out.is_none() {
-            rejected += 1;
-        }
-        cache.insert(key, out);
-        out
-    });
-    let mut result = result;
-    result.evaluations = evals;
-    result.rejected = rejected;
-    let compiled = compile_ir(&ir, &result.best, &rep)?;
-    Ok(GenericTuneOutcome { result, compiled })
+    let cfg = TuneConfig::paper()
+        .machine(machine.clone())
+        .context(context)
+        .n(n)
+        .seed(seed)
+        .search(opts.clone());
+    tune_source_with_config(src, &cfg)
 }
 
 #[cfg(test)]

@@ -18,18 +18,61 @@
 //!   transformation parameters (§2.3), seeded at FKO's defaults, with
 //!   interaction-aware refinement (restricted 2-D re-sweeps) and
 //!   per-phase gain tracking (Figure 7's decomposition);
+//! * [`eval`] — the evaluation engine: batched parallel candidate
+//!   evaluation (`jobs` worker threads, bit-identical results at any
+//!   width), a sharded cross-phase [`EvalCache`](eval::EvalCache)
+//!   (optionally persisted to `results/cache/evals.jsonl`), and the
+//!   structured search-trace layer ([`SearchEvent`](eval::SearchEvent) /
+//!   [`TraceSink`](eval::TraceSink));
+//! * [`config`] — [`TuneConfig`], the builder-style configuration every
+//!   entry point takes;
 //! * [`driver`] — one-call tuning of a BLAS kernel on a machine/context.
+//!
+//! Most users want the [`prelude`]:
+//!
+//! ```
+//! use ifko::prelude::*;
+//!
+//! let cfg = TuneConfig::quick(1024).jobs(2);
+//! let out = cfg.tune(Kernel { op: BlasOp::Dot, prec: Prec::D }).unwrap();
+//! assert!(out.result.best_cycles <= out.result.default_cycles);
+//! ```
 
+pub mod config;
 pub mod driver;
+pub mod eval;
 pub mod generic;
 pub mod runner;
 pub mod search;
 pub mod tester;
 pub mod timer;
 
-pub use driver::{time_fko_defaults, tune, TuneError, TuneOptions, TuneOutcome};
-pub use runner::{Context, KernelArgs, Outputs, RunFailure};
+pub use config::TuneConfig;
+pub use driver::{flops_rate, TuneError, TuneOutcome};
+#[allow(deprecated)]
+pub use driver::{time_fko_defaults, tune, TuneOptions};
+pub use eval::{
+    machine_fingerprint, EvalCache, EvalEngine, EvalScope, JsonlSink, MemSink, SearchEvent,
+    TraceSink,
+};
 pub use generic::{tune_source, GenericTuneOutcome, GenericWorkload};
+pub use runner::{Context, KernelArgs, Outputs, RunFailure};
 pub use search::{SearchOptions, SearchResult};
 pub use tester::verify;
 pub use timer::Timer;
+
+/// Everything a tuning run needs, in one `use`.
+pub mod prelude {
+    pub use crate::config::TuneConfig;
+    pub use crate::driver::{flops_rate, TuneError, TuneOutcome};
+    pub use crate::eval::{
+        EvalCache, EvalEngine, EvalScope, JsonlSink, MemSink, SearchEvent, TraceSink,
+    };
+    pub use crate::runner::Context;
+    pub use crate::search::{Phase, PhaseGain, SearchOptions, SearchResult};
+    pub use crate::timer::Timer;
+    pub use ifko_blas::ops::BlasOp;
+    pub use ifko_blas::{Kernel, Workload, ALL_KERNELS};
+    pub use ifko_xsim::isa::Prec;
+    pub use ifko_xsim::{opteron, p4e, MachineConfig};
+}

@@ -76,13 +76,20 @@ pub fn run_once(
     let mut mem = Memory::new(((n as u64 * eb * 2) + (1 << 20)) as usize);
     let n_vec = args.kernel.op.n_vectors();
     let xaddr = mem.alloc_vector(n.max(1) as u64, eb);
-    let yaddr = if n_vec > 1 { mem.alloc_vector(n.max(1) as u64, eb) } else { 0 };
+    let yaddr = if n_vec > 1 {
+        mem.alloc_vector(n.max(1) as u64, eb)
+    } else {
+        0
+    };
     store_vec(&mut mem, xaddr, &args.workload.x, prec);
     if n_vec > 1 {
         store_vec(&mut mem, yaddr, &args.workload.y, prec);
     }
-    let frame =
-        if compiled.frame_bytes > 0 { mem.alloc(compiled.frame_bytes, 16) } else { 0 };
+    let frame = if compiled.frame_bytes > 0 {
+        mem.alloc(compiled.frame_bytes, 16)
+    } else {
+        0
+    };
 
     let mut cpu = Cpu::new(machine.clone());
     cpu.flush_caches();
@@ -150,7 +157,11 @@ pub fn run_once(
         ret_f,
         ret_i,
         x: load_vec(&mem, xaddr, n, prec),
-        y: if n_vec > 1 { load_vec(&mem, yaddr, n, prec) } else { Vec::new() },
+        y: if n_vec > 1 {
+            load_vec(&mem, yaddr, n, prec)
+        } else {
+            Vec::new()
+        },
         stats,
     })
 }
@@ -191,10 +202,17 @@ mod tests {
         let src = hil_source(BlasOp::Dot, Prec::D);
         let compiled = compile_defaults(&src, &mach).unwrap();
         let w = Workload::generate(512, 1);
-        let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+        let k = Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        };
         let out = run_once(
             &compiled,
-            &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+            &KernelArgs {
+                kernel: k,
+                workload: &w,
+                context: Context::OutOfCache,
+            },
             &mach,
         )
         .unwrap();
@@ -209,16 +227,27 @@ mod tests {
         let src = hil_source(BlasOp::Asum, Prec::D);
         let compiled = compile_defaults(&src, &mach).unwrap();
         let w = Workload::generate(1024, 2);
-        let k = Kernel { op: BlasOp::Asum, prec: Prec::D };
+        let k = Kernel {
+            op: BlasOp::Asum,
+            prec: Prec::D,
+        };
         let cold = run_once(
             &compiled,
-            &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+            &KernelArgs {
+                kernel: k,
+                workload: &w,
+                context: Context::OutOfCache,
+            },
             &mach,
         )
         .unwrap();
         let warm = run_once(
             &compiled,
-            &KernelArgs { kernel: k, workload: &w, context: Context::InL2 },
+            &KernelArgs {
+                kernel: k,
+                workload: &w,
+                context: Context::InL2,
+            },
             &mach,
         )
         .unwrap();
@@ -232,10 +261,17 @@ mod tests {
         let src = hil_source(BlasOp::Axpy, Prec::S);
         let compiled = compile_defaults(&src, &mach).unwrap();
         let w = Workload::generate(300, 3);
-        let k = Kernel { op: BlasOp::Axpy, prec: Prec::S };
+        let k = Kernel {
+            op: BlasOp::Axpy,
+            prec: Prec::S,
+        };
         let out = run_once(
             &compiled,
-            &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+            &KernelArgs {
+                kernel: k,
+                workload: &w,
+                context: Context::OutOfCache,
+            },
             &mach,
         )
         .unwrap();
@@ -243,8 +279,8 @@ mod tests {
         let xs = w.x_f32();
         let mut ys = w.y_f32();
         ifko_blas::reference::axpy(w.alpha as f32, &xs, &mut ys);
-        for i in 0..w.n {
-            assert_eq!(out.y[i] as f32, ys[i], "i={i}");
+        for (i, (got, want)) in out.y.iter().zip(&ys).enumerate() {
+            assert_eq!(*got as f32, *want, "i={i}");
         }
     }
 }

@@ -13,7 +13,17 @@
 //! Phase order follows the paper's Figure 7 decomposition:
 //! `[WNT, PF DST, PF INS, UR, AE]`, and per-phase gains are recorded so
 //! that figure can be regenerated.
+//!
+//! Each 1-D phase submits its whole candidate sweep as **one batch** to
+//! an evaluator; with an [`EvalEngine`](crate::eval::EvalEngine) behind
+//! it, the batch fans out across threads and is memoized in the
+//! cross-phase evaluation cache. The winner of a batch is chosen by a
+//! serial in-order scan requiring a strict improvement, which is exactly
+//! the serial loop's selection rule — so the search result is
+//! bit-identical for any `jobs` count (the determinism invariant; see
+//! `crates/core/src/eval.rs`).
 
+use crate::eval::{EvalEngine, EvalScope};
 use crate::runner::{run_once, Context, KernelArgs};
 use crate::tester::verify;
 use crate::timer::Timer;
@@ -21,7 +31,6 @@ use ifko_blas::{Kernel, Workload};
 use ifko_fko::ir::KernelIr;
 use ifko_fko::{compile_ir, AnalysisReport, TransformParams};
 use ifko_xsim::MachineConfig;
-use std::collections::HashMap;
 
 /// Which phase of the line search produced a gain.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -47,12 +56,18 @@ impl Phase {
     }
     /// The Figure 7 phases in paper order.
     pub fn figure7() -> [Phase; 5] {
-        [Phase::Wnt, Phase::PfDist, Phase::PfIns, Phase::Ur, Phase::Ae]
+        [
+            Phase::Wnt,
+            Phase::PfDist,
+            Phase::PfIns,
+            Phase::Ur,
+            Phase::Ae,
+        ]
     }
 }
 
 /// Cycles before/after one search phase.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PhaseGain {
     pub phase: Phase,
     pub before: u64,
@@ -66,7 +81,7 @@ impl PhaseGain {
     }
 }
 
-/// Search configuration.
+/// Search configuration: the candidate sets each 1-D phase sweeps.
 #[derive(Clone, Debug)]
 pub struct SearchOptions {
     pub timer: Timer,
@@ -122,6 +137,8 @@ pub struct SearchResult {
     pub evaluations: u32,
     /// Candidates rejected by compile failure or the tester.
     pub rejected: u32,
+    /// Evaluations answered by the cross-phase evaluation cache.
+    pub cache_hits: u32,
 }
 
 impl SearchResult {
@@ -131,49 +148,11 @@ impl SearchResult {
     }
 }
 
-/// The search driver: evaluates candidates with memoization.
-struct Evaluator<'a> {
-    ir: &'a KernelIr,
-    rep: &'a AnalysisReport,
-    kernel: Kernel,
-    workload: &'a Workload,
-    context: Context,
-    machine: &'a MachineConfig,
-    timer: Timer,
-    cache: HashMap<String, Option<u64>>,
-    evaluations: u32,
-    rejected: u32,
-}
+/// Phase label used for the seeding evaluation (FKO defaults).
+pub const PHASE_SEED: &str = "SEED";
 
-impl Evaluator<'_> {
-    /// Compile + verify + time a parameter point. `None` = rejected.
-    fn eval(&mut self, p: &TransformParams) -> Option<u64> {
-        let key = format!("{p:?}");
-        if let Some(v) = self.cache.get(&key) {
-            return *v;
-        }
-        self.evaluations += 1;
-        let result = self.eval_uncached(p);
-        if result.is_none() {
-            self.rejected += 1;
-        }
-        self.cache.insert(key, result);
-        result
-    }
-
-    fn eval_uncached(&mut self, p: &TransformParams) -> Option<u64> {
-        let compiled = compile_ir(self.ir, p, self.rep).ok()?;
-        let args =
-            KernelArgs { kernel: self.kernel, workload: self.workload, context: self.context };
-        // Verify first (the paper's tester step).
-        let out = run_once(&compiled, &args, self.machine).ok()?;
-        verify(self.kernel, self.workload, &out).ok()?;
-        self.timer.time(&compiled, &args, self.machine).ok()
-    }
-}
-
-/// Run the modified line search for a BLAS kernel (memoized evaluator
-/// over compile + verify + time).
+/// Run the modified line search for a BLAS kernel with a private serial
+/// engine (compile + verify + time, memoized).
 #[allow(clippy::too_many_arguments)]
 pub fn line_search(
     ir: &KernelIr,
@@ -184,55 +163,120 @@ pub fn line_search(
     machine: &MachineConfig,
     opts: &SearchOptions,
 ) -> SearchResult {
-    let mut ev = Evaluator {
-        ir,
-        rep,
-        kernel,
-        workload,
-        context,
-        machine,
-        timer: opts.timer.clone(),
-        cache: HashMap::new(),
-        evaluations: 0,
-        rejected: 0,
+    let engine = EvalEngine::new(1);
+    let scope = EvalScope::new(kernel.name(), machine, context, workload.n, 0, &opts.timer);
+    line_search_engine(
+        ir, rep, kernel, workload, context, machine, opts, &engine, &scope,
+    )
+}
+
+/// Run the modified line search for a BLAS kernel on a caller-provided
+/// [`EvalEngine`]: each phase's sweep is submitted as one batch, fanned
+/// out over the engine's worker threads, memoized in its cache, and
+/// traced to its sink.
+#[allow(clippy::too_many_arguments)]
+pub fn line_search_engine(
+    ir: &KernelIr,
+    rep: &AnalysisReport,
+    kernel: Kernel,
+    workload: &Workload,
+    context: Context,
+    machine: &MachineConfig,
+    opts: &SearchOptions,
+    engine: &EvalEngine,
+    scope: &EvalScope,
+) -> SearchResult {
+    let timer = opts.timer.clone();
+    let eval_point = |p: &TransformParams| -> Option<u64> {
+        let compiled = compile_ir(ir, p, rep).ok()?;
+        let args = KernelArgs {
+            kernel,
+            workload,
+            context,
+        };
+        // Verify first (the paper's tester step).
+        let out = run_once(&compiled, &args, machine).ok()?;
+        verify(kernel, workload, &out).ok()?;
+        timer.time(&compiled, &args, machine).ok()
     };
-    let mut r = line_search_with(rep, machine, opts, |p| ev.eval(p));
-    r.evaluations = ev.evaluations;
-    r.rejected = ev.rejected;
+
+    let mut evaluations = 0u32;
+    let mut rejected = 0u32;
+    let mut cache_hits = 0u32;
+    let mut r = line_search_batched(rep, machine, opts, |phase, cands| {
+        let out = engine.eval_batch(scope, phase, cands, eval_point);
+        evaluations += out.evaluated;
+        rejected += out.rejected;
+        cache_hits += out.cache_hits;
+        out.results
+    });
+    r.evaluations = evaluations;
+    r.rejected = rejected;
+    r.cache_hits = cache_hits;
     r
 }
 
-/// The search skeleton over an arbitrary candidate evaluator: `eval`
-/// returns the (min-of-reps) cycles of a parameter point, or `None` if the
-/// point failed to compile or verify. Used both for the BLAS suite and for
-/// tuning arbitrary user kernels (differential verification).
+/// The search skeleton over an arbitrary *single-candidate* evaluator:
+/// `eval` returns the (min-of-reps) cycles of a parameter point, or
+/// `None` if the point failed to compile or verify. Candidates are
+/// evaluated serially in batch order; used by tests and by callers that
+/// bring their own memoization.
 pub fn line_search_with(
     rep: &AnalysisReport,
     machine: &MachineConfig,
     opts: &SearchOptions,
     mut eval: impl FnMut(&TransformParams) -> Option<u64>,
 ) -> SearchResult {
-    struct Ev<'f> {
-        f: &'f mut dyn FnMut(&TransformParams) -> Option<u64>,
-    }
-    impl Ev<'_> {
-        fn eval(&mut self, p: &TransformParams) -> Option<u64> {
-            (self.f)(p)
-        }
-    }
-    let mut ev = Ev { f: &mut eval };
+    line_search_batched(rep, machine, opts, |_phase, cands| {
+        cands.iter().map(&mut eval).collect()
+    })
+}
 
+/// The search skeleton over a *batch* evaluator: each 1-D phase submits
+/// its whole candidate sweep as one call. The returned vector must be
+/// index-aligned with the submitted batch. The skeleton's selection rule
+/// (serial in-order scan, strict improvement) makes the outcome
+/// independent of how the evaluator schedules the batch internally.
+pub fn line_search_batched(
+    rep: &AnalysisReport,
+    machine: &MachineConfig,
+    opts: &SearchOptions,
+    mut eval_batch: impl FnMut(&'static str, &[TransformParams]) -> Vec<Option<u64>>,
+) -> SearchResult {
     let mut best = TransformParams::defaults(rep, machine);
-    let mut best_cycles = match ev.eval(&best) {
+    let mut best_cycles = match eval_batch(PHASE_SEED, std::slice::from_ref(&best))[0] {
         Some(c) => c,
         None => {
             // Defaults failed (should not happen): fall back to everything
             // off, which must compile.
             best = TransformParams::off();
-            ev.eval(&best).expect("even untransformed kernel failed")
+            eval_batch(PHASE_SEED, std::slice::from_ref(&best))[0]
+                .expect("even untransformed kernel failed")
         }
     };
     let default_cycles = best_cycles;
+
+    // Submit one batch and fold it into (best, best_cycles): in-order
+    // scan, strict improvement — first candidate wins ties, exactly like
+    // the serial reference loop.
+    let mut sweep = |phase: &'static str,
+                     cands: Vec<TransformParams>,
+                     best: &mut TransformParams,
+                     best_cycles: &mut u64| {
+        if cands.is_empty() {
+            return;
+        }
+        let results = eval_batch(phase, &cands);
+        debug_assert_eq!(results.len(), cands.len());
+        for (cand, res) in cands.into_iter().zip(results) {
+            if let Some(c) = res {
+                if c < *best_cycles {
+                    *best_cycles = c;
+                    *best = cand;
+                }
+            }
+        }
+    };
     let mut gains = Vec::new();
 
     // With refinement on, the whole phase sequence repeats while it keeps
@@ -241,144 +285,176 @@ pub fn line_search_with(
     // WNT phase after the PF INS phase can flip it (the Opteron copy case).
     let passes = if opts.refine { 2 } else { 1 };
 
-    let try_candidate =
-        |ev: &mut Ev, best: &mut TransformParams, best_cycles: &mut u64, cand: TransformParams| {
-            if let Some(c) = ev.eval(&cand) {
-                if c < *best_cycles {
-                    *best_cycles = c;
-                    *best = cand;
-                }
-            }
-        };
-
     // ---- optional SV phase ----
     if opts.try_sv_off && best.simd {
         let before = best_cycles;
         let mut cand = best.clone();
         cand.simd = false;
-        try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
-        gains.push(PhaseGain { phase: Phase::Sv, before, after: best_cycles });
+        sweep(Phase::Sv.label(), vec![cand], &mut best, &mut best_cycles);
+        gains.push(PhaseGain {
+            phase: Phase::Sv,
+            before,
+            after: best_cycles,
+        });
+    }
+
+    // PF DST: a 1-D distance sweep per candidate array. Arrays are swept
+    // one after another (each array's sweep builds on the winner of the
+    // previous array's), and each array's distances go out as one batch.
+    fn pf_dist_sweep(
+        sweep: &mut impl FnMut(&'static str, Vec<TransformParams>, &mut TransformParams, &mut u64),
+        best: &mut TransformParams,
+        best_cycles: &mut u64,
+        dists: &[i64],
+    ) {
+        let arrays: Vec<_> = best.prefetch.iter().map(|s| s.ptr).collect();
+        for ptr in arrays {
+            let Some(cur) = best.prefetch.iter().find(|s| s.ptr == ptr).map(|s| s.dist) else {
+                continue;
+            };
+            let cands: Vec<TransformParams> = dists
+                .iter()
+                .filter(|&&d| d != cur)
+                .map(|&d| {
+                    let mut cand = best.clone();
+                    if let Some(spec) = cand.prefetch.iter_mut().find(|s| s.ptr == ptr) {
+                        spec.dist = d;
+                    }
+                    cand
+                })
+                .collect();
+            sweep(Phase::PfDist.label(), cands, best, best_cycles);
+        }
     }
 
     for _pass in 0..passes {
-    let cycles_at_pass_start = best_cycles;
-    // ---- WNT ----
-    {
-        let before = best_cycles;
-        if !rep.wnt_candidates.is_empty() {
-            let mut cand = best.clone();
-            cand.wnt = !cand.wnt;
-            try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
-        }
-        gains.push(PhaseGain { phase: Phase::Wnt, before, after: best_cycles });
-    }
-
-    // ---- PF DST: 1-D sweep per candidate array ----
-    let pf_dist_sweep = |ev: &mut Ev,
-                         best: &mut TransformParams,
-                         best_cycles: &mut u64,
-                         dists: &[i64]| {
-        let arrays: Vec<_> = best.prefetch.iter().map(|s| s.ptr).collect();
-        for ptr in arrays {
-            for &d in dists {
+        let cycles_at_pass_start = best_cycles;
+        // ---- WNT ----
+        {
+            let before = best_cycles;
+            if !rep.wnt_candidates.is_empty() {
                 let mut cand = best.clone();
-                if let Some(spec) = cand.prefetch.iter_mut().find(|s| s.ptr == ptr) {
-                    if spec.dist == d {
-                        continue;
-                    }
-                    spec.dist = d;
-                } else {
-                    continue;
-                }
-                if let Some(c) = ev.eval(&cand) {
-                    if c < *best_cycles {
-                        *best_cycles = c;
-                        *best = cand;
-                    }
-                }
+                cand.wnt = !cand.wnt;
+                sweep(Phase::Wnt.label(), vec![cand], &mut best, &mut best_cycles);
             }
+            gains.push(PhaseGain {
+                phase: Phase::Wnt,
+                before,
+                after: best_cycles,
+            });
         }
-    };
-    {
-        let before = best_cycles;
-        pf_dist_sweep(&mut ev, &mut best, &mut best_cycles, &opts.pf_dists);
-        gains.push(PhaseGain { phase: Phase::PfDist, before, after: best_cycles });
-    }
 
-    // ---- PF INS: per-array instruction type, including "none" ----
-    {
-        let before = best_cycles;
-        let arrays: Vec<_> = best.prefetch.iter().map(|s| s.ptr).collect();
-        for ptr in arrays {
-            // "none" — drop the prefetch entirely.
-            let mut cand = best.clone();
-            if let Some(spec) = cand.prefetch.iter_mut().find(|s| s.ptr == ptr) {
-                spec.kind = None;
-            }
-            try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
-            for kind in machine.prefetch_kinds {
-                let mut cand = best.clone();
-                if let Some(spec) = cand.prefetch.iter_mut().find(|s| s.ptr == ptr) {
-                    if spec.kind == Some(*kind) {
-                        continue;
-                    }
-                    spec.kind = Some(*kind);
-                }
-                try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
-            }
+        // ---- PF DST ----
+        {
+            let before = best_cycles;
+            pf_dist_sweep(&mut sweep, &mut best, &mut best_cycles, &opts.pf_dists);
+            gains.push(PhaseGain {
+                phase: Phase::PfDist,
+                before,
+                after: best_cycles,
+            });
         }
-        gains.push(PhaseGain { phase: Phase::PfIns, before, after: best_cycles });
-    }
 
-    // ---- UR ----
-    {
-        let before = best_cycles;
-        for &ur in &opts.ur_candidates {
-            if ur > rep.max_unroll || ur == best.unroll {
-                continue;
-            }
-            let mut cand = best.clone();
-            cand.unroll = ur;
-            try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
-        }
-        // Restricted 2-D refinement: unrolling changes the prefetch
-        // schedule, so re-sweep the distances at the new unroll.
-        if opts.refine {
-            pf_dist_sweep(&mut ev, &mut best, &mut best_cycles, &opts.pf_dists);
-        }
-        gains.push(PhaseGain { phase: Phase::Ur, before, after: best_cycles });
-    }
-
-    // ---- AE ----
-    {
-        let before = best_cycles;
-        if !rep.ae_candidates.is_empty() {
-            for &ae in &opts.ae_candidates {
-                if ae == best.accum_expand {
-                    continue;
-                }
-                let mut cand = best.clone();
-                cand.accum_expand = ae;
-                try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
-            }
-            // AE interacts with UR (accumulators rotate over unroll
-            // copies): re-check a few unroll factors at the chosen AE.
-            if opts.refine {
-                for &ur in &opts.ur_candidates {
-                    if ur > rep.max_unroll || ur == best.unroll {
+        // ---- PF INS: per-array instruction type, including "none" ----
+        {
+            let before = best_cycles;
+            let arrays: Vec<_> = best.prefetch.iter().map(|s| s.ptr).collect();
+            for ptr in arrays {
+                let cur = best
+                    .prefetch
+                    .iter()
+                    .find(|s| s.ptr == ptr)
+                    .and_then(|s| s.kind);
+                // "none" — drop the prefetch entirely — then every
+                // machine-supported instruction, as one batch.
+                let mut cands: Vec<TransformParams> = Vec::new();
+                let kinds =
+                    std::iter::once(None).chain(machine.prefetch_kinds.iter().map(|k| Some(*k)));
+                for kind in kinds {
+                    if kind == cur && kind.is_some() {
                         continue;
                     }
                     let mut cand = best.clone();
+                    if let Some(spec) = cand.prefetch.iter_mut().find(|s| s.ptr == ptr) {
+                        spec.kind = kind;
+                    }
+                    cands.push(cand);
+                }
+                sweep(Phase::PfIns.label(), cands, &mut best, &mut best_cycles);
+            }
+            gains.push(PhaseGain {
+                phase: Phase::PfIns,
+                before,
+                after: best_cycles,
+            });
+        }
+
+        // ---- UR ----
+        {
+            let before = best_cycles;
+            let cands: Vec<TransformParams> = opts
+                .ur_candidates
+                .iter()
+                .filter(|&&ur| ur <= rep.max_unroll && ur != best.unroll)
+                .map(|&ur| {
+                    let mut cand = best.clone();
                     cand.unroll = ur;
-                    try_candidate(&mut ev, &mut best, &mut best_cycles, cand);
+                    cand
+                })
+                .collect();
+            sweep(Phase::Ur.label(), cands, &mut best, &mut best_cycles);
+            // Restricted 2-D refinement: unrolling changes the prefetch
+            // schedule, so re-sweep the distances at the new unroll.
+            if opts.refine {
+                pf_dist_sweep(&mut sweep, &mut best, &mut best_cycles, &opts.pf_dists);
+            }
+            gains.push(PhaseGain {
+                phase: Phase::Ur,
+                before,
+                after: best_cycles,
+            });
+        }
+
+        // ---- AE ----
+        {
+            let before = best_cycles;
+            if !rep.ae_candidates.is_empty() {
+                let cands: Vec<TransformParams> = opts
+                    .ae_candidates
+                    .iter()
+                    .filter(|&&ae| ae != best.accum_expand)
+                    .map(|&ae| {
+                        let mut cand = best.clone();
+                        cand.accum_expand = ae;
+                        cand
+                    })
+                    .collect();
+                sweep(Phase::Ae.label(), cands, &mut best, &mut best_cycles);
+                // AE interacts with UR (accumulators rotate over unroll
+                // copies): re-check a few unroll factors at the chosen AE.
+                if opts.refine {
+                    let cands: Vec<TransformParams> = opts
+                        .ur_candidates
+                        .iter()
+                        .filter(|&&ur| ur <= rep.max_unroll && ur != best.unroll)
+                        .map(|&ur| {
+                            let mut cand = best.clone();
+                            cand.unroll = ur;
+                            cand
+                        })
+                        .collect();
+                    sweep(Phase::Ae.label(), cands, &mut best, &mut best_cycles);
                 }
             }
+            gains.push(PhaseGain {
+                phase: Phase::Ae,
+                before,
+                after: best_cycles,
+            });
         }
-        gains.push(PhaseGain { phase: Phase::Ae, before, after: best_cycles });
-    }
-    if best_cycles == cycles_at_pass_start {
-        break; // fixed point: nothing improved this pass
-    }
+        if best_cycles == cycles_at_pass_start {
+            break; // fixed point: nothing improved this pass
+        }
     }
 
     SearchResult {
@@ -388,6 +464,7 @@ pub fn line_search_with(
         gains,
         evaluations: 0, // filled in by callers that track it
         rejected: 0,
+        cache_hits: 0,
     }
 }
 
@@ -459,5 +536,25 @@ mod tests {
         let b = search_kernel(BlasOp::Dot, 2048, Context::OutOfCache);
         assert_eq!(a.best_cycles, b.best_cycles);
         assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn batched_and_single_eval_skeletons_agree() {
+        // A synthetic pure evaluator: the two skeleton entry points must
+        // find the same winner and record the same gains.
+        let mach = p4e();
+        let src = hil_source(BlasOp::Dot, Prec::D);
+        let (_, rep) = analyze_kernel(&src, &mach).unwrap();
+        let opts = SearchOptions::quick();
+        let cost = |p: &TransformParams| -> Option<u64> {
+            Some(10_000 / p.unroll as u64 + p.prefetch.iter().map(|s| s.dist as u64).sum::<u64>())
+        };
+        let a = line_search_with(&rep, &mach, &opts, cost);
+        let b = line_search_batched(&rep, &mach, &opts, |_ph, cands| {
+            cands.iter().map(cost).collect()
+        });
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_cycles, b.best_cycles);
+        assert_eq!(a.gains, b.gains);
     }
 }

@@ -72,7 +72,10 @@ fn verify_d(op: BlasOp, w: &Workload, out: &Outputs) -> Result<(), VerifyError> 
         BlasOp::Iamax => {
             let want = r::iamax(&w.x) as i64;
             if out.ret_i != want {
-                return Err(VerifyError(format!("iamax: got {}, want {want}", out.ret_i)));
+                return Err(VerifyError(format!(
+                    "iamax: got {}, want {want}",
+                    out.ret_i
+                )));
             }
             Ok(())
         }
@@ -122,7 +125,10 @@ fn verify_s(op: BlasOp, w: &Workload, out: &Outputs) -> Result<(), VerifyError> 
         BlasOp::Iamax => {
             let want = r::iamax(&xs) as i64;
             if out.ret_i != want {
-                return Err(VerifyError(format!("isamax: got {}, want {want}", out.ret_i)));
+                return Err(VerifyError(format!(
+                    "isamax: got {}, want {want}",
+                    out.ret_i
+                )));
             }
             Ok(())
         }
@@ -159,7 +165,9 @@ fn expect_vec(name: &str, got: &[f64], want: &[f64]) -> Result<(), VerifyError> 
 fn expect_scalar(got: f64, want: f64, rel_tol: f64) -> Result<(), VerifyError> {
     let tol = rel_tol * want.abs().max(1.0);
     if (got - want).abs() > tol {
-        return Err(VerifyError(format!("scalar result: got {got}, want {want} (tol {tol:.3e})")));
+        return Err(VerifyError(format!(
+            "scalar result: got {got}, want {want} (tol {tol:.3e})"
+        )));
     }
     Ok(())
 }
@@ -179,11 +187,15 @@ mod tests {
         let w = Workload::generate(600, 11);
         for k in ifko_blas::ALL_KERNELS {
             let src = hil_source(k.op, k.prec);
-            let compiled = compile_defaults(&src, &mach)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            let compiled =
+                compile_defaults(&src, &mach).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
             let out = run_once(
                 &compiled,
-                &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                &KernelArgs {
+                    kernel: k,
+                    workload: &w,
+                    context: Context::OutOfCache,
+                },
                 &mach,
             )
             .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
@@ -201,7 +213,10 @@ mod tests {
             y: w.y.clone(),
             stats: Default::default(),
         };
-        let k = ifko_blas::Kernel { op: BlasOp::Dot, prec: Prec::D };
+        let k = ifko_blas::Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        };
         assert!(verify(k, &w, &out).is_err());
     }
 
@@ -215,7 +230,10 @@ mod tests {
             y: w.y.clone(), // axpy should have changed y
             stats: Default::default(),
         };
-        let k = ifko_blas::Kernel { op: BlasOp::Axpy, prec: Prec::D };
+        let k = ifko_blas::Kernel {
+            op: BlasOp::Axpy,
+            prec: Prec::D,
+        };
         assert!(verify(k, &w, &out).is_err());
     }
 
@@ -226,9 +244,17 @@ mod tests {
         ifko_blas::reference::axpy(w.alpha, &w.x, &mut y);
         let mut bad_x = w.x.clone();
         bad_x[3] = 999.0;
-        let out =
-            Outputs { ret_f: 0.0, ret_i: 0, x: bad_x, y, stats: Default::default() };
-        let k = ifko_blas::Kernel { op: BlasOp::Axpy, prec: Prec::D };
+        let out = Outputs {
+            ret_f: 0.0,
+            ret_i: 0,
+            x: bad_x,
+            y,
+            stats: Default::default(),
+        };
+        let k = ifko_blas::Kernel {
+            op: BlasOp::Axpy,
+            prec: Prec::D,
+        };
         assert!(verify(k, &w, &out).is_err());
     }
 

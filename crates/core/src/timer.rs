@@ -29,19 +29,31 @@ pub struct Timer {
 
 impl Default for Timer {
     fn default() -> Self {
-        Timer { reps: 6, interference: 0.03, seed: 0x5eed }
+        Timer {
+            reps: 6,
+            interference: 0.03,
+            seed: 0x5eed,
+        }
     }
 }
 
 impl Timer {
     /// A fast timer for searches: fewer repetitions.
     pub fn quick() -> Self {
-        Timer { reps: 2, interference: 0.01, seed: 0x5eed }
+        Timer {
+            reps: 2,
+            interference: 0.01,
+            seed: 0x5eed,
+        }
     }
 
     /// Noise-free single-shot timing (used by unit tests).
     pub fn exact() -> Self {
-        Timer { reps: 1, interference: 0.0, seed: 0 }
+        Timer {
+            reps: 1,
+            interference: 0.0,
+            seed: 0,
+        }
     }
 
     /// Time one compiled kernel: returns the minimum observed cycles.
@@ -95,20 +107,40 @@ mod tests {
         let src = hil_source(BlasOp::Dot, Prec::D);
         let compiled = compile_defaults(&src, &mach).unwrap();
         let w = Workload::generate(256, 5);
-        (compiled, w, Kernel { op: BlasOp::Dot, prec: Prec::D }, mach)
+        (
+            compiled,
+            w,
+            Kernel {
+                op: BlasOp::Dot,
+                prec: Prec::D,
+            },
+            mach,
+        )
     }
 
     #[test]
     fn min_of_reps_approaches_exact() {
         let (compiled, w, k, mach) = setup();
-        let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::OutOfCache,
+        };
         let exact = Timer::exact().time(&compiled, &args, &mach).unwrap();
-        let noisy1 = Timer { reps: 1, interference: 0.05, seed: 1 }
-            .time(&compiled, &args, &mach)
-            .unwrap();
-        let noisy6 = Timer { reps: 6, interference: 0.05, seed: 1 }
-            .time(&compiled, &args, &mach)
-            .unwrap();
+        let noisy1 = Timer {
+            reps: 1,
+            interference: 0.05,
+            seed: 1,
+        }
+        .time(&compiled, &args, &mach)
+        .unwrap();
+        let noisy6 = Timer {
+            reps: 6,
+            interference: 0.05,
+            seed: 1,
+        }
+        .time(&compiled, &args, &mach)
+        .unwrap();
         assert!(noisy1 >= exact);
         assert!(noisy6 >= exact);
         assert!(noisy6 <= noisy1, "more reps can only lower the minimum");
@@ -119,7 +151,11 @@ mod tests {
     #[test]
     fn timing_is_deterministic() {
         let (compiled, w, k, mach) = setup();
-        let args = KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache };
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::OutOfCache,
+        };
         let t = Timer::default();
         let a = t.time(&compiled, &args, &mach).unwrap();
         let b = t.time(&compiled, &args, &mach).unwrap();
@@ -131,10 +167,26 @@ mod tests {
         let (compiled, w, k, mach) = setup();
         let t = Timer::exact();
         let oc = t
-            .time(&compiled, &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache }, &mach)
+            .time(
+                &compiled,
+                &KernelArgs {
+                    kernel: k,
+                    workload: &w,
+                    context: Context::OutOfCache,
+                },
+                &mach,
+            )
             .unwrap();
         let ic = t
-            .time(&compiled, &KernelArgs { kernel: k, workload: &w, context: Context::InL2 }, &mach)
+            .time(
+                &compiled,
+                &KernelArgs {
+                    kernel: k,
+                    workload: &w,
+                    context: Context::InL2,
+                },
+                &mach,
+            )
             .unwrap();
         assert!(ic < oc);
     }

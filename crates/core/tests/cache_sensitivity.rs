@@ -8,11 +8,19 @@
 //! and observe that the winning parameters change.
 
 use ifko::runner::Context;
-use ifko::{tune, TuneOptions};
+use ifko::{SearchOptions, Timer, TuneConfig};
 use ifko_blas::ops::BlasOp;
 use ifko_blas::Kernel;
 use ifko_xsim::isa::Prec;
 use ifko_xsim::p4e;
+
+/// A full (non-quick) search at an exact timer, CI-sized N.
+fn full_exact(n: usize) -> TuneConfig {
+    TuneConfig::quick(n).search(SearchOptions {
+        timer: Timer::exact(),
+        ..SearchOptions::default()
+    })
+}
 
 #[test]
 fn cache_latency_alone_changes_the_tuned_parameters() {
@@ -20,16 +28,20 @@ fn cache_latency_alone_changes_the_tuned_parameters() {
     // (AE/UR decide everything, prefetch is useless); with a slow L2 the
     // L2->L1 latency dominates and moving lines up early pays. These are
     // "basically identical systems" differing only in a cache property.
-    let k = Kernel { op: BlasOp::Dot, prec: Prec::D };
+    let k = Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::D,
+    };
     let n = 1024; // 2 x 8 KB operands
     let mut rows = Vec::new();
     for l2_lat in [6u64, 60] {
         let mut mach = p4e();
         mach.l2.latency = l2_lat;
-        let mut opts = TuneOptions::quick(n);
-        opts.search = ifko::SearchOptions::default();
-        opts.search.timer = ifko::Timer::exact();
-        let t = tune(k, &mach, Context::InL2, &opts).unwrap();
+        let t = full_exact(n)
+            .machine(mach)
+            .context(Context::InL2)
+            .tune(k)
+            .unwrap();
         rows.push((l2_lat, t.table3_row.clone(), t.cycles));
     }
     assert_ne!(
@@ -42,16 +54,16 @@ fn cache_latency_alone_changes_the_tuned_parameters() {
 fn bus_speed_alone_changes_the_tuned_parameters() {
     // Out-of-cache: a faster bus shifts the optimal prefetch distance
     // and/or structure for a streaming kernel.
-    let k = Kernel { op: BlasOp::Asum, prec: Prec::D };
+    let k = Kernel {
+        op: BlasOp::Asum,
+        prec: Prec::D,
+    };
     let n = 20_000;
     let mut rows = Vec::new();
     for bpc in [1.2f64, 4.8] {
         let mut mach = p4e();
         mach.bus.bytes_per_cycle = bpc;
-        let mut opts = TuneOptions::quick(n);
-        opts.search = ifko::SearchOptions::default();
-        opts.search.timer = ifko::Timer::exact();
-        let t = tune(k, &mach, Context::OutOfCache, &opts).unwrap();
+        let t = full_exact(n).machine(mach).tune(k).unwrap();
         rows.push((bpc, t.table3_row.clone(), t.cycles));
     }
     assert_ne!(
@@ -67,11 +79,11 @@ fn varying_the_kernel_changes_the_parameters_on_one_machine() {
     // "it is almost always the case that varying the kernel results in
     // widespread optimization differences" — same machine, same context,
     // different ops.
-    let mach = p4e();
+    let tc = TuneConfig::quick(20_000).machine(p4e());
     let mut seen = std::collections::HashSet::new();
     for op in [BlasOp::Copy, BlasOp::Dot, BlasOp::Asum, BlasOp::Swap] {
         let k = Kernel { op, prec: Prec::D };
-        let t = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(20_000)).unwrap();
+        let t = tc.tune(k).unwrap();
         seen.insert(t.table3_row.clone());
     }
     assert!(

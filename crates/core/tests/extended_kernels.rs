@@ -4,7 +4,7 @@
 //! kernels.
 
 use ifko::runner::{run_once, Context, KernelArgs};
-use ifko::{tune, verify, TuneOptions};
+use ifko::{verify, TuneConfig};
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::ops::{BlasOp, EXTENDED_KERNELS};
 use ifko_blas::{Kernel, Workload};
@@ -18,16 +18,19 @@ fn extended_kernels_verify_under_defaults() {
     for mach in [p4e(), opteron()] {
         for k in EXTENDED_KERNELS {
             let src = hil_source(k.op, k.prec);
-            let compiled = compile_defaults(&src, &mach)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            let compiled =
+                compile_defaults(&src, &mach).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
             let out = run_once(
                 &compiled,
-                &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                &KernelArgs {
+                    kernel: k,
+                    workload: &w,
+                    context: Context::OutOfCache,
+                },
                 &mach,
             )
             .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
-            verify(k, &w, &out)
-                .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name(), mach.name));
+            verify(k, &w, &out).unwrap_or_else(|e| panic!("{} on {}: {e}", k.name(), mach.name));
         }
     }
 }
@@ -55,14 +58,20 @@ fn nrm2_blocks_vectorization_of_nothing_but_keeps_sqrt_out_of_loop() {
 #[test]
 fn rot_correct_across_param_matrix() {
     let mach = p4e();
-    let k = Kernel { op: BlasOp::Rot, prec: Prec::D };
+    let k = Kernel {
+        op: BlasOp::Rot,
+        prec: Prec::D,
+    };
     let src = hil_source(k.op, k.prec);
     let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
     for n in [0usize, 1, 7, 250] {
         let w = Workload::generate(n, n as u64 + 5);
-        for (simd, ur, wnt) in
-            [(false, 1, false), (true, 1, false), (true, 4, true), (false, 5, false)]
-        {
+        for (simd, ur, wnt) in [
+            (false, 1, false),
+            (true, 1, false),
+            (true, 4, true),
+            (false, 5, false),
+        ] {
             let mut p = TransformParams::defaults(&rep, &mach);
             p.simd = simd;
             p.unroll = ur;
@@ -70,7 +79,11 @@ fn rot_correct_across_param_matrix() {
             let c = compile_ir(&ir, &p, &rep).unwrap();
             let out = run_once(
                 &c,
-                &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                &KernelArgs {
+                    kernel: k,
+                    workload: &w,
+                    context: Context::OutOfCache,
+                },
                 &mach,
             )
             .unwrap();
@@ -82,16 +95,19 @@ fn rot_correct_across_param_matrix() {
 
 #[test]
 fn extended_kernels_tune_end_to_end() {
-    let mach = opteron();
+    let tc = TuneConfig::quick(3000).machine(opteron());
     for k in EXTENDED_KERNELS {
-        let t = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(3000))
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+        let t = tc.tune(k).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
         assert!(
             t.result.best_cycles <= t.result.default_cycles,
             "{}: tuning must not regress",
             k.name()
         );
-        assert!(t.result.best.simd, "{}: both extensions vectorize", k.name());
+        assert!(
+            t.result.best.simd,
+            "{}: both extensions vectorize",
+            k.name()
+        );
     }
 }
 
@@ -114,16 +130,27 @@ fn srot_uses_both_scalar_argument_registers() {
 #[test]
 fn nrm2_matches_reference_precisely_in_double() {
     let mach = p4e();
-    let k = Kernel { op: BlasOp::Nrm2, prec: Prec::D };
+    let k = Kernel {
+        op: BlasOp::Nrm2,
+        prec: Prec::D,
+    };
     let src = hil_source(k.op, k.prec);
     let c = compile_defaults(&src, &mach).unwrap();
     let w = Workload::generate(1000, 9);
     let out = run_once(
         &c,
-        &KernelArgs { kernel: k, workload: &w, context: Context::InL2 },
+        &KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::InL2,
+        },
         &mach,
     )
     .unwrap();
     let want = ifko_blas::reference::nrm2_f64(&w.x);
-    assert!((out.ret_f - want).abs() < 1e-9 * want, "got {} want {want}", out.ret_f);
+    assert!(
+        (out.ret_f - want).abs() < 1e-9 * want,
+        "got {} want {want}",
+        out.ret_f
+    );
 }

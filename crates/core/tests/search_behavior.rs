@@ -53,7 +53,11 @@ fn second_pass_resolves_phase_order_interactions() {
         c
     };
     let r = line_search_with(&rep, &mach, &opts, |p| Some(cost(p)));
-    assert!(r.best.wnt, "second pass must discover the WNT win: {:?}", r.best);
+    assert!(
+        r.best.wnt,
+        "second pass must discover the WNT win: {:?}",
+        r.best
+    );
     assert!(r.best.unroll >= 8);
     assert_eq!(r.best_cycles, 500);
 }
@@ -83,7 +87,10 @@ fn gains_multiply_to_total_across_passes() {
     let mach = p4e();
     let src = hil_source(BlasOp::Dot, Prec::S);
     let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
-    let k = Kernel { op: BlasOp::Dot, prec: Prec::S };
+    let k = Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::S,
+    };
     let w = Workload::generate(6000, 13);
     let mut opts = SearchOptions::quick();
     opts.timer = Timer::exact();
@@ -121,11 +128,18 @@ fn evaluation_counts_are_reported() {
     let mach = p4e();
     let src = hil_source(BlasOp::Scal, Prec::D);
     let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
-    let k = Kernel { op: BlasOp::Scal, prec: Prec::D };
+    let k = Kernel {
+        op: BlasOp::Scal,
+        prec: Prec::D,
+    };
     let w = Workload::generate(2000, 2);
     let mut opts = SearchOptions::quick();
     opts.timer = Timer::exact();
     let r = line_search(&ir, &rep, k, &w, Context::OutOfCache, &mach, &opts);
-    assert!(r.evaluations >= 10, "expected a real search, got {}", r.evaluations);
+    assert!(
+        r.evaluations >= 10,
+        "expected a real search, got {}",
+        r.evaluations
+    );
     assert_eq!(r.rejected, 0);
 }

@@ -183,14 +183,23 @@ pub fn classify_scalars(k: &KernelIr, l: &LoopIr) -> Vec<ScalarInfo> {
     let visit = |op: &Op, cold: bool, table: &mut HashMap<V, Acc>| {
         // Reduction-add pattern: FBin{Add, dst, a==dst, b != dst}.
         let red_target = match op {
-            Op::FBin { op: FOp::Add, dst, a, b, .. } if dst == a => match b {
+            Op::FBin {
+                op: FOp::Add,
+                dst,
+                a,
+                b,
+                ..
+            } if dst == a => match b {
                 RoM::Reg(r) if r == dst => None,
                 _ => Some(*dst),
             },
             _ => None,
         };
         if let Some(acc_v) = red_target {
-            let e = table.entry(acc_v).or_insert(Acc { all_red_add: true, ..Default::default() });
+            let e = table.entry(acc_v).or_insert(Acc {
+                all_red_add: true,
+                ..Default::default()
+            });
             if !e.any {
                 e.all_red_add = true;
                 e.first_is_def = Some(false);
@@ -242,9 +251,7 @@ pub fn classify_scalars(k: &KernelIr, l: &LoopIr) -> Vec<ScalarInfo> {
         .pre
         .iter()
         .chain(&k.post)
-        .flat_map(|o| {
-            o.uses().into_iter().chain(o.def())
-        })
+        .flat_map(|o| o.uses().into_iter().chain(o.def()))
         .chain(match k.ret {
             RetVal::F(v) | RetVal::I(v) => Some(v),
             RetVal::None => None,
@@ -276,17 +283,19 @@ pub fn classify_scalars(k: &KernelIr, l: &LoopIr) -> Vec<ScalarInfo> {
             ScalarRole::Carried
         };
         let _ = &used_outside;
-        out.push(ScalarInfo { vreg: v, class: k.class(v), role, sets: acc.sets, uses: acc.uses });
+        out.push(ScalarInfo {
+            vreg: v,
+            class: k.class(v),
+            role,
+            sets: acc.sets,
+            uses: acc.uses,
+        });
     }
     out.sort_by_key(|s| s.vreg);
     out
 }
 
-fn check_vectorizable(
-    k: &KernelIr,
-    l: &LoopIr,
-    scalars: &[ScalarInfo],
-) -> Result<(), VecBlocker> {
+fn check_vectorizable(k: &KernelIr, l: &LoopIr, scalars: &[ScalarInfo]) -> Result<(), VecBlocker> {
     if !l.cold.is_empty() {
         return Err(VecBlocker::ControlFlow);
     }
@@ -296,9 +305,7 @@ fn check_vectorizable(
                 return Err(VecBlocker::ControlFlow)
             }
             Op::FLd { .. } | Op::FSt { .. } | Op::FMov { .. } | Op::FAbs { .. } => {}
-            Op::FSqrt { .. } => {
-                return Err(VecBlocker::UnsupportedOp("scalar sqrt".into()))
-            }
+            Op::FSqrt { .. } => return Err(VecBlocker::UnsupportedOp("scalar sqrt".into())),
             Op::FBin { op, .. } => match op {
                 FOp::Add | FOp::Sub | FOp::Mul | FOp::Div | FOp::Max => {}
             },

@@ -83,13 +83,17 @@ pub fn codegen(k: &LinearKernel, alloc: &Allocation) -> Result<CompiledKernel, C
     let ireg = |v: ir::V| -> Result<IReg, CodegenError> {
         match alloc.map.get(&v) {
             Some(Phys::I(r)) => Ok(IReg(*r)),
-            other => Err(CodegenError(format!("int vreg v{v} has no int register: {other:?}"))),
+            other => Err(CodegenError(format!(
+                "int vreg v{v} has no int register: {other:?}"
+            ))),
         }
     };
     let freg = |v: ir::V| -> Result<FReg, CodegenError> {
         match alloc.map.get(&v) {
             Some(Phys::F(r)) => Ok(FReg(*r)),
-            other => Err(CodegenError(format!("fp vreg v{v} has no fp register: {other:?}"))),
+            other => Err(CodegenError(format!(
+                "fp vreg v{v} has no fp register: {other:?}"
+            ))),
         }
     };
 
@@ -276,11 +280,18 @@ pub fn codegen(k: &LinearKernel, alloc: &Allocation) -> Result<CompiledKernel, C
                 let al = lbl!(*target);
                 asm.push(Inst::Jcc(*cond, al));
             }
-            Op::Prefetch { ptr, dist_bytes, kind } => {
+            Op::Prefetch {
+                ptr,
+                dist_bytes,
+                kind,
+            } => {
                 let base = ptr_reg
                     .get(&ptr.0)
                     .ok_or_else(|| CodegenError(format!("unknown pointer {ptr:?}")))?;
-                asm.push(Inst::Prefetch(Addr::base_disp(IReg(*base), *dist_bytes), *kind));
+                asm.push(Inst::Prefetch(
+                    Addr::base_disp(IReg(*base), *dist_bytes),
+                    *kind,
+                ));
             }
             Op::PtrBump { ptr, elems } => {
                 let base = ptr_reg

@@ -94,31 +94,89 @@ pub struct LabelId(pub u32);
 #[derive(Clone, PartialEq, Debug)]
 pub enum Op {
     // ---- floating point ----
-    FLd { dst: V, mem: MemRef, w: Width },
-    FSt { mem: MemRef, src: V, w: Width, nt: bool },
-    FMov { dst: V, src: V, w: Width },
+    FLd {
+        dst: V,
+        mem: MemRef,
+        w: Width,
+    },
+    FSt {
+        mem: MemRef,
+        src: V,
+        w: Width,
+        nt: bool,
+    },
+    FMov {
+        dst: V,
+        src: V,
+        w: Width,
+    },
     /// Load an FP constant into a scalar register.
-    FConst { dst: V, val: f64 },
-    FZero { dst: V, w: Width },
+    FConst {
+        dst: V,
+        val: f64,
+    },
+    FZero {
+        dst: V,
+        w: Width,
+    },
     /// `dst = a op b` (three-address).
-    FBin { op: FOp, dst: V, a: V, b: RoM, w: Width },
-    FAbs { dst: V, src: V, w: Width },
+    FBin {
+        op: FOp,
+        dst: V,
+        a: V,
+        b: RoM,
+        w: Width,
+    },
+    FAbs {
+        dst: V,
+        src: V,
+        w: Width,
+    },
     /// Scalar square root (`sqrtss`/`sqrtsd`) — post-loop epilogues (nrm2).
-    FSqrt { dst: V, src: V },
+    FSqrt {
+        dst: V,
+        src: V,
+    },
     /// Broadcast scalar `src` into vector `dst`.
-    FBcast { dst: V, src: V },
+    FBcast {
+        dst: V,
+        src: V,
+    },
     /// Horizontal sum of vector `src` into scalar `dst`.
-    FHSum { dst: V, src: V },
+    FHSum {
+        dst: V,
+        src: V,
+    },
     /// Horizontal max of vector `src` into scalar `dst`.
-    FHMax { dst: V, src: V },
+    FHMax {
+        dst: V,
+        src: V,
+    },
     /// Compare scalar `a` with `b`, setting flags.
-    FCmp { a: V, b: RoM },
+    FCmp {
+        a: V,
+        b: RoM,
+    },
 
     // ---- integer ----
-    IConst { dst: V, val: i64 },
-    IMov { dst: V, src: V },
-    IBin { op: IOp, dst: V, a: V, b: IOrImm },
-    ICmp { a: V, b: IOrImm },
+    IConst {
+        dst: V,
+        val: i64,
+    },
+    IMov {
+        dst: V,
+        src: V,
+    },
+    IBin {
+        op: IOp,
+        dst: V,
+        a: V,
+        b: IOrImm,
+    },
+    ICmp {
+        a: V,
+        b: IOrImm,
+    },
     /// `dst -= 1` setting flags — the loop-control-optimized latch form
     /// (LC transform), mapping to the target's `dec`.
     IDecFlags(V),
@@ -126,26 +184,56 @@ pub enum Op {
     // ---- control ----
     Label(LabelId),
     Br(LabelId),
-    CondBr { cond: Cond, target: LabelId },
+    CondBr {
+        cond: Cond,
+        target: LabelId,
+    },
 
     // ---- hints ----
-    Prefetch { ptr: PtrId, dist_bytes: i64, kind: PrefKind },
+    Prefetch {
+        ptr: PtrId,
+        dist_bytes: i64,
+        kind: PrefKind,
+    },
 
     // ---- spill code (inserted by register allocation) ----
     /// Reload from frame slot (16-byte slots off the frame pointer).
-    FSpillLd { dst: V, slot: u32, w: Width },
-    FSpillSt { slot: u32, src: V, w: Width },
-    ISpillLd { dst: V, slot: u32 },
-    ISpillSt { slot: u32, src: V },
+    FSpillLd {
+        dst: V,
+        slot: u32,
+        w: Width,
+    },
+    FSpillSt {
+        slot: u32,
+        src: V,
+        w: Width,
+    },
+    ISpillLd {
+        dst: V,
+        slot: u32,
+    },
+    ISpillSt {
+        slot: u32,
+        src: V,
+    },
 
     // ---- latch pseudo (linearized stage) ----
-    PtrBump { ptr: PtrId, elems: i64 },
+    PtrBump {
+        ptr: PtrId,
+        elems: i64,
+    },
 
     // ---- parameter materialization (prepended at linearization) ----
     /// Copy an integer argument from its arrival register into `dst`.
-    IParamMov { dst: V, arrival: u8 },
+    IParamMov {
+        dst: V,
+        arrival: u8,
+    },
     /// Copy an FP scalar argument from its arrival register into `dst`.
-    FParamMov { dst: V, arrival: u8 },
+    FParamMov {
+        dst: V,
+        arrival: u8,
+    },
 }
 
 impl Op {
@@ -154,14 +242,25 @@ impl Op {
     pub fn uses(&self) -> Vec<V> {
         use Op::*;
         match self {
-            FLd { .. } | FConst { .. } | FZero { .. } | IConst { .. } | Label(_) | Br(_)
-            | CondBr { .. } | Prefetch { .. } | PtrBump { .. } => vec![],
+            FLd { .. }
+            | FConst { .. }
+            | FZero { .. }
+            | IConst { .. }
+            | Label(_)
+            | Br(_)
+            | CondBr { .. }
+            | Prefetch { .. }
+            | PtrBump { .. } => vec![],
             FSt { src, .. } => vec![*src],
             IDecFlags(v) => vec![*v],
             FSpillLd { .. } | ISpillLd { .. } | IParamMov { .. } | FParamMov { .. } => vec![],
             FSpillSt { src, .. } | ISpillSt { src, .. } => vec![*src],
-            FMov { src, .. } | FAbs { src, .. } | FSqrt { src, .. } | FBcast { src, .. }
-            | FHSum { src, .. } | FHMax { src, .. } => vec![*src],
+            FMov { src, .. }
+            | FAbs { src, .. }
+            | FSqrt { src, .. }
+            | FBcast { src, .. }
+            | FHSum { src, .. }
+            | FHMax { src, .. } => vec![*src],
             FBin { a, b, .. } => match b {
                 RoM::Reg(r) => vec![*a, *r],
                 RoM::Mem(_) => vec![*a],
@@ -186,12 +285,23 @@ impl Op {
     pub fn def(&self) -> Option<V> {
         use Op::*;
         match self {
-            FLd { dst, .. } | FMov { dst, .. } | FConst { dst, .. } | FZero { dst, .. }
-            | FBin { dst, .. } | FAbs { dst, .. } | FSqrt { dst, .. } | FBcast { dst, .. }
-            | FHSum { dst, .. } | FHMax { dst, .. } | IConst { dst, .. } | IMov { dst, .. }
+            FLd { dst, .. }
+            | FMov { dst, .. }
+            | FConst { dst, .. }
+            | FZero { dst, .. }
+            | FBin { dst, .. }
+            | FAbs { dst, .. }
+            | FSqrt { dst, .. }
+            | FBcast { dst, .. }
+            | FHSum { dst, .. }
+            | FHMax { dst, .. }
+            | IConst { dst, .. }
+            | IMov { dst, .. }
             | IBin { dst, .. } => Some(*dst),
             IDecFlags(v) => Some(*v),
-            FSpillLd { dst, .. } | ISpillLd { dst, .. } | IParamMov { dst, .. }
+            FSpillLd { dst, .. }
+            | ISpillLd { dst, .. }
+            | IParamMov { dst, .. }
             | FParamMov { dst, .. } => Some(*dst),
             _ => None,
         }
@@ -201,10 +311,14 @@ impl Op {
     pub fn map_uses(&mut self, f: &mut impl FnMut(V) -> V) {
         use Op::*;
         match self {
-            FSt { src, .. } | FMov { src, .. } | FAbs { src, .. } | FSqrt { src, .. }
-            | FBcast { src, .. } | FHSum { src, .. } | FHMax { src, .. } | IMov { src, .. } => {
-                *src = f(*src)
-            }
+            FSt { src, .. }
+            | FMov { src, .. }
+            | FAbs { src, .. }
+            | FSqrt { src, .. }
+            | FBcast { src, .. }
+            | FHSum { src, .. }
+            | FHMax { src, .. }
+            | IMov { src, .. } => *src = f(*src),
             FBin { a, b, .. } => {
                 *a = f(*a);
                 if let RoM::Reg(r) = b {
@@ -239,12 +353,23 @@ impl Op {
     pub fn map_def(&mut self, f: &mut impl FnMut(V) -> V) {
         use Op::*;
         match self {
-            FLd { dst, .. } | FMov { dst, .. } | FConst { dst, .. } | FZero { dst, .. }
-            | FBin { dst, .. } | FAbs { dst, .. } | FSqrt { dst, .. } | FBcast { dst, .. }
-            | FHSum { dst, .. } | FHMax { dst, .. } | IConst { dst, .. } | IMov { dst, .. }
+            FLd { dst, .. }
+            | FMov { dst, .. }
+            | FConst { dst, .. }
+            | FZero { dst, .. }
+            | FBin { dst, .. }
+            | FAbs { dst, .. }
+            | FSqrt { dst, .. }
+            | FBcast { dst, .. }
+            | FHSum { dst, .. }
+            | FHMax { dst, .. }
+            | IConst { dst, .. }
+            | IMov { dst, .. }
             | IBin { dst, .. } => *dst = f(*dst),
             IDecFlags(v) => *v = f(*v),
-            FSpillLd { dst, .. } | ISpillLd { dst, .. } | IParamMov { dst, .. }
+            FSpillLd { dst, .. }
+            | ISpillLd { dst, .. }
+            | IParamMov { dst, .. }
             | FParamMov { dst, .. } => *dst = f(*dst),
             _ => {}
         }
@@ -378,11 +503,25 @@ mod tests {
 
     #[test]
     fn def_use_classification() {
-        let op = Op::FBin { op: FOp::Add, dst: 3, a: 1, b: RoM::Reg(2), w: Width::S };
+        let op = Op::FBin {
+            op: FOp::Add,
+            dst: 3,
+            a: 1,
+            b: RoM::Reg(2),
+            w: Width::S,
+        };
         assert_eq!(op.def(), Some(3));
         assert_eq!(op.uses(), vec![1, 2]);
 
-        let st = Op::FSt { mem: MemRef { ptr: PtrId(0), off_elems: 0 }, src: 5, w: Width::S, nt: false };
+        let st = Op::FSt {
+            mem: MemRef {
+                ptr: PtrId(0),
+                off_elems: 0,
+            },
+            src: 5,
+            w: Width::S,
+            nt: false,
+        };
         assert_eq!(st.def(), None);
         assert_eq!(st.uses(), vec![5]);
 
@@ -390,7 +529,10 @@ mod tests {
             op: FOp::Mul,
             dst: 2,
             a: 2,
-            b: RoM::Mem(MemRef { ptr: PtrId(1), off_elems: 4 }),
+            b: RoM::Mem(MemRef {
+                ptr: PtrId(1),
+                off_elems: 4,
+            }),
             w: Width::V,
         };
         assert_eq!(mem_bin.uses(), vec![2]);
@@ -398,10 +540,21 @@ mod tests {
 
     #[test]
     fn map_uses_rewrites_only_reads() {
-        let mut op = Op::FBin { op: FOp::Add, dst: 3, a: 1, b: RoM::Reg(2), w: Width::S };
+        let mut op = Op::FBin {
+            op: FOp::Add,
+            dst: 3,
+            a: 1,
+            b: RoM::Reg(2),
+            w: Width::S,
+        };
         op.map_uses(&mut |v| v + 10);
         match op {
-            Op::FBin { dst, a, b: RoM::Reg(r), .. } => {
+            Op::FBin {
+                dst,
+                a,
+                b: RoM::Reg(r),
+                ..
+            } => {
                 assert_eq!(dst, 3);
                 assert_eq!(a, 11);
                 assert_eq!(r, 12);
@@ -439,7 +592,10 @@ mod tests {
             op: FOp::Mul,
             dst: 0,
             a: 0,
-            b: RoM::Mem(MemRef { ptr: PtrId(0), off_elems: 1 }),
+            b: RoM::Mem(MemRef {
+                ptr: PtrId(0),
+                off_elems: 1,
+            }),
             w: Width::S,
         };
         op.mem_mut().unwrap().off_elems = 9;

@@ -63,7 +63,10 @@ fn prec_of(p: ast::Prec) -> Prec {
 
 /// Lower a parsed + checked routine to IR.
 pub fn lower(routine: &Routine, info: &ifko_hil::SemaInfo) -> Result<KernelIr, LowerError> {
-    let prec = prec_of(info.prec.ok_or_else(|| LowerError("no FP data in routine".into()))?);
+    let prec = prec_of(
+        info.prec
+            .ok_or_else(|| LowerError("no FP data in routine".into()))?,
+    );
     let mut k = KernelIr {
         name: routine.name.clone(),
         prec,
@@ -110,7 +113,14 @@ pub fn lower(routine: &Routine, info: &ifko_hil::SemaInfo) -> Result<KernelIr, L
             Some(_) => k.new_vreg(VClass::F),
             None => k.new_vreg(VClass::Int),
         };
-        syms.insert(s.name.clone(), if s.prec.is_some() { Sym::FV(v) } else { Sym::IV(v) });
+        syms.insert(
+            s.name.clone(),
+            if s.prec.is_some() {
+                Sym::FV(v)
+            } else {
+                Sym::IV(v)
+            },
+        );
     }
 
     let mut lw = Lowerer {
@@ -226,7 +236,8 @@ impl Lowerer<'_> {
                 other => err(format!("unsupported loop bound {other:?}")),
             }
         };
-        let reads_ivar = loop_reads_var(&l.body, &l.var) || routine_cold_reads_var(self.routine, &l.var);
+        let reads_ivar =
+            loop_reads_var(&l.body, &l.var) || routine_cold_reads_var(self.routine, &l.var);
         let counter = if l.down {
             if !matches!(l.end, Expr::IConst(0)) {
                 return err("downward loops must end at 0");
@@ -234,7 +245,11 @@ impl Lowerer<'_> {
             let n = n_vreg(self, &l.start)?;
             let ivar = self.k.new_vreg(VClass::Int);
             self.loop_ivar = Some((l.var.clone(), ivar));
-            Counter::Visible { ivar, n, down: true }
+            Counter::Visible {
+                ivar,
+                n,
+                down: true,
+            }
         } else {
             if !matches!(l.start, Expr::IConst(0)) {
                 return err("upward loops must start at 0");
@@ -286,12 +301,20 @@ impl Lowerer<'_> {
                     *self.run_off.entry(pid.0).or_insert(0) += elems;
                     *self.bumps.entry(pid.0).or_insert(0) += elems;
                 } else {
-                    ops.push(Op::PtrBump { ptr: pid, elems: *elems });
+                    ops.push(Op::PtrBump {
+                        ptr: pid,
+                        elems: *elems,
+                    });
                 }
                 Ok(())
             }
             Stmt::Assign { lhs, op, rhs } => self.lower_assign(lhs, *op, rhs, ops),
-            Stmt::IfGoto { lhs, cmp, rhs, label } => {
+            Stmt::IfGoto {
+                lhs,
+                cmp,
+                rhs,
+                label,
+            } => {
                 let (a, a_int) = self.expr_value(lhs, ops)?;
                 let cond = match cmp {
                     CmpOp::Gt => Cond::Gt,
@@ -381,8 +404,11 @@ impl Lowerer<'_> {
                         match op {
                             AssignOp::Set => self.expr_into_i(rhs, dst, ops)?,
                             AssignOp::Add | AssignOp::Sub => {
-                                let iop =
-                                    if op == AssignOp::Add { IOp::Add } else { IOp::Sub };
+                                let iop = if op == AssignOp::Add {
+                                    IOp::Add
+                                } else {
+                                    IOp::Sub
+                                };
                                 let b = match rhs {
                                     Expr::IConst(v) => IOrImm::Imm(*v),
                                     other => {
@@ -393,7 +419,12 @@ impl Lowerer<'_> {
                                         IOrImm::Reg(rv)
                                     }
                                 };
-                                ops.push(Op::IBin { op: iop, dst, a: dst, b });
+                                ops.push(Op::IBin {
+                                    op: iop,
+                                    dst,
+                                    a: dst,
+                                    b,
+                                });
                             }
                             AssignOp::Mul => return err("integer *= not supported"),
                         }
@@ -414,23 +445,42 @@ impl Lowerer<'_> {
                 if op != AssignOp::Set {
                     // `Y[0] += e` — load, combine, store.
                     let t = self.k.new_vreg(VClass::F);
-                    ops.push(Op::FLd { dst: t, mem: MemRef { ptr: pid, off_elems: off }, w: Width::S });
+                    ops.push(Op::FLd {
+                        dst: t,
+                        mem: MemRef {
+                            ptr: pid,
+                            off_elems: off,
+                        },
+                        w: Width::S,
+                    });
                     let fop = match op {
                         AssignOp::Add => FOp::Add,
                         AssignOp::Sub => FOp::Sub,
                         AssignOp::Mul => FOp::Mul,
                         AssignOp::Set => unreachable!(),
                     };
-                    ops.push(Op::FBin { op: fop, dst: t, a: t, b: RoM::Reg(rv), w: Width::S });
+                    ops.push(Op::FBin {
+                        op: fop,
+                        dst: t,
+                        a: t,
+                        b: RoM::Reg(rv),
+                        w: Width::S,
+                    });
                     ops.push(Op::FSt {
-                        mem: MemRef { ptr: pid, off_elems: off },
+                        mem: MemRef {
+                            ptr: pid,
+                            off_elems: off,
+                        },
                         src: t,
                         w: Width::S,
                         nt: false,
                     });
                 } else {
                     ops.push(Op::FSt {
-                        mem: MemRef { ptr: pid, off_elems: off },
+                        mem: MemRef {
+                            ptr: pid,
+                            off_elems: off,
+                        },
                         src: rv,
                         w: Width::S,
                         nt: false,
@@ -473,7 +523,14 @@ impl Lowerer<'_> {
                 };
                 let off = self.run_off.get(&pid.0).copied().unwrap_or(0) + offset;
                 let t = self.k.new_vreg(VClass::F);
-                ops.push(Op::FLd { dst: t, mem: MemRef { ptr: pid, off_elems: off }, w: Width::S });
+                ops.push(Op::FLd {
+                    dst: t,
+                    mem: MemRef {
+                        ptr: pid,
+                        off_elems: off,
+                    },
+                    w: Width::S,
+                });
                 Ok((t, false))
             }
             Expr::Unary(UnOp::Abs, inner) => {
@@ -482,7 +539,11 @@ impl Lowerer<'_> {
                     return err("ABS of integer");
                 }
                 let t = self.k.new_vreg(VClass::F);
-                ops.push(Op::FAbs { dst: t, src: v, w: Width::S });
+                ops.push(Op::FAbs {
+                    dst: t,
+                    src: v,
+                    w: Width::S,
+                });
                 Ok((t, false))
             }
             Expr::Unary(UnOp::Sqrt, inner) => {
@@ -499,12 +560,23 @@ impl Lowerer<'_> {
                 if is_int {
                     let t = self.k.new_vreg(VClass::Int);
                     ops.push(Op::IConst { dst: t, val: 0 });
-                    ops.push(Op::IBin { op: IOp::Sub, dst: t, a: t, b: IOrImm::Reg(v) });
+                    ops.push(Op::IBin {
+                        op: IOp::Sub,
+                        dst: t,
+                        a: t,
+                        b: IOrImm::Reg(v),
+                    });
                     Ok((t, true))
                 } else {
                     let t = self.k.new_vreg(VClass::F);
                     ops.push(Op::FConst { dst: t, val: 0.0 });
-                    ops.push(Op::FBin { op: FOp::Sub, dst: t, a: t, b: RoM::Reg(v), w: Width::S });
+                    ops.push(Op::FBin {
+                        op: FOp::Sub,
+                        dst: t,
+                        a: t,
+                        b: RoM::Reg(v),
+                        w: Width::S,
+                    });
                     Ok((t, false))
                 }
             }
@@ -528,7 +600,12 @@ impl Lowerer<'_> {
                         ast::BinaryOp::Sub => IOp::Sub,
                         _ => return err("only +/- on integers"),
                     };
-                    ops.push(Op::IBin { op: iop, dst: t, a: t, b: rhs });
+                    ops.push(Op::IBin {
+                        op: iop,
+                        dst: t,
+                        a: t,
+                        b: rhs,
+                    });
                     Ok((t, true))
                 } else {
                     let (bv, bint) = self.expr_value(b, ops)?;
@@ -536,14 +613,24 @@ impl Lowerer<'_> {
                         return err("mixed float/int arithmetic");
                     }
                     let t = self.k.new_vreg(VClass::F);
-                    ops.push(Op::FMov { dst: t, src: av, w: Width::S });
+                    ops.push(Op::FMov {
+                        dst: t,
+                        src: av,
+                        w: Width::S,
+                    });
                     let fop = match bop {
                         ast::BinaryOp::Add => FOp::Add,
                         ast::BinaryOp::Sub => FOp::Sub,
                         ast::BinaryOp::Mul => FOp::Mul,
                         ast::BinaryOp::Div => FOp::Div,
                     };
-                    ops.push(Op::FBin { op: fop, dst: t, a: t, b: RoM::Reg(bv), w: Width::S });
+                    ops.push(Op::FBin {
+                        op: fop,
+                        dst: t,
+                        a: t,
+                        b: RoM::Reg(bv),
+                        w: Width::S,
+                    });
                     Ok((t, false))
                 }
             }
@@ -564,7 +651,11 @@ impl Lowerer<'_> {
                     *d = dst;
                     let _ = v;
                 } else {
-                    ops.push(Op::FMov { dst, src: v, w: Width::S });
+                    ops.push(Op::FMov {
+                        dst,
+                        src: v,
+                        w: Width::S,
+                    });
                 }
                 Ok(())
             }
@@ -573,7 +664,11 @@ impl Lowerer<'_> {
                 if is_int {
                     return err("ABS of integer");
                 }
-                ops.push(Op::FAbs { dst, src: v, w: Width::S });
+                ops.push(Op::FAbs {
+                    dst,
+                    src: v,
+                    w: Width::S,
+                });
                 Ok(())
             }
             Expr::Unary(UnOp::Sqrt, inner) => {
@@ -589,7 +684,11 @@ impl Lowerer<'_> {
                 if is_int {
                     return err("assigning integer to float scalar");
                 }
-                ops.push(Op::FMov { dst, src: v, w: Width::S });
+                ops.push(Op::FMov {
+                    dst,
+                    src: v,
+                    w: Width::S,
+                });
                 Ok(())
             }
         }
@@ -684,7 +783,13 @@ ROUT_END
         assert_eq!(l.bumps, vec![(PtrId(0), 1), (PtrId(1), 1)]);
         assert!(l.cold.is_empty());
         // Body: FLd x, FLd y, (FMov t, x; FMul t, y), FAdd dot += t.
-        assert!(l.body.iter().filter(|o| matches!(o, Op::FLd { .. })).count() == 2);
+        assert!(
+            l.body
+                .iter()
+                .filter(|o| matches!(o, Op::FLd { .. }))
+                .count()
+                == 2
+        );
         assert!(l
             .body
             .iter()
@@ -736,7 +841,10 @@ ROUT_END
         let k = lower_src(AMAX);
         let l = k.loop_.as_ref().unwrap();
         assert!(matches!(l.counter, Counter::Visible { down: true, .. }));
-        assert!(!l.cold.is_empty(), "NEWMAX block must be attached as cold code");
+        assert!(
+            !l.cold.is_empty(),
+            "NEWMAX block must be attached as cold code"
+        );
         assert!(matches!(l.cold[0], Op::Label(_)));
         assert!(matches!(l.cold.last(), Some(Op::Br(_))));
         assert!(l.body.iter().any(|o| matches!(o, Op::CondBr { .. })));

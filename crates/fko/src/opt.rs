@@ -180,10 +180,18 @@ pub fn dead_code_elim(k: &mut LinearKernel) -> bool {
     }
     let is_pure_def = |op: &Op| -> Option<V> {
         match op {
-            Op::FLd { dst, .. } | Op::FMov { dst, .. } | Op::FConst { dst, .. }
-            | Op::FZero { dst, .. } | Op::FBin { dst, .. } | Op::FAbs { dst, .. }
-            | Op::FSqrt { dst, .. } | Op::FBcast { dst, .. } | Op::FHSum { dst, .. }
-            | Op::FHMax { dst, .. } | Op::IConst { dst, .. } | Op::IMov { dst, .. }
+            Op::FLd { dst, .. }
+            | Op::FMov { dst, .. }
+            | Op::FConst { dst, .. }
+            | Op::FZero { dst, .. }
+            | Op::FBin { dst, .. }
+            | Op::FAbs { dst, .. }
+            | Op::FSqrt { dst, .. }
+            | Op::FBcast { dst, .. }
+            | Op::FHSum { dst, .. }
+            | Op::FHMax { dst, .. }
+            | Op::IConst { dst, .. }
+            | Op::IMov { dst, .. }
             | Op::IBin { dst, .. } => Some(*dst),
             Op::IParamMov { dst, .. } | Op::FParamMov { dst, .. } => Some(*dst),
             _ => None,
@@ -238,16 +246,20 @@ pub fn fuse_mem_operands(k: &mut LinearKernel) -> bool {
                 Op::FLd { dst: d2, .. } if *d2 == dst => continue 'outer,
                 op2 if op2.uses().contains(&dst) => {
                     match &mut k.ops[j] {
-                        Op::FBin { a, b: b @ RoM::Reg(_), w: w2, .. }
-                            if *b == RoM::Reg(dst) && *w2 == w && *a != dst =>
-                        {
+                        Op::FBin {
+                            a,
+                            b: b @ RoM::Reg(_),
+                            w: w2,
+                            ..
+                        } if *b == RoM::Reg(dst) && *w2 == w && *a != dst => {
                             *b = RoM::Mem(mem);
                             remove.push(i);
                             changed = true;
                         }
-                        Op::FCmp { a, b: b @ RoM::Reg(_) }
-                            if *b == RoM::Reg(dst) && w == Width::S && *a != dst =>
-                        {
+                        Op::FCmp {
+                            a,
+                            b: b @ RoM::Reg(_),
+                        } if *b == RoM::Reg(dst) && w == Width::S && *a != dst => {
                             *b = RoM::Mem(mem);
                             remove.push(i);
                             changed = true;
@@ -441,12 +453,19 @@ ROUT_END
         let mut k = linear(DOT, &TransformParams::off());
         let before = k.ops.len();
         optimize(&mut k, &TransformParams::off());
-        assert!(k.ops.len() < before, "optimization must shrink the op count");
+        assert!(
+            k.ops.len() < before,
+            "optimization must shrink the op count"
+        );
         // The multiply should now take its Y operand from memory.
-        assert!(k
-            .ops
-            .iter()
-            .any(|o| matches!(o, Op::FBin { op: FOp::Mul, b: RoM::Mem(_), .. })));
+        assert!(k.ops.iter().any(|o| matches!(
+            o,
+            Op::FBin {
+                op: FOp::Mul,
+                b: RoM::Mem(_),
+                ..
+            }
+        )));
         // Loop control: dec-and-branch replaces sub+cmp.
         assert!(k.ops.iter().any(|o| matches!(o, Op::IDecFlags(_))));
     }
@@ -458,8 +477,15 @@ ROUT_END
         // copy-prop + DCE the extra moves disappear.
         copy_propagate(&mut k);
         dead_code_elim(&mut k);
-        let movs = k.ops.iter().filter(|o| matches!(o, Op::FMov { .. })).count();
-        assert!(movs <= 1, "most FMovs should be propagated away, {movs} left");
+        let movs = k
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::FMov { .. }))
+            .count();
+        assert!(
+            movs <= 1,
+            "most FMovs should be propagated away, {movs} left"
+        );
     }
 
     #[test]

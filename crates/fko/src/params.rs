@@ -57,7 +57,11 @@ impl TransformParams {
             prefetch: rep
                 .pf_candidates
                 .iter()
-                .map(|p| PrefSpec { ptr: *p, kind: Some(PrefKind::Nta), dist: 2 * line })
+                .map(|p| PrefSpec {
+                    ptr: *p,
+                    kind: Some(PrefKind::Nta),
+                    dist: 2 * line,
+                })
                 .collect(),
             loop_control: true,
             cisc_memops: true,
@@ -92,9 +96,11 @@ impl TransformParams {
         let mut pf_cols: Vec<String> = Vec::new();
         for p in &rep.pf_candidates {
             match self.prefetch.iter().find(|s| s.ptr == *p) {
-                Some(PrefSpec { kind: Some(k), dist, .. }) => {
-                    pf_cols.push(format!("{}:{}", k.abbrev(), dist))
-                }
+                Some(PrefSpec {
+                    kind: Some(k),
+                    dist,
+                    ..
+                }) => pf_cols.push(format!("{}:{}", k.abbrev(), dist)),
                 _ => pf_cols.push("none:0".to_string()),
             }
         }
@@ -108,7 +114,11 @@ impl TransformParams {
             pf_cols[0],
             pf_cols[1],
             self.unroll,
-            if self.accum_expand > 1 { self.accum_expand } else { 0 }
+            if self.accum_expand > 1 {
+                self.accum_expand
+            } else {
+                0
+            }
         )
     }
 }

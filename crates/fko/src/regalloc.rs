@@ -166,7 +166,12 @@ fn hulls(k: &LinearKernel) -> Vec<Hull> {
                 end = end.max(re);
             }
         }
-        out.push(Hull { v, start, end, class: k.vregs[v as usize] });
+        out.push(Hull {
+            v,
+            start,
+            end,
+            class: k.vregs[v as usize],
+        });
     }
     out.sort_by_key(|h| (h.start, h.v));
     out
@@ -174,11 +179,16 @@ fn hulls(k: &LinearKernel) -> Vec<Hull> {
 
 /// Pools available to the allocator given the parameter layout.
 fn pools(k: &LinearKernel, reserve_scratch: bool) -> (Vec<u8>, Vec<u8>) {
-    let n_int_params =
-        k.params.iter().filter(|p| matches!(p, ParamSlot::Ptr(_) | ParamSlot::Int { .. })).count()
-            as u8;
-    let n_fparams =
-        k.params.iter().filter(|p| matches!(p, ParamSlot::FScalar { .. })).count() as u8;
+    let n_int_params = k
+        .params
+        .iter()
+        .filter(|p| matches!(p, ParamSlot::Ptr(_) | ParamSlot::Int { .. }))
+        .count() as u8;
+    let n_fparams = k
+        .params
+        .iter()
+        .filter(|p| matches!(p, ParamSlot::FScalar { .. }))
+        .count() as u8;
     let mut ipool: Vec<u8> = (n_int_params..FRAME_REG).collect();
     // FP scalar params arrive pinned in x7, x6, ... (one per param).
     let mut fpool: Vec<u8> = (0..8u8).filter(|r| *r <= FPARAM_REG - n_fparams).collect();
@@ -263,7 +273,11 @@ fn try_allocate(k: &LinearKernel, reserve_scratch: bool) -> Result<Allocation, V
         }
     }
     if failed.is_empty() {
-        Ok(Allocation { map, frame_slots: 0, spilled: 0 })
+        Ok(Allocation {
+            map,
+            frame_slots: 0,
+            spilled: 0,
+        })
     } else {
         Err(failed)
     }
@@ -313,7 +327,11 @@ fn allocate_with_spills(k: &LinearKernel) -> Result<(Allocation, Vec<V>), AllocE
                 active.push((h.end, phys));
             }
             Ok((
-                Allocation { map, frame_slots: 0, spilled: spilled.len() as u32 },
+                Allocation {
+                    map,
+                    frame_slots: 0,
+                    spilled: spilled.len() as u32,
+                },
                 spilled,
             ))
         }
@@ -369,8 +387,16 @@ fn rewrite_spills(
                 alloc.map.insert(nv, sreg);
                 pre_ops.push(match class {
                     VClass::Int => Op::ISpillLd { dst: nv, slot },
-                    VClass::F => Op::FSpillLd { dst: nv, slot, w: Width::S },
-                    VClass::Vec => Op::FSpillLd { dst: nv, slot, w: Width::V },
+                    VClass::F => Op::FSpillLd {
+                        dst: nv,
+                        slot,
+                        w: Width::S,
+                    },
+                    VClass::Vec => Op::FSpillLd {
+                        dst: nv,
+                        slot,
+                        w: Width::V,
+                    },
                 });
                 use_map.insert(u, nv);
             }
@@ -397,8 +423,16 @@ fn rewrite_spills(
                 op.map_def(&mut |v| if v == d { nv } else { v });
                 post_ops.push(match class {
                     VClass::Int => Op::ISpillSt { slot, src: nv },
-                    VClass::F => Op::FSpillSt { slot, src: nv, w: Width::S },
-                    VClass::Vec => Op::FSpillSt { slot, src: nv, w: Width::V },
+                    VClass::F => Op::FSpillSt {
+                        slot,
+                        src: nv,
+                        w: Width::S,
+                    },
+                    VClass::Vec => Op::FSpillSt {
+                        slot,
+                        src: nv,
+                        w: Width::V,
+                    },
                 });
             }
         }
@@ -426,12 +460,14 @@ fn rewrite_spills(
                 }
                 VClass::F => {
                     alloc.map.insert(nv, Phys::F(F_SCRATCH[0]));
-                    k.ops.push(Op::FSpillLd { dst: nv, slot, w: Width::S });
+                    k.ops.push(Op::FSpillLd {
+                        dst: nv,
+                        slot,
+                        w: Width::S,
+                    });
                     k.ret = RetVal::F(nv);
                 }
-                VClass::Vec => {
-                    return Err(AllocError("vector return value cannot spill".into()))
-                }
+                VClass::Vec => return Err(AllocError("vector return value cannot spill".into())),
             }
         }
     }

@@ -141,10 +141,19 @@ fn vectorize(
             ScalarRole::ReductionAdd => {
                 // Vector accumulator, zeroed before the loop; horizontal
                 // sum folded into the original scalar after it.
-                pre_add.push(Op::FZero { dst: nv, w: Width::V });
+                pre_add.push(Op::FZero {
+                    dst: nv,
+                    w: Width::V,
+                });
                 let t = k.new_vreg(VClass::F);
                 epilogue.push(Op::FHSum { dst: t, src: nv });
-                epilogue.push(Op::FBin { op: FOp::Add, dst: v, a: v, b: RoM::Reg(t), w: Width::S });
+                epilogue.push(Op::FBin {
+                    op: FOp::Add,
+                    dst: v,
+                    a: v,
+                    b: RoM::Reg(t),
+                    w: Width::S,
+                });
             }
             ScalarRole::Private => {}
             ScalarRole::Carried => {
@@ -160,8 +169,12 @@ fn vectorize(
         op.map_uses(&mut sub);
         op.map_def(&mut sub);
         match op {
-            Op::FLd { w, .. } | Op::FSt { w, .. } | Op::FMov { w, .. } | Op::FBin { w, .. }
-            | Op::FAbs { w, .. } | Op::FZero { w, .. } => *w = Width::V,
+            Op::FLd { w, .. }
+            | Op::FSt { w, .. }
+            | Op::FMov { w, .. }
+            | Op::FBin { w, .. }
+            | Op::FAbs { w, .. }
+            | Op::FZero { w, .. } => *w = Width::V,
             Op::FConst { .. } => {
                 return Err(XformError("FP constant inside loop body (hoist it)".into()))
             }
@@ -257,7 +270,11 @@ fn instantiate_copy(
         }
     }
 
-    let rewrite = |ops: &[Op], k: &KernelIr, vmap: &HashMap<V, V>, lmap: &HashMap<LabelId, LabelId>| -> Vec<Op> {
+    let rewrite = |ops: &[Op],
+                   k: &KernelIr,
+                   vmap: &HashMap<V, V>,
+                   lmap: &HashMap<LabelId, LabelId>|
+     -> Vec<Op> {
         let _ = k;
         let mut out = Vec::new();
         for op in ops {
@@ -299,7 +316,12 @@ fn instantiate_copy(
     if let Some(t) = ivar_sub {
         let iv = ivar.unwrap();
         body.push(Op::IMov { dst: t, src: iv });
-        body.push(Op::IBin { op: IOp::Sub, dst: t, a: t, b: IOrImm::Imm(copy as i64) });
+        body.push(Op::IBin {
+            op: IOp::Sub,
+            dst: t,
+            a: t,
+            b: IOrImm::Imm(copy as i64),
+        });
     }
     body.extend(rewrite(&l.body, k, &vmap, &lmap));
     let cold = rewrite(&l.cold, k, &vmap, &lmap);
@@ -321,22 +343,24 @@ fn accumulate_expand(
         let mut vs: Vec<V> = body
             .iter()
             .filter_map(|o| match o {
-                Op::FBin { op: FOp::Add, dst, a, .. } if dst == a => Some(*dst),
+                Op::FBin {
+                    op: FOp::Add,
+                    dst,
+                    a,
+                    ..
+                } if dst == a => Some(*dst),
                 _ => None,
             })
-            .filter(|v| {
-                matches!(
-                    roles.get(v),
-                    Some(ScalarRole::ReductionAdd)
-                )
-            })
+            .filter(|v| matches!(roles.get(v), Some(ScalarRole::ReductionAdd)))
             .collect();
         vs.sort_unstable();
         vs.dedup();
         vs
     };
     if accs.is_empty() {
-        return Err(XformError("accumulator expansion requested but no candidates".into()));
+        return Err(XformError(
+            "accumulator expansion requested but no candidates".into(),
+        ));
     }
     let class = if vectorized { VClass::Vec } else { VClass::F };
     let w = if vectorized { Width::V } else { Width::S };
@@ -353,7 +377,13 @@ fn accumulate_expand(
         // Rotate occurrences.
         let mut occ = 0usize;
         for op in body.iter_mut() {
-            if let Op::FBin { op: FOp::Add, dst, a, .. } = op {
+            if let Op::FBin {
+                op: FOp::Add,
+                dst,
+                a,
+                ..
+            } = op
+            {
                 if *dst == acc && *a == acc {
                     let slot = bank[occ % bank.len()];
                     *dst = slot;
@@ -364,7 +394,13 @@ fn accumulate_expand(
         }
         // Fold extras back into the original before any SV epilogue.
         for &extra in &bank[1..] {
-            fold_ops.push(Op::FBin { op: FOp::Add, dst: acc, a: acc, b: RoM::Reg(extra), w });
+            fold_ops.push(Op::FBin {
+                op: FOp::Add,
+                dst: acc,
+                a: acc,
+                b: RoM::Reg(extra),
+                w,
+            });
         }
     }
     k.pre.extend(pre_add);
@@ -406,7 +442,11 @@ fn insert_prefetches(
             let pos = (body.len() * (j as usize + 1)) / (n_pref as usize + 1);
             inserts.push((
                 pos,
-                Op::Prefetch { ptr: spec.ptr, dist_bytes: spec.dist + j * LINE, kind },
+                Op::Prefetch {
+                    ptr: spec.ptr,
+                    dist_bytes: spec.dist + j * LINE,
+                    kind,
+                },
             ));
         }
     }
@@ -430,8 +470,11 @@ fn linearize(
     roles: &HashMap<V, ScalarRole>,
 ) -> Result<LinearKernel, XformError> {
     let step = (l.elems_per_iter * unroll as u64) as i64;
-    let total_bumps: Vec<(PtrId, i64)> =
-        l.bumps.iter().map(|(p, e)| (*p, e * unroll as i64)).collect();
+    let total_bumps: Vec<(PtrId, i64)> = l
+        .bumps
+        .iter()
+        .map(|(p, e)| (*p, e * unroll as i64))
+        .collect();
 
     let mut ops: Vec<Op> = Vec::new();
     ops.extend(k.pre.clone());
@@ -439,49 +482,95 @@ fn linearize(
     match l.counter.clone() {
         Counter::Hidden { trips: n } => {
             let t_main = k.new_vreg(VClass::Int);
-            ops.push(Op::IMov { dst: t_main, src: n });
+            ops.push(Op::IMov {
+                dst: t_main,
+                src: n,
+            });
             let t_rem = if step > 1 {
-                ops.push(Op::IBin { op: IOp::Div, dst: t_main, a: t_main, b: IOrImm::Imm(step) });
+                ops.push(Op::IBin {
+                    op: IOp::Div,
+                    dst: t_main,
+                    a: t_main,
+                    b: IOrImm::Imm(step),
+                });
                 let t_rem = k.new_vreg(VClass::Int);
                 ops.push(Op::IMov { dst: t_rem, src: n });
-                ops.push(Op::IBin { op: IOp::Rem, dst: t_rem, a: t_rem, b: IOrImm::Imm(step) });
+                ops.push(Op::IBin {
+                    op: IOp::Rem,
+                    dst: t_rem,
+                    a: t_rem,
+                    b: IOrImm::Imm(step),
+                });
                 Some(t_rem)
             } else {
                 None
             };
             let l_top = k.new_label();
             let l_done = k.new_label();
-            ops.push(Op::ICmp { a: t_main, b: IOrImm::Imm(0) });
-            ops.push(Op::CondBr { cond: Cond::Le, target: l_done });
+            ops.push(Op::ICmp {
+                a: t_main,
+                b: IOrImm::Imm(0),
+            });
+            ops.push(Op::CondBr {
+                cond: Cond::Le,
+                target: l_done,
+            });
             ops.push(Op::Label(l_top));
             ops.extend(body);
             for (p, e) in &total_bumps {
                 ops.push(Op::PtrBump { ptr: *p, elems: *e });
             }
-            ops.push(Op::IBin { op: IOp::Sub, dst: t_main, a: t_main, b: IOrImm::Imm(1) });
-            ops.push(Op::ICmp { a: t_main, b: IOrImm::Imm(0) });
-            ops.push(Op::CondBr { cond: Cond::Gt, target: l_top });
+            ops.push(Op::IBin {
+                op: IOp::Sub,
+                dst: t_main,
+                a: t_main,
+                b: IOrImm::Imm(1),
+            });
+            ops.push(Op::ICmp {
+                a: t_main,
+                b: IOrImm::Imm(0),
+            });
+            ops.push(Op::CondBr {
+                cond: Cond::Gt,
+                target: l_top,
+            });
             ops.push(Op::Label(l_done));
             ops.extend(epilogue);
 
             // Scalar remainder loop from the untransformed body.
             let mut rem_cold = Vec::new();
             if let Some(t_rem) = t_rem {
-                let (rbody, rcold) =
-                    instantiate_copy(&mut k, &orig, roles, 0, true)?;
+                let (rbody, rcold) = instantiate_copy(&mut k, &orig, roles, 0, true)?;
                 rem_cold = rcold;
                 let r_top = k.new_label();
                 let r_done = k.new_label();
-                ops.push(Op::ICmp { a: t_rem, b: IOrImm::Imm(0) });
-                ops.push(Op::CondBr { cond: Cond::Le, target: r_done });
+                ops.push(Op::ICmp {
+                    a: t_rem,
+                    b: IOrImm::Imm(0),
+                });
+                ops.push(Op::CondBr {
+                    cond: Cond::Le,
+                    target: r_done,
+                });
                 ops.push(Op::Label(r_top));
                 ops.extend(rbody);
                 for (p, e) in &orig.bumps {
                     ops.push(Op::PtrBump { ptr: *p, elems: *e });
                 }
-                ops.push(Op::IBin { op: IOp::Sub, dst: t_rem, a: t_rem, b: IOrImm::Imm(1) });
-                ops.push(Op::ICmp { a: t_rem, b: IOrImm::Imm(0) });
-                ops.push(Op::CondBr { cond: Cond::Gt, target: r_top });
+                ops.push(Op::IBin {
+                    op: IOp::Sub,
+                    dst: t_rem,
+                    a: t_rem,
+                    b: IOrImm::Imm(1),
+                });
+                ops.push(Op::ICmp {
+                    a: t_rem,
+                    b: IOrImm::Imm(0),
+                });
+                ops.push(Op::CondBr {
+                    cond: Cond::Gt,
+                    target: r_top,
+                });
                 ops.push(Op::Label(r_done));
             }
             ops.extend(k.post.clone());
@@ -492,25 +581,47 @@ fn linearize(
         }
         Counter::Visible { ivar, n, down } => {
             if !down {
-                return Err(XformError("visible upward counters are not supported".into()));
+                return Err(XformError(
+                    "visible upward counters are not supported".into(),
+                ));
             }
             ops.push(Op::IMov { dst: ivar, src: n });
             let l_top = k.new_label();
             let l_done = k.new_label();
             if unroll > 1 {
-                ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(step) });
-                ops.push(Op::CondBr { cond: Cond::Lt, target: l_done });
+                ops.push(Op::ICmp {
+                    a: ivar,
+                    b: IOrImm::Imm(step),
+                });
+                ops.push(Op::CondBr {
+                    cond: Cond::Lt,
+                    target: l_done,
+                });
             } else {
-                ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(0) });
-                ops.push(Op::CondBr { cond: Cond::Le, target: l_done });
+                ops.push(Op::ICmp {
+                    a: ivar,
+                    b: IOrImm::Imm(0),
+                });
+                ops.push(Op::CondBr {
+                    cond: Cond::Le,
+                    target: l_done,
+                });
             }
             ops.push(Op::Label(l_top));
             ops.extend(body);
             for (p, e) in &total_bumps {
                 ops.push(Op::PtrBump { ptr: *p, elems: *e });
             }
-            ops.push(Op::IBin { op: IOp::Sub, dst: ivar, a: ivar, b: IOrImm::Imm(step) });
-            ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(if unroll > 1 { step } else { 0 }) });
+            ops.push(Op::IBin {
+                op: IOp::Sub,
+                dst: ivar,
+                a: ivar,
+                b: IOrImm::Imm(step),
+            });
+            ops.push(Op::ICmp {
+                a: ivar,
+                b: IOrImm::Imm(if unroll > 1 { step } else { 0 }),
+            });
             ops.push(Op::CondBr {
                 cond: if unroll > 1 { Cond::Ge } else { Cond::Gt },
                 target: l_top,
@@ -525,16 +636,33 @@ fn linearize(
                 rem_cold = rcold;
                 let r_top = k.new_label();
                 let r_done = k.new_label();
-                ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(0) });
-                ops.push(Op::CondBr { cond: Cond::Le, target: r_done });
+                ops.push(Op::ICmp {
+                    a: ivar,
+                    b: IOrImm::Imm(0),
+                });
+                ops.push(Op::CondBr {
+                    cond: Cond::Le,
+                    target: r_done,
+                });
                 ops.push(Op::Label(r_top));
                 ops.extend(rbody);
                 for (p, e) in &orig.bumps {
                     ops.push(Op::PtrBump { ptr: *p, elems: *e });
                 }
-                ops.push(Op::IBin { op: IOp::Sub, dst: ivar, a: ivar, b: IOrImm::Imm(1) });
-                ops.push(Op::ICmp { a: ivar, b: IOrImm::Imm(0) });
-                ops.push(Op::CondBr { cond: Cond::Gt, target: r_top });
+                ops.push(Op::IBin {
+                    op: IOp::Sub,
+                    dst: ivar,
+                    a: ivar,
+                    b: IOrImm::Imm(1),
+                });
+                ops.push(Op::ICmp {
+                    a: ivar,
+                    b: IOrImm::Imm(0),
+                });
+                ops.push(Op::CondBr {
+                    cond: Cond::Gt,
+                    target: r_top,
+                });
                 ops.push(Op::Label(r_done));
             }
             ops.extend(k.post.clone());
@@ -570,11 +698,17 @@ fn finish(mut k: KernelIr, mut ops: Vec<Op>) -> Result<LinearKernel, XformError>
         match pslot {
             ParamSlot::Ptr(_) => int_slot += 1,
             ParamSlot::Int { vreg } => {
-                param_moves.push(Op::IParamMov { dst: *vreg, arrival: int_slot });
+                param_moves.push(Op::IParamMov {
+                    dst: *vreg,
+                    arrival: int_slot,
+                });
                 int_slot += 1;
             }
             ParamSlot::FScalar { vreg } => {
-                param_moves.push(Op::FParamMov { dst: *vreg, arrival: fp_slot });
+                param_moves.push(Op::FParamMov {
+                    dst: *vreg,
+                    arrival: fp_slot,
+                });
                 fp_slot -= 1;
             }
         }
@@ -633,10 +767,17 @@ ROUT_END
         let lin = apply_transforms(&k, &TransformParams::off(), &rep).unwrap();
         // One loop, no remainder (step == 1): exactly two CondBr for the
         // main loop plus none for a remainder.
-        let brs = lin.ops.iter().filter(|o| matches!(o, Op::CondBr { .. })).count();
+        let brs = lin
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::CondBr { .. }))
+            .count();
         assert_eq!(brs, 2);
         assert!(lin.ops.iter().any(|o| matches!(o, Op::PtrBump { .. })));
-        assert!(!lin.ops.iter().any(|o| matches!(o, Op::IBin { op: IOp::Div, .. })));
+        assert!(!lin
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::IBin { op: IOp::Div, .. })));
     }
 
     #[test]
@@ -645,10 +786,16 @@ ROUT_END
         let mut p = TransformParams::off();
         p.simd = true;
         let lin = apply_transforms(&k, &p, &rep).unwrap();
-        assert!(lin.ops.iter().any(|o| matches!(o, Op::FLd { w: Width::V, .. })));
+        assert!(lin
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::FLd { w: Width::V, .. })));
         assert!(lin.ops.iter().any(|o| matches!(o, Op::FHSum { .. })));
         // Remainder loop exists (step = 2 for doubles).
-        assert!(lin.ops.iter().any(|o| matches!(o, Op::IBin { op: IOp::Rem, .. })));
+        assert!(lin
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::IBin { op: IOp::Rem, .. })));
         // Vector bump: 2 elems * 8 bytes per iteration.
         assert!(lin
             .ops
@@ -673,8 +820,14 @@ ROUT_END
         // Main loop copies at offsets 0..3, plus the remainder load at 0.
         assert_eq!(offs, vec![0, 1, 2, 3, 0]);
         // Combined bump of 4 elems; remainder bump of 1.
-        assert!(lin.ops.iter().any(|o| matches!(o, Op::PtrBump { elems: 4, .. })));
-        assert!(lin.ops.iter().any(|o| matches!(o, Op::PtrBump { elems: 1, .. })));
+        assert!(lin
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::PtrBump { elems: 4, .. })));
+        assert!(lin
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::PtrBump { elems: 1, .. })));
     }
 
     #[test]
@@ -689,12 +842,17 @@ ROUT_END
             .ops
             .iter()
             .filter_map(|o| match o {
-                Op::FLd { mem, w: Width::V, .. } if mem.ptr == PtrId(0) => Some(mem.off_elems),
+                Op::FLd {
+                    mem, w: Width::V, ..
+                } if mem.ptr == PtrId(0) => Some(mem.off_elems),
                 _ => None,
             })
             .collect();
         assert_eq!(offs, vec![0, 2, 4, 6]);
-        assert!(lin.ops.iter().any(|o| matches!(o, Op::PtrBump { elems: 8, .. })));
+        assert!(lin
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::PtrBump { elems: 8, .. })));
     }
 
     #[test]
@@ -709,9 +867,13 @@ ROUT_END
             .ops
             .iter()
             .filter_map(|o| match o {
-                Op::FBin { op: FOp::Add, dst, a, b: RoM::Reg(_), w: Width::S } if dst == a => {
-                    Some(*dst)
-                }
+                Op::FBin {
+                    op: FOp::Add,
+                    dst,
+                    a,
+                    b: RoM::Reg(_),
+                    w: Width::S,
+                } if dst == a => Some(*dst),
                 _ => None,
             })
             .collect();
@@ -728,7 +890,11 @@ ROUT_END
         p.simd = false;
         p.unroll = 16; // 16 doubles = 2 lines per array per iter
         let lin = apply_transforms(&k, &p, &rep).unwrap();
-        let prefs = lin.ops.iter().filter(|o| matches!(o, Op::Prefetch { .. })).count();
+        let prefs = lin
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Prefetch { .. }))
+            .count();
         assert_eq!(prefs, 4, "2 arrays x 2 lines per unrolled iteration");
     }
 
@@ -753,7 +919,10 @@ ROUT_END
         let mut p = TransformParams::off();
         p.wnt = true;
         let lin = apply_transforms(&k, &p, &rep).unwrap();
-        assert!(lin.ops.iter().any(|o| matches!(o, Op::FSt { nt: true, .. })));
+        assert!(lin
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::FSt { nt: true, .. })));
     }
 
     const AMAX: &str = r#"
@@ -789,11 +958,18 @@ ROUT_END
         // 4 cold copies in main + 1 in remainder = 5 labels' worth of
         // cold Br-back ops, plus loop-structure branches.
         let labels = lin.ops.iter().filter(|o| matches!(o, Op::Label(_))).count();
-        assert!(labels >= 10, "expected many labels after unroll, got {labels}");
+        assert!(
+            labels >= 10,
+            "expected many labels after unroll, got {labels}"
+        );
         // Induction adjustments appear (IMov from ivar then Sub imm).
-        assert!(lin
-            .ops
-            .iter()
-            .any(|o| matches!(o, Op::IBin { op: IOp::Sub, b: IOrImm::Imm(2), .. })));
+        assert!(lin.ops.iter().any(|o| matches!(
+            o,
+            Op::IBin {
+                op: IOp::Sub,
+                b: IOrImm::Imm(2),
+                ..
+            }
+        )));
     }
 }

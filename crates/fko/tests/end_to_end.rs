@@ -139,8 +139,8 @@ fn run_kernel(
     ys: &[f64],
 ) -> RunOut {
     let (k, rep) = analyze_kernel(src, &mach).unwrap();
-    let compiled = compile_ir(&k, params, &rep)
-        .unwrap_or_else(|e| panic!("compile {} failed: {e}", k.name));
+    let compiled =
+        compile_ir(&k, params, &rep).unwrap_or_else(|e| panic!("compile {} failed: {e}", k.name));
 
     let mut mem = Memory::new(64 << 20);
     let xaddr = mem.alloc_vector(n.max(1) as u64, 8);
@@ -187,8 +187,12 @@ fn run_kernel(
 }
 
 fn test_data(n: usize) -> (Vec<f64>, Vec<f64>) {
-    let xs: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.25).collect();
-    let ys: Vec<f64> = (0..n).map(|i| ((i * 53 % 89) as f64 - 44.0) * 0.5).collect();
+    let xs: Vec<f64> = (0..n)
+        .map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.25)
+        .collect();
+    let ys: Vec<f64> = (0..n)
+        .map(|i| ((i * 53 % 89) as f64 - 44.0) * 0.5)
+        .collect();
     (xs, ys)
 }
 
@@ -214,8 +218,16 @@ fn param_matrix() -> Vec<TransformParams> {
         p.wnt = wnt;
         if pf {
             p.prefetch = vec![
-                PrefSpec { ptr: PtrId(0), kind: Some(PrefKind::Nta), dist: 512 },
-                PrefSpec { ptr: PtrId(1), kind: Some(PrefKind::T0), dist: 256 },
+                PrefSpec {
+                    ptr: PtrId(0),
+                    kind: Some(PrefKind::Nta),
+                    dist: 512,
+                },
+                PrefSpec {
+                    ptr: PtrId(1),
+                    kind: Some(PrefKind::T0),
+                    dist: 256,
+                },
             ];
         }
         out.push(p);
@@ -332,8 +344,8 @@ fn dscal_matrix_correct() {
         for p in param_matrix() {
             let p = adapt(&p, false, 1);
             let out = run_kernel(SCAL, &p, mach.clone(), n, -0.5, &xs, &xs.clone());
-            for i in 0..n {
-                assert_eq!(out.x[i], xs[i] * -0.5, "scal n={n} i={i} {p:?}");
+            for (i, (got, x)) in out.x.iter().zip(&xs).enumerate() {
+                assert_eq!(*got, x * -0.5, "scal n={n} i={i} {p:?}");
             }
         }
     }

@@ -58,7 +58,7 @@ fn scalar_dot_shape_is_pinned() {
             "cmp", "jle", // skip empty loop
             "fldd", "fmuld", "faddd", // fused body
             "add", "add", // pointer bumps
-            "dec", "jgt", // LC latch
+            "dec", "jgt",   // LC latch
             "fmovd", // ret to x0
             "halt"
         ],
@@ -76,8 +76,16 @@ fn vectorized_unrolled_dot_structure() {
     p.unroll = 2;
     p.accum_expand = 2;
     p.prefetch = vec![
-        PrefSpec { ptr: PtrId(0), kind: Some(PrefKind::Nta), dist: 256 },
-        PrefSpec { ptr: PtrId(1), kind: None, dist: 0 },
+        PrefSpec {
+            ptr: PtrId(0),
+            kind: Some(PrefKind::Nta),
+            dist: 256,
+        },
+        PrefSpec {
+            ptr: PtrId(1),
+            kind: None,
+            dist: 0,
+        },
     ];
     let c = compile_ir(&ir, &p, &rep).unwrap();
     let text = disassemble(&c.program);

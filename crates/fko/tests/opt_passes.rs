@@ -10,7 +10,12 @@ fn kernel(ops: Vec<Op>, nvregs: usize) -> LinearKernel {
     LinearKernel {
         name: "t".into(),
         prec: Prec::D,
-        ptrs: vec![PtrInfo { name: "X".into(), written: true, read: true, no_prefetch: false }],
+        ptrs: vec![PtrInfo {
+            name: "X".into(),
+            written: true,
+            read: true,
+            no_prefetch: false,
+        }],
         params: vec![ParamSlot::Ptr(PtrId(0))],
         vregs: vec![VClass::F; nvregs],
         ops,
@@ -20,7 +25,10 @@ fn kernel(ops: Vec<Op>, nvregs: usize) -> LinearKernel {
 }
 
 fn mem(off: i64) -> MemRef {
-    MemRef { ptr: PtrId(0), off_elems: off }
+    MemRef {
+        ptr: PtrId(0),
+        off_elems: off,
+    }
 }
 
 #[test]
@@ -29,10 +37,23 @@ fn copy_prop_resets_at_labels() {
     // so v1 is NOT replaced by v0 (v0 might differ on another path).
     let mut k = kernel(
         vec![
-            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
-            Op::FMov { dst: 1, src: 0, w: Width::S },
+            Op::FLd {
+                dst: 0,
+                mem: mem(0),
+                w: Width::S,
+            },
+            Op::FMov {
+                dst: 1,
+                src: 0,
+                w: Width::S,
+            },
             Op::Label(LabelId(0)),
-            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+            Op::FSt {
+                mem: mem(1),
+                src: 1,
+                w: Width::S,
+                nt: false,
+            },
             Op::Br(LabelId(0)),
         ],
         2,
@@ -49,9 +70,22 @@ fn copy_prop_resets_at_labels() {
 fn copy_prop_propagates_within_block() {
     let mut k = kernel(
         vec![
-            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
-            Op::FMov { dst: 1, src: 0, w: Width::S },
-            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+            Op::FLd {
+                dst: 0,
+                mem: mem(0),
+                w: Width::S,
+            },
+            Op::FMov {
+                dst: 1,
+                src: 0,
+                w: Width::S,
+            },
+            Op::FSt {
+                mem: mem(1),
+                src: 1,
+                w: Width::S,
+                nt: false,
+            },
         ],
         2,
     );
@@ -64,10 +98,27 @@ fn copy_prop_invalidated_by_redefinition() {
     // mov v1, v0; redefine v0; store v1 — must NOT substitute v0.
     let mut k = kernel(
         vec![
-            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
-            Op::FMov { dst: 1, src: 0, w: Width::S },
-            Op::FLd { dst: 0, mem: mem(2), w: Width::S },
-            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+            Op::FLd {
+                dst: 0,
+                mem: mem(0),
+                w: Width::S,
+            },
+            Op::FMov {
+                dst: 1,
+                src: 0,
+                w: Width::S,
+            },
+            Op::FLd {
+                dst: 0,
+                mem: mem(2),
+                w: Width::S,
+            },
+            Op::FSt {
+                mem: mem(1),
+                src: 1,
+                w: Width::S,
+                nt: false,
+            },
         ],
         2,
     );
@@ -79,9 +130,21 @@ fn copy_prop_invalidated_by_redefinition() {
 fn dce_keeps_stores_and_flag_setters() {
     let mut k = kernel(
         vec![
-            Op::FLd { dst: 0, mem: mem(0), w: Width::S }, // dead (v0 unused)
-            Op::ICmp { a: 1, b: IOrImm::Imm(0) },         // flags: must stay
-            Op::FSt { mem: mem(1), src: 2, w: Width::S, nt: false }, // side effect
+            Op::FLd {
+                dst: 0,
+                mem: mem(0),
+                w: Width::S,
+            }, // dead (v0 unused)
+            Op::ICmp {
+                a: 1,
+                b: IOrImm::Imm(0),
+            }, // flags: must stay
+            Op::FSt {
+                mem: mem(1),
+                src: 2,
+                w: Width::S,
+                nt: false,
+            }, // side effect
         ],
         3,
     );
@@ -97,10 +160,25 @@ fn dce_keeps_stores_and_flag_setters() {
 fn fusion_blocked_by_intervening_label() {
     let mut k = kernel(
         vec![
-            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
+            Op::FLd {
+                dst: 0,
+                mem: mem(0),
+                w: Width::S,
+            },
             Op::Label(LabelId(0)),
-            Op::FBin { op: FOp::Add, dst: 1, a: 1, b: RoM::Reg(0), w: Width::S },
-            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+            Op::FBin {
+                op: FOp::Add,
+                dst: 1,
+                a: 1,
+                b: RoM::Reg(0),
+                w: Width::S,
+            },
+            Op::FSt {
+                mem: mem(1),
+                src: 1,
+                w: Width::S,
+                nt: false,
+            },
         ],
         2,
     );
@@ -113,10 +191,28 @@ fn fusion_blocked_by_intervening_label() {
 fn fusion_blocked_by_pointer_bump() {
     let mut k = kernel(
         vec![
-            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
-            Op::PtrBump { ptr: PtrId(0), elems: 1 },
-            Op::FBin { op: FOp::Add, dst: 1, a: 1, b: RoM::Reg(0), w: Width::S },
-            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+            Op::FLd {
+                dst: 0,
+                mem: mem(0),
+                w: Width::S,
+            },
+            Op::PtrBump {
+                ptr: PtrId(0),
+                elems: 1,
+            },
+            Op::FBin {
+                op: FOp::Add,
+                dst: 1,
+                a: 1,
+                b: RoM::Reg(0),
+                w: Width::S,
+            },
+            Op::FSt {
+                mem: mem(1),
+                src: 1,
+                w: Width::S,
+                nt: false,
+            },
         ],
         2,
     );
@@ -129,9 +225,24 @@ fn fusion_blocked_by_pointer_bump() {
 fn fusion_applies_in_the_clean_case() {
     let mut k = kernel(
         vec![
-            Op::FLd { dst: 0, mem: mem(3), w: Width::S },
-            Op::FBin { op: FOp::Mul, dst: 1, a: 1, b: RoM::Reg(0), w: Width::S },
-            Op::FSt { mem: mem(9), src: 1, w: Width::S, nt: false },
+            Op::FLd {
+                dst: 0,
+                mem: mem(3),
+                w: Width::S,
+            },
+            Op::FBin {
+                op: FOp::Mul,
+                dst: 1,
+                a: 1,
+                b: RoM::Reg(0),
+                w: Width::S,
+            },
+            Op::FSt {
+                mem: mem(9),
+                src: 1,
+                w: Width::S,
+                nt: false,
+            },
         ],
         2,
     );
@@ -149,11 +260,21 @@ fn branch_cleanup_collapses_chains() {
     let mut k = kernel(
         vec![
             Op::Br(LabelId(0)),
-            Op::FSt { mem: mem(0), src: 0, w: Width::S, nt: false }, // dead path
+            Op::FSt {
+                mem: mem(0),
+                src: 0,
+                w: Width::S,
+                nt: false,
+            }, // dead path
             Op::Label(LabelId(0)),
             Op::Br(LabelId(1)),
             Op::Label(LabelId(1)),
-            Op::FSt { mem: mem(1), src: 0, w: Width::S, nt: false },
+            Op::FSt {
+                mem: mem(1),
+                src: 0,
+                w: Width::S,
+                nt: false,
+            },
         ],
         1,
     );
@@ -169,9 +290,22 @@ fn branch_cleanup_collapses_chains() {
 fn coalesce_merges_load_into_single_use_mov() {
     let mut k = kernel(
         vec![
-            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
-            Op::FMov { dst: 1, src: 0, w: Width::S },
-            Op::FSt { mem: mem(1), src: 1, w: Width::S, nt: false },
+            Op::FLd {
+                dst: 0,
+                mem: mem(0),
+                w: Width::S,
+            },
+            Op::FMov {
+                dst: 1,
+                src: 0,
+                w: Width::S,
+            },
+            Op::FSt {
+                mem: mem(1),
+                src: 1,
+                w: Width::S,
+                nt: false,
+            },
         ],
         2,
     );
@@ -184,9 +318,22 @@ fn coalesce_merges_load_into_single_use_mov() {
 fn coalesce_refuses_multi_use_source() {
     let mut k = kernel(
         vec![
-            Op::FLd { dst: 0, mem: mem(0), w: Width::S },
-            Op::FMov { dst: 1, src: 0, w: Width::S },
-            Op::FSt { mem: mem(1), src: 0, w: Width::S, nt: false }, // second use
+            Op::FLd {
+                dst: 0,
+                mem: mem(0),
+                w: Width::S,
+            },
+            Op::FMov {
+                dst: 1,
+                src: 0,
+                w: Width::S,
+            },
+            Op::FSt {
+                mem: mem(1),
+                src: 0,
+                w: Width::S,
+                nt: false,
+            }, // second use
         ],
         2,
     );
@@ -199,14 +346,36 @@ fn coalesce_refuses_multi_use_source() {
 fn loop_control_rewrites_only_the_pattern() {
     let mut k = kernel(
         vec![
-            Op::IBin { op: IOp::Sub, dst: 0, a: 0, b: IOrImm::Imm(1) },
-            Op::ICmp { a: 0, b: IOrImm::Imm(0) },
-            Op::CondBr { cond: Cond::Gt, target: LabelId(0) },
+            Op::IBin {
+                op: IOp::Sub,
+                dst: 0,
+                a: 0,
+                b: IOrImm::Imm(1),
+            },
+            Op::ICmp {
+                a: 0,
+                b: IOrImm::Imm(0),
+            },
+            Op::CondBr {
+                cond: Cond::Gt,
+                target: LabelId(0),
+            },
             Op::Label(LabelId(0)),
             // Not the pattern: subtract by 2.
-            Op::IBin { op: IOp::Sub, dst: 1, a: 1, b: IOrImm::Imm(2) },
-            Op::ICmp { a: 1, b: IOrImm::Imm(0) },
-            Op::CondBr { cond: Cond::Gt, target: LabelId(0) },
+            Op::IBin {
+                op: IOp::Sub,
+                dst: 1,
+                a: 1,
+                b: IOrImm::Imm(2),
+            },
+            Op::ICmp {
+                a: 1,
+                b: IOrImm::Imm(0),
+            },
+            Op::CondBr {
+                cond: Cond::Gt,
+                target: LabelId(0),
+            },
         ],
         2,
     );
@@ -214,6 +383,18 @@ fn loop_control_rewrites_only_the_pattern() {
     opt::loop_control(&mut k);
     assert!(matches!(k.ops[0], Op::IDecFlags(0)), "{:?}", k.ops);
     // The by-2 latch is untouched.
-    assert!(k.ops.iter().any(|o| matches!(o, Op::IBin { b: IOrImm::Imm(2), .. })));
-    assert_eq!(k.ops.iter().filter(|o| matches!(o, Op::IDecFlags(_))).count(), 1);
+    assert!(k.ops.iter().any(|o| matches!(
+        o,
+        Op::IBin {
+            b: IOrImm::Imm(2),
+            ..
+        }
+    )));
+    assert_eq!(
+        k.ops
+            .iter()
+            .filter(|o| matches!(o, Op::IDecFlags(_)))
+            .count(),
+        1
+    );
 }

@@ -17,18 +17,27 @@ fn arb_params(n_ptrs: usize, has_red: bool) -> impl Strategy<Value = TransformPa
         Just(Some(PrefKind::W)),
     ];
     (
-        any::<bool>(),                                   // simd
-        prop_oneof![Just(1u32), Just(2), Just(3), Just(4), Just(5), Just(8), Just(16), Just(32)],
+        any::<bool>(), // simd
+        prop_oneof![
+            Just(1u32),
+            Just(2),
+            Just(3),
+            Just(4),
+            Just(5),
+            Just(8),
+            Just(16),
+            Just(32)
+        ],
         if has_red {
             prop_oneof![Just(1u32), Just(2), Just(3), Just(4), Just(6)].boxed()
         } else {
             Just(1u32).boxed()
         },
-        any::<bool>(),                                   // wnt
+        any::<bool>(), // wnt
         prop::collection::vec((kind, 0i64..2048), n_ptrs..=n_ptrs),
-        any::<bool>(),                                   // loop_control
-        any::<bool>(),                                   // cisc
-        any::<bool>(),                                   // copy prop
+        any::<bool>(), // loop_control
+        any::<bool>(), // cisc
+        any::<bool>(), // copy prop
     )
         .prop_map(move |(simd, unroll, ae, wnt, pf, lc, cisc, cp)| {
             let mut p = TransformParams::off();
@@ -39,7 +48,11 @@ fn arb_params(n_ptrs: usize, has_red: bool) -> impl Strategy<Value = TransformPa
             p.prefetch = pf
                 .into_iter()
                 .enumerate()
-                .map(|(i, (kind, dist))| PrefSpec { ptr: PtrId(i as u32), kind, dist })
+                .map(|(i, (kind, dist))| PrefSpec {
+                    ptr: PtrId(i as u32),
+                    kind,
+                    dist,
+                })
                 .collect();
             p.loop_control = lc;
             p.cisc_memops = cisc;
@@ -66,7 +79,11 @@ fn exec(
     let ya = mem.alloc_vector(n.max(1) as u64, 8);
     mem.store_f64_slice(xa, xs).unwrap();
     mem.store_f64_slice(ya, ys).unwrap();
-    let frame = if compiled.frame_bytes > 0 { mem.alloc(compiled.frame_bytes, 16) } else { 0 };
+    let frame = if compiled.frame_bytes > 0 {
+        mem.alloc(compiled.frame_bytes, 16)
+    } else {
+        0
+    };
     let mut cpu = Cpu::new(mach.clone());
     cpu.flush_caches();
     let mut ptrs = [xa, ya].into_iter();
@@ -80,8 +97,16 @@ fn exec(
     cpu.set_ireg(IReg(7), frame as i64);
     cpu.run(&compiled.program, &mut mem).unwrap();
     (
-        if compiled.ret == RetSlot::F0 { cpu.freg_f64(FReg(0)) } else { 0.0 },
-        if compiled.ret == RetSlot::I0 { cpu.ireg(IReg(0)) } else { 0 },
+        if compiled.ret == RetSlot::F0 {
+            cpu.freg_f64(FReg(0))
+        } else {
+            0.0
+        },
+        if compiled.ret == RetSlot::I0 {
+            cpu.ireg(IReg(0))
+        } else {
+            0
+        },
         mem.load_f64_slice(xa, n).unwrap(),
         mem.load_f64_slice(ya, n).unwrap(),
     )
@@ -95,7 +120,10 @@ fn data(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
         s ^= s << 17;
         ((s % 2000) as f64 - 1000.0) / 512.0
     };
-    ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+    (
+        (0..n).map(|_| next()).collect(),
+        (0..n).map(|_| next()).collect(),
+    )
 }
 
 const DOT: &str = r#"

@@ -114,7 +114,10 @@ pub enum Expr {
     Var(String),
     /// Array element load `X[k]` (constant element offset from the moving
     /// pointer — the HIL idiom; pointers advance with `X += 1`).
-    Load { ptr: String, offset: i64 },
+    Load {
+        ptr: String,
+        offset: i64,
+    },
     Unary(UnOp, Box<Expr>),
     Bin(BinOp, Box<Expr>, Box<Expr>),
 }
@@ -130,13 +133,22 @@ pub enum LValue {
 #[derive(Clone, PartialEq, Debug)]
 pub enum Stmt {
     /// `lhs op rhs;`
-    Assign { lhs: LValue, op: AssignOp, rhs: Expr },
+    Assign {
+        lhs: LValue,
+        op: AssignOp,
+        rhs: Expr,
+    },
     /// `X += k;` — advance a pointer by `k` elements.
     PtrBump { ptr: String, elems: i64 },
     /// `LOOP var = start, end [, -1] ... LOOP_END`.
     Loop(Loop),
     /// `IF (a cmp b) GOTO label;`
-    IfGoto { lhs: Expr, cmp: CmpOp, rhs: Expr, label: String },
+    IfGoto {
+        lhs: Expr,
+        cmp: CmpOp,
+        rhs: Expr,
+        label: String,
+    },
     /// `GOTO label;`
     Goto(String),
     /// `label:`
@@ -225,10 +237,23 @@ mod tests {
         Routine {
             name: "t".into(),
             params: vec![
-                Param { name: "X".into(), ty: ParamType::Ptr { prec: Prec::D, intent: Intent::In } },
-                Param { name: "N".into(), ty: ParamType::Int },
+                Param {
+                    name: "X".into(),
+                    ty: ParamType::Ptr {
+                        prec: Prec::D,
+                        intent: Intent::In,
+                    },
+                },
+                Param {
+                    name: "N".into(),
+                    ty: ParamType::Int,
+                },
             ],
-            scalars: vec![ScalarDecl { name: "s".into(), prec: Some(Prec::D), out: true }],
+            scalars: vec![ScalarDecl {
+                name: "s".into(),
+                prec: Some(Prec::D),
+                out: true,
+            }],
             body: vec![Stmt::Loop(Loop {
                 var: "i".into(),
                 start: Expr::IConst(0),

@@ -211,14 +211,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let text = &src[start..i];
                 if text.contains('.') || text.contains('e') || text.contains('E') {
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| LexError { line, msg: format!("bad float `{text}`") })?;
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        line,
+                        msg: format!("bad float `{text}`"),
+                    })?;
                     push!(Tok::Float(v));
                 } else {
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| LexError { line, msg: format!("bad integer `{text}`") })?;
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        line,
+                        msg: format!("bad integer `{text}`"),
+                    })?;
                     push!(Tok::Int(v));
                 }
             }
@@ -230,11 +232,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 push!(Tok::Ident(src[start..i].to_string()));
             }
             _ => {
-                return Err(LexError { line, msg: format!("unexpected character `{}`", c as char) })
+                return Err(LexError {
+                    line,
+                    msg: format!("unexpected character `{}`", c as char),
+                })
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, line });
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -282,14 +290,25 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("# a comment\nx"), vec![Tok::Ident("x".into()), Tok::Eof]);
+        assert_eq!(
+            kinds("# a comment\nx"),
+            vec![Tok::Ident("x".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn comparisons() {
         assert_eq!(
             kinds("> >= < <= == !="),
-            vec![Tok::Gt, Tok::Ge, Tok::Lt, Tok::Le, Tok::EqEq, Tok::Ne, Tok::Eof]
+            vec![
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Le,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Eof
+            ]
         );
     }
 

@@ -20,7 +20,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, msg: e.msg }
+        ParseError {
+            line: e.line,
+            msg: e.msg,
+        }
     }
 }
 
@@ -65,7 +68,10 @@ impl Parser {
         t
     }
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError { line: self.line(), msg: msg.into() })
+        Err(ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        })
     }
     fn expect(&mut self, t: Tok, what: &str) -> PResult<()> {
         if *self.peek() == t {
@@ -184,7 +190,11 @@ impl Parser {
                     self.keyword("OUT")?;
                     out = true;
                 }
-                scalars.push(ScalarDecl { name: sname, prec, out });
+                scalars.push(ScalarDecl {
+                    name: sname,
+                    prec,
+                    out,
+                });
                 if *self.peek() == Tok::Comma {
                     self.bump();
                 } else {
@@ -198,7 +208,13 @@ impl Parser {
         self.keyword("ROUT_BEGIN")?;
         let body = self.stmts_until("ROUT_END")?;
         self.keyword("ROUT_END")?;
-        Ok(Routine { name, params, scalars, body, markup: std::mem::take(&mut self.markup) })
+        Ok(Routine {
+            name,
+            params,
+            scalars,
+            body,
+            markup: std::mem::take(&mut self.markup),
+        })
     }
 
     fn param_type(&mut self) -> PResult<ParamType> {
@@ -208,7 +224,11 @@ impl Parser {
             "FLOAT" => ParamType::Scalar(Prec::S),
             "DOUBLE" => ParamType::Scalar(Prec::D),
             "FLOAT_PTR" | "DOUBLE_PTR" => {
-                let prec = if tyname.starts_with("FLOAT") { Prec::S } else { Prec::D };
+                let prec = if tyname.starts_with("FLOAT") {
+                    Prec::S
+                } else {
+                    Prec::D
+                };
                 let mut intent = Intent::In;
                 if *self.peek() == Tok::Colon {
                     self.bump();
@@ -268,7 +288,10 @@ impl Parser {
             self.bump();
             let off = self.int_const()?;
             self.expect(Tok::RBracket, "`]`")?;
-            LValue::ArrayElem { ptr: name.clone(), offset: off }
+            LValue::ArrayElem {
+                ptr: name.clone(),
+                offset: off,
+            }
         } else {
             LValue::Scalar(name.clone())
         };
@@ -289,12 +312,18 @@ impl Parser {
         // Pointer bump: `X += k;` where X is a pointer parameter.
         if let (LValue::Scalar(n), AssignOp::Add, Expr::IConst(k)) = (&lhs, op, &rhs) {
             if self.pointers.contains(n) {
-                return Ok(Stmt::PtrBump { ptr: n.clone(), elems: *k });
+                return Ok(Stmt::PtrBump {
+                    ptr: n.clone(),
+                    elems: *k,
+                });
             }
         }
         if let (LValue::Scalar(n), AssignOp::Sub, Expr::IConst(k)) = (&lhs, op, &rhs) {
             if self.pointers.contains(n) {
-                return Ok(Stmt::PtrBump { ptr: n.clone(), elems: -*k });
+                return Ok(Stmt::PtrBump {
+                    ptr: n.clone(),
+                    elems: -*k,
+                });
             }
         }
         Ok(Stmt::Assign { lhs, op, rhs })
@@ -321,7 +350,14 @@ impl Parser {
         self.keyword("LOOP_BODY")?;
         let body = self.stmts_until("LOOP_END")?;
         self.keyword("LOOP_END")?;
-        Ok(Stmt::Loop(Loop { var, start, end, down, body, tuned }))
+        Ok(Stmt::Loop(Loop {
+            var,
+            start,
+            end,
+            down,
+            body,
+            tuned,
+        }))
     }
 
     fn if_goto(&mut self) -> PResult<Stmt> {
@@ -347,7 +383,12 @@ impl Parser {
         self.keyword("GOTO")?;
         let label = self.ident("label")?;
         self.expect(Tok::Semi, "`;`")?;
-        Ok(Stmt::IfGoto { lhs, cmp, rhs, label })
+        Ok(Stmt::IfGoto {
+            lhs,
+            cmp,
+            rhs,
+            label,
+        })
     }
 
     fn int_const(&mut self) -> PResult<i64> {
@@ -430,7 +471,10 @@ impl Parser {
                     self.bump();
                     let off = self.int_const()?;
                     self.expect(Tok::RBracket, "`]`")?;
-                    Ok(Expr::Load { ptr: name, offset: off })
+                    Ok(Expr::Load {
+                        ptr: name,
+                        offset: off,
+                    })
                 } else {
                     Ok(Expr::Var(name))
                 }
@@ -503,9 +547,15 @@ ROUT_END
         let l = r.tuned_loop().unwrap();
         assert!(l.down);
         assert!(l.body.iter().any(|s| matches!(s, Stmt::IfGoto { .. })));
-        assert!(l.body.iter().any(|s| matches!(s, Stmt::Label(n) if n == "ENDOFLOOP")));
+        assert!(l
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::Label(n) if n == "ENDOFLOOP")));
         // Trailing statements after RETURN (the out-of-line NEWMAX block).
-        assert!(r.body.iter().any(|s| matches!(s, Stmt::Label(n) if n == "NEWMAX")));
+        assert!(r
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::Label(n) if n == "NEWMAX")));
     }
 
     #[test]
@@ -577,7 +627,10 @@ ROUT_END
 "#;
         let r = parse_routine(src).unwrap();
         match &r.body[0] {
-            Stmt::Assign { rhs: Expr::Bin(crate::ast::BinaryOp::Add, _, rhs), .. } => {
+            Stmt::Assign {
+                rhs: Expr::Bin(crate::ast::BinaryOp::Add, _, rhs),
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Bin(crate::ast::BinaryOp::Mul, _, _)));
             }
             other => panic!("unexpected: {other:?}"),

@@ -120,7 +120,12 @@ fn print_stmts(s: &mut String, stmts: &[Stmt], level: usize) {
                 indent(s, level);
                 let _ = writeln!(s, "LOOP_END");
             }
-            Stmt::IfGoto { lhs, cmp, rhs, label } => {
+            Stmt::IfGoto {
+                lhs,
+                cmp,
+                rhs,
+                label,
+            } => {
                 indent(s, level);
                 let c = match cmp {
                     CmpOp::Gt => ">",
@@ -130,8 +135,14 @@ fn print_stmts(s: &mut String, stmts: &[Stmt], level: usize) {
                     CmpOp::Eq => "==",
                     CmpOp::Ne => "!=",
                 };
-                let _ =
-                    writeln!(s, "IF ({} {} {}) GOTO {};", print_expr(lhs), c, print_expr(rhs), label);
+                let _ = writeln!(
+                    s,
+                    "IF ({} {} {}) GOTO {};",
+                    print_expr(lhs),
+                    c,
+                    print_expr(rhs),
+                    label
+                );
             }
             Stmt::Goto(l) => {
                 indent(s, level);

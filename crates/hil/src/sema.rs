@@ -64,7 +64,11 @@ pub fn analyze(r: &Routine) -> Result<SemaInfo, SemaError> {
                 SymKind::Ptr { prec, intent }
             }
         };
-        if info.symbols.insert(p.name.clone(), SymKindOwned(kind)).is_some() {
+        if info
+            .symbols
+            .insert(p.name.clone(), SymKindOwned(kind))
+            .is_some()
+        {
             return err(format!("duplicate symbol `{}`", p.name));
         }
     }
@@ -76,7 +80,11 @@ pub fn analyze(r: &Routine) -> Result<SemaInfo, SemaError> {
                 SymKind::FScalar(prec)
             }
         };
-        if info.symbols.insert(s.name.clone(), SymKindOwned(kind)).is_some() {
+        if info
+            .symbols
+            .insert(s.name.clone(), SymKindOwned(kind))
+            .is_some()
+        {
             return err(format!("duplicate symbol `{}`", s.name));
         }
         if s.out {
@@ -94,7 +102,12 @@ pub fn analyze(r: &Routine) -> Result<SemaInfo, SemaError> {
     // Collect labels (at any nesting level) and check uses; visit statements.
     let mut labels = HashSet::new();
     collect_labels(&r.body, &mut labels);
-    let mut ctx = Ctx { info: &mut info, labels: &labels, routine: r, loop_vars: Vec::new() };
+    let mut ctx = Ctx {
+        info: &mut info,
+        labels: &labels,
+        routine: r,
+        loop_vars: Vec::new(),
+    };
     ctx.stmts(&r.body)?;
     info.has_tuned_loop = r.tuned_loop().is_some();
 
@@ -150,9 +163,7 @@ impl Ctx<'_> {
                 match (lty, rty) {
                     (Ty::Int, Ty::Int) => Ok(()),
                     (Ty::F(_), Ty::F(_)) | (Ty::F(_), Ty::Int) => Ok(()),
-                    (Ty::Int, Ty::F(_)) => {
-                        err("cannot assign floating value to integer location")
-                    }
+                    (Ty::Int, Ty::F(_)) => err("cannot assign floating value to integer location"),
                 }
             }
             Stmt::PtrBump { ptr, elems: _ } => match self.kind(ptr) {
@@ -176,11 +187,18 @@ impl Ctx<'_> {
                 self.loop_vars.push(l.var.clone());
                 self.stmts(&l.body)
             }
-            Stmt::IfGoto { lhs, cmp: _, rhs, label } => {
+            Stmt::IfGoto {
+                lhs,
+                cmp: _,
+                rhs,
+                label,
+            } => {
                 let a = self.expr(lhs)?;
                 let b = self.expr(rhs)?;
                 match (a, b) {
-                    (Ty::Int, Ty::Int) | (Ty::F(_), Ty::F(_)) | (Ty::F(_), Ty::Int)
+                    (Ty::Int, Ty::Int)
+                    | (Ty::F(_), Ty::F(_))
+                    | (Ty::F(_), Ty::Int)
                     | (Ty::Int, Ty::F(_)) => {}
                 }
                 if !self.labels.contains(label) {
@@ -209,9 +227,9 @@ impl Ctx<'_> {
                 Some(SymKind::IntScalar) => Ok(Ty::Int),
                 Some(SymKind::LoopVar) => err(format!("cannot assign to loop variable `{name}`")),
                 Some(SymKind::IntParam) => err(format!("cannot assign to INT parameter `{name}`")),
-                Some(SymKind::Ptr { .. }) => {
-                    err(format!("cannot assign to pointer `{name}` (use `{name} += k`)"))
-                }
+                Some(SymKind::Ptr { .. }) => err(format!(
+                    "cannot assign to pointer `{name}` (use `{name} += k`)"
+                )),
                 None => err(format!("unknown symbol `{name}`")),
             },
             LValue::ArrayElem { ptr, offset: _ } => match self.kind(ptr) {
@@ -230,9 +248,7 @@ impl Ctx<'_> {
 
     fn expr(&mut self, e: &Expr) -> Result<Ty, SemaError> {
         match e {
-            Expr::FConst(_) => {
-                Ok(Ty::F(self.info.prec.unwrap_or(Prec::D)))
-            }
+            Expr::FConst(_) => Ok(Ty::F(self.info.prec.unwrap_or(Prec::D))),
             Expr::IConst(_) => Ok(Ty::Int),
             Expr::Var(name) => match self.kind(name) {
                 Some(SymKind::FScalar(p)) | Some(SymKind::FScalarParam(p)) => Ok(Ty::F(p)),

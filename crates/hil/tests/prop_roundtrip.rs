@@ -17,8 +17,10 @@ fn fexpr(vars: Vec<String>, ptrs: Vec<String>) -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         (0i64..100).prop_map(|v| Expr::FConst(v as f64 * 0.5)),
         prop::sample::select(vars).prop_map(Expr::Var),
-        (prop::sample::select(ptrs), 0i64..4)
-            .prop_map(|(p, off)| Expr::Load { ptr: p, offset: off }),
+        (prop::sample::select(ptrs), 0i64..4).prop_map(|(p, off)| Expr::Load {
+            ptr: p,
+            offset: off
+        }),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
@@ -64,32 +66,58 @@ fn routine() -> impl Strategy<Value = Routine> {
         n_stmts.prop_map(move |stmts| {
             let mut body: Vec<Stmt> = stmts
                 .into_iter()
-                .map(|(lhs, rhs, op)| Stmt::Assign { lhs: LValue::Scalar(lhs), op, rhs })
+                .map(|(lhs, rhs, op)| Stmt::Assign {
+                    lhs: LValue::Scalar(lhs),
+                    op,
+                    rhs,
+                })
                 .collect();
             // Store something through the OUT pointer, then bump both.
             body.push(Stmt::Assign {
-                lhs: LValue::ArrayElem { ptr: "py".into(), offset: 0 },
+                lhs: LValue::ArrayElem {
+                    ptr: "py".into(),
+                    offset: 0,
+                },
                 op: AssignOp::Set,
                 rhs: Expr::Var(scal_names2[0].clone()),
             });
-            body.push(Stmt::PtrBump { ptr: "px".into(), elems: 1 });
-            body.push(Stmt::PtrBump { ptr: "py".into(), elems: 1 });
+            body.push(Stmt::PtrBump {
+                ptr: "px".into(),
+                elems: 1,
+            });
+            body.push(Stmt::PtrBump {
+                ptr: "py".into(),
+                elems: 1,
+            });
             Routine {
                 name: "gen".into(),
                 params: vec![
                     Param {
                         name: "px".into(),
-                        ty: ParamType::Ptr { prec: Prec::D, intent: Intent::In },
+                        ty: ParamType::Ptr {
+                            prec: Prec::D,
+                            intent: Intent::In,
+                        },
                     },
                     Param {
                         name: "py".into(),
-                        ty: ParamType::Ptr { prec: Prec::D, intent: Intent::Out },
+                        ty: ParamType::Ptr {
+                            prec: Prec::D,
+                            intent: Intent::Out,
+                        },
                     },
-                    Param { name: "nn".into(), ty: ParamType::Int },
+                    Param {
+                        name: "nn".into(),
+                        ty: ParamType::Int,
+                    },
                 ],
                 scalars: scal_names2
                     .iter()
-                    .map(|s| ScalarDecl { name: s.clone(), prec: Some(Prec::D), out: false })
+                    .map(|s| ScalarDecl {
+                        name: s.clone(),
+                        prec: Some(Prec::D),
+                        out: false,
+                    })
                     .collect(),
                 body: vec![Stmt::Loop(Loop {
                     var: "i".into(),

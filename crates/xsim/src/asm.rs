@@ -72,7 +72,10 @@ impl Asm {
                 _ => {}
             }
         }
-        Program { insts: self.insts, labels }
+        Program {
+            insts: self.insts,
+            labels,
+        }
     }
 }
 
@@ -133,10 +136,18 @@ fn render(i: &Inst) -> String {
         FMax(d, s, p) => format!("fmax{} {d}, {s}", p.blas_char()),
         FCmp(a, b, p) => format!("fcmp{} {a}, {b}", p.blas_char()),
         VLd(d, a, p, al) => {
-            format!("vld{}{} {d}, {a}", p.blas_char(), if *al { "a" } else { "u" })
+            format!(
+                "vld{}{} {d}, {a}",
+                p.blas_char(),
+                if *al { "a" } else { "u" }
+            )
         }
         VSt(a, s, p, al) => {
-            format!("vst{}{} {a}, {s}", p.blas_char(), if *al { "a" } else { "u" })
+            format!(
+                "vst{}{} {a}, {s}",
+                p.blas_char(),
+                if *al { "a" } else { "u" }
+            )
         }
         VStNt(a, s, p) => format!("vstnt{} {a}, {s}", p.blas_char()),
         VMov(d, s) => format!("vmov  {d}, {s}"),

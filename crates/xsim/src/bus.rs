@@ -51,7 +51,13 @@ pub struct Bus {
 impl Bus {
     pub fn new(cfg: BusCfg) -> Self {
         assert!(cfg.bytes_per_cycle > 0.0);
-        Bus { cfg, free_at: 0, backlog: 0, bytes_read: 0, bytes_written: 0 }
+        Bus {
+            cfg,
+            free_at: 0,
+            backlog: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
     }
 
     pub fn cfg(&self) -> &BusCfg {
@@ -164,7 +170,11 @@ mod tests {
     use super::*;
 
     fn bus(bpc: f64, ta: u64, wq: u64) -> Bus {
-        Bus::new(BusCfg { bytes_per_cycle: bpc, turnaround: ta, write_queue: wq })
+        Bus::new(BusCfg {
+            bytes_per_cycle: bpc,
+            turnaround: ta,
+            write_queue: wq,
+        })
     }
 
     #[test]

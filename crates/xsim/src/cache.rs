@@ -41,7 +41,9 @@ struct Line {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Probe {
     /// Line present; data available at `max(now, fill_done)`.
-    Hit { fill_done: u64 },
+    Hit {
+        fill_done: u64,
+    },
     Miss,
 }
 
@@ -65,9 +67,18 @@ pub struct Cache {
 impl Cache {
     pub fn new(cfg: CacheCfg) -> Self {
         let sets = cfg.sets();
-        assert!(sets.is_power_of_two(), "set count must be a power of two: {:?}", cfg);
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two: {:?}",
+            cfg
+        );
         assert!(cfg.line.is_power_of_two());
-        Cache { cfg, sets, lines: vec![Line::default(); (sets * cfg.assoc) as usize], tick: 0 }
+        Cache {
+            cfg,
+            sets,
+            lines: vec![Line::default(); (sets * cfg.assoc) as usize],
+            tick: 0,
+        }
     }
 
     pub fn cfg(&self) -> &CacheCfg {
@@ -97,7 +108,9 @@ impl Cache {
         for l in self.set_slice(set) {
             if l.valid && l.tag == tag {
                 l.lru = tick;
-                return Probe::Hit { fill_done: l.fill_done };
+                return Probe::Hit {
+                    fill_done: l.fill_done,
+                };
             }
         }
         Probe::Miss
@@ -107,7 +120,9 @@ impl Cache {
     pub fn peek(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
         let a = (set * self.cfg.assoc) as usize;
-        self.lines[a..a + self.cfg.assoc as usize].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[a..a + self.cfg.assoc as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Insert the line containing `addr`, with its fill completing at
@@ -134,11 +149,20 @@ impl Cache {
             .expect("assoc >= 1");
         let evicted = if victim.valid {
             let old_lineno = (victim.tag << set_bits) | set;
-            Some(Evicted { addr: old_lineno * line_bytes, dirty: victim.dirty })
+            Some(Evicted {
+                addr: old_lineno * line_bytes,
+                dirty: victim.dirty,
+            })
         } else {
             None
         };
-        *victim = Line { tag, valid: true, dirty, lru: tick, fill_done };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty,
+            lru: tick,
+            fill_done,
+        };
         evicted
     }
 
@@ -169,7 +193,10 @@ impl Cache {
                 l.valid = false;
                 l.dirty = false;
                 let _ = line_bytes;
-                return Some(Evicted { addr: addr / line_bytes * line_bytes, dirty });
+                return Some(Evicted {
+                    addr: addr / line_bytes * line_bytes,
+                    dirty,
+                });
             }
         }
         None
@@ -195,7 +222,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B = 512B
-        Cache::new(CacheCfg { size: 512, line: 64, assoc: 2, latency: 3 })
+        Cache::new(CacheCfg {
+            size: 512,
+            line: 64,
+            assoc: 2,
+            latency: 3,
+        })
     }
 
     #[test]
@@ -271,7 +303,12 @@ mod tests {
 
     #[test]
     fn sets_computed() {
-        let cfg = CacheCfg { size: 16 * 1024, line: 64, assoc: 8, latency: 4 };
+        let cfg = CacheCfg {
+            size: 16 * 1024,
+            line: 64,
+            assoc: 8,
+            latency: 4,
+        };
         assert_eq!(cfg.sets(), 32);
     }
 }

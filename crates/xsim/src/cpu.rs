@@ -490,7 +490,11 @@ impl Cpu {
             PrefKind::W => (true, true, true),
         };
         // Useless if the target level nearest the CPU already has the line.
-        let already = if to_l1 { self.l1.peek(addr) } else { self.l2.peek(addr) };
+        let already = if to_l1 {
+            self.l1.peek(addr)
+        } else {
+            self.l2.peek(addr)
+        };
         if already {
             self.stats.prefetch_useless += 1;
             return;
@@ -704,10 +708,6 @@ impl Cpu {
 
     // ----------------------------------------------------------------- run
 
-    /// Execute `prog` to `Halt`. Register and memory state persist; timing
-    /// state (cycle counter, scoreboard, stats) is reset at entry, cache
-    // ----------------------------------------------------------------- run
-
     /// Enforce the finite out-of-order window: the in-order issue front
     /// end may run at most `window_cycles` ahead of the oldest incomplete
     /// result. Short (cache-hit) latencies are fully hidden; DRAM misses
@@ -748,7 +748,9 @@ impl Cpu {
 
         loop {
             if self.stats.insts >= self.inst_limit {
-                return Err(RunError::InstLimit { limit: self.inst_limit });
+                return Err(RunError::InstLimit {
+                    limit: self.inst_limit,
+                });
             }
             let Some(inst) = prog.insts.get(pc) else {
                 return Err(RunError::RanOffEnd);
@@ -972,8 +974,11 @@ impl Cpu {
                     self.fregs[d.0 as usize] = [0; 16];
                     frd!(d) = fin!(t + fmov);
                 }
-                Inst::FAdd(d, s, p) | Inst::FSub(d, s, p) | Inst::FMul(d, s, p)
-                | Inst::FDiv(d, s, p) | Inst::FMax(d, s, p) => {
+                Inst::FAdd(d, s, p)
+                | Inst::FSub(d, s, p)
+                | Inst::FMul(d, s, p)
+                | Inst::FDiv(d, s, p)
+                | Inst::FMax(d, s, p) => {
                     let t = self.issue_at(0);
                     let load_at = t.max(self.rhs_issue_ready(s));
                     let (rhs, rhs_ready) = self.scalar_rhs(s, *p, mem, load_at)?;
@@ -1062,7 +1067,9 @@ impl Cpu {
                     self.write_lanes(*d, *p, [v, v, v, v]);
                     frd!(d) = fin!(r);
                 }
-                Inst::VAdd(d, s, p) | Inst::VSub(d, s, p) | Inst::VMul(d, s, p)
+                Inst::VAdd(d, s, p)
+                | Inst::VSub(d, s, p)
+                | Inst::VMul(d, s, p)
                 | Inst::VMax(d, s, p) => {
                     let t = self.issue_at(0);
                     let load_at = t.max(self.rhs_issue_ready(s));
@@ -1164,7 +1171,11 @@ impl Cpu {
                     let v = self.read_lanes(*s, *p);
                     let n = p.veclen() as usize;
                     let sum: f64 = v[..n].iter().sum();
-                    let sum = if *p == Prec::S { (sum as f32) as f64 } else { sum };
+                    let sum = if *p == Prec::S {
+                        (sum as f32) as f64
+                    } else {
+                        sum
+                    };
                     self.fregs[d.0 as usize] = [0; 16];
                     self.set_scalar(*d, *p, sum);
                     frd!(d) = fin!(t.max(frd!(s)) + self.cfg.hsum_lat);
@@ -1210,4 +1221,3 @@ fn fthreeway(a: f64, b: f64) -> i32 {
         0
     }
 }
-

@@ -94,16 +94,28 @@ pub struct Addr {
 impl Addr {
     /// `[base]`
     pub fn base(base: IReg) -> Self {
-        Addr { base, index: None, disp: 0 }
+        Addr {
+            base,
+            index: None,
+            disp: 0,
+        }
     }
     /// `[base + disp]`
     pub fn base_disp(base: IReg, disp: i64) -> Self {
-        Addr { base, index: None, disp }
+        Addr {
+            base,
+            index: None,
+            disp,
+        }
     }
     /// `[base + index*scale + disp]`
     pub fn base_index(base: IReg, index: IReg, scale: u8, disp: i64) -> Self {
         debug_assert!(matches!(scale, 1 | 2 | 4 | 8));
-        Addr { base, index: Some((index, scale)), disp }
+        Addr {
+            base,
+            index: Some((index, scale)),
+            disp,
+        }
     }
 }
 
@@ -319,22 +331,28 @@ impl Inst {
     /// hints, not accesses).
     pub fn is_mem_access(&self) -> bool {
         use Inst::*;
-        match self {
-            ILoad(..) | IStore(..) | FLd(..) | FSt(..) | FStNt(..) | VLd(..) | VSt(..)
-            | VStNt(..) => true,
-            FAdd(_, RegOrMem::Mem(_), _)
-            | FSub(_, RegOrMem::Mem(_), _)
-            | FMul(_, RegOrMem::Mem(_), _)
-            | FDiv(_, RegOrMem::Mem(_), _)
-            | FMax(_, RegOrMem::Mem(_), _)
-            | FCmp(_, RegOrMem::Mem(_), _)
-            | VAdd(_, RegOrMem::Mem(_), _)
-            | VSub(_, RegOrMem::Mem(_), _)
-            | VMul(_, RegOrMem::Mem(_), _)
-            | VMax(_, RegOrMem::Mem(_), _)
-            | VCmpGt(_, RegOrMem::Mem(_), _) => true,
-            _ => false,
-        }
+        matches!(
+            self,
+            ILoad(..)
+                | IStore(..)
+                | FLd(..)
+                | FSt(..)
+                | FStNt(..)
+                | VLd(..)
+                | VSt(..)
+                | VStNt(..)
+                | FAdd(_, RegOrMem::Mem(_), _)
+                | FSub(_, RegOrMem::Mem(_), _)
+                | FMul(_, RegOrMem::Mem(_), _)
+                | FDiv(_, RegOrMem::Mem(_), _)
+                | FMax(_, RegOrMem::Mem(_), _)
+                | FCmp(_, RegOrMem::Mem(_), _)
+                | VAdd(_, RegOrMem::Mem(_), _)
+                | VSub(_, RegOrMem::Mem(_), _)
+                | VMul(_, RegOrMem::Mem(_), _)
+                | VMax(_, RegOrMem::Mem(_), _)
+                | VCmpGt(_, RegOrMem::Mem(_), _)
+        )
     }
 
     /// True for stores (normal or non-temporal).

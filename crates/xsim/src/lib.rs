@@ -43,6 +43,7 @@ pub mod cpu;
 pub mod isa;
 pub mod machine;
 pub mod mem;
+pub mod rng;
 pub mod stats;
 
 pub use asm::Asm;
@@ -50,4 +51,5 @@ pub use cpu::{Cpu, RunError};
 pub use isa::{Addr, Cond, FReg, IReg, Inst, Prec, PrefKind, Program, RegOrMem};
 pub use machine::{opteron, p4e, MachineConfig};
 pub use mem::Memory;
+pub use rng::Rng64;
 pub use stats::RunStats;

@@ -133,12 +133,26 @@ pub fn p4e() -> MachineConfig {
         bcast_lat: 2,
         unaligned_penalty: 6,
         branch_misp: 25,
-        l1: CacheCfg { size: 16 * 1024, line: 64, assoc: 8, latency: 4 },
-        l2: CacheCfg { size: 1024 * 1024, line: 64, assoc: 8, latency: 22 },
+        l1: CacheCfg {
+            size: 16 * 1024,
+            line: 64,
+            assoc: 8,
+            latency: 4,
+        },
+        l2: CacheCfg {
+            size: 1024 * 1024,
+            line: 64,
+            assoc: 8,
+            latency: 22,
+        },
         mem_lat: 200,
         wc_buffers: 4,
         // 6.4 GB/s FSB at 2.8 GHz ~= 2.3 bytes per core cycle.
-        bus: BusCfg { bytes_per_cycle: 2.3, turnaround: 12, write_queue: 256 },
+        bus: BusCfg {
+            bytes_per_cycle: 2.3,
+            turnaround: 12,
+            write_queue: 256,
+        },
         nt_cached_penalty: 0,
         prefetch_kinds: &[PrefKind::Nta, PrefKind::T0, PrefKind::T1, PrefKind::T2],
         drop_prefetch_when_busy: true,
@@ -167,16 +181,36 @@ pub fn opteron() -> MachineConfig {
         bcast_lat: 2,
         unaligned_penalty: 1,
         branch_misp: 11,
-        l1: CacheCfg { size: 64 * 1024, line: 64, assoc: 2, latency: 3 },
-        l2: CacheCfg { size: 1024 * 1024, line: 64, assoc: 16, latency: 12 },
+        l1: CacheCfg {
+            size: 64 * 1024,
+            line: 64,
+            assoc: 2,
+            latency: 3,
+        },
+        l2: CacheCfg {
+            size: 1024 * 1024,
+            line: 64,
+            assoc: 16,
+            latency: 12,
+        },
         mem_lat: 110,
         wc_buffers: 4,
         // Integrated controller, DDR333 dual channel ~5.3 GB/s at 1.6 GHz
         // ~= 3.3 bytes per core cycle: slower chip, faster memory access —
         // less bus-bound, as the paper notes.
-        bus: BusCfg { bytes_per_cycle: 3.3, turnaround: 6, write_queue: 512 },
+        bus: BusCfg {
+            bytes_per_cycle: 3.3,
+            turnaround: 6,
+            write_queue: 512,
+        },
         nt_cached_penalty: 220,
-        prefetch_kinds: &[PrefKind::Nta, PrefKind::T0, PrefKind::T1, PrefKind::T2, PrefKind::W],
+        prefetch_kinds: &[
+            PrefKind::Nta,
+            PrefKind::T0,
+            PrefKind::T1,
+            PrefKind::T2,
+            PrefKind::W,
+        ],
         drop_prefetch_when_busy: true,
         pf_queue_slack: 100,
         hw_prefetch_depth: 2,

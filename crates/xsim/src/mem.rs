@@ -34,7 +34,11 @@ impl std::error::Error for MemFault {}
 impl Memory {
     /// Create a memory with `capacity` allocatable bytes.
     pub fn new(capacity: usize) -> Self {
-        Memory { base: DEFAULT_BASE, bytes: vec![0; capacity], next: DEFAULT_BASE }
+        Memory {
+            base: DEFAULT_BASE,
+            bytes: vec![0; capacity],
+            next: DEFAULT_BASE,
+        }
     }
 
     /// Total capacity in bytes.

@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn mflops_formula() {
-        let s = RunStats { cycles: 2800, ..Default::default() };
+        let s = RunStats {
+            cycles: 2800,
+            ..Default::default()
+        };
         // 2800 cycles at 2800 MHz = 1 microsecond; 1000 flops in 1us = 1000 MFLOPS.
         assert!((s.mflops(1000, 2800) - 1000.0).abs() < 1e-9);
     }
@@ -81,7 +84,11 @@ mod tests {
 
     #[test]
     fn miss_ratio() {
-        let s = RunStats { l1_hits: 75, l1_misses: 25, ..Default::default() };
+        let s = RunStats {
+            l1_hits: 75,
+            l1_misses: 25,
+            ..Default::default()
+        };
         assert!((s.l1_miss_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(RunStats::default().l1_miss_ratio(), 0.0);
     }

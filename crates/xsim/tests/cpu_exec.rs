@@ -2,7 +2,9 @@
 //! functional results and timing behaviour are both checked.
 
 use ifko_xsim::isa::Inst::*;
-use ifko_xsim::{p4e, opteron, Addr, Asm, Cond, Cpu, FReg, IReg, Inst, Memory, Prec, PrefKind, RegOrMem};
+use ifko_xsim::{
+    opteron, p4e, Addr, Asm, Cond, Cpu, FReg, IReg, Inst, Memory, Prec, PrefKind, RegOrMem,
+};
 
 const X: IReg = IReg(0);
 const Y: IReg = IReg(1);
@@ -53,7 +55,10 @@ fn run_ddot(cpu: &mut Cpu, n: usize, unroll: usize) -> (f64, ifko_xsim::RunStats
     cpu.set_ireg(N, n as i64);
     let stats = cpu.run(&ddot_prog(unroll), &mut m).unwrap();
     let got = cpu.freg_f64(FReg(7));
-    assert!((got - expected).abs() < 1e-9, "dot result {got} != {expected}");
+    assert!(
+        (got - expected).abs() < 1e-9,
+        "dot result {got} != {expected}"
+    );
     (got, stats)
 }
 
@@ -64,7 +69,10 @@ fn ddot_functional_and_counts() {
     let (_, s) = run_ddot(&mut cpu, 1024, 1);
     assert_eq!(s.loads, 2048);
     assert!(s.cycles > 0);
-    assert!(s.l1_misses >= 2 * 1024 / 8, "cold caches must miss per line");
+    assert!(
+        s.l1_misses >= 2 * 1024 / 8,
+        "cold caches must miss per line"
+    );
 }
 
 #[test]
@@ -102,7 +110,10 @@ fn warm_cache_is_faster_than_cold() {
         sc.cycles
     );
     assert_eq!(sw.l2_misses, 0, "preloaded run must not miss L2");
-    assert!(sw.bus_read_bytes < sc.bus_read_bytes / 4, "warm run uses far less bus");
+    assert!(
+        sw.bus_read_bytes < sc.bus_read_bytes / 4,
+        "warm run uses far less bus"
+    );
 }
 
 /// Prefetched ddot: adds prefetchnta of X and Y `dist` bytes ahead, one per
@@ -144,7 +155,9 @@ fn prefetch_helps_out_of_cache() {
     pf.set_ireg(X, x as i64);
     pf.set_ireg(Y, y as i64);
     pf.set_ireg(N, n as i64);
-    let s1 = pf.run(&ddot_prefetch_prog(256, PrefKind::Nta), &mut m).unwrap();
+    let s1 = pf
+        .run(&ddot_prefetch_prog(256, PrefKind::Nta), &mut m)
+        .unwrap();
     assert!(
         s1.cycles < s0.cycles * 3 / 4,
         "prefetch ({}) should beat no-prefetch ({}) by >25%",
@@ -164,13 +177,21 @@ fn prefetch_distance_has_interior_optimum() {
         cpu.set_ireg(X, x as i64);
         cpu.set_ireg(Y, y as i64);
         cpu.set_ireg(N, n as i64);
-        cpu.run(&ddot_prefetch_prog(dist, PrefKind::Nta), &mut m).unwrap().cycles
+        cpu.run(&ddot_prefetch_prog(dist, PrefKind::Nta), &mut m)
+            .unwrap()
+            .cycles
     };
     let near = cycles_at(64);
     let mid = cycles_at(256);
     let huge = cycles_at(12 * 1024); // beyond L1 capacity for 2 streams
-    assert!(mid < near, "mid-distance ({mid}) should beat too-near ({near})");
-    assert!(mid < huge, "mid-distance ({mid}) should beat too-far ({huge})");
+    assert!(
+        mid < near,
+        "mid-distance ({mid}) should beat too-near ({near})"
+    );
+    assert!(
+        mid < huge,
+        "mid-distance ({mid}) should beat too-far ({huge})"
+    );
 }
 
 #[test]
@@ -325,7 +346,10 @@ fn nt_store_to_read_line_penalized_on_opteron_not_p4e() {
         ratio_opt > 2.0 * ratio_p4,
         "NT penalty must be architecture-specific: opteron {ratio_opt:.2}x vs p4e {ratio_p4:.2}x"
     );
-    assert!(ratio_p4 < 1.6, "P4E NT ratio should stay moderate ({ratio_p4:.2}x)");
+    assert!(
+        ratio_p4 < 1.6,
+        "P4E NT ratio should stay moderate ({ratio_p4:.2}x)"
+    );
 }
 
 #[test]
@@ -366,7 +390,10 @@ fn nt_store_saves_rfo_traffic_for_write_only_stream() {
         cpu.set_ireg(N, n as i64);
         let s = cpu.run(&build(nt), &mut m).unwrap();
         // Functional check: y == x afterwards.
-        assert_eq!(m.load_f64_slice(y, n).unwrap(), m.load_f64_slice(x, n).unwrap());
+        assert_eq!(
+            m.load_f64_slice(y, n).unwrap(),
+            m.load_f64_slice(x, n).unwrap()
+        );
         s
     };
     let plain = run(false);
@@ -377,7 +404,12 @@ fn nt_store_saves_rfo_traffic_for_write_only_stream() {
         nt.bus_read_bytes,
         plain.bus_read_bytes
     );
-    assert!(nt.cycles < plain.cycles, "NT copy faster ({} vs {})", nt.cycles, plain.cycles);
+    assert!(
+        nt.cycles < plain.cycles,
+        "NT copy faster ({} vs {})",
+        nt.cycles,
+        plain.cycles
+    );
 }
 
 #[test]
@@ -413,7 +445,10 @@ fn branchy_max_search_works_and_mispredicts() {
     cpu.set_ireg(N, n as i64);
     let s = cpu.run(&prog, &mut m).unwrap();
     assert_eq!(cpu.freg_f64(FReg(6)), expected);
-    assert!(s.mispredicts > 0, "data-dependent branch must mispredict sometimes");
+    assert!(
+        s.mispredicts > 0,
+        "data-dependent branch must mispredict sometimes"
+    );
 }
 
 #[test]
@@ -457,7 +492,10 @@ fn memory_fault_reported() {
     let mut cpu = Cpu::new(p4e());
     cpu.set_ireg(X, 0); // below base
     let mut m = Memory::new(4096);
-    assert!(matches!(cpu.run(&prog, &mut m), Err(ifko_xsim::RunError::Fault(_))));
+    assert!(matches!(
+        cpu.run(&prog, &mut m),
+        Err(ifko_xsim::RunError::Fault(_))
+    ));
 }
 
 #[test]
@@ -518,5 +556,10 @@ fn mem_operand_form_saves_instructions_and_time_in_cache() {
     assert!(sf.insts < ss.insts);
     // The fused form saves decode slots; it must never be meaningfully
     // slower than the split form.
-    assert!(sf.cycles <= ss.cycles * 101 / 100, "fused {} vs split {}", sf.cycles, ss.cycles);
+    assert!(
+        sf.cycles <= ss.cycles * 101 / 100,
+        "fused {} vs split {}",
+        sf.cycles,
+        ss.cycles
+    );
 }

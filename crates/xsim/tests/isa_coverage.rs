@@ -20,7 +20,11 @@ fn lea_and_indexed_addressing() {
     let mut a = Asm::new();
     // r1 = 5; load x0 from [r0 + r1*8]
     a.push(IMovImm(IReg(1), 5));
-    a.push(FLd(FReg(0), Addr::base_index(IReg(0), IReg(1), 8, 0), Prec::D));
+    a.push(FLd(
+        FReg(0),
+        Addr::base_index(IReg(0), IReg(1), 8, 0),
+        Prec::D,
+    ));
     // lea r2 = r0 + r1*8 + 8
     a.push(Lea(IReg(2), Addr::base_index(IReg(0), IReg(1), 8, 8)));
     a.push(Halt);
@@ -103,7 +107,12 @@ fn unaligned_vector_access_works_and_costs_more() {
         let aligned = disp % 16 == 0;
         for k in 0..64 {
             let _ = k;
-            a.push(VLd(FReg(0), Addr::base_disp(IReg(0), disp), Prec::D, aligned));
+            a.push(VLd(
+                FReg(0),
+                Addr::base_disp(IReg(0), disp),
+                Prec::D,
+                aligned,
+            ));
             a.push(VAdd(FReg(1), RegOrMem::Reg(FReg(0)), Prec::D));
         }
         a.push(Halt);
@@ -113,10 +122,13 @@ fn unaligned_vector_access_works_and_costs_more() {
     };
     let (lane0_a, cyc_a) = run(0);
     let (lane0_u, cyc_u) = run(8); // unaligned to 16 bytes
-    // lane 0 accumulates element [disp/8] 64 times.
+                                   // lane 0 accumulates element [disp/8] 64 times.
     assert_eq!(lane0_a, 0.0);
     assert_eq!(lane0_u, 64.0);
-    assert!(cyc_u > cyc_a, "unaligned ({cyc_u}) must cost more than aligned ({cyc_a})");
+    assert!(
+        cyc_u > cyc_a,
+        "unaligned ({cyc_u}) must cost more than aligned ({cyc_a})"
+    );
 }
 
 #[test]
@@ -165,7 +177,12 @@ fn opteron_and_p4e_time_the_same_program_differently() {
     let mut c2 = Cpu::new(opteron());
     let s2 = c2.run(&prog, &mut m2).unwrap();
     // P4E fadd latency 5 vs Opteron 4: the chain dominates.
-    assert!(s1.cycles > s2.cycles, "P4E {} vs Opteron {}", s1.cycles, s2.cycles);
+    assert!(
+        s1.cycles > s2.cycles,
+        "P4E {} vs Opteron {}",
+        s1.cycles,
+        s2.cycles
+    );
     assert_eq!(s1.insts, s2.insts);
 }
 
@@ -181,5 +198,9 @@ fn halt_waits_for_inflight_results() {
     a.push(Halt);
     let s = cpu.run(&a.finish(), &mut m).unwrap();
     // 4 dependent divides at 32 cycles each.
-    assert!(s.cycles >= 4 * 32, "cycles {} must cover the divide chain", s.cycles);
+    assert!(
+        s.cycles >= 4 * 32,
+        "cycles {} must cover the divide chain",
+        s.cycles
+    );
 }

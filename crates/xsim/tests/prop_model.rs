@@ -15,7 +15,10 @@ struct RefCache {
 impl RefCache {
     fn new(cfg: CacheCfg) -> Self {
         let nsets = cfg.sets() as usize;
-        RefCache { cfg, sets: (0..nsets).map(|_| VecDeque::new()).collect() }
+        RefCache {
+            cfg,
+            sets: (0..nsets).map(|_| VecDeque::new()).collect(),
+        }
     }
     fn set_tag(&self, addr: u64) -> (usize, u64) {
         let lineno = addr / self.cfg.line;

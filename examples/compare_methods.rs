@@ -9,7 +9,7 @@
 use ifko::runner::Context;
 use ifko_baselines::Method;
 use ifko_bench::{run_methods, ExpConfig};
-use ifko_blas::{ALL_KERNELS};
+use ifko_blas::ALL_KERNELS;
 use ifko_xsim::{opteron, p4e};
 
 fn main() {
@@ -49,10 +49,18 @@ fn main() {
 
     let cfg = ExpConfig::new(true);
     let n = cfg.n_for(ctx);
-    println!("{} on {} ({}), N={n}\n", kernel.name(), mach.name, ctx.label());
+    println!(
+        "{} on {} ({}), N={n}\n",
+        kernel.name(),
+        mach.name,
+        ctx.label()
+    );
     let row = run_methods(kernel, &mach, ctx, &cfg);
     let best = row.best_cycles();
-    println!("{:<10} {:>12} {:>10} {:>9}", "method", "cycles", "c/elem", "% best");
+    println!(
+        "{:<10} {:>12} {:>10} {:>9}",
+        "method", "cycles", "c/elem", "% best"
+    );
     for m in Method::all() {
         if let Some(&c) = row.cycles.get(&m) {
             println!(

@@ -74,9 +74,21 @@ fn main() {
     {
         let mut p = TransformParams::defaults(&rep, &mach);
         p.prefetch = vec![
-            PrefSpec { ptr: PtrId(0), kind: Some(PrefKind::Nta), dist: 256 },
-            PrefSpec { ptr: PtrId(1), kind: Some(PrefKind::Nta), dist: 256 },
-            PrefSpec { ptr: PtrId(2), kind: None, dist: 0 },
+            PrefSpec {
+                ptr: PtrId(0),
+                kind: Some(PrefKind::Nta),
+                dist: 256,
+            },
+            PrefSpec {
+                ptr: PtrId(1),
+                kind: Some(PrefKind::Nta),
+                dist: 256,
+            },
+            PrefSpec {
+                ptr: PtrId(2),
+                kind: None,
+                dist: 0,
+            },
         ];
         p.wnt = true;
         candidates.push(("pf(X,Y) only + WNT".into(), p));
@@ -109,7 +121,12 @@ fn main() {
         for i in 0..n {
             assert_eq!(w[i], alpha * xs[i] + ys[i], "mismatch at {i} for {name}");
         }
-        println!("{:<24} {:>12} {:>10.2}", name, stats.cycles, stats.cycles as f64 / n as f64);
+        println!(
+            "{:<24} {:>12} {:>10.2}",
+            name,
+            stats.cycles,
+            stats.cycles as f64 / n as f64
+        );
         if stats.cycles < best.1 {
             best = (name, stats.cycles);
         }

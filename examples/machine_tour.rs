@@ -25,7 +25,11 @@ fn main() {
         let off = (u * 8) as i64;
         a.push(FLd(FReg(0), Addr::base_disp(x, off), Prec::D));
         a.push(FMul(FReg(0), RegOrMem::Reg(FReg(7)), Prec::D));
-        a.push(FAdd(FReg(0), RegOrMem::Mem(Addr::base_disp(y, off)), Prec::D));
+        a.push(FAdd(
+            FReg(0),
+            RegOrMem::Mem(Addr::base_disp(y, off)),
+            Prec::D,
+        ));
         a.push(FSt(Addr::base_disp(y, off), FReg(0), Prec::D));
     }
     a.push(IAddImm(x, 32));
@@ -63,12 +67,28 @@ fn main() {
         assert!(out.iter().zip(0..n).all(|(v, i)| *v == 2.0 * xs[i] + ys[i]));
 
         println!("{} @ {} MHz:", cfg.name, cfg.mhz);
-        println!("  cycles            : {} ({:.2}/element)", stats.cycles, stats.cycles as f64 / n as f64);
+        println!(
+            "  cycles            : {} ({:.2}/element)",
+            stats.cycles,
+            stats.cycles as f64 / n as f64
+        );
         println!("  dynamic insts     : {}", stats.insts);
-        println!("  L1 hits/misses    : {}/{}", stats.l1_hits, stats.l1_misses);
-        println!("  L2 hits/misses    : {}/{}", stats.l2_hits, stats.l2_misses);
-        println!("  bus read/written  : {}/{} bytes", stats.bus_read_bytes, stats.bus_write_bytes);
+        println!(
+            "  L1 hits/misses    : {}/{}",
+            stats.l1_hits, stats.l1_misses
+        );
+        println!(
+            "  L2 hits/misses    : {}/{}",
+            stats.l2_hits, stats.l2_misses
+        );
+        println!(
+            "  bus read/written  : {}/{} bytes",
+            stats.bus_read_bytes, stats.bus_write_bytes
+        );
         println!("  hw prefetch fills : {}", stats.hw_prefetches);
-        println!("  wall time @ clock : {:.1} us\n", stats.cycles as f64 / cfg.mhz as f64);
+        println!(
+            "  wall time @ clock : {:.1} us\n",
+            stats.cycles as f64 / cfg.mhz as f64
+        );
     }
 }

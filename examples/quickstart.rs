@@ -5,23 +5,30 @@
 //! cargo run --release -p ifko --example quickstart
 //! ```
 
-use ifko::runner::Context;
-use ifko::{tune, TuneOptions};
-use ifko_blas::ops::BlasOp;
-use ifko_blas::Kernel;
-use ifko_xsim::isa::Prec;
-use ifko_xsim::p4e;
+use ifko::prelude::*;
 
 fn main() {
     let machine = p4e();
-    let kernel = Kernel { op: BlasOp::Dot, prec: Prec::D };
+    let kernel = Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::D,
+    };
 
-    println!("Tuning {} on {} (out-of-cache, N=40000)...\n", kernel.name(), machine.name);
-    let mut opts = TuneOptions::default();
-    opts.n = Some(40_000);
-    let outcome = tune(kernel, &machine, Context::OutOfCache, &opts).expect("tuning failed");
+    println!(
+        "Tuning {} on {} (out-of-cache, N=40000)...\n",
+        kernel.name(),
+        machine.name
+    );
+    let outcome = TuneConfig::paper()
+        .machine(machine)
+        .n(40_000)
+        .tune(kernel)
+        .expect("tuning failed");
 
-    println!("FKO static defaults : {:>9} cycles", outcome.result.default_cycles);
+    println!(
+        "FKO static defaults : {:>9} cycles",
+        outcome.result.default_cycles
+    );
     println!(
         "iFKO empirical best : {:>9} cycles  ({:.2}x speedup, {:.0} MFLOPS)",
         outcome.result.best_cycles,
@@ -41,7 +48,10 @@ fn main() {
         );
     }
 
-    println!("\ngenerated code ({} instructions):", outcome.compiled.program.len());
+    println!(
+        "\ngenerated code ({} instructions):",
+        outcome.compiled.program.len()
+    );
     let asm = ifko_xsim::asm::disassemble(&outcome.compiled.program);
     for line in asm.lines().take(28) {
         println!("  {line}");

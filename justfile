@@ -1,0 +1,24 @@
+# Developer entry points. `just check` is the merge gate.
+
+# fmt + clippy + tests + harness smoke
+check:
+    scripts/check.sh
+
+fmt:
+    cargo fmt --all
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+    cargo test --workspace --release -q
+
+# Regenerate every paper table/figure at full scale (slow)
+figures:
+    for b in table1 table2 table3 figure2 figure3 figure4 figure4b figure5 figure6 figure7; do \
+        cargo run --release -p ifko-bench --bin $b > results/$b.txt; \
+    done
+
+# Drop the persistent evaluation cache and sample traces
+clean-cache:
+    rm -rf results/cache results/traces

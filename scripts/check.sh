@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The one-stop gate: formatting, lints, the full offline test suite, and a
+# quick end-to-end harness smoke (table3 --quick, which also exercises the
+# persistent evaluation cache). Everything here must pass before a merge.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test"
+cargo test --workspace --release -q
+
+step "harness smoke: table3 --quick"
+cargo run --release -p ifko-bench --bin table3 -- --quick >/dev/null
+
+step "harness smoke: figure7 --quick (sample trace)"
+cargo run --release -p ifko-bench --bin figure7 -- --quick >/dev/null
+test -s results/traces/figure7-quick.jsonl
+
+printf '\nAll checks passed.\n'

@@ -2,16 +2,14 @@
 //! through FKO, the search, the baselines and the harness, exercised
 //! together across crates.
 
-use ifko::runner::{run_once, Context, KernelArgs};
-use ifko::{tune, verify, Timer, TuneOptions};
+use ifko::prelude::*;
+use ifko::runner::{run_once, KernelArgs};
+use ifko::verify;
 use ifko_baselines::{atlas_best, compile_gcc, compile_icc, compile_icc_prof, LoopForm, Method};
 use ifko_bench::{run_methods, ExpConfig};
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::ops::BlasOp;
-use ifko_blas::{Kernel, Workload, ALL_KERNELS};
 use ifko_fko::compile_defaults;
-use ifko_xsim::isa::Prec;
-use ifko_xsim::{opteron, p4e};
 
 /// Every kernel, every precision, every machine, both contexts: FKO
 /// defaults compile, run, and verify.
@@ -26,7 +24,11 @@ fn defaults_verify_everywhere() {
                     .unwrap_or_else(|e| panic!("{} {}: {e}", mach.name, k.name()));
                 let out = run_once(
                     &c,
-                    &KernelArgs { kernel: k, workload: &w, context: ctx },
+                    &KernelArgs {
+                        kernel: k,
+                        workload: &w,
+                        context: ctx,
+                    },
                     &mach,
                 )
                 .unwrap_or_else(|e| panic!("{} {}: {e}", mach.name, k.name()));
@@ -40,10 +42,11 @@ fn defaults_verify_everywhere() {
 /// The tuned kernel never loses to FKO defaults, on any kernel or machine.
 #[test]
 fn tuning_never_hurts() {
-    let opts = TuneOptions::quick(2500);
     for mach in [p4e(), opteron()] {
+        let tc = TuneConfig::quick(2500).machine(mach.clone());
         for k in ALL_KERNELS {
-            let t = tune(k, &mach, Context::OutOfCache, &opts)
+            let t = tc
+                .tune(k)
                 .unwrap_or_else(|e| panic!("{} {}: {e}", mach.name, k.name()));
             assert!(
                 t.result.best_cycles <= t.result.default_cycles,
@@ -71,7 +74,11 @@ fn baselines_verify_on_both_machines() {
                 let c = c.unwrap_or_else(|e| panic!("{label} {}: {e}", k.name()));
                 let out = run_once(
                     &c,
-                    &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+                    &KernelArgs {
+                        kernel: k,
+                        workload: &w,
+                        context: Context::OutOfCache,
+                    },
                     &mach,
                 )
                 .unwrap();
@@ -90,13 +97,20 @@ fn baselines_verify_on_both_machines() {
 #[test]
 fn tuned_kernel_correct_across_sizes() {
     let mach = p4e();
-    let k = Kernel { op: BlasOp::Dot, prec: Prec::S };
-    let t = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(4096)).unwrap();
+    let k = Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::S,
+    };
+    let t = TuneConfig::quick(4096).tune(k).unwrap();
     for n in [0usize, 1, 2, 3, 5, 31, 63, 64, 65, 127, 1000] {
         let w = Workload::generate(n, n as u64);
         let out = run_once(
             &t.compiled,
-            &KernelArgs { kernel: k, workload: &w, context: Context::OutOfCache },
+            &KernelArgs {
+                kernel: k,
+                workload: &w,
+                context: Context::OutOfCache,
+            },
             &mach,
         )
         .unwrap();
@@ -108,10 +122,17 @@ fn tuned_kernel_correct_across_sizes() {
 /// worst method.
 #[test]
 fn harness_row_is_complete_and_sane() {
-    let cfg = ExpConfig { n_out_of_cache: 2500, n_in_l2: 512, quick: true, seed: 3 };
+    let mut cfg = ExpConfig::new(true);
+    (cfg.n_out_of_cache, cfg.n_in_l2, cfg.seed) = (2500, 512, 3);
     for k in [
-        Kernel { op: BlasOp::Axpy, prec: Prec::D },
-        Kernel { op: BlasOp::Iamax, prec: Prec::S },
+        Kernel {
+            op: BlasOp::Axpy,
+            prec: Prec::D,
+        },
+        Kernel {
+            op: BlasOp::Iamax,
+            prec: Prec::S,
+        },
     ] {
         let row = run_methods(k, &p4e(), Context::OutOfCache, &cfg);
         for m in Method::all() {
@@ -132,18 +153,32 @@ fn harness_row_is_complete_and_sane() {
 /// to context" claim).
 #[test]
 fn parameters_adapt_to_context() {
-    let mach = p4e();
     let mut any_diff = false;
     for k in [
-        Kernel { op: BlasOp::Asum, prec: Prec::D },
-        Kernel { op: BlasOp::Dot, prec: Prec::D },
-        Kernel { op: BlasOp::Copy, prec: Prec::D },
+        Kernel {
+            op: BlasOp::Asum,
+            prec: Prec::D,
+        },
+        Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        },
+        Kernel {
+            op: BlasOp::Copy,
+            prec: Prec::D,
+        },
     ] {
-        let oc = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(20_000)).unwrap();
-        let ic = tune(k, &mach, Context::InL2, &TuneOptions::quick(1024)).unwrap();
+        let oc = TuneConfig::quick(20_000).tune(k).unwrap();
+        let ic = TuneConfig::quick(1024)
+            .context(Context::InL2)
+            .tune(k)
+            .unwrap();
         if oc.table3_row != ic.table3_row {
             any_diff = true;
         }
     }
-    assert!(any_diff, "in-L2 and out-of-cache tuning should diverge somewhere");
+    assert!(
+        any_diff,
+        "in-L2 and out-of-cache tuning should diverge somewhere"
+    );
 }

@@ -14,18 +14,13 @@
 //!    41% of sasum's in-cache tuning gain);
 //! 6. iFKO beats FKO's static defaults overall (paper: 1.38x average).
 
-use ifko::runner::Context;
-use ifko::search::Phase;
-use ifko::{tune, TuneOptions};
+use ifko::prelude::*;
 use ifko_baselines::Method;
 use ifko_bench::{averages, run_methods, ExpConfig};
 use ifko_blas::ops::BlasOp;
-use ifko_blas::{Kernel, ALL_KERNELS};
-use ifko_xsim::isa::Prec;
-use ifko_xsim::{opteron, p4e};
 
 fn cfg() -> ExpConfig {
-    ExpConfig { n_out_of_cache: 20_000, n_in_l2: 1024, quick: true, seed: 0xb1a5 }
+    ExpConfig::new(true) // quick: N=20_000 / 1024, paper seed
 }
 
 #[test]
@@ -38,8 +33,10 @@ fn claim1_ifko_best_on_average_everywhere() {
         (opteron(), Context::OutOfCache),
         (p4e(), Context::InL2),
     ] {
-        let rows: Vec<_> =
-            ALL_KERNELS.iter().map(|k| run_methods(*k, &mach, ctx, &c)).collect();
+        let rows: Vec<_> = ALL_KERNELS
+            .iter()
+            .map(|k| run_methods(*k, &mach, ctx, &c))
+            .collect();
         let (ifko_avg, _) = averages(&rows, Method::Ifko);
         for m in Method::all() {
             if m == Method::Ifko {
@@ -60,7 +57,10 @@ fn claim1_ifko_best_on_average_everywhere() {
 #[test]
 fn claim2_atlas_assembly_wins_isamax() {
     let c = cfg();
-    let k = Kernel { op: BlasOp::Iamax, prec: Prec::S };
+    let k = Kernel {
+        op: BlasOp::Iamax,
+        prec: Prec::S,
+    };
     for mach in [p4e(), opteron()] {
         let row = run_methods(k, &mach, Context::OutOfCache, &c);
         let atlas = row.cycles[&Method::Atlas];
@@ -79,32 +79,56 @@ fn claim2_atlas_assembly_wins_isamax() {
 
 #[test]
 fn claim3_icc_prof_pathology_is_opteron_specific() {
-    let c = ExpConfig { n_out_of_cache: 80_000, n_in_l2: 1024, quick: true, seed: 0xb1a5 };
-    let k = Kernel { op: BlasOp::Swap, prec: Prec::D };
+    let mut c = ExpConfig::new(true);
+    c.n_out_of_cache = 80_000;
+    let k = Kernel {
+        op: BlasOp::Swap,
+        prec: Prec::D,
+    };
     let row_o = run_methods(k, &opteron(), Context::OutOfCache, &c);
     let ratio_o = row_o.cycles[&Method::IccProf] as f64 / row_o.cycles[&Method::IccRef] as f64;
-    assert!(ratio_o > 2.0, "Opteron dswap icc+prof/icc = {ratio_o:.2} (want > 2)");
+    assert!(
+        ratio_o > 2.0,
+        "Opteron dswap icc+prof/icc = {ratio_o:.2} (want > 2)"
+    );
     let row_p = run_methods(k, &p4e(), Context::OutOfCache, &c);
     let ratio_p = row_p.cycles[&Method::IccProf] as f64 / row_p.cycles[&Method::IccRef] as f64;
-    assert!(ratio_p < 2.0, "P4E dswap icc+prof/icc = {ratio_p:.2} (want < 2)");
-    assert!(ratio_o > 1.5 * ratio_p, "pathology must be Opteron-specific");
+    assert!(
+        ratio_p < 2.0,
+        "P4E dswap icc+prof/icc = {ratio_p:.2} (want < 2)"
+    );
+    assert!(
+        ratio_o > 1.5 * ratio_p,
+        "pathology must be Opteron-specific"
+    );
 }
 
 #[test]
 fn claim4_prefetch_distance_dominates_out_of_cache() {
     // Average the Figure 7 phase gains over the reduction/streaming
     // kernels out-of-cache on the P4E: PF DST must contribute the most.
-    let opts = TuneOptions::quick(20_000);
-    let mach = p4e();
+    let tc = TuneConfig::quick(20_000);
     let mut sums: std::collections::HashMap<Phase, f64> = Default::default();
     let kernels = [
-        Kernel { op: BlasOp::Dot, prec: Prec::D },
-        Kernel { op: BlasOp::Asum, prec: Prec::D },
-        Kernel { op: BlasOp::Scal, prec: Prec::S },
-        Kernel { op: BlasOp::Axpy, prec: Prec::D },
+        Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        },
+        Kernel {
+            op: BlasOp::Asum,
+            prec: Prec::D,
+        },
+        Kernel {
+            op: BlasOp::Scal,
+            prec: Prec::S,
+        },
+        Kernel {
+            op: BlasOp::Axpy,
+            prec: Prec::D,
+        },
     ];
     for k in kernels {
-        let t = tune(k, &mach, Context::OutOfCache, &opts).unwrap();
+        let t = tc.tune(k).unwrap();
         for g in &t.result.gains {
             *sums.entry(g.phase).or_insert(0.0) += g.speedup() - 1.0;
         }
@@ -124,10 +148,14 @@ fn claim4_prefetch_distance_dominates_out_of_cache() {
 
 #[test]
 fn claim5_accumulator_expansion_matters_in_cache() {
-    let opts = TuneOptions::quick(1024);
-    let mach = p4e();
-    let k = Kernel { op: BlasOp::Asum, prec: Prec::S };
-    let t = tune(k, &mach, Context::InL2, &opts).unwrap();
+    let k = Kernel {
+        op: BlasOp::Asum,
+        prec: Prec::S,
+    };
+    let t = TuneConfig::quick(1024)
+        .context(Context::InL2)
+        .tune(k)
+        .unwrap();
     assert!(
         t.result.best.accum_expand > 1,
         "sasum in-L2 should choose AE > 1 (got {:?})",
@@ -140,17 +168,20 @@ fn claim5_accumulator_expansion_matters_in_cache() {
         .find(|g| g.phase == Phase::Ae)
         .map(|g| g.speedup())
         .unwrap_or(1.0);
-    assert!(ae_gain > 1.1, "AE should contribute >10% in-cache, got {ae_gain:.3}");
+    assert!(
+        ae_gain > 1.1,
+        "AE should contribute >10% in-cache, got {ae_gain:.3}"
+    );
 }
 
 #[test]
 fn claim6_ifko_beats_fko_defaults_overall() {
-    let opts = TuneOptions::quick(8_000);
     let mut total = 0.0;
     let mut count = 0;
     for mach in [p4e(), opteron()] {
+        let tc = TuneConfig::quick(8_000).machine(mach);
         for k in ALL_KERNELS.iter().step_by(3) {
-            let t = tune(*k, &mach, Context::OutOfCache, &opts).unwrap();
+            let t = tc.tune(*k).unwrap();
             total += t.result.speedup_over_default();
             count += 1;
         }
