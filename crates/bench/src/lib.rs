@@ -38,6 +38,10 @@ pub struct ExpConfig {
     pub jobs: usize,
     /// JSONL search-trace destination (`--trace PATH`).
     pub trace_path: Option<String>,
+    /// Metrics-snapshot destination (`--metrics PATH`): the process-wide
+    /// registry is written here when the experiment finishes (JSON, or
+    /// Prometheus text for `.prom`/`.txt` paths).
+    pub metrics_path: Option<String>,
     /// Persist/reuse evaluations under [`CACHE_DIR`] (disable with
     /// `--no-cache`).
     pub use_cache: bool,
@@ -59,6 +63,7 @@ impl ExpConfig {
                     }
                 }
                 "--trace" => cfg.trace_path = it.next().cloned(),
+                "--metrics" => cfg.metrics_path = it.next().cloned(),
                 "--no-cache" => cfg.use_cache = false,
                 _ => {}
             }
@@ -81,6 +86,7 @@ impl ExpConfig {
             seed: 0xb1a5,
             jobs: 1,
             trace_path: None,
+            metrics_path: None,
             use_cache: true,
         }
     }
@@ -360,6 +366,12 @@ impl Experiment {
         if let Some(t) = &trace {
             t.flush();
         }
+        if let Some(p) = &self.cfg.metrics_path {
+            match ifko::metrics::global().write_snapshot(p) {
+                Ok(()) => eprintln!("[{}] metrics snapshot written to {p}", self.name),
+                Err(e) => eprintln!("[{}] cannot write metrics {p}: {e}", self.name),
+            }
+        }
         out
     }
 }
@@ -585,6 +597,7 @@ mod tests {
             seed: 1,
             jobs: 1,
             trace_path: None,
+            metrics_path: None,
             use_cache: false,
         }
     }

@@ -16,6 +16,7 @@ pub struct Args {
     pub pf_dist: Option<i64>,
     pub jobs: usize,
     pub trace: Option<String>,
+    pub metrics: Option<String>,
 }
 
 impl Args {
@@ -35,6 +36,7 @@ impl Args {
             pf_dist: None,
             jobs: 1,
             trace: None,
+            metrics: None,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -70,6 +72,7 @@ impl Args {
                         .max(1)
                 }
                 "--trace" => a.trace = Some(value("--trace")?),
+                "--metrics" => a.metrics = Some(value("--metrics")?),
                 other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
                 file => {
                     if a.file.is_empty() {
@@ -136,9 +139,19 @@ mod tests {
 
     #[test]
     fn jobs_and_trace_parse() {
-        let a = Args::parse(v(&["k.hil", "--jobs", "4", "--trace", "t.jsonl"])).unwrap();
+        let a = Args::parse(v(&[
+            "k.hil",
+            "--jobs",
+            "4",
+            "--trace",
+            "t.jsonl",
+            "--metrics",
+            "m.json",
+        ]))
+        .unwrap();
         assert_eq!(a.jobs, 4);
         assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.metrics.as_deref(), Some("m.json"));
         // --jobs clamps to at least one worker.
         let a = Args::parse(v(&["k.hil", "-j", "0"])).unwrap();
         assert_eq!(a.jobs, 1);

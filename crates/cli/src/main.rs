@@ -6,6 +6,8 @@
 //!                          [--wnt] [--pf-dist BYTES] [--no-pf]
 //! ifko tune     kernel.hil [--machine M] [--context oc|ic] [--n N]
 //!                          [--seed S] [--full] [--jobs N] [--trace PATH]
+//!                          [--metrics PATH]
+//! ifko report   trace.jsonl [trace2.jsonl ...] [--format text|json|md]
 //! ```
 //!
 //! `analyze` prints what FKO reports back to the search (paper §2.2.2);
@@ -13,8 +15,11 @@
 //! generated pseudo-assembly; `tune` runs the empirical line search with
 //! differential verification against the untransformed build and reports
 //! the winning parameters — for *any* kernel written in the HIL, not only
-//! the BLAS suite.
+//! the BLAS suite; `report` analyzes search traces written by `--trace`
+//! (convergence, per-phase attribution, stage time breakdown, cache
+//! effectiveness).
 
+use ifko::report::{report_files, ReportFormat};
 use ifko::runner::Context;
 use ifko::{SearchOptions, TuneConfig};
 use ifko_fko::{analyze_kernel, compile_ir, TransformParams};
@@ -27,10 +32,21 @@ use args::Args;
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
-        eprintln!("usage: ifko <analyze|compile|tune> <kernel.hil> [options]");
+        eprintln!("usage: ifko <analyze|compile|tune|report> <file> [options]");
         return ExitCode::from(2);
     }
     let cmd = argv.remove(0);
+    // `report` takes multiple trace files, not one kernel file: it has its
+    // own tiny flag loop instead of the shared `Args`.
+    if cmd == "report" {
+        return match cmd_report(argv) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ifko: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let mut args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
@@ -70,6 +86,29 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn cmd_report(argv: Vec<String>) -> Result<(), String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut format = ReportFormat::Text;
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--format" | "-f" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                format = ReportFormat::parse(&v)
+                    .ok_or_else(|| format!("unknown format `{v}` (text | json | md)"))?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err("no trace files given (usage: ifko report TRACE.jsonl... [--format F])".into());
+    }
+    let out = report_files(&files, format).map_err(|e| e.to_string())?;
+    print!("{out}");
+    Ok(())
 }
 
 fn cmd_analyze(src: &str, machine: &MachineConfig) -> Result<(), String> {
@@ -234,6 +273,12 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
             g.phase.label(),
             (g.speedup() - 1.0) * 100.0
         );
+    }
+    if let Some(path) = &args.metrics {
+        ifko::metrics::global()
+            .write_snapshot(path)
+            .map_err(|e| format!("--metrics {path}: {e}"))?;
+        eprintln!("metrics snapshot written to {path}");
     }
     Ok(())
 }

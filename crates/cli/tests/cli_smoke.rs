@@ -63,6 +63,77 @@ fn tune_improves_custom_kernel() {
 }
 
 #[test]
+fn tune_with_trace_and_metrics_then_report() {
+    let dir = std::env::temp_dir().join(format!("ifko-cli-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.jsonl");
+    let metrics = dir.join("m.json");
+
+    let out = Command::new(bin())
+        .args([
+            "tune",
+            &repo("kernels/ddot.hil"),
+            "--n",
+            "2000",
+            "--jobs",
+            "2",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let m = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        m.contains("ifko_engine_evals_total"),
+        "metrics missing:\n{m}"
+    );
+
+    // The analyzer consumes what --trace wrote.
+    let out = Command::new(bin())
+        .args(["report", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stage time attribution"), "report:\n{text}");
+    assert!(text.contains("simulate"));
+
+    // JSON format is machine-readable and mentions the same scope.
+    let out = Command::new(bin())
+        .args(["report", trace.to_str().unwrap(), "--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.trim_start().starts_with('{'));
+    assert!(json.contains("\"scopes\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_rejects_missing_input() {
+    let out = Command::new(bin()).args(["report"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(bin())
+        .args(["report", "no_such_trace.jsonl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn bad_file_fails_cleanly() {
     let out = Command::new(bin())
         .args(["analyze", "no_such.hil"])

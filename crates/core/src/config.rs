@@ -19,6 +19,7 @@
 use crate::driver::{defaults_with_config, tune_with_config, TuneError, TuneOutcome};
 use crate::eval::{EvalCache, EvalEngine, JsonlSink, TraceSink};
 use crate::generic::{tune_source_with_config, GenericTuneOutcome};
+use crate::metrics::MetricsRegistry;
 use crate::runner::Context;
 use crate::search::SearchOptions;
 use crate::timer::Timer;
@@ -40,6 +41,7 @@ pub struct TuneConfig {
     pub(crate) jobs: usize,
     pub(crate) trace: Option<Arc<dyn TraceSink>>,
     pub(crate) cache: Arc<EvalCache>,
+    pub(crate) metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl TuneConfig {
@@ -57,6 +59,7 @@ impl TuneConfig {
             jobs: 1,
             trace: None,
             cache: Arc::new(EvalCache::new()),
+            metrics: None,
         }
     }
 
@@ -121,6 +124,13 @@ impl TuneConfig {
         let cache = Arc::new(EvalCache::persistent(dir)?);
         Ok(self.cache(cache))
     }
+    /// Record engine/search instruments on this registry instead of the
+    /// process-wide [`metrics::global`](crate::metrics::global) one
+    /// (tests use a private registry for exact counts).
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
     /// Replace the search-phase candidate sets / timer wholesale.
     pub fn search(mut self, search: SearchOptions) -> Self {
         self.search = search;
@@ -164,6 +174,9 @@ impl TuneConfig {
         let mut e = EvalEngine::new(self.jobs).with_cache(self.cache.clone());
         if let Some(t) = &self.trace {
             e = e.with_trace(t.clone());
+        }
+        if let Some(m) = &self.metrics {
+            e = e.with_metrics(m.clone());
         }
         e
     }

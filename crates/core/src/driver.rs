@@ -6,7 +6,8 @@
 //! The old `TuneOptions`-based free functions remain as deprecated shims.
 
 use crate::config::TuneConfig;
-use crate::eval::EvalScope;
+use crate::eval::{EvalScope, Span};
+use crate::metrics;
 use crate::runner::Context;
 use crate::search::{line_search_engine, SearchOptions, SearchResult};
 use crate::timer::Timer;
@@ -99,12 +100,9 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
     let machine = &cfg.machine;
     let context = cfg.context;
     let n = cfg.size();
-    let src = hil_source(kernel.op, kernel.prec);
-    let (ir, rep) =
-        analyze_kernel(&src, machine).map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
-    let workload = Workload::generate(n, cfg.seed);
-
     let engine = cfg.engine();
+    let reg = engine.metrics().clone();
+    let sink = engine.trace().cloned();
     let scope = EvalScope::new(
         kernel.name(),
         machine,
@@ -113,6 +111,16 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
         cfg.seed,
         &cfg.search.timer,
     );
+    let tune_span = Span::root(sink, scope.key(), "tune");
+    let t0 = std::time::Instant::now();
+
+    let src = hil_source(kernel.op, kernel.prec);
+    let parse_span = tune_span.child("parse");
+    let parsed = analyze_kernel(&src, machine);
+    drop(parse_span);
+    let (ir, rep) = parsed.map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let workload = Workload::generate(n, cfg.seed);
+
     let result = line_search_engine(
         &ir,
         &rep,
@@ -124,7 +132,10 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
         &engine,
         &scope,
     );
-    let compiled = compile_ir(&ir, &result.best, &rep).map_err(|e| {
+    let recompile_span = tune_span.child("recompile");
+    let compiled = compile_ir(&ir, &result.best, &rep);
+    drop(recompile_span);
+    let compiled = compiled.map_err(|e| {
         TuneError(format!(
             "{}: best params failed to recompile: {e}",
             kernel.name()
@@ -136,11 +147,15 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
         workload: &workload,
         context,
     };
-    let cycles = cfg
-        .final_timer
-        .time(&compiled, &args, machine)
-        .map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let final_span = tune_span.child("final-time");
+    let cycles = cfg.final_timer.time(&compiled, &args, machine);
+    drop(final_span);
+    let cycles = cycles.map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
     let mflops = flops_rate(kernel, n, cycles, machine);
+
+    reg.counter(metrics::TUNE_RUNS).inc();
+    reg.histogram(metrics::TUNE_WALL_US, metrics::US_BUCKETS)
+        .observe(t0.elapsed().as_micros() as u64);
 
     Ok(TuneOutcome {
         kernel,

@@ -1,6 +1,6 @@
 //! The evaluation engine: parallel batched candidate evaluation with a
-//! sharded, optionally persistent, cross-phase evaluation cache and a
-//! structured search-trace layer.
+//! sharded, optionally persistent, cross-phase evaluation cache, a
+//! structured search-trace layer, and first-class observability.
 //!
 //! The paper's search evaluates each candidate point serially — compile,
 //! verify, time. Because `xsim` is a deterministic simulator, a candidate
@@ -19,7 +19,8 @@
 //! index and the winner is selected by a serial in-order scan (ties break
 //! toward the earliest candidate, exactly like the serial loop), and
 //! (c) cache lookups, bookkeeping, and trace emission happen serially
-//! before and after the parallel section.
+//! before and after the parallel section. Observability (metrics, spans)
+//! only *observes*: nothing recorded here feeds back into selection.
 //!
 //! The [`EvalCache`] is keyed by the full evaluation scope plus the
 //! parameter point, shared across search phases, across the multi-pass
@@ -27,18 +28,29 @@
 //! processes (the figure/table binaries reuse each other's points via
 //! `results/cache/evals.jsonl`).
 //!
-//! Every evaluation (including cache hits) emits a [`SearchEvent`] to a
-//! pluggable [`TraceSink`]: a JSONL file via `--trace`, or an in-memory
-//! sink for tests.
+//! # The trace layer
+//!
+//! Every evaluation (including cache hits) emits a
+//! [`SearchEvent::Eval`] to a pluggable [`TraceSink`]: a JSONL file via
+//! `--trace`, or an in-memory sink for tests. Fresh evaluations carry the
+//! simulator's full [`RunStats`] (cache hits/misses, instruction mix, bus
+//! traffic) so the trace can answer "what did the hardware do for this
+//! point?", not only "how fast was it?".
+//!
+//! Pipeline stages are covered by [`SearchEvent::Span`]: nested
+//! wall-clock spans (parse → xform → opt → regalloc → codegen → simulate
+//! → test → time) emitted by the [`Span`] guard API. `ifko report`
+//! reconstructs per-stage time attribution from them.
 
 use ifko_fko::TransformParams;
-use ifko_xsim::MachineConfig;
+use ifko_xsim::{MachineConfig, RunStats};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::metrics::{self, Counter, Gauge, Histogram, MetricsRegistry};
 use crate::runner::Context;
 use crate::timer::Timer;
 
@@ -124,13 +136,17 @@ impl EvalScope {
 // Trace layer
 // ---------------------------------------------------------------------------
 
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// One observed candidate evaluation (or cache hit) during a search.
-#[derive(Clone, Debug)]
-pub struct SearchEvent {
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalEvent {
     /// Scope key: kernel @ machine / context / n / seed / timer.
     pub scope: String,
     /// Search phase label (`SEED`, `WNT`, `PF DST`, ... or `FINAL`).
-    pub phase: &'static str,
+    pub phase: String,
     /// Canonical parameter-point key (the `TransformParams` debug form).
     pub params: String,
     /// Min-of-reps cycles, or `None` when the candidate was rejected.
@@ -141,36 +157,247 @@ pub struct SearchEvent {
     pub cache_hit: bool,
     /// Wall-clock cost of this evaluation in microseconds (0 for hits).
     pub wall_us: u64,
+    /// Simulator counters of the verification run (fresh evaluations
+    /// only; cache hits do not re-run the simulator).
+    pub stats: Option<RunStats>,
+}
+
+/// One completed pipeline span: a named stage of the
+/// compile→simulate→test→time path, with its wall-clock duration and its
+/// position in the span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Scope key of the search this span belongs to.
+    pub scope: String,
+    /// Stage name (`tune`, `search`, `eval`, `parse`, `xform`, `opt`,
+    /// `regalloc`, `codegen`, `simulate`, `test`, `time`, ...).
+    pub stage: String,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Parent span id (`None` for roots).
+    pub parent: Option<u64>,
+    /// Wall-clock duration in microseconds.
+    pub wall_us: u64,
+}
+
+/// One record in a search trace: a candidate evaluation or a pipeline
+/// span.
+#[derive(Clone, Debug)]
+pub enum SearchEvent {
+    Eval(EvalEvent),
+    Span(SpanEvent),
 }
 
 impl SearchEvent {
+    pub fn as_eval(&self) -> Option<&EvalEvent> {
+        match self {
+            SearchEvent::Eval(e) => Some(e),
+            SearchEvent::Span(_) => None,
+        }
+    }
+    pub fn as_span(&self) -> Option<&SpanEvent> {
+        match self {
+            SearchEvent::Span(s) => Some(s),
+            SearchEvent::Eval(_) => None,
+        }
+    }
+
     /// One JSONL line (all strings we emit are quote/backslash-free, but
     /// escape anyway so the file is always well-formed JSON).
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
+        match self {
+            SearchEvent::Eval(e) => e.to_json(),
+            SearchEvent::Span(s) => s.to_json(),
         }
-        format!(
-            "{{\"scope\":\"{}\",\"phase\":\"{}\",\"params\":\"{}\",\"cycles\":{},\"verified\":{},\"cache_hit\":{},\"wall_us\":{}}}",
+    }
+}
+
+impl EvalEvent {
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"scope\":\"{}\",\"phase\":\"{}\",\"params\":\"{}\",\"cycles\":{},\"verified\":{},\"cache_hit\":{},\"wall_us\":{}",
             esc(&self.scope),
-            esc(self.phase),
+            esc(&self.phase),
             esc(&self.params),
             self.cycles.map_or("null".to_string(), |c| c.to_string()),
             self.verified,
             self.cache_hit,
             self.wall_us,
+        );
+        if let Some(st) = &self.stats {
+            s.push_str(&format!(",\"stats\":{}", stats_json(st)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl SpanEvent {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"span\":\"{}\",\"scope\":\"{}\",\"id\":{},\"parent\":{},\"wall_us\":{}}}",
+            esc(&self.stage),
+            esc(&self.scope),
+            self.id,
+            self.parent.map_or("null".to_string(), |p| p.to_string()),
+            self.wall_us,
         )
     }
 }
 
+/// Serialize the simulator counters as one flat JSON object.
+pub fn stats_json(s: &RunStats) -> String {
+    format!(
+        "{{\"cycles\":{},\"insts\":{},\"loads\":{},\"stores\":{},\
+         \"l1_hits\":{},\"l1_misses\":{},\"l2_hits\":{},\"l2_misses\":{},\
+         \"bus_read_bytes\":{},\"bus_write_bytes\":{},\
+         \"prefetch_issued\":{},\"prefetch_dropped\":{},\"prefetch_useless\":{},\
+         \"hw_prefetches\":{},\"nt_stores\":{},\"wc_flushes\":{},\
+         \"branches\":{},\"mispredicts\":{}}}",
+        s.cycles,
+        s.insts,
+        s.loads,
+        s.stores,
+        s.l1_hits,
+        s.l1_misses,
+        s.l2_hits,
+        s.l2_misses,
+        s.bus_read_bytes,
+        s.bus_write_bytes,
+        s.prefetch_issued,
+        s.prefetch_dropped,
+        s.prefetch_useless,
+        s.hw_prefetches,
+        s.nt_stores,
+        s.wc_flushes,
+        s.branches,
+        s.mispredicts,
+    )
+}
+
 /// Where search events go. Implementations must tolerate concurrent
-/// searches (events are recorded serially per batch, but multiple
-/// engines may share one sink).
+/// searches and worker threads (span guards drop inside the parallel
+/// section; multiple engines may share one sink).
 pub trait TraceSink: Send + Sync {
     fn record(&self, ev: &SearchEvent);
     /// Flush buffered output (no-op by default).
     fn flush(&self) {}
 }
+
+// ---------------------------------------------------------------------------
+// Span guard API
+// ---------------------------------------------------------------------------
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A timed pipeline span: created at stage entry, emits a
+/// [`SearchEvent::Span`] into its sink when dropped. With no sink
+/// attached the guard is a no-op (two `Instant` reads).
+///
+/// ```
+/// # use ifko::eval::{MemSink, Span, TraceSink};
+/// # use std::sync::Arc;
+/// let sink = MemSink::new();
+/// {
+///     let tune = Span::root(Some(sink.clone()), "ddot@P4E/oc", "tune");
+///     let _parse = tune.child("parse"); // dropped first → emitted first
+/// }
+/// let spans = sink.spans();
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(spans[0].stage, "parse");
+/// assert_eq!(spans[0].parent, Some(spans[1].id));
+/// ```
+pub struct Span {
+    sink: Option<Arc<dyn TraceSink>>,
+    scope: Arc<str>,
+    stage: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: std::time::Instant,
+}
+
+impl Span {
+    /// A root span (no parent).
+    pub fn root(sink: Option<Arc<dyn TraceSink>>, scope: &str, stage: &'static str) -> Span {
+        Span::with_parent(sink, scope, stage, None)
+    }
+
+    /// A span under an explicit parent id (used when the parent guard
+    /// lives on another thread).
+    pub fn with_parent(
+        sink: Option<Arc<dyn TraceSink>>,
+        scope: &str,
+        stage: &'static str,
+        parent: Option<u64>,
+    ) -> Span {
+        Span {
+            sink,
+            scope: Arc::from(scope),
+            stage,
+            id: next_span_id(),
+            parent,
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// A child of this span.
+    pub fn child(&self, stage: &'static str) -> Span {
+        Span {
+            sink: self.sink.clone(),
+            scope: self.scope.clone(),
+            stage,
+            id: next_span_id(),
+            parent: Some(self.id),
+            start: std::time::Instant::now(),
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Emit a span for an already-measured duration (used for stages
+    /// timed by callee hooks, e.g. the FKO compile pipeline).
+    pub fn emit(
+        sink: &Option<Arc<dyn TraceSink>>,
+        scope: &str,
+        stage: &'static str,
+        parent: Option<u64>,
+        wall: std::time::Duration,
+    ) {
+        if let Some(sink) = sink {
+            sink.record(&SearchEvent::Span(SpanEvent {
+                scope: scope.to_string(),
+                stage: stage.to_string(),
+                id: next_span_id(),
+                parent,
+                wall_us: wall.as_micros() as u64,
+            }));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(sink) = &self.sink {
+            sink.record(&SearchEvent::Span(SpanEvent {
+                scope: self.scope.to_string(),
+                stage: self.stage.to_string(),
+                id: self.id,
+                parent: self.parent,
+                wall_us: self.start.elapsed().as_micros() as u64,
+            }));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
 
 /// In-memory sink for tests and ad-hoc inspection.
 #[derive(Default)]
@@ -182,9 +409,27 @@ impl MemSink {
     pub fn new() -> Arc<MemSink> {
         Arc::new(MemSink::default())
     }
-    /// Snapshot of all recorded events.
+    /// Snapshot of all recorded events (evaluations and spans).
     pub fn events(&self) -> Vec<SearchEvent> {
         self.events.lock().unwrap().clone()
+    }
+    /// Snapshot of the evaluation events only, in record order.
+    pub fn evals(&self) -> Vec<EvalEvent> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.as_eval().cloned())
+            .collect()
+    }
+    /// Snapshot of the span events only, in record order.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.as_span().cloned())
+            .collect()
     }
     pub fn len(&self) -> usize {
         self.events.lock().unwrap().len()
@@ -192,9 +437,14 @@ impl MemSink {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-    /// (cache hits, misses) over everything recorded so far.
+    /// (cache hits, misses) over the evaluations recorded so far.
+    #[deprecated(
+        since = "0.3.0",
+        note = "derive from `evals()` or read the metrics registry \
+                (`ifko_engine_cache_hits_total` / `ifko_engine_evals_total`)"
+    )]
     pub fn hit_miss(&self) -> (usize, usize) {
-        let evs = self.events.lock().unwrap();
+        let evs = self.evals();
         let hits = evs.iter().filter(|e| e.cache_hit).count();
         (hits, evs.len() - hits)
     }
@@ -207,6 +457,9 @@ impl TraceSink for MemSink {
 }
 
 /// JSONL file sink (one event per line), created by `--trace PATH`.
+/// Writes are buffered; the buffer is flushed explicitly via
+/// [`TraceSink::flush`] and unconditionally on drop, so a trace file is
+/// complete whenever the sink is gone.
 pub struct JsonlSink {
     out: Mutex<std::io::BufWriter<std::fs::File>>,
     path: PathBuf,
@@ -258,9 +511,16 @@ const SHARDS: usize = 16;
 /// A sharded map from evaluation keys to outcomes (`None` = the point was
 /// rejected by compilation or the tester). Optionally mirrored to an
 /// append-only JSONL file so separate processes share points.
+///
+/// Occupancy and persistence-write latency are reported to the global
+/// metrics registry (`ifko_cache_points`, `ifko_cache_inserts_total`,
+/// `ifko_cache_persist_write_us`).
 pub struct EvalCache {
     shards: Vec<Mutex<HashMap<String, Option<u64>>>>,
     disk: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    m_points: Arc<Gauge>,
+    m_inserts: Arc<Counter>,
+    m_persist_us: Arc<Histogram>,
 }
 
 impl Default for EvalCache {
@@ -272,9 +532,13 @@ impl Default for EvalCache {
 impl EvalCache {
     /// Fresh in-memory cache.
     pub fn new() -> EvalCache {
+        let reg = metrics::global();
         EvalCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             disk: None,
+            m_points: reg.gauge(metrics::CACHE_POINTS),
+            m_inserts: reg.counter(metrics::CACHE_INSERTS),
+            m_persist_us: reg.histogram(metrics::CACHE_PERSIST_WRITE_US, metrics::US_BUCKETS),
         }
     }
 
@@ -286,13 +550,20 @@ impl EvalCache {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("evals.jsonl");
         let mut cache = EvalCache::new();
+        let mut warm = 0u64;
         if let Ok(file) = std::fs::File::open(&path) {
             for line in std::io::BufReader::new(file).lines() {
                 let Ok(line) = line else { break };
                 if let Some((key, val)) = parse_cache_line(&line) {
                     cache.insert_mem(key, val);
+                    warm += 1;
                 }
             }
+        }
+        if warm > 0 {
+            metrics::global()
+                .counter(metrics::CACHE_WARM_LOADED)
+                .add(warm);
         }
         let file = std::fs::OpenOptions::new()
             .create(true)
@@ -311,19 +582,26 @@ impl EvalCache {
     }
 
     fn insert_mem(&self, key: String, val: Option<u64>) {
-        self.shard(&key).lock().unwrap().insert(key, val);
+        let newly = self.shard(&key).lock().unwrap().insert(key, val).is_none();
+        if newly {
+            self.m_points.add(1);
+        }
     }
 
     /// Insert an outcome, mirroring it to disk when persistent.
     pub fn insert(&self, key: String, val: Option<u64>) {
+        self.m_inserts.inc();
         if let Some(disk) = &self.disk {
             let line = match val {
-                Some(c) => format!("{{\"key\":\"{}\",\"cycles\":{c}}}", esc_key(&key)),
-                None => format!("{{\"key\":\"{}\",\"cycles\":null}}", esc_key(&key)),
+                Some(c) => format!("{{\"key\":\"{}\",\"cycles\":{c}}}", esc(&key)),
+                None => format!("{{\"key\":\"{}\",\"cycles\":null}}", esc(&key)),
             };
+            let t0 = std::time::Instant::now();
             let mut out = disk.lock().unwrap();
             let _ = writeln!(out, "{line}");
             let _ = out.flush();
+            drop(out);
+            self.m_persist_us.observe(t0.elapsed().as_micros() as u64);
         }
         self.insert_mem(key, val);
     }
@@ -335,10 +613,13 @@ impl EvalCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-}
-
-fn esc_key(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    /// Points per shard (occupancy diagnostic; keys are FNV-distributed).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .collect()
+    }
 }
 
 /// Parse one `{"key":"...","cycles":N|null}` line (the only shape we
@@ -377,6 +658,29 @@ fn parse_cache_line(line: &str) -> Option<(String, Option<u64>)> {
 // Engine
 // ---------------------------------------------------------------------------
 
+/// Everything one fresh evaluation produces: the timed cycles (or `None`
+/// for a rejection) plus the simulator counters of the verification run.
+#[derive(Clone, Debug, Default)]
+pub struct EvalRecord {
+    pub cycles: Option<u64>,
+    pub stats: Option<RunStats>,
+}
+
+impl EvalRecord {
+    pub fn rejected() -> EvalRecord {
+        EvalRecord::default()
+    }
+}
+
+impl From<Option<u64>> for EvalRecord {
+    fn from(cycles: Option<u64>) -> EvalRecord {
+        EvalRecord {
+            cycles,
+            stats: None,
+        }
+    }
+}
+
 /// Outcome of one batch submission.
 #[derive(Clone, Debug)]
 pub struct BatchOutcome {
@@ -390,7 +694,11 @@ pub struct BatchOutcome {
     pub cache_hits: u32,
 }
 
-/// Cumulative engine statistics (monotonic over the engine's lifetime).
+/// Cumulative engine statistics, read from the engine's metrics registry
+/// (one source of truth — the counters the engine increments are the
+/// counters this reads). With the default global registry the numbers
+/// are process-wide; attach a private registry via
+/// [`EvalEngine::with_metrics`] for per-engine isolation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     pub evaluated: u64,
@@ -405,22 +713,47 @@ pub struct EvalEngine {
     jobs: usize,
     cache: Arc<EvalCache>,
     trace: Option<Arc<dyn TraceSink>>,
-    evaluated: AtomicU64,
-    rejected: AtomicU64,
-    cache_hits: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+    m_evaluated: Arc<Counter>,
+    m_rejected: Arc<Counter>,
+    m_cache_hits: Arc<Counter>,
+    m_batches: Arc<Counter>,
+    m_busy_us: Arc<Counter>,
+    m_batch_size: Arc<Histogram>,
+    m_eval_wall: Arc<Histogram>,
+    m_batch_wall: Arc<Histogram>,
+    m_queue_wait: Arc<Histogram>,
 }
 
 impl EvalEngine {
-    /// An engine with `jobs` worker threads (1 = serial) and a fresh
-    /// in-memory cache.
+    /// An engine with `jobs` worker threads (1 = serial), a fresh
+    /// in-memory cache, and instruments on the global metrics registry.
     pub fn new(jobs: usize) -> EvalEngine {
+        EvalEngine::build(jobs, Arc::new(EvalCache::new()), None, metrics::global())
+    }
+
+    fn build(
+        jobs: usize,
+        cache: Arc<EvalCache>,
+        trace: Option<Arc<dyn TraceSink>>,
+        registry: Arc<MetricsRegistry>,
+    ) -> EvalEngine {
+        let jobs = jobs.max(1);
+        registry.gauge(metrics::ENGINE_JOBS).set(jobs as i64);
         EvalEngine {
-            jobs: jobs.max(1),
-            cache: Arc::new(EvalCache::new()),
-            trace: None,
-            evaluated: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
+            jobs,
+            cache,
+            trace,
+            m_evaluated: registry.counter(metrics::ENGINE_EVALS),
+            m_rejected: registry.counter(metrics::ENGINE_REJECTED),
+            m_cache_hits: registry.counter(metrics::ENGINE_CACHE_HITS),
+            m_batches: registry.counter(metrics::ENGINE_BATCHES),
+            m_busy_us: registry.counter(metrics::ENGINE_BUSY_US),
+            m_batch_size: registry.histogram(metrics::ENGINE_BATCH_SIZE, metrics::COUNT_BUCKETS),
+            m_eval_wall: registry.histogram(metrics::ENGINE_EVAL_WALL_US, metrics::US_BUCKETS),
+            m_batch_wall: registry.histogram(metrics::ENGINE_BATCH_WALL_US, metrics::US_BUCKETS),
+            m_queue_wait: registry.histogram(metrics::ENGINE_QUEUE_WAIT_US, metrics::US_BUCKETS),
+            metrics: registry,
         }
     }
 
@@ -436,6 +769,12 @@ impl EvalEngine {
         self
     }
 
+    /// Record this engine's instruments on `registry` instead of the
+    /// global one (tests use this for exact per-engine counts).
+    pub fn with_metrics(self, registry: Arc<MetricsRegistry>) -> EvalEngine {
+        EvalEngine::build(self.jobs, self.cache, self.trace, registry)
+    }
+
     pub fn jobs(&self) -> usize {
         self.jobs
     }
@@ -445,20 +784,23 @@ impl EvalEngine {
     pub fn trace(&self) -> Option<&Arc<dyn TraceSink>> {
         self.trace.as_ref()
     }
+    /// The registry this engine's instruments live on.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+    /// Cumulative statistics, derived from the metrics registry (see
+    /// [`EngineStats`]).
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            evaluated: self.evaluated.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            evaluated: self.m_evaluated.get(),
+            rejected: self.m_rejected.get(),
+            cache_hits: self.m_cache_hits.get(),
         }
     }
 
-    /// Evaluate a batch of candidate points, in parallel, memoized.
-    ///
-    /// `eval` is the pure evaluation function (compile + verify + time →
-    /// min cycles, `None` = rejected); it is called once per *unique
-    /// uncached* candidate. Results come back index-aligned with `cands`,
-    /// and all bookkeeping is order-deterministic regardless of `jobs`.
+    /// Evaluate a batch of candidate points, in parallel, memoized
+    /// (compatibility wrapper over [`EvalEngine::eval_batch_records`] for
+    /// evaluators that produce no simulator counters).
     pub fn eval_batch<F>(
         &self,
         scope: &EvalScope,
@@ -469,10 +811,31 @@ impl EvalEngine {
     where
         F: Fn(&TransformParams) -> Option<u64> + Sync,
     {
+        self.eval_batch_records(scope, phase, cands, |p| EvalRecord::from(eval(p)))
+    }
+
+    /// Evaluate a batch of candidate points, in parallel, memoized.
+    ///
+    /// `eval` is the pure evaluation function (compile + verify + time →
+    /// [`EvalRecord`], `cycles: None` = rejected); it is called once per
+    /// *unique uncached* candidate. Results come back index-aligned with
+    /// `cands`, and all bookkeeping is order-deterministic regardless of
+    /// `jobs`.
+    pub fn eval_batch_records<F>(
+        &self,
+        scope: &EvalScope,
+        phase: &'static str,
+        cands: &[TransformParams],
+        eval: F,
+    ) -> BatchOutcome
+    where
+        F: Fn(&TransformParams) -> EvalRecord + Sync,
+    {
         let keys: Vec<String> = cands.iter().map(|p| scope.point_key(p)).collect();
 
         // Serial pass: resolve cache hits and batch-internal duplicates.
         let mut results: Vec<Option<Option<u64>>> = vec![None; cands.len()];
+        let mut stats: Vec<Option<RunStats>> = vec![None; cands.len()];
         let mut hit: Vec<bool> = vec![false; cands.len()];
         let mut primary: HashMap<&str, usize> = HashMap::new();
         let mut dup_of: Vec<Option<usize>> = vec![None; cands.len()];
@@ -493,42 +856,39 @@ impl EvalEngine {
         let mut wall_us: Vec<u64> = vec![0; cands.len()];
         if !work.is_empty() {
             let workers = self.jobs.min(work.len());
+            let batch_start = std::time::Instant::now();
             let cursor = AtomicUsize::new(0);
-            let done: Mutex<Vec<(usize, Option<u64>, u64)>> =
+            let done: Mutex<Vec<(usize, EvalRecord, u64)>> =
                 Mutex::new(Vec::with_capacity(work.len()));
-            let evalr = &eval;
-            let workr = &work;
-            let cursorr = &cursor;
-            let doner = &done;
-            if workers <= 1 {
-                for &i in workr {
-                    let t0 = std::time::Instant::now();
-                    let r = evalr(&cands[i]);
-                    done.lock()
-                        .unwrap()
-                        .push((i, r, t0.elapsed().as_micros() as u64));
+            let run_worker = || loop {
+                let w = cursor.fetch_add(1, Ordering::Relaxed);
+                if w >= work.len() {
+                    break;
                 }
+                let i = work[w];
+                self.m_queue_wait
+                    .observe(batch_start.elapsed().as_micros() as u64);
+                let t0 = std::time::Instant::now();
+                let r = eval(&cands[i]);
+                let us = t0.elapsed().as_micros() as u64;
+                self.m_eval_wall.observe(us);
+                self.m_busy_us.add(us);
+                done.lock().unwrap().push((i, r, us));
+            };
+            if workers <= 1 {
+                run_worker();
             } else {
                 std::thread::scope(|s| {
                     for _ in 0..workers {
-                        s.spawn(move || loop {
-                            let w = cursorr.fetch_add(1, Ordering::Relaxed);
-                            if w >= workr.len() {
-                                break;
-                            }
-                            let i = workr[w];
-                            let t0 = std::time::Instant::now();
-                            let r = evalr(&cands[i]);
-                            doner
-                                .lock()
-                                .unwrap()
-                                .push((i, r, t0.elapsed().as_micros() as u64));
-                        });
+                        s.spawn(run_worker);
                     }
                 });
             }
+            self.m_batch_wall
+                .observe(batch_start.elapsed().as_micros() as u64);
             for (i, r, us) in done.into_inner().unwrap() {
-                results[i] = Some(r);
+                results[i] = Some(r.cycles);
+                stats[i] = r.stats;
                 wall_us[i] = us;
             }
             // Serial: publish to the cache in candidate order.
@@ -549,23 +909,24 @@ impl EvalEngine {
         let evaluated = work.len() as u32;
         let rejected = work.iter().filter(|&&i| results[i].is_none()).count() as u32;
         let cache_hits = hit.iter().filter(|&&h| h).count() as u32;
-        self.evaluated
-            .fetch_add(evaluated as u64, Ordering::Relaxed);
-        self.rejected.fetch_add(rejected as u64, Ordering::Relaxed);
-        self.cache_hits
-            .fetch_add(cache_hits as u64, Ordering::Relaxed);
+        self.m_batches.inc();
+        self.m_batch_size.observe(cands.len() as u64);
+        self.m_evaluated.add(evaluated as u64);
+        self.m_rejected.add(rejected as u64);
+        self.m_cache_hits.add(cache_hits as u64);
 
         if let Some(sink) = &self.trace {
             for i in 0..cands.len() {
-                sink.record(&SearchEvent {
+                sink.record(&SearchEvent::Eval(EvalEvent {
                     scope: scope.key().to_string(),
-                    phase,
+                    phase: phase.to_string(),
                     params: format!("{:?}", cands[i]),
                     cycles: results[i],
                     verified: results[i].is_some(),
                     cache_hit: hit[i],
                     wall_us: wall_us[i],
-                });
+                    stats: stats[i],
+                }));
             }
         }
 
@@ -661,13 +1022,59 @@ mod tests {
         let eng = EvalEngine::new(4).with_trace(sink.clone());
         let cands: Vec<_> = (1..=6).map(point).collect();
         eng.eval_batch(&scope(), "UR", &cands, |p| Some(p.unroll as u64));
-        let evs = sink.events();
+        let evs = sink.evals();
         assert_eq!(evs.len(), 6);
         for (ev, c) in evs.iter().zip(&cands) {
             assert_eq!(ev.params, format!("{c:?}"));
             assert_eq!(ev.phase, "UR");
             assert!(ev.verified && !ev.cache_hit);
         }
+    }
+
+    #[test]
+    fn trace_carries_run_stats_for_fresh_evals_only() {
+        let sink = MemSink::new();
+        let eng = EvalEngine::new(2).with_trace(sink.clone());
+        let cands = vec![point(2), point(4)];
+        let mk = |p: &TransformParams| EvalRecord {
+            cycles: Some(p.unroll as u64 * 100),
+            stats: Some(RunStats {
+                cycles: p.unroll as u64 * 100,
+                l1_misses: 7,
+                ..Default::default()
+            }),
+        };
+        eng.eval_batch_records(&scope(), "UR", &cands, mk);
+        // Warm re-submission: hits carry no stats.
+        eng.eval_batch_records(&scope(), "UR", &cands, |_| panic!("cached"));
+        let evs = sink.evals();
+        assert_eq!(evs.len(), 4);
+        assert!(evs[0].stats.is_some() && evs[1].stats.is_some());
+        assert_eq!(evs[0].stats.unwrap().l1_misses, 7);
+        assert!(evs[2].stats.is_none() && evs[3].stats.is_none());
+        assert!(evs[2].cache_hit && evs[3].cache_hit);
+    }
+
+    #[test]
+    fn engine_counters_are_exact_under_parallel_batches() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let eng = EvalEngine::new(8).with_metrics(reg.clone());
+        let cands: Vec<_> = (1..=64).map(point).collect();
+        let out = eng.eval_batch(&scope(), "UR", &cands, |p| {
+            if p.unroll % 7 == 0 {
+                None
+            } else {
+                Some(p.unroll as u64)
+            }
+        });
+        let again = eng.eval_batch(&scope(), "UR", &cands, |_| panic!("cached"));
+        let s = eng.stats();
+        assert_eq!(s.evaluated, out.evaluated as u64);
+        assert_eq!(s.rejected, out.rejected as u64);
+        assert_eq!(s.cache_hits, again.cache_hits as u64);
+        assert_eq!(reg.counter_value(metrics::ENGINE_EVALS), Some(64));
+        assert_eq!(reg.counter_value(metrics::ENGINE_CACHE_HITS), Some(64));
+        assert_eq!(reg.counter_value(metrics::ENGINE_BATCHES), Some(2));
     }
 
     #[test]
@@ -711,18 +1118,60 @@ mod tests {
 
     #[test]
     fn event_json_shape() {
-        let ev = SearchEvent {
+        let ev = EvalEvent {
             scope: "s".into(),
-            phase: "UR",
+            phase: "UR".into(),
             params: "p".into(),
             cycles: Some(5),
             verified: true,
             cache_hit: false,
             wall_us: 9,
+            stats: None,
         };
         assert_eq!(
             ev.to_json(),
             "{\"scope\":\"s\",\"phase\":\"UR\",\"params\":\"p\",\"cycles\":5,\"verified\":true,\"cache_hit\":false,\"wall_us\":9}"
         );
+        let with_stats = EvalEvent {
+            stats: Some(RunStats {
+                cycles: 5,
+                insts: 3,
+                ..Default::default()
+            }),
+            ..ev
+        };
+        let j = with_stats.to_json();
+        assert!(j.contains("\"stats\":{\"cycles\":5,\"insts\":3,"));
+        assert!(j.ends_with("\"mispredicts\":0}}"));
+    }
+
+    #[test]
+    fn span_json_shape_and_nesting() {
+        let sink = MemSink::new();
+        {
+            let root = Span::root(Some(sink.clone()), "sc", "tune");
+            let child = root.child("parse");
+            drop(child);
+        }
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, "parse");
+        assert_eq!(spans[1].stage, "tune");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, None);
+        let j = spans[1].to_json();
+        assert!(j.starts_with("{\"span\":\"tune\",\"scope\":\"sc\",\"id\":"));
+        assert!(j.contains("\"parent\":null"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn hit_miss_shim_still_derives_from_evals() {
+        let sink = MemSink::new();
+        let eng = EvalEngine::new(1).with_trace(sink.clone());
+        let cands = vec![point(2)];
+        eng.eval_batch(&scope(), "UR", &cands, |_| Some(1));
+        eng.eval_batch(&scope(), "UR", &cands, |_| panic!("cached"));
+        assert_eq!(sink.hit_miss(), (1, 1));
     }
 }

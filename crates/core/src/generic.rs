@@ -10,15 +10,16 @@
 //! under SIMD/AE, so floating comparisons use a size-scaled tolerance.
 
 use crate::config::TuneConfig;
-use crate::eval::{fnv64, EvalScope};
+use crate::eval::{fnv64, EvalRecord, EvalScope, Span};
 use crate::runner::Context;
-use crate::search::{line_search_batched, SearchOptions, SearchResult};
+use crate::search::{line_search_batched, SearchMetrics, SearchOptions, SearchResult};
 use ifko_fko::{
-    analyze_kernel, compile_ir, ArgSlot, CompileError, CompiledKernel, RetSlot, TransformParams,
+    analyze_kernel, compile_ir, compile_ir_observed, ArgSlot, CompileError, CompiledKernel,
+    RetSlot, TransformParams,
 };
 use ifko_xsim::isa::Prec;
 use ifko_xsim::rng::Rng64;
-use ifko_xsim::{Cpu, FReg, IReg, MachineConfig, Memory};
+use ifko_xsim::{Cpu, FReg, IReg, MachineConfig, Memory, RunStats};
 
 /// A workload for an arbitrary kernel, shaped by its argument convention.
 #[derive(Clone, Debug)]
@@ -61,6 +62,9 @@ pub struct GenericOutputs {
     pub ret_i: i64,
     pub vectors: Vec<Vec<f64>>,
     pub cycles: u64,
+    /// Full simulator counters of the run (`cycles` above is
+    /// `stats.cycles`, kept as its own field for convenience).
+    pub stats: RunStats,
 }
 
 /// Execute a compiled kernel against a generic workload.
@@ -150,6 +154,7 @@ pub fn run_generic(
         },
         vectors,
         cycles: stats.cycles,
+        stats,
     })
 }
 
@@ -203,23 +208,51 @@ pub(crate) fn tune_source_with_config(
     // name plus a content hash, so two different bodies never collide.
     let label = format!("hil:{}#{:016x}", ir.name, fnv64(src.as_bytes()));
     let scope = EvalScope::new(label, machine, context, n, cfg.seed, &opts.timer);
-    let eval_point = |p: &TransformParams| -> Option<u64> {
-        let c = compile_ir(&ir, p, &rep).ok()?;
+    let sink = engine.trace().cloned();
+    let search_span = Span::root(sink.clone(), scope.key(), "search");
+    let search_id = search_span.id();
+    let eval_point = |p: &TransformParams| -> EvalRecord {
+        let eval_span = Span::with_parent(sink.clone(), scope.key(), "eval", Some(search_id));
+        let compile_span = eval_span.child("compile");
+        let compile_id = compile_span.id();
+        let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
+        let c = compile_ir_observed(&ir, p, &rep, |stage, wall| stages.push((stage, wall)));
+        drop(compile_span);
+        for (stage, wall) in stages {
+            Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
+        }
+        let Ok(c) = c else {
+            return EvalRecord::rejected();
+        };
         // Verify differentially, then time (best of the timer's reps —
         // the simulator is deterministic, so one timed run suffices
         // here; the BLAS path exercises the full min-of-6 protocol).
-        let got = run_generic(&c, &w, context, machine).ok()?;
+        let sim_span = eval_span.child("simulate");
+        let got = run_generic(&c, &w, context, machine);
+        drop(sim_span);
+        let Ok(got) = got else {
+            return EvalRecord::rejected();
+        };
+        let _test_span = eval_span.child("test");
         if !outputs_agree(&got, &baseline, prec, n) {
-            return None;
+            return EvalRecord {
+                cycles: None,
+                stats: Some(got.stats),
+            };
         }
-        Some(got.cycles)
+        EvalRecord {
+            cycles: Some(got.cycles),
+            stats: Some(got.stats),
+        }
     };
 
+    let mut sm = SearchMetrics::new(engine.metrics().clone());
     let mut evals = 0u32;
     let mut rejected = 0u32;
     let mut hits = 0u32;
     let mut result = line_search_batched(&rep, machine, opts, |phase, cands| {
-        let out = engine.eval_batch(&scope, phase, cands, eval_point);
+        let out = engine.eval_batch_records(&scope, phase, cands, eval_point);
+        sm.observe_batch(phase, &out.results);
         evals += out.evaluated;
         rejected += out.rejected;
         hits += out.cache_hits;
@@ -228,6 +261,7 @@ pub(crate) fn tune_source_with_config(
     result.evaluations = evals;
     result.rejected = rejected;
     result.cache_hits = hits;
+    drop(search_span);
     let compiled = compile_ir(&ir, &result.best, &rep)?;
     Ok(GenericTuneOutcome { result, compiled })
 }

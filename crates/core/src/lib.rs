@@ -42,6 +42,8 @@ pub mod config;
 pub mod driver;
 pub mod eval;
 pub mod generic;
+pub mod metrics;
+pub mod report;
 pub mod runner;
 pub mod search;
 pub mod tester;
@@ -52,10 +54,11 @@ pub use driver::{flops_rate, TuneError, TuneOutcome};
 #[allow(deprecated)]
 pub use driver::{time_fko_defaults, tune, TuneOptions};
 pub use eval::{
-    machine_fingerprint, EvalCache, EvalEngine, EvalScope, JsonlSink, MemSink, SearchEvent,
-    TraceSink,
+    machine_fingerprint, EvalCache, EvalEngine, EvalEvent, EvalScope, JsonlSink, MemSink,
+    SearchEvent, Span, SpanEvent, TraceSink,
 };
 pub use generic::{tune_source, GenericTuneOutcome, GenericWorkload};
+pub use metrics::MetricsRegistry;
 pub use runner::{Context, KernelArgs, Outputs, RunFailure};
 pub use search::{SearchOptions, SearchResult};
 pub use tester::verify;
@@ -66,8 +69,10 @@ pub mod prelude {
     pub use crate::config::TuneConfig;
     pub use crate::driver::{flops_rate, TuneError, TuneOutcome};
     pub use crate::eval::{
-        EvalCache, EvalEngine, EvalScope, JsonlSink, MemSink, SearchEvent, TraceSink,
+        EvalCache, EvalEngine, EvalEvent, EvalScope, JsonlSink, MemSink, SearchEvent, Span,
+        SpanEvent, TraceSink,
     };
+    pub use crate::metrics::{self, MetricsRegistry};
     pub use crate::runner::Context;
     pub use crate::search::{Phase, PhaseGain, SearchOptions, SearchResult};
     pub use crate::timer::Timer;

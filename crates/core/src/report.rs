@@ -1,0 +1,962 @@
+//! `ifko report`: offline analysis of search-trace JSONL files.
+//!
+//! A trace (written by `--trace PATH` anywhere in the workspace) records
+//! every candidate evaluation and every pipeline span of a search. This
+//! module re-reads one or more such files and condenses them into the
+//! questions the paper's methodology keeps asking:
+//!
+//! * **Convergence** — how did the best-so-far improve, probe by probe,
+//!   and which phase produced each improvement (paper Figure 7's
+//!   decomposition, reconstructed from the trace alone)?
+//! * **Time attribution** — where did the tuning wall-clock go
+//!   (parse / xform / opt / regalloc / codegen / simulate / test /
+//!   time), reconstructed from the span tree?
+//! * **Cache effectiveness** — how many probes were answered by the
+//!   evaluation cache, and roughly how much wall-clock that saved?
+//! * **Winner hardware profile** — the simulator counters of the best
+//!   point (L1/L2 miss ratios, cycles/element), from the exported
+//!   [`RunStats`].
+//!
+//! Parsing is hand-rolled (the workspace builds offline, no serde): a
+//! minimal JSON reader plus shape-checking for the two event kinds.
+//! Malformed lines are **skipped and counted**, never fatal — a trace cut
+//! short by Ctrl-C must still report.
+
+use crate::eval::{EvalEvent, SearchEvent, SpanEvent};
+use ifko_xsim::RunStats;
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `f64`; every integer this
+/// tool reads (cycles, microseconds, counters) is far below 2^53.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one complete JSON value; `None` on any syntax error or trailing
+/// garbage.
+pub fn parse_json(s: &str) -> Option<Json> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\r' | b'\n') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Option<Json> {
+    skip_ws(b, i);
+    match *b.get(*i)? {
+        b'{' => {
+            *i += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Some(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = parse_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return None;
+                }
+                *i += 1;
+                let val = parse_value(b, i)?;
+                fields.push((key, val));
+                skip_ws(b, i);
+                match b.get(*i)? {
+                    b',' => *i += 1,
+                    b'}' => {
+                        *i += 1;
+                        return Some(Json::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Some(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i)? {
+                    b',' => *i += 1,
+                    b']' => {
+                        *i += 1;
+                        return Some(Json::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => Some(Json::Str(parse_string(b, i)?)),
+        b't' => {
+            if b[*i..].starts_with(b"true") {
+                *i += 4;
+                Some(Json::Bool(true))
+            } else {
+                None
+            }
+        }
+        b'f' => {
+            if b[*i..].starts_with(b"false") {
+                *i += 5;
+                Some(Json::Bool(false))
+            } else {
+                None
+            }
+        }
+        b'n' => {
+            if b[*i..].starts_with(b"null") {
+                *i += 4;
+                Some(Json::Null)
+            } else {
+                None
+            }
+        }
+        _ => {
+            let start = *i;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                *i += 1;
+            }
+            if *i == start {
+                return None;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()?
+                .parse::<f64>()
+                .ok()
+                .map(Json::Num)
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Option<String> {
+    if b.get(*i) != Some(&b'"') {
+        return None;
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match *b.get(*i)? {
+            b'"' => {
+                *i += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match *b.get(*i)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b.get(*i + 1..*i + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *i += 4;
+                    }
+                    _ => return None,
+                }
+                *i += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar.
+                let s = std::str::from_utf8(&b[*i..]).ok()?;
+                let c = s.chars().next()?;
+                out.push(c);
+                *i += c.len_utf8();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace reading
+// ---------------------------------------------------------------------------
+
+/// A re-read trace: the decoded events plus the malformed-line count.
+#[derive(Default)]
+pub struct TraceData {
+    pub events: Vec<SearchEvent>,
+    pub malformed: usize,
+}
+
+/// Decode one trace line. Span lines are distinguished by their `"span"`
+/// key; everything else must look like an eval event.
+pub fn parse_trace_line(line: &str) -> Option<SearchEvent> {
+    let v = parse_json(line)?;
+    if let Some(stage) = v.get("span") {
+        return Some(SearchEvent::Span(SpanEvent {
+            stage: stage.as_str()?.to_string(),
+            scope: v.get("scope")?.as_str()?.to_string(),
+            id: v.get("id")?.as_u64()?,
+            parent: match v.get("parent")? {
+                Json::Null => None,
+                p => Some(p.as_u64()?),
+            },
+            wall_us: v.get("wall_us")?.as_u64()?,
+        }));
+    }
+    Some(SearchEvent::Eval(EvalEvent {
+        scope: v.get("scope")?.as_str()?.to_string(),
+        phase: v.get("phase")?.as_str()?.to_string(),
+        params: v.get("params")?.as_str()?.to_string(),
+        cycles: match v.get("cycles")? {
+            Json::Null => None,
+            c => Some(c.as_u64()?),
+        },
+        verified: v.get("verified")?.as_bool()?,
+        cache_hit: v.get("cache_hit")?.as_bool()?,
+        wall_us: v.get("wall_us")?.as_u64()?,
+        stats: v.get("stats").and_then(parse_stats),
+    }))
+}
+
+fn parse_stats(v: &Json) -> Option<RunStats> {
+    let f = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+    Some(RunStats {
+        cycles: v.get("cycles")?.as_u64()?,
+        insts: f("insts"),
+        loads: f("loads"),
+        stores: f("stores"),
+        l1_hits: f("l1_hits"),
+        l1_misses: f("l1_misses"),
+        l2_hits: f("l2_hits"),
+        l2_misses: f("l2_misses"),
+        bus_read_bytes: f("bus_read_bytes"),
+        bus_write_bytes: f("bus_write_bytes"),
+        prefetch_issued: f("prefetch_issued"),
+        prefetch_dropped: f("prefetch_dropped"),
+        prefetch_useless: f("prefetch_useless"),
+        hw_prefetches: f("hw_prefetches"),
+        nt_stores: f("nt_stores"),
+        wc_flushes: f("wc_flushes"),
+        branches: f("branches"),
+        mispredicts: f("mispredicts"),
+    })
+}
+
+/// Read a trace file, skipping (and counting) malformed lines.
+pub fn read_trace(path: impl AsRef<Path>) -> std::io::Result<TraceData> {
+    let file = std::fs::File::open(path)?;
+    let mut data = TraceData::default();
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_trace_line(&line) {
+            Some(ev) => data.events.push(ev),
+            None => data.malformed += 1,
+        }
+    }
+    Ok(data)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// One best-so-far improvement during a search.
+#[derive(Clone, Debug)]
+pub struct ConvPoint {
+    /// 1-based probe index within the scope (file order).
+    pub probe: u64,
+    pub cycles: u64,
+    pub phase: String,
+}
+
+/// Figure-7-style per-phase attribution: how many candidates the phase
+/// swept, how many became a new best, and the multiplicative speedup its
+/// wins contributed.
+#[derive(Clone, Debug)]
+pub struct PhaseRow {
+    pub phase: String,
+    pub candidates: u64,
+    pub wins: u64,
+    pub speedup: f64,
+}
+
+/// Everything the trace says about one evaluation scope (one kernel on
+/// one machine/context/size).
+#[derive(Clone, Debug)]
+pub struct ScopeReport {
+    pub scope: String,
+    /// Problem size, parsed back out of the scope key.
+    pub n: Option<u64>,
+    pub probes: u64,
+    pub fresh: u64,
+    pub cache_hits: u64,
+    pub rejected: u64,
+    pub first_cycles: Option<u64>,
+    pub best_cycles: Option<u64>,
+    pub best_params: Option<String>,
+    pub convergence: Vec<ConvPoint>,
+    pub phases: Vec<PhaseRow>,
+    /// Simulator counters of the best point's verification run, if the
+    /// winning evaluation was fresh (cache hits carry no stats).
+    pub best_stats: Option<RunStats>,
+    /// Total wall-clock of the fresh evaluations, microseconds.
+    pub fresh_wall_us: u64,
+}
+
+impl ScopeReport {
+    /// Total-search speedup: first (seed) cycles over best cycles.
+    pub fn speedup(&self) -> f64 {
+        match (self.first_cycles, self.best_cycles) {
+            (Some(a), Some(b)) if b > 0 => a as f64 / b as f64,
+            _ => 1.0,
+        }
+    }
+    /// Mean wall-clock of one fresh evaluation, microseconds.
+    pub fn mean_fresh_wall_us(&self) -> f64 {
+        if self.fresh == 0 {
+            0.0
+        } else {
+            self.fresh_wall_us as f64 / self.fresh as f64
+        }
+    }
+    /// Estimated wall-clock the cache saved: hits × mean fresh cost.
+    pub fn saved_wall_us_est(&self) -> f64 {
+        self.cache_hits as f64 * self.mean_fresh_wall_us()
+    }
+}
+
+/// Aggregated wall-clock of one pipeline stage across the trace.
+#[derive(Clone, Debug)]
+pub struct StageRow {
+    pub stage: String,
+    pub count: u64,
+    pub total_us: u64,
+}
+
+/// The full analysis of one or more traces.
+pub struct TraceReport {
+    pub malformed: usize,
+    pub scopes: Vec<ScopeReport>,
+    /// Per-stage attribution, sorted by total time descending. Only
+    /// *leaf-ish* stages are listed (container spans — `tune`, `search`,
+    /// `eval`, `compile` — are excluded so the table sums to ~100% of
+    /// attributed time rather than multiply counting nested spans).
+    pub stages: Vec<StageRow>,
+    /// Container spans, for reference (`tune`, `search`, `eval`, ...).
+    pub containers: Vec<StageRow>,
+}
+
+/// Span stages that contain other spans rather than doing leaf work.
+const CONTAINER_STAGES: &[&str] = &["tune", "search", "eval", "compile"];
+
+/// Analyze decoded events (use [`read_trace`] to obtain them).
+pub fn analyze(events: &[SearchEvent], malformed: usize) -> TraceReport {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_scope: HashMap<String, Vec<&EvalEvent>> = HashMap::new();
+    let mut stage_map: HashMap<String, (u64, u64)> = HashMap::new();
+    for ev in events {
+        match ev {
+            SearchEvent::Eval(e) => {
+                if !by_scope.contains_key(&e.scope) {
+                    order.push(e.scope.clone());
+                }
+                by_scope.entry(e.scope.clone()).or_default().push(e);
+            }
+            SearchEvent::Span(s) => {
+                let entry = stage_map.entry(s.stage.clone()).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += s.wall_us;
+            }
+        }
+    }
+
+    let scopes = order
+        .iter()
+        .map(|scope| analyze_scope(scope, &by_scope[scope]))
+        .collect();
+
+    let mut stages: Vec<StageRow> = Vec::new();
+    let mut containers: Vec<StageRow> = Vec::new();
+    for (stage, (count, total_us)) in stage_map {
+        let row = StageRow {
+            stage,
+            count,
+            total_us,
+        };
+        if CONTAINER_STAGES.contains(&row.stage.as_str()) {
+            containers.push(row);
+        } else {
+            stages.push(row);
+        }
+    }
+    stages.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.stage.cmp(&b.stage)));
+    containers.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.stage.cmp(&b.stage)));
+
+    TraceReport {
+        malformed,
+        scopes,
+        stages,
+        containers,
+    }
+}
+
+fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
+    let mut rep = ScopeReport {
+        scope: scope.to_string(),
+        n: scope_n(scope),
+        probes: evs.len() as u64,
+        fresh: 0,
+        cache_hits: 0,
+        rejected: 0,
+        first_cycles: None,
+        best_cycles: None,
+        best_params: None,
+        convergence: Vec::new(),
+        phases: Vec::new(),
+        best_stats: None,
+        fresh_wall_us: 0,
+    };
+    let mut phase_order: Vec<String> = Vec::new();
+    let mut phase_map: HashMap<String, PhaseRow> = HashMap::new();
+    let mut best: Option<u64> = None;
+    for (idx, e) in evs.iter().enumerate() {
+        if e.cache_hit {
+            rep.cache_hits += 1;
+        } else {
+            rep.fresh += 1;
+            rep.fresh_wall_us += e.wall_us;
+            if !e.verified {
+                rep.rejected += 1;
+            }
+        }
+        if !phase_map.contains_key(&e.phase) {
+            phase_order.push(e.phase.clone());
+            phase_map.insert(
+                e.phase.clone(),
+                PhaseRow {
+                    phase: e.phase.clone(),
+                    candidates: 0,
+                    wins: 0,
+                    speedup: 1.0,
+                },
+            );
+        }
+        let row = phase_map.get_mut(&e.phase).unwrap();
+        row.candidates += 1;
+        // Replay the search's selection rule: in-order scan, strict
+        // improvement; the first verified probe seeds the baseline.
+        if let Some(c) = e.cycles {
+            let won = match best {
+                None => {
+                    rep.first_cycles = Some(c);
+                    true
+                }
+                Some(b) if c < b => {
+                    row.wins += 1;
+                    row.speedup *= b as f64 / c as f64;
+                    true
+                }
+                Some(_) => false,
+            };
+            if won {
+                best = Some(c);
+                rep.best_params = Some(e.params.clone());
+                rep.best_stats = e.stats;
+                rep.convergence.push(ConvPoint {
+                    probe: idx as u64 + 1,
+                    cycles: c,
+                    phase: e.phase.clone(),
+                });
+            }
+        }
+    }
+    rep.best_cycles = best;
+    rep.phases = phase_order
+        .into_iter()
+        .map(|p| phase_map.remove(&p).unwrap())
+        .collect();
+    rep
+}
+
+/// Parse the problem size back out of a scope key
+/// (`kernel@machine/ctx/n{N}/s{seed}/timer`).
+fn scope_n(scope: &str) -> Option<u64> {
+    scope.split('/').find_map(|part| {
+        part.strip_prefix('n')
+            .and_then(|digits| digits.parse::<u64>().ok())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Output format of [`render`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReportFormat {
+    Text,
+    Json,
+    Markdown,
+}
+
+impl ReportFormat {
+    pub fn parse(s: &str) -> Option<ReportFormat> {
+        match s {
+            "text" => Some(ReportFormat::Text),
+            "json" => Some(ReportFormat::Json),
+            "md" | "markdown" => Some(ReportFormat::Markdown),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic float formatting shared by all renderers.
+fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Render a report in the chosen format. Output is deterministic for a
+/// given trace (floats fixed to 4 decimals, stable orderings), so the
+/// JSON form is golden-testable.
+pub fn render(rep: &TraceReport, format: ReportFormat) -> String {
+    match format {
+        ReportFormat::Text => render_text(rep),
+        ReportFormat::Json => render_json(rep),
+        ReportFormat::Markdown => render_md(rep),
+    }
+}
+
+fn render_text(rep: &TraceReport) -> String {
+    let mut s = String::new();
+    for sc in &rep.scopes {
+        s.push_str(&format!("== {} ==\n", sc.scope));
+        s.push_str(&format!(
+            "probes {} (fresh {}, cache hits {}, rejected {})\n",
+            sc.probes, sc.fresh, sc.cache_hits, sc.rejected
+        ));
+        if let (Some(a), Some(b)) = (sc.first_cycles, sc.best_cycles) {
+            s.push_str(&format!(
+                "cycles {a} -> {b}  (speedup {}x)\n",
+                f4(sc.speedup())
+            ));
+        }
+        if let Some(p) = &sc.best_params {
+            s.push_str(&format!("best {p}\n"));
+        }
+        s.push_str("phase        cands  wins  speedup\n");
+        for ph in &sc.phases {
+            s.push_str(&format!(
+                "{:<12} {:>5} {:>5}  {}\n",
+                ph.phase,
+                ph.candidates,
+                ph.wins,
+                f4(ph.speedup)
+            ));
+        }
+        if !sc.convergence.is_empty() {
+            s.push_str("convergence (probe: cycles @phase):");
+            for c in &sc.convergence {
+                s.push_str(&format!(" {}:{}@{}", c.probe, c.cycles, c.phase));
+            }
+            s.push('\n');
+        }
+        if let Some(st) = &sc.best_stats {
+            s.push_str(&format!(
+                "winner hw: insts {}  L1 miss {}  L2 miss {}  bus rd/wr {}/{} B",
+                st.insts,
+                f4(st.l1_miss_ratio()),
+                f4(l2_miss_ratio(st)),
+                st.bus_read_bytes,
+                st.bus_write_bytes
+            ));
+            if let Some(n) = sc.n {
+                s.push_str(&format!("  cyc/elem {}", f4(st.cycles_per_elem(n))));
+            }
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "cache: {} hits, ~{} us saved (mean fresh eval {} us)\n\n",
+            sc.cache_hits,
+            f4(sc.saved_wall_us_est()),
+            f4(sc.mean_fresh_wall_us())
+        ));
+    }
+
+    if !rep.stages.is_empty() {
+        let total: u64 = rep.stages.iter().map(|r| r.total_us).sum();
+        s.push_str("== stage time attribution ==\n");
+        s.push_str("stage        count   total_us      %\n");
+        for row in &rep.stages {
+            let pct = if total == 0 {
+                0.0
+            } else {
+                row.total_us as f64 * 100.0 / total as f64
+            };
+            s.push_str(&format!(
+                "{:<12} {:>5} {:>10}  {:>5}\n",
+                row.stage,
+                row.count,
+                row.total_us,
+                format!("{pct:.1}")
+            ));
+        }
+    }
+    if rep.malformed > 0 {
+        s.push_str(&format!("({} malformed lines skipped)\n", rep.malformed));
+    }
+    s
+}
+
+fn jstr(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn render_json(rep: &TraceReport) -> String {
+    let mut s = String::from("{");
+    s.push_str(&format!("\"malformed\":{},", rep.malformed));
+    s.push_str("\"scopes\":[");
+    for (i, sc) in rep.scopes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"scope\":{},\"probes\":{},\"fresh\":{},\"cache_hits\":{},\"rejected\":{}",
+            jstr(&sc.scope),
+            sc.probes,
+            sc.fresh,
+            sc.cache_hits,
+            sc.rejected
+        ));
+        s.push_str(&format!(
+            ",\"first_cycles\":{},\"best_cycles\":{},\"speedup\":{}",
+            opt_u64(sc.first_cycles),
+            opt_u64(sc.best_cycles),
+            f4(sc.speedup())
+        ));
+        if let Some(p) = &sc.best_params {
+            s.push_str(&format!(",\"best_params\":{}", jstr(p)));
+        }
+        s.push_str(",\"phases\":[");
+        for (j, ph) in sc.phases.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"phase\":{},\"candidates\":{},\"wins\":{},\"speedup\":{}}}",
+                jstr(&ph.phase),
+                ph.candidates,
+                ph.wins,
+                f4(ph.speedup)
+            ));
+        }
+        s.push_str("],\"convergence\":[");
+        for (j, c) in sc.convergence.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"probe\":{},\"cycles\":{},\"phase\":{}}}",
+                c.probe,
+                c.cycles,
+                jstr(&c.phase)
+            ));
+        }
+        s.push(']');
+        if let Some(st) = &sc.best_stats {
+            s.push_str(&format!(
+                ",\"winner\":{{\"insts\":{},\"l1_miss_ratio\":{},\"l2_miss_ratio\":{},\"bus_read_bytes\":{},\"bus_write_bytes\":{}",
+                st.insts,
+                f4(st.l1_miss_ratio()),
+                f4(l2_miss_ratio(st)),
+                st.bus_read_bytes,
+                st.bus_write_bytes
+            ));
+            if let Some(n) = sc.n {
+                s.push_str(&format!(
+                    ",\"cycles_per_elem\":{}",
+                    f4(st.cycles_per_elem(n))
+                ));
+            }
+            s.push('}');
+        }
+        s.push_str(&format!(
+            ",\"saved_wall_us_est\":{}}}",
+            f4(sc.saved_wall_us_est())
+        ));
+    }
+    s.push_str("],\"stages\":[");
+    for (i, row) in rep.stages.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"stage\":{},\"count\":{},\"total_us\":{}}}",
+            jstr(&row.stage),
+            row.count,
+            row.total_us
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn render_md(rep: &TraceReport) -> String {
+    let mut s = String::new();
+    for sc in &rep.scopes {
+        s.push_str(&format!("## `{}`\n\n", sc.scope));
+        s.push_str(&format!(
+            "{} probes — {} fresh, {} cache hits, {} rejected; ",
+            sc.probes, sc.fresh, sc.cache_hits, sc.rejected
+        ));
+        if let (Some(a), Some(b)) = (sc.first_cycles, sc.best_cycles) {
+            s.push_str(&format!("{a} → {b} cycles (**{}×**)", f4(sc.speedup())));
+        }
+        s.push_str("\n\n| phase | candidates | wins | speedup |\n|---|---|---|---|\n");
+        for ph in &sc.phases {
+            s.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                ph.phase,
+                ph.candidates,
+                ph.wins,
+                f4(ph.speedup)
+            ));
+        }
+        s.push('\n');
+    }
+    if !rep.stages.is_empty() {
+        s.push_str("## Stage time attribution\n\n| stage | count | total µs |\n|---|---|---|\n");
+        for row in &rep.stages {
+            s.push_str(&format!(
+                "| {} | {} | {} |\n",
+                row.stage, row.count, row.total_us
+            ));
+        }
+        s.push('\n');
+    }
+    if rep.malformed > 0 {
+        s.push_str(&format!("_{} malformed lines skipped._\n", rep.malformed));
+    }
+    s
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".to_string(), |x| x.to_string())
+}
+
+fn l2_miss_ratio(s: &RunStats) -> f64 {
+    let total = s.l2_hits + s.l2_misses;
+    if total == 0 {
+        0.0
+    } else {
+        s.l2_misses as f64 / total as f64
+    }
+}
+
+/// Convenience: read, merge, analyze, and render trace files.
+pub fn report_files(paths: &[impl AsRef<Path>], format: ReportFormat) -> std::io::Result<String> {
+    let mut events = Vec::new();
+    let mut malformed = 0;
+    for p in paths {
+        let data = read_trace(p)?;
+        events.extend(data.events);
+        malformed += data.malformed;
+    }
+    Ok(render(&analyze(&events, malformed), format))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_round_trips_event_shapes() {
+        let v = parse_json(r#"{"a":1,"b":[true,null,"x\"y"],"c":{"d":-2.5}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("c").unwrap().get("d"), Some(&Json::Num(-2.5)));
+        match v.get("b").unwrap() {
+            Json::Arr(items) => {
+                assert_eq!(items[0], Json::Bool(true));
+                assert_eq!(items[1], Json::Null);
+                assert_eq!(items[2], Json::Str("x\"y".into()));
+            }
+            _ => panic!("b must be an array"),
+        }
+        assert!(parse_json("{\"a\":}").is_none());
+        assert!(parse_json("{} trailing").is_none());
+    }
+
+    #[test]
+    fn trace_lines_decode_both_kinds() {
+        let ev = parse_trace_line(
+            r#"{"scope":"s","phase":"UR","params":"p","cycles":7,"verified":true,"cache_hit":false,"wall_us":3}"#,
+        )
+        .unwrap();
+        let e = ev.as_eval().unwrap();
+        assert_eq!(e.cycles, Some(7));
+        assert!(e.stats.is_none());
+
+        let ev = parse_trace_line(
+            r#"{"scope":"s","phase":"UR","params":"p","cycles":null,"verified":false,"cache_hit":false,"wall_us":3,"stats":{"cycles":9,"insts":4}}"#,
+        )
+        .unwrap();
+        let e = ev.as_eval().unwrap();
+        assert_eq!(e.cycles, None);
+        assert_eq!(e.stats.unwrap().insts, 4);
+
+        let sp =
+            parse_trace_line(r#"{"span":"simulate","scope":"s","id":4,"parent":2,"wall_us":99}"#)
+                .unwrap();
+        let sp = sp.as_span().unwrap();
+        assert_eq!(sp.stage, "simulate");
+        assert_eq!(sp.parent, Some(2));
+
+        assert!(parse_trace_line("not json").is_none());
+        assert!(parse_trace_line(r#"{"scope":"s"}"#).is_none());
+    }
+
+    fn eval(phase: &str, cycles: Option<u64>, hit: bool) -> SearchEvent {
+        SearchEvent::Eval(EvalEvent {
+            scope: "k@m/oc/n100/s0/r1i0s0".into(),
+            phase: phase.into(),
+            params: format!("P{cycles:?}"),
+            cycles,
+            verified: cycles.is_some(),
+            cache_hit: hit,
+            wall_us: if hit { 0 } else { 10 },
+            stats: cycles.map(|c| RunStats {
+                cycles: c,
+                insts: 5,
+                l1_hits: 3,
+                l1_misses: 1,
+                ..Default::default()
+            }),
+        })
+    }
+
+    #[test]
+    fn analysis_replays_the_selection_rule() {
+        let events = vec![
+            eval("SEED", Some(100), false),
+            eval("UR", Some(120), false), // worse: no win
+            eval("UR", Some(80), false),  // win
+            eval("UR", Some(80), true),   // tie via cache: no win
+            eval("AE", None, false),      // rejected
+            eval("AE", Some(60), false),  // win
+        ];
+        let rep = analyze(&events, 1);
+        assert_eq!(rep.malformed, 1);
+        assert_eq!(rep.scopes.len(), 1);
+        let sc = &rep.scopes[0];
+        assert_eq!(sc.n, Some(100));
+        assert_eq!(
+            (sc.probes, sc.fresh, sc.cache_hits, sc.rejected),
+            (6, 5, 1, 1)
+        );
+        assert_eq!(sc.first_cycles, Some(100));
+        assert_eq!(sc.best_cycles, Some(60));
+        assert_eq!(sc.convergence.len(), 3); // seed, 80, 60
+        let ur = sc.phases.iter().find(|p| p.phase == "UR").unwrap();
+        assert_eq!((ur.candidates, ur.wins), (3, 1));
+        assert!((ur.speedup - 100.0 / 80.0).abs() < 1e-12);
+        let total: f64 = sc.phases.iter().map(|p| p.speedup).product();
+        assert!(
+            (total - sc.speedup()).abs() < 1e-12,
+            "phase speedups compose"
+        );
+        assert_eq!(sc.best_stats.unwrap().cycles, 60);
+    }
+
+    #[test]
+    fn stage_attribution_separates_containers() {
+        let span = |stage: &str, id, parent, us| {
+            SearchEvent::Span(SpanEvent {
+                scope: "s".into(),
+                stage: stage.into(),
+                id,
+                parent,
+                wall_us: us,
+            })
+        };
+        let events = vec![
+            span("eval", 1, None, 100),
+            span("simulate", 2, Some(1), 60),
+            span("codegen", 3, Some(1), 30),
+            span("simulate", 4, Some(1), 40),
+        ];
+        let rep = analyze(&events, 0);
+        assert_eq!(rep.stages[0].stage, "simulate");
+        assert_eq!(rep.stages[0].total_us, 100);
+        assert_eq!(rep.stages[0].count, 2);
+        assert_eq!(rep.containers.len(), 1);
+        assert_eq!(rep.containers[0].stage, "eval");
+    }
+
+    #[test]
+    fn renderers_are_deterministic_and_well_formed() {
+        let events = vec![eval("SEED", Some(100), false), eval("UR", Some(50), false)];
+        let rep = analyze(&events, 0);
+        let json = render(&rep, ReportFormat::Json);
+        assert_eq!(json, render(&analyze(&events, 0), ReportFormat::Json));
+        // The JSON renderer must emit parseable JSON.
+        assert!(parse_json(&json).is_some(), "bad report json: {json}");
+        let text = render(&rep, ReportFormat::Text);
+        assert!(text.contains("speedup 2.0000x"));
+        let md = render(&rep, ReportFormat::Markdown);
+        assert!(md.contains("| UR | 1 | 1 | 2.0000 |"));
+    }
+}

@@ -23,14 +23,16 @@
 //! bit-identical for any `jobs` count (the determinism invariant; see
 //! `crates/core/src/eval.rs`).
 
-use crate::eval::{EvalEngine, EvalScope};
+use crate::eval::{EvalEngine, EvalRecord, EvalScope, Span};
+use crate::metrics::{self, MetricsRegistry};
 use crate::runner::{run_once, Context, KernelArgs};
 use crate::tester::verify;
 use crate::timer::Timer;
 use ifko_blas::{Kernel, Workload};
 use ifko_fko::ir::KernelIr;
-use ifko_fko::{compile_ir, AnalysisReport, TransformParams};
+use ifko_fko::{compile_ir_observed, AnalysisReport, TransformParams};
 use ifko_xsim::MachineConfig;
+use std::sync::Arc;
 
 /// Which phase of the line search produced a gain.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -151,6 +153,56 @@ impl SearchResult {
 /// Phase label used for the seeding evaluation (FKO defaults).
 pub const PHASE_SEED: &str = "SEED";
 
+/// Per-phase search instrumentation: candidate counts, phase wins, and
+/// winner improvement deltas, reported to a metrics registry. The winner
+/// bookkeeping replays the skeleton's own selection rule (serial in-order
+/// scan, strict improvement, the seeding result establishes the baseline
+/// without counting as a win), so the counters agree with the search's
+/// actual decisions at any `jobs` width.
+pub(crate) struct SearchMetrics {
+    reg: Arc<MetricsRegistry>,
+    cur_best: Option<u64>,
+}
+
+impl SearchMetrics {
+    pub(crate) fn new(reg: Arc<MetricsRegistry>) -> SearchMetrics {
+        SearchMetrics {
+            reg,
+            cur_best: None,
+        }
+    }
+
+    /// Fold one submitted batch's results into the counters.
+    pub(crate) fn observe_batch(&mut self, phase: &str, results: &[Option<u64>]) {
+        self.reg
+            .counter(&metrics::labeled(
+                metrics::SEARCH_CANDIDATES,
+                "phase",
+                phase,
+            ))
+            .add(results.len() as u64);
+        for c in results.iter().flatten().copied() {
+            match self.cur_best {
+                None => self.cur_best = Some(c),
+                Some(b) if c < b => {
+                    self.reg
+                        .counter(&metrics::labeled(
+                            metrics::SEARCH_PHASE_WINS,
+                            "phase",
+                            phase,
+                        ))
+                        .inc();
+                    self.reg
+                        .histogram(metrics::SEARCH_WINNER_DELTA_PCT, metrics::PCT_BUCKETS)
+                        .observe((b - c) * 100 / b.max(1));
+                    self.cur_best = Some(c);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
 /// Run the modified line search for a BLAS kernel with a private serial
 /// engine (compile + verify + time, memoized).
 #[allow(clippy::too_many_arguments)]
@@ -187,24 +239,62 @@ pub fn line_search_engine(
     scope: &EvalScope,
 ) -> SearchResult {
     let timer = opts.timer.clone();
-    let eval_point = |p: &TransformParams| -> Option<u64> {
-        let compiled = compile_ir(ir, p, rep).ok()?;
+    let sink = engine.trace().cloned();
+    let search_span = Span::root(sink.clone(), scope.key(), "search");
+    let search_id = search_span.id();
+    let eval_point = |p: &TransformParams| -> EvalRecord {
+        let eval_span = Span::with_parent(sink.clone(), scope.key(), "eval", Some(search_id));
+        // Compile, attributing time to the FKO pipeline stages.
+        let compile_span = eval_span.child("compile");
+        let compile_id = compile_span.id();
+        let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
+        let compiled = compile_ir_observed(ir, p, rep, |stage, wall| stages.push((stage, wall)));
+        drop(compile_span);
+        for (stage, wall) in stages {
+            Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
+        }
+        let Ok(compiled) = compiled else {
+            return EvalRecord::rejected();
+        };
         let args = KernelArgs {
             kernel,
             workload,
             context,
         };
-        // Verify first (the paper's tester step).
-        let out = run_once(&compiled, &args, machine).ok()?;
-        verify(kernel, workload, &out).ok()?;
-        timer.time(&compiled, &args, machine).ok()
+        // Verify first (the paper's tester step); the verification run's
+        // simulator counters travel with the record into the trace.
+        let sim_span = eval_span.child("simulate");
+        let out = run_once(&compiled, &args, machine);
+        drop(sim_span);
+        let Ok(out) = out else {
+            return EvalRecord::rejected();
+        };
+        let stats = out.stats;
+        {
+            let _test_span = eval_span.child("test");
+            if verify(kernel, workload, &out).is_err() {
+                return EvalRecord {
+                    cycles: None,
+                    stats: Some(stats),
+                };
+            }
+        }
+        let time_span = eval_span.child("time");
+        let cycles = timer.time(&compiled, &args, machine).ok();
+        drop(time_span);
+        EvalRecord {
+            cycles,
+            stats: Some(stats),
+        }
     };
 
+    let mut sm = SearchMetrics::new(engine.metrics().clone());
     let mut evaluations = 0u32;
     let mut rejected = 0u32;
     let mut cache_hits = 0u32;
     let mut r = line_search_batched(rep, machine, opts, |phase, cands| {
-        let out = engine.eval_batch(scope, phase, cands, eval_point);
+        let out = engine.eval_batch_records(scope, phase, cands, eval_point);
+        sm.observe_batch(phase, &out.results);
         evaluations += out.evaluated;
         rejected += out.rejected;
         cache_hits += out.cache_hits;

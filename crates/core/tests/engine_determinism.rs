@@ -97,9 +97,12 @@ fn warm_cache_rerun_is_all_hits() {
     // Identical outcome, and the trace confirms 100% hits.
     assert_eq!(warm.result.best, cold.result.best);
     assert_eq!(warm.result.best_cycles, cold.result.best_cycles);
-    let (hits, misses) = sink.hit_miss();
-    assert_eq!(misses, 0, "trace shows fresh evaluations on a warm cache");
-    assert_eq!(hits as u32, warm.result.cache_hits);
+    let evals = sink.evals();
+    assert!(
+        evals.iter().all(|e| e.cache_hit),
+        "trace shows fresh evaluations on a warm cache"
+    );
+    assert_eq!(evals.len() as u32, warm.result.cache_hits);
 }
 
 /// The cache distinguishes contexts, sizes, and machines: warm in one
@@ -135,15 +138,15 @@ fn trace_covers_the_whole_search() {
         prec: Prec::D,
     };
     let out = quick_cfg(1024).trace(sink.clone()).jobs(2).tune(k).unwrap();
-    let evs = sink.events();
+    let evs = sink.evals();
     let total = (out.result.evaluations + out.result.cache_hits) as usize;
-    assert_eq!(evs.len(), total, "one event per probe");
+    assert_eq!(evs.len(), total, "one eval event per probe");
     assert_eq!(evs[0].phase, "SEED");
     assert!(evs.iter().all(|e| e.scope.contains("dot")));
     // Phase labels are the Figure 7 set (plus SEED).
     for ev in &evs {
         assert!(
-            ["SEED", "SV", "WNT", "PF DST", "PF INS", "UR", "AE"].contains(&ev.phase),
+            ["SEED", "SV", "WNT", "PF DST", "PF INS", "UR", "AE"].contains(&ev.phase.as_str()),
             "unexpected phase {}",
             ev.phase
         );
@@ -154,6 +157,15 @@ fn trace_covers_the_whole_search() {
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"cache_hit\":"));
     }
+    // The pipeline also emits spans: the search container plus per-probe
+    // stage timings, all tagged with the same scope.
+    let spans = sink.spans();
+    assert!(
+        spans.iter().any(|s| s.stage == "search"),
+        "search span missing"
+    );
+    assert!(spans.iter().any(|s| s.stage == "simulate"));
+    assert!(spans.iter().all(|s| s.scope.contains("dot")));
 }
 
 /// The generic (user HIL) tuning path is jobs-invariant too.

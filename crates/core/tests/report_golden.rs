@@ -1,0 +1,151 @@
+//! The trace analyzer against committed fixtures: a hand-authored trace
+//! must produce byte-identical JSON output (golden file), and traces
+//! written by [`JsonlSink`] must round-trip through [`read_trace`] —
+//! including surviving corrupted lines.
+
+use ifko::eval::{EvalEvent, JsonlSink, SearchEvent, SpanEvent, TraceSink};
+use ifko::prelude::*;
+use ifko::report::{analyze, read_trace, render, report_files, ReportFormat};
+use std::sync::Arc;
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// `ifko report --format json` over the committed sample trace is
+/// byte-identical to the committed golden file. Regenerate with:
+/// `target/release/ifko report crates/core/tests/fixtures/sample-trace.jsonl \
+///    --format json > crates/core/tests/fixtures/sample-report.json`
+#[test]
+fn golden_json_report() {
+    let got = report_files(&[fixture("sample-trace.jsonl")], ReportFormat::Json).unwrap();
+    let want = std::fs::read_to_string(fixture("sample-report.json")).unwrap();
+    assert_eq!(got, want, "report output drifted from the golden file");
+}
+
+/// The analysis itself (not just the rendering) on the same fixture:
+/// convergence replays the strict-improvement rule, phase speedups
+/// compose to the total, and stage attribution excludes containers.
+#[test]
+fn fixture_analysis_is_faithful() {
+    let data = read_trace(fixture("sample-trace.jsonl")).unwrap();
+    assert_eq!(data.malformed, 0);
+    let rep = analyze(&data.events, data.malformed);
+    assert_eq!(rep.scopes.len(), 1);
+    let s = &rep.scopes[0];
+    assert_eq!(s.n, Some(1024));
+    assert_eq!(s.probes, 6);
+    assert_eq!(s.fresh, 5);
+    assert_eq!(s.cache_hits, 1);
+    assert_eq!(s.rejected, 1);
+    assert_eq!(s.first_cycles, Some(10_000));
+    assert_eq!(s.best_cycles, Some(2_500));
+    assert!((s.speedup() - 4.0).abs() < 1e-9);
+    // SEED -> SV win -> UR win: three convergence points.
+    assert_eq!(s.convergence.len(), 3);
+    // The winner's simulator counters rode along in the trace.
+    assert_eq!(s.best_stats.unwrap().l2_misses, 128);
+    // Containers (tune/search/eval/compile) are kept out of the leaf
+    // stage table so it can sum to ~100% of measured leaf time.
+    assert!(rep.stages.iter().all(|r| r.stage != "search"));
+    assert!(rep.containers.iter().any(|r| r.stage == "tune"));
+    assert!(rep.stages.iter().any(|r| r.stage == "simulate"));
+}
+
+/// Write through the real sink, corrupt the file, read it back:
+/// good lines decode, bad lines are counted — not fatal.
+#[test]
+fn jsonl_sink_round_trips_and_survives_corruption() {
+    let dir = std::env::temp_dir().join(format!("ifko-report-rt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+
+    let sink: Arc<JsonlSink> = JsonlSink::create(&path).unwrap();
+    let ev = EvalEvent {
+        scope: "k@m/oc/n64/s1/r1i0s1".into(),
+        phase: "UR".into(),
+        params: "ur=4".into(),
+        cycles: Some(77),
+        verified: true,
+        cache_hit: false,
+        wall_us: 12,
+        stats: None,
+    };
+    sink.record(&SearchEvent::Eval(ev.clone()));
+    sink.record(&SearchEvent::Span(SpanEvent {
+        scope: "k@m/oc/n64/s1/r1i0s1".into(),
+        stage: "simulate".into(),
+        id: 9,
+        parent: Some(3),
+        wall_us: 55,
+    }));
+    drop(sink); // flush-on-drop
+
+    // Corrupt the tail: garbage, a half-written JSON line, and a blank.
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    writeln!(f, "not json at all").unwrap();
+    writeln!(f, "{{\"scope\":\"truncated").unwrap();
+    writeln!(f).unwrap();
+    drop(f);
+
+    let data = read_trace(&path).unwrap();
+    assert_eq!(data.malformed, 2, "blank lines are skipped, not malformed");
+    assert_eq!(data.events.len(), 2);
+    let back = data.events[0].as_eval().expect("first line is an eval");
+    assert_eq!(back, &ev);
+    let span = data.events[1].as_span().expect("second line is a span");
+    assert_eq!(span.stage, "simulate");
+    assert_eq!(span.parent, Some(3));
+
+    // Malformed lines surface in every rendering, not just the count.
+    let rep = analyze(&data.events, data.malformed);
+    assert!(render(&rep, ReportFormat::Text).contains("2 malformed"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End to end on a real search: trace a quick tuning run to disk, read
+/// it back with zero malformed lines, and render every format.
+#[test]
+fn live_trace_reports_in_every_format() {
+    let dir = std::env::temp_dir().join(format!("ifko-report-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("live.jsonl");
+
+    let out = TuneConfig::quick(1024)
+        .trace_file(&path)
+        .unwrap()
+        .jobs(2)
+        .tune(Kernel {
+            op: BlasOp::Axpy,
+            prec: Prec::D,
+        })
+        .unwrap();
+
+    let data = read_trace(&path).unwrap();
+    assert_eq!(data.malformed, 0, "sink wrote unparseable lines");
+    let rep = analyze(&data.events, 0);
+    assert_eq!(rep.scopes.len(), 1);
+    let s = &rep.scopes[0];
+    assert_eq!(
+        s.probes,
+        (out.result.evaluations + out.result.cache_hits) as u64
+    );
+    assert_eq!(s.rejected, out.result.rejected as u64);
+    assert_eq!(s.best_cycles, Some(out.result.best_cycles));
+    assert!(s.best_stats.is_some(), "winner stats missing from trace");
+    for fmt in [
+        ReportFormat::Text,
+        ReportFormat::Json,
+        ReportFormat::Markdown,
+    ] {
+        let text = render(&rep, fmt);
+        assert!(text.contains("axpy"), "{fmt:?} render lost the scope");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

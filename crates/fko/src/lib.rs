@@ -70,11 +70,39 @@ pub fn compile_ir(
     params: &TransformParams,
     rep: &AnalysisReport,
 ) -> Result<CompiledKernel, CompileError> {
-    let mut lin =
-        xform::apply_transforms(k, params, rep).map_err(|e| CompileError::Xform(e.to_string()))?;
+    compile_ir_observed(k, params, rep, |_, _| {})
+}
+
+/// [`compile_ir`] with a per-stage observer: `observe(stage, wall)` is
+/// called after each pipeline stage (`"xform"`, `"opt"`, `"regalloc"`,
+/// `"codegen"`) with its wall-clock cost, including the stage that fails.
+/// The search uses this to attribute evaluation time to compiler stages
+/// in its trace without the compiler knowing about trace sinks.
+pub fn compile_ir_observed(
+    k: &ir::KernelIr,
+    params: &TransformParams,
+    rep: &AnalysisReport,
+    mut observe: impl FnMut(&'static str, std::time::Duration),
+) -> Result<CompiledKernel, CompileError> {
+    let t0 = std::time::Instant::now();
+    let lin =
+        xform::apply_transforms(k, params, rep).map_err(|e| CompileError::Xform(e.to_string()));
+    observe("xform", t0.elapsed());
+    let mut lin = lin?;
+
+    let t0 = std::time::Instant::now();
     opt::optimize(&mut lin, params);
-    let alloc = regalloc::allocate(&mut lin).map_err(|e| CompileError::Alloc(e.to_string()))?;
-    codegen::codegen(&lin, &alloc).map_err(|e| CompileError::Codegen(e.to_string()))
+    observe("opt", t0.elapsed());
+
+    let t0 = std::time::Instant::now();
+    let alloc = regalloc::allocate(&mut lin).map_err(|e| CompileError::Alloc(e.to_string()));
+    observe("regalloc", t0.elapsed());
+    let alloc = alloc?;
+
+    let t0 = std::time::Instant::now();
+    let out = codegen::codegen(&lin, &alloc).map_err(|e| CompileError::Codegen(e.to_string()));
+    observe("codegen", t0.elapsed());
+    out
 }
 
 /// Full pipeline: HIL source → compiled kernel for `mach` under `params`.

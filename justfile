@@ -19,6 +19,13 @@ figures:
         cargo run --release -p ifko-bench --bin $b > results/$b.txt; \
     done
 
+# Trace + metrics for a quick figure7 run, then analyze the trace
+observe:
+    mkdir -p results/traces
+    cargo run --release -p ifko-bench --bin figure7 -- --quick \
+        --metrics results/traces/figure7-quick-metrics.json
+    cargo run --release -p ifko-cli -- report results/traces/figure7-quick.jsonl
+
 # Drop the persistent evaluation cache and sample traces
 clean-cache:
     rm -rf results/cache results/traces

@@ -19,8 +19,17 @@ cargo build --release --workspace
 step "cargo test"
 cargo test --workspace --release -q
 
-step "harness smoke: table3 --quick"
-cargo run --release -p ifko-bench --bin table3 -- --quick >/dev/null
+step "harness smoke: table3 --quick (+trace +metrics)"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+cargo run --release -p ifko-bench --bin table3 -- --quick \
+    --trace "$obs_tmp/table3.jsonl" --metrics "$obs_tmp/table3-metrics.json" >/dev/null
+test -s "$obs_tmp/table3.jsonl"
+grep -q ifko_engine_evals_total "$obs_tmp/table3-metrics.json"
+
+step "harness smoke: ifko report (trace analyzer)"
+cargo run --release -p ifko-cli -- report "$obs_tmp/table3.jsonl" | grep -q "stage time attribution"
+cargo run --release -p ifko-cli -- report "$obs_tmp/table3.jsonl" --format json >/dev/null
 
 step "harness smoke: figure7 --quick (sample trace)"
 cargo run --release -p ifko-bench --bin figure7 -- --quick >/dev/null
