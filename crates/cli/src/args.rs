@@ -17,6 +17,8 @@ pub struct Args {
     pub jobs: usize,
     pub trace: Option<String>,
     pub metrics: Option<String>,
+    pub verify_ir: bool,
+    pub no_prune: bool,
 }
 
 impl Args {
@@ -37,6 +39,8 @@ impl Args {
             jobs: 1,
             trace: None,
             metrics: None,
+            verify_ir: false,
+            no_prune: false,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -73,6 +77,8 @@ impl Args {
                 }
                 "--trace" => a.trace = Some(value("--trace")?),
                 "--metrics" => a.metrics = Some(value("--metrics")?),
+                "--verify-ir" => a.verify_ir = true,
+                "--no-prune" => a.no_prune = true,
                 other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
                 file => {
                     if a.file.is_empty() {
@@ -155,6 +161,14 @@ mod tests {
         // --jobs clamps to at least one worker.
         let a = Args::parse(v(&["k.hil", "-j", "0"])).unwrap();
         assert_eq!(a.jobs, 1);
+    }
+
+    #[test]
+    fn verify_and_prune_flags_parse() {
+        let a = Args::parse(v(&["k.hil", "--verify-ir", "--no-prune"])).unwrap();
+        assert!(a.verify_ir && a.no_prune);
+        let a = Args::parse(v(&["k.hil"])).unwrap();
+        assert!(!a.verify_ir && !a.no_prune);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //!                          [--wnt] [--pf-dist BYTES] [--no-pf]
 //! ifko tune     kernel.hil [--machine M] [--context oc|ic] [--n N]
 //!                          [--seed S] [--full] [--jobs N] [--trace PATH]
-//!                          [--metrics PATH]
+//!                          [--metrics PATH] [--verify-ir] [--no-prune]
+//! ifko lint     kernel.hil [kernel2.hil ...] [--machine M]
+//!                          [--format text|json]
 //! ifko report   trace.jsonl [trace2.jsonl ...] [--format text|json|md]
 //! ```
 //!
@@ -15,14 +17,20 @@
 //! generated pseudo-assembly; `tune` runs the empirical line search with
 //! differential verification against the untransformed build and reports
 //! the winning parameters — for *any* kernel written in the HIL, not only
-//! the BLAS suite; `report` analyzes search traces written by `--trace`
+//! the BLAS suite; `lint` runs the front end, the tuning-opportunity
+//! analysis, and the inter-stage IR verifier over kernel files without
+//! tuning anything, and exits nonzero iff an error-severity diagnostic
+//! fires; `report` analyzes search traces written by `--trace`
 //! (convergence, per-phase attribution, stage time breakdown, cache
 //! effectiveness).
 
 use ifko::report::{report_files, ReportFormat};
 use ifko::runner::Context;
 use ifko::{SearchOptions, TuneConfig};
-use ifko_fko::{analyze_kernel, compile_ir, TransformParams};
+use ifko_fko::{
+    analyze_kernel, compile_ir, compile_ir_checked, lint_analysis, CompileError, Diagnostic,
+    Severity, TransformParams,
+};
 use ifko_xsim::{asm, opteron, p4e, MachineConfig};
 use std::process::ExitCode;
 
@@ -32,15 +40,30 @@ use args::Args;
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
-        eprintln!("usage: ifko <analyze|compile|tune|report> <file> [options]");
+        eprintln!("usage: ifko <analyze|compile|tune|lint|report> <file> [options]");
         return ExitCode::from(2);
     }
     let cmd = argv.remove(0);
-    // `report` takes multiple trace files, not one kernel file: it has its
-    // own tiny flag loop instead of the shared `Args`.
+    // `report` and `lint` take multiple files, not one kernel file: they
+    // have their own tiny flag loops instead of the shared `Args`.
     if cmd == "report" {
         return match cmd_report(argv) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ifko: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if cmd == "lint" {
+        return match cmd_lint(argv) {
+            Ok(clean) => {
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
             Err(e) => {
                 eprintln!("ifko: {e}");
                 ExitCode::from(2)
@@ -109,6 +132,120 @@ fn cmd_report(argv: Vec<String>) -> Result<(), String> {
     let out = report_files(&files, format).map_err(|e| e.to_string())?;
     print!("{out}");
     Ok(())
+}
+
+/// `ifko lint FILE... [--machine M] [--format text|json]`: front end +
+/// tuning-opportunity analysis + full pipeline with the inter-stage IR
+/// verifier forced on, under both everything-off and FKO-default
+/// parameters. Returns `Ok(true)` when no error-severity diagnostic
+/// fired (notes and warnings are advice, not failures).
+fn cmd_lint(argv: Vec<String>) -> Result<bool, String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut machine = p4e();
+    let mut json = false;
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--machine" | "-m" => {
+                let v = it.next().ok_or("--machine needs a value")?;
+                machine = match v.as_str() {
+                    "p4e" => p4e(),
+                    "opteron" | "opt" => opteron(),
+                    other => return Err(format!("unknown machine `{other}` (p4e | opteron)")),
+                };
+            }
+            "--format" | "-f" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                json = match v.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => return Err(format!("unknown format `{other}` (text | json)")),
+                };
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err("no kernel files given (usage: ifko lint FILE.hil... [--machine M] [--format text|json])".into());
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut out_json = String::from("{\"files\":[");
+    for (fi, file) in files.iter().enumerate() {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let diags = lint_file(&src, &machine);
+        errors += diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        warnings += diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        if json {
+            if fi > 0 {
+                out_json.push(',');
+            }
+            out_json.push_str(&format!(
+                "{{\"file\":\"{}\",\"diagnostics\":[",
+                ifko_fko::diag::json_escape(file)
+            ));
+            for (i, d) in diags.iter().enumerate() {
+                if i > 0 {
+                    out_json.push(',');
+                }
+                out_json.push_str(&d.to_json());
+            }
+            out_json.push_str("]}");
+        } else {
+            for d in &diags {
+                println!("{file}: {}", d.render_text());
+            }
+        }
+    }
+    if json {
+        out_json.push_str(&format!("],\"errors\":{errors},\"warnings\":{warnings}}}"));
+        println!("{out_json}");
+    } else {
+        println!(
+            "{} file(s) checked: {errors} error(s), {warnings} warning(s)",
+            files.len()
+        );
+    }
+    Ok(errors == 0)
+}
+
+/// All diagnostics for one kernel source: pipeline errors flattened to
+/// the shared `Diagnostic` shape, analysis advice, and anything the IR
+/// verifier catches between stages (deduplicated across the two
+/// parameter points).
+fn lint_file(src: &str, machine: &MachineConfig) -> Vec<Diagnostic> {
+    let (ir, rep) = match analyze_kernel(src, machine) {
+        Ok(x) => x,
+        Err(e) => return e.diagnostics(),
+    };
+    let mut diags = lint_analysis(&rep);
+    for params in [
+        TransformParams::off(),
+        TransformParams::defaults(&rep, machine),
+    ] {
+        if let Err(e) = compile_ir_checked(&ir, &params, &rep, true, |_, _| {}) {
+            // `off()` must always compile; `defaults` can fail only if the
+            // compiler itself is broken — both are reportable.
+            let is_verify = matches!(e, CompileError::Verify(..));
+            for d in e.diagnostics() {
+                if !diags.contains(&d) {
+                    diags.push(d);
+                }
+            }
+            if is_verify {
+                break; // the second point would re-report the same bug
+            }
+        }
+    }
+    diags
 }
 
 fn cmd_analyze(src: &str, machine: &MachineConfig) -> Result<(), String> {
@@ -224,6 +361,8 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         .n(n)
         .seed(args.seed)
         .search(opts)
+        .verify_ir(args.verify_ir)
+        .prune(!args.no_prune)
         .jobs(args.jobs);
     if let Some(path) = &args.trace {
         cfg = cfg
@@ -249,8 +388,8 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         out.result.speedup_over_default()
     );
     println!(
-        "evaluations        : {} ({} rejected, {} cache hits)",
-        out.result.evaluations, out.result.rejected, out.result.cache_hits
+        "evaluations        : {} ({} rejected, {} cache hits, {} pruned)",
+        out.result.evaluations, out.result.rejected, out.result.cache_hits, out.result.pruned
     );
     println!("\nwinning parameters:");
     println!(

@@ -136,6 +136,20 @@ impl TuneConfig {
         self.search = search;
         self
     }
+    /// Run the IR verifier between every pipeline stage for every
+    /// candidate, even in release builds (`--verify-ir`). Debug builds
+    /// always verify.
+    pub fn verify_ir(mut self, on: bool) -> Self {
+        self.search.verify_ir = on;
+        self
+    }
+    /// Enable/disable the analysis-driven legality precheck that prunes
+    /// provably-futile candidates before compilation (on by default;
+    /// winner-neutral).
+    pub fn prune(mut self, on: bool) -> Self {
+        self.search.prune = on;
+        self
+    }
     /// Timer used for the final reported measurement.
     pub fn final_timer(mut self, timer: Timer) -> Self {
         self.final_timer = timer;

@@ -42,7 +42,7 @@
 //! → test → time) emitted by the [`Span`] guard API. `ifko report`
 //! reconstructs per-stage time attribution from them.
 
-use ifko_fko::TransformParams;
+use ifko_fko::{Reject, TransformParams};
 use ifko_xsim::{MachineConfig, RunStats};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -160,6 +160,9 @@ pub struct EvalEvent {
     /// Simulator counters of the verification run (fresh evaluations
     /// only; cache hits do not re-run the simulator).
     pub stats: Option<RunStats>,
+    /// Legality-precheck rejection reason when the candidate was pruned
+    /// before compilation (`None` for evaluated / cached candidates).
+    pub pruned: Option<String>,
 }
 
 /// One completed pipeline span: a named stage of the
@@ -226,6 +229,9 @@ impl EvalEvent {
         );
         if let Some(st) = &self.stats {
             s.push_str(&format!(",\"stats\":{}", stats_json(st)));
+        }
+        if let Some(why) = &self.pruned {
+            s.push_str(&format!(",\"pruned\":\"{}\"", esc(why)));
         }
         s.push('}');
         s
@@ -692,6 +698,8 @@ pub struct BatchOutcome {
     pub rejected: u32,
     /// Results served from the cache.
     pub cache_hits: u32,
+    /// Candidates pruned by the legality precheck (never compiled).
+    pub pruned: u32,
 }
 
 /// Cumulative engine statistics, read from the engine's metrics registry
@@ -704,6 +712,7 @@ pub struct EngineStats {
     pub evaluated: u64,
     pub rejected: u64,
     pub cache_hits: u64,
+    pub pruned: u64,
 }
 
 /// The evaluation engine: a scoped thread pool plus the shared cache and
@@ -717,6 +726,8 @@ pub struct EvalEngine {
     m_evaluated: Arc<Counter>,
     m_rejected: Arc<Counter>,
     m_cache_hits: Arc<Counter>,
+    m_pruned: Arc<Counter>,
+    m_probes: Arc<Counter>,
     m_batches: Arc<Counter>,
     m_busy_us: Arc<Counter>,
     m_batch_size: Arc<Histogram>,
@@ -747,6 +758,8 @@ impl EvalEngine {
             m_evaluated: registry.counter(metrics::ENGINE_EVALS),
             m_rejected: registry.counter(metrics::ENGINE_REJECTED),
             m_cache_hits: registry.counter(metrics::ENGINE_CACHE_HITS),
+            m_pruned: registry.counter(metrics::ENGINE_PRUNED),
+            m_probes: registry.counter(metrics::ENGINE_PROBES),
             m_batches: registry.counter(metrics::ENGINE_BATCHES),
             m_busy_us: registry.counter(metrics::ENGINE_BUSY_US),
             m_batch_size: registry.histogram(metrics::ENGINE_BATCH_SIZE, metrics::COUNT_BUCKETS),
@@ -795,6 +808,7 @@ impl EvalEngine {
             evaluated: self.m_evaluated.get(),
             rejected: self.m_rejected.get(),
             cache_hits: self.m_cache_hits.get(),
+            pruned: self.m_pruned.get(),
         }
     }
 
@@ -831,17 +845,44 @@ impl EvalEngine {
     where
         F: Fn(&TransformParams) -> EvalRecord + Sync,
     {
+        self.eval_batch_checked(scope, phase, cands, |_| Ok(()), eval)
+    }
+
+    /// [`EvalEngine::eval_batch_records`] with a legality precheck.
+    ///
+    /// `precheck` runs serially over the batch *before* cache lookup; a
+    /// candidate it rejects is **pruned** — never compiled, simulated,
+    /// or cached — and comes back as `None` with the rejection reason in
+    /// its trace event. Because pruning happens before the cache, a
+    /// pruned point costs O(1) regardless of phase or pass.
+    pub fn eval_batch_checked<P, F>(
+        &self,
+        scope: &EvalScope,
+        phase: &'static str,
+        cands: &[TransformParams],
+        precheck: P,
+        eval: F,
+    ) -> BatchOutcome
+    where
+        P: Fn(&TransformParams) -> Result<(), Reject>,
+        F: Fn(&TransformParams) -> EvalRecord + Sync,
+    {
         let keys: Vec<String> = cands.iter().map(|p| scope.point_key(p)).collect();
 
-        // Serial pass: resolve cache hits and batch-internal duplicates.
+        // Serial pass: prune illegal points, then resolve cache hits and
+        // batch-internal duplicates.
         let mut results: Vec<Option<Option<u64>>> = vec![None; cands.len()];
         let mut stats: Vec<Option<RunStats>> = vec![None; cands.len()];
         let mut hit: Vec<bool> = vec![false; cands.len()];
+        let mut pruned_why: Vec<Option<Reject>> = vec![None; cands.len()];
         let mut primary: HashMap<&str, usize> = HashMap::new();
         let mut dup_of: Vec<Option<usize>> = vec![None; cands.len()];
         let mut work: Vec<usize> = Vec::new();
         for i in 0..cands.len() {
-            if let Some(v) = self.cache.get(&keys[i]) {
+            if let Err(why) = precheck(&cands[i]) {
+                results[i] = Some(None);
+                pruned_why[i] = Some(why);
+            } else if let Some(v) = self.cache.get(&keys[i]) {
                 results[i] = Some(v);
                 hit[i] = true;
             } else if let Some(&j) = primary.get(keys[i].as_str()) {
@@ -909,11 +950,14 @@ impl EvalEngine {
         let evaluated = work.len() as u32;
         let rejected = work.iter().filter(|&&i| results[i].is_none()).count() as u32;
         let cache_hits = hit.iter().filter(|&&h| h).count() as u32;
+        let pruned = pruned_why.iter().filter(|w| w.is_some()).count() as u32;
         self.m_batches.inc();
         self.m_batch_size.observe(cands.len() as u64);
+        self.m_probes.add(cands.len() as u64);
         self.m_evaluated.add(evaluated as u64);
         self.m_rejected.add(rejected as u64);
         self.m_cache_hits.add(cache_hits as u64);
+        self.m_pruned.add(pruned as u64);
 
         if let Some(sink) = &self.trace {
             for i in 0..cands.len() {
@@ -926,6 +970,7 @@ impl EvalEngine {
                     cache_hit: hit[i],
                     wall_us: wall_us[i],
                     stats: stats[i],
+                    pruned: pruned_why[i].map(|w| w.as_str().to_string()),
                 }));
             }
         }
@@ -935,6 +980,7 @@ impl EvalEngine {
             evaluated,
             rejected,
             cache_hits,
+            pruned,
         }
     }
 }
@@ -942,7 +988,7 @@ impl EvalEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ifko_fko::TransformParams;
+    use ifko_fko::{Reject, TransformParams};
     use ifko_xsim::p4e;
 
     fn scope() -> EvalScope {
@@ -971,6 +1017,42 @@ mod tests {
         assert_eq!(out2.results, out.results);
         assert_eq!(out2.cache_hits, 8);
         assert_eq!(out2.evaluated, 0);
+    }
+
+    #[test]
+    fn precheck_prunes_before_compile_and_cache() {
+        let eng = EvalEngine::new(2);
+        let cands: Vec<_> = (1..=4).map(point).collect();
+        // Prune odd unrolls; the evaluator must never see them.
+        let out = eng.eval_batch_checked(
+            &scope(),
+            "UR",
+            &cands,
+            |p| {
+                if p.unroll % 2 == 1 {
+                    Err(Reject::UnrollTooLarge)
+                } else {
+                    Ok(())
+                }
+            },
+            |p| {
+                assert_eq!(p.unroll % 2, 0, "pruned candidate reached the evaluator");
+                EvalRecord::from(Some(p.unroll as u64))
+            },
+        );
+        assert_eq!(out.results, vec![None, Some(2), None, Some(4)]);
+        assert_eq!(out.pruned, 2);
+        assert_eq!(out.evaluated, 2);
+        assert_eq!(out.cache_hits, 0);
+        // Pruned points are never cached: resubmitting without the
+        // precheck evaluates them fresh.
+        let out2 = eng.eval_batch_records(&scope(), "UR", &cands, |p| {
+            EvalRecord::from(Some(p.unroll as u64))
+        });
+        assert_eq!(out2.results, (1..=4).map(Some).collect::<Vec<_>>());
+        assert_eq!(out2.evaluated, 2);
+        assert_eq!(out2.cache_hits, 2);
+        assert_eq!(out2.pruned, 0);
     }
 
     #[test]
@@ -1127,6 +1209,7 @@ mod tests {
             cache_hit: false,
             wall_us: 9,
             stats: None,
+            pruned: None,
         };
         assert_eq!(
             ev.to_json(),

@@ -14,8 +14,8 @@ use crate::eval::{fnv64, EvalRecord, EvalScope, Span};
 use crate::runner::Context;
 use crate::search::{line_search_batched, SearchMetrics, SearchOptions, SearchResult};
 use ifko_fko::{
-    analyze_kernel, compile_ir, compile_ir_observed, ArgSlot, CompileError, CompiledKernel,
-    RetSlot, TransformParams,
+    analyze_kernel, compile_ir, compile_ir_checked, precheck, ArgSlot, CompileError,
+    CompiledKernel, RetSlot, TransformParams,
 };
 use ifko_xsim::isa::Prec;
 use ifko_xsim::rng::Rng64;
@@ -216,7 +216,13 @@ pub(crate) fn tune_source_with_config(
         let compile_span = eval_span.child("compile");
         let compile_id = compile_span.id();
         let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
-        let c = compile_ir_observed(&ir, p, &rep, |stage, wall| stages.push((stage, wall)));
+        let c = compile_ir_checked(
+            &ir,
+            p,
+            &rep,
+            cfg!(debug_assertions) || opts.verify_ir,
+            |stage, wall| stages.push((stage, wall)),
+        );
         drop(compile_span);
         for (stage, wall) in stages {
             Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
@@ -250,17 +256,27 @@ pub(crate) fn tune_source_with_config(
     let mut evals = 0u32;
     let mut rejected = 0u32;
     let mut hits = 0u32;
+    let mut pruned = 0u32;
+    let check = |p: &TransformParams| {
+        if opts.prune {
+            precheck(p, &rep)
+        } else {
+            Ok(())
+        }
+    };
     let mut result = line_search_batched(&rep, machine, opts, |phase, cands| {
-        let out = engine.eval_batch_records(&scope, phase, cands, eval_point);
+        let out = engine.eval_batch_checked(&scope, phase, cands, check, eval_point);
         sm.observe_batch(phase, &out.results);
         evals += out.evaluated;
         rejected += out.rejected;
         hits += out.cache_hits;
+        pruned += out.pruned;
         out.results
     });
     result.evaluations = evals;
     result.rejected = rejected;
     result.cache_hits = hits;
+    result.pruned = pruned;
     drop(search_span);
     let compiled = compile_ir(&ir, &result.best, &rep)?;
     Ok(GenericTuneOutcome { result, compiled })

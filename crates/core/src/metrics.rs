@@ -420,6 +420,10 @@ pub const ENGINE_BATCHES: &str = "ifko_engine_batches_total";
 pub const ENGINE_EVALS: &str = "ifko_engine_evals_total";
 /// Fresh evaluations rejected by compilation or the tester.
 pub const ENGINE_REJECTED: &str = "ifko_engine_rejected_total";
+/// Candidates pruned by the legality precheck before compilation.
+pub const ENGINE_PRUNED: &str = "ifko_engine_pruned_total";
+/// Candidates submitted across all batches (pruned + cached + fresh).
+pub const ENGINE_PROBES: &str = "ifko_engine_probes_total";
 /// Batch probes answered by the evaluation cache (incl. in-batch dups).
 pub const ENGINE_CACHE_HITS: &str = "ifko_engine_cache_hits_total";
 /// Candidates per submitted batch.

@@ -267,6 +267,7 @@ pub fn parse_trace_line(line: &str) -> Option<SearchEvent> {
         cache_hit: v.get("cache_hit")?.as_bool()?,
         wall_us: v.get("wall_us")?.as_u64()?,
         stats: v.get("stats").and_then(parse_stats),
+        pruned: v.get("pruned").and_then(Json::as_str).map(str::to_string),
     }))
 }
 
@@ -346,6 +347,8 @@ pub struct ScopeReport {
     pub fresh: u64,
     pub cache_hits: u64,
     pub rejected: u64,
+    /// Candidates pruned by the legality precheck (never compiled).
+    pub pruned: u64,
     pub first_cycles: Option<u64>,
     pub best_cycles: Option<u64>,
     pub best_params: Option<String>,
@@ -463,6 +466,7 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         fresh: 0,
         cache_hits: 0,
         rejected: 0,
+        pruned: 0,
         first_cycles: None,
         best_cycles: None,
         best_params: None,
@@ -475,7 +479,11 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
     let mut phase_map: HashMap<String, PhaseRow> = HashMap::new();
     let mut best: Option<u64> = None;
     for (idx, e) in evs.iter().enumerate() {
-        if e.cache_hit {
+        // Order matters: a pruned probe is neither a fresh evaluation
+        // nor a cache hit — it never reached the compiler.
+        if e.pruned.is_some() {
+            rep.pruned += 1;
+        } else if e.cache_hit {
             rep.cache_hits += 1;
         } else {
             rep.fresh += 1;
@@ -586,8 +594,8 @@ fn render_text(rep: &TraceReport) -> String {
     for sc in &rep.scopes {
         s.push_str(&format!("== {} ==\n", sc.scope));
         s.push_str(&format!(
-            "probes {} (fresh {}, cache hits {}, rejected {})\n",
-            sc.probes, sc.fresh, sc.cache_hits, sc.rejected
+            "probes {} (fresh {}, cache hits {}, rejected {}, pruned {})\n",
+            sc.probes, sc.fresh, sc.cache_hits, sc.rejected, sc.pruned
         ));
         if let (Some(a), Some(b)) = (sc.first_cycles, sc.best_cycles) {
             s.push_str(&format!(
@@ -675,12 +683,13 @@ fn render_json(rep: &TraceReport) -> String {
             s.push(',');
         }
         s.push_str(&format!(
-            "{{\"scope\":{},\"probes\":{},\"fresh\":{},\"cache_hits\":{},\"rejected\":{}",
+            "{{\"scope\":{},\"probes\":{},\"fresh\":{},\"cache_hits\":{},\"rejected\":{},\"pruned\":{}",
             jstr(&sc.scope),
             sc.probes,
             sc.fresh,
             sc.cache_hits,
-            sc.rejected
+            sc.rejected,
+            sc.pruned
         ));
         s.push_str(&format!(
             ",\"first_cycles\":{},\"best_cycles\":{},\"speedup\":{}",
@@ -760,8 +769,8 @@ fn render_md(rep: &TraceReport) -> String {
     for sc in &rep.scopes {
         s.push_str(&format!("## `{}`\n\n", sc.scope));
         s.push_str(&format!(
-            "{} probes — {} fresh, {} cache hits, {} rejected; ",
-            sc.probes, sc.fresh, sc.cache_hits, sc.rejected
+            "{} probes — {} fresh, {} cache hits, {} rejected, {} pruned; ",
+            sc.probes, sc.fresh, sc.cache_hits, sc.rejected, sc.pruned
         ));
         if let (Some(a), Some(b)) = (sc.first_cycles, sc.best_cycles) {
             s.push_str(&format!("{a} → {b} cycles (**{}×**)", f4(sc.speedup())));
@@ -885,6 +894,7 @@ mod tests {
                 l1_misses: 1,
                 ..Default::default()
             }),
+            pruned: None,
         })
     }
 

@@ -30,7 +30,7 @@ use crate::tester::verify;
 use crate::timer::Timer;
 use ifko_blas::{Kernel, Workload};
 use ifko_fko::ir::KernelIr;
-use ifko_fko::{compile_ir_observed, AnalysisReport, TransformParams};
+use ifko_fko::{compile_ir_checked, precheck, AnalysisReport, TransformParams};
 use ifko_xsim::MachineConfig;
 use std::sync::Arc;
 
@@ -98,6 +98,15 @@ pub struct SearchOptions {
     pub try_sv_off: bool,
     /// Interaction-aware refinement (restricted 2-D re-sweeps).
     pub refine: bool,
+    /// Run the IR verifier between every pipeline stage for every
+    /// candidate, even in release builds (always on under
+    /// `debug_assertions`).
+    pub verify_ir: bool,
+    /// Consult the analysis-driven legality precheck before compiling a
+    /// candidate: provably-futile points (e.g. accumulator expansion on
+    /// a kernel with no reduction) are pruned for free. Winner-neutral —
+    /// see `prune_equivalence.rs`.
+    pub prune: bool,
 }
 
 impl Default for SearchOptions {
@@ -109,6 +118,8 @@ impl Default for SearchOptions {
             ae_candidates: vec![1, 2, 3, 4, 5, 6],
             try_sv_off: false,
             refine: true,
+            verify_ir: false,
+            prune: true,
         }
     }
 }
@@ -123,6 +134,8 @@ impl SearchOptions {
             ae_candidates: vec![1, 2, 4],
             try_sv_off: false,
             refine: true,
+            verify_ir: false,
+            prune: true,
         }
     }
 }
@@ -141,6 +154,8 @@ pub struct SearchResult {
     pub rejected: u32,
     /// Evaluations answered by the cross-phase evaluation cache.
     pub cache_hits: u32,
+    /// Candidates pruned by the legality precheck (never compiled).
+    pub pruned: u32,
 }
 
 impl SearchResult {
@@ -248,7 +263,13 @@ pub fn line_search_engine(
         let compile_span = eval_span.child("compile");
         let compile_id = compile_span.id();
         let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
-        let compiled = compile_ir_observed(ir, p, rep, |stage, wall| stages.push((stage, wall)));
+        let compiled = compile_ir_checked(
+            ir,
+            p,
+            rep,
+            cfg!(debug_assertions) || opts.verify_ir,
+            |stage, wall| stages.push((stage, wall)),
+        );
         drop(compile_span);
         for (stage, wall) in stages {
             Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
@@ -292,17 +313,27 @@ pub fn line_search_engine(
     let mut evaluations = 0u32;
     let mut rejected = 0u32;
     let mut cache_hits = 0u32;
+    let mut pruned = 0u32;
+    let check = |p: &TransformParams| {
+        if opts.prune {
+            precheck(p, rep)
+        } else {
+            Ok(())
+        }
+    };
     let mut r = line_search_batched(rep, machine, opts, |phase, cands| {
-        let out = engine.eval_batch_records(scope, phase, cands, eval_point);
+        let out = engine.eval_batch_checked(scope, phase, cands, check, eval_point);
         sm.observe_batch(phase, &out.results);
         evaluations += out.evaluated;
         rejected += out.rejected;
         cache_hits += out.cache_hits;
+        pruned += out.pruned;
         out.results
     });
     r.evaluations = evaluations;
     r.rejected = rejected;
     r.cache_hits = cache_hits;
+    r.pruned = pruned;
     r
 }
 
@@ -422,11 +453,13 @@ pub fn line_search_batched(
         // ---- WNT ----
         {
             let before = best_cycles;
-            if !rep.wnt_candidates.is_empty() {
-                let mut cand = best.clone();
-                cand.wnt = !cand.wnt;
-                sweep(Phase::Wnt.label(), vec![cand], &mut best, &mut best_cycles);
-            }
+            // Submitted even when analysis finds no WNT targets: the
+            // engine's legality precheck prunes the candidate for free
+            // (and without pruning it evaluates as an exact no-op, so the
+            // strict-improvement rule keeps the winner unchanged).
+            let mut cand = best.clone();
+            cand.wnt = !cand.wnt;
+            sweep(Phase::Wnt.label(), vec![cand], &mut best, &mut best_cycles);
             gains.push(PhaseGain {
                 phase: Phase::Wnt,
                 before,
@@ -508,33 +541,35 @@ pub fn line_search_batched(
         // ---- AE ----
         {
             let before = best_cycles;
-            if !rep.ae_candidates.is_empty() {
+            // Submitted even when the kernel has no reduction adds: the
+            // precheck prunes the whole sweep (without pruning every
+            // candidate fails AE legality in xform and is rejected — the
+            // winner is identical either way).
+            let cands: Vec<TransformParams> = opts
+                .ae_candidates
+                .iter()
+                .filter(|&&ae| ae != best.accum_expand)
+                .map(|&ae| {
+                    let mut cand = best.clone();
+                    cand.accum_expand = ae;
+                    cand
+                })
+                .collect();
+            sweep(Phase::Ae.label(), cands, &mut best, &mut best_cycles);
+            // AE interacts with UR (accumulators rotate over unroll
+            // copies): re-check a few unroll factors at the chosen AE.
+            if opts.refine && !rep.ae_candidates.is_empty() {
                 let cands: Vec<TransformParams> = opts
-                    .ae_candidates
+                    .ur_candidates
                     .iter()
-                    .filter(|&&ae| ae != best.accum_expand)
-                    .map(|&ae| {
+                    .filter(|&&ur| ur <= rep.max_unroll && ur != best.unroll)
+                    .map(|&ur| {
                         let mut cand = best.clone();
-                        cand.accum_expand = ae;
+                        cand.unroll = ur;
                         cand
                     })
                     .collect();
                 sweep(Phase::Ae.label(), cands, &mut best, &mut best_cycles);
-                // AE interacts with UR (accumulators rotate over unroll
-                // copies): re-check a few unroll factors at the chosen AE.
-                if opts.refine {
-                    let cands: Vec<TransformParams> = opts
-                        .ur_candidates
-                        .iter()
-                        .filter(|&&ur| ur <= rep.max_unroll && ur != best.unroll)
-                        .map(|&ur| {
-                            let mut cand = best.clone();
-                            cand.unroll = ur;
-                            cand
-                        })
-                        .collect();
-                    sweep(Phase::Ae.label(), cands, &mut best, &mut best_cycles);
-                }
             }
             gains.push(PhaseGain {
                 phase: Phase::Ae,
@@ -555,6 +590,7 @@ pub fn line_search_batched(
         evaluations: 0, // filled in by callers that track it
         rejected: 0,
         cache_hits: 0,
+        pruned: 0,
     }
 }
 

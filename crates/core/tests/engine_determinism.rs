@@ -99,10 +99,13 @@ fn warm_cache_rerun_is_all_hits() {
     assert_eq!(warm.result.best_cycles, cold.result.best_cycles);
     let evals = sink.evals();
     assert!(
-        evals.iter().all(|e| e.cache_hit),
+        evals.iter().all(|e| e.cache_hit || e.pruned.is_some()),
         "trace shows fresh evaluations on a warm cache"
     );
-    assert_eq!(evals.len() as u32, warm.result.cache_hits);
+    assert_eq!(
+        evals.len() as u32,
+        warm.result.cache_hits + warm.result.pruned
+    );
 }
 
 /// The cache distinguishes contexts, sizes, and machines: warm in one
@@ -139,7 +142,7 @@ fn trace_covers_the_whole_search() {
     };
     let out = quick_cfg(1024).trace(sink.clone()).jobs(2).tune(k).unwrap();
     let evs = sink.evals();
-    let total = (out.result.evaluations + out.result.cache_hits) as usize;
+    let total = (out.result.evaluations + out.result.cache_hits + out.result.pruned) as usize;
     assert_eq!(evs.len(), total, "one eval event per probe");
     assert_eq!(evs[0].phase, "SEED");
     assert!(evs.iter().all(|e| e.scope.contains("dot")));

@@ -43,14 +43,22 @@ fn counters_are_exact_under_jobs_8() {
     let evals = reg.counter_value(metrics::ENGINE_EVALS).unwrap_or(0);
     let hits = reg.counter_value(metrics::ENGINE_CACHE_HITS).unwrap_or(0);
     let rejected = reg.counter_value(metrics::ENGINE_REJECTED).unwrap_or(0);
+    let pruned = reg.counter_value(metrics::ENGINE_PRUNED).unwrap_or(0);
     assert_eq!(evals, out.result.evaluations as u64);
     assert_eq!(hits, out.result.cache_hits as u64);
     assert_eq!(rejected, out.result.rejected as u64);
+    assert_eq!(pruned, out.result.pruned as u64);
 
-    // hits + misses == total probes, cross-checked against the trace
-    // (one eval event per probe) and the per-phase search counters.
+    // fresh + hits + pruned == total probes, cross-checked against the
+    // trace (one eval event per probe), the engine's own probe counter,
+    // and the per-phase search counters.
     let probes = sink.evals().len() as u64;
-    assert_eq!(evals + hits, probes, "hits + misses != total probes");
+    assert_eq!(
+        evals + hits + pruned,
+        probes,
+        "fresh + hits + pruned != total probes"
+    );
+    assert_eq!(reg.counter_value(metrics::ENGINE_PROBES), Some(probes));
     assert_eq!(
         family_total(&reg, metrics::SEARCH_CANDIDATES),
         probes,

@@ -1,0 +1,102 @@
+//! The legality precheck is winner-neutral: a full tune with pruning on
+//! must pick a bit-identical winner to the same tune with pruning off,
+//! on every machine model — pruning only removes work, never signal.
+//! The engine's books must also balance exactly:
+//! `pruned + evaluated + cache_hits == probes`.
+
+use ifko::eval::MemSink;
+use ifko::metrics::{self, MetricsRegistry};
+use ifko::prelude::*;
+use std::sync::Arc;
+
+fn tune(
+    kernel: Kernel,
+    machine: ifko_xsim::MachineConfig,
+    prune: bool,
+) -> (TuneOutcome, Arc<MetricsRegistry>) {
+    let reg = Arc::new(MetricsRegistry::new());
+    let out = TuneConfig::quick(1024)
+        .machine(machine)
+        .metrics(reg.clone())
+        .prune(prune)
+        .tune(kernel)
+        .unwrap();
+    (out, reg)
+}
+
+#[test]
+fn pruned_search_picks_identical_winner_on_both_machines() {
+    // ddot has no stores (WNT toggle pruned); axpy has no reduction
+    // (the whole AE sweep pruned). Together they exercise both prunable
+    // phases.
+    let kernels = [
+        Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        },
+        Kernel {
+            op: BlasOp::Axpy,
+            prec: Prec::D,
+        },
+    ];
+    let mut pruned_total = 0u64;
+    for machine in [ifko_xsim::p4e(), ifko_xsim::opteron()] {
+        for k in kernels {
+            let (on, reg) = tune(k, machine.clone(), true);
+            let (off, _) = tune(k, machine.clone(), false);
+
+            // Bit-identical outcome: parameters, cycles, per-phase gains.
+            assert_eq!(on.result.best, off.result.best, "{k:?} on {}", machine.name);
+            assert_eq!(on.result.best_cycles, off.result.best_cycles);
+            assert_eq!(on.result.default_cycles, off.result.default_cycles);
+            assert_eq!(on.result.gains, off.result.gains);
+            assert_eq!(on.cycles, off.cycles);
+
+            // Pruning only removes work.
+            assert!(on.result.evaluations <= off.result.evaluations);
+            assert_eq!(off.result.pruned, 0, "prune=false must prune nothing");
+
+            // Exact accounting on the private registry.
+            let evals = reg.counter_value(metrics::ENGINE_EVALS).unwrap_or(0);
+            let hits = reg.counter_value(metrics::ENGINE_CACHE_HITS).unwrap_or(0);
+            let pruned = reg.counter_value(metrics::ENGINE_PRUNED).unwrap_or(0);
+            let probes = reg.counter_value(metrics::ENGINE_PROBES).unwrap_or(0);
+            assert_eq!(
+                pruned + evals + hits,
+                probes,
+                "engine books must balance for {k:?} on {}",
+                machine.name
+            );
+            assert_eq!(pruned, on.result.pruned as u64);
+            pruned_total += pruned;
+        }
+    }
+    assert!(
+        pruned_total > 0,
+        "expected at least one kernel with a nonzero pruned count"
+    );
+}
+
+/// Pruned probes appear in the search trace with their reason, so
+/// `ifko report` can attribute them.
+#[test]
+fn pruned_probes_carry_their_reason_in_the_trace() {
+    let sink = MemSink::new();
+    let out = TuneConfig::quick(1024)
+        .trace(sink.clone())
+        .tune(Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        })
+        .unwrap();
+    assert!(out.result.pruned > 0, "ddot's WNT toggle must be pruned");
+    let evs = sink.evals();
+    let pruned: Vec<_> = evs.iter().filter(|e| e.pruned.is_some()).collect();
+    assert_eq!(pruned.len() as u32, out.result.pruned);
+    for e in &pruned {
+        assert_eq!(e.pruned.as_deref(), Some("wnt-no-targets"));
+        assert_eq!(e.cycles, None);
+        assert!(!e.cache_hit);
+        assert_eq!(e.wall_us, 0, "pruning must cost no evaluation time");
+    }
+}

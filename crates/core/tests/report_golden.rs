@@ -71,6 +71,7 @@ fn jsonl_sink_round_trips_and_survives_corruption() {
         cache_hit: false,
         wall_us: 12,
         stats: None,
+        pruned: None,
     };
     sink.record(&SearchEvent::Eval(ev.clone()));
     sink.record(&SearchEvent::Span(SpanEvent {
@@ -134,9 +135,10 @@ fn live_trace_reports_in_every_format() {
     let s = &rep.scopes[0];
     assert_eq!(
         s.probes,
-        (out.result.evaluations + out.result.cache_hits) as u64
+        (out.result.evaluations + out.result.cache_hits + out.result.pruned) as u64
     );
     assert_eq!(s.rejected, out.result.rejected as u64);
+    assert_eq!(s.pruned, out.result.pruned as u64);
     assert_eq!(s.best_cycles, Some(out.result.best_cycles));
     assert!(s.best_stats.is_some(), "winner stats missing from trace");
     for fmt in [

@@ -66,6 +66,8 @@ pub struct ScalarInfo {
     /// Static def / use counts inside the loop (the paper's "sets and uses").
     pub sets: u32,
     pub uses: u32,
+    /// HIL source line of the scalar's declaration (0 = unknown).
+    pub line: u32,
 }
 
 /// Architecture summary reported to the search.
@@ -98,6 +100,8 @@ pub struct AnalysisReport {
     /// Arrays written in the loop (non-temporal-write targets).
     pub wnt_candidates: Vec<PtrId>,
     pub elem_bytes: u64,
+    /// HIL source line of the tuned `LOOP` header (0 = unknown).
+    pub loop_line: u32,
 }
 
 /// Hard cap on unrolling (the search never needs more; body size is also
@@ -123,6 +127,7 @@ pub fn analyze(k: &KernelIr, mach: &MachineConfig) -> AnalysisReport {
             pf_candidates: vec![],
             wnt_candidates: vec![],
             elem_bytes: k.prec.bytes(),
+            loop_line: k.loop_line,
         };
     };
 
@@ -159,6 +164,7 @@ pub fn analyze(k: &KernelIr, mach: &MachineConfig) -> AnalysisReport {
         pf_candidates,
         wnt_candidates,
         elem_bytes: k.prec.bytes(),
+        loop_line: k.loop_line,
     }
 }
 
@@ -289,6 +295,7 @@ pub fn classify_scalars(k: &KernelIr, l: &LoopIr) -> Vec<ScalarInfo> {
             role,
             sets: acc.sets,
             uses: acc.uses,
+            line: k.vreg_line(v),
         });
     }
     out.sort_by_key(|s| s.vreg);

@@ -1,0 +1,671 @@
+//! Generic worklist dataflow over the linear op stream.
+//!
+//! The linear IR (`LinearKernel::ops`, or any `&[Op]` slice) has labels and
+//! branches but no explicit block structure. This module builds a CFG over
+//! it and runs classic bit-vector dataflow problems with a worklist solver:
+//! liveness, definite assignment ("every use dominated by a def"), and
+//! reaching definitions with def-use chains. The optimizer's dead-code
+//! elimination and the stage verifier both run on top of it, so the same
+//! analyses that power transforms also machine-check their output.
+
+use crate::ir::{LabelId, Op, V};
+
+// ---------------------------------------------------------------------------
+// Bit vectors
+// ---------------------------------------------------------------------------
+
+/// A fixed-width bit set used as the dataflow lattice element.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitVec {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitVec {
+    pub fn empty(nbits: usize) -> BitVec {
+        BitVec {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+    pub fn full(nbits: usize) -> BitVec {
+        let mut b = BitVec {
+            words: vec![!0u64; nbits.div_ceil(64)],
+            nbits,
+        };
+        b.trim();
+        b
+    }
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.nbits;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= !0u64 >> extra;
+            }
+        }
+    }
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+    pub fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+    pub fn union_with(&mut self, other: &BitVec) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+    pub fn intersect_with(&mut self, other: &BitVec) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+    /// `self |= gen | (inp & !kill)` is the usual transfer; this helper does
+    /// `self = gen | (inp & !kill)` in place.
+    fn transfer(&mut self, inp: &BitVec, gen: &BitVec, kill: &BitVec) {
+        for i in 0..self.words.len() {
+            self.words[i] = gen.words[i] | (inp.words[i] & !kill.words[i]);
+        }
+    }
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+    /// Indices of all set bits, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow graph
+// ---------------------------------------------------------------------------
+
+/// A maximal straight-line run of ops. `start..end` indexes into the op
+/// stream the CFG was built from.
+#[derive(Clone, Debug)]
+pub struct Block {
+    pub start: usize,
+    pub end: usize,
+    pub succs: Vec<usize>,
+    pub preds: Vec<usize>,
+}
+
+/// CFG over a linear op stream.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub blocks: Vec<Block>,
+    /// Block index of every op.
+    pub block_of: Vec<usize>,
+}
+
+impl Cfg {
+    pub fn entry(&self) -> usize {
+        0
+    }
+    /// Blocks with no successors (the halt block, and any dead tail).
+    pub fn exit_blocks(&self) -> Vec<usize> {
+        (0..self.blocks.len())
+            .filter(|&b| self.blocks[b].succs.is_empty())
+            .collect()
+    }
+}
+
+/// Build the CFG. Leaders are op 0, every label, and every op following a
+/// branch. Branches to labels that do not exist simply get no edge (the
+/// verifier reports them separately; the solver stays total).
+pub fn build_cfg(ops: &[Op]) -> Cfg {
+    let n = ops.len();
+    let mut leader = vec![false; n.max(1)];
+    if n > 0 {
+        leader[0] = true;
+    }
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Label(_) => leader[i] = true,
+            Op::Br(_) | Op::CondBr { .. } if i + 1 < n => leader[i + 1] = true,
+            _ => {}
+        }
+    }
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut block_of = vec![0usize; n];
+    for i in 0..n {
+        if leader[i] {
+            if let Some(last) = blocks.last_mut() {
+                last.end = i;
+            }
+            blocks.push(Block {
+                start: i,
+                end: n,
+                succs: vec![],
+                preds: vec![],
+            });
+        }
+        block_of[i] = blocks.len().saturating_sub(1);
+    }
+    if blocks.is_empty() {
+        blocks.push(Block {
+            start: 0,
+            end: 0,
+            succs: vec![],
+            preds: vec![],
+        });
+    }
+    // First block carrying each label (duplicates are a verifier error).
+    let mut label_block = std::collections::HashMap::<LabelId, usize>::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let Op::Label(l) = op {
+            label_block.entry(*l).or_insert(block_of[i]);
+        }
+    }
+    let nb = blocks.len();
+    let ends: Vec<usize> = blocks.iter().map(|blk| blk.end).collect();
+    for (b, &end) in ends.iter().enumerate() {
+        let last = end.checked_sub(1).and_then(|i| ops.get(i));
+        let mut succs = Vec::new();
+        match last {
+            Some(Op::Br(l)) => {
+                if let Some(&t) = label_block.get(l) {
+                    succs.push(t);
+                }
+            }
+            Some(Op::CondBr { target, .. }) => {
+                if let Some(&t) = label_block.get(target) {
+                    succs.push(t);
+                }
+                if b + 1 < nb {
+                    succs.push(b + 1);
+                }
+            }
+            _ => {
+                if b + 1 < nb {
+                    succs.push(b + 1);
+                }
+            }
+        }
+        succs.dedup();
+        blocks[b].succs = succs;
+    }
+    for b in 0..nb {
+        let succs = blocks[b].succs.clone();
+        for s in succs {
+            blocks[s].preds.push(b);
+        }
+    }
+    Cfg { blocks, block_of }
+}
+
+// ---------------------------------------------------------------------------
+// Generic worklist solver
+// ---------------------------------------------------------------------------
+
+/// Direction of a dataflow problem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    Forward,
+    Backward,
+}
+
+/// Meet operator: union for "may" problems, intersect for "must" problems.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Meet {
+    Union,
+    Intersect,
+}
+
+/// A block-level bit-vector dataflow problem: per-block `gen`/`kill`, a
+/// boundary value at the entry (forward) or exits (backward), and a lattice
+/// meet. Transfer is the standard `out = gen ∪ (in \ kill)`.
+pub struct Problem {
+    pub direction: Direction,
+    pub meet: Meet,
+    pub nbits: usize,
+    pub gen: Vec<BitVec>,
+    pub kill: Vec<BitVec>,
+    pub boundary: BitVec,
+}
+
+/// Fixpoint solution. For forward problems `inp[b]` is at block entry and
+/// `out[b]` at block exit; for backward problems `inp[b]` is the value at
+/// block *exit* (meet over successors) and `out[b]` at block entry.
+pub struct Solution {
+    pub inp: Vec<BitVec>,
+    pub out: Vec<BitVec>,
+}
+
+/// Iterative worklist solver. Must-problems start non-boundary blocks at
+/// top (all ones) so unreachable code never weakens reachable facts.
+pub fn solve(cfg: &Cfg, p: &Problem) -> Solution {
+    let nb = cfg.blocks.len();
+    let top = match p.meet {
+        Meet::Union => BitVec::empty(p.nbits),
+        Meet::Intersect => BitVec::full(p.nbits),
+    };
+    let boundary_blocks: Vec<usize> = match p.direction {
+        Direction::Forward => vec![cfg.entry()],
+        Direction::Backward => cfg.exit_blocks(),
+    };
+    let mut inp = vec![top.clone(); nb];
+    let mut out = vec![top.clone(); nb];
+    for &b in &boundary_blocks {
+        inp[b] = p.boundary.clone();
+    }
+    // Seed out[] from the boundary-adjusted inputs.
+    for b in 0..nb {
+        out[b].transfer(&inp[b], &p.gen[b], &p.kill[b]);
+    }
+    let mut work: Vec<usize> = (0..nb).collect();
+    let mut queued = vec![true; nb];
+    while let Some(b) = work.pop() {
+        queued[b] = false;
+        let neighbors: &[usize] = match p.direction {
+            Direction::Forward => &cfg.blocks[b].preds,
+            Direction::Backward => &cfg.blocks[b].succs,
+        };
+        if !neighbors.is_empty() {
+            let mut acc = out[neighbors[0]].clone();
+            for &n in &neighbors[1..] {
+                match p.meet {
+                    Meet::Union => acc.union_with(&out[n]),
+                    Meet::Intersect => acc.intersect_with(&out[n]),
+                }
+            }
+            if boundary_blocks.contains(&b) {
+                // Boundary facts always hold at the boundary.
+                match p.meet {
+                    Meet::Union => acc.union_with(&p.boundary),
+                    Meet::Intersect => acc.intersect_with(&p.boundary),
+                }
+            }
+            inp[b] = acc;
+        }
+        let mut new_out = out[b].clone();
+        new_out.transfer(&inp[b], &p.gen[b], &p.kill[b]);
+        if new_out != out[b] {
+            out[b] = new_out;
+            let downstream: Vec<usize> = match p.direction {
+                Direction::Forward => cfg.blocks[b].succs.clone(),
+                Direction::Backward => cfg.blocks[b].preds.clone(),
+            };
+            for d in downstream {
+                if !queued[d] {
+                    queued[d] = true;
+                    work.push(d);
+                }
+            }
+        }
+    }
+    Solution { inp, out }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness
+// ---------------------------------------------------------------------------
+
+/// Per-block liveness: `live_in[b]` / `live_out[b]` are bit sets over vregs.
+pub struct Liveness {
+    pub live_in: Vec<BitVec>,
+    pub live_out: Vec<BitVec>,
+}
+
+/// Classic backward may-analysis. `exit_live` (e.g. the return vreg) is
+/// live-out of every exit block.
+pub fn liveness(ops: &[Op], nvregs: usize, exit_live: &[V], cfg: &Cfg) -> Liveness {
+    let nb = cfg.blocks.len();
+    let mut gen = vec![BitVec::empty(nvregs); nb];
+    let mut kill = vec![BitVec::empty(nvregs); nb];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        // Backward scan: gen = upward-exposed uses, kill = defs.
+        for i in (blk.start..blk.end).rev() {
+            if let Some(d) = ops[i].def() {
+                gen[b].clear(d as usize);
+                kill[b].set(d as usize);
+            }
+            for u in ops[i].uses() {
+                gen[b].set(u as usize);
+            }
+        }
+    }
+    let mut boundary = BitVec::empty(nvregs);
+    for &v in exit_live {
+        boundary.set(v as usize);
+    }
+    let sol = solve(
+        cfg,
+        &Problem {
+            direction: Direction::Backward,
+            meet: Meet::Union,
+            nbits: nvregs,
+            gen,
+            kill,
+            boundary,
+        },
+    );
+    Liveness {
+        live_in: sol.out,
+        live_out: sol.inp,
+    }
+}
+
+/// Live-out set at every op index (one backward walk per block).
+pub fn per_op_live_out(ops: &[Op], cfg: &Cfg, live: &Liveness) -> Vec<BitVec> {
+    let mut per_op = vec![BitVec::empty(0); ops.len()];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let mut cur = live.live_out[b].clone();
+        for i in (blk.start..blk.end).rev() {
+            per_op[i] = cur.clone();
+            if let Some(d) = ops[i].def() {
+                cur.clear(d as usize);
+            }
+            for u in ops[i].uses() {
+                cur.set(u as usize);
+            }
+        }
+    }
+    per_op
+}
+
+// ---------------------------------------------------------------------------
+// Definite assignment ("every use dominated by a def")
+// ---------------------------------------------------------------------------
+
+/// Forward must-analysis over vregs: a vreg is in the set iff every path
+/// from entry to this point defines it. Returns the op indices (with the
+/// offending vreg) of uses not dominated by a def.
+pub fn undefined_uses(
+    ops: &[Op],
+    nvregs: usize,
+    entry_defined: &[V],
+    cfg: &Cfg,
+) -> Vec<(usize, V)> {
+    let nb = cfg.blocks.len();
+    let mut gen = vec![BitVec::empty(nvregs); nb];
+    let kill = vec![BitVec::empty(nvregs); nb];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for op in &ops[blk.start..blk.end] {
+            if let Some(d) = op.def() {
+                gen[b].set(d as usize);
+            }
+        }
+    }
+    let mut boundary = BitVec::empty(nvregs);
+    for &v in entry_defined {
+        boundary.set(v as usize);
+    }
+    let sol = solve(
+        cfg,
+        &Problem {
+            direction: Direction::Forward,
+            meet: Meet::Intersect,
+            nbits: nvregs,
+            gen,
+            kill,
+            boundary,
+        },
+    );
+    let mut bad = Vec::new();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let mut defined = sol.inp[b].clone();
+        for (i, op) in ops.iter().enumerate().take(blk.end).skip(blk.start) {
+            for u in op.uses() {
+                if !defined.get(u as usize) {
+                    bad.push((i, u));
+                }
+            }
+            if let Some(d) = op.def() {
+                defined.set(d as usize);
+            }
+        }
+    }
+    bad
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions and def-use chains
+// ---------------------------------------------------------------------------
+
+/// Reaching definitions over def *sites* (op indices that define a vreg).
+pub struct ReachingDefs {
+    /// All def sites: (op index, defined vreg), ascending by op index.
+    pub sites: Vec<(usize, V)>,
+    /// Bit sets over `sites` indices at block entry.
+    pub reach_in: Vec<BitVec>,
+}
+
+pub fn reaching_defs(ops: &[Op], nvregs: usize, cfg: &Cfg) -> ReachingDefs {
+    let sites: Vec<(usize, V)> = ops
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| op.def().map(|d| (i, d)))
+        .collect();
+    let ns = sites.len();
+    // Def sites per vreg, for kill sets.
+    let mut sites_of = vec![Vec::<usize>::new(); nvregs];
+    for (si, &(_, v)) in sites.iter().enumerate() {
+        sites_of[v as usize].push(si);
+    }
+    let site_at: std::collections::HashMap<usize, usize> = sites
+        .iter()
+        .enumerate()
+        .map(|(si, &(i, _))| (i, si))
+        .collect();
+    let nb = cfg.blocks.len();
+    let mut gen = vec![BitVec::empty(ns); nb];
+    let mut kill = vec![BitVec::empty(ns); nb];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for i in blk.start..blk.end {
+            if let Some(d) = ops[i].def() {
+                for &s in &sites_of[d as usize] {
+                    gen[b].clear(s);
+                    kill[b].set(s);
+                }
+                gen[b].set(site_at[&i]);
+            }
+        }
+    }
+    let sol = solve(
+        cfg,
+        &Problem {
+            direction: Direction::Forward,
+            meet: Meet::Union,
+            nbits: ns,
+            gen,
+            kill,
+            boundary: BitVec::empty(ns),
+        },
+    );
+    ReachingDefs {
+        sites,
+        reach_in: sol.inp,
+    }
+}
+
+/// Def-use chains: for every def site, the op indices of uses it reaches.
+pub fn def_use_chains(ops: &[Op], cfg: &Cfg, rd: &ReachingDefs) -> Vec<Vec<usize>> {
+    let mut uses = vec![Vec::new(); rd.sites.len()];
+    let nvregs = rd
+        .sites
+        .iter()
+        .map(|&(_, v)| v as usize + 1)
+        .max()
+        .unwrap_or(0);
+    // Current reaching site per vreg set, walked forward per block.
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let mut cur: Vec<Vec<usize>> = vec![Vec::new(); nvregs];
+        for si in rd.reach_in[b].iter() {
+            let (_, v) = rd.sites[si];
+            cur[v as usize].push(si);
+        }
+        for (i, op) in ops.iter().enumerate().take(blk.end).skip(blk.start) {
+            for u in op.uses() {
+                if (u as usize) < nvregs {
+                    for &si in &cur[u as usize] {
+                        uses[si].push(i);
+                    }
+                }
+            }
+            if let Some(d) = op.def() {
+                let si = rd
+                    .sites
+                    .binary_search_by_key(&i, |&(idx, _)| idx)
+                    .expect("def op must be a site");
+                cur[d as usize] = vec![si];
+            }
+        }
+    }
+    for u in &mut uses {
+        u.sort_unstable();
+        u.dedup();
+    }
+    uses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::*;
+
+    fn mem(off: i64) -> MemRef {
+        MemRef {
+            ptr: PtrId(0),
+            off_elems: off,
+        }
+    }
+    fn ld(dst: V, off: i64) -> Op {
+        Op::FLd {
+            dst,
+            mem: mem(off),
+            w: Width::S,
+        }
+    }
+    fn st(src: V, off: i64) -> Op {
+        Op::FSt {
+            mem: mem(off),
+            src,
+            w: Width::S,
+            nt: false,
+        }
+    }
+
+    #[test]
+    fn cfg_blocks_and_edges() {
+        // b0: ld; condbr L0 | b1: ld; br L1 | b2(L0): st | b3(L1): st
+        let ops = vec![
+            ld(0, 0),
+            Op::CondBr {
+                cond: Cond::Gt,
+                target: LabelId(0),
+            },
+            ld(1, 1),
+            Op::Br(LabelId(1)),
+            Op::Label(LabelId(0)),
+            st(0, 2),
+            Op::Label(LabelId(1)),
+            st(1, 3),
+        ];
+        let cfg = build_cfg(&ops);
+        assert_eq!(cfg.blocks.len(), 4);
+        assert_eq!(cfg.blocks[0].succs, vec![2, 1]);
+        assert_eq!(cfg.blocks[1].succs, vec![3]);
+        assert_eq!(cfg.blocks[2].succs, vec![3]);
+        assert!(cfg.blocks[3].succs.is_empty());
+        assert_eq!(cfg.blocks[3].preds, vec![1, 2]);
+    }
+
+    #[test]
+    fn liveness_through_a_branch() {
+        let ops = vec![
+            ld(0, 0),
+            Op::CondBr {
+                cond: Cond::Gt,
+                target: LabelId(0),
+            },
+            st(0, 1),
+            Op::Label(LabelId(0)),
+            st(0, 2),
+        ];
+        let cfg = build_cfg(&ops);
+        let live = liveness(&ops, 1, &[], &cfg);
+        // v0 is live out of block 0 (used on both paths).
+        assert!(live.live_out[0].get(0));
+        let per_op = per_op_live_out(&ops, &cfg, &live);
+        assert!(per_op[0].get(0));
+        // Dead after its last use.
+        assert!(!per_op[4].get(0));
+    }
+
+    #[test]
+    fn exit_live_keeps_return_value() {
+        let ops = vec![ld(0, 0)];
+        let cfg = build_cfg(&ops);
+        let dead = liveness(&ops, 1, &[], &cfg);
+        assert!(!dead.live_out[0].get(0));
+        let live = liveness(&ops, 1, &[0], &cfg);
+        assert!(live.live_out[0].get(0));
+    }
+
+    #[test]
+    fn undefined_use_on_one_path_is_caught() {
+        // v1 defined only on the fallthrough path, then used after the join.
+        let ops = vec![
+            ld(0, 0),
+            Op::CondBr {
+                cond: Cond::Gt,
+                target: LabelId(0),
+            },
+            ld(1, 1),
+            Op::Label(LabelId(0)),
+            st(1, 2),
+        ];
+        let cfg = build_cfg(&ops);
+        let bad = undefined_uses(&ops, 2, &[], &cfg);
+        assert_eq!(bad, vec![(4, 1)]);
+        // Declaring v1 defined at entry clears it.
+        assert!(undefined_uses(&ops, 2, &[1], &cfg).is_empty());
+    }
+
+    #[test]
+    fn unreachable_code_does_not_poison_definite_assignment() {
+        let ops = vec![
+            ld(0, 0),
+            Op::Br(LabelId(0)),
+            // Unreachable block using v1: starts at top (all-defined), so
+            // it must not invalidate the reachable use of v0 below.
+            st(1, 1),
+            Op::Label(LabelId(0)),
+            st(0, 2),
+        ];
+        let cfg = build_cfg(&ops);
+        let bad = undefined_uses(&ops, 2, &[], &cfg);
+        assert!(bad.iter().all(|&(_, v)| v != 0), "{bad:?}");
+    }
+
+    #[test]
+    fn reaching_defs_and_chains() {
+        let ops = vec![
+            ld(0, 0),              // site 0
+            st(0, 1),              // uses site 0
+            ld(0, 2),              // site 1
+            Op::Label(LabelId(0)), // loop head
+            st(0, 3),              // uses site 1 and the loop-around def
+            ld(0, 4),              // site 2
+            Op::CondBr {
+                cond: Cond::Gt,
+                target: LabelId(0),
+            },
+        ];
+        let cfg = build_cfg(&ops);
+        let rd = reaching_defs(&ops, 1, &cfg);
+        assert_eq!(rd.sites, vec![(0, 0), (2, 0), (5, 0)]);
+        let chains = def_use_chains(&ops, &cfg, &rd);
+        assert_eq!(chains[0], vec![1]);
+        assert_eq!(chains[1], vec![4]);
+        assert_eq!(chains[2], vec![4], "loop-carried def reaches the head use");
+    }
+}

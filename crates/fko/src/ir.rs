@@ -461,13 +461,27 @@ pub struct KernelIr {
     pub post: Vec<Op>,
     pub ret: RetVal,
     pub n_labels: u32,
+    /// HIL source line of the declaration each vreg was born from
+    /// (0 = unknown / compiler temporary). Parallel to `vregs`.
+    pub vreg_lines: Vec<u32>,
+    /// HIL source line of the tuned `LOOP` header (0 = unknown).
+    pub loop_line: u32,
 }
 
 impl KernelIr {
     /// Allocate a fresh virtual register.
     pub fn new_vreg(&mut self, class: VClass) -> V {
         self.vregs.push(class);
+        self.vreg_lines.push(0);
         (self.vregs.len() - 1) as V
+    }
+    /// Record the HIL source line a vreg originated from.
+    pub fn set_vreg_line(&mut self, v: V, line: u32) {
+        self.vreg_lines[v as usize] = line;
+    }
+    /// HIL source line for a vreg (0 = unknown).
+    pub fn vreg_line(&self, v: V) -> u32 {
+        self.vreg_lines.get(v as usize).copied().unwrap_or(0)
     }
     /// Allocate a fresh label.
     pub fn new_label(&mut self) -> LabelId {
@@ -576,6 +590,8 @@ mod tests {
             post: vec![],
             ret: RetVal::None,
             n_labels: 0,
+            vreg_lines: vec![],
+            loop_line: 0,
         };
         let a = k.new_vreg(VClass::Int);
         let b = k.new_vreg(VClass::F);

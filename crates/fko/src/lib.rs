@@ -16,16 +16,21 @@
 
 pub mod analysis;
 pub mod codegen;
+pub mod dataflow;
+pub mod diag;
 pub mod ir;
 pub mod lower;
 pub mod opt;
 pub mod params;
 pub mod regalloc;
+pub mod verify;
 pub mod xform;
 
 pub use analysis::{AnalysisReport, ScalarRole, VecBlocker};
 pub use codegen::{ArgSlot, CompiledKernel, RetSlot};
+pub use diag::{Diagnostic, Loc, Severity};
 pub use params::{PrefSpec, TransformParams};
+pub use verify::{lint_analysis, precheck, Reject};
 
 use ifko_xsim::MachineConfig;
 
@@ -37,6 +42,8 @@ pub enum CompileError {
     Xform(String),
     Alloc(String),
     Codegen(String),
+    /// The IR verifier found invariant violations after a stage.
+    Verify(&'static str, Vec<Diagnostic>),
 }
 
 impl std::fmt::Display for CompileError {
@@ -47,10 +54,43 @@ impl std::fmt::Display for CompileError {
             CompileError::Xform(m) => write!(f, "transform: {m}"),
             CompileError::Alloc(m) => write!(f, "register allocation: {m}"),
             CompileError::Codegen(m) => write!(f, "code generation: {m}"),
+            CompileError::Verify(stage, diags) => {
+                write!(f, "IR verification failed after {stage}:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 impl std::error::Error for CompileError {}
+
+impl CompileError {
+    /// Flatten any pipeline error into the shared diagnostic shape used by
+    /// the verifier and `ifko lint`, so JSON output is uniform.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        match self {
+            CompileError::Frontend(m) => {
+                // Parse errors carry "line N: ..." — recover the line.
+                let mut d = Diagnostic::error("F001", "frontend", m.clone());
+                if let Some(rest) = m.strip_prefix("parse error: line ") {
+                    if let Some((n, _)) = rest.split_once(':') {
+                        if let Ok(line) = n.trim().parse::<u32>() {
+                            d = d.at_line(line);
+                        }
+                    }
+                }
+                vec![d]
+            }
+            CompileError::Lower(m) => vec![Diagnostic::error("L001", "lower", m.clone())],
+            CompileError::Xform(m) => vec![Diagnostic::error("X001", "xform", m.clone())],
+            CompileError::Alloc(m) => vec![Diagnostic::error("R001", "regalloc", m.clone())],
+            CompileError::Codegen(m) => vec![Diagnostic::error("C001", "codegen", m.clone())],
+            CompileError::Verify(_, diags) => diags.clone(),
+        }
+    }
+}
 
 /// Front end + lowering + analysis: what the search needs before tuning.
 pub fn analyze_kernel(
@@ -78,31 +118,75 @@ pub fn compile_ir(
 /// `"codegen"`) with its wall-clock cost, including the stage that fails.
 /// The search uses this to attribute evaluation time to compiler stages
 /// in its trace without the compiler knowing about trace sinks.
+///
+/// In debug builds (and therefore in all tests) the IR verifier runs
+/// between every stage; release builds skip it unless requested through
+/// [`compile_ir_checked`] (`TuneConfig::verify_ir` / `--verify-ir`).
 pub fn compile_ir_observed(
     k: &ir::KernelIr,
     params: &TransformParams,
     rep: &AnalysisReport,
+    observe: impl FnMut(&'static str, std::time::Duration),
+) -> Result<CompiledKernel, CompileError> {
+    compile_ir_checked(k, params, rep, cfg!(debug_assertions), observe)
+}
+
+/// [`compile_ir_observed`] with explicit control over inter-stage IR
+/// verification. With `verify_ir` set, [`verify::verify_stage`] runs after
+/// `xform`, `opt`, and `regalloc`, and the emitted machine program is
+/// sanity-checked after `codegen`; the first stage with violations aborts
+/// compilation with [`CompileError::Verify`].
+pub fn compile_ir_checked(
+    k: &ir::KernelIr,
+    params: &TransformParams,
+    rep: &AnalysisReport,
+    verify_ir: bool,
     mut observe: impl FnMut(&'static str, std::time::Duration),
 ) -> Result<CompiledKernel, CompileError> {
+    let check = |stage: &'static str,
+                 lin: &xform::LinearKernel,
+                 alloc: Option<&regalloc::Allocation>|
+     -> Result<(), CompileError> {
+        if !verify_ir {
+            return Ok(());
+        }
+        let diags = verify::verify_stage(stage, lin, k, params, rep, alloc);
+        if diags.is_empty() {
+            Ok(())
+        } else {
+            Err(CompileError::Verify(stage, diags))
+        }
+    };
+
     let t0 = std::time::Instant::now();
     let lin =
         xform::apply_transforms(k, params, rep).map_err(|e| CompileError::Xform(e.to_string()));
     observe("xform", t0.elapsed());
     let mut lin = lin?;
+    check("xform", &lin, None)?;
 
     let t0 = std::time::Instant::now();
     opt::optimize(&mut lin, params);
     observe("opt", t0.elapsed());
+    check("opt", &lin, None)?;
 
     let t0 = std::time::Instant::now();
     let alloc = regalloc::allocate(&mut lin).map_err(|e| CompileError::Alloc(e.to_string()));
     observe("regalloc", t0.elapsed());
     let alloc = alloc?;
+    check("regalloc", &lin, Some(&alloc))?;
 
     let t0 = std::time::Instant::now();
     let out = codegen::codegen(&lin, &alloc).map_err(|e| CompileError::Codegen(e.to_string()));
     observe("codegen", t0.elapsed());
-    out
+    let out = out?;
+    if verify_ir {
+        let diags = verify::verify_compiled(&out, &alloc);
+        if !diags.is_empty() {
+            return Err(CompileError::Verify("codegen", diags));
+        }
+    }
+    Ok(out)
 }
 
 /// Full pipeline: HIL source → compiled kernel for `mach` under `params`.

@@ -78,6 +78,8 @@ pub fn lower(routine: &Routine, info: &ifko_hil::SemaInfo) -> Result<KernelIr, L
         post: vec![],
         ret: RetVal::None,
         n_labels: 0,
+        vreg_lines: vec![],
+        loop_line: 0,
     };
     let mut syms = HashMap::new();
 
@@ -97,11 +99,13 @@ pub fn lower(routine: &Routine, info: &ifko_hil::SemaInfo) -> Result<KernelIr, L
             }
             ast::ParamType::Int => {
                 let v = k.new_vreg(VClass::Int);
+                k.set_vreg_line(v, p.line.0);
                 k.params.push(ParamSlot::Int { vreg: v });
                 syms.insert(p.name.clone(), Sym::IV(v));
             }
             ast::ParamType::Scalar(_) => {
                 let v = k.new_vreg(VClass::F);
+                k.set_vreg_line(v, p.line.0);
                 k.params.push(ParamSlot::FScalar { vreg: v });
                 syms.insert(p.name.clone(), Sym::FV(v));
             }
@@ -113,6 +117,7 @@ pub fn lower(routine: &Routine, info: &ifko_hil::SemaInfo) -> Result<KernelIr, L
             Some(_) => k.new_vreg(VClass::F),
             None => k.new_vreg(VClass::Int),
         };
+        k.set_vreg_line(v, s.line.0);
         syms.insert(
             s.name.clone(),
             if s.prec.is_some() {
@@ -226,6 +231,7 @@ impl Lowerer<'_> {
     }
 
     fn lower_loop(&mut self, l: &ast::Loop) -> Result<(), LowerError> {
+        self.k.loop_line = l.line.0;
         // Counter shape: upward `LOOP i = 0, N` or downward `LOOP i = N, 0, -1`.
         let n_vreg = |lw: &Self, e: &Expr| -> Result<V, LowerError> {
             match e {

@@ -7,6 +7,7 @@
 //! chaining / useless-jump / useless-label elimination, which together
 //! merge basic blocks (critical after extensive loop unrolling).
 
+use crate::dataflow;
 use crate::ir::*;
 use crate::params::TransformParams;
 use crate::xform::LinearKernel;
@@ -163,21 +164,12 @@ pub fn coalesce_movs(k: &mut LinearKernel) -> bool {
 }
 
 /// Remove pure ops whose results are never used (iterated to fixpoint by
-/// the caller). Uses a whole-program used-set, which is conservative and
+/// the caller). Built on the dataflow framework's liveness analysis: an op
+/// is dead when it has no side effect and its destination is not live
+/// after it, which also catches defs shadowed by a redefinition before
+/// any use — strictly stronger than a whole-program used-set while staying
 /// loop-safe.
 pub fn dead_code_elim(k: &mut LinearKernel) -> bool {
-    let mut used: HashSet<V> = HashSet::new();
-    for op in &k.ops {
-        for u in op.uses() {
-            used.insert(u);
-        }
-    }
-    match k.ret {
-        RetVal::F(v) | RetVal::I(v) => {
-            used.insert(v);
-        }
-        RetVal::None => {}
-    }
     let is_pure_def = |op: &Op| -> Option<V> {
         match op {
             Op::FLd { dst, .. }
@@ -197,17 +189,45 @@ pub fn dead_code_elim(k: &mut LinearKernel) -> bool {
             _ => None,
         }
     };
-    let before = k.ops.len();
-    k.ops.retain(|op| match is_pure_def(op) {
-        Some(d) => used.contains(&d),
-        None => true,
+    let exit_live: Vec<V> = match k.ret {
+        RetVal::F(v) | RetVal::I(v) => vec![v],
+        RetVal::None => vec![],
+    };
+    let cfg = dataflow::build_cfg(&k.ops);
+    let live = dataflow::liveness(&k.ops, k.vregs.len(), &exit_live, &cfg);
+
+    let mut keep = vec![true; k.ops.len()];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let mut live_now = live.live_out[b].clone();
+        for i in (blk.start..blk.end).rev() {
+            let op = &k.ops[i];
+            let dead = match is_pure_def(op) {
+                Some(d) => !live_now.get(d as usize),
+                None => false,
+            };
+            let self_move = matches!(op, Op::FMov { dst, src, .. } if dst == src)
+                || matches!(op, Op::IMov { dst, src } if dst == src);
+            if dead || self_move {
+                keep[i] = false;
+                continue;
+            }
+            if let Some(d) = op.def() {
+                live_now.clear(d as usize);
+            }
+            for u in op.uses() {
+                live_now.set(u as usize);
+            }
+        }
+    }
+    if keep.iter().all(|&kp| kp) {
+        return false;
+    }
+    let mut idx = 0;
+    k.ops.retain(|_| {
+        idx += 1;
+        keep[idx - 1]
     });
-    // Also drop self-moves.
-    k.ops.retain(|op| {
-        !matches!(op, Op::FMov { dst, src, .. } if dst == src)
-            && !matches!(op, Op::IMov { dst, src } if dst == src)
-    });
-    k.ops.len() != before
+    true
 }
 
 /// Fuse a single-use `FLd` into the memory operand of the consuming

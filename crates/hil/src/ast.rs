@@ -43,11 +43,27 @@ pub enum ParamType {
     Ptr { prec: Prec, intent: Intent },
 }
 
+/// 1-based source line of a declaration or statement, carried for
+/// diagnostics only. Equality is always true so that pretty-print →
+/// re-parse round trips (which cannot preserve exact line numbers)
+/// still compare equal at the AST level.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Line(pub u32);
+
+impl PartialEq for Line {
+    fn eq(&self, _other: &Line) -> bool {
+        true
+    }
+}
+impl Eq for Line {}
+
 /// A routine parameter.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Param {
     pub name: String,
     pub ty: ParamType,
+    /// Source line of the declaration (0 = unknown).
+    pub line: Line,
 }
 
 /// A declared local scalar. An `out: true` scalar carries the routine's
@@ -58,6 +74,8 @@ pub struct ScalarDecl {
     /// `None` = integer scalar, `Some(p)` = floating-point of precision `p`.
     pub prec: Option<Prec>,
     pub out: bool,
+    /// Source line of the declaration (0 = unknown).
+    pub line: Line,
 }
 
 /// Assignment operators.
@@ -170,6 +188,8 @@ pub struct Loop {
     /// Set by `!! TUNE LOOP` mark-up: this is the loop the empirical
     /// search tunes.
     pub tuned: bool,
+    /// Source line of the `LOOP` header (0 = unknown).
+    pub line: Line,
 }
 
 /// Mark-up collected at routine level.
@@ -243,16 +263,19 @@ mod tests {
                         prec: Prec::D,
                         intent: Intent::In,
                     },
+                    line: Line::default(),
                 },
                 Param {
                     name: "N".into(),
                     ty: ParamType::Int,
+                    line: Line::default(),
                 },
             ],
             scalars: vec![ScalarDecl {
                 name: "s".into(),
                 prec: Some(Prec::D),
                 out: true,
+                line: Line::default(),
             }],
             body: vec![Stmt::Loop(Loop {
                 var: "i".into(),
@@ -261,6 +284,7 @@ mod tests {
                 down: false,
                 body: vec![],
                 tuned: true,
+                line: Line::default(),
             })],
             markup: Markup::default(),
         }

@@ -142,13 +142,18 @@ impl Parser {
         self.expect(Tok::DoubleColon, "`::`")?;
         let mut params = Vec::new();
         loop {
+            let pline = self.line();
             let pname = self.ident("parameter name")?;
             self.expect(Tok::Assign, "`=`")?;
             let ty = self.param_type()?;
             if matches!(ty, ParamType::Ptr { .. }) {
                 self.pointers.insert(pname.clone());
             }
-            params.push(Param { name: pname, ty });
+            params.push(Param {
+                name: pname,
+                ty,
+                line: Line(pline),
+            });
             if *self.peek() == Tok::Comma {
                 self.bump();
             } else {
@@ -175,6 +180,7 @@ impl Parser {
             self.bump();
             self.expect(Tok::DoubleColon, "`::`")?;
             loop {
+                let sline = self.line();
                 let sname = self.ident("scalar name")?;
                 self.expect(Tok::Assign, "`=`")?;
                 let tyname = self.ident("scalar type")?;
@@ -194,6 +200,7 @@ impl Parser {
                     name: sname,
                     prec,
                     out,
+                    line: Line(sline),
                 });
                 if *self.peek() == Tok::Comma {
                     self.bump();
@@ -331,6 +338,7 @@ impl Parser {
 
     fn loop_stmt(&mut self) -> PResult<Stmt> {
         let tuned = std::mem::take(&mut self.pending_tune);
+        let lline = self.line();
         self.keyword("LOOP")?;
         let var = self.ident("loop variable")?;
         self.expect(Tok::Assign, "`=`")?;
@@ -357,6 +365,7 @@ impl Parser {
             down,
             body,
             tuned,
+            line: Line(lline),
         }))
     }
 

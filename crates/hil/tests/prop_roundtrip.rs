@@ -98,6 +98,7 @@ fn routine() -> impl Strategy<Value = Routine> {
                             prec: Prec::D,
                             intent: Intent::In,
                         },
+                        line: Line::default(),
                     },
                     Param {
                         name: "py".into(),
@@ -105,10 +106,12 @@ fn routine() -> impl Strategy<Value = Routine> {
                             prec: Prec::D,
                             intent: Intent::Out,
                         },
+                        line: Line::default(),
                     },
                     Param {
                         name: "nn".into(),
                         ty: ParamType::Int,
+                        line: Line::default(),
                     },
                 ],
                 scalars: scal_names2
@@ -117,6 +120,7 @@ fn routine() -> impl Strategy<Value = Routine> {
                         name: s.clone(),
                         prec: Some(Prec::D),
                         out: false,
+                        line: Line::default(),
                     })
                     .collect(),
                 body: vec![Stmt::Loop(Loop {
@@ -126,6 +130,7 @@ fn routine() -> impl Strategy<Value = Routine> {
                     down: false,
                     body,
                     tuned: true,
+                    line: Line::default(),
                 })],
                 markup: Markup::default(),
             }

@@ -13,6 +13,14 @@ clippy:
 test:
     cargo test --workspace --release -q
 
+# Front end + analysis + IR verifier over the checked-in kernels
+lint:
+    cargo run --release -p ifko-cli -- lint kernels/*.hil
+
+# Randomized verifier property test (in-repo rng, no extra deps)
+fuzz:
+    cargo test --release -p ifko-fko --features fuzz --test prop_verify
+
 # Regenerate every paper table/figure at full scale (slow)
 figures:
     for b in table1 table2 table3 figure2 figure3 figure4 figure4b figure5 figure6 figure7; do \

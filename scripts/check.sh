@@ -19,6 +19,13 @@ cargo build --release --workspace
 step "cargo test"
 cargo test --workspace --release -q
 
+step "verifier property test (fuzz feature)"
+cargo test --release -p ifko-fko --features fuzz --test prop_verify -q
+
+step "ifko lint kernels/*.hil"
+cargo run --release -p ifko-cli -- lint kernels/*.hil
+cargo run --release -p ifko-cli -- lint kernels/*.hil --format json >/dev/null
+
 step "harness smoke: table3 --quick (+trace +metrics)"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
