@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ifko::runner::{run_once, Context, KernelArgs};
-use ifko::{tune, TuneOptions};
+use ifko::TuneConfig;
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::ops::BlasOp;
 use ifko_blas::{Kernel, Workload};
@@ -60,7 +60,9 @@ fn bench_search(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("quick_line_search/dasum", |b| {
         b.iter(|| {
-            tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(2048))
+            TuneConfig::quick(2048)
+                .machine(mach.clone())
+                .tune(k)
                 .unwrap()
                 .result
                 .best_cycles

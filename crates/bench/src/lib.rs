@@ -45,6 +45,13 @@ pub struct ExpConfig {
     /// Persist/reuse evaluations under [`CACHE_DIR`] (disable with
     /// `--no-cache`).
     pub use_cache: bool,
+    /// Search strategy (`--strategy NAME`; default: the line search).
+    pub strategy: StrategySpec,
+    /// Probe/wall budget for each search (`--budget N` or `--budget 500ms`).
+    pub budget: Budget,
+    /// Tuned-results database directory (`--db DIR`, or `--warm-start`
+    /// for the conventional `results/db`).
+    pub db_dir: Option<String>,
 }
 
 impl ExpConfig {
@@ -65,6 +72,34 @@ impl ExpConfig {
                 "--trace" => cfg.trace_path = it.next().cloned(),
                 "--metrics" => cfg.metrics_path = it.next().cloned(),
                 "--no-cache" => cfg.use_cache = false,
+                "--strategy" => {
+                    if let Some(v) = it.next() {
+                        match StrategySpec::parse(v) {
+                            Some(s) => cfg.strategy = s,
+                            None => {
+                                eprintln!(
+                                    "unknown strategy `{v}` (line | random | hillclimb | anneal | portfolio)"
+                                );
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                }
+                "--budget" => {
+                    if let Some(v) = it.next() {
+                        match Budget::parse(v) {
+                            Ok(b) => cfg.budget = b,
+                            Err(e) => {
+                                eprintln!("--budget: {e}");
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                }
+                "--db" => cfg.db_dir = it.next().cloned(),
+                "--warm-start" => {
+                    cfg.db_dir.get_or_insert_with(|| "results/db".to_string());
+                }
                 _ => {}
             }
         }
@@ -88,6 +123,9 @@ impl ExpConfig {
             trace_path: None,
             metrics_path: None,
             use_cache: true,
+            strategy: StrategySpec::Line,
+            budget: Budget::unlimited(),
+            db_dir: None,
         }
     }
     pub fn n_for(&self, ctx: Context) -> usize {
@@ -105,11 +143,21 @@ impl ExpConfig {
         } else {
             TuneConfig::paper()
         };
-        base.machine(mach.clone())
+        let mut cfg = base
+            .machine(mach.clone())
             .context(ctx)
             .n(n)
             .seed(self.seed)
             .jobs(self.jobs)
+            .strategy(self.strategy)
+            .budget(self.budget);
+        if let Some(dir) = &self.db_dir {
+            match cfg.clone().tuned_db(dir) {
+                Ok(c) => cfg = c,
+                Err(e) => eprintln!("tuned-results db unavailable at {dir} ({e}); continuing"),
+            }
+        }
+        cfg
     }
     pub fn timer(&self) -> Timer {
         if self.quick {
@@ -599,6 +647,9 @@ mod tests {
             trace_path: None,
             metrics_path: None,
             use_cache: false,
+            strategy: StrategySpec::Line,
+            budget: Budget::unlimited(),
+            db_dir: None,
         }
     }
 

@@ -19,6 +19,10 @@ pub struct Args {
     pub metrics: Option<String>,
     pub verify_ir: bool,
     pub no_prune: bool,
+    pub strategy: Option<String>,
+    pub budget: Option<String>,
+    pub warm_start: bool,
+    pub db: Option<String>,
 }
 
 impl Args {
@@ -41,6 +45,10 @@ impl Args {
             metrics: None,
             verify_ir: false,
             no_prune: false,
+            strategy: None,
+            budget: None,
+            warm_start: false,
+            db: None,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -79,6 +87,10 @@ impl Args {
                 "--metrics" => a.metrics = Some(value("--metrics")?),
                 "--verify-ir" => a.verify_ir = true,
                 "--no-prune" => a.no_prune = true,
+                "--strategy" => a.strategy = Some(value("--strategy")?),
+                "--budget" => a.budget = Some(value("--budget")?),
+                "--warm-start" => a.warm_start = true,
+                "--db" => a.db = Some(value("--db")?),
                 other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
                 file => {
                     if a.file.is_empty() {
@@ -169,6 +181,27 @@ mod tests {
         assert!(a.verify_ir && a.no_prune);
         let a = Args::parse(v(&["k.hil"])).unwrap();
         assert!(!a.verify_ir && !a.no_prune);
+    }
+
+    #[test]
+    fn strategy_flags_parse() {
+        let a = Args::parse(v(&[
+            "k.hil",
+            "--strategy",
+            "portfolio",
+            "--budget",
+            "64",
+            "--warm-start",
+            "--db",
+            "results/db",
+        ]))
+        .unwrap();
+        assert_eq!(a.strategy.as_deref(), Some("portfolio"));
+        assert_eq!(a.budget.as_deref(), Some("64"));
+        assert!(a.warm_start);
+        assert_eq!(a.db.as_deref(), Some("results/db"));
+        let a = Args::parse(v(&["k.hil"])).unwrap();
+        assert!(a.strategy.is_none() && a.budget.is_none() && !a.warm_start && a.db.is_none());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! ifko tune     kernel.hil [--machine M] [--context oc|ic] [--n N]
 //!                          [--seed S] [--full] [--jobs N] [--trace PATH]
 //!                          [--metrics PATH] [--verify-ir] [--no-prune]
+//!                          [--strategy line|random|hillclimb|anneal|portfolio]
+//!                          [--budget PROBES|WALL] [--warm-start] [--db DIR]
 //! ifko lint     kernel.hil [kernel2.hil ...] [--machine M]
 //!                          [--format text|json]
 //! ifko report   trace.jsonl [trace2.jsonl ...] [--format text|json|md]
@@ -17,7 +19,9 @@
 //! generated pseudo-assembly; `tune` runs the empirical line search with
 //! differential verification against the untransformed build and reports
 //! the winning parameters — for *any* kernel written in the HIL, not only
-//! the BLAS suite; `lint` runs the front end, the tuning-opportunity
+//! the BLAS suite (`--strategy` swaps the search driver, `--budget` caps
+//! its probes or wall-clock, and `--warm-start`/`--db` persist winners in
+//! the tuned-results database); `lint` runs the front end, the tuning-opportunity
 //! analysis, and the inter-stage IR verifier over kernel files without
 //! tuning anything, and exits nonzero iff an error-severity diagnostic
 //! fires; `report` analyzes search traces written by `--trace`
@@ -26,6 +30,7 @@
 
 use ifko::report::{report_files, ReportFormat};
 use ifko::runner::Context;
+use ifko::strategy::{Budget, StrategySpec};
 use ifko::{SearchOptions, TuneConfig};
 use ifko_fko::{
     analyze_kernel, compile_ir, compile_ir_checked, lint_analysis, CompileError, Diagnostic,
@@ -364,6 +369,23 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         .verify_ir(args.verify_ir)
         .prune(!args.no_prune)
         .jobs(args.jobs);
+    let strategy = match &args.strategy {
+        Some(s) => StrategySpec::parse(s).ok_or_else(|| {
+            format!("unknown strategy `{s}` (line | random | hillclimb | anneal | portfolio)")
+        })?,
+        None => StrategySpec::Line,
+    };
+    cfg = cfg.strategy(strategy);
+    if let Some(b) = &args.budget {
+        cfg = cfg.budget(Budget::parse(b).map_err(|e| format!("--budget: {e}"))?);
+    }
+    // `--db DIR` attaches an explicit database; `--warm-start` alone uses
+    // the conventional `results/db`.
+    if args.db.is_some() || args.warm_start {
+        let dir = args.db.clone().unwrap_or_else(|| "results/db".to_string());
+        cfg = cfg.tuned_db(&dir).map_err(|e| format!("--db {dir}: {e}"))?;
+        eprintln!("tuned-results database: {dir}/tuned.jsonl");
+    }
     if let Some(path) = &args.trace {
         cfg = cfg
             .trace_file(path)
@@ -371,10 +393,11 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         eprintln!("tracing evaluations to {path}");
     }
     eprintln!(
-        "tuning on {} ({}), N={n}, jobs={} ...",
+        "tuning on {} ({}), N={n}, jobs={}, strategy={} ...",
         machine.name,
         context.label(),
-        args.jobs
+        args.jobs,
+        strategy.name()
     );
     let out = cfg.tune_source(src).map_err(|e| e.to_string())?;
     println!("baseline (untuned) : not measured (search starts at FKO defaults)");
@@ -390,6 +413,10 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
     println!(
         "evaluations        : {} ({} rejected, {} cache hits, {} pruned)",
         out.result.evaluations, out.result.rejected, out.result.cache_hits, out.result.pruned
+    );
+    println!(
+        "strategy           : {} (winner found by: {})",
+        out.result.strategy, out.result.winner_strategy
     );
     println!("\nwinning parameters:");
     println!(

@@ -22,6 +22,7 @@ use crate::generic::{tune_source_with_config, GenericTuneOutcome};
 use crate::metrics::MetricsRegistry;
 use crate::runner::Context;
 use crate::search::SearchOptions;
+use crate::strategy::{Budget, StrategySpec, TunedDb};
 use crate::timer::Timer;
 use ifko_blas::Kernel;
 use ifko_fko::CompileError;
@@ -42,6 +43,9 @@ pub struct TuneConfig {
     pub(crate) trace: Option<Arc<dyn TraceSink>>,
     pub(crate) cache: Arc<EvalCache>,
     pub(crate) metrics: Option<Arc<MetricsRegistry>>,
+    pub(crate) strategy: StrategySpec,
+    pub(crate) budget: Budget,
+    pub(crate) db: Option<Arc<TunedDb>>,
 }
 
 impl TuneConfig {
@@ -60,6 +64,9 @@ impl TuneConfig {
             trace: None,
             cache: Arc::new(EvalCache::new()),
             metrics: None,
+            strategy: StrategySpec::Line,
+            budget: Budget::unlimited(),
+            db: None,
         }
     }
 
@@ -155,6 +162,30 @@ impl TuneConfig {
         self.final_timer = timer;
         self
     }
+    /// Search strategy driving candidate selection (default: the paper's
+    /// modified line search).
+    pub fn strategy(mut self, strategy: StrategySpec) -> Self {
+        self.strategy = strategy;
+        self
+    }
+    /// Probe-and-time budget for the search (default: unlimited — the
+    /// line search runs to its fixed point).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+    /// Attach a tuned-results database: searches warm-start from stored
+    /// winners (re-verified before acceptance) and store new ones.
+    pub fn db(mut self, db: Arc<TunedDb>) -> Self {
+        self.db = Some(db);
+        self
+    }
+    /// Attach the tuned-results database in `dir` (convenience over
+    /// [`Self::db`]; `results/db` is the conventional location).
+    pub fn tuned_db(self, dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let db = Arc::new(TunedDb::open(dir)?);
+        Ok(self.db(db))
+    }
 
     // ---- accessors -------------------------------------------------------
 
@@ -179,6 +210,15 @@ impl TuneConfig {
     }
     pub fn cache_ref(&self) -> &Arc<EvalCache> {
         &self.cache
+    }
+    pub fn strategy_of(&self) -> StrategySpec {
+        self.strategy
+    }
+    pub fn budget_of(&self) -> Budget {
+        self.budget
+    }
+    pub fn db_ref(&self) -> Option<&Arc<TunedDb>> {
+        self.db.as_ref()
     }
 
     /// Build the evaluation engine this config describes. All runs share
@@ -221,6 +261,9 @@ impl std::fmt::Debug for TuneConfig {
             .field("n", &self.size())
             .field("seed", &self.seed)
             .field("jobs", &self.jobs)
+            .field("strategy", &self.strategy.name())
+            .field("budget", &format_args!("{}", self.budget))
+            .field("db", &self.db.is_some())
             .field("trace", &self.trace.is_some())
             .field("cached_points", &self.cache.len())
             .finish()

@@ -3,69 +3,17 @@
 //!
 //! Configuration lives in [`TuneConfig`](crate::config::TuneConfig); the
 //! entry points here are what its `tune` / `time_defaults` methods call.
-//! The old `TuneOptions`-based free functions remain as deprecated shims.
 
 use crate::config::TuneConfig;
 use crate::eval::{EvalScope, Span};
 use crate::metrics;
 use crate::runner::Context;
-use crate::search::{line_search_engine, SearchOptions, SearchResult};
-use crate::timer::Timer;
+use crate::search::{blas_eval_point, SearchResult};
+use crate::strategy::{db_key, STRATEGY_WARM};
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::{Kernel, Workload};
 use ifko_fko::{analyze_kernel, compile_ir, CompiledKernel, TransformParams};
 use ifko_xsim::MachineConfig;
-
-/// Options for a tuning run (legacy shim — see [`TuneConfig`]).
-#[deprecated(since = "0.2.0", note = "use `ifko::TuneConfig` (builder API)")]
-#[derive(Clone, Debug)]
-pub struct TuneOptions {
-    /// Problem size (defaults to the paper size for the context).
-    pub n: Option<usize>,
-    /// Workload seed.
-    pub seed: u64,
-    pub search: SearchOptions,
-    /// Timer for the final (reported) measurement.
-    pub final_timer: Timer,
-}
-
-#[allow(deprecated)]
-impl Default for TuneOptions {
-    fn default() -> Self {
-        TuneOptions {
-            n: None,
-            seed: 0xb1a5,
-            search: SearchOptions::default(),
-            final_timer: Timer::default(),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl TuneOptions {
-    /// Reduced sizes/search for tests and demos.
-    pub fn quick(n: usize) -> Self {
-        TuneOptions {
-            n: Some(n),
-            seed: 0xb1a5,
-            search: SearchOptions::quick(),
-            final_timer: Timer::exact(),
-        }
-    }
-
-    fn to_config(&self, machine: &MachineConfig, context: Context) -> TuneConfig {
-        let mut cfg = TuneConfig::paper()
-            .machine(machine.clone())
-            .context(context)
-            .seed(self.seed)
-            .search(self.search.clone())
-            .final_timer(self.final_timer.clone());
-        if let Some(n) = self.n {
-            cfg = cfg.n(n);
-        }
-        cfg
-    }
-}
 
 /// Everything produced by tuning one kernel on one machine/context.
 #[derive(Clone, Debug)]
@@ -121,16 +69,48 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
     let (ir, rep) = parsed.map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
     let workload = Workload::generate(n, cfg.seed);
 
-    let result = line_search_engine(
-        &ir,
+    // Warm start: a stored winner for this kernel/precision/machine/
+    // context/revision is re-verified through the engine before it can
+    // end the search early (see `strategy::run_search`).
+    let prec = format!("{:?}", kernel.prec);
+    let key = cfg.db.as_ref().map(|db| {
+        db_key(
+            &kernel.name(),
+            &prec,
+            &scope.machine,
+            context.label(),
+            db.rev(),
+        )
+    });
+    let warm = match (&cfg.db, &key) {
+        (Some(db), Some(k)) => db.lookup(k),
+        _ => None,
+    };
+
+    let result = crate::strategy::run_search(
+        cfg.strategy,
+        cfg.budget,
+        warm.as_ref(),
         &rep,
-        kernel,
-        &workload,
-        context,
         machine,
         &cfg.search,
+        cfg.seed,
         &engine,
         &scope,
+        |search_id| {
+            blas_eval_point(
+                &ir,
+                &rep,
+                kernel,
+                &workload,
+                context,
+                machine,
+                &cfg.search,
+                engine.trace().cloned(),
+                &scope,
+                search_id,
+            )
+        },
     );
     let recompile_span = tune_span.child("recompile");
     let compiled = compile_ir(&ir, &result.best, &rep);
@@ -152,6 +132,26 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
     drop(final_span);
     let cycles = cycles.map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
     let mflops = flops_rate(kernel, n, cycles, machine);
+
+    // Persist the verified winner — unless this run itself was answered
+    // by the database (re-storing would overwrite the finder's name).
+    if let (Some(db), Some(key)) = (&cfg.db, &key) {
+        if result.strategy != STRATEGY_WARM {
+            db.store(&crate::strategy::TunedRecord {
+                key: key.clone(),
+                kernel: kernel.name(),
+                prec,
+                machine: scope.machine.clone(),
+                context: context.label().to_string(),
+                rev: db.rev().to_string(),
+                n,
+                seed: cfg.seed,
+                strategy: result.winner_strategy.clone(),
+                cycles: result.best_cycles,
+                params: result.best.clone(),
+            });
+        }
+    }
 
     reg.counter(metrics::TUNE_RUNS).inc();
     reg.histogram(metrics::TUNE_WALL_US, metrics::US_BUCKETS)
@@ -196,35 +196,6 @@ pub(crate) fn defaults_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<u
     cfg.final_timer
         .time(&compiled, &args, machine)
         .map_err(|e| TuneError(e.to_string()))
-}
-
-/// Tune one kernel with the iterative empirical search (legacy shim —
-/// see [`TuneConfig::tune`]).
-#[deprecated(since = "0.2.0", note = "use `TuneConfig::...().tune(kernel)`")]
-#[allow(deprecated)]
-pub fn tune(
-    kernel: Kernel,
-    machine: &MachineConfig,
-    context: Context,
-    opts: &TuneOptions,
-) -> Result<TuneOutcome, TuneError> {
-    tune_with_config(kernel, &opts.to_config(machine, context))
-}
-
-/// Time a kernel compiled at FKO's static defaults (legacy shim — see
-/// [`TuneConfig::time_defaults`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TuneConfig::...().time_defaults(kernel)`"
-)]
-#[allow(deprecated)]
-pub fn time_fko_defaults(
-    kernel: Kernel,
-    machine: &MachineConfig,
-    context: Context,
-    opts: &TuneOptions,
-) -> Result<u64, TuneError> {
-    defaults_with_config(kernel, &opts.to_config(machine, context))
 }
 
 /// MFLOPS for a kernel run (paper Figure 5 metric).
@@ -278,21 +249,6 @@ mod tests {
         assert_eq!(d1, d2);
         let tuned = cfg.tune(k).unwrap();
         assert!(tuned.cycles <= d1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_agrees_with_config_path() {
-        let mach = p4e();
-        let k = Kernel {
-            op: BlasOp::Dot,
-            prec: Prec::D,
-        };
-        let old = tune(k, &mach, Context::OutOfCache, &TuneOptions::quick(2048)).unwrap();
-        let new = TuneConfig::quick(2048).tune(k).unwrap();
-        assert_eq!(old.cycles, new.cycles);
-        assert_eq!(old.result.best, new.result.best);
-        assert_eq!(old.result.evaluations, new.result.evaluations);
     }
 
     #[test]

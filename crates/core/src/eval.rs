@@ -163,6 +163,10 @@ pub struct EvalEvent {
     /// Legality-precheck rejection reason when the candidate was pruned
     /// before compilation (`None` for evaluated / cached candidates).
     pub pruned: Option<String>,
+    /// Search strategy that submitted the candidate (`line`, `random`,
+    /// ...; empty for untagged batches such as the driver's final
+    /// re-timing).
+    pub strategy: String,
 }
 
 /// One completed pipeline span: a named stage of the
@@ -185,6 +189,10 @@ pub struct SpanEvent {
 
 /// One record in a search trace: a candidate evaluation or a pipeline
 /// span.
+// Eval dwarfs Span (it carries RunStats inline), but events live on the
+// stack of the probe that emits them; boxing would cost an allocation
+// per probe to shrink a type nothing stores in bulk outside tests.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum SearchEvent {
     Eval(EvalEvent),
@@ -227,6 +235,9 @@ impl EvalEvent {
             self.cache_hit,
             self.wall_us,
         );
+        if !self.strategy.is_empty() {
+            s.push_str(&format!(",\"strategy\":\"{}\"", esc(&self.strategy)));
+        }
         if let Some(st) = &self.stats {
             s.push_str(&format!(",\"stats\":{}", stats_json(st)));
         }
@@ -442,17 +453,6 @@ impl MemSink {
     }
     pub fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-    /// (cache hits, misses) over the evaluations recorded so far.
-    #[deprecated(
-        since = "0.3.0",
-        note = "derive from `evals()` or read the metrics registry \
-                (`ifko_engine_cache_hits_total` / `ifko_engine_evals_total`)"
-    )]
-    pub fn hit_miss(&self) -> (usize, usize) {
-        let evs = self.evals();
-        let hits = evs.iter().filter(|e| e.cache_hit).count();
-        (hits, evs.len() - hits)
     }
 }
 
@@ -867,6 +867,27 @@ impl EvalEngine {
         P: Fn(&TransformParams) -> Result<(), Reject>,
         F: Fn(&TransformParams) -> EvalRecord + Sync,
     {
+        self.eval_batch_tagged(scope, "", phase, cands, precheck, eval)
+    }
+
+    /// [`EvalEngine::eval_batch_checked`] with a search-strategy tag:
+    /// every trace event the batch emits carries `strategy`, so reports
+    /// and metrics can attribute probes when several strategies share
+    /// one engine (portfolio racing). The empty tag means "untagged" and
+    /// is omitted from the JSONL encoding.
+    pub fn eval_batch_tagged<P, F>(
+        &self,
+        scope: &EvalScope,
+        strategy: &'static str,
+        phase: &'static str,
+        cands: &[TransformParams],
+        precheck: P,
+        eval: F,
+    ) -> BatchOutcome
+    where
+        P: Fn(&TransformParams) -> Result<(), Reject>,
+        F: Fn(&TransformParams) -> EvalRecord + Sync,
+    {
         let keys: Vec<String> = cands.iter().map(|p| scope.point_key(p)).collect();
 
         // Serial pass: prune illegal points, then resolve cache hits and
@@ -971,6 +992,7 @@ impl EvalEngine {
                     wall_us: wall_us[i],
                     stats: stats[i],
                     pruned: pruned_why[i].map(|w| w.as_str().to_string()),
+                    strategy: strategy.to_string(),
                 }));
             }
         }
@@ -1210,11 +1232,19 @@ mod tests {
             wall_us: 9,
             stats: None,
             pruned: None,
+            strategy: String::new(),
         };
         assert_eq!(
             ev.to_json(),
             "{\"scope\":\"s\",\"phase\":\"UR\",\"params\":\"p\",\"cycles\":5,\"verified\":true,\"cache_hit\":false,\"wall_us\":9}"
         );
+        let tagged = EvalEvent {
+            strategy: "line".into(),
+            ..ev.clone()
+        };
+        assert!(tagged
+            .to_json()
+            .ends_with("\"wall_us\":9,\"strategy\":\"line\"}"));
         let with_stats = EvalEvent {
             stats: Some(RunStats {
                 cycles: 5,
@@ -1245,16 +1275,5 @@ mod tests {
         let j = spans[1].to_json();
         assert!(j.starts_with("{\"span\":\"tune\",\"scope\":\"sc\",\"id\":"));
         assert!(j.contains("\"parent\":null"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn hit_miss_shim_still_derives_from_evals() {
-        let sink = MemSink::new();
-        let eng = EvalEngine::new(1).with_trace(sink.clone());
-        let cands = vec![point(2)];
-        eng.eval_batch(&scope(), "UR", &cands, |_| Some(1));
-        eng.eval_batch(&scope(), "UR", &cands, |_| panic!("cached"));
-        assert_eq!(sink.hit_miss(), (1, 1));
     }
 }

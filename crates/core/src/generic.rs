@@ -12,10 +12,11 @@
 use crate::config::TuneConfig;
 use crate::eval::{fnv64, EvalRecord, EvalScope, Span};
 use crate::runner::Context;
-use crate::search::{line_search_batched, SearchMetrics, SearchOptions, SearchResult};
+use crate::search::{SearchOptions, SearchResult};
+use crate::strategy::{db_key, STRATEGY_WARM};
 use ifko_fko::{
-    analyze_kernel, compile_ir, compile_ir_checked, precheck, ArgSlot, CompileError,
-    CompiledKernel, RetSlot, TransformParams,
+    analyze_kernel, compile_ir, compile_ir_checked, ArgSlot, CompileError, CompiledKernel, RetSlot,
+    TransformParams,
 };
 use ifko_xsim::isa::Prec;
 use ifko_xsim::rng::Rng64;
@@ -208,76 +209,102 @@ pub(crate) fn tune_source_with_config(
     // name plus a content hash, so two different bodies never collide.
     let label = format!("hil:{}#{:016x}", ir.name, fnv64(src.as_bytes()));
     let scope = EvalScope::new(label, machine, context, n, cfg.seed, &opts.timer);
-    let sink = engine.trace().cloned();
-    let search_span = Span::root(sink.clone(), scope.key(), "search");
-    let search_id = search_span.id();
-    let eval_point = |p: &TransformParams| -> EvalRecord {
-        let eval_span = Span::with_parent(sink.clone(), scope.key(), "eval", Some(search_id));
-        let compile_span = eval_span.child("compile");
-        let compile_id = compile_span.id();
-        let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
-        let c = compile_ir_checked(
-            &ir,
-            p,
-            &rep,
-            cfg!(debug_assertions) || opts.verify_ir,
-            |stage, wall| stages.push((stage, wall)),
-        );
-        drop(compile_span);
-        for (stage, wall) in stages {
-            Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
-        }
-        let Ok(c) = c else {
-            return EvalRecord::rejected();
-        };
-        // Verify differentially, then time (best of the timer's reps —
-        // the simulator is deterministic, so one timed run suffices
-        // here; the BLAS path exercises the full min-of-6 protocol).
-        let sim_span = eval_span.child("simulate");
-        let got = run_generic(&c, &w, context, machine);
-        drop(sim_span);
-        let Ok(got) = got else {
-            return EvalRecord::rejected();
-        };
-        let _test_span = eval_span.child("test");
-        if !outputs_agree(&got, &baseline, prec, n) {
-            return EvalRecord {
-                cycles: None,
-                stats: Some(got.stats),
-            };
-        }
-        EvalRecord {
-            cycles: Some(got.cycles),
-            stats: Some(got.stats),
-        }
+
+    // Warm start, keyed by the content-hashed label (see `driver.rs`).
+    let prec_label = format!("{prec:?}");
+    let key = cfg.db.as_ref().map(|db| {
+        db_key(
+            &scope.kernel,
+            &prec_label,
+            &scope.machine,
+            context.label(),
+            db.rev(),
+        )
+    });
+    let warm = match (&cfg.db, &key) {
+        (Some(db), Some(k)) => db.lookup(k),
+        _ => None,
     };
 
-    let mut sm = SearchMetrics::new(engine.metrics().clone());
-    let mut evals = 0u32;
-    let mut rejected = 0u32;
-    let mut hits = 0u32;
-    let mut pruned = 0u32;
-    let check = |p: &TransformParams| {
-        if opts.prune {
-            precheck(p, &rep)
-        } else {
-            Ok(())
+    let result = crate::strategy::run_search(
+        cfg.strategy,
+        cfg.budget,
+        warm.as_ref(),
+        &rep,
+        machine,
+        opts,
+        cfg.seed,
+        &engine,
+        &scope,
+        |search_id| {
+            let sink = engine.trace().cloned();
+            let ir = &ir;
+            let rep = &rep;
+            let w = &w;
+            let baseline = &baseline;
+            let scope = &scope;
+            move |p: &TransformParams| -> EvalRecord {
+                let eval_span =
+                    Span::with_parent(sink.clone(), scope.key(), "eval", Some(search_id));
+                let compile_span = eval_span.child("compile");
+                let compile_id = compile_span.id();
+                let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
+                let c = compile_ir_checked(
+                    ir,
+                    p,
+                    rep,
+                    cfg!(debug_assertions) || opts.verify_ir,
+                    |stage, wall| stages.push((stage, wall)),
+                );
+                drop(compile_span);
+                for (stage, wall) in stages {
+                    Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
+                }
+                let Ok(c) = c else {
+                    return EvalRecord::rejected();
+                };
+                // Verify differentially, then time (best of the timer's
+                // reps — the simulator is deterministic, so one timed run
+                // suffices here; the BLAS path exercises the full
+                // min-of-6 protocol).
+                let sim_span = eval_span.child("simulate");
+                let got = run_generic(&c, w, context, machine);
+                drop(sim_span);
+                let Ok(got) = got else {
+                    return EvalRecord::rejected();
+                };
+                let _test_span = eval_span.child("test");
+                if !outputs_agree(&got, baseline, prec, n) {
+                    return EvalRecord {
+                        cycles: None,
+                        stats: Some(got.stats),
+                    };
+                }
+                EvalRecord {
+                    cycles: Some(got.cycles),
+                    stats: Some(got.stats),
+                }
+            }
+        },
+    );
+
+    if let (Some(db), Some(key)) = (&cfg.db, &key) {
+        if result.strategy != STRATEGY_WARM {
+            db.store(&crate::strategy::TunedRecord {
+                key: key.clone(),
+                kernel: scope.kernel.clone(),
+                prec: prec_label,
+                machine: scope.machine.clone(),
+                context: context.label().to_string(),
+                rev: db.rev().to_string(),
+                n,
+                seed: cfg.seed,
+                strategy: result.winner_strategy.clone(),
+                cycles: result.best_cycles,
+                params: result.best.clone(),
+            });
         }
-    };
-    let mut result = line_search_batched(&rep, machine, opts, |phase, cands| {
-        let out = engine.eval_batch_checked(&scope, phase, cands, check, eval_point);
-        sm.observe_batch(phase, &out.results);
-        evals += out.evaluated;
-        rejected += out.rejected;
-        hits += out.cache_hits;
-        pruned += out.pruned;
-        out.results
-    });
-    result.evaluations = evals;
-    result.rejected = rejected;
-    result.cache_hits = hits;
-    result.pruned = pruned;
-    drop(search_span);
+    }
     let compiled = compile_ir(&ir, &result.best, &rep)?;
     Ok(GenericTuneOutcome { result, compiled })
 }

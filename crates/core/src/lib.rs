@@ -24,6 +24,11 @@
 //!   (optionally persisted to `results/cache/evals.jsonl`), and the
 //!   structured search-trace layer ([`SearchEvent`](eval::SearchEvent) /
 //!   [`TraceSink`](eval::TraceSink));
+//! * [`strategy`] — the pluggable search-strategy subsystem: the
+//!   [`SearchDriver`](strategy::SearchDriver) trait, the line search and
+//!   three seeded global strategies behind it, a budget-aware portfolio
+//!   meta-driver that races them, and the persistent tuned-results
+//!   database ([`TunedDb`](strategy::TunedDb)) used for warm starts;
 //! * [`config`] — [`TuneConfig`], the builder-style configuration every
 //!   entry point takes;
 //! * [`driver`] — one-call tuning of a BLAS kernel on a machine/context.
@@ -46,13 +51,12 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod search;
+pub mod strategy;
 pub mod tester;
 pub mod timer;
 
 pub use config::TuneConfig;
 pub use driver::{flops_rate, TuneError, TuneOutcome};
-#[allow(deprecated)]
-pub use driver::{time_fko_defaults, tune, TuneOptions};
 pub use eval::{
     machine_fingerprint, EvalCache, EvalEngine, EvalEvent, EvalScope, JsonlSink, MemSink,
     SearchEvent, Span, SpanEvent, TraceSink,
@@ -61,6 +65,7 @@ pub use generic::{tune_source, GenericTuneOutcome, GenericWorkload};
 pub use metrics::MetricsRegistry;
 pub use runner::{Context, KernelArgs, Outputs, RunFailure};
 pub use search::{SearchOptions, SearchResult};
+pub use strategy::{Budget, SearchCtx, SearchDriver, StrategySpec, TunedDb, TunedRecord};
 pub use tester::verify;
 pub use timer::Timer;
 
@@ -75,6 +80,7 @@ pub mod prelude {
     pub use crate::metrics::{self, MetricsRegistry};
     pub use crate::runner::Context;
     pub use crate::search::{Phase, PhaseGain, SearchOptions, SearchResult};
+    pub use crate::strategy::{Budget, StrategySpec, TunedDb};
     pub use crate::timer::Timer;
     pub use ifko_blas::ops::BlasOp;
     pub use ifko_blas::{Kernel, Workload, ALL_KERNELS};

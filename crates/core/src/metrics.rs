@@ -456,6 +456,16 @@ pub const SEARCH_PHASE_WINS: &str = "ifko_search_phase_wins_total";
 /// Improvement of each new winner over the previous best, percent.
 pub const SEARCH_WINNER_DELTA_PCT: &str = "ifko_search_winner_delta_pct";
 
+/// Candidates submitted, by search strategy (labeled `strategy`).
+pub const STRATEGY_PROBES: &str = "ifko_strategy_probes_total";
+/// Searches won, by the strategy that found the winner (labeled
+/// `strategy`; `warm` counts database warm-start hits).
+pub const STRATEGY_WINS: &str = "ifko_strategy_wins_total";
+/// Warm starts where the stored winner verified and ended the search.
+pub const DB_WARM_HITS: &str = "ifko_db_warm_hits_total";
+/// Winners appended to the tuned-results database.
+pub const DB_STORES: &str = "ifko_db_stores_total";
+
 /// Tuning runs driven end to end.
 pub const TUNE_RUNS: &str = "ifko_tune_runs_total";
 /// Wall-clock of one full tuning run, microseconds.

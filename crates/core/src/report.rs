@@ -268,6 +268,11 @@ pub fn parse_trace_line(line: &str) -> Option<SearchEvent> {
         wall_us: v.get("wall_us")?.as_u64()?,
         stats: v.get("stats").and_then(parse_stats),
         pruned: v.get("pruned").and_then(Json::as_str).map(str::to_string),
+        strategy: v
+            .get("strategy")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string(),
     }))
 }
 
@@ -336,6 +341,18 @@ pub struct PhaseRow {
     pub speedup: f64,
 }
 
+/// Per-strategy attribution: probes submitted under each strategy tag
+/// (portfolio racing tags each member's batches), the wins among them,
+/// and the best cycles each strategy reached.
+#[derive(Clone, Debug)]
+pub struct StrategyRow {
+    pub strategy: String,
+    pub probes: u64,
+    pub fresh: u64,
+    pub wins: u64,
+    pub best_cycles: Option<u64>,
+}
+
 /// Everything the trace says about one evaluation scope (one kernel on
 /// one machine/context/size).
 #[derive(Clone, Debug)]
@@ -354,6 +371,12 @@ pub struct ScopeReport {
     pub best_params: Option<String>,
     pub convergence: Vec<ConvPoint>,
     pub phases: Vec<PhaseRow>,
+    /// Per-strategy attribution, in first-appearance order (empty for
+    /// traces recorded before strategy tagging).
+    pub strategies: Vec<StrategyRow>,
+    /// Strategy whose probe last improved the best (the search's winner
+    /// attribution), when the trace carries strategy tags.
+    pub winner_strategy: Option<String>,
     /// Simulator counters of the best point's verification run, if the
     /// winning evaluation was fresh (cache hits carry no stats).
     pub best_stats: Option<RunStats>,
@@ -472,11 +495,15 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         best_params: None,
         convergence: Vec::new(),
         phases: Vec::new(),
+        strategies: Vec::new(),
+        winner_strategy: None,
         best_stats: None,
         fresh_wall_us: 0,
     };
     let mut phase_order: Vec<String> = Vec::new();
     let mut phase_map: HashMap<String, PhaseRow> = HashMap::new();
+    let mut strat_order: Vec<String> = Vec::new();
+    let mut strat_map: HashMap<String, StrategyRow> = HashMap::new();
     let mut best: Option<u64> = None;
     for (idx, e) in evs.iter().enumerate() {
         // Order matters: a pruned probe is neither a fresh evaluation
@@ -506,6 +533,31 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         }
         let row = phase_map.get_mut(&e.phase).unwrap();
         row.candidates += 1;
+        if !e.strategy.is_empty() {
+            if !strat_map.contains_key(&e.strategy) {
+                strat_order.push(e.strategy.clone());
+                strat_map.insert(
+                    e.strategy.clone(),
+                    StrategyRow {
+                        strategy: e.strategy.clone(),
+                        probes: 0,
+                        fresh: 0,
+                        wins: 0,
+                        best_cycles: None,
+                    },
+                );
+            }
+            let srow = strat_map.get_mut(&e.strategy).unwrap();
+            srow.probes += 1;
+            if e.pruned.is_none() && !e.cache_hit {
+                srow.fresh += 1;
+            }
+            if let Some(c) = e.cycles {
+                if srow.best_cycles.is_none_or(|b| c < b) {
+                    srow.best_cycles = Some(c);
+                }
+            }
+        }
         // Replay the search's selection rule: in-order scan, strict
         // improvement; the first verified probe seeds the baseline.
         if let Some(c) = e.cycles {
@@ -523,6 +575,10 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
             };
             if won {
                 best = Some(c);
+                if !e.strategy.is_empty() {
+                    strat_map.get_mut(&e.strategy).unwrap().wins += 1;
+                    rep.winner_strategy = Some(e.strategy.clone());
+                }
                 rep.best_params = Some(e.params.clone());
                 rep.best_stats = e.stats;
                 rep.convergence.push(ConvPoint {
@@ -537,6 +593,10 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
     rep.phases = phase_order
         .into_iter()
         .map(|p| phase_map.remove(&p).unwrap())
+        .collect();
+    rep.strategies = strat_order
+        .into_iter()
+        .map(|p| strat_map.remove(&p).unwrap())
         .collect();
     rep
 }
@@ -615,6 +675,22 @@ fn render_text(rep: &TraceReport) -> String {
                 ph.wins,
                 f4(ph.speedup)
             ));
+        }
+        if !sc.strategies.is_empty() {
+            s.push_str("strategy     probes fresh  wins     best\n");
+            for st in &sc.strategies {
+                s.push_str(&format!(
+                    "{:<12} {:>6} {:>5} {:>5} {:>8}\n",
+                    st.strategy,
+                    st.probes,
+                    st.fresh,
+                    st.wins,
+                    st.best_cycles.map_or("-".to_string(), |c| c.to_string())
+                ));
+            }
+            if let Some(w) = &sc.winner_strategy {
+                s.push_str(&format!("winner strategy: {w}\n"));
+            }
         }
         if !sc.convergence.is_empty() {
             s.push_str("convergence (probe: cycles @phase):");
@@ -713,7 +789,25 @@ fn render_json(rep: &TraceReport) -> String {
                 f4(ph.speedup)
             ));
         }
-        s.push_str("],\"convergence\":[");
+        s.push_str("],\"strategies\":[");
+        for (j, st) in sc.strategies.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"strategy\":{},\"probes\":{},\"fresh\":{},\"wins\":{},\"best_cycles\":{}}}",
+                jstr(&st.strategy),
+                st.probes,
+                st.fresh,
+                st.wins,
+                opt_u64(st.best_cycles)
+            ));
+        }
+        s.push(']');
+        if let Some(w) = &sc.winner_strategy {
+            s.push_str(&format!(",\"winner_strategy\":{}", jstr(w)));
+        }
+        s.push_str(",\"convergence\":[");
         for (j, c) in sc.convergence.iter().enumerate() {
             if j > 0 {
                 s.push(',');
@@ -784,6 +878,22 @@ fn render_md(rep: &TraceReport) -> String {
                 ph.wins,
                 f4(ph.speedup)
             ));
+        }
+        if !sc.strategies.is_empty() {
+            s.push_str("\n| strategy | probes | fresh | wins | best |\n|---|---|---|---|---|\n");
+            for st in &sc.strategies {
+                s.push_str(&format!(
+                    "| {} | {} | {} | {} | {} |\n",
+                    st.strategy,
+                    st.probes,
+                    st.fresh,
+                    st.wins,
+                    st.best_cycles.map_or("-".to_string(), |c| c.to_string())
+                ));
+            }
+            if let Some(w) = &sc.winner_strategy {
+                s.push_str(&format!("\nWinner strategy: **{w}**\n"));
+            }
         }
         s.push('\n');
     }
@@ -895,6 +1005,7 @@ mod tests {
                 ..Default::default()
             }),
             pruned: None,
+            strategy: "line".into(),
         })
     }
 

@@ -30,7 +30,7 @@ use crate::tester::verify;
 use crate::timer::Timer;
 use ifko_blas::{Kernel, Workload};
 use ifko_fko::ir::KernelIr;
-use ifko_fko::{compile_ir_checked, precheck, AnalysisReport, TransformParams};
+use ifko_fko::{compile_ir_checked, AnalysisReport, TransformParams};
 use ifko_xsim::MachineConfig;
 use std::sync::Arc;
 
@@ -156,6 +156,13 @@ pub struct SearchResult {
     pub cache_hits: u32,
     /// Candidates pruned by the legality precheck (never compiled).
     pub pruned: u32,
+    /// Strategy that drove the search (`line`, `random`, `portfolio`,
+    /// ...; `warm` when a tuned-database hit ended it early).
+    pub strategy: String,
+    /// Strategy whose probe first reached the winning cycles (equals
+    /// `strategy` except under portfolio racing, where it names the
+    /// winning member).
+    pub winner_strategy: String,
 }
 
 impl SearchResult {
@@ -253,11 +260,52 @@ pub fn line_search_engine(
     engine: &EvalEngine,
     scope: &EvalScope,
 ) -> SearchResult {
+    crate::strategy::run_search(
+        crate::strategy::StrategySpec::Line,
+        crate::strategy::Budget::unlimited(),
+        None,
+        rep,
+        machine,
+        opts,
+        scope.seed,
+        engine,
+        scope,
+        |search_id| {
+            blas_eval_point(
+                ir,
+                rep,
+                kernel,
+                workload,
+                context,
+                machine,
+                opts,
+                engine.trace().cloned(),
+                scope,
+                search_id,
+            )
+        },
+    )
+}
+
+/// The full BLAS evaluation function — compile (stage-attributed spans) →
+/// simulate → verify → time — for one parameter point, as used by every
+/// search strategy. `search_id` is the parent span the per-candidate
+/// `eval` spans hang off.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn blas_eval_point<'a>(
+    ir: &'a KernelIr,
+    rep: &'a AnalysisReport,
+    kernel: Kernel,
+    workload: &'a Workload,
+    context: Context,
+    machine: &'a MachineConfig,
+    opts: &'a SearchOptions,
+    sink: Option<Arc<dyn crate::eval::TraceSink>>,
+    scope: &'a EvalScope,
+    search_id: u64,
+) -> impl Fn(&TransformParams) -> EvalRecord + Sync + 'a {
     let timer = opts.timer.clone();
-    let sink = engine.trace().cloned();
-    let search_span = Span::root(sink.clone(), scope.key(), "search");
-    let search_id = search_span.id();
-    let eval_point = |p: &TransformParams| -> EvalRecord {
+    move |p: &TransformParams| -> EvalRecord {
         let eval_span = Span::with_parent(sink.clone(), scope.key(), "eval", Some(search_id));
         // Compile, attributing time to the FKO pipeline stages.
         let compile_span = eval_span.child("compile");
@@ -307,34 +355,7 @@ pub fn line_search_engine(
             cycles,
             stats: Some(stats),
         }
-    };
-
-    let mut sm = SearchMetrics::new(engine.metrics().clone());
-    let mut evaluations = 0u32;
-    let mut rejected = 0u32;
-    let mut cache_hits = 0u32;
-    let mut pruned = 0u32;
-    let check = |p: &TransformParams| {
-        if opts.prune {
-            precheck(p, rep)
-        } else {
-            Ok(())
-        }
-    };
-    let mut r = line_search_batched(rep, machine, opts, |phase, cands| {
-        let out = engine.eval_batch_checked(scope, phase, cands, check, eval_point);
-        sm.observe_batch(phase, &out.results);
-        evaluations += out.evaluated;
-        rejected += out.rejected;
-        cache_hits += out.cache_hits;
-        pruned += out.pruned;
-        out.results
-    });
-    r.evaluations = evaluations;
-    r.rejected = rejected;
-    r.cache_hits = cache_hits;
-    r.pruned = pruned;
-    r
+    }
 }
 
 /// The search skeleton over an arbitrary *single-candidate* evaluator:
@@ -591,6 +612,8 @@ pub fn line_search_batched(
         rejected: 0,
         cache_hits: 0,
         pruned: 0,
+        strategy: "line".to_string(),
+        winner_strategy: "line".to_string(),
     }
 }
 

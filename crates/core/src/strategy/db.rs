@@ -1,0 +1,384 @@
+//! The persistent tuned-results database: winning parameter points,
+//! keyed by kernel / precision / machine / context / repo revision, in
+//! an append-only JSONL file (`results/db/tuned.jsonl` by convention).
+//!
+//! The database is deliberately *not* keyed by problem size or workload
+//! seed: a tuned parameter point transfers across sizes (the paper tunes
+//! once per context and reuses the result), and a warm start never
+//! trusts a stored winner blindly — the driver re-evaluates it through
+//! the full compile → verify → time path before accepting it (see
+//! [`run_search`](super::run_search)). The repo revision is part of the
+//! key so a changed compiler invalidates old winners automatically.
+//!
+//! Concurrency: the file is append-only with last-record-wins semantics
+//! on load, so interrupted runs and concurrent writers degrade to stale
+//! entries, never corruption.
+
+use crate::metrics;
+use crate::report::{parse_json, Json};
+use ifko_fko::ir::PtrId;
+use ifko_fko::{PrefSpec, TransformParams};
+use ifko_xsim::PrefKind;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One stored winner.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunedRecord {
+    /// Full database key (see [`db_key`]).
+    pub key: String,
+    pub kernel: String,
+    /// Precision label (`D` / `S`).
+    pub prec: String,
+    /// Machine fingerprint (see
+    /// [`machine_fingerprint`](crate::eval::machine_fingerprint)).
+    pub machine: String,
+    /// Timing-context label (`oc` / `ic`).
+    pub context: String,
+    /// Repo revision the winner was tuned under.
+    pub rev: String,
+    /// Problem size of the tuning run (informational; not in the key).
+    pub n: usize,
+    /// Workload seed of the tuning run (informational; not in the key).
+    pub seed: u64,
+    /// Strategy that found the winner.
+    pub strategy: String,
+    /// Winning cycles at tuning time.
+    pub cycles: u64,
+    pub params: TransformParams,
+}
+
+/// The canonical database key.
+pub fn db_key(kernel: &str, prec: &str, machine: &str, context: &str, rev: &str) -> String {
+    format!("{kernel}|{prec}|{machine}|{context}|{rev}")
+}
+
+/// The tuned-results database: an in-memory map mirrored to an
+/// append-only `tuned.jsonl` in its directory.
+pub struct TunedDb {
+    path: PathBuf,
+    rev: String,
+    entries: Mutex<HashMap<String, TunedRecord>>,
+    file: Mutex<std::fs::File>,
+}
+
+impl TunedDb {
+    /// Open (creating if needed) the database in `dir`, loading every
+    /// well-formed record with last-record-wins semantics.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<TunedDb> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("tuned.jsonl");
+        let mut entries = HashMap::new();
+        if let Ok(file) = std::fs::File::open(&path) {
+            for line in std::io::BufReader::new(file).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rec) = parse_record(&line) {
+                    entries.insert(rec.key.clone(), rec);
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(TunedDb {
+            path,
+            rev: repo_rev(),
+            entries: Mutex::new(entries),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The backing JSONL file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The repo revision this process keys new records under.
+    pub fn rev(&self) -> &str {
+        &self.rev
+    }
+
+    /// Stored winner for a key, if any.
+    pub fn lookup(&self, key: &str) -> Option<TunedRecord> {
+        self.entries.lock().unwrap().get(key).cloned()
+    }
+
+    /// Store (or overwrite) a winner, appending it to the file.
+    pub fn store(&self, rec: &TunedRecord) {
+        let line = record_json(rec);
+        {
+            let mut out = self.file.lock().unwrap();
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+        self.entries
+            .lock()
+            .unwrap()
+            .insert(rec.key.clone(), rec.clone());
+        metrics::global().counter(metrics::DB_STORES).inc();
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The repo revision used in database keys: `IFKO_REPO_REV` when set,
+/// else the short git HEAD commit found by walking up from the current
+/// directory, else `unknown`.
+pub fn repo_rev() -> String {
+    if let Ok(rev) = std::env::var("IFKO_REPO_REV") {
+        return short_rev(rev.trim());
+    }
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        let head = d.join(".git").join("HEAD");
+        if let Ok(s) = std::fs::read_to_string(&head) {
+            let s = s.trim();
+            let hash = match s.strip_prefix("ref: ") {
+                Some(r) => std::fs::read_to_string(d.join(".git").join(r.trim()))
+                    .map(|h| h.trim().to_string())
+                    .unwrap_or_else(|_| r.trim().replace('/', "-")),
+                None => s.to_string(),
+            };
+            return short_rev(&hash);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    "unknown".to_string()
+}
+
+fn short_rev(h: &str) -> String {
+    let h = if h.is_empty() { "unknown" } else { h };
+    h.chars().take(12).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Record (de)serialization
+// ---------------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize a parameter point as a stable JSON object (field names
+/// abbreviated like the Table 3 rows).
+pub fn params_json(p: &TransformParams) -> String {
+    let pf: Vec<String> = p
+        .prefetch
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"ptr\":{},\"kind\":{},\"dist\":{}}}",
+                s.ptr.0,
+                s.kind
+                    .map_or("null".to_string(), |k| format!("\"{}\"", k.abbrev())),
+                s.dist
+            )
+        })
+        .collect();
+    format!(
+        "{{\"simd\":{},\"unroll\":{},\"ae\":{},\"wnt\":{},\"lc\":{},\"cisc\":{},\
+         \"copy_prop\":{},\"dce\":{},\"branch_cleanup\":{},\"pf\":[{}]}}",
+        p.simd,
+        p.unroll,
+        p.accum_expand,
+        p.wnt,
+        p.loop_control,
+        p.cisc_memops,
+        p.copy_prop,
+        p.dead_code_elim,
+        p.branch_cleanup,
+        pf.join(",")
+    )
+}
+
+fn kind_from_abbrev(s: &str) -> Option<PrefKind> {
+    match s {
+        "t0" => Some(PrefKind::T0),
+        "t1" => Some(PrefKind::T1),
+        "t2" => Some(PrefKind::T2),
+        "nta" => Some(PrefKind::Nta),
+        "w" => Some(PrefKind::W),
+        _ => None,
+    }
+}
+
+fn as_i64(v: &Json) -> Option<i64> {
+    match v {
+        Json::Num(n) => Some(*n as i64),
+        _ => None,
+    }
+}
+
+/// Parse a [`params_json`] object back into a point.
+pub fn params_from_json(v: &Json) -> Option<TransformParams> {
+    let mut prefetch = Vec::new();
+    if let Json::Arr(items) = v.get("pf")? {
+        for item in items {
+            let kind = match item.get("kind")? {
+                Json::Null => None,
+                k => Some(kind_from_abbrev(k.as_str()?)?),
+            };
+            prefetch.push(PrefSpec {
+                ptr: PtrId(item.get("ptr")?.as_u64()? as u32),
+                kind,
+                dist: as_i64(item.get("dist")?)?,
+            });
+        }
+    } else {
+        return None;
+    }
+    Some(TransformParams {
+        simd: v.get("simd")?.as_bool()?,
+        unroll: v.get("unroll")?.as_u64()? as u32,
+        accum_expand: v.get("ae")?.as_u64()? as u32,
+        wnt: v.get("wnt")?.as_bool()?,
+        prefetch,
+        loop_control: v.get("lc")?.as_bool()?,
+        cisc_memops: v.get("cisc")?.as_bool()?,
+        copy_prop: v.get("copy_prop")?.as_bool()?,
+        dead_code_elim: v.get("dce")?.as_bool()?,
+        branch_cleanup: v.get("branch_cleanup")?.as_bool()?,
+    })
+}
+
+fn record_json(rec: &TunedRecord) -> String {
+    format!(
+        "{{\"key\":\"{}\",\"kernel\":\"{}\",\"prec\":\"{}\",\"machine\":\"{}\",\
+         \"context\":\"{}\",\"rev\":\"{}\",\"n\":{},\"seed\":{},\"strategy\":\"{}\",\
+         \"cycles\":{},\"params\":{}}}",
+        esc(&rec.key),
+        esc(&rec.kernel),
+        esc(&rec.prec),
+        esc(&rec.machine),
+        esc(&rec.context),
+        esc(&rec.rev),
+        rec.n,
+        rec.seed,
+        esc(&rec.strategy),
+        rec.cycles,
+        params_json(&rec.params)
+    )
+}
+
+fn parse_record(line: &str) -> Option<TunedRecord> {
+    let v = parse_json(line.trim())?;
+    Some(TunedRecord {
+        key: v.get("key")?.as_str()?.to_string(),
+        kernel: v.get("kernel")?.as_str()?.to_string(),
+        prec: v.get("prec")?.as_str()?.to_string(),
+        machine: v.get("machine")?.as_str()?.to_string(),
+        context: v.get("context")?.as_str()?.to_string(),
+        rev: v.get("rev")?.as_str()?.to_string(),
+        n: v.get("n")?.as_u64()? as usize,
+        seed: v.get("seed")?.as_u64()?,
+        strategy: v.get("strategy")?.as_str()?.to_string(),
+        cycles: v.get("cycles")?.as_u64()?,
+        params: params_from_json(v.get("params")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_params() -> TransformParams {
+        let mut p = TransformParams::off();
+        p.simd = true;
+        p.unroll = 8;
+        p.accum_expand = 4;
+        p.prefetch = vec![
+            PrefSpec {
+                ptr: PtrId(0),
+                kind: Some(PrefKind::Nta),
+                dist: 1024,
+            },
+            PrefSpec {
+                ptr: PtrId(1),
+                kind: None,
+                dist: 128,
+            },
+        ];
+        p
+    }
+
+    fn sample_record(key: &str, cycles: u64) -> TunedRecord {
+        TunedRecord {
+            key: key.to_string(),
+            kernel: "ddot".to_string(),
+            prec: "D".to_string(),
+            machine: "P4E#0123".to_string(),
+            context: "oc".to_string(),
+            rev: "abc123def456".to_string(),
+            n: 1024,
+            seed: 0xb1a5,
+            strategy: "line".to_string(),
+            cycles,
+            params: sample_params(),
+        }
+    }
+
+    #[test]
+    fn params_round_trip_through_json() {
+        let p = sample_params();
+        let v = parse_json(&params_json(&p)).unwrap();
+        assert_eq!(params_from_json(&v), Some(p));
+        let off = TransformParams::off();
+        let v = parse_json(&params_json(&off)).unwrap();
+        assert_eq!(params_from_json(&v), Some(off));
+    }
+
+    #[test]
+    fn record_round_trips_and_last_wins() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = db_key("ddot", "D", "P4E#0123", "oc", "abc123def456");
+        {
+            let db = TunedDb::open(&dir).unwrap();
+            assert!(db.is_empty());
+            db.store(&sample_record(&key, 9000));
+            db.store(&sample_record(&key, 2500)); // overwrite
+            assert_eq!(db.len(), 1);
+        }
+        let db = TunedDb::open(&dir).unwrap();
+        assert_eq!(db.len(), 1);
+        let rec = db.lookup(&key).unwrap();
+        assert_eq!(rec.cycles, 2500, "last record wins");
+        assert_eq!(rec.params, sample_params());
+        assert!(db.lookup("other|key").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = record_json(&sample_record("k", 100));
+        std::fs::write(
+            dir.join("tuned.jsonl"),
+            format!("garbage\n{good}\n{{\"key\":\"half\"\n"),
+        )
+        .unwrap();
+        let db = TunedDb::open(&dir).unwrap();
+        assert_eq!(db.len(), 1);
+        assert!(db.lookup("k").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repo_rev_is_stable_and_short() {
+        let a = repo_rev();
+        let b = repo_rev();
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() <= 12, "{a}");
+    }
+}

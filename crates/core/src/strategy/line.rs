@@ -1,0 +1,34 @@
+//! The paper's modified line search (§2.3) behind the [`SearchDriver`]
+//! trait.
+//!
+//! This is a thin adapter: the search skeleton itself still lives in
+//! [`line_search_batched`](crate::search::line_search_batched), and every
+//! batch it submits goes straight through [`SearchCtx::submit`]. Because
+//! the context preserves batch order and the skeleton's in-order
+//! strict-improvement selection rule, the result is bit-identical to the
+//! pre-subsystem implementation (guarded by
+//! `tests/strategy_subsystem.rs`).
+
+use super::{DriverResult, SearchCtx, SearchDriver};
+use crate::search::line_search_batched;
+
+/// The modified line search as a strategy (the default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LineSearch;
+
+impl SearchDriver for LineSearch {
+    fn name(&self) -> &'static str {
+        "line"
+    }
+
+    fn run(&mut self, ctx: &mut SearchCtx<'_>) -> DriverResult {
+        let (rep, machine, opts) = (ctx.rep(), ctx.machine(), ctx.opts());
+        let r = line_search_batched(rep, machine, opts, |phase, cands| ctx.submit(phase, cands));
+        DriverResult {
+            best: r.best,
+            best_cycles: r.best_cycles,
+            default_cycles: r.default_cycles,
+            gains: r.gains,
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The portfolio meta-driver: race several strategies under one budget,
+//! one cache, and one trace, and return the best verified winner with
+//! per-member attribution.
+//!
+//! Members run sequentially over the *shared* evaluation cache, so a
+//! point one member already paid for is a free cache hit for the next —
+//! racing is about coverage, not redundancy. With a probe budget the
+//! remaining allowance is split evenly across the members still to run
+//! (later members inherit what earlier ones left unspent); without one,
+//! the line search runs to its natural convergence and each global
+//! member then gets a comparable number of probes.
+//!
+//! Attribution: each member's probes are tagged with its name (visible in
+//! traces, metrics, and `ifko report`), and the search context replays
+//! the strict-improvement rule across all members, so
+//! `SearchResult::winner_strategy` names the member that first reached
+//! the winning cycles.
+
+use super::{DriverResult, SearchCtx, SearchDriver, StrategySpec};
+
+/// Minimum probe share a global member gets when the line search ran
+/// without a budget (so members always get a real chance).
+const MIN_MEMBER_PROBES: u64 = 64;
+
+/// Race line, random, hill-climbing, and annealing under a shared budget.
+pub struct Portfolio {
+    members: Vec<Box<dyn SearchDriver>>,
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Portfolio {
+            members: vec![
+                StrategySpec::Line.build(),
+                StrategySpec::Random.build(),
+                StrategySpec::HillClimb.build(),
+                StrategySpec::Anneal.build(),
+            ],
+        }
+    }
+}
+
+impl Portfolio {
+    /// A portfolio over an explicit member list (first member runs first
+    /// and breaks ties).
+    pub fn new(members: Vec<Box<dyn SearchDriver>>) -> Portfolio {
+        Portfolio { members }
+    }
+}
+
+impl SearchDriver for Portfolio {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn run(&mut self, ctx: &mut SearchCtx<'_>) -> DriverResult {
+        let mut winner: Option<DriverResult> = None;
+        let mut line_probes = MIN_MEMBER_PROBES;
+        let n = self.members.len();
+        for (i, member) in self.members.iter_mut().enumerate() {
+            if i > 0 && ctx.exhausted() {
+                break;
+            }
+            let before = ctx.probes();
+            // Even split of whatever is left over the members still to
+            // run; unlimited budgets cap the global members at the line
+            // search's own spend so the race is fair.
+            let share = match ctx.remaining_probes() {
+                Some(rem) => Some((rem / (n - i) as u64).max(2)),
+                None if i > 0 => Some(line_probes.max(MIN_MEMBER_PROBES)),
+                None => None,
+            };
+            ctx.enter_member(member.name(), share);
+            let r = member.run(ctx);
+            ctx.exit_member("portfolio");
+            if i == 0 {
+                line_probes = ctx.probes() - before;
+            }
+            // First strict improvement wins — member order breaks ties,
+            // matching the context's own attribution rule.
+            let better = winner
+                .as_ref()
+                .is_none_or(|w| r.best_cycles < w.best_cycles);
+            if better {
+                winner = Some(r);
+            }
+        }
+        winner.expect("portfolio has at least one member")
+    }
+}

@@ -3,7 +3,7 @@
 //! results.
 
 use ifko::runner::{run_once, Context, KernelArgs};
-use ifko::{tune, verify, TuneOptions};
+use ifko::{verify, TuneConfig};
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::ops::BlasOp;
 use ifko_blas::{Kernel, Workload};
@@ -77,11 +77,8 @@ proptest! {
     /// Tuning never loses to the defaults, for any kernel and seed.
     #[test]
     fn tuner_is_monotone(op in ops(), seed in 0u64..50) {
-        let mach = p4e();
         let k = Kernel { op, prec: Prec::S };
-        let mut opts = TuneOptions::quick(2000);
-        opts.seed = seed;
-        let t = tune(k, &mach, Context::OutOfCache, &opts).unwrap();
+        let t = TuneConfig::quick(2000).seed(seed).tune(k).unwrap();
         prop_assert!(t.result.best_cycles <= t.result.default_cycles);
     }
 }

@@ -45,6 +45,15 @@ fn fixture_analysis_is_faithful() {
     assert_eq!(s.convergence.len(), 3);
     // The winner's simulator counters rode along in the trace.
     assert_eq!(s.best_stats.unwrap().l2_misses, 128);
+    // Per-strategy attribution: every probe in this trace is tagged
+    // "line", and the line strategy found the winner.
+    assert_eq!(s.strategies.len(), 1);
+    let st = &s.strategies[0];
+    assert_eq!(st.strategy, "line");
+    assert_eq!(st.probes, 6);
+    assert_eq!(st.fresh, 5);
+    assert_eq!(st.best_cycles, Some(2_500));
+    assert_eq!(s.winner_strategy.as_deref(), Some("line"));
     // Containers (tune/search/eval/compile) are kept out of the leaf
     // stage table so it can sum to ~100% of measured leaf time.
     assert!(rep.stages.iter().all(|r| r.stage != "search"));
@@ -72,6 +81,7 @@ fn jsonl_sink_round_trips_and_survives_corruption() {
         wall_us: 12,
         stats: None,
         pruned: None,
+        strategy: "line".into(),
     };
     sink.record(&SearchEvent::Eval(ev.clone()));
     sink.record(&SearchEvent::Span(SpanEvent {

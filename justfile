@@ -21,6 +21,10 @@ lint:
 fuzz:
     cargo test --release -p ifko-fko --features fuzz --test prop_verify
 
+# Search-strategy head-to-head on swap/dot, persisting winners to the db
+strategies:
+    cargo run --release -p ifko-bench --bin strategies -- --db results/db
+
 # Regenerate every paper table/figure at full scale (slow)
 figures:
     for b in table1 table2 table3 figure2 figure3 figure4 figure4b figure5 figure6 figure7; do \

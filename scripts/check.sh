@@ -38,6 +38,13 @@ step "harness smoke: ifko report (trace analyzer)"
 cargo run --release -p ifko-cli -- report "$obs_tmp/table3.jsonl" | grep -q "stage time attribution"
 cargo run --release -p ifko-cli -- report "$obs_tmp/table3.jsonl" --format json >/dev/null
 
+step "harness smoke: strategies --quick (search strategies + tuned db)"
+cargo run --release -p ifko-bench --bin strategies -- --quick \
+    --strategies line,random --budget 64 --db "$obs_tmp/db" > "$obs_tmp/strategies.txt"
+grep -q '^line ' "$obs_tmp/strategies.txt"
+grep -q '^random ' "$obs_tmp/strategies.txt"
+test -s "$obs_tmp/db/tuned.jsonl"
+
 step "harness smoke: figure7 --quick (sample trace)"
 cargo run --release -p ifko-bench --bin figure7 -- --quick >/dev/null
 test -s results/traces/figure7-quick.jsonl
