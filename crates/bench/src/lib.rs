@@ -52,6 +52,12 @@ pub struct ExpConfig {
     /// Tuned-results database directory (`--db DIR`, or `--warm-start`
     /// for the conventional `results/db`).
     pub db_dir: Option<String>,
+    /// Deterministic fault injection (`--chaos SEED[:RATE]`; off by
+    /// default — results stay bit-identical to a fault-free run).
+    pub chaos: Option<FaultPlan>,
+    /// Per-candidate retry budget for transient faults
+    /// (`--max-retries N`; None leaves the library default).
+    pub max_retries: Option<u32>,
 }
 
 impl ExpConfig {
@@ -100,6 +106,28 @@ impl ExpConfig {
                 "--warm-start" => {
                     cfg.db_dir.get_or_insert_with(|| "results/db".to_string());
                 }
+                "--chaos" => {
+                    if let Some(v) = it.next() {
+                        match FaultPlan::parse(v) {
+                            Ok(p) => cfg.chaos = Some(p),
+                            Err(e) => {
+                                eprintln!("--chaos: {e}");
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                }
+                "--max-retries" => {
+                    if let Some(v) = it.next() {
+                        match v.parse() {
+                            Ok(r) => cfg.max_retries = Some(r),
+                            Err(e) => {
+                                eprintln!("--max-retries: {e}");
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -126,6 +154,8 @@ impl ExpConfig {
             strategy: StrategySpec::Line,
             budget: Budget::unlimited(),
             db_dir: None,
+            chaos: None,
+            max_retries: None,
         }
     }
     pub fn n_for(&self, ctx: Context) -> usize {
@@ -151,6 +181,12 @@ impl ExpConfig {
             .jobs(self.jobs)
             .strategy(self.strategy)
             .budget(self.budget);
+        if let Some(plan) = &self.chaos {
+            cfg = cfg.faults(plan.clone());
+        }
+        if let Some(r) = self.max_retries {
+            cfg = cfg.max_retries(r);
+        }
         if let Some(dir) = &self.db_dir {
             match cfg.clone().tuned_db(dir) {
                 Ok(c) => cfg = c,
@@ -650,6 +686,8 @@ mod tests {
             strategy: StrategySpec::Line,
             budget: Budget::unlimited(),
             db_dir: None,
+            chaos: None,
+            max_retries: None,
         }
     }
 

@@ -23,6 +23,8 @@ pub struct Args {
     pub budget: Option<String>,
     pub warm_start: bool,
     pub db: Option<String>,
+    pub chaos: Option<String>,
+    pub max_retries: Option<u32>,
 }
 
 impl Args {
@@ -49,6 +51,8 @@ impl Args {
             budget: None,
             warm_start: false,
             db: None,
+            chaos: None,
+            max_retries: None,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -91,6 +95,14 @@ impl Args {
                 "--budget" => a.budget = Some(value("--budget")?),
                 "--warm-start" => a.warm_start = true,
                 "--db" => a.db = Some(value("--db")?),
+                "--chaos" => a.chaos = Some(value("--chaos")?),
+                "--max-retries" => {
+                    a.max_retries = Some(
+                        value("--max-retries")?
+                            .parse()
+                            .map_err(|e| format!("--max-retries: {e}"))?,
+                    )
+                }
                 other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
                 file => {
                     if a.file.is_empty() {
@@ -202,6 +214,18 @@ mod tests {
         assert_eq!(a.db.as_deref(), Some("results/db"));
         let a = Args::parse(v(&["k.hil"])).unwrap();
         assert!(a.strategy.is_none() && a.budget.is_none() && !a.warm_start && a.db.is_none());
+    }
+
+    #[test]
+    fn chaos_flags_parse() {
+        let a = Args::parse(v(&["k.hil", "--chaos", "7:0.2", "--max-retries", "5"])).unwrap();
+        assert_eq!(a.chaos.as_deref(), Some("7:0.2"));
+        assert_eq!(a.max_retries, Some(5));
+        // Off by default: no plan, retry budget left to the library.
+        let a = Args::parse(v(&["k.hil"])).unwrap();
+        assert!(a.chaos.is_none() && a.max_retries.is_none());
+        assert!(Args::parse(v(&["k.hil", "--max-retries", "x"])).is_err());
+        assert!(Args::parse(v(&["k.hil", "--chaos"])).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!                          [--metrics PATH] [--verify-ir] [--no-prune]
 //!                          [--strategy line|random|hillclimb|anneal|portfolio]
 //!                          [--budget PROBES|WALL] [--warm-start] [--db DIR]
+//!                          [--chaos SEED[:RATE]] [--max-retries N]
 //! ifko lint     kernel.hil [kernel2.hil ...] [--machine M]
 //!                          [--format text|json]
 //! ifko report   trace.jsonl [trace2.jsonl ...] [--format text|json|md]
@@ -21,7 +22,10 @@
 //! the winning parameters — for *any* kernel written in the HIL, not only
 //! the BLAS suite (`--strategy` swaps the search driver, `--budget` caps
 //! its probes or wall-clock, and `--warm-start`/`--db` persist winners in
-//! the tuned-results database); `lint` runs the front end, the tuning-opportunity
+//! the tuned-results database; `--chaos SEED[:RATE]` injects deterministic
+//! compile/tester/timer/persistence faults to exercise the retry and
+//! recovery paths, with `--max-retries` bounding the per-candidate retry
+//! budget); `lint` runs the front end, the tuning-opportunity
 //! analysis, and the inter-stage IR verifier over kernel files without
 //! tuning anything, and exits nonzero iff an error-severity diagnostic
 //! fires; `report` analyzes search traces written by `--trace`
@@ -379,6 +383,17 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
     if let Some(b) = &args.budget {
         cfg = cfg.budget(Budget::parse(b).map_err(|e| format!("--budget: {e}"))?);
     }
+    if let Some(spec) = &args.chaos {
+        let plan = ifko::FaultPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?;
+        eprintln!(
+            "chaos fault injection on: seed {:#x}, rate {}",
+            plan.seed, plan.compile
+        );
+        cfg = cfg.faults(plan);
+    }
+    if let Some(r) = args.max_retries {
+        cfg = cfg.max_retries(r);
+    }
     // `--db DIR` attaches an explicit database; `--warm-start` alone uses
     // the conventional `results/db`.
     if args.db.is_some() || args.warm_start {
@@ -414,6 +429,12 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         "evaluations        : {} ({} rejected, {} cache hits, {} pruned)",
         out.result.evaluations, out.result.rejected, out.result.cache_hits, out.result.pruned
     );
+    if out.result.retries + out.result.faults + out.result.outliers + out.result.failed > 0 {
+        println!(
+            "fault handling     : {} faults injected, {} retries, {} outliers rejected, {} failed",
+            out.result.faults, out.result.retries, out.result.outliers, out.result.failed
+        );
+    }
     println!(
         "strategy           : {} (winner found by: {})",
         out.result.strategy, out.result.winner_strategy

@@ -18,6 +18,7 @@
 
 use crate::driver::{defaults_with_config, tune_with_config, TuneError, TuneOutcome};
 use crate::eval::{EvalCache, EvalEngine, JsonlSink, TraceSink};
+use crate::fault::FaultPlan;
 use crate::generic::{tune_source_with_config, GenericTuneOutcome};
 use crate::metrics::MetricsRegistry;
 use crate::runner::Context;
@@ -157,6 +158,20 @@ impl TuneConfig {
         self.search.prune = on;
         self
     }
+    /// Inject deterministic, seeded faults into the evaluation pipeline
+    /// (`--chaos SEED[:RATE]`): transient compile failures, tester
+    /// flakes, timing-rep spikes, and truncated journal writes. Off by
+    /// default. See [`ifko::fault`](crate::fault).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.search.faults = Some(plan);
+        self
+    }
+    /// Retry budget per fault site per candidate before the candidate is
+    /// recorded as failed and skipped (`--max-retries`, default 2).
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.search.max_retries = retries;
+        self
+    }
     /// Timer used for the final reported measurement.
     pub fn final_timer(mut self, timer: Timer) -> Self {
         self.final_timer = timer;
@@ -232,6 +247,9 @@ impl TuneConfig {
         if let Some(m) = &self.metrics {
             e = e.with_metrics(m.clone());
         }
+        if let Some(plan) = &self.search.faults {
+            e = e.with_faults(plan.clone());
+        }
         e
     }
 
@@ -265,6 +283,7 @@ impl std::fmt::Debug for TuneConfig {
             .field("budget", &format_args!("{}", self.budget))
             .field("db", &self.db.is_some())
             .field("trace", &self.trace.is_some())
+            .field("chaos", &self.search.faults.as_ref().map(|p| p.seed))
             .field("cached_points", &self.cache.len())
             .finish()
     }

@@ -137,19 +137,22 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
     // by the database (re-storing would overwrite the finder's name).
     if let (Some(db), Some(key)) = (&cfg.db, &key) {
         if result.strategy != STRATEGY_WARM {
-            db.store(&crate::strategy::TunedRecord {
-                key: key.clone(),
-                kernel: kernel.name(),
-                prec,
-                machine: scope.machine.clone(),
-                context: context.label().to_string(),
-                rev: db.rev().to_string(),
-                n,
-                seed: cfg.seed,
-                strategy: result.winner_strategy.clone(),
-                cycles: result.best_cycles,
-                params: result.best.clone(),
-            });
+            db.store_with(
+                &crate::strategy::TunedRecord {
+                    key: key.clone(),
+                    kernel: kernel.name(),
+                    prec,
+                    machine: scope.machine.clone(),
+                    context: context.label().to_string(),
+                    rev: db.rev().to_string(),
+                    n,
+                    seed: cfg.seed,
+                    strategy: result.winner_strategy.clone(),
+                    cycles: result.best_cycles,
+                    params: result.best.clone(),
+                },
+                cfg.search.faults.as_ref(),
+            );
         }
     }
 

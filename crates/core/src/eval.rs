@@ -47,9 +47,10 @@ use ifko_xsim::{MachineConfig, RunStats};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::fault::{self, FaultPlan};
 use crate::metrics::{self, Counter, Gauge, Histogram, MetricsRegistry};
 use crate::runner::Context;
 use crate::timer::Timer;
@@ -167,6 +168,16 @@ pub struct EvalEvent {
     /// ...; empty for untagged batches such as the driver's final
     /// re-timing).
     pub strategy: String,
+    /// Transient-failure retries this evaluation burned (compile/tester
+    /// re-runs plus timing-rep re-times; 0 outside chaos runs).
+    pub retries: u32,
+    /// Faults injected into this evaluation by the chaos plan.
+    pub faults: u32,
+    /// Timing repetitions rejected as outliers by the robust timer.
+    pub outliers: u32,
+    /// The candidate kept failing transiently past the retry budget: it
+    /// is skipped (and never cached), not rejected on its merits.
+    pub failed: bool,
 }
 
 /// One completed pipeline span: a named stage of the
@@ -243,6 +254,20 @@ impl EvalEvent {
         }
         if let Some(why) = &self.pruned {
             s.push_str(&format!(",\"pruned\":\"{}\"", esc(why)));
+        }
+        // Chaos-era fields ride at the end and only when set, so traces
+        // from fault-free runs stay byte-identical to older readers.
+        if self.retries > 0 {
+            s.push_str(&format!(",\"retries\":{}", self.retries));
+        }
+        if self.faults > 0 {
+            s.push_str(&format!(",\"faults\":{}", self.faults));
+        }
+        if self.outliers > 0 {
+            s.push_str(&format!(",\"outliers\":{}", self.outliers));
+        }
+        if self.failed {
+            s.push_str(",\"failed\":true");
         }
         s.push('}');
         s
@@ -524,6 +549,11 @@ const SHARDS: usize = 16;
 pub struct EvalCache {
     shards: Vec<Mutex<HashMap<String, Option<u64>>>>,
     disk: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    path: Option<PathBuf>,
+    /// The on-disk journal is known to hold malformed/truncated records
+    /// (detected on load, or left by an injected persist fault). The next
+    /// store repairs it with an atomic rewrite instead of appending.
+    dirty: AtomicBool,
     m_points: Arc<Gauge>,
     m_inserts: Arc<Counter>,
     m_persist_us: Arc<Histogram>,
@@ -542,6 +572,8 @@ impl EvalCache {
         EvalCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             disk: None,
+            path: None,
+            dirty: AtomicBool::new(false),
             m_points: reg.gauge(metrics::CACHE_POINTS),
             m_inserts: reg.counter(metrics::CACHE_INSERTS),
             m_persist_us: reg.histogram(metrics::CACHE_PERSIST_WRITE_US, metrics::US_BUCKETS),
@@ -551,18 +583,29 @@ impl EvalCache {
     /// A cache mirrored to `dir/evals.jsonl`: existing entries are loaded
     /// (warm start), and every new evaluation is appended immediately, so
     /// even interrupted runs leave their points behind for the next one.
+    ///
+    /// Malformed records — typically one truncated trailing line from a
+    /// crash mid-append — are skipped with a diagnostic; the journal is
+    /// then repaired (atomic tmp + rename rewrite of the surviving
+    /// entries) on the next store.
     pub fn persistent(dir: impl AsRef<Path>) -> std::io::Result<EvalCache> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let path = dir.join("evals.jsonl");
         let mut cache = EvalCache::new();
         let mut warm = 0u64;
+        let mut malformed = 0u64;
         if let Ok(file) = std::fs::File::open(&path) {
             for line in std::io::BufReader::new(file).lines() {
                 let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
                 if let Some((key, val)) = parse_cache_line(&line) {
                     cache.insert_mem(key, val);
                     warm += 1;
+                } else {
+                    malformed += 1;
                 }
             }
         }
@@ -571,11 +614,23 @@ impl EvalCache {
                 .counter(metrics::CACHE_WARM_LOADED)
                 .add(warm);
         }
+        if malformed > 0 {
+            eprintln!(
+                "ifko: eval cache {}: skipped {malformed} malformed record(s) \
+                 (truncated write?); journal will be rewritten on next store",
+                path.display()
+            );
+            metrics::global()
+                .counter(metrics::CACHE_RECOVERED)
+                .add(malformed);
+            cache.dirty.store(true, Ordering::SeqCst);
+        }
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)?;
         cache.disk = Some(Mutex::new(std::io::BufWriter::new(file)));
+        cache.path = Some(path);
         Ok(cache)
     }
 
@@ -596,20 +651,67 @@ impl EvalCache {
 
     /// Insert an outcome, mirroring it to disk when persistent.
     pub fn insert(&self, key: String, val: Option<u64>) {
+        self.insert_with(key, val, None);
+    }
+
+    /// [`EvalCache::insert`] under a chaos plan: the plan may truncate
+    /// the appended record mid-write (simulating a crash), which marks
+    /// the journal dirty so the *next* store repairs it. The in-memory
+    /// entry always lands, so results never depend on the fault.
+    pub fn insert_with(&self, key: String, val: Option<u64>, faults: Option<&FaultPlan>) {
         self.m_inserts.inc();
+        // Memory first, so a repair rewrite includes this record.
+        self.insert_mem(key.clone(), val);
         if let Some(disk) = &self.disk {
-            let line = match val {
-                Some(c) => format!("{{\"key\":\"{}\",\"cycles\":{c}}}", esc(&key)),
-                None => format!("{{\"key\":\"{}\",\"cycles\":null}}", esc(&key)),
-            };
             let t0 = std::time::Instant::now();
-            let mut out = disk.lock().unwrap();
-            let _ = writeln!(out, "{line}");
-            let _ = out.flush();
-            drop(out);
+            if self.dirty.swap(false, Ordering::SeqCst) {
+                self.rewrite(disk);
+            } else {
+                let line = cache_line(&key, val);
+                let mut out = disk.lock().unwrap();
+                match faults {
+                    Some(plan) if plan.persist_truncates(&key) => {
+                        // Crash mid-append: half the bytes, no newline.
+                        let _ = out.write_all(&line.as_bytes()[..line.len() / 2]);
+                        let _ = out.flush();
+                        self.dirty.store(true, Ordering::SeqCst);
+                    }
+                    _ => {
+                        let _ = writeln!(out, "{line}");
+                        let _ = out.flush();
+                    }
+                }
+            }
             self.m_persist_us.observe(t0.elapsed().as_micros() as u64);
         }
-        self.insert_mem(key, val);
+    }
+
+    /// Repair the journal: atomically rewrite every in-memory entry
+    /// (sorted, so the file is deterministic) and reopen the append
+    /// handle on the fresh file.
+    fn rewrite(&self, disk: &Mutex<std::io::BufWriter<std::fs::File>>) {
+        let Some(path) = &self.path else { return };
+        let mut out = disk.lock().unwrap();
+        let mut entries: Vec<(String, Option<u64>)> = Vec::new();
+        for shard in &self.shards {
+            for (k, v) in shard.lock().unwrap().iter() {
+                entries.push((k.clone(), *v));
+            }
+        }
+        entries.sort();
+        let mut contents = String::with_capacity(entries.len() * 64);
+        for (k, v) in &entries {
+            contents.push_str(&cache_line(k, *v));
+            contents.push('\n');
+        }
+        if fault::atomic_write(path, &contents).is_ok() {
+            if let Ok(file) = std::fs::OpenOptions::new().append(true).open(path) {
+                *out = std::io::BufWriter::new(file);
+            }
+        } else {
+            // Repair failed (e.g. fs error): stay dirty, retry next store.
+            self.dirty.store(true, Ordering::SeqCst);
+        }
     }
 
     /// Total number of cached points.
@@ -625,6 +727,14 @@ impl EvalCache {
             .iter()
             .map(|s| s.lock().unwrap().len())
             .collect()
+    }
+}
+
+/// Serialize one cache entry as a journal line (no trailing newline).
+fn cache_line(key: &str, val: Option<u64>) -> String {
+    match val {
+        Some(c) => format!("{{\"key\":\"{}\",\"cycles\":{c}}}", esc(key)),
+        None => format!("{{\"key\":\"{}\",\"cycles\":null}}", esc(key)),
     }
 }
 
@@ -670,11 +780,31 @@ fn parse_cache_line(line: &str) -> Option<(String, Option<u64>)> {
 pub struct EvalRecord {
     pub cycles: Option<u64>,
     pub stats: Option<RunStats>,
+    /// Transient-failure retries burned producing this record.
+    pub retries: u32,
+    /// Faults the chaos plan injected into this evaluation.
+    pub faults: u32,
+    /// Timing reps rejected as outliers by the robust timer.
+    pub outliers: u32,
+    /// Exhausted the retry budget: skipped, never cached, never a winner.
+    pub failed: bool,
 }
 
 impl EvalRecord {
     pub fn rejected() -> EvalRecord {
         EvalRecord::default()
+    }
+
+    /// A candidate that kept failing transiently past the retry budget.
+    /// Distinct from [`EvalRecord::rejected`]: the point was never judged
+    /// on its merits, so the record is not cached.
+    pub fn failed(retries: u32, faults: u32) -> EvalRecord {
+        EvalRecord {
+            retries,
+            faults,
+            failed: true,
+            ..EvalRecord::default()
+        }
     }
 }
 
@@ -682,7 +812,7 @@ impl From<Option<u64>> for EvalRecord {
     fn from(cycles: Option<u64>) -> EvalRecord {
         EvalRecord {
             cycles,
-            stats: None,
+            ..EvalRecord::default()
         }
     }
 }
@@ -700,6 +830,15 @@ pub struct BatchOutcome {
     pub cache_hits: u32,
     /// Candidates pruned by the legality precheck (never compiled).
     pub pruned: u32,
+    /// Transient-failure retries burned across the batch.
+    pub retries: u32,
+    /// Faults injected across the batch by the chaos plan.
+    pub faults: u32,
+    /// Timing reps rejected as outliers across the batch.
+    pub outliers: u32,
+    /// Candidates that exhausted the retry budget (skipped, not cached,
+    /// not counted in `rejected`).
+    pub failed: u32,
 }
 
 /// Cumulative engine statistics, read from the engine's metrics registry
@@ -722,11 +861,19 @@ pub struct EvalEngine {
     jobs: usize,
     cache: Arc<EvalCache>,
     trace: Option<Arc<dyn TraceSink>>,
+    /// Chaos plan for persistence faults (cache-journal truncation). The
+    /// compile/tester/timer fault sites live in the evaluator closures,
+    /// which own those stages.
+    faults: Option<FaultPlan>,
     metrics: Arc<MetricsRegistry>,
     m_evaluated: Arc<Counter>,
     m_rejected: Arc<Counter>,
     m_cache_hits: Arc<Counter>,
     m_pruned: Arc<Counter>,
+    m_retries: Arc<Counter>,
+    m_faults: Arc<Counter>,
+    m_outliers: Arc<Counter>,
+    m_failed: Arc<Counter>,
     m_probes: Arc<Counter>,
     m_batches: Arc<Counter>,
     m_busy_us: Arc<Counter>,
@@ -755,10 +902,15 @@ impl EvalEngine {
             jobs,
             cache,
             trace,
+            faults: None,
             m_evaluated: registry.counter(metrics::ENGINE_EVALS),
             m_rejected: registry.counter(metrics::ENGINE_REJECTED),
             m_cache_hits: registry.counter(metrics::ENGINE_CACHE_HITS),
             m_pruned: registry.counter(metrics::ENGINE_PRUNED),
+            m_retries: registry.counter(metrics::ENGINE_RETRIES),
+            m_faults: registry.counter(metrics::ENGINE_FAULTS),
+            m_outliers: registry.counter(metrics::ENGINE_OUTLIERS),
+            m_failed: registry.counter(metrics::ENGINE_FAILED),
             m_probes: registry.counter(metrics::ENGINE_PROBES),
             m_batches: registry.counter(metrics::ENGINE_BATCHES),
             m_busy_us: registry.counter(metrics::ENGINE_BUSY_US),
@@ -782,10 +934,19 @@ impl EvalEngine {
         self
     }
 
+    /// Attach a chaos plan: cache-journal writes may be truncated
+    /// mid-record (and repaired on the next store). Off by default.
+    pub fn with_faults(mut self, faults: FaultPlan) -> EvalEngine {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Record this engine's instruments on `registry` instead of the
     /// global one (tests use this for exact per-engine counts).
     pub fn with_metrics(self, registry: Arc<MetricsRegistry>) -> EvalEngine {
-        EvalEngine::build(self.jobs, self.cache, self.trace, registry)
+        let mut eng = EvalEngine::build(self.jobs, self.cache, self.trace, registry);
+        eng.faults = self.faults;
+        eng
     }
 
     pub fn jobs(&self) -> usize {
@@ -916,6 +1077,10 @@ impl EvalEngine {
 
         // Parallel pass over the unique uncached points.
         let mut wall_us: Vec<u64> = vec![0; cands.len()];
+        let mut retries_v: Vec<u32> = vec![0; cands.len()];
+        let mut faults_v: Vec<u32> = vec![0; cands.len()];
+        let mut outliers_v: Vec<u32> = vec![0; cands.len()];
+        let mut failed_v: Vec<bool> = vec![false; cands.len()];
         if !work.is_empty() {
             let workers = self.jobs.min(work.len());
             let batch_start = std::time::Instant::now();
@@ -952,11 +1117,23 @@ impl EvalEngine {
                 results[i] = Some(r.cycles);
                 stats[i] = r.stats;
                 wall_us[i] = us;
+                retries_v[i] = r.retries;
+                faults_v[i] = r.faults;
+                outliers_v[i] = r.outliers;
+                failed_v[i] = r.failed;
             }
-            // Serial: publish to the cache in candidate order.
+            // Serial: publish to the cache in candidate order. A *failed*
+            // record is a transient artifact of the fault plan, not a
+            // verdict on the point — caching it would poison later runs.
             for &i in &work {
-                self.cache
-                    .insert(keys[i].clone(), results[i].unwrap_or(None));
+                if failed_v[i] {
+                    continue;
+                }
+                self.cache.insert_with(
+                    keys[i].clone(),
+                    results[i].unwrap_or(None),
+                    self.faults.as_ref(),
+                );
             }
         }
         // Resolve duplicates from their primaries.
@@ -969,9 +1146,18 @@ impl EvalEngine {
 
         let results: Vec<Option<u64>> = results.into_iter().map(|r| r.unwrap_or(None)).collect();
         let evaluated = work.len() as u32;
-        let rejected = work.iter().filter(|&&i| results[i].is_none()).count() as u32;
+        // A failed candidate was never judged on its merits: it is not a
+        // rejection, it is counted (and traced) separately.
+        let rejected = work
+            .iter()
+            .filter(|&&i| results[i].is_none() && !failed_v[i])
+            .count() as u32;
         let cache_hits = hit.iter().filter(|&&h| h).count() as u32;
         let pruned = pruned_why.iter().filter(|w| w.is_some()).count() as u32;
+        let retries: u32 = retries_v.iter().sum();
+        let faults: u32 = faults_v.iter().sum();
+        let outliers: u32 = outliers_v.iter().sum();
+        let failed = failed_v.iter().filter(|&&f| f).count() as u32;
         self.m_batches.inc();
         self.m_batch_size.observe(cands.len() as u64);
         self.m_probes.add(cands.len() as u64);
@@ -979,6 +1165,10 @@ impl EvalEngine {
         self.m_rejected.add(rejected as u64);
         self.m_cache_hits.add(cache_hits as u64);
         self.m_pruned.add(pruned as u64);
+        self.m_retries.add(retries as u64);
+        self.m_faults.add(faults as u64);
+        self.m_outliers.add(outliers as u64);
+        self.m_failed.add(failed as u64);
 
         if let Some(sink) = &self.trace {
             for i in 0..cands.len() {
@@ -993,6 +1183,10 @@ impl EvalEngine {
                     stats: stats[i],
                     pruned: pruned_why[i].map(|w| w.as_str().to_string()),
                     strategy: strategy.to_string(),
+                    retries: retries_v[i],
+                    faults: faults_v[i],
+                    outliers: outliers_v[i],
+                    failed: failed_v[i],
                 }));
             }
         }
@@ -1003,6 +1197,10 @@ impl EvalEngine {
             rejected,
             cache_hits,
             pruned,
+            retries,
+            faults,
+            outliers,
+            failed,
         }
     }
 }
@@ -1147,6 +1345,7 @@ mod tests {
                 l1_misses: 7,
                 ..Default::default()
             }),
+            ..EvalRecord::default()
         };
         eng.eval_batch_records(&scope(), "UR", &cands, mk);
         // Warm re-submission: hits carry no stats.
@@ -1233,6 +1432,10 @@ mod tests {
             stats: None,
             pruned: None,
             strategy: String::new(),
+            retries: 0,
+            faults: 0,
+            outliers: 0,
+            failed: false,
         };
         assert_eq!(
             ev.to_json(),
@@ -1245,6 +1448,16 @@ mod tests {
         assert!(tagged
             .to_json()
             .ends_with("\"wall_us\":9,\"strategy\":\"line\"}"));
+        let chaotic = EvalEvent {
+            retries: 2,
+            faults: 3,
+            outliers: 1,
+            failed: true,
+            ..ev.clone()
+        };
+        assert!(chaotic
+            .to_json()
+            .ends_with("\"wall_us\":9,\"retries\":2,\"faults\":3,\"outliers\":1,\"failed\":true}"));
         let with_stats = EvalEvent {
             stats: Some(RunStats {
                 cycles: 5,
@@ -1256,6 +1469,96 @@ mod tests {
         let j = with_stats.to_json();
         assert!(j.contains("\"stats\":{\"cycles\":5,\"insts\":3,"));
         assert!(j.ends_with("\"mispredicts\":0}}"));
+    }
+
+    #[test]
+    fn failed_records_are_skipped_not_cached_not_rejected() {
+        let sink = MemSink::new();
+        let reg = Arc::new(MetricsRegistry::new());
+        let eng = EvalEngine::new(2)
+            .with_trace(sink.clone())
+            .with_metrics(reg.clone());
+        let cands = vec![point(2), point(4)];
+        // unroll=2 keeps failing transiently; unroll=4 evaluates clean.
+        let out = eng.eval_batch_records(&scope(), "UR", &cands, |p| {
+            if p.unroll == 2 {
+                EvalRecord::failed(3, 4)
+            } else {
+                EvalRecord::from(Some(p.unroll as u64))
+            }
+        });
+        assert_eq!(out.results, vec![None, Some(4)]);
+        assert_eq!(out.failed, 1);
+        assert_eq!(out.rejected, 0, "failed is not a merits rejection");
+        assert_eq!(out.retries, 3);
+        assert_eq!(out.faults, 4);
+        assert_eq!(reg.counter_value(metrics::ENGINE_FAILED), Some(1));
+        assert_eq!(reg.counter_value(metrics::ENGINE_RETRIES), Some(3));
+        let evs = sink.evals();
+        assert!(evs[0].failed && !evs[0].verified);
+        assert!(evs[0].to_json().contains("\"failed\":true"));
+        assert!(!evs[1].failed);
+        // The failed point was NOT cached: a clean resubmission re-runs
+        // it fresh, while the clean point hits.
+        let out2 = eng.eval_batch_records(&scope(), "UR", &cands, |p| {
+            EvalRecord::from(Some(p.unroll as u64))
+        });
+        assert_eq!(out2.results, vec![Some(2), Some(4)]);
+        assert_eq!(out2.evaluated, 1);
+        assert_eq!(out2.cache_hits, 1);
+    }
+
+    #[test]
+    fn persistent_cache_recovers_truncated_journal() {
+        let dir = std::env::temp_dir().join(format!("ifko-evalcache-trunc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evals.jsonl");
+        // A good record followed by a crash-truncated trailing record.
+        std::fs::write(
+            &path,
+            "{\"key\":\"scope|good\",\"cycles\":11}\n{\"key\":\"scope|torn\",\"cyc",
+        )
+        .unwrap();
+        let cache = EvalCache::persistent(&dir).unwrap();
+        assert_eq!(cache.get("scope|good"), Some(Some(11)));
+        assert_eq!(cache.get("scope|torn"), None, "torn record is skipped");
+        // The next store repairs the journal atomically.
+        cache.insert("scope|fresh".into(), Some(22));
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            assert!(parse_cache_line(line).is_some(), "unparseable: {line}");
+        }
+        assert!(text.contains("scope|good") && text.contains("scope|fresh"));
+        assert!(!text.contains("torn"));
+        // And the reopened append handle keeps working.
+        cache.insert("scope|later".into(), None);
+        let warm = EvalCache::persistent(&dir).unwrap();
+        assert_eq!(warm.get("scope|good"), Some(Some(11)));
+        assert_eq!(warm.get("scope|fresh"), Some(Some(22)));
+        assert_eq!(warm.get("scope|later"), Some(None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_persist_faults_self_heal() {
+        let dir = std::env::temp_dir().join(format!("ifko-evalcache-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan::uniform(3, crate::fault::MAX_RATE);
+        {
+            let cache = EvalCache::persistent(&dir).unwrap();
+            for i in 0..32 {
+                cache.insert_with(format!("scope|p{i}"), Some(i), Some(&plan));
+            }
+        }
+        // Every record survives: a truncated append is repaired by the
+        // next store; at most the final append can be torn on disk.
+        let warm = EvalCache::persistent(&dir).unwrap();
+        let present = (0..32)
+            .filter(|i| warm.get(&format!("scope|p{i}")) == Some(Some(*i)))
+            .count();
+        assert!(present >= 31, "only {present}/32 records survived");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

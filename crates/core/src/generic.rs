@@ -246,6 +246,23 @@ pub(crate) fn tune_source_with_config(
             move |p: &TransformParams| -> EvalRecord {
                 let eval_span =
                     Span::with_parent(sink.clone(), scope.key(), "eval", Some(search_id));
+                let fkey = opts.faults.as_ref().map(|_| scope.point_key(p));
+                let mut retries = 0u32;
+                let mut nfaults = 0u32;
+                // Chaos: transient compile failures, retried with backoff
+                // (same contract as the BLAS path in `search.rs`).
+                if let (Some(plan), Some(key)) = (opts.faults.as_ref(), fkey.as_deref()) {
+                    let mut attempt = 0u32;
+                    while plan.compile_fails(key, attempt) {
+                        nfaults += 1;
+                        if attempt >= opts.max_retries {
+                            return EvalRecord::failed(retries, nfaults);
+                        }
+                        retries += 1;
+                        std::thread::sleep(plan.backoff(attempt));
+                        attempt += 1;
+                    }
+                }
                 let compile_span = eval_span.child("compile");
                 let compile_id = compile_span.id();
                 let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
@@ -261,7 +278,11 @@ pub(crate) fn tune_source_with_config(
                     Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
                 }
                 let Ok(c) = c else {
-                    return EvalRecord::rejected();
+                    return EvalRecord {
+                        retries,
+                        faults: nfaults,
+                        ..EvalRecord::rejected()
+                    };
                 };
                 // Verify differentially, then time (best of the timer's
                 // reps — the simulator is deterministic, so one timed run
@@ -271,18 +292,43 @@ pub(crate) fn tune_source_with_config(
                 let got = run_generic(&c, w, context, machine);
                 drop(sim_span);
                 let Ok(got) = got else {
-                    return EvalRecord::rejected();
+                    return EvalRecord {
+                        retries,
+                        faults: nfaults,
+                        ..EvalRecord::rejected()
+                    };
                 };
                 let _test_span = eval_span.child("test");
                 if !outputs_agree(&got, baseline, prec, n) {
                     return EvalRecord {
                         cycles: None,
                         stats: Some(got.stats),
+                        retries,
+                        faults: nfaults,
+                        ..EvalRecord::default()
                     };
+                }
+                // Chaos: the differential tester may flake; retry until a
+                // clean verdict or the budget runs out.
+                if let (Some(plan), Some(key)) = (opts.faults.as_ref(), fkey.as_deref()) {
+                    let mut attempt = 0u32;
+                    while plan.tester_flakes(key, attempt) {
+                        nfaults += 1;
+                        if attempt >= opts.max_retries {
+                            return EvalRecord::failed(retries, nfaults);
+                        }
+                        retries += 1;
+                        std::thread::sleep(plan.backoff(attempt));
+                        let _ = outputs_agree(&got, baseline, prec, n);
+                        attempt += 1;
+                    }
                 }
                 EvalRecord {
                     cycles: Some(got.cycles),
                     stats: Some(got.stats),
+                    retries,
+                    faults: nfaults,
+                    ..EvalRecord::default()
                 }
             }
         },
@@ -290,19 +336,22 @@ pub(crate) fn tune_source_with_config(
 
     if let (Some(db), Some(key)) = (&cfg.db, &key) {
         if result.strategy != STRATEGY_WARM {
-            db.store(&crate::strategy::TunedRecord {
-                key: key.clone(),
-                kernel: scope.kernel.clone(),
-                prec: prec_label,
-                machine: scope.machine.clone(),
-                context: context.label().to_string(),
-                rev: db.rev().to_string(),
-                n,
-                seed: cfg.seed,
-                strategy: result.winner_strategy.clone(),
-                cycles: result.best_cycles,
-                params: result.best.clone(),
-            });
+            db.store_with(
+                &crate::strategy::TunedRecord {
+                    key: key.clone(),
+                    kernel: scope.kernel.clone(),
+                    prec: prec_label,
+                    machine: scope.machine.clone(),
+                    context: context.label().to_string(),
+                    rev: db.rev().to_string(),
+                    n,
+                    seed: cfg.seed,
+                    strategy: result.winner_strategy.clone(),
+                    cycles: result.best_cycles,
+                    params: result.best.clone(),
+                },
+                opts.faults.as_ref(),
+            );
         }
     }
     let compiled = compile_ir(&ir, &result.best, &rep)?;

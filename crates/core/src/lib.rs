@@ -24,6 +24,11 @@
 //!   (optionally persisted to `results/cache/evals.jsonl`), and the
 //!   structured search-trace layer ([`SearchEvent`](eval::SearchEvent) /
 //!   [`TraceSink`](eval::TraceSink));
+//! * [`fault`] — deterministic, seeded chaos engineering for the
+//!   evaluation pipeline ([`FaultPlan`], `--chaos SEED[:RATE]`): transient
+//!   compile failures, tester flakes, timing-rep spikes, and truncated
+//!   journal writes, answered by bounded retries, robust timing
+//!   statistics, graceful candidate failure, and crash-safe persistence;
 //! * [`strategy`] — the pluggable search-strategy subsystem: the
 //!   [`SearchDriver`](strategy::SearchDriver) trait, the line search and
 //!   three seeded global strategies behind it, a budget-aware portfolio
@@ -46,6 +51,7 @@
 pub mod config;
 pub mod driver;
 pub mod eval;
+pub mod fault;
 pub mod generic;
 pub mod metrics;
 pub mod report;
@@ -61,6 +67,7 @@ pub use eval::{
     machine_fingerprint, EvalCache, EvalEngine, EvalEvent, EvalScope, JsonlSink, MemSink,
     SearchEvent, Span, SpanEvent, TraceSink,
 };
+pub use fault::FaultPlan;
 pub use generic::{tune_source, GenericTuneOutcome, GenericWorkload};
 pub use metrics::MetricsRegistry;
 pub use runner::{Context, KernelArgs, Outputs, RunFailure};
@@ -77,6 +84,7 @@ pub mod prelude {
         EvalCache, EvalEngine, EvalEvent, EvalScope, JsonlSink, MemSink, SearchEvent, Span,
         SpanEvent, TraceSink,
     };
+    pub use crate::fault::FaultPlan;
     pub use crate::metrics::{self, MetricsRegistry};
     pub use crate::runner::Context;
     pub use crate::search::{Phase, PhaseGain, SearchOptions, SearchResult};

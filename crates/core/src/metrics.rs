@@ -439,6 +439,14 @@ pub const ENGINE_QUEUE_WAIT_US: &str = "ifko_engine_queue_wait_us";
 pub const ENGINE_BUSY_US: &str = "ifko_engine_busy_us_total";
 /// Worker threads configured on the most recent engine.
 pub const ENGINE_JOBS: &str = "ifko_engine_jobs";
+/// Transient-failure retries burned (compile/tester re-runs + re-times).
+pub const ENGINE_RETRIES: &str = "ifko_engine_retries_total";
+/// Faults injected by the chaos plan (`--chaos`).
+pub const ENGINE_FAULTS: &str = "ifko_engine_faults_injected_total";
+/// Timing reps rejected as outliers by the robust timer.
+pub const ENGINE_OUTLIERS: &str = "ifko_engine_timer_outliers_rejected_total";
+/// Candidates that exhausted the retry budget and were skipped.
+pub const ENGINE_FAILED: &str = "ifko_engine_failed_total";
 
 /// Points resident in evaluation caches (insertions, process-wide).
 pub const CACHE_POINTS: &str = "ifko_cache_points";
@@ -448,6 +456,8 @@ pub const CACHE_INSERTS: &str = "ifko_cache_inserts_total";
 pub const CACHE_WARM_LOADED: &str = "ifko_cache_warm_loaded_total";
 /// Latency of one persistent-cache append (write + flush), microseconds.
 pub const CACHE_PERSIST_WRITE_US: &str = "ifko_cache_persist_write_us";
+/// Malformed cache-journal records skipped (and repaired) on load.
+pub const CACHE_RECOVERED: &str = "ifko_cache_recovered_total";
 
 /// Candidates swept, by search phase (labeled `phase`).
 pub const SEARCH_CANDIDATES: &str = "ifko_search_candidates_total";
@@ -465,6 +475,8 @@ pub const STRATEGY_WINS: &str = "ifko_strategy_wins_total";
 pub const DB_WARM_HITS: &str = "ifko_db_warm_hits_total";
 /// Winners appended to the tuned-results database.
 pub const DB_STORES: &str = "ifko_db_stores_total";
+/// Malformed tuned-db records skipped (and repaired) on load.
+pub const DB_RECOVERED: &str = "ifko_db_recovered_total";
 
 /// Tuning runs driven end to end.
 pub const TUNE_RUNS: &str = "ifko_tune_runs_total";

@@ -273,6 +273,10 @@ pub fn parse_trace_line(line: &str) -> Option<SearchEvent> {
             .and_then(Json::as_str)
             .unwrap_or("")
             .to_string(),
+        retries: v.get("retries").and_then(Json::as_u64).unwrap_or(0) as u32,
+        faults: v.get("faults").and_then(Json::as_u64).unwrap_or(0) as u32,
+        outliers: v.get("outliers").and_then(Json::as_u64).unwrap_or(0) as u32,
+        failed: v.get("failed").and_then(Json::as_bool).unwrap_or(false),
     }))
 }
 
@@ -366,6 +370,16 @@ pub struct ScopeReport {
     pub rejected: u64,
     /// Candidates pruned by the legality precheck (never compiled).
     pub pruned: u64,
+    /// Transient-failure retries burned (compile/tester re-runs plus
+    /// timing-rep re-times; 0 for fault-free traces).
+    pub retries: u64,
+    /// Faults injected by the chaos plan.
+    pub faults: u64,
+    /// Timing reps rejected as outliers by the robust timer.
+    pub outliers: u64,
+    /// Candidates that exhausted the retry budget and were skipped
+    /// (not counted in `rejected`).
+    pub failed: u64,
     pub first_cycles: Option<u64>,
     pub best_cycles: Option<u64>,
     pub best_params: Option<String>,
@@ -490,6 +504,10 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         cache_hits: 0,
         rejected: 0,
         pruned: 0,
+        retries: 0,
+        faults: 0,
+        outliers: 0,
+        failed: 0,
         first_cycles: None,
         best_cycles: None,
         best_params: None,
@@ -515,10 +533,17 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         } else {
             rep.fresh += 1;
             rep.fresh_wall_us += e.wall_us;
-            if !e.verified {
+            // A failed probe never got a verdict on its merits: it is
+            // counted on its own, not as a rejection.
+            if e.failed {
+                rep.failed += 1;
+            } else if !e.verified {
                 rep.rejected += 1;
             }
         }
+        rep.retries += e.retries as u64;
+        rep.faults += e.faults as u64;
+        rep.outliers += e.outliers as u64;
         if !phase_map.contains_key(&e.phase) {
             phase_order.push(e.phase.clone());
             phase_map.insert(
@@ -657,6 +682,12 @@ fn render_text(rep: &TraceReport) -> String {
             "probes {} (fresh {}, cache hits {}, rejected {}, pruned {})\n",
             sc.probes, sc.fresh, sc.cache_hits, sc.rejected, sc.pruned
         ));
+        if sc.retries + sc.faults + sc.outliers + sc.failed > 0 {
+            s.push_str(&format!(
+                "chaos: {} retries, {} faults injected, {} outliers rejected, {} failed\n",
+                sc.retries, sc.faults, sc.outliers, sc.failed
+            ));
+        }
         if let (Some(a), Some(b)) = (sc.first_cycles, sc.best_cycles) {
             s.push_str(&format!(
                 "cycles {a} -> {b}  (speedup {}x)\n",
@@ -768,6 +799,10 @@ fn render_json(rep: &TraceReport) -> String {
             sc.pruned
         ));
         s.push_str(&format!(
+            ",\"retries\":{},\"faults\":{},\"outliers\":{},\"failed\":{}",
+            sc.retries, sc.faults, sc.outliers, sc.failed
+        ));
+        s.push_str(&format!(
             ",\"first_cycles\":{},\"best_cycles\":{},\"speedup\":{}",
             opt_u64(sc.first_cycles),
             opt_u64(sc.best_cycles),
@@ -866,6 +901,12 @@ fn render_md(rep: &TraceReport) -> String {
             "{} probes — {} fresh, {} cache hits, {} rejected, {} pruned; ",
             sc.probes, sc.fresh, sc.cache_hits, sc.rejected, sc.pruned
         ));
+        if sc.retries + sc.faults + sc.outliers + sc.failed > 0 {
+            s.push_str(&format!(
+                "chaos: {} retries, {} faults, {} outliers, {} failed; ",
+                sc.retries, sc.faults, sc.outliers, sc.failed
+            ));
+        }
         if let (Some(a), Some(b)) = (sc.first_cycles, sc.best_cycles) {
             s.push_str(&format!("{a} → {b} cycles (**{}×**)", f4(sc.speedup())));
         }
@@ -1005,6 +1046,10 @@ mod tests {
                 ..Default::default()
             }),
             pruned: None,
+            retries: 0,
+            faults: 0,
+            outliers: 0,
+            failed: false,
             strategy: "line".into(),
         })
     }

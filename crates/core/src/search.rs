@@ -24,6 +24,7 @@
 //! `crates/core/src/eval.rs`).
 
 use crate::eval::{EvalEngine, EvalRecord, EvalScope, Span};
+use crate::fault::FaultPlan;
 use crate::metrics::{self, MetricsRegistry};
 use crate::runner::{run_once, Context, KernelArgs};
 use crate::tester::verify;
@@ -107,6 +108,13 @@ pub struct SearchOptions {
     /// a kernel with no reduction) are pruned for free. Winner-neutral —
     /// see `prune_equivalence.rs`.
     pub prune: bool,
+    /// Chaos plan (`--chaos SEED[:RATE]`): inject deterministic transient
+    /// faults into compile/tester/timing. `None` (the default) evaluates
+    /// everything fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Retry budget per fault site per candidate before the candidate is
+    /// recorded as *failed* and skipped (`--max-retries`).
+    pub max_retries: u32,
 }
 
 impl Default for SearchOptions {
@@ -120,6 +128,8 @@ impl Default for SearchOptions {
             refine: true,
             verify_ir: false,
             prune: true,
+            faults: None,
+            max_retries: 2,
         }
     }
 }
@@ -136,6 +146,8 @@ impl SearchOptions {
             refine: true,
             verify_ir: false,
             prune: true,
+            faults: None,
+            max_retries: 2,
         }
     }
 }
@@ -163,6 +175,14 @@ pub struct SearchResult {
     /// `strategy` except under portfolio racing, where it names the
     /// winning member).
     pub winner_strategy: String,
+    /// Transient-failure retries burned across the search.
+    pub retries: u32,
+    /// Faults injected by the chaos plan across the search.
+    pub faults: u32,
+    /// Timing reps rejected as outliers by the robust timer.
+    pub outliers: u32,
+    /// Candidates that exhausted the retry budget and were skipped.
+    pub failed: u32,
 }
 
 impl SearchResult {
@@ -305,8 +325,31 @@ pub(crate) fn blas_eval_point<'a>(
     search_id: u64,
 ) -> impl Fn(&TransformParams) -> EvalRecord + Sync + 'a {
     let timer = opts.timer.clone();
+    let faults = opts.faults.clone();
+    let max_retries = opts.max_retries;
     move |p: &TransformParams| -> EvalRecord {
         let eval_span = Span::with_parent(sink.clone(), scope.key(), "eval", Some(search_id));
+        // Fault decisions key on the full point key, so every candidate
+        // draws its own independent fault stream (computed only under a
+        // chaos plan — the clean path never pays for it).
+        let fkey = faults.as_ref().map(|_| scope.point_key(p));
+        let mut retries = 0u32;
+        let mut nfaults = 0u32;
+        // Chaos: the compiler may fail transiently. Retry with backoff up
+        // to the budget; a candidate that never gets a clean attempt is
+        // *failed* (skipped, not cached), never a panic.
+        if let (Some(plan), Some(key)) = (faults.as_ref(), fkey.as_deref()) {
+            let mut attempt = 0u32;
+            while plan.compile_fails(key, attempt) {
+                nfaults += 1;
+                if attempt >= max_retries {
+                    return EvalRecord::failed(retries, nfaults);
+                }
+                retries += 1;
+                std::thread::sleep(plan.backoff(attempt));
+                attempt += 1;
+            }
+        }
         // Compile, attributing time to the FKO pipeline stages.
         let compile_span = eval_span.child("compile");
         let compile_id = compile_span.id();
@@ -323,7 +366,11 @@ pub(crate) fn blas_eval_point<'a>(
             Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
         }
         let Ok(compiled) = compiled else {
-            return EvalRecord::rejected();
+            return EvalRecord {
+                retries,
+                faults: nfaults,
+                ..EvalRecord::rejected()
+            };
         };
         let args = KernelArgs {
             kernel,
@@ -336,7 +383,11 @@ pub(crate) fn blas_eval_point<'a>(
         let out = run_once(&compiled, &args, machine);
         drop(sim_span);
         let Ok(out) = out else {
-            return EvalRecord::rejected();
+            return EvalRecord {
+                retries,
+                faults: nfaults,
+                ..EvalRecord::rejected()
+            };
         };
         let stats = out.stats;
         {
@@ -345,15 +396,54 @@ pub(crate) fn blas_eval_point<'a>(
                 return EvalRecord {
                     cycles: None,
                     stats: Some(stats),
+                    retries,
+                    faults: nfaults,
+                    ..EvalRecord::default()
                 };
+            }
+            // Chaos: the tester harness may flake (spurious failure on a
+            // kernel that just verified). Re-run it until a clean verdict
+            // or the retry budget runs out.
+            if let (Some(plan), Some(key)) = (faults.as_ref(), fkey.as_deref()) {
+                let mut attempt = 0u32;
+                while plan.tester_flakes(key, attempt) {
+                    nfaults += 1;
+                    if attempt >= max_retries {
+                        return EvalRecord::failed(retries, nfaults);
+                    }
+                    retries += 1;
+                    std::thread::sleep(plan.backoff(attempt));
+                    let _ = verify(kernel, workload, &out);
+                    attempt += 1;
+                }
             }
         }
         let time_span = eval_span.child("time");
-        let cycles = timer.time(&compiled, &args, machine).ok();
+        let timed = timer.time_robust(
+            &compiled,
+            &args,
+            machine,
+            faults
+                .as_ref()
+                .and_then(|plan| fkey.as_deref().map(|key| (plan, key))),
+        );
         drop(time_span);
-        EvalRecord {
-            cycles,
-            stats: Some(stats),
+        match timed {
+            Ok(t) => EvalRecord {
+                cycles: Some(t.cycles),
+                stats: Some(stats),
+                retries: retries + t.retimed,
+                faults: nfaults + t.injected,
+                outliers: t.outliers_rejected,
+                failed: false,
+            },
+            Err(_) => EvalRecord {
+                cycles: None,
+                stats: Some(stats),
+                retries,
+                faults: nfaults,
+                ..EvalRecord::default()
+            },
         }
     }
 }
@@ -390,10 +480,11 @@ pub fn line_search_batched(
         Some(c) => c,
         None => {
             // Defaults failed (should not happen): fall back to everything
-            // off, which must compile.
+            // off, which must compile. Under a saturated chaos plan even
+            // that can fail — seed at u64::MAX so any later success wins
+            // and nothing panics.
             best = TransformParams::off();
-            eval_batch(PHASE_SEED, std::slice::from_ref(&best))[0]
-                .expect("even untransformed kernel failed")
+            eval_batch(PHASE_SEED, std::slice::from_ref(&best))[0].unwrap_or(u64::MAX)
         }
     };
     let default_cycles = best_cycles;
@@ -614,6 +705,10 @@ pub fn line_search_batched(
         pruned: 0,
         strategy: "line".to_string(),
         winner_strategy: "line".to_string(),
+        retries: 0,
+        faults: 0,
+        outliers: 0,
+        failed: 0,
     }
 }
 

@@ -14,6 +14,7 @@
 //! on load, so interrupted runs and concurrent writers degrade to stale
 //! entries, never corruption.
 
+use crate::fault::{self, FaultPlan};
 use crate::metrics;
 use crate::report::{parse_json, Json};
 use ifko_fko::ir::PtrId;
@@ -22,6 +23,7 @@ use ifko_xsim::PrefKind;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// One stored winner.
@@ -62,23 +64,46 @@ pub struct TunedDb {
     rev: String,
     entries: Mutex<HashMap<String, TunedRecord>>,
     file: Mutex<std::fs::File>,
+    /// The file is known to hold malformed/truncated records (detected on
+    /// load, or left by an injected persist fault). The next store
+    /// repairs it with an atomic rewrite instead of appending.
+    dirty: AtomicBool,
 }
 
 impl TunedDb {
     /// Open (creating if needed) the database in `dir`, loading every
-    /// well-formed record with last-record-wins semantics.
+    /// well-formed record with last-record-wins semantics. Malformed
+    /// records — typically one truncated trailing line from a crash
+    /// mid-append — are skipped with a diagnostic and the file is
+    /// repaired (atomic tmp + rename rewrite) on the next store.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<TunedDb> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let path = dir.join("tuned.jsonl");
         let mut entries = HashMap::new();
+        let mut malformed = 0u64;
         if let Ok(file) = std::fs::File::open(&path) {
             for line in std::io::BufReader::new(file).lines() {
                 let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
                 if let Some(rec) = parse_record(&line) {
                     entries.insert(rec.key.clone(), rec);
+                } else {
+                    malformed += 1;
                 }
             }
+        }
+        if malformed > 0 {
+            eprintln!(
+                "ifko: tuned db {}: skipped {malformed} malformed record(s) \
+                 (truncated write?); file will be rewritten on next store",
+                path.display()
+            );
+            metrics::global()
+                .counter(metrics::DB_RECOVERED)
+                .add(malformed);
         }
         let file = std::fs::OpenOptions::new()
             .create(true)
@@ -89,6 +114,7 @@ impl TunedDb {
             rev: repo_rev(),
             entries: Mutex::new(entries),
             file: Mutex::new(file),
+            dirty: AtomicBool::new(malformed > 0),
         })
     }
 
@@ -109,17 +135,66 @@ impl TunedDb {
 
     /// Store (or overwrite) a winner, appending it to the file.
     pub fn store(&self, rec: &TunedRecord) {
-        let line = record_json(rec);
-        {
-            let mut out = self.file.lock().unwrap();
-            let _ = writeln!(out, "{line}");
-            let _ = out.flush();
-        }
+        self.store_with(rec, None);
+    }
+
+    /// [`TunedDb::store`] under a chaos plan: the plan may truncate the
+    /// appended record mid-write (simulating a crash), which marks the
+    /// file dirty so the *next* store repairs it. The in-memory entry
+    /// always lands, so lookups never depend on the fault.
+    pub fn store_with(&self, rec: &TunedRecord, faults: Option<&FaultPlan>) {
+        // Memory first, so a repair rewrite includes this record.
         self.entries
             .lock()
             .unwrap()
             .insert(rec.key.clone(), rec.clone());
+        if self.dirty.swap(false, Ordering::SeqCst) {
+            self.rewrite();
+        } else {
+            let line = record_json(rec);
+            let mut out = self.file.lock().unwrap();
+            match faults {
+                Some(plan) if plan.persist_truncates(&rec.key) => {
+                    // Crash mid-append: half the bytes, no newline.
+                    let _ = out.write_all(&line.as_bytes()[..line.len() / 2]);
+                    let _ = out.flush();
+                    self.dirty.store(true, Ordering::SeqCst);
+                }
+                _ => {
+                    let _ = writeln!(out, "{line}");
+                    let _ = out.flush();
+                }
+            }
+        }
         metrics::global().counter(metrics::DB_STORES).inc();
+    }
+
+    /// Repair the file: atomically rewrite every in-memory record
+    /// (sorted by key, so the file is deterministic) and reopen the
+    /// append handle on the fresh file.
+    fn rewrite(&self) {
+        let mut entries: Vec<(String, String)> = self
+            .entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, rec)| (k.clone(), record_json(rec)))
+            .collect();
+        entries.sort();
+        let mut contents = String::with_capacity(entries.len() * 128);
+        for (_, line) in &entries {
+            contents.push_str(line);
+            contents.push('\n');
+        }
+        let mut out = self.file.lock().unwrap();
+        if fault::atomic_write(&self.path, &contents).is_ok() {
+            if let Ok(file) = std::fs::OpenOptions::new().append(true).open(&self.path) {
+                *out = file;
+            }
+        } else {
+            // Repair failed (e.g. fs error): stay dirty, retry next store.
+            self.dirty.store(true, Ordering::SeqCst);
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -371,6 +446,49 @@ mod tests {
         let db = TunedDb::open(&dir).unwrap();
         assert_eq!(db.len(), 1);
         assert!(db.lookup("k").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_trailing_record_is_repaired_on_next_store() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-trunc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = record_json(&sample_record("k", 100));
+        let torn = &good[..good.len() / 2];
+        std::fs::write(dir.join("tuned.jsonl"), format!("{good}\n{torn}")).unwrap();
+        let db = TunedDb::open(&dir).unwrap();
+        assert_eq!(db.len(), 1, "torn record is skipped");
+        // The next store rewrites the file whole.
+        db.store(&sample_record("k2", 200));
+        let text = std::fs::read_to_string(dir.join("tuned.jsonl")).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(parse_record(line).is_some(), "unparseable: {line}");
+        }
+        // And the reopened append handle keeps working.
+        db.store(&sample_record("k3", 300));
+        let db2 = TunedDb::open(&dir).unwrap();
+        assert_eq!(db2.len(), 3);
+        assert_eq!(db2.lookup("k3").unwrap().cycles, 300);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_persist_faults_self_heal() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan::uniform(7, crate::fault::MAX_RATE);
+        {
+            let db = TunedDb::open(&dir).unwrap();
+            for i in 0..24u64 {
+                db.store_with(&sample_record(&format!("key-{i}"), 100 + i), Some(&plan));
+            }
+        }
+        // A truncated append is repaired by the next store; at most the
+        // final append can be torn on disk.
+        let db = TunedDb::open(&dir).unwrap();
+        assert!(db.len() >= 23, "only {}/24 records survived", db.len());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

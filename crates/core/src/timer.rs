@@ -10,10 +10,28 @@
 //! true cycle count by a pseudo-random factor derived from the repetition
 //! index and a seed. The minimum over repetitions approaches the true
 //! count, exactly like the paper's walltimes.
+//!
+//! # Robust statistics
+//!
+//! Alongside the paper's min-of-reps, the timer offers outlier-robust
+//! estimation ([`Timer::time_robust`], [`robust_min`]): repetitions are
+//! screened by one-sided median/MAD rejection (interference only
+//! *inflates* a measurement, so outliers are always high-side) plus a
+//! min-anchored guard for tiny rep counts, flagged reps are adaptively
+//! re-timed (bounded rounds), and persistent outliers are excluded from
+//! the final minimum. With no faults injected the robust path returns
+//! exactly what [`Timer::time`] returns — the rejection rules never fire
+//! on the timer's own bounded noise — so enabling it under `--chaos`
+//! leaves clean runs bit-identical.
 
+use crate::fault::FaultPlan;
 use crate::runner::{run_once, KernelArgs, RunFailure};
 use ifko_fko::CompiledKernel;
 use ifko_xsim::MachineConfig;
+
+/// Bounded adaptive re-timing: how many detect-and-re-time rounds
+/// [`Timer::time_robust`] runs before excluding persistent outliers.
+const MAX_RETIME_ROUNDS: u32 = 3;
 
 /// Timer configuration.
 #[derive(Clone, Debug)]
@@ -72,6 +90,60 @@ impl Timer {
         Ok(best)
     }
 
+    /// [`Timer::time`] with outlier-robust statistics and optional fault
+    /// injection: reps flagged by [`robust_outliers`] are re-timed (up to
+    /// [`MAX_RETIME_ROUNDS`] rounds), reps still flagged after that are
+    /// excluded from the minimum and counted as rejected. `faults` is the
+    /// chaos plan plus the subject key its decisions hash over; `None`
+    /// measures the real pipeline (and then detection alone decides).
+    pub fn time_robust(
+        &self,
+        compiled: &CompiledKernel,
+        args: &KernelArgs<'_>,
+        machine: &MachineConfig,
+        faults: Option<(&FaultPlan, &str)>,
+    ) -> Result<TimingReport, RunFailure> {
+        let reps = self.reps.max(1) as usize;
+        let mut injected = 0u32;
+        let mut retimed = 0u32;
+        let measure = |rep: usize, attempt: u32, injected: &mut u32| -> Result<u64, RunFailure> {
+            let out = run_once(compiled, args, machine)?;
+            let mut v = self.inflate(out.stats.cycles, &compiled.name, rep as u32);
+            if let Some((plan, key)) = faults {
+                if let Some(factor) = plan.timer_spike(key, rep as u32, attempt) {
+                    *injected += 1;
+                    v = (v as f64 * factor) as u64;
+                }
+            }
+            Ok(v)
+        };
+        let mut attempts = vec![0u32; reps];
+        let mut vals = vec![0u64; reps];
+        for (rep, v) in vals.iter_mut().enumerate() {
+            *v = measure(rep, 0, &mut injected)?;
+        }
+        for _round in 0..MAX_RETIME_ROUNDS {
+            let flags = robust_outliers(&vals, self.interference);
+            if !flags.iter().any(|&f| f) {
+                break;
+            }
+            for rep in 0..reps {
+                if flags[rep] {
+                    attempts[rep] += 1;
+                    retimed += 1;
+                    vals[rep] = measure(rep, attempts[rep], &mut injected)?;
+                }
+            }
+        }
+        let (cycles, outliers_rejected) = robust_min(&vals, self.interference);
+        Ok(TimingReport {
+            cycles,
+            outliers_rejected,
+            retimed,
+            injected,
+        })
+    }
+
     /// Apply deterministic interference to a true cycle count.
     fn inflate(&self, cycles: u64, name: &str, rep: u32) -> u64 {
         if self.interference <= 0.0 {
@@ -89,6 +161,95 @@ impl Timer {
         let factor = 1.0 + u * self.interference;
         (cycles as f64 * factor) as u64
     }
+}
+
+/// Outcome of one robust timing ([`Timer::time_robust`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingReport {
+    /// Minimum over the repetitions that survived outlier rejection.
+    pub cycles: u64,
+    /// Repetitions still flagged as outliers after adaptive re-timing
+    /// (excluded from `cycles`).
+    pub outliers_rejected: u32,
+    /// Extra measurements spent re-timing flagged repetitions.
+    pub retimed: u32,
+    /// Interference spikes the fault plan injected (0 without a plan).
+    pub injected: u32,
+}
+
+/// Median of a sample (mean of the middle pair for even sizes).
+pub fn median_of(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s: Vec<u64> = xs.to_vec();
+    s.sort_unstable();
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2] as f64
+    } else {
+        (s[n / 2 - 1] as f64 + s[n / 2] as f64) / 2.0
+    }
+}
+
+/// Median absolute deviation about `med`.
+pub fn mad_of(xs: &[u64], med: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut dev: Vec<f64> = xs.iter().map(|&v| (v as f64 - med).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = dev.len();
+    if n % 2 == 1 {
+        dev[n / 2]
+    } else {
+        (dev[n / 2 - 1] + dev[n / 2]) / 2.0
+    }
+}
+
+/// One-sided outlier screen for timing repetitions. A rep is flagged when
+/// it sits far *above* the median (8×MAD, floored by the interference
+/// envelope so bounded timer noise never trips it), or — for rep counts
+/// too small for a meaningful MAD — more than twice the interference
+/// envelope above the minimum. Low-side values are never flagged:
+/// interference only inflates, so the smallest observation is always the
+/// most trustworthy.
+pub fn robust_outliers(xs: &[u64], interference: f64) -> Vec<bool> {
+    if xs.len() < 2 {
+        return vec![false; xs.len()];
+    }
+    let med = median_of(xs);
+    let mad = mad_of(xs, med);
+    let tol = (8.0 * mad).max(med * 2.0 * interference).max(4.0);
+    let lo = *xs.iter().min().unwrap() as f64;
+    let anchor = lo * (1.0 + interference) * 2.0 + 4.0;
+    xs.iter()
+        .map(|&v| {
+            let v = v as f64;
+            (v > med && v - med > tol) || v > anchor
+        })
+        .collect()
+}
+
+/// Minimum over the inlier repetitions plus the rejected count (the
+/// robust counterpart of min-of-reps). The minimum itself can never be
+/// rejected (the screen is one-sided), so the estimate is always drawn
+/// from real observations.
+pub fn robust_min(xs: &[u64], interference: f64) -> (u64, u32) {
+    let flags = robust_outliers(xs, interference);
+    let mut best = u64::MAX;
+    let mut rejected = 0u32;
+    for (&v, &f) in xs.iter().zip(&flags) {
+        if f {
+            rejected += 1;
+        } else {
+            best = best.min(v);
+        }
+    }
+    if best == u64::MAX {
+        best = xs.iter().copied().min().unwrap_or(0);
+    }
+    (best, rejected)
 }
 
 #[cfg(test)]
@@ -189,5 +350,87 @@ mod tests {
             )
             .unwrap();
         assert!(ic < oc);
+    }
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median_of(&[]), 0.0);
+        assert_eq!(median_of(&[5]), 5.0);
+        assert_eq!(median_of(&[1, 9]), 5.0);
+        assert_eq!(median_of(&[9, 1, 5]), 5.0);
+        let med = median_of(&[10, 10, 10, 90]);
+        assert_eq!(med, 10.0);
+        assert_eq!(mad_of(&[10, 10, 10, 90], med), 0.0);
+        assert_eq!(mad_of(&[10, 14, 18], 14.0), 4.0);
+    }
+
+    #[test]
+    fn robust_rejection_is_one_sided_and_noise_tolerant() {
+        // Bounded timer noise (3%) must never be flagged.
+        let clean = [10_000, 10_120, 10_290, 10_015, 10_200, 10_299];
+        assert!(robust_outliers(&clean, 0.03).iter().all(|&f| !f));
+        assert_eq!(robust_min(&clean, 0.03), (10_000, 0));
+        // A large spike is flagged; the minimum never is.
+        let spiked = [10_000, 10_120, 90_000, 10_015, 10_200, 10_299];
+        let flags = robust_outliers(&spiked, 0.03);
+        assert_eq!(flags, [false, false, true, false, false, false]);
+        assert_eq!(robust_min(&spiked, 0.03), (10_000, 1));
+        // Even at 2 reps (50% contamination defeats MAD), the
+        // min-anchored guard catches an 8x spike.
+        let two = [10_000, 85_000];
+        assert_eq!(robust_outliers(&two, 0.01), [false, true]);
+        assert_eq!(robust_min(&two, 0.01), (10_000, 1));
+    }
+
+    #[test]
+    fn robust_path_matches_min_of_reps_without_faults() {
+        let (compiled, w, k, mach) = setup();
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::OutOfCache,
+        };
+        for t in [Timer::default(), Timer::quick(), Timer::exact()] {
+            let plain = t.time(&compiled, &args, &mach).unwrap();
+            let robust = t.time_robust(&compiled, &args, &mach, None).unwrap();
+            assert_eq!(
+                robust.cycles, plain,
+                "clean robust timing must be bit-identical"
+            );
+            assert_eq!(robust.outliers_rejected, 0);
+            assert_eq!(robust.retimed, 0);
+            assert_eq!(robust.injected, 0);
+        }
+    }
+
+    #[test]
+    fn injected_spikes_are_recovered_by_retiming() {
+        let (compiled, w, k, mach) = setup();
+        let args = KernelArgs {
+            kernel: k,
+            workload: &w,
+            context: Context::OutOfCache,
+        };
+        let t = Timer::default();
+        let clean = t.time(&compiled, &args, &mach).unwrap();
+        let plan = crate::fault::FaultPlan::uniform(42, 0.3);
+        let mut saw_injection = false;
+        for key_i in 0..8 {
+            let key = format!("chaos-key-{key_i}");
+            let r = t
+                .time_robust(&compiled, &args, &mach, Some((&plan, &key)))
+                .unwrap();
+            saw_injection |= r.injected > 0;
+            // Re-timing recovers the clean value unless a rep stayed
+            // spiked through every round; then the estimate comes from
+            // the surviving reps and stays inside the noise envelope.
+            assert!(r.cycles >= clean);
+            assert!(
+                r.cycles as f64 <= clean as f64 * (1.0 + t.interference),
+                "estimate {} drifted past the envelope of {clean}",
+                r.cycles
+            );
+        }
+        assert!(saw_injection, "0.3 rate over 8 keys x 6 reps must inject");
     }
 }

@@ -1,0 +1,179 @@
+//! Crash-safe persistence, through the public API: the tuned-results
+//! database and the persistent evaluation cache must survive a write
+//! that died mid-record — the loader skips the truncated trailing line,
+//! the next store rewrites a clean journal — and random records must
+//! round-trip through disk bit-exactly (property-tested over the
+//! in-repo xoshiro generator; no external crates).
+
+use ifko::eval::EvalCache;
+use ifko::prelude::*;
+use ifko::strategy::TunedRecord;
+use ifko_fko::TransformParams;
+use ifko_xsim::Rng64;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ifko-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn rec(key: &str, cycles: u64, seed: u64) -> TunedRecord {
+    TunedRecord {
+        key: key.to_string(),
+        kernel: "ddot".into(),
+        prec: "D".into(),
+        machine: "P4E".into(),
+        context: "oc".into(),
+        rev: "r1".into(),
+        n: 1024,
+        seed,
+        strategy: "line".into(),
+        cycles,
+        params: TransformParams::off(),
+    }
+}
+
+/// Chop a partial record onto the end of a journal, as a crash between
+/// `write` and the trailing newline would leave it.
+fn truncate_tail(path: &Path) {
+    let mut f = OpenOptions::new().append(true).open(path).unwrap();
+    write!(f, "{{\"key\":\"half-written record with no closing").unwrap();
+}
+
+#[test]
+fn tuned_db_skips_truncated_tail_and_repairs_on_store() {
+    let dir = tmp_dir("db");
+    let db = TunedDb::open(&dir).unwrap();
+    for i in 0..5u64 {
+        db.store(&rec(&format!("k{i}"), 1000 + i, i));
+    }
+    drop(db);
+    let journal = dir.join("tuned.jsonl");
+    truncate_tail(&journal);
+
+    // The loader recovers everything before the torn record.
+    let db = TunedDb::open(&dir).unwrap();
+    assert_eq!(db.len(), 5, "truncated tail corrupted earlier records");
+    assert_eq!(db.lookup("k3").unwrap().cycles, 1003);
+
+    // The next store heals the journal: a fresh open sees every record
+    // (including the new one) and no leftover garbage.
+    db.store(&rec("k5", 1005, 5));
+    let healed = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        !healed.contains("half-written"),
+        "store did not rewrite the torn journal"
+    );
+    assert_eq!(healed.lines().count(), 6);
+    drop(db);
+    let db = TunedDb::open(&dir).unwrap();
+    assert_eq!(db.len(), 6);
+    // Appends after the repair still land in the same file.
+    db.store(&rec("k6", 1006, 6));
+    drop(db);
+    assert_eq!(TunedDb::open(&dir).unwrap().len(), 7);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eval_cache_skips_truncated_tail_and_repairs_on_store() {
+    let dir = tmp_dir("cache");
+    let cache = EvalCache::persistent(&dir).unwrap();
+    for i in 0..8u64 {
+        cache.insert(format!("point/{i}"), Some(100 + i));
+    }
+    drop(cache);
+    let journal = dir.join("evals.jsonl");
+    truncate_tail(&journal);
+
+    let cache = EvalCache::persistent(&dir).unwrap();
+    assert_eq!(cache.len(), 8, "truncated tail corrupted earlier entries");
+    assert_eq!(cache.get("point/7"), Some(Some(107)));
+
+    cache.insert("point/8".to_string(), None);
+    let healed = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        !healed.contains("half-written"),
+        "insert did not rewrite the torn journal"
+    );
+    assert_eq!(healed.lines().count(), 9);
+    drop(cache);
+    let cache = EvalCache::persistent(&dir).unwrap();
+    assert_eq!(cache.len(), 9);
+    assert_eq!(cache.get("point/8"), Some(None), "rejection verdict lost");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Property: random tuned records round-trip through the journal
+/// bit-exactly, whatever the keys and values drawn. Numeric fields stay
+/// below 2^53 — the journal is JSON, whose numbers are doubles.
+#[test]
+fn tuned_db_round_trips_random_records() {
+    let mut rng = Rng64::seed_from_u64(0xc4a5_4001);
+    for trial in 0..8 {
+        let dir = tmp_dir(&format!("db-prop-{trial}"));
+        let db = TunedDb::open(&dir).unwrap();
+        let n_recs = 3 + (rng.next_u64() % 20) as usize;
+        let mut recs = Vec::new();
+        for i in 0..n_recs {
+            let key = format!("k{}/{:x}@{}", i, rng.next_u64(), trial);
+            let mut r = rec(&key, rng.next_u64() % 1_000_000, rng.next_u64() >> 11);
+            r.n = (rng.next_u64() % 100_000) as usize;
+            r.strategy = format!("s{}", rng.next_u64() % 10);
+            db.store(&r);
+            recs.push(r);
+        }
+        drop(db);
+        let db = TunedDb::open(&dir).unwrap();
+        assert_eq!(db.len(), n_recs);
+        for r in &recs {
+            let got = db
+                .lookup(&r.key)
+                .unwrap_or_else(|| panic!("{} lost", r.key));
+            assert_eq!(got.cycles, r.cycles);
+            assert_eq!(got.n, r.n);
+            assert_eq!(got.seed, r.seed);
+            assert_eq!(got.strategy, r.strategy);
+            assert_eq!(got.params, r.params);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Property: the evaluation cache round-trips random keys and verdicts
+/// (including `None` — "evaluated and rejected"), and recovery after a
+/// torn write loses at most the torn record.
+#[test]
+fn eval_cache_round_trips_random_entries() {
+    let mut rng = Rng64::seed_from_u64(0xe7a1_ca5e);
+    for trial in 0..8 {
+        let dir = tmp_dir(&format!("cache-prop-{trial}"));
+        let cache = EvalCache::persistent(&dir).unwrap();
+        let n_entries = 4 + (rng.next_u64() % 30) as usize;
+        let mut entries = Vec::new();
+        for i in 0..n_entries {
+            let key = format!("e{}:{:x}/{}", i, rng.next_u64(), trial);
+            let val = if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(rng.next_u64() % 10_000_000)
+            };
+            cache.insert(key.clone(), val);
+            entries.push((key, val));
+        }
+        drop(cache);
+        if trial % 2 == 0 {
+            truncate_tail(&dir.join("evals.jsonl"));
+        }
+        let cache = EvalCache::persistent(&dir).unwrap();
+        assert_eq!(cache.len(), n_entries);
+        for (key, val) in &entries {
+            assert_eq!(cache.get(key), Some(*val), "{key} did not round-trip");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -34,10 +34,16 @@ fn fixture_analysis_is_faithful() {
     assert_eq!(rep.scopes.len(), 1);
     let s = &rep.scopes[0];
     assert_eq!(s.n, Some(1024));
-    assert_eq!(s.probes, 6);
-    assert_eq!(s.fresh, 5);
+    assert_eq!(s.probes, 7);
+    assert_eq!(s.fresh, 6);
     assert_eq!(s.cache_hits, 1);
-    assert_eq!(s.rejected, 1);
+    assert_eq!(s.rejected, 1, "failed probes are not rejections");
+    // Chaos accounting rode along: two transient faults were retried,
+    // one timing outlier was rejected, one candidate burned its budget.
+    assert_eq!(s.retries, 4);
+    assert_eq!(s.faults, 5);
+    assert_eq!(s.outliers, 1);
+    assert_eq!(s.failed, 1);
     assert_eq!(s.first_cycles, Some(10_000));
     assert_eq!(s.best_cycles, Some(2_500));
     assert!((s.speedup() - 4.0).abs() < 1e-9);
@@ -50,8 +56,8 @@ fn fixture_analysis_is_faithful() {
     assert_eq!(s.strategies.len(), 1);
     let st = &s.strategies[0];
     assert_eq!(st.strategy, "line");
-    assert_eq!(st.probes, 6);
-    assert_eq!(st.fresh, 5);
+    assert_eq!(st.probes, 7);
+    assert_eq!(st.fresh, 6);
     assert_eq!(st.best_cycles, Some(2_500));
     assert_eq!(s.winner_strategy.as_deref(), Some("line"));
     // Containers (tune/search/eval/compile) are kept out of the leaf
@@ -81,6 +87,10 @@ fn jsonl_sink_round_trips_and_survives_corruption() {
         wall_us: 12,
         stats: None,
         pruned: None,
+        retries: 1,
+        faults: 2,
+        outliers: 0,
+        failed: false,
         strategy: "line".into(),
     };
     sink.record(&SearchEvent::Eval(ev.clone()));

@@ -21,6 +21,12 @@ lint:
 fuzz:
     cargo test --release -p ifko-fko --features fuzz --test prop_verify
 
+# Chaos smoke: tune one kernel under seeded fault injection; the search
+# must recover from every fault and persist a winner
+chaos:
+    cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
+        --chaos 7 --max-retries 2 --db results/db
+
 # Search-strategy head-to-head on swap/dot, persisting winners to the db
 strategies:
     cargo run --release -p ifko-bench --bin strategies -- --db results/db

@@ -45,6 +45,12 @@ grep -q '^line ' "$obs_tmp/strategies.txt"
 grep -q '^random ' "$obs_tmp/strategies.txt"
 test -s "$obs_tmp/db/tuned.jsonl"
 
+step "harness smoke: ifko tune --chaos (fault injection + recovery)"
+cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
+    --chaos 7 --max-retries 2 --db "$obs_tmp/chaosdb" > "$obs_tmp/chaos.txt"
+grep -q 'iFKO best' "$obs_tmp/chaos.txt"
+test -s "$obs_tmp/chaosdb/tuned.jsonl"
+
 step "harness smoke: figure7 --quick (sample trace)"
 cargo run --release -p ifko-bench --bin figure7 -- --quick >/dev/null
 test -s results/traces/figure7-quick.jsonl
