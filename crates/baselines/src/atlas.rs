@@ -18,7 +18,7 @@ use ifko_blas::hil_src::hil_source;
 use ifko_blas::ops::BlasOp;
 use ifko_blas::{Kernel, Workload};
 use ifko_fko::ir::PrefKind;
-use ifko_fko::{analyze_kernel, compile_ir, CompiledKernel, PrefSpec, TransformParams};
+use ifko_fko::{CompileOpts, CompileSession, CompiledKernel, PrefSpec, TransformParams};
 use ifko_xsim::MachineConfig;
 
 /// A selected ATLAS kernel.
@@ -40,9 +40,10 @@ pub fn atlas_variants(kernel: Kernel, mach: &MachineConfig) -> Vec<(String, bool
     // variant, a write-streaming variant, a compute-dense variant and an
     // in-cache variant — the classic ATLAS kernel family shapes.
     let src = hil_source(kernel.op, kernel.prec);
-    let Ok((ir, rep)) = analyze_kernel(&src, mach) else {
+    let Ok(sess) = CompileSession::from_source(&src, mach) else {
         return out;
     };
+    let rep = sess.report();
     let line = mach.prefetch_line() as i64;
     let le = rep.arch.line_elems as u32;
     let has_red = !rep.ae_candidates.is_empty();
@@ -100,7 +101,7 @@ pub fn atlas_variants(kernel: Kernel, mach: &MachineConfig) -> Vec<(String, bool
         recipes.push(("c_plain_wnt", p));
     }
     for (name, p) in recipes {
-        if let Ok(c) = compile_ir(&ir, &p, &rep) {
+        if let Ok(c) = sess.compile(&p, CompileOpts::default()) {
             out.push((name.to_string(), false, c));
         }
     }

@@ -8,7 +8,7 @@ use ifko_blas::hil_src::hil_source;
 use ifko_blas::Kernel;
 use ifko_fko::ir::PrefKind;
 use ifko_fko::{
-    analyze_kernel, compile_ir, CompileError, CompiledKernel, PrefSpec, TransformParams,
+    CompileError, CompileOpts, CompileSession, CompiledKernel, PrefSpec, TransformParams,
 };
 use ifko_xsim::MachineConfig;
 
@@ -27,14 +27,14 @@ pub enum LoopForm {
 /// non-temporal stores.
 pub fn compile_gcc(kernel: Kernel, mach: &MachineConfig) -> Result<CompiledKernel, CompileError> {
     let src = hil_source(kernel.op, kernel.prec);
-    let (ir, rep) = analyze_kernel(&src, mach)?;
+    let sess = CompileSession::from_source(&src, mach)?;
     let mut p = TransformParams::off();
     p.simd = false;
     p.unroll = 4; // -funroll-all-loops
     p.accum_expand = 1;
     p.wnt = false;
     p.prefetch = vec![];
-    compile_ir(&ir, &p, &rep)
+    sess.compile(&p, CompileOpts::default())
 }
 
 /// icc 8.0 `-O3`: auto-vectorizes friendly loops, inserts its own
@@ -47,7 +47,8 @@ pub fn compile_icc(
     form: LoopForm,
 ) -> Result<CompiledKernel, CompileError> {
     let src = hil_source(kernel.op, kernel.prec);
-    let (ir, rep) = analyze_kernel(&src, mach)?;
+    let sess = CompileSession::from_source(&src, mach)?;
+    let rep = sess.report();
     let mut p = TransformParams::off();
     p.simd = form == LoopForm::Friendly && rep.vectorizable.is_ok();
     p.unroll = 2;
@@ -69,7 +70,7 @@ pub fn compile_icc(
         })
         .collect();
     p.wnt = false;
-    compile_ir(&ir, &p, &rep)
+    sess.compile(&p, CompileOpts::default())
 }
 
 /// icc with profile feedback for problem size `profile_n`: everything icc
@@ -85,7 +86,8 @@ pub fn compile_icc_prof(
     profile_n: usize,
 ) -> Result<CompiledKernel, CompileError> {
     let src = hil_source(kernel.op, kernel.prec);
-    let (ir, rep) = analyze_kernel(&src, mach)?;
+    let sess = CompileSession::from_source(&src, mach)?;
+    let rep = sess.report();
     let mut p = TransformParams::off();
     p.simd = rep.vectorizable.is_ok();
     p.unroll = 4;
@@ -112,7 +114,7 @@ pub fn compile_icc_prof(
         // not prefetch a stream it writes with movnt).
         p.prefetch.retain(|s| !rep.wnt_candidates.contains(&s.ptr));
     }
-    compile_ir(&ir, &p, &rep)
+    sess.compile(&p, CompileOpts::default())
 }
 
 #[cfg(test)]

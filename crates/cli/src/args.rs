@@ -25,6 +25,7 @@ pub struct Args {
     pub db: Option<String>,
     pub chaos: Option<String>,
     pub max_retries: Option<u32>,
+    pub profile_pipeline: bool,
 }
 
 impl Args {
@@ -53,6 +54,7 @@ impl Args {
             db: None,
             chaos: None,
             max_retries: None,
+            profile_pipeline: false,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -90,6 +92,7 @@ impl Args {
                 "--trace" => a.trace = Some(value("--trace")?),
                 "--metrics" => a.metrics = Some(value("--metrics")?),
                 "--verify-ir" => a.verify_ir = true,
+                "--profile-pipeline" => a.profile_pipeline = true,
                 "--no-prune" => a.no_prune = true,
                 "--strategy" => a.strategy = Some(value("--strategy")?),
                 "--budget" => a.budget = Some(value("--budget")?),
@@ -193,6 +196,14 @@ mod tests {
         assert!(a.verify_ir && a.no_prune);
         let a = Args::parse(v(&["k.hil"])).unwrap();
         assert!(!a.verify_ir && !a.no_prune);
+    }
+
+    #[test]
+    fn profile_pipeline_flag_parses() {
+        let a = Args::parse(v(&["k.hil", "--profile-pipeline"])).unwrap();
+        assert!(a.profile_pipeline);
+        let a = Args::parse(v(&["k.hil"])).unwrap();
+        assert!(!a.profile_pipeline);
     }
 
     #[test]

@@ -37,8 +37,8 @@ use ifko::runner::Context;
 use ifko::strategy::{Budget, StrategySpec};
 use ifko::{SearchOptions, TuneConfig};
 use ifko_fko::{
-    analyze_kernel, compile_ir, compile_ir_checked, lint_analysis, CompileError, Diagnostic,
-    Severity, TransformParams,
+    analyze_kernel, lint_analysis, CompileError, CompileOpts, CompileSession, Diagnostic, Severity,
+    TransformParams,
 };
 use ifko_xsim::{asm, opteron, p4e, MachineConfig};
 use std::process::ExitCode;
@@ -231,22 +231,22 @@ fn cmd_lint(argv: Vec<String>) -> Result<bool, String> {
 /// verifier catches between stages (deduplicated across the two
 /// parameter points).
 fn lint_file(src: &str, machine: &MachineConfig) -> Vec<Diagnostic> {
-    let (ir, rep) = match analyze_kernel(src, machine) {
-        Ok(x) => x,
-        Err(e) => return e.diagnostics(),
+    let sess = match CompileSession::from_source(src, machine) {
+        Ok(s) => s,
+        Err(e) => return e.diagnostics().to_vec(),
     };
-    let mut diags = lint_analysis(&rep);
+    let mut diags = lint_analysis(sess.report());
     for params in [
         TransformParams::off(),
-        TransformParams::defaults(&rep, machine),
+        TransformParams::defaults(sess.report(), machine),
     ] {
-        if let Err(e) = compile_ir_checked(&ir, &params, &rep, true, |_, _| {}) {
+        if let Err(e) = sess.compile(&params, CompileOpts::verify(true)) {
             // `off()` must always compile; `defaults` can fail only if the
             // compiler itself is broken — both are reportable.
             let is_verify = matches!(e, CompileError::Verify(..));
             for d in e.diagnostics() {
-                if !diags.contains(&d) {
-                    diags.push(d);
+                if !diags.contains(d) {
+                    diags.push(d.clone());
                 }
             }
             if is_verify {
@@ -316,8 +316,9 @@ fn cmd_analyze(src: &str, machine: &MachineConfig) -> Result<(), String> {
 }
 
 fn cmd_compile(src: &str, machine: &MachineConfig, args: &Args) -> Result<(), String> {
-    let (ir, rep) = analyze_kernel(src, machine).map_err(|e| e.to_string())?;
-    let mut p = TransformParams::defaults(&rep, machine);
+    let sess = CompileSession::from_source(src, machine).map_err(|e| e.to_string())?;
+    let rep = sess.report();
+    let mut p = TransformParams::defaults(rep, machine);
     if args.scalar {
         p.simd = false;
     }
@@ -337,7 +338,9 @@ fn cmd_compile(src: &str, machine: &MachineConfig, args: &Args) -> Result<(), St
             s.dist = d;
         }
     }
-    let compiled = compile_ir(&ir, &p, &rep).map_err(|e| e.to_string())?;
+    let compiled = sess
+        .compile(&p, CompileOpts::default())
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "# {} for {}: {} instructions, frame {} bytes",
         compiled.name,
@@ -372,6 +375,7 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         .search(opts)
         .verify_ir(args.verify_ir)
         .prune(!args.no_prune)
+        .profile_pipeline(args.profile_pipeline)
         .jobs(args.jobs);
     let strategy = match &args.strategy {
         Some(s) => StrategySpec::parse(s).ok_or_else(|| {
@@ -460,6 +464,19 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
             g.phase.label(),
             (g.speedup() - 1.0) * 100.0
         );
+    }
+    if !out.pipeline_profile.is_empty() {
+        println!("\npipeline stage profile (wall time per candidate compile):");
+        println!(
+            "  {:<10} {:>7} {:>9} {:>11} {:>11}",
+            "stage", "count", "min_us", "median_us", "total_us"
+        );
+        for st in &out.pipeline_profile {
+            println!(
+                "  {:<10} {:>7} {:>9} {:>11} {:>11}",
+                st.stage, st.count, st.min_us, st.median_us, st.total_us
+            );
+        }
     }
     if let Some(path) = &args.metrics {
         ifko::metrics::global()

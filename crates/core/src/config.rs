@@ -47,6 +47,7 @@ pub struct TuneConfig {
     pub(crate) strategy: StrategySpec,
     pub(crate) budget: Budget,
     pub(crate) db: Option<Arc<TunedDb>>,
+    pub(crate) profile_pipeline: bool,
 }
 
 impl TuneConfig {
@@ -68,6 +69,7 @@ impl TuneConfig {
             strategy: StrategySpec::Line,
             budget: Budget::unlimited(),
             db: None,
+            profile_pipeline: false,
         }
     }
 
@@ -156,6 +158,14 @@ impl TuneConfig {
     /// winner-neutral).
     pub fn prune(mut self, on: bool) -> Self {
         self.search.prune = on;
+        self
+    }
+    /// Collect a per-stage wall-time profile (min/median/total per
+    /// pipeline stage) across every candidate compile
+    /// (`--profile-pipeline`). The profile lands on the outcome's
+    /// `pipeline_profile`.
+    pub fn profile_pipeline(mut self, on: bool) -> Self {
+        self.profile_pipeline = on;
         self
     }
     /// Inject deterministic, seeded faults into the evaluation pipeline

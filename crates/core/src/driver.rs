@@ -12,7 +12,7 @@ use crate::search::{blas_eval_point, SearchResult};
 use crate::strategy::{db_key, STRATEGY_WARM};
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::{Kernel, Workload};
-use ifko_fko::{analyze_kernel, compile_ir, CompiledKernel, TransformParams};
+use ifko_fko::{CompileOpts, CompileSession, CompiledKernel, TransformParams};
 use ifko_xsim::MachineConfig;
 
 /// Everything produced by tuning one kernel on one machine/context.
@@ -30,6 +30,10 @@ pub struct TuneOutcome {
     pub mflops: f64,
     /// Table-3 style parameter summary for the winning point.
     pub table3_row: String,
+    /// Per-stage compile-time profile (empty unless
+    /// [`TuneConfig::profile_pipeline`](crate::TuneConfig::profile_pipeline)
+    /// is on).
+    pub pipeline_profile: Vec<ifko_fko::StageProfile>,
 }
 
 /// Tuning failure.
@@ -64,9 +68,12 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
 
     let src = hil_source(kernel.op, kernel.prec);
     let parse_span = tune_span.child("parse");
-    let parsed = analyze_kernel(&src, machine);
+    let sess = CompileSession::from_source(&src, machine);
     drop(parse_span);
-    let (ir, rep) = parsed.map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let sess = sess.map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    if cfg.profile_pipeline {
+        sess.enable_profiling();
+    }
     let workload = Workload::generate(n, cfg.seed);
 
     // Warm start: a stored winner for this kernel/precision/machine/
@@ -91,7 +98,7 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
         cfg.strategy,
         cfg.budget,
         warm.as_ref(),
-        &rep,
+        sess.report(),
         machine,
         &cfg.search,
         cfg.seed,
@@ -99,8 +106,7 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
         &scope,
         |search_id| {
             blas_eval_point(
-                &ir,
-                &rep,
+                &sess,
                 kernel,
                 &workload,
                 context,
@@ -113,7 +119,7 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
         },
     );
     let recompile_span = tune_span.child("recompile");
-    let compiled = compile_ir(&ir, &result.best, &rep);
+    let compiled = sess.compile(&result.best, CompileOpts::default());
     drop(recompile_span);
     let compiled = compiled.map_err(|e| {
         TuneError(format!(
@@ -159,17 +165,24 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
     reg.counter(metrics::TUNE_RUNS).inc();
     reg.histogram(metrics::TUNE_WALL_US, metrics::US_BUCKETS)
         .observe(t0.elapsed().as_micros() as u64);
+    let pipe = sess.stats();
+    reg.counter(metrics::PIPE_COMPILES).add(pipe.compiles);
+    reg.counter(metrics::PIPE_SUBCACHE_HITS)
+        .add(pipe.subcache_hits);
+    reg.counter(metrics::PIPE_SUBCACHE_MISSES)
+        .add(pipe.subcache_misses);
 
     Ok(TuneOutcome {
         kernel,
         machine: machine.name.to_string(),
         context,
         n,
-        table3_row: result.best.table3_row(&rep),
+        table3_row: result.best.table3_row(sess.report()),
         result,
         compiled,
         cycles,
         mflops,
+        pipeline_profile: sess.profile(),
     })
 }
 
@@ -180,11 +193,12 @@ pub(crate) fn defaults_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<u
     let context = cfg.context;
     let n = cfg.size();
     let src = hil_source(kernel.op, kernel.prec);
-    let (ir, rep) =
-        analyze_kernel(&src, machine).map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
-    let params = TransformParams::defaults(&rep, machine);
-    let compiled =
-        compile_ir(&ir, &params, &rep).map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let sess = CompileSession::from_source(&src, machine)
+        .map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
+    let params = TransformParams::defaults(sess.report(), machine);
+    let compiled = sess
+        .compile(&params, CompileOpts::default())
+        .map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
     let workload = Workload::generate(n, cfg.seed);
     let args = crate::runner::KernelArgs {
         kernel,

@@ -15,8 +15,7 @@ use crate::runner::Context;
 use crate::search::{SearchOptions, SearchResult};
 use crate::strategy::{db_key, STRATEGY_WARM};
 use ifko_fko::{
-    analyze_kernel, compile_ir, compile_ir_checked, ArgSlot, CompileError, CompiledKernel, RetSlot,
-    TransformParams,
+    ArgSlot, CompileError, CompileOpts, CompileSession, CompiledKernel, RetSlot, TransformParams,
 };
 use ifko_xsim::isa::Prec;
 use ifko_xsim::rng::Rng64;
@@ -182,6 +181,10 @@ fn outputs_agree(a: &GenericOutputs, b: &GenericOutputs, prec: Prec, n: usize) -
 pub struct GenericTuneOutcome {
     pub result: SearchResult,
     pub compiled: CompiledKernel,
+    /// Per-stage compile-time profile (empty unless
+    /// [`TuneConfig::profile_pipeline`](crate::TuneConfig::profile_pipeline)
+    /// is on).
+    pub pipeline_profile: Vec<ifko_fko::StageProfile>,
 }
 
 /// Tune a user HIL kernel under a [`TuneConfig`] (called by
@@ -196,18 +199,21 @@ pub(crate) fn tune_source_with_config(
     let context = cfg.context;
     let n = cfg.size();
     let opts = &cfg.search;
-    let (ir, rep) = analyze_kernel(src, machine)?;
+    let sess = CompileSession::from_source(src, machine)?;
+    if cfg.profile_pipeline {
+        sess.enable_profiling();
+    }
     // Baseline: everything off.
-    let base_compiled = compile_ir(&ir, &TransformParams::off(), &rep)?;
+    let base_compiled = sess.compile(&TransformParams::off(), CompileOpts::default())?;
     let w = GenericWorkload::for_kernel(&base_compiled, n, cfg.seed);
     let baseline =
-        run_generic(&base_compiled, &w, context, machine).map_err(CompileError::Codegen)?;
+        run_generic(&base_compiled, &w, context, machine).map_err(CompileError::codegen)?;
     let prec = base_compiled.prec;
 
     let engine = cfg.engine();
     // Arbitrary sources have no registry name: scope the cache by routine
     // name plus a content hash, so two different bodies never collide.
-    let label = format!("hil:{}#{:016x}", ir.name, fnv64(src.as_bytes()));
+    let label = format!("hil:{}#{:016x}", sess.ir().name, fnv64(src.as_bytes()));
     let scope = EvalScope::new(label, machine, context, n, cfg.seed, &opts.timer);
 
     // Warm start, keyed by the content-hashed label (see `driver.rs`).
@@ -230,7 +236,7 @@ pub(crate) fn tune_source_with_config(
         cfg.strategy,
         cfg.budget,
         warm.as_ref(),
-        &rep,
+        sess.report(),
         machine,
         opts,
         cfg.seed,
@@ -238,8 +244,7 @@ pub(crate) fn tune_source_with_config(
         &scope,
         |search_id| {
             let sink = engine.trace().cloned();
-            let ir = &ir;
-            let rep = &rep;
+            let sess = &sess;
             let w = &w;
             let baseline = &baseline;
             let scope = &scope;
@@ -266,12 +271,12 @@ pub(crate) fn tune_source_with_config(
                 let compile_span = eval_span.child("compile");
                 let compile_id = compile_span.id();
                 let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
-                let c = compile_ir_checked(
-                    ir,
+                let mut observe = |stage: &'static str, wall: std::time::Duration| {
+                    stages.push((stage, wall));
+                };
+                let c = sess.compile(
                     p,
-                    rep,
-                    cfg!(debug_assertions) || opts.verify_ir,
-                    |stage, wall| stages.push((stage, wall)),
+                    CompileOpts::observed(cfg!(debug_assertions) || opts.verify_ir, &mut observe),
                 );
                 drop(compile_span);
                 for (stage, wall) in stages {
@@ -354,8 +359,20 @@ pub(crate) fn tune_source_with_config(
             );
         }
     }
-    let compiled = compile_ir(&ir, &result.best, &rep)?;
-    Ok(GenericTuneOutcome { result, compiled })
+    let compiled = sess.compile(&result.best, CompileOpts::default())?;
+    let pipe = sess.stats();
+    let reg = engine.metrics();
+    reg.counter(crate::metrics::PIPE_COMPILES)
+        .add(pipe.compiles);
+    reg.counter(crate::metrics::PIPE_SUBCACHE_HITS)
+        .add(pipe.subcache_hits);
+    reg.counter(crate::metrics::PIPE_SUBCACHE_MISSES)
+        .add(pipe.subcache_misses);
+    Ok(GenericTuneOutcome {
+        result,
+        compiled,
+        pipeline_profile: sess.profile(),
+    })
 }
 
 /// Tune any HIL source on a machine/context: analyze, establish the
@@ -427,8 +444,10 @@ ROUT_END
     #[test]
     fn generic_workload_matches_convention() {
         let mach = p4e();
-        let (ir, rep) = analyze_kernel(WAXPBY, &mach).unwrap();
-        let c = compile_ir(&ir, &TransformParams::off(), &rep).unwrap();
+        let sess = CompileSession::from_source(WAXPBY, &mach).unwrap();
+        let c = sess
+            .compile(&TransformParams::off(), CompileOpts::default())
+            .unwrap();
         let w = GenericWorkload::for_kernel(&c, 100, 1);
         assert_eq!(w.vectors.len(), 3);
         assert_eq!(w.scalars.len(), 1);

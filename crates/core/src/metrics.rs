@@ -483,6 +483,13 @@ pub const TUNE_RUNS: &str = "ifko_tune_runs_total";
 /// Wall-clock of one full tuning run, microseconds.
 pub const TUNE_WALL_US: &str = "ifko_tune_wall_us";
 
+/// Candidate compiles through a `CompileSession`.
+pub const PIPE_COMPILES: &str = "ifko_pipeline_compiles_total";
+/// Compiles served (fully or partially) by the sub-candidate cache.
+pub const PIPE_SUBCACHE_HITS: &str = "ifko_pipeline_subcache_hits_total";
+/// Compiles that ran the full back end.
+pub const PIPE_SUBCACHE_MISSES: &str = "ifko_pipeline_subcache_misses_total";
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,10 +9,11 @@
 //!   and which phase produced each improvement (paper Figure 7's
 //!   decomposition, reconstructed from the trace alone)?
 //! * **Time attribution** — where did the tuning wall-clock go
-//!   (parse / xform / opt / regalloc / codegen / simulate / test /
-//!   time), reconstructed from the span tree?
+//!   (parse / xform / opt / regalloc / codegen / subcache / simulate /
+//!   test / time), reconstructed from the span tree?
 //! * **Cache effectiveness** — how many probes were answered by the
-//!   evaluation cache, and roughly how much wall-clock that saved?
+//!   evaluation cache or the pipeline's sub-candidate cache (the
+//!   `subcache` stage rows), and roughly how much wall-clock that saved?
 //! * **Winner hardware profile** — the simulator counters of the best
 //!   point (L1/L2 miss ratios, cycles/element), from the exported
 //!   [`RunStats`].
@@ -768,6 +769,12 @@ fn render_text(rep: &TraceReport) -> String {
                 row.count,
                 row.total_us,
                 format!("{pct:.1}")
+            ));
+        }
+        if let Some(sub) = rep.stages.iter().find(|r| r.stage == "subcache") {
+            s.push_str(&format!(
+                "pipeline sub-candidate cache: {} hits (probe cost {} us)\n",
+                sub.count, sub.total_us
             ));
         }
     }

@@ -30,8 +30,7 @@ use crate::runner::{run_once, Context, KernelArgs};
 use crate::tester::verify;
 use crate::timer::Timer;
 use ifko_blas::{Kernel, Workload};
-use ifko_fko::ir::KernelIr;
-use ifko_fko::{compile_ir_checked, AnalysisReport, TransformParams};
+use ifko_fko::{AnalysisReport, CompileOpts, CompileSession, TransformParams};
 use ifko_xsim::MachineConfig;
 use std::sync::Arc;
 
@@ -249,8 +248,7 @@ impl SearchMetrics {
 /// engine (compile + verify + time, memoized).
 #[allow(clippy::too_many_arguments)]
 pub fn line_search(
-    ir: &KernelIr,
-    rep: &AnalysisReport,
+    sess: &CompileSession,
     kernel: Kernel,
     workload: &Workload,
     context: Context,
@@ -260,7 +258,7 @@ pub fn line_search(
     let engine = EvalEngine::new(1);
     let scope = EvalScope::new(kernel.name(), machine, context, workload.n, 0, &opts.timer);
     line_search_engine(
-        ir, rep, kernel, workload, context, machine, opts, &engine, &scope,
+        sess, kernel, workload, context, machine, opts, &engine, &scope,
     )
 }
 
@@ -270,8 +268,7 @@ pub fn line_search(
 /// traced to its sink.
 #[allow(clippy::too_many_arguments)]
 pub fn line_search_engine(
-    ir: &KernelIr,
-    rep: &AnalysisReport,
+    sess: &CompileSession,
     kernel: Kernel,
     workload: &Workload,
     context: Context,
@@ -284,7 +281,7 @@ pub fn line_search_engine(
         crate::strategy::StrategySpec::Line,
         crate::strategy::Budget::unlimited(),
         None,
-        rep,
+        sess.report(),
         machine,
         opts,
         scope.seed,
@@ -292,8 +289,7 @@ pub fn line_search_engine(
         scope,
         |search_id| {
             blas_eval_point(
-                ir,
-                rep,
+                sess,
                 kernel,
                 workload,
                 context,
@@ -313,8 +309,7 @@ pub fn line_search_engine(
 /// `eval` spans hang off.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn blas_eval_point<'a>(
-    ir: &'a KernelIr,
-    rep: &'a AnalysisReport,
+    sess: &'a CompileSession,
     kernel: Kernel,
     workload: &'a Workload,
     context: Context,
@@ -354,12 +349,12 @@ pub(crate) fn blas_eval_point<'a>(
         let compile_span = eval_span.child("compile");
         let compile_id = compile_span.id();
         let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
-        let compiled = compile_ir_checked(
-            ir,
+        let mut observe = |stage: &'static str, wall: std::time::Duration| {
+            stages.push((stage, wall));
+        };
+        let compiled = sess.compile(
             p,
-            rep,
-            cfg!(debug_assertions) || opts.verify_ir,
-            |stage, wall| stages.push((stage, wall)),
+            CompileOpts::observed(cfg!(debug_assertions) || opts.verify_ir, &mut observe),
         );
         drop(compile_span);
         for (stage, wall) in stages {
@@ -717,19 +712,18 @@ mod tests {
     use super::*;
     use ifko_blas::hil_src::hil_source;
     use ifko_blas::ops::BlasOp;
-    use ifko_fko::analyze_kernel;
     use ifko_xsim::isa::Prec;
     use ifko_xsim::p4e;
 
     fn search_kernel(op: BlasOp, n: usize, ctx: Context) -> SearchResult {
         let mach = p4e();
         let src = hil_source(op, Prec::D);
-        let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+        let sess = CompileSession::from_source(&src, &mach).unwrap();
         let kernel = Kernel { op, prec: Prec::D };
         let w = Workload::generate(n, 42);
         let mut opts = SearchOptions::quick();
         opts.timer = Timer::exact();
-        line_search(&ir, &rep, kernel, &w, ctx, &mach, &opts)
+        line_search(&sess, kernel, &w, ctx, &mach, &opts)
     }
 
     #[test]
@@ -788,7 +782,8 @@ mod tests {
         // find the same winner and record the same gains.
         let mach = p4e();
         let src = hil_source(BlasOp::Dot, Prec::D);
-        let (_, rep) = analyze_kernel(&src, &mach).unwrap();
+        let sess = CompileSession::from_source(&src, &mach).unwrap();
+        let rep = sess.report().clone();
         let opts = SearchOptions::quick();
         let cost = |p: &TransformParams| -> Option<u64> {
             Some(10_000 / p.unroll as u64 + p.prefetch.iter().map(|s| s.dist as u64).sum::<u64>())

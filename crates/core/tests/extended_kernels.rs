@@ -8,7 +8,7 @@ use ifko::{verify, TuneConfig};
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::ops::{BlasOp, EXTENDED_KERNELS};
 use ifko_blas::{Kernel, Workload};
-use ifko_fko::{analyze_kernel, compile_defaults, compile_ir, TransformParams};
+use ifko_fko::{analyze_kernel, compile_defaults, CompileOpts, CompileSession, TransformParams};
 use ifko_xsim::isa::Prec;
 use ifko_xsim::{opteron, p4e};
 
@@ -63,7 +63,8 @@ fn rot_correct_across_param_matrix() {
         prec: Prec::D,
     };
     let src = hil_source(k.op, k.prec);
-    let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+    let sess = CompileSession::from_source(&src, &mach).unwrap();
+    let rep = sess.report().clone();
     for n in [0usize, 1, 7, 250] {
         let w = Workload::generate(n, n as u64 + 5);
         for (simd, ur, wnt) in [
@@ -76,7 +77,7 @@ fn rot_correct_across_param_matrix() {
             p.simd = simd;
             p.unroll = ur;
             p.wnt = wnt;
-            let c = compile_ir(&ir, &p, &rep).unwrap();
+            let c = sess.compile(&p, CompileOpts::default()).unwrap();
             let out = run_once(
                 &c,
                 &KernelArgs {

@@ -8,7 +8,7 @@ use ifko::Timer;
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::ops::BlasOp;
 use ifko_blas::{Kernel, Workload};
-use ifko_fko::{analyze_kernel, TransformParams};
+use ifko_fko::{analyze_kernel, CompileSession, TransformParams};
 use ifko_xsim::isa::Prec;
 use ifko_xsim::p4e;
 
@@ -86,7 +86,7 @@ fn rejected_candidates_never_win() {
 fn gains_multiply_to_total_across_passes() {
     let mach = p4e();
     let src = hil_source(BlasOp::Dot, Prec::S);
-    let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+    let sess = CompileSession::from_source(&src, &mach).unwrap();
     let k = Kernel {
         op: BlasOp::Dot,
         prec: Prec::S,
@@ -94,7 +94,7 @@ fn gains_multiply_to_total_across_passes() {
     let w = Workload::generate(6000, 13);
     let mut opts = SearchOptions::quick();
     opts.timer = Timer::exact();
-    let r = line_search(&ir, &rep, k, &w, Context::OutOfCache, &mach, &opts);
+    let r = line_search(&sess, k, &w, Context::OutOfCache, &mach, &opts);
     let product: f64 = r.gains.iter().map(|g| g.speedup()).product();
     let total = r.speedup_over_default();
     assert!(
@@ -127,7 +127,7 @@ fn search_explores_all_prefetch_kinds() {
 fn evaluation_counts_are_reported() {
     let mach = p4e();
     let src = hil_source(BlasOp::Scal, Prec::D);
-    let (ir, rep) = analyze_kernel(&src, &mach).unwrap();
+    let sess = CompileSession::from_source(&src, &mach).unwrap();
     let k = Kernel {
         op: BlasOp::Scal,
         prec: Prec::D,
@@ -135,7 +135,7 @@ fn evaluation_counts_are_reported() {
     let w = Workload::generate(2000, 2);
     let mut opts = SearchOptions::quick();
     opts.timer = Timer::exact();
-    let r = line_search(&ir, &rep, k, &w, Context::OutOfCache, &mach, &opts);
+    let r = line_search(&sess, k, &w, Context::OutOfCache, &mach, &opts);
     assert!(
         r.evaluations >= 10,
         "expected a real search, got {}",

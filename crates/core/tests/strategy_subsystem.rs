@@ -18,7 +18,7 @@ use ifko::runner::{run_once, KernelArgs};
 use ifko::search::{line_search_with, SearchOptions, SearchResult};
 use ifko::verify;
 use ifko_blas::hil_src::hil_source;
-use ifko_fko::{analyze_kernel, compile_ir};
+use ifko_fko::{CompileOpts, CompileSession};
 use ifko_xsim::MachineConfig;
 
 fn dk(op: BlasOp) -> Kernel {
@@ -29,11 +29,11 @@ fn dk(op: BlasOp) -> Kernel {
 /// compile → simulate → verify → time, no engine, no cache, no trait.
 fn serial_reference(k: Kernel, mach: &MachineConfig, n: usize) -> SearchResult {
     let src = hil_source(k.op, k.prec);
-    let (ir, rep) = analyze_kernel(&src, mach).unwrap();
+    let sess = CompileSession::from_source(&src, mach).unwrap();
     let opts = SearchOptions::quick();
     let w = Workload::generate(n, 0xb1a5);
-    line_search_with(&rep, mach, &opts, |p| {
-        let c = compile_ir(&ir, p, &rep).ok()?;
+    line_search_with(sess.report(), mach, &opts, |p| {
+        let c = sess.compile(p, CompileOpts::default()).ok()?;
         let args = KernelArgs {
             kernel: k,
             workload: &w,

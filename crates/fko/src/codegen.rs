@@ -16,7 +16,6 @@ use crate::regalloc::{Allocation, Phys, FPARAM_REG, FRAME_REG};
 use crate::xform::LinearKernel;
 use ifko_xsim::isa::{Addr, FReg, IReg, Inst, Prec, Program, RegOrMem};
 use ifko_xsim::Asm;
-use std::collections::HashMap;
 
 /// A compiled kernel plus everything the harness needs to run it.
 #[derive(Clone, Debug)]
@@ -64,18 +63,45 @@ impl std::fmt::Display for CodegenError {
 }
 impl std::error::Error for CodegenError {}
 
+/// Reusable working set for [`codegen_with`]: dense label and pointer
+/// register tables sized by the kernel's label/pointer id spaces.
+#[derive(Default)]
+pub struct CodegenScratch {
+    labmap: Vec<Option<ifko_xsim::isa::Label>>,
+    ptr_reg: Vec<Option<u8>>,
+}
+
 /// Generate machine code for an allocated linear kernel.
 pub fn codegen(k: &LinearKernel, alloc: &Allocation) -> Result<CompiledKernel, CodegenError> {
+    codegen_with(k, alloc, &mut CodegenScratch::default())
+}
+
+/// [`codegen`] with caller-provided scratch buffers.
+pub fn codegen_with(
+    k: &LinearKernel,
+    alloc: &Allocation,
+    sc: &mut CodegenScratch,
+) -> Result<CompiledKernel, CodegenError> {
     let prec = k.prec;
     let eb = prec.bytes() as i64;
     let mut asm = Asm::new();
 
     // Map IR labels to asm labels lazily.
-    let mut labmap: HashMap<ir::LabelId, ifko_xsim::isa::Label> = HashMap::new();
+    sc.labmap.clear();
+    sc.labmap.resize(k.n_labels as usize, None);
+    let labmap = &mut sc.labmap;
     macro_rules! lbl {
         ($l:expr) => {{
             let id = $l;
-            *labmap.entry(id).or_insert_with(|| asm.new_label())
+            let slot = &mut labmap[id.0 as usize];
+            match *slot {
+                Some(al) => al,
+                None => {
+                    let al = asm.new_label();
+                    *slot = Some(al);
+                    al
+                }
+            }
         }};
     }
 
@@ -101,13 +127,18 @@ pub fn codegen(k: &LinearKernel, alloc: &Allocation) -> Result<CompiledKernel, C
     // materialization is in the op stream (`IParamMov`/`FParamMov`),
     // emitted by linearization so the allocator can spill params too.
     let mut arg_convention = Vec::new();
-    let mut ptr_reg: HashMap<u32, u8> = HashMap::new();
+    sc.ptr_reg.clear();
+    let ptr_reg = &mut sc.ptr_reg;
     let mut int_slot = 0u8;
     let mut fp_slot = FPARAM_REG;
     for p in &k.params {
         match p {
             ir::ParamSlot::Ptr(id) => {
-                ptr_reg.insert(id.0, int_slot);
+                let idx = id.0 as usize;
+                if ptr_reg.len() <= idx {
+                    ptr_reg.resize(idx + 1, None);
+                }
+                ptr_reg[idx] = Some(int_slot);
                 arg_convention.push(ArgSlot::PtrReg(int_slot));
                 int_slot += 1;
             }
@@ -122,11 +153,12 @@ pub fn codegen(k: &LinearKernel, alloc: &Allocation) -> Result<CompiledKernel, C
         }
     }
 
+    let ptr_reg: &[Option<u8>] = ptr_reg;
+    let lookup_ptr = |id: u32| ptr_reg.get(id as usize).copied().flatten();
     let addr = |mem: &ir::MemRef| -> Result<Addr, CodegenError> {
-        let base = ptr_reg
-            .get(&mem.ptr.0)
+        let base = lookup_ptr(mem.ptr.0)
             .ok_or_else(|| CodegenError(format!("unknown pointer {:?}", mem.ptr)))?;
-        Ok(Addr::base_disp(IReg(*base), mem.off_elems * eb))
+        Ok(Addr::base_disp(IReg(base), mem.off_elems * eb))
     };
     let frame_addr = |slot: u32| Addr::base_disp(IReg(FRAME_REG), slot as i64 * 16);
 
@@ -285,19 +317,17 @@ pub fn codegen(k: &LinearKernel, alloc: &Allocation) -> Result<CompiledKernel, C
                 dist_bytes,
                 kind,
             } => {
-                let base = ptr_reg
-                    .get(&ptr.0)
+                let base = lookup_ptr(ptr.0)
                     .ok_or_else(|| CodegenError(format!("unknown pointer {ptr:?}")))?;
                 asm.push(Inst::Prefetch(
-                    Addr::base_disp(IReg(*base), *dist_bytes),
+                    Addr::base_disp(IReg(base), *dist_bytes),
                     *kind,
                 ));
             }
             Op::PtrBump { ptr, elems } => {
-                let base = ptr_reg
-                    .get(&ptr.0)
+                let base = lookup_ptr(ptr.0)
                     .ok_or_else(|| CodegenError(format!("unknown pointer {ptr:?}")))?;
-                asm.push(Inst::IAddImm(IReg(*base), elems * eb));
+                asm.push(Inst::IAddImm(IReg(base), elems * eb));
             }
             Op::FSpillLd { dst, slot, w } => {
                 let d = freg(*dst)?;

@@ -44,6 +44,14 @@ impl BitVec {
             }
         }
     }
+    /// Re-shape this bit vector to `nbits`, all clear, reusing the word
+    /// storage. The scratch-buffer path uses this instead of
+    /// [`BitVec::empty`] so a reused buffer costs no allocation.
+    pub fn reset(&mut self, nbits: usize) {
+        self.words.clear();
+        self.words.resize(nbits.div_ceil(64), 0);
+        self.nbits = nbits;
+    }
     pub fn set(&mut self, i: usize) {
         self.words[i / 64] |= 1 << (i % 64);
     }
@@ -314,42 +322,121 @@ pub struct Liveness {
     pub live_out: Vec<BitVec>,
 }
 
+/// Reusable storage for [`liveness_into`]. One compile session keeps one of
+/// these per pipeline scratch set, so the repeated dead-code-elimination
+/// passes (up to eight per compile) stop re-allocating four `Vec<BitVec>`
+/// each. After a call to [`liveness_into`], `live_in`/`live_out` hold the
+/// solution for that call's CFG.
+#[derive(Default)]
+pub struct LivenessScratch {
+    pub live_in: Vec<BitVec>,
+    pub live_out: Vec<BitVec>,
+    gen: Vec<BitVec>,
+    kill: Vec<BitVec>,
+    work: Vec<usize>,
+    queued: Vec<bool>,
+    is_exit: Vec<bool>,
+    acc: BitVec,
+}
+
+impl LivenessScratch {
+    fn reshape(&mut self, nb: usize, nbits: usize) {
+        for vecs in [
+            &mut self.live_in,
+            &mut self.live_out,
+            &mut self.gen,
+            &mut self.kill,
+        ] {
+            vecs.resize_with(nb, || BitVec::empty(0));
+            vecs.truncate(nb);
+            for bv in vecs.iter_mut() {
+                bv.reset(nbits);
+            }
+        }
+        self.work.clear();
+        self.queued.clear();
+        self.queued.resize(nb, true);
+        self.is_exit.clear();
+        self.is_exit.resize(nb, false);
+    }
+}
+
+impl Default for BitVec {
+    fn default() -> Self {
+        BitVec::empty(0)
+    }
+}
+
 /// Classic backward may-analysis. `exit_live` (e.g. the return vreg) is
 /// live-out of every exit block.
 pub fn liveness(ops: &[Op], nvregs: usize, exit_live: &[V], cfg: &Cfg) -> Liveness {
+    let mut s = LivenessScratch::default();
+    liveness_into(ops, nvregs, exit_live, cfg, &mut s);
+    Liveness {
+        live_in: s.live_in,
+        live_out: s.live_out,
+    }
+}
+
+/// [`liveness`] into caller-owned scratch storage: a specialized
+/// backward-union worklist solver that computes the same (unique) fixpoint
+/// as [`solve`] without allocating when `s` is reused. The solution lands
+/// in `s.live_in` / `s.live_out`.
+pub fn liveness_into(
+    ops: &[Op],
+    nvregs: usize,
+    exit_live: &[V],
+    cfg: &Cfg,
+    s: &mut LivenessScratch,
+) {
     let nb = cfg.blocks.len();
-    let mut gen = vec![BitVec::empty(nvregs); nb];
-    let mut kill = vec![BitVec::empty(nvregs); nb];
+    s.reshape(nb, nvregs);
     for (b, blk) in cfg.blocks.iter().enumerate() {
         // Backward scan: gen = upward-exposed uses, kill = defs.
+        let (gen, kill) = (&mut s.gen[b], &mut s.kill[b]);
         for i in (blk.start..blk.end).rev() {
             if let Some(d) = ops[i].def() {
-                gen[b].clear(d as usize);
-                kill[b].set(d as usize);
+                gen.clear(d as usize);
+                kill.set(d as usize);
             }
-            for u in ops[i].uses() {
-                gen[b].set(u as usize);
+            ops[i].for_each_use(&mut |u| gen.set(u as usize));
+        }
+    }
+    // Boundary: exit_live is live-out of every exit block. `live_out` plays
+    // the solver's `inp` role (meet over successors), `live_in` its `out`.
+    for b in 0..nb {
+        s.is_exit[b] = cfg.blocks[b].succs.is_empty();
+        if s.is_exit[b] {
+            for &v in exit_live {
+                s.live_out[b].set(v as usize);
             }
         }
     }
-    let mut boundary = BitVec::empty(nvregs);
-    for &v in exit_live {
-        boundary.set(v as usize);
+    for b in 0..nb {
+        s.live_in[b].transfer(&s.live_out[b], &s.gen[b], &s.kill[b]);
     }
-    let sol = solve(
-        cfg,
-        &Problem {
-            direction: Direction::Backward,
-            meet: Meet::Union,
-            nbits: nvregs,
-            gen,
-            kill,
-            boundary,
-        },
-    );
-    Liveness {
-        live_in: sol.out,
-        live_out: sol.inp,
+    s.work.extend(0..nb);
+    while let Some(b) = s.work.pop() {
+        s.queued[b] = false;
+        if !cfg.blocks[b].succs.is_empty() {
+            let acc = &mut s.acc;
+            acc.reset(nvregs);
+            for &n in &cfg.blocks[b].succs {
+                acc.union_with(&s.live_in[n]);
+            }
+            std::mem::swap(&mut s.live_out[b], acc);
+        }
+        s.acc.reset(nvregs);
+        s.acc.transfer(&s.live_out[b], &s.gen[b], &s.kill[b]);
+        if s.acc != s.live_in[b] {
+            std::mem::swap(&mut s.live_in[b], &mut s.acc);
+            for &p in &cfg.blocks[b].preds {
+                if !s.queued[p] {
+                    s.queued[p] = true;
+                    s.work.push(p);
+                }
+            }
+        }
     }
 }
 
@@ -363,9 +450,7 @@ pub fn per_op_live_out(ops: &[Op], cfg: &Cfg, live: &Liveness) -> Vec<BitVec> {
             if let Some(d) = ops[i].def() {
                 cur.clear(d as usize);
             }
-            for u in ops[i].uses() {
-                cur.set(u as usize);
-            }
+            ops[i].for_each_use(&mut |u| cur.set(u as usize));
         }
     }
     per_op

@@ -20,7 +20,7 @@ pub use ifko_xsim::isa::{Cond, Prec, PrefKind};
 pub type V = u32;
 
 /// Virtual register class.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum VClass {
     /// Integer (pointer, counter, index).
     Int,
@@ -31,7 +31,7 @@ pub enum VClass {
 }
 
 /// Operation width: scalar or SIMD vector.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Width {
     S,
     V,
@@ -44,7 +44,7 @@ pub struct PtrId(pub u32);
 /// A memory reference: `[ptr + off_elems * elem_bytes]`. The element size
 /// is the kernel precision; vector accesses read/write 16 bytes starting
 /// at that element.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct MemRef {
     pub ptr: PtrId,
     pub off_elems: i64,
@@ -52,14 +52,14 @@ pub struct MemRef {
 
 /// FP right-hand operand: register or memory (the x86 CISC form produced
 /// by the mem-operand fusion peephole).
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Hash, Debug)]
 pub enum RoM {
     Reg(V),
     Mem(MemRef),
 }
 
 /// FP arithmetic ops.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FOp {
     Add,
     Sub,
@@ -69,7 +69,7 @@ pub enum FOp {
 }
 
 /// Integer arithmetic ops.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum IOp {
     Add,
     Sub,
@@ -80,7 +80,7 @@ pub enum IOp {
 }
 
 /// Integer RHS: register or immediate.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum IOrImm {
     Reg(V),
     Imm(i64),
@@ -236,10 +236,60 @@ pub enum Op {
     },
 }
 
+/// Structural hash for the sub-candidate cache fingerprint (the only
+/// reason this is manual is `FConst`'s `f64`, hashed by bit pattern).
+impl std::hash::Hash for Op {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use Op::*;
+        std::mem::discriminant(self).hash(state);
+        match self {
+            FLd { dst, mem, w } => (dst, mem, w).hash(state),
+            FSt { mem, src, w, nt } => (mem, src, w, nt).hash(state),
+            FMov { dst, src, w } | FAbs { dst, src, w } => (dst, src, w).hash(state),
+            FConst { dst, val } => (dst, val.to_bits()).hash(state),
+            FZero { dst, w } => (dst, w).hash(state),
+            FBin { op, dst, a, b, w } => (op, dst, a, b, w).hash(state),
+            FSqrt { dst, src } | FBcast { dst, src } | FHSum { dst, src } | FHMax { dst, src } => {
+                (dst, src).hash(state)
+            }
+            FCmp { a, b } => (a, b).hash(state),
+            IConst { dst, val } => (dst, val).hash(state),
+            IMov { dst, src } => (dst, src).hash(state),
+            IBin { op, dst, a, b } => (op, dst, a, b).hash(state),
+            ICmp { a, b } => (a, b).hash(state),
+            IDecFlags(v) => v.hash(state),
+            Label(l) | Br(l) => l.hash(state),
+            CondBr { cond, target } => (cond, target).hash(state),
+            Prefetch {
+                ptr,
+                dist_bytes,
+                kind,
+            } => (ptr, dist_bytes, kind).hash(state),
+            PtrBump { ptr, elems } => (ptr, elems).hash(state),
+            FSpillLd { dst, slot, w } => (dst, slot, w).hash(state),
+            FSpillSt { slot, src, w } => (slot, src, w).hash(state),
+            ISpillLd { dst, slot } => (dst, slot).hash(state),
+            ISpillSt { slot, src } => (slot, src).hash(state),
+            IParamMov { dst, arrival } | FParamMov { dst, arrival } => (dst, arrival).hash(state),
+        }
+    }
+}
+
 impl Op {
     /// Virtual registers read by this op (including address registers are
     /// implicit via MemRef/PtrId, which are not vregs).
     pub fn uses(&self) -> Vec<V> {
+        let mut out = Vec::new();
+        self.for_each_use(&mut |v| out.push(v));
+        out
+    }
+
+    /// Visit every vreg read by this op, in the same order [`Op::uses`]
+    /// reports them, without allocating. The hot analyses (liveness,
+    /// use counting, hull computation) run this once per op per pass, so
+    /// the per-call `Vec` of [`Op::uses`] would dominate their cost.
+    #[inline]
+    pub fn for_each_use(&self, f: &mut impl FnMut(V)) {
         use Op::*;
         match self {
             FLd { .. }
@@ -250,35 +300,51 @@ impl Op {
             | Br(_)
             | CondBr { .. }
             | Prefetch { .. }
-            | PtrBump { .. } => vec![],
-            FSt { src, .. } => vec![*src],
-            IDecFlags(v) => vec![*v],
-            FSpillLd { .. } | ISpillLd { .. } | IParamMov { .. } | FParamMov { .. } => vec![],
-            FSpillSt { src, .. } | ISpillSt { src, .. } => vec![*src],
+            | PtrBump { .. } => {}
+            FSt { src, .. } => f(*src),
+            IDecFlags(v) => f(*v),
+            FSpillLd { .. } | ISpillLd { .. } | IParamMov { .. } | FParamMov { .. } => {}
+            FSpillSt { src, .. } | ISpillSt { src, .. } => f(*src),
             FMov { src, .. }
             | FAbs { src, .. }
             | FSqrt { src, .. }
             | FBcast { src, .. }
             | FHSum { src, .. }
-            | FHMax { src, .. } => vec![*src],
-            FBin { a, b, .. } => match b {
-                RoM::Reg(r) => vec![*a, *r],
-                RoM::Mem(_) => vec![*a],
-            },
-            FCmp { a, b } => match b {
-                RoM::Reg(r) => vec![*a, *r],
-                RoM::Mem(_) => vec![*a],
-            },
-            IMov { src, .. } => vec![*src],
-            IBin { a, b, .. } => match b {
-                IOrImm::Reg(r) => vec![*a, *r],
-                IOrImm::Imm(_) => vec![*a],
-            },
-            ICmp { a, b } => match b {
-                IOrImm::Reg(r) => vec![*a, *r],
-                IOrImm::Imm(_) => vec![*a],
-            },
+            | FHMax { src, .. } => f(*src),
+            FBin { a, b, .. } => {
+                f(*a);
+                if let RoM::Reg(r) = b {
+                    f(*r);
+                }
+            }
+            FCmp { a, b } => {
+                f(*a);
+                if let RoM::Reg(r) = b {
+                    f(*r);
+                }
+            }
+            IMov { src, .. } => f(*src),
+            IBin { a, b, .. } => {
+                f(*a);
+                if let IOrImm::Reg(r) = b {
+                    f(*r);
+                }
+            }
+            ICmp { a, b } => {
+                f(*a);
+                if let IOrImm::Reg(r) = b {
+                    f(*r);
+                }
+            }
         }
+    }
+
+    /// Whether this op reads `v` (allocation-free `uses().contains(&v)`).
+    #[inline]
+    pub fn reads(&self, v: V) -> bool {
+        let mut found = false;
+        self.for_each_use(&mut |u| found |= u == v);
+        found
     }
 
     /// Virtual register written by this op.
@@ -438,7 +504,7 @@ pub enum ParamSlot {
 }
 
 /// Return value.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Hash, Debug)]
 pub enum RetVal {
     None,
     /// FP scalar result, delivered in FReg(0) at halt.

@@ -10,9 +10,14 @@
 //! architectural registers of each class ([`regalloc`]), and emits code
 //! for the simulated x86-like machine ([`codegen`]).
 //!
-//! The one-call entry points are [`compile`] (full pipeline under given
-//! parameters) and [`analyze_kernel`] (front end + analysis only, used by
-//! the search to build the optimization space).
+//! The search compiles the same kernel hundreds of times under varying
+//! parameters, so the primary entry point is a [`CompileSession`]: created
+//! once per (kernel, machine), it owns the lowered IR, the analysis
+//! report, reusable per-stage scratch buffers, and a two-level
+//! sub-candidate cache that skips redundant back-end work when candidates
+//! differ only in timer-irrelevant parameters. One-shot convenience
+//! wrappers ([`compile`], [`compile_defaults`]) remain for tools that
+//! compile once.
 
 pub mod analysis;
 pub mod codegen;
@@ -33,27 +38,35 @@ pub use params::{PrefSpec, TransformParams};
 pub use verify::{lint_analysis, precheck, Reject};
 
 use ifko_xsim::MachineConfig;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-/// Any failure along the compilation pipeline.
+/// Any failure along the compilation pipeline. Every variant carries its
+/// diagnostics pre-built (see [`CompileError::diagnostics`]), constructed
+/// through the stage helpers ([`CompileError::frontend`] etc.).
 #[derive(Clone, Debug, PartialEq)]
 pub enum CompileError {
-    Frontend(String),
-    Lower(String),
-    Xform(String),
-    Alloc(String),
-    Codegen(String),
+    Frontend(Vec<Diagnostic>),
+    Lower(Vec<Diagnostic>),
+    Xform(Vec<Diagnostic>),
+    Alloc(Vec<Diagnostic>),
+    Codegen(Vec<Diagnostic>),
     /// The IR verifier found invariant violations after a stage.
     Verify(&'static str, Vec<Diagnostic>),
 }
 
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = |d: &[Diagnostic]| d.first().map(|d| d.msg.clone()).unwrap_or_default();
         match self {
-            CompileError::Frontend(m) => write!(f, "front end: {m}"),
-            CompileError::Lower(m) => write!(f, "lowering: {m}"),
-            CompileError::Xform(m) => write!(f, "transform: {m}"),
-            CompileError::Alloc(m) => write!(f, "register allocation: {m}"),
-            CompileError::Codegen(m) => write!(f, "code generation: {m}"),
+            CompileError::Frontend(d) => write!(f, "front end: {}", msg(d)),
+            CompileError::Lower(d) => write!(f, "lowering: {}", msg(d)),
+            CompileError::Xform(d) => write!(f, "transform: {}", msg(d)),
+            CompileError::Alloc(d) => write!(f, "register allocation: {}", msg(d)),
+            CompileError::Codegen(d) => write!(f, "code generation: {}", msg(d)),
             CompileError::Verify(stage, diags) => {
                 write!(f, "IR verification failed after {stage}:")?;
                 for d in diags {
@@ -67,27 +80,42 @@ impl std::fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 impl CompileError {
-    /// Flatten any pipeline error into the shared diagnostic shape used by
-    /// the verifier and `ifko lint`, so JSON output is uniform.
-    pub fn diagnostics(&self) -> Vec<Diagnostic> {
-        match self {
-            CompileError::Frontend(m) => {
-                // Parse errors carry "line N: ..." — recover the line.
-                let mut d = Diagnostic::error("F001", "frontend", m.clone());
-                if let Some(rest) = m.strip_prefix("parse error: line ") {
-                    if let Some((n, _)) = rest.split_once(':') {
-                        if let Ok(line) = n.trim().parse::<u32>() {
-                            d = d.at_line(line);
-                        }
-                    }
+    pub fn frontend(m: impl Into<String>) -> CompileError {
+        let m = m.into();
+        // Parse errors carry "line N: ..." — recover the line.
+        let mut d = Diagnostic::error("F001", "frontend", m.clone());
+        if let Some(rest) = m.strip_prefix("parse error: line ") {
+            if let Some((n, _)) = rest.split_once(':') {
+                if let Ok(line) = n.trim().parse::<u32>() {
+                    d = d.at_line(line);
                 }
-                vec![d]
             }
-            CompileError::Lower(m) => vec![Diagnostic::error("L001", "lower", m.clone())],
-            CompileError::Xform(m) => vec![Diagnostic::error("X001", "xform", m.clone())],
-            CompileError::Alloc(m) => vec![Diagnostic::error("R001", "regalloc", m.clone())],
-            CompileError::Codegen(m) => vec![Diagnostic::error("C001", "codegen", m.clone())],
-            CompileError::Verify(_, diags) => diags.clone(),
+        }
+        CompileError::Frontend(vec![d])
+    }
+    pub fn lower(m: impl Into<String>) -> CompileError {
+        CompileError::Lower(vec![Diagnostic::error("L001", "lower", m)])
+    }
+    pub fn xform(m: impl Into<String>) -> CompileError {
+        CompileError::Xform(vec![Diagnostic::error("X001", "xform", m)])
+    }
+    pub fn alloc(m: impl Into<String>) -> CompileError {
+        CompileError::Alloc(vec![Diagnostic::error("R001", "regalloc", m)])
+    }
+    pub fn codegen(m: impl Into<String>) -> CompileError {
+        CompileError::Codegen(vec![Diagnostic::error("C001", "codegen", m)])
+    }
+
+    /// The pipeline error in the shared diagnostic shape used by the
+    /// verifier and `ifko lint`, so JSON output is uniform.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        match self {
+            CompileError::Frontend(d)
+            | CompileError::Lower(d)
+            | CompileError::Xform(d)
+            | CompileError::Alloc(d)
+            | CompileError::Codegen(d)
+            | CompileError::Verify(_, d) => d,
         }
     }
 }
@@ -98,111 +126,439 @@ pub fn analyze_kernel(
     mach: &MachineConfig,
 ) -> Result<(ir::KernelIr, AnalysisReport), CompileError> {
     let (routine, info) =
-        ifko_hil::compile_frontend(src).map_err(|e| CompileError::Frontend(e.to_string()))?;
-    let k = lower::lower(&routine, &info).map_err(|e| CompileError::Lower(e.to_string()))?;
+        ifko_hil::compile_frontend(src).map_err(|e| CompileError::frontend(e.to_string()))?;
+    let k = lower::lower(&routine, &info).map_err(|e| CompileError::lower(e.to_string()))?;
     let rep = analysis::analyze(&k, mach);
     Ok((k, rep))
 }
 
-/// Compile an already-lowered kernel under the given parameters.
-pub fn compile_ir(
-    k: &ir::KernelIr,
-    params: &TransformParams,
-    rep: &AnalysisReport,
-) -> Result<CompiledKernel, CompileError> {
-    compile_ir_observed(k, params, rep, |_, _| {})
-}
-
-/// [`compile_ir`] with a per-stage observer: `observe(stage, wall)` is
-/// called after each pipeline stage (`"xform"`, `"opt"`, `"regalloc"`,
-/// `"codegen"`) with its wall-clock cost, including the stage that fails.
-/// The search uses this to attribute evaluation time to compiler stages
-/// in its trace without the compiler knowing about trace sinks.
+/// Per-compile options for [`CompileSession::compile`].
 ///
-/// In debug builds (and therefore in all tests) the IR verifier runs
-/// between every stage; release builds skip it unless requested through
-/// [`compile_ir_checked`] (`TuneConfig::verify_ir` / `--verify-ir`).
-pub fn compile_ir_observed(
-    k: &ir::KernelIr,
-    params: &TransformParams,
-    rep: &AnalysisReport,
-    observe: impl FnMut(&'static str, std::time::Duration),
-) -> Result<CompiledKernel, CompileError> {
-    compile_ir_checked(k, params, rep, cfg!(debug_assertions), observe)
+/// `verify_ir` runs [`verify::verify_stage`] after `xform`, `opt`, and
+/// `regalloc`, plus [`verify::verify_compiled`] after `codegen`; the first
+/// stage with violations aborts compilation with [`CompileError::Verify`].
+/// It defaults on in debug builds (and therefore in all tests) and off in
+/// release builds (`TuneConfig::verify_ir` / `--verify-ir` re-enable it).
+///
+/// `observe` is a per-stage observer: called after each pipeline stage
+/// (`"xform"`, `"opt"`, `"regalloc"`, `"codegen"`, and `"subcache"` for
+/// cache-served work) with its wall-clock cost, including the stage that
+/// fails. The search uses this to attribute evaluation time to compiler
+/// stages in its trace without the compiler knowing about trace sinks.
+pub struct CompileOpts<'a> {
+    pub verify_ir: bool,
+    pub observe: Option<&'a mut dyn FnMut(&'static str, Duration)>,
 }
 
-/// [`compile_ir_observed`] with explicit control over inter-stage IR
-/// verification. With `verify_ir` set, [`verify::verify_stage`] runs after
-/// `xform`, `opt`, and `regalloc`, and the emitted machine program is
-/// sanity-checked after `codegen`; the first stage with violations aborts
-/// compilation with [`CompileError::Verify`].
-pub fn compile_ir_checked(
-    k: &ir::KernelIr,
-    params: &TransformParams,
-    rep: &AnalysisReport,
-    verify_ir: bool,
-    mut observe: impl FnMut(&'static str, std::time::Duration),
-) -> Result<CompiledKernel, CompileError> {
-    let check = |stage: &'static str,
-                 lin: &xform::LinearKernel,
-                 alloc: Option<&regalloc::Allocation>|
-     -> Result<(), CompileError> {
-        if !verify_ir {
-            return Ok(());
-        }
-        let diags = verify::verify_stage(stage, lin, k, params, rep, alloc);
-        if diags.is_empty() {
-            Ok(())
-        } else {
-            Err(CompileError::Verify(stage, diags))
-        }
-    };
-
-    let t0 = std::time::Instant::now();
-    let lin =
-        xform::apply_transforms(k, params, rep).map_err(|e| CompileError::Xform(e.to_string()));
-    observe("xform", t0.elapsed());
-    let mut lin = lin?;
-    check("xform", &lin, None)?;
-
-    let t0 = std::time::Instant::now();
-    opt::optimize(&mut lin, params);
-    observe("opt", t0.elapsed());
-    check("opt", &lin, None)?;
-
-    let t0 = std::time::Instant::now();
-    let alloc = regalloc::allocate(&mut lin).map_err(|e| CompileError::Alloc(e.to_string()));
-    observe("regalloc", t0.elapsed());
-    let alloc = alloc?;
-    check("regalloc", &lin, Some(&alloc))?;
-
-    let t0 = std::time::Instant::now();
-    let out = codegen::codegen(&lin, &alloc).map_err(|e| CompileError::Codegen(e.to_string()));
-    observe("codegen", t0.elapsed());
-    let out = out?;
-    if verify_ir {
-        let diags = verify::verify_compiled(&out, &alloc);
-        if !diags.is_empty() {
-            return Err(CompileError::Verify("codegen", diags));
+impl Default for CompileOpts<'_> {
+    fn default() -> Self {
+        CompileOpts {
+            verify_ir: cfg!(debug_assertions),
+            observe: None,
         }
     }
-    Ok(out)
+}
+
+impl<'a> CompileOpts<'a> {
+    /// Explicit verification control, no observer.
+    pub fn verify(verify_ir: bool) -> Self {
+        CompileOpts {
+            verify_ir,
+            observe: None,
+        }
+    }
+    /// Attach a per-stage observer.
+    pub fn observed(verify_ir: bool, observe: &'a mut dyn FnMut(&'static str, Duration)) -> Self {
+        CompileOpts {
+            verify_ir,
+            observe: Some(observe),
+        }
+    }
+}
+
+/// Wall-time distribution of one pipeline stage across every compile a
+/// session ran. Collected only after [`CompileSession::enable_profiling`];
+/// times are microseconds.
+#[derive(Clone, Debug)]
+pub struct StageProfile {
+    pub stage: &'static str,
+    pub count: u64,
+    pub min_us: u64,
+    pub median_us: u64,
+    pub total_us: u64,
+}
+
+/// Counters accumulated by a [`CompileSession`] over its lifetime.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct SessionStats {
+    /// Total `compile` calls.
+    pub compiles: u64,
+    /// Calls served (fully or from the post-xform stage on) by the
+    /// sub-candidate cache.
+    pub subcache_hits: u64,
+    /// Calls that ran the full back end (opt/regalloc/codegen).
+    pub subcache_misses: u64,
+}
+
+/// Per-stage scratch buffers, bundled so one checkout covers a whole
+/// pipeline run.
+#[derive(Default)]
+struct Scratch {
+    xform: xform::XformScratch,
+    opt: opt::OptScratch,
+    alloc: regalloc::AllocScratch,
+    code: codegen::CodegenScratch,
+}
+
+/// The transform parameters that still matter after xform: the repeatable
+/// optimization switches consumed by [`opt::optimize`]. Part of the L2
+/// cache key — two candidates with identical post-xform IR but different
+/// switches compile to different programs.
+#[derive(Clone, Copy, PartialEq, Hash)]
+struct OptKey {
+    loop_control: bool,
+    cisc_memops: bool,
+    copy_prop: bool,
+    dead_code_elim: bool,
+    branch_cleanup: bool,
+}
+
+impl OptKey {
+    fn of(p: &TransformParams) -> OptKey {
+        OptKey {
+            loop_control: p.loop_control,
+            cisc_memops: p.cisc_memops,
+            copy_prop: p.copy_prop,
+            dead_code_elim: p.dead_code_elim,
+            branch_cleanup: p.branch_cleanup,
+        }
+    }
+}
+
+/// L1 entry: keyed by normalized [`TransformParams`]; the stored params
+/// are the collision guard.
+struct L1Entry {
+    params: TransformParams,
+    out: CompiledKernel,
+    verified: bool,
+}
+
+/// L2 entry: keyed by the post-xform [`xform::LinearKernel`] fingerprint
+/// plus [`OptKey`]; the stored kernel/key are the collision guard.
+struct L2Entry {
+    lin: xform::LinearKernel,
+    opt: OptKey,
+    out: CompiledKernel,
+    verified: bool,
+}
+
+/// FNV-1a, used for the sub-candidate cache keys. Collisions are safe —
+/// every entry carries a full structural collision guard — so the hash
+/// only needs to be cheap and well-distributed.
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+fn fnv_of(value: impl Hash) -> u64 {
+    let mut h = FnvHasher(0xcbf2_9ce4_8422_2325);
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Drop parameter content that cannot change the compiled program:
+/// prefetch specs with `kind == None` are skipped entirely by
+/// [`xform`]'s prefetch insertion (and never inspected by the verifier),
+/// so candidates differing only there are the same sub-candidate.
+fn normalized(params: &TransformParams) -> TransformParams {
+    let mut p = params.clone();
+    p.prefetch.retain(|s| s.kind.is_some());
+    p
+}
+
+/// A reusable compilation session for one (kernel, machine) pair.
+///
+/// Owns the lowered [`ir::KernelIr`], its [`AnalysisReport`], a pool of
+/// per-stage scratch buffers (xform working set, liveness bit-vectors,
+/// register-allocation tables, codegen label maps), and a two-level
+/// sub-candidate cache:
+///
+/// * **L1** — keyed by normalized [`TransformParams`]: a hit skips the
+///   entire pipeline (candidates differing only in timer-irrelevant
+///   parameters such as disabled prefetch specs).
+/// * **L2** — keyed by the post-xform linear IR plus the repeatable
+///   optimization switches: a hit skips opt/regalloc/codegen (~80% of
+///   per-candidate cost) when different transform parameters produce the
+///   same transformed loop.
+///
+/// Only successful compiles are cached; entries compiled without IR
+/// verification are transparently recompiled (and upgraded) when a
+/// verifying caller requests the same candidate. `compile` takes `&self`
+/// and is safe to call from the search's scoped worker threads; scratch
+/// buffers are checked out per call from an internal pool.
+///
+/// Cache growth is bounded by the number of distinct candidates a search
+/// visits (hundreds), each entry a few KB.
+pub struct CompileSession {
+    ir: ir::KernelIr,
+    rep: AnalysisReport,
+    scratch: Mutex<Vec<Scratch>>,
+    l1: Mutex<HashMap<u64, L1Entry>>,
+    l2: Mutex<HashMap<u64, L2Entry>>,
+    compiles: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// `Some` once profiling is enabled: per-stage wall-time samples (µs).
+    profile: Mutex<Option<HashMap<&'static str, Vec<u64>>>>,
+}
+
+impl CompileSession {
+    /// Build a session from an already-lowered kernel and its analysis.
+    pub fn new(ir: ir::KernelIr, rep: AnalysisReport) -> CompileSession {
+        CompileSession {
+            ir,
+            rep,
+            scratch: Mutex::new(Vec::new()),
+            l1: Mutex::new(HashMap::new()),
+            l2: Mutex::new(HashMap::new()),
+            compiles: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            profile: Mutex::new(None),
+        }
+    }
+
+    /// Front end + lowering + analysis, then a session over the result.
+    pub fn from_source(src: &str, mach: &MachineConfig) -> Result<CompileSession, CompileError> {
+        let (ir, rep) = analyze_kernel(src, mach)?;
+        Ok(CompileSession::new(ir, rep))
+    }
+
+    /// The lowered kernel this session compiles.
+    pub fn ir(&self) -> &ir::KernelIr {
+        &self.ir
+    }
+
+    /// The loop analysis the search tunes against.
+    pub fn report(&self) -> &AnalysisReport {
+        &self.rep
+    }
+
+    /// Start collecting per-stage wall-time samples for [`profile`]
+    /// (Self::profile). Off by default; sampling costs one mutex lock and
+    /// one `Vec` push per stage per compile.
+    pub fn enable_profiling(&self) {
+        let mut p = self.profile.lock().unwrap();
+        if p.is_none() {
+            *p = Some(HashMap::new());
+        }
+    }
+
+    /// Per-stage wall-time distribution (min/median/total) over every
+    /// compile since [`enable_profiling`](Self::enable_profiling), sorted
+    /// by total time descending. Empty when profiling is off.
+    pub fn profile(&self) -> Vec<StageProfile> {
+        let guard = self.profile.lock().unwrap();
+        let Some(map) = guard.as_ref() else {
+            return Vec::new();
+        };
+        let mut rows: Vec<StageProfile> = map
+            .iter()
+            .filter(|(_, samples)| !samples.is_empty())
+            .map(|(stage, samples)| {
+                let mut s = samples.clone();
+                s.sort_unstable();
+                StageProfile {
+                    stage,
+                    count: s.len() as u64,
+                    min_us: s[0],
+                    median_us: s[s.len() / 2],
+                    total_us: s.iter().sum(),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.stage.cmp(b.stage)));
+        rows
+    }
+
+    /// Record one stage timing: into the profile (when enabled) and out
+    /// through the caller's observer.
+    fn emit(&self, opts: &mut CompileOpts<'_>, stage: &'static str, d: Duration) {
+        if let Some(map) = self.profile.lock().unwrap().as_mut() {
+            map.entry(stage).or_default().push(d.as_micros() as u64);
+        }
+        if let Some(f) = opts.observe.as_deref_mut() {
+            f(stage, d);
+        }
+    }
+
+    /// Lifetime counters (total compiles, sub-candidate cache hits and
+    /// misses).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            subcache_hits: self.hits.load(Ordering::Relaxed),
+            subcache_misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compile the session's kernel under the given parameters.
+    pub fn compile(
+        &self,
+        params: &TransformParams,
+        mut opts: CompileOpts<'_>,
+    ) -> Result<CompiledKernel, CompileError> {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let t_total = Instant::now();
+        let norm = normalized(params);
+        let l1_key = fnv_of(&norm);
+        let cached = {
+            let l1 = self.l1.lock().unwrap();
+            l1.get(&l1_key).and_then(|e| {
+                (e.params == norm && (e.verified || !opts.verify_ir)).then(|| e.out.clone())
+            })
+        };
+        if let Some(out) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.emit(&mut opts, "subcache", t_total.elapsed());
+            return Ok(out);
+        }
+        // Check a scratch bundle out of the pool for the slow path; push
+        // it back whatever the outcome.
+        let mut sc = self.scratch.lock().unwrap().pop().unwrap_or_default();
+        let result = self.compile_slow(params, norm, l1_key, &mut opts, &mut sc);
+        self.scratch.lock().unwrap().push(sc);
+        result
+    }
+
+    fn compile_slow(
+        &self,
+        params: &TransformParams,
+        norm: TransformParams,
+        l1_key: u64,
+        opts: &mut CompileOpts<'_>,
+        sc: &mut Scratch,
+    ) -> Result<CompiledKernel, CompileError> {
+        let k = &self.ir;
+        let rep = &self.rep;
+        let verify_ir = opts.verify_ir;
+        let check = |stage: &'static str,
+                     lin: &xform::LinearKernel,
+                     alloc: Option<&regalloc::Allocation>|
+         -> Result<(), CompileError> {
+            if !verify_ir {
+                return Ok(());
+            }
+            let diags = verify::verify_stage(stage, lin, k, params, rep, alloc);
+            if diags.is_empty() {
+                Ok(())
+            } else {
+                Err(CompileError::Verify(stage, diags))
+            }
+        };
+
+        let t0 = Instant::now();
+        let lin = xform::apply_transforms_with(k, params, rep, &mut sc.xform)
+            .map_err(|e| CompileError::xform(e.to_string()));
+        self.emit(opts, "xform", t0.elapsed());
+        let mut lin = lin?;
+        check("xform", &lin, None)?;
+
+        let okey = OptKey::of(params);
+        let l2_key = fnv_of((lin.prec, &lin.vregs, &lin.ops, lin.ret, lin.n_labels, okey));
+        let t_l2 = Instant::now();
+        let cached = {
+            let l2 = self.l2.lock().unwrap();
+            l2.get(&l2_key).and_then(|e| {
+                (e.opt == okey && e.lin == lin && (e.verified || !verify_ir))
+                    .then(|| (e.out.clone(), e.verified))
+            })
+        };
+        if let Some((out, verified)) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.emit(opts, "subcache", t_l2.elapsed());
+            self.l1.lock().unwrap().insert(
+                l1_key,
+                L1Entry {
+                    params: norm,
+                    out: out.clone(),
+                    verified,
+                },
+            );
+            return Ok(out);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Snapshot the post-xform IR now; `optimize` rewrites it in place.
+        let lin_snapshot = lin.clone();
+
+        let t0 = Instant::now();
+        opt::optimize_with(&mut lin, params, &mut sc.opt);
+        self.emit(opts, "opt", t0.elapsed());
+        check("opt", &lin, None)?;
+
+        let t0 = Instant::now();
+        let alloc = regalloc::allocate_with(&mut lin, &mut sc.alloc)
+            .map_err(|e| CompileError::alloc(e.to_string()));
+        self.emit(opts, "regalloc", t0.elapsed());
+        let alloc = alloc?;
+        check("regalloc", &lin, Some(&alloc))?;
+
+        let t0 = Instant::now();
+        let out = codegen::codegen_with(&lin, &alloc, &mut sc.code)
+            .map_err(|e| CompileError::codegen(e.to_string()));
+        self.emit(opts, "codegen", t0.elapsed());
+        let out = out?;
+        if verify_ir {
+            let diags = verify::verify_compiled(&out, &alloc);
+            if !diags.is_empty() {
+                return Err(CompileError::Verify("codegen", diags));
+            }
+        }
+        self.l2.lock().unwrap().insert(
+            l2_key,
+            L2Entry {
+                lin: lin_snapshot,
+                opt: okey,
+                out: out.clone(),
+                verified: verify_ir,
+            },
+        );
+        self.l1.lock().unwrap().insert(
+            l1_key,
+            L1Entry {
+                params: norm,
+                out: out.clone(),
+                verified: verify_ir,
+            },
+        );
+        Ok(out)
+    }
 }
 
 /// Full pipeline: HIL source → compiled kernel for `mach` under `params`.
+/// One-shot; tuning loops should hold a [`CompileSession`] instead.
 pub fn compile(
     src: &str,
     mach: &MachineConfig,
     params: &TransformParams,
 ) -> Result<CompiledKernel, CompileError> {
-    let (k, rep) = analyze_kernel(src, mach)?;
-    compile_ir(&k, params, &rep)
+    let sess = CompileSession::from_source(src, mach)?;
+    sess.compile(params, CompileOpts::default())
 }
 
 /// Compile with FKO's static defaults (the paper's "FKO" data point — no
 /// empirical search).
 pub fn compile_defaults(src: &str, mach: &MachineConfig) -> Result<CompiledKernel, CompileError> {
-    let (k, rep) = analyze_kernel(src, mach)?;
-    let params = TransformParams::defaults(&rep, mach);
-    compile_ir(&k, &params, &rep)
+    let sess = CompileSession::from_source(src, mach)?;
+    let params = TransformParams::defaults(sess.report(), mach);
+    sess.compile(&params, CompileOpts::default())
 }

@@ -11,27 +11,62 @@ use crate::dataflow;
 use crate::ir::*;
 use crate::params::TransformParams;
 use crate::xform::LinearKernel;
-use std::collections::{HashMap, HashSet};
+
+/// Dense sentinel for "no entry" in vreg-indexed tables.
+const NO_V: V = V::MAX;
+
+/// Reusable working set for the optimization block. A compile session
+/// keeps one per pipeline scratch set so the per-pass tables (use counts,
+/// copy table, label positions, liveness bit-vectors) are allocated once
+/// per session instead of once per pass per candidate.
+#[derive(Default)]
+pub struct OptScratch {
+    /// Use count per vreg.
+    use_count: Vec<u32>,
+    /// Copy table per vreg (`NO_V` = absent).
+    copies: Vec<V>,
+    /// Vregs written into `copies` since the last label, for O(touched)
+    /// clears and value-invalidation scans.
+    touched: Vec<V>,
+    /// Label position table (`usize::MAX` = absent), indexed by `LabelId`.
+    label_pos: Vec<usize>,
+    /// Labels referenced by some branch, indexed by `LabelId`.
+    referenced: Vec<bool>,
+    /// Per-op keep mask for dead-code elimination.
+    keep: Vec<bool>,
+    /// Liveness solver storage.
+    live: dataflow::LivenessScratch,
+    /// Current live set during the per-block backward DCE scan.
+    live_now: dataflow::BitVec,
+    /// Deferred branch retargets / op removals.
+    retargets: Vec<(usize, LabelId)>,
+    remove: Vec<usize>,
+}
 
 /// Run the repeatable optimization block to a fixed point.
 pub fn optimize(k: &mut LinearKernel, params: &TransformParams) {
+    optimize_with(k, params, &mut OptScratch::default());
+}
+
+/// [`optimize`] with caller-owned scratch buffers (the session-reuse path).
+pub fn optimize_with(k: &mut LinearKernel, params: &TransformParams, s: &mut OptScratch) {
     for _ in 0..8 {
         let mut changed = false;
         if params.copy_prop {
-            changed |= copy_propagate(k);
-            changed |= coalesce_movs(k);
+            changed |= copy_propagate_with(k, s);
+            changed |= coalesce_movs_with(k, s);
         }
         if params.dead_code_elim {
-            changed |= dead_code_elim(k);
+            changed |= dead_code_elim_with(k, s);
         }
         if params.cisc_memops {
-            changed |= fuse_mem_operands(k);
+            changed |= fuse_mem_operands_with(k, s);
         }
         if params.loop_control {
             changed |= loop_control(k);
         }
         if params.branch_cleanup {
-            changed |= branch_cleanup(k);
+            changed |= branch_cleanup_with(k, s);
         }
         if !changed {
             break;
@@ -43,18 +78,28 @@ pub fn optimize(k: &mut LinearKernel, params: &TransformParams) {
 /// The tied `a` operand of two-address `FBin`/`IBin` is never substituted,
 /// preserving the `dst == a` invariant.
 pub fn copy_propagate(k: &mut LinearKernel) -> bool {
+    copy_propagate_with(k, &mut OptScratch::default())
+}
+
+fn copy_propagate_with(k: &mut LinearKernel, s: &mut OptScratch) -> bool {
     let mut changed = false;
-    let mut copies: HashMap<V, V> = HashMap::new();
+    s.copies.clear();
+    s.copies.resize(k.vregs.len(), NO_V);
+    s.touched.clear();
     for op in &mut k.ops {
         if matches!(op, Op::Label(_)) {
-            copies.clear();
+            for &t in &s.touched {
+                s.copies[t as usize] = NO_V;
+            }
+            s.touched.clear();
             continue;
         }
         // Substitute uses (except tied operands).
         match op {
             Op::FBin { b, .. } => {
                 if let RoM::Reg(r) = b {
-                    if let Some(&nv) = copies.get(r) {
+                    let nv = s.copies[*r as usize];
+                    if nv != NO_V {
                         *r = nv;
                         changed = true;
                     }
@@ -62,7 +107,8 @@ pub fn copy_propagate(k: &mut LinearKernel) -> bool {
             }
             Op::IBin { b, .. } => {
                 if let IOrImm::Reg(r) = b {
-                    if let Some(&nv) = copies.get(r) {
+                    let nv = s.copies[*r as usize];
+                    if nv != NO_V {
                         *r = nv;
                         changed = true;
                     }
@@ -70,8 +116,10 @@ pub fn copy_propagate(k: &mut LinearKernel) -> bool {
             }
             Op::IDecFlags(_) => {}
             _ => {
+                let copies = &s.copies;
                 op.map_uses(&mut |v| {
-                    if let Some(&nv) = copies.get(&v) {
+                    let nv = copies[v as usize];
+                    if nv != NO_V {
                         if nv != v {
                             changed = true;
                         }
@@ -89,14 +137,21 @@ pub fn copy_propagate(k: &mut LinearKernel) -> bool {
             _ => None,
         };
         if let Some(d) = op.def() {
-            copies.remove(&d);
-            copies.retain(|_, v| *v != d);
+            s.copies[d as usize] = NO_V;
+            // Invalidate copies whose source is redefined.
+            for &t in &s.touched {
+                if s.copies[t as usize] == d {
+                    s.copies[t as usize] = NO_V;
+                }
+            }
         }
-        if let Some((d, s)) = new_copy {
-            if d != s {
-                let root = copies.get(&s).copied().unwrap_or(s);
+        if let Some((d, src)) = new_copy {
+            if d != src {
+                let r = s.copies[src as usize];
+                let root = if r != NO_V { r } else { src };
                 if root != d {
-                    copies.insert(d, root);
+                    s.copies[d as usize] = root;
+                    s.touched.push(d);
                 }
             }
         }
@@ -109,18 +164,23 @@ pub fn copy_propagate(k: &mut LinearKernel) -> bool {
 /// two-address chains copy propagation must not touch (e.g. the
 /// `t = x; t *= y` shape produced by expression lowering).
 pub fn coalesce_movs(k: &mut LinearKernel) -> bool {
-    let mut use_count: HashMap<V, u32> = HashMap::new();
+    coalesce_movs_with(k, &mut OptScratch::default())
+}
+
+fn count_uses(k: &LinearKernel, use_count: &mut Vec<u32>) {
+    use_count.clear();
+    use_count.resize(k.vregs.len(), 0);
     for op in &k.ops {
-        for u in op.uses() {
-            *use_count.entry(u).or_insert(0) += 1;
-        }
+        op.for_each_use(&mut |u| use_count[u as usize] += 1);
     }
     match k.ret {
-        RetVal::F(v) | RetVal::I(v) => {
-            *use_count.entry(v).or_insert(0) += 1;
-        }
+        RetVal::F(v) | RetVal::I(v) => use_count[v as usize] += 1,
         RetVal::None => {}
     }
+}
+
+fn coalesce_movs_with(k: &mut LinearKernel, s: &mut OptScratch) -> bool {
+    count_uses(k, &mut s.use_count);
     let mut changed = false;
     let mut i = 0;
     while i + 1 < k.ops.len() {
@@ -133,9 +193,9 @@ pub fn coalesce_movs(k: &mut LinearKernel) -> bool {
             }
         };
         let def_matches = k.ops[i].def() == Some(src)
-            && use_count.get(&src).copied().unwrap_or(0) == 1
-            && !k.ops[i].uses().contains(&src)
-            && !k.ops[i].uses().contains(&dst);
+            && s.use_count[src as usize] == 1
+            && !k.ops[i].reads(src)
+            && !k.ops[i].reads(dst);
         // Classes must be compatible (mov direction fixes them equal).
         let class_ok = if is_f {
             k.vregs[dst as usize] == k.vregs[src as usize]
@@ -170,6 +230,10 @@ pub fn coalesce_movs(k: &mut LinearKernel) -> bool {
 /// any use — strictly stronger than a whole-program used-set while staying
 /// loop-safe.
 pub fn dead_code_elim(k: &mut LinearKernel) -> bool {
+    dead_code_elim_with(k, &mut OptScratch::default())
+}
+
+fn dead_code_elim_with(k: &mut LinearKernel, s: &mut OptScratch) -> bool {
     let is_pure_def = |op: &Op| -> Option<V> {
         match op {
             Op::FLd { dst, .. }
@@ -189,16 +253,24 @@ pub fn dead_code_elim(k: &mut LinearKernel) -> bool {
             _ => None,
         }
     };
-    let exit_live: Vec<V> = match k.ret {
-        RetVal::F(v) | RetVal::I(v) => vec![v],
-        RetVal::None => vec![],
+    let ret_buf;
+    let exit_live: &[V] = match k.ret {
+        RetVal::F(v) | RetVal::I(v) => {
+            ret_buf = [v];
+            &ret_buf
+        }
+        RetVal::None => &[],
     };
+    let nvregs = k.vregs.len();
     let cfg = dataflow::build_cfg(&k.ops);
-    let live = dataflow::liveness(&k.ops, k.vregs.len(), &exit_live, &cfg);
+    dataflow::liveness_into(&k.ops, nvregs, exit_live, &cfg, &mut s.live);
 
-    let mut keep = vec![true; k.ops.len()];
+    s.keep.clear();
+    s.keep.resize(k.ops.len(), true);
     for (b, blk) in cfg.blocks.iter().enumerate() {
-        let mut live_now = live.live_out[b].clone();
+        let live_now = &mut s.live_now;
+        live_now.reset(nvregs);
+        live_now.union_with(&s.live.live_out[b]);
         for i in (blk.start..blk.end).rev() {
             let op = &k.ops[i];
             let dead = match is_pure_def(op) {
@@ -208,20 +280,19 @@ pub fn dead_code_elim(k: &mut LinearKernel) -> bool {
             let self_move = matches!(op, Op::FMov { dst, src, .. } if dst == src)
                 || matches!(op, Op::IMov { dst, src } if dst == src);
             if dead || self_move {
-                keep[i] = false;
+                s.keep[i] = false;
                 continue;
             }
             if let Some(d) = op.def() {
                 live_now.clear(d as usize);
             }
-            for u in op.uses() {
-                live_now.set(u as usize);
-            }
+            op.for_each_use(&mut |u| live_now.set(u as usize));
         }
     }
-    if keep.iter().all(|&kp| kp) {
+    if s.keep.iter().all(|&kp| kp) {
         return false;
     }
+    let keep = &s.keep;
     let mut idx = 0;
     k.ops.retain(|_| {
         idx += 1;
@@ -233,28 +304,21 @@ pub fn dead_code_elim(k: &mut LinearKernel) -> bool {
 /// Fuse a single-use `FLd` into the memory operand of the consuming
 /// `FBin`/`FCmp` when no intervening op can change the loaded location.
 pub fn fuse_mem_operands(k: &mut LinearKernel) -> bool {
-    // Count uses of every vreg.
-    let mut use_count: HashMap<V, u32> = HashMap::new();
-    for op in &k.ops {
-        for u in op.uses() {
-            *use_count.entry(u).or_insert(0) += 1;
-        }
-    }
-    match k.ret {
-        RetVal::F(v) | RetVal::I(v) => {
-            *use_count.entry(v).or_insert(0) += 1;
-        }
-        RetVal::None => {}
-    }
+    fuse_mem_operands_with(k, &mut OptScratch::default())
+}
 
-    let mut remove: Vec<usize> = Vec::new();
+fn fuse_mem_operands_with(k: &mut LinearKernel, s: &mut OptScratch) -> bool {
+    count_uses(k, &mut s.use_count);
+
+    let remove = &mut s.remove;
+    remove.clear();
     let mut changed = false;
     'outer: for i in 0..k.ops.len() {
         let (dst, mem, w) = match &k.ops[i] {
             Op::FLd { dst, mem, w } => (*dst, *mem, *w),
             _ => continue,
         };
-        if use_count.get(&dst).copied().unwrap_or(0) != 1 {
+        if s.use_count[dst as usize] != 1 {
             continue;
         }
         // Find the single consumer in the same block, with no hazards.
@@ -264,7 +328,7 @@ pub fn fuse_mem_operands(k: &mut LinearKernel) -> bool {
                 Op::FSt { mem: smem, .. } if smem.ptr == mem.ptr => continue 'outer,
                 Op::PtrBump { ptr, .. } if *ptr == mem.ptr => continue 'outer,
                 Op::FLd { dst: d2, .. } if *d2 == dst => continue 'outer,
-                op2 if op2.uses().contains(&dst) => {
+                op2 if op2.reads(dst) => {
                     match &mut k.ops[j] {
                         Op::FBin {
                             a,
@@ -292,7 +356,7 @@ pub fn fuse_mem_operands(k: &mut LinearKernel) -> bool {
             }
         }
     }
-    for idx in remove.into_iter().rev() {
+    for &idx in remove.iter().rev() {
         k.ops.remove(idx);
     }
     changed
@@ -328,25 +392,32 @@ pub fn loop_control(k: &mut LinearKernel) -> bool {
 /// Branch chaining, useless-jump elimination, and useless-label
 /// elimination (merging basic blocks).
 pub fn branch_cleanup(k: &mut LinearKernel) -> bool {
+    branch_cleanup_with(k, &mut OptScratch::default())
+}
+
+fn branch_cleanup_with(k: &mut LinearKernel, s: &mut OptScratch) -> bool {
     let mut changed = false;
 
-    // Map label -> position.
-    let positions: HashMap<LabelId, usize> = k
-        .ops
-        .iter()
-        .enumerate()
-        .filter_map(|(i, o)| match o {
-            Op::Label(l) => Some((*l, i)),
-            _ => None,
-        })
-        .collect();
+    // Map label -> position (last occurrence wins, as with map collection).
+    let nl = k.n_labels as usize;
+    s.label_pos.clear();
+    s.label_pos.resize(nl, usize::MAX);
+    for (i, o) in k.ops.iter().enumerate() {
+        if let Op::Label(l) = o {
+            s.label_pos[l.0 as usize] = i;
+        }
+    }
 
     // Branch chaining: a branch to a label followed immediately by an
     // unconditional Br is retargeted.
+    let positions = &s.label_pos;
     let chase = |mut l: LabelId| -> LabelId {
         let mut hops = 0;
         while hops < 8 {
-            let Some(&pos) = positions.get(&l) else { break };
+            let pos = match positions.get(l.0 as usize) {
+                Some(&p) if p != usize::MAX => p,
+                _ => break,
+            };
             // Skip consecutive labels.
             let mut q = pos + 1;
             while matches!(k.ops.get(q), Some(Op::Label(_))) {
@@ -362,19 +433,19 @@ pub fn branch_cleanup(k: &mut LinearKernel) -> bool {
         }
         l
     };
-    let mut retargets: Vec<(usize, LabelId)> = Vec::new();
+    s.retargets.clear();
     for (i, op) in k.ops.iter().enumerate() {
         match op {
             Op::Br(l) | Op::CondBr { target: l, .. } => {
                 let n = chase(*l);
                 if n != *l {
-                    retargets.push((i, n));
+                    s.retargets.push((i, n));
                 }
             }
             _ => {}
         }
     }
-    for (i, n) in retargets {
+    for &(i, n) in &s.retargets {
         match &mut k.ops[i] {
             Op::Br(l) | Op::CondBr { target: l, .. } => {
                 *l = n;
@@ -410,20 +481,20 @@ pub fn branch_cleanup(k: &mut LinearKernel) -> bool {
     // Useless labels: never referenced (keep the last label, which is the
     // halt label — it is always referenced by the structural Br, but guard
     // anyway).
-    let referenced: HashSet<LabelId> = k
-        .ops
-        .iter()
-        .filter_map(|o| match o {
-            Op::Br(l) | Op::CondBr { target: l, .. } => Some(*l),
-            _ => None,
-        })
-        .collect();
+    s.referenced.clear();
+    s.referenced.resize(nl, false);
+    for o in &k.ops {
+        if let Op::Br(l) | Op::CondBr { target: l, .. } = o {
+            s.referenced[l.0 as usize] = true;
+        }
+    }
+    let referenced = &s.referenced;
     let before = k.ops.len();
     let last_idx = k.ops.len().saturating_sub(1);
     let mut idx = 0;
     k.ops.retain(|op| {
         let keep = match op {
-            Op::Label(l) => referenced.contains(l) || idx == last_idx,
+            Op::Label(l) => referenced[l.0 as usize] || idx == last_idx,
             _ => true,
         };
         idx += 1;

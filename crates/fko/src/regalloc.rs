@@ -64,33 +64,64 @@ struct Hull {
     class: VClass,
 }
 
+/// Reusable working set for [`allocate_with`]: dense first/last-position
+/// tables, the label-position table, region lists, and the hull vector,
+/// allocated once per compile session instead of once per candidate.
+#[derive(Default)]
+pub struct AllocScratch {
+    first: Vec<usize>,
+    last: Vec<usize>,
+    first_is_use: Vec<bool>,
+    label_pos: Vec<usize>,
+    regions: Vec<(usize, usize)>,
+    extended: Vec<(usize, usize)>,
+    hulls: Vec<Hull>,
+}
+
+const NO_POS: usize = usize::MAX;
+
 /// Compute textual hulls with loop/cold extension.
+#[cfg(test)]
 fn hulls(k: &LinearKernel) -> Vec<Hull> {
+    let mut s = AllocScratch::default();
+    hulls_into(k, &mut s);
+    s.hulls
+}
+
+fn hulls_into(k: &LinearKernel, sc: &mut AllocScratch) {
     let n = k.ops.len();
-    let mut first: HashMap<V, usize> = HashMap::new();
-    let mut last: HashMap<V, usize> = HashMap::new();
-    let mut first_is_use: HashMap<V, bool> = HashMap::new();
+    let nv = k.vregs.len();
+    sc.first.clear();
+    sc.first.resize(nv, NO_POS);
+    sc.last.clear();
+    sc.last.resize(nv, NO_POS);
+    sc.first_is_use.clear();
+    sc.first_is_use.resize(nv, false);
     for (i, op) in k.ops.iter().enumerate() {
-        for u in op.uses() {
-            first.entry(u).or_insert_with(|| {
-                first_is_use.insert(u, true);
-                i
-            });
-            last.insert(u, i);
-        }
+        op.for_each_use(&mut |u| {
+            let u = u as usize;
+            if sc.first[u] == NO_POS {
+                sc.first[u] = i;
+                sc.first_is_use[u] = true;
+            }
+            sc.last[u] = i;
+        });
         if let Some(d) = op.def() {
-            first.entry(d).or_insert_with(|| {
-                first_is_use.insert(d, false);
-                i
-            });
-            last.insert(d, i);
+            let d = d as usize;
+            if sc.first[d] == NO_POS {
+                sc.first[d] = i;
+                sc.first_is_use[d] = false;
+            }
+            sc.last[d] = i;
         }
     }
     // The return value is live to the very end.
     match k.ret {
         RetVal::F(v) | RetVal::I(v) => {
-            last.insert(v, n);
-            first.entry(v).or_insert(0);
+            sc.last[v as usize] = n;
+            if sc.first[v as usize] == NO_POS {
+                sc.first[v as usize] = 0;
+            }
         }
         RetVal::None => {}
     }
@@ -98,8 +129,8 @@ fn hulls(k: &LinearKernel) -> Vec<Hull> {
     for p in &k.params {
         match p {
             ParamSlot::Int { vreg } | ParamSlot::FScalar { vreg } => {
-                if first.contains_key(vreg) {
-                    first.insert(*vreg, 0);
+                if sc.first[*vreg as usize] != NO_POS {
+                    sc.first[*vreg as usize] = 0;
                 }
             }
             ParamSlot::Ptr(_) => {}
@@ -108,21 +139,23 @@ fn hulls(k: &LinearKernel) -> Vec<Hull> {
 
     // Backward-branch regions: (label position, branch position), plus the
     // spans of cold blocks targeted from inside them.
-    let label_pos: HashMap<LabelId, usize> = k
-        .ops
-        .iter()
-        .enumerate()
-        .filter_map(|(i, o)| match o {
-            Op::Label(l) => Some((*l, i)),
-            _ => None,
-        })
-        .collect();
-    let mut regions: Vec<(usize, usize)> = Vec::new();
+    sc.label_pos.clear();
+    sc.label_pos.resize(k.n_labels as usize, NO_POS);
+    for (i, o) in k.ops.iter().enumerate() {
+        if let Op::Label(l) = o {
+            sc.label_pos[l.0 as usize] = i;
+        }
+    }
+    let lpos = |l: &LabelId| match sc.label_pos.get(l.0 as usize) {
+        Some(&p) if p != NO_POS => Some(p),
+        _ => None,
+    };
+    sc.regions.clear();
     for (i, op) in k.ops.iter().enumerate() {
         if let Op::CondBr { target, .. } | Op::Br(target) = op {
-            if let Some(&tp) = label_pos.get(target) {
+            if let Some(tp) = lpos(target) {
                 if tp < i {
-                    regions.push((tp, i));
+                    sc.regions.push((tp, i));
                 }
             }
         }
@@ -130,13 +163,13 @@ fn hulls(k: &LinearKernel) -> Vec<Hull> {
     // Extend regions over cold spans they branch into (targets far beyond
     // the region end — cold code jumps back, so anything live in the
     // region is live during the cold block too).
-    let mut extended: Vec<(usize, usize)> = Vec::new();
-    for &(s, e) in &regions {
+    sc.extended.clear();
+    for &(s, e) in &sc.regions {
         let mut lo = s;
         let mut hi = e;
         for op in &k.ops[s..=e.min(n - 1)] {
             if let Op::CondBr { target, .. } | Op::Br(target) = op {
-                if let Some(&tp) = label_pos.get(target) {
+                if let Some(tp) = lpos(target) {
                     if tp > e {
                         // Cold span: from its label to its terminating Br.
                         let mut q = tp;
@@ -149,15 +182,19 @@ fn hulls(k: &LinearKernel) -> Vec<Hull> {
                 }
             }
         }
-        extended.push((lo, hi));
+        sc.extended.push((lo, hi));
     }
 
-    let mut out = Vec::new();
-    for (&v, &s) in &first {
+    sc.hulls.clear();
+    for v in 0..nv {
+        let s = sc.first[v];
+        if s == NO_POS {
+            continue;
+        }
         let mut start = s;
-        let mut end = last[&v];
-        let carried_here = first_is_use.get(&v).copied().unwrap_or(false);
-        for &(rs, re) in &extended {
+        let mut end = sc.last[v];
+        let carried_here = sc.first_is_use[v];
+        for &(rs, re) in &sc.extended {
             let touches = start <= re && end >= rs;
             if touches && (carried_here || (start < rs || end > re)) {
                 // Loop-carried (first access is a use) or live across part
@@ -166,15 +203,14 @@ fn hulls(k: &LinearKernel) -> Vec<Hull> {
                 end = end.max(re);
             }
         }
-        out.push(Hull {
-            v,
+        sc.hulls.push(Hull {
+            v: v as V,
             start,
             end,
-            class: k.vregs[v as usize],
+            class: k.vregs[v],
         });
     }
-    out.sort_by_key(|h| (h.start, h.v));
-    out
+    sc.hulls.sort_by_key(|h| (h.start, h.v));
 }
 
 /// Pools available to the allocator given the parameter layout.
@@ -203,25 +239,39 @@ fn pools(k: &LinearKernel, reserve_scratch: bool) -> (Vec<u8>, Vec<u8>) {
 /// loads/stores through scratch registers. On success the returned map
 /// covers every vreg remaining in `k.ops`.
 pub fn allocate(k: &mut LinearKernel) -> Result<Allocation, AllocError> {
+    allocate_with(k, &mut AllocScratch::default())
+}
+
+/// [`allocate`] with caller-provided scratch buffers. Hulls are computed
+/// once per call (`k` is not mutated between allocation attempts) and
+/// shared by the spill retry passes.
+pub fn allocate_with(
+    k: &mut LinearKernel,
+    sc: &mut AllocScratch,
+) -> Result<Allocation, AllocError> {
+    hulls_into(k, sc);
     // First try without reserving scratch registers.
-    if let Ok(alloc) = try_allocate(k, false) {
+    if let Ok(alloc) = try_allocate(k, &sc.hulls, false) {
         return Ok(alloc);
     }
     // Spilling needed: reserve scratch regs and retry, then rewrite.
-    let (mut alloc, spilled) = allocate_with_spills(k)?;
+    let (mut alloc, spilled) = allocate_with_spills(k, &sc.hulls)?;
     rewrite_spills(k, &mut alloc, &spilled)?;
     Ok(alloc)
 }
 
-fn try_allocate(k: &LinearKernel, reserve_scratch: bool) -> Result<Allocation, Vec<V>> {
-    let hs = hulls(k);
+fn try_allocate(
+    k: &LinearKernel,
+    hs: &[Hull],
+    reserve_scratch: bool,
+) -> Result<Allocation, Vec<V>> {
     let (ipool, fpool) = pools(k, reserve_scratch);
     let mut free_i = ipool;
     let mut free_f = fpool;
     let mut active: Vec<(usize, V, Phys)> = Vec::new(); // (end, vreg, reg)
     let mut map = HashMap::new();
     let mut failed: Vec<V> = Vec::new();
-    for h in &hs {
+    for h in hs {
         // Expire.
         active.retain(|(end, _, reg)| {
             if *end < h.start {
@@ -283,18 +333,17 @@ fn try_allocate(k: &LinearKernel, reserve_scratch: bool) -> Result<Allocation, V
     }
 }
 
-fn allocate_with_spills(k: &LinearKernel) -> Result<(Allocation, Vec<V>), AllocError> {
-    match try_allocate(k, true) {
+fn allocate_with_spills(k: &LinearKernel, hs: &[Hull]) -> Result<(Allocation, Vec<V>), AllocError> {
+    match try_allocate(k, hs, true) {
         Ok(a) => Ok((a, vec![])),
         Err(spilled) => {
             // Allocate everything except the spilled set.
-            let hs = hulls(k);
             let (ipool, fpool) = pools(k, true);
             let mut free_i = ipool;
             let mut free_f = fpool;
             let mut active: Vec<(usize, Phys)> = Vec::new();
             let mut map = HashMap::new();
-            for h in &hs {
+            for h in hs {
                 if spilled.contains(&h.v) {
                     continue;
                 }

@@ -24,8 +24,10 @@ impl std::fmt::Display for XformError {
 }
 impl std::error::Error for XformError {}
 
-/// A fully linearized kernel on virtual registers.
-#[derive(Clone, Debug)]
+/// A fully linearized kernel on virtual registers. `PartialEq` backs the
+/// compile session's post-xform sub-candidate cache: a fingerprint match is
+/// confirmed by structural equality before the cached artifact is reused.
+#[derive(Clone, PartialEq, Debug)]
 pub struct LinearKernel {
     pub name: String,
     pub prec: Prec,
@@ -48,11 +50,30 @@ impl LinearKernel {
     }
 }
 
+/// Reusable working set for [`apply_transforms_with`]: the role map and
+/// prefetch insertion buffer survive across candidates in a compile
+/// session.
+#[derive(Default)]
+pub struct XformScratch {
+    roles: HashMap<V, ScalarRole>,
+    inserts: Vec<(usize, Op)>,
+}
+
 /// Apply the fundamental transformations and linearize.
 pub fn apply_transforms(
     kernel: &KernelIr,
     params: &TransformParams,
     rep: &AnalysisReport,
+) -> Result<LinearKernel, XformError> {
+    apply_transforms_with(kernel, params, rep, &mut XformScratch::default())
+}
+
+/// [`apply_transforms`] with caller-owned scratch (the session-reuse path).
+pub fn apply_transforms_with(
+    kernel: &KernelIr,
+    params: &TransformParams,
+    rep: &AnalysisReport,
+    scratch: &mut XformScratch,
 ) -> Result<LinearKernel, XformError> {
     let mut k = kernel.clone();
     let Some(mut l) = k.loop_.take() else {
@@ -62,17 +83,20 @@ pub fn apply_transforms(
     let orig = l.clone();
 
     // Role map over original vregs; updated as SV renames them.
-    let mut roles: HashMap<V, ScalarRole> = classify_scalars(&k, &l)
-        .into_iter()
-        .map(|s| (s.vreg, s.role))
-        .collect();
+    let roles = &mut scratch.roles;
+    roles.clear();
+    roles.extend(
+        classify_scalars(&k, &l)
+            .into_iter()
+            .map(|s| (s.vreg, s.role)),
+    );
 
     let mut epilogue: Vec<Op> = Vec::new();
 
     // ---- SV: SIMD vectorization ----
     let do_simd = params.simd && rep.vectorizable.is_ok();
     if do_simd {
-        vectorize(&mut k, &mut l, &mut roles, &mut epilogue)?;
+        vectorize(&mut k, &mut l, roles, &mut epilogue)?;
     }
 
     // ---- UR: loop unrolling ----
@@ -80,17 +104,17 @@ pub fn apply_transforms(
     let mut body = l.body.clone();
     let mut cold = l.cold.clone();
     if unroll > 1 {
-        (body, cold) = unroll_loop(&mut k, &l, &roles, unroll)?;
+        (body, cold) = unroll_loop(&mut k, &l, roles, unroll)?;
     }
 
     // ---- AE: accumulator expansion ----
     let ae = params.accum_expand.max(1);
     if ae > 1 {
-        accumulate_expand(&mut k, &mut body, &roles, ae, &mut epilogue, do_simd)?;
+        accumulate_expand(&mut k, &mut body, roles, ae, &mut epilogue, do_simd)?;
     }
 
     // ---- PF: prefetch insertion ----
-    insert_prefetches(&k, &mut body, &l, unroll, params);
+    insert_prefetches(&k, &mut body, &l, unroll, params, &mut scratch.inserts);
 
     // ---- WNT: non-temporal writes ----
     if params.wnt {
@@ -102,7 +126,7 @@ pub fn apply_transforms(
     }
 
     // ---- linearize ----
-    linearize(k, l, orig, body, cold, epilogue, unroll, &roles)
+    linearize(k, l, orig, body, cold, epilogue, unroll, roles)
 }
 
 /// Replace scalar FP ops by vector ops; returns via out-params the updated
@@ -422,9 +446,10 @@ fn insert_prefetches(
     l: &LoopIr,
     unroll: u32,
     params: &TransformParams,
+    inserts: &mut Vec<(usize, Op)>,
 ) {
     const LINE: i64 = 64;
-    let mut inserts: Vec<(usize, Op)> = Vec::new();
+    inserts.clear();
     for spec in &params.prefetch {
         let Some(kind) = spec.kind else { continue };
         let bump = l
@@ -452,7 +477,7 @@ fn insert_prefetches(
     }
     // Insert from the back so positions stay valid.
     inserts.sort_by_key(|(pos, _)| std::cmp::Reverse(*pos));
-    for (pos, op) in inserts {
+    for (pos, op) in inserts.drain(..) {
         body.insert(pos.min(body.len()), op);
     }
 }

@@ -5,7 +5,7 @@
 //! produces *correct* code.
 
 use ifko_fko::ir::{PrefKind, PtrId};
-use ifko_fko::{analyze_kernel, compile_ir, ArgSlot, PrefSpec, RetSlot, TransformParams};
+use ifko_fko::{ArgSlot, CompileOpts, CompileSession, PrefSpec, RetSlot, TransformParams};
 use ifko_xsim::{opteron, p4e, Cpu, FReg, IReg, MachineConfig, Memory};
 
 const DOT: &str = r#"
@@ -138,9 +138,10 @@ fn run_kernel(
     xs: &[f64],
     ys: &[f64],
 ) -> RunOut {
-    let (k, rep) = analyze_kernel(src, &mach).unwrap();
-    let compiled =
-        compile_ir(&k, params, &rep).unwrap_or_else(|e| panic!("compile {} failed: {e}", k.name));
+    let sess = CompileSession::from_source(src, &mach).unwrap();
+    let compiled = sess
+        .compile(params, CompileOpts::default())
+        .unwrap_or_else(|e| panic!("compile {} failed: {e}", sess.ir().name));
 
     let mut mem = Memory::new(64 << 20);
     let xaddr = mem.alloc_vector(n.max(1) as u64, 8);
@@ -372,8 +373,8 @@ fn vectorization_actually_speeds_up_in_cache() {
     let (xs, ys) = test_data(n);
     let mach = p4e();
     let cycles = |p: &TransformParams| {
-        let (k, rep) = analyze_kernel(DOT, &mach).unwrap();
-        let c = compile_ir(&k, p, &rep).unwrap();
+        let sess = CompileSession::from_source(DOT, &mach).unwrap();
+        let c = sess.compile(p, CompileOpts::default()).unwrap();
         let mut mem = Memory::new(16 << 20);
         let xa = mem.alloc_vector(n as u64, 8);
         let ya = mem.alloc_vector(n as u64, 8);

@@ -4,7 +4,7 @@
 //! diffs rather than silent performance shifts.
 
 use ifko_fko::ir::{PrefKind, PtrId};
-use ifko_fko::{analyze_kernel, compile_ir, PrefSpec, TransformParams};
+use ifko_fko::{CompileOpts, CompileSession, PrefSpec, TransformParams};
 use ifko_xsim::asm::disassemble;
 use ifko_xsim::p4e;
 
@@ -44,8 +44,10 @@ fn mnemonics(text: &str) -> Vec<String> {
 #[test]
 fn scalar_dot_shape_is_pinned() {
     let mach = p4e();
-    let (ir, rep) = analyze_kernel(DOT, &mach).unwrap();
-    let c = compile_ir(&ir, &TransformParams::off(), &rep).unwrap();
+    let sess = CompileSession::from_source(DOT, &mach).unwrap();
+    let c = sess
+        .compile(&TransformParams::off(), CompileOpts::default())
+        .unwrap();
     let m = mnemonics(&disassemble(&c.program));
     // mov N; fzero acc; trip check; loop: fld, fmul(mem), fadd, bumps,
     // dec+branch; ret move; halt.
@@ -70,7 +72,7 @@ fn scalar_dot_shape_is_pinned() {
 #[test]
 fn vectorized_unrolled_dot_structure() {
     let mach = p4e();
-    let (ir, rep) = analyze_kernel(DOT, &mach).unwrap();
+    let sess = CompileSession::from_source(DOT, &mach).unwrap();
     let mut p = TransformParams::off();
     p.simd = true;
     p.unroll = 2;
@@ -87,7 +89,7 @@ fn vectorized_unrolled_dot_structure() {
             dist: 0,
         },
     ];
-    let c = compile_ir(&ir, &p, &rep).unwrap();
+    let c = sess.compile(&p, CompileOpts::default()).unwrap();
     let text = disassemble(&c.program);
     let m = mnemonics(&text);
     // Structure assertions (not exact sequence): one prefetch, two vector
@@ -124,12 +126,12 @@ ROUT_BEGIN
 ROUT_END
 "#;
     let mach = p4e();
-    let (ir, rep) = analyze_kernel(src, &mach).unwrap();
+    let sess = CompileSession::from_source(src, &mach).unwrap();
     let mut p = TransformParams::off();
     p.simd = true;
     p.unroll = 4;
     p.wnt = true;
-    let c = compile_ir(&ir, &p, &rep).unwrap();
+    let c = sess.compile(&p, CompileOpts::default()).unwrap();
     let text = disassemble(&c.program);
     let m = mnemonics(&text);
     let count = |op: &str| m.iter().filter(|x| x.as_str() == op).count();
@@ -143,12 +145,15 @@ ROUT_END
 #[test]
 fn program_sizes_scale_sanely_with_unroll() {
     let mach = p4e();
-    let (ir, rep) = analyze_kernel(DOT, &mach).unwrap();
+    let sess = CompileSession::from_source(DOT, &mach).unwrap();
     let size = |ur: u32| {
         let mut p = TransformParams::off();
         p.simd = true;
         p.unroll = ur;
-        compile_ir(&ir, &p, &rep).unwrap().program.len()
+        sess.compile(&p, CompileOpts::default())
+            .unwrap()
+            .program
+            .len()
     };
     let s1 = size(1);
     let s8 = size(8);

@@ -4,7 +4,7 @@
 //! any point in this space, so every point must be correct.
 
 use ifko_fko::ir::{PrefKind, PtrId};
-use ifko_fko::{analyze_kernel, compile_ir, ArgSlot, PrefSpec, RetSlot, TransformParams};
+use ifko_fko::{ArgSlot, CompileOpts, CompileSession, PrefSpec, RetSlot, TransformParams};
 use ifko_xsim::{opteron, p4e, Cpu, FReg, IReg, MachineConfig, Memory};
 use proptest::prelude::*;
 
@@ -71,8 +71,9 @@ fn exec(
     xs: &[f64],
     ys: &[f64],
 ) -> (f64, i64, Vec<f64>, Vec<f64>) {
-    let (ir, rep) = analyze_kernel(src, mach).unwrap();
-    let compiled = compile_ir(&ir, params, &rep)
+    let sess = CompileSession::from_source(src, mach).unwrap();
+    let compiled = sess
+        .compile(params, CompileOpts::default())
         .unwrap_or_else(|e| panic!("compile failed under {params:?}: {e}"));
     let mut mem = Memory::new(16 << 20);
     let xa = mem.alloc_vector(n.max(1) as u64, 8);

@@ -1,0 +1,135 @@
+//! Session-reuse and sub-candidate-cache bit-identity properties.
+//!
+//! The `CompileSession` API exists to make candidate compiles cheap: one
+//! front-end run per (kernel, machine), scratch buffers reused across
+//! compiles, and a post-xform cache that skips the back end for repeated
+//! sub-candidates. None of that is allowed to change *what* gets
+//! compiled. For randomized `TransformParams` on both machine models:
+//!
+//! 1. a long-lived session must produce bit-identical `CompiledKernel`s
+//!    to a throwaway session created fresh for each compile, and
+//! 2. recompiling the same point through the same session (a guaranteed
+//!    cache hit) must return the identical program.
+//!
+//! Uses the in-repo `Rng64`, so it runs ungated in the tier-1 suite; the
+//! candidate counts are sized to keep it under a few seconds in debug.
+
+use ifko_blas::hil_src::hil_source;
+use ifko_blas::ops::BlasOp;
+use ifko_fko::params::{PrefSpec, TransformParams};
+use ifko_fko::{AnalysisReport, CompileOpts, CompileSession, CompiledKernel};
+use ifko_xsim::isa::{Prec, PrefKind};
+use ifko_xsim::{opteron, p4e, Rng64};
+
+fn random_params(rng: &mut Rng64, rep: &AnalysisReport) -> TransformParams {
+    let kinds = [
+        None,
+        Some(PrefKind::Nta),
+        Some(PrefKind::T0),
+        Some(PrefKind::T1),
+        Some(PrefKind::W),
+    ];
+    let mut prefetch = Vec::new();
+    for p in &rep.pf_candidates {
+        if rng.gen_bool(0.6) {
+            prefetch.push(PrefSpec {
+                ptr: *p,
+                kind: kinds[rng.range_usize(kinds.len())],
+                dist: 64 * (1 + rng.range_usize(32)) as i64,
+            });
+        }
+    }
+    let mut p = TransformParams::off();
+    p.simd = rng.gen_bool(0.5);
+    p.unroll = [1u32, 2, 3, 4, 6, 8, 16][rng.range_usize(7)];
+    p.accum_expand = if rep.ae_candidates.is_empty() {
+        1
+    } else {
+        [1u32, 2, 3, 4][rng.range_usize(4)]
+    };
+    p.wnt = rng.gen_bool(0.5);
+    p.prefetch = prefetch;
+    p.loop_control = rng.gen_bool(0.5);
+    p.cisc_memops = rng.gen_bool(0.5);
+    p.copy_prop = rng.gen_bool(0.5);
+    p.dead_code_elim = rng.gen_bool(0.5);
+    p.branch_cleanup = rng.gen_bool(0.5);
+    p
+}
+
+fn assert_same(a: &CompiledKernel, b: &CompiledKernel, what: &str, p: &TransformParams) {
+    assert_eq!(a.name, b.name, "{what}: name under {p:?}");
+    assert_eq!(a.prec, b.prec, "{what}: prec under {p:?}");
+    assert_eq!(a.frame_bytes, b.frame_bytes, "{what}: frame under {p:?}");
+    assert_eq!(
+        a.arg_convention, b.arg_convention,
+        "{what}: args under {p:?}"
+    );
+    assert_eq!(a.ret, b.ret, "{what}: ret slot under {p:?}");
+    assert_eq!(a.program, b.program, "{what}: program under {p:?}");
+}
+
+/// One long-lived session over many random points == a fresh session per
+/// point, bit for bit, on both machines; and a repeat compile through the
+/// shared session (a guaranteed sub-candidate cache hit) changes nothing.
+#[test]
+fn session_reuse_and_cache_hits_are_bit_identical() {
+    let mut rng = Rng64::seed_from_u64(0x5e55_10f1);
+    for mach in [p4e(), opteron()] {
+        for (op, prec) in [(BlasOp::Dot, Prec::D), (BlasOp::Axpy, Prec::S)] {
+            let src = hil_source(op, prec);
+            let shared = CompileSession::from_source(&src, &mach).unwrap();
+            for _ in 0..24 {
+                let p = random_params(&mut rng, shared.report());
+                let fresh = CompileSession::from_source(&src, &mach).unwrap();
+                let a = shared.compile(&p, CompileOpts::default());
+                let b = fresh.compile(&p, CompileOpts::default());
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_same(&a, &b, "shared vs fresh", &p);
+                        // Second compile through the shared session must be
+                        // answered by the cache and still be identical.
+                        let hits_before = shared.stats().subcache_hits;
+                        let c = shared.compile(&p, CompileOpts::default()).unwrap();
+                        assert!(
+                            shared.stats().subcache_hits > hits_before,
+                            "repeat compile did not hit the sub-candidate cache"
+                        );
+                        assert_same(&a, &c, "miss vs cache hit", &p);
+                    }
+                    (Err(ea), Err(eb)) => {
+                        assert_eq!(
+                            ea.to_string(),
+                            eb.to_string(),
+                            "sessions disagree on failure under {p:?}"
+                        );
+                    }
+                    (a, b) => panic!(
+                        "shared and fresh sessions disagree under {p:?}: \
+                         shared={:?} fresh={:?}",
+                        a.map(|c| c.program.insts.len()),
+                        b.map(|c| c.program.insts.len())
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Verified and unverified compiles of the same point agree: a cache
+/// entry populated without IR verification, later re-requested *with*
+/// verification, is recompiled-and-upgraded rather than served stale —
+/// and the program must not change in the process.
+#[test]
+fn verify_upgrade_preserves_program() {
+    let mach = p4e();
+    let src = hil_source(BlasOp::Asum, Prec::D);
+    let sess = CompileSession::from_source(&src, &mach).unwrap();
+    let mut rng = Rng64::seed_from_u64(0xcafe);
+    for _ in 0..12 {
+        let p = random_params(&mut rng, sess.report());
+        let unverified = sess.compile(&p, CompileOpts::verify(false)).unwrap();
+        let verified = sess.compile(&p, CompileOpts::verify(true)).unwrap();
+        assert_same(&unverified, &verified, "unverified vs verified", &p);
+    }
+}

@@ -1,7 +1,8 @@
 //! Property test: the pipeline never emits IR that fails the verifier.
 //!
 //! For random `TransformParams` over all 7 kernels × both precisions,
-//! `compile_ir_checked` with verification on must either succeed or fail
+//! `CompileSession::compile` with verification on must either succeed or
+//! fail
 //! with an ordinary stage error (`Xform`, `Alloc`, …) — never with
 //! `CompileError::Verify`, which would mean a transform produced
 //! ill-formed IR that only the verifier caught.
@@ -14,7 +15,7 @@
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::{all_ops, BlasOp};
 use ifko_fko::params::{PrefSpec, TransformParams};
-use ifko_fko::{compile_ir_checked, AnalysisReport, CompileError};
+use ifko_fko::{AnalysisReport, CompileError, CompileOpts, CompileSession};
 use ifko_xsim::isa::PrefKind;
 use ifko_xsim::{opteron, p4e, MachineConfig, Prec, Rng64};
 
@@ -53,10 +54,10 @@ fn random_params(rng: &mut Rng64, rep: &AnalysisReport) -> TransformParams {
 
 fn exercise(op: BlasOp, prec: Prec, mach: &MachineConfig, rng: &mut Rng64, iters: usize) {
     let src = hil_source(op, prec);
-    let (k, rep) = ifko_fko::analyze_kernel(&src, mach).expect("kernel compiles");
+    let sess = CompileSession::from_source(&src, mach).expect("kernel compiles");
     for _ in 0..iters {
-        let params = random_params(rng, &rep);
-        match compile_ir_checked(&k, &params, &rep, true, |_, _| {}) {
+        let params = random_params(rng, sess.report());
+        match sess.compile(&params, CompileOpts::verify(true)) {
             Ok(_) => {}
             Err(CompileError::Verify(stage, diags)) => panic!(
                 "verifier fired after {stage} for {op:?}/{prec:?} under {params:?}:\n{}",

@@ -90,11 +90,139 @@ pub struct Cpu {
     hw_misses: [u64; 8],
     hw_next: usize,
 
+    /// Reusable predecode buffer: [`run`](Cpu::run) lowers the program
+    /// into dense [`DInst`]s here, so back-to-back runs (the timer's
+    /// repetitions) reuse the allocation.
+    decoded: Vec<DInst>,
+
     pub stats: RunStats,
     inst_limit: u64,
 }
 
 const PRED_UNSEEN: u8 = 2;
+
+/// Arithmetic opcode of a folded two-operand FP/vector instruction.
+#[derive(Clone, Copy)]
+enum AOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Max,
+}
+
+/// One predecoded instruction: a dense `Copy` mirror of [`Inst`] with the
+/// per-step interpretive work hoisted to decode time — branch targets are
+/// resolved to instruction indices, the static (unseen) branch prediction
+/// is precomputed per site, and the five two-operand arithmetic variants
+/// are folded behind an [`AOp`] opcode so the interpreter matches each
+/// instruction exactly once per step.
+#[derive(Clone, Copy)]
+enum DInst {
+    IMovImm(IReg, i64),
+    IMov(IReg, IReg),
+    IAdd(IReg, IReg),
+    IAddImm(IReg, i64),
+    ISub(IReg, IReg),
+    ISubImm(IReg, i64),
+    IShlImm(IReg, u8),
+    IDivImm(IReg, i64),
+    IRemImm(IReg, i64),
+    Lea(IReg, Addr),
+    ICmp(IReg, IReg),
+    ICmpImm(IReg, i64),
+    IDec(IReg),
+    ILoad(IReg, Addr),
+    IStore(Addr, IReg),
+    /// Unconditional jump, target resolved to an instruction index.
+    Jmp(u32),
+    /// Conditional jump: (condition, resolved target, static prediction —
+    /// backward branches predicted taken on first encounter).
+    Jcc(Cond, u32, bool),
+    Halt,
+    FLd(FReg, Addr, Prec),
+    FSt(Addr, FReg, Prec),
+    FStNt(Addr, FReg, Prec),
+    FMov(FReg, FReg),
+    FLdImm(FReg, f64, Prec),
+    FZero(FReg),
+    FArith(AOp, FReg, RegOrMem, Prec),
+    FAbs(FReg, Prec),
+    FSqrt(FReg, Prec),
+    FCmp(FReg, RegOrMem, Prec),
+    VLd(FReg, Addr, Prec, bool),
+    VSt(Addr, FReg, Prec, bool),
+    VStNt(Addr, FReg, Prec),
+    VMov(FReg, FReg),
+    VBcast(FReg, FReg, Prec),
+    VArith(AOp, FReg, RegOrMem, Prec),
+    VAbs(FReg, Prec),
+    VCmpGt(FReg, RegOrMem, Prec),
+    VMovMsk(IReg, FReg, Prec),
+    VHSum(FReg, FReg, Prec),
+    VHMax(FReg, FReg, Prec),
+    Prefetch(Addr, PrefKind),
+}
+
+/// Lower an assembled program into `out` (cleared first).
+fn predecode(prog: &Program, out: &mut Vec<DInst>) {
+    out.clear();
+    out.reserve(prog.insts.len());
+    for (pc, inst) in prog.insts.iter().enumerate() {
+        out.push(match inst {
+            Inst::IMovImm(d, v) => DInst::IMovImm(*d, *v),
+            Inst::IMov(d, s) => DInst::IMov(*d, *s),
+            Inst::IAdd(d, s) => DInst::IAdd(*d, *s),
+            Inst::IAddImm(d, v) => DInst::IAddImm(*d, *v),
+            Inst::ISub(d, s) => DInst::ISub(*d, *s),
+            Inst::ISubImm(d, v) => DInst::ISubImm(*d, *v),
+            Inst::IShlImm(d, s) => DInst::IShlImm(*d, *s),
+            Inst::IDivImm(d, v) => DInst::IDivImm(*d, *v),
+            Inst::IRemImm(d, v) => DInst::IRemImm(*d, *v),
+            Inst::Lea(d, a) => DInst::Lea(*d, *a),
+            Inst::ICmp(a, b) => DInst::ICmp(*a, *b),
+            Inst::ICmpImm(a, v) => DInst::ICmpImm(*a, *v),
+            Inst::IDec(d) => DInst::IDec(*d),
+            Inst::ILoad(d, a) => DInst::ILoad(*d, *a),
+            Inst::IStore(a, s) => DInst::IStore(*a, *s),
+            Inst::Jmp(l) => DInst::Jmp(prog.target(*l) as u32),
+            Inst::Jcc(c, l) => {
+                let tgt = prog.target(*l);
+                DInst::Jcc(*c, tgt as u32, tgt <= pc)
+            }
+            Inst::Halt => DInst::Halt,
+            Inst::FLd(d, a, p) => DInst::FLd(*d, *a, *p),
+            Inst::FSt(a, s, p) => DInst::FSt(*a, *s, *p),
+            Inst::FStNt(a, s, p) => DInst::FStNt(*a, *s, *p),
+            Inst::FMov(d, s, _p) => DInst::FMov(*d, *s),
+            Inst::FLdImm(d, v, p) => DInst::FLdImm(*d, *v, *p),
+            Inst::FZero(d) => DInst::FZero(*d),
+            Inst::FAdd(d, s, p) => DInst::FArith(AOp::Add, *d, *s, *p),
+            Inst::FSub(d, s, p) => DInst::FArith(AOp::Sub, *d, *s, *p),
+            Inst::FMul(d, s, p) => DInst::FArith(AOp::Mul, *d, *s, *p),
+            Inst::FDiv(d, s, p) => DInst::FArith(AOp::Div, *d, *s, *p),
+            Inst::FMax(d, s, p) => DInst::FArith(AOp::Max, *d, *s, *p),
+            Inst::FAbs(d, p) => DInst::FAbs(*d, *p),
+            Inst::FSqrt(d, p) => DInst::FSqrt(*d, *p),
+            Inst::FCmp(a, b, p) => DInst::FCmp(*a, *b, *p),
+            Inst::VLd(d, a, p, al) => DInst::VLd(*d, *a, *p, *al),
+            Inst::VSt(a, s, p, al) => DInst::VSt(*a, *s, *p, *al),
+            Inst::VStNt(a, s, p) => DInst::VStNt(*a, *s, *p),
+            Inst::VMov(d, s) => DInst::VMov(*d, *s),
+            Inst::VBcast(d, s, p) => DInst::VBcast(*d, *s, *p),
+            Inst::VAdd(d, s, p) => DInst::VArith(AOp::Add, *d, *s, *p),
+            Inst::VSub(d, s, p) => DInst::VArith(AOp::Sub, *d, *s, *p),
+            Inst::VMul(d, s, p) => DInst::VArith(AOp::Mul, *d, *s, *p),
+            Inst::VMax(d, s, p) => DInst::VArith(AOp::Max, *d, *s, *p),
+            Inst::VAbs(d, p) => DInst::VAbs(*d, *p),
+            Inst::VCmpGt(d, s, p) => DInst::VCmpGt(*d, *s, *p),
+            Inst::VMovMsk(d, s, p) => DInst::VMovMsk(*d, *s, *p),
+            Inst::VHSum(d, s, p) => DInst::VHSum(*d, *s, *p),
+            Inst::VHMax(d, s, p) => DInst::VHMax(*d, *s, *p),
+            Inst::Prefetch(a, k) => DInst::Prefetch(*a, *k),
+        });
+    }
+}
 
 impl Cpu {
     pub fn new(cfg: MachineConfig) -> Self {
@@ -120,6 +248,7 @@ impl Cpu {
             hw_streams: [u64::MAX; 4],
             hw_misses: [u64::MAX; 8],
             hw_next: 0,
+            decoded: Vec::new(),
             stats: RunStats::default(),
             inst_limit: DEFAULT_INST_LIMIT,
         }
@@ -738,7 +867,15 @@ impl Cpu {
         self.width = self.cfg.effective_width(prog.len());
         self.predictor.clear();
         self.predictor.resize(prog.len(), PRED_UNSEEN);
+        let mut decoded = std::mem::take(&mut self.decoded);
+        predecode(prog, &mut decoded);
+        let result = self.interp(&decoded, mem);
+        self.decoded = decoded;
+        result
+    }
 
+    /// The interpret loop over the predecoded program.
+    fn interp(&mut self, decoded: &[DInst], mem: &mut Memory) -> Result<RunStats, RunError> {
         let mut pc = 0usize;
         let fadd = self.cfg.fadd_lat;
         let fmul = self.cfg.fmul_lat;
@@ -752,7 +889,7 @@ impl Cpu {
                     limit: self.inst_limit,
                 });
             }
-            let Some(inst) = prog.insts.get(pc) else {
+            let Some(&inst) = decoded.get(pc) else {
                 return Err(RunError::RanOffEnd);
             };
             self.stats.insts += 1;
@@ -779,80 +916,80 @@ impl Cpu {
             }
 
             match inst {
-                Inst::IMovImm(d, v) => {
+                DInst::IMovImm(d, v) => {
                     let t = self.issue_at(0);
-                    self.iregs[d.0 as usize] = *v;
+                    self.iregs[d.0 as usize] = v;
                     ird!(d) = fin!(t + intl);
                 }
-                Inst::IMov(d, s) => {
+                DInst::IMov(d, s) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(s)) + intl;
                     self.iregs[d.0 as usize] = self.iregs[s.0 as usize];
                     ird!(d) = fin!(r);
                 }
-                Inst::IAdd(d, s) => {
+                DInst::IAdd(d, s) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(d)).max(ird!(s)) + intl;
                     self.iregs[d.0 as usize] =
                         self.iregs[d.0 as usize].wrapping_add(self.iregs[s.0 as usize]);
                     ird!(d) = fin!(r);
                 }
-                Inst::IAddImm(d, v) => {
+                DInst::IAddImm(d, v) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(d)) + intl;
-                    self.iregs[d.0 as usize] = self.iregs[d.0 as usize].wrapping_add(*v);
+                    self.iregs[d.0 as usize] = self.iregs[d.0 as usize].wrapping_add(v);
                     ird!(d) = fin!(r);
                 }
-                Inst::ISub(d, s) => {
+                DInst::ISub(d, s) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(d)).max(ird!(s)) + intl;
                     self.iregs[d.0 as usize] =
                         self.iregs[d.0 as usize].wrapping_sub(self.iregs[s.0 as usize]);
                     ird!(d) = fin!(r);
                 }
-                Inst::ISubImm(d, v) => {
+                DInst::ISubImm(d, v) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(d)) + intl;
-                    self.iregs[d.0 as usize] = self.iregs[d.0 as usize].wrapping_sub(*v);
+                    self.iregs[d.0 as usize] = self.iregs[d.0 as usize].wrapping_sub(v);
                     ird!(d) = fin!(r);
                 }
-                Inst::IShlImm(d, s) => {
+                DInst::IShlImm(d, s) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(d)) + intl;
                     self.iregs[d.0 as usize] <<= s;
                     ird!(d) = fin!(r);
                 }
-                Inst::IDivImm(d, v) => {
+                DInst::IDivImm(d, v) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(d)) + 20;
                     self.iregs[d.0 as usize] /= v;
                     ird!(d) = fin!(r);
                 }
-                Inst::IRemImm(d, v) => {
+                DInst::IRemImm(d, v) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(d)) + 20;
                     self.iregs[d.0 as usize] %= v;
                     ird!(d) = fin!(r);
                 }
-                Inst::Lea(d, a) => {
+                DInst::Lea(d, a) => {
                     let t = self.issue_at(0);
-                    let r = t.max(self.addr_ready(a)) + intl;
-                    self.iregs[d.0 as usize] = self.ea(a) as i64;
+                    let r = t.max(self.addr_ready(&a)) + intl;
+                    self.iregs[d.0 as usize] = self.ea(&a) as i64;
                     ird!(d) = fin!(r);
                 }
-                Inst::ICmp(a, b) => {
+                DInst::ICmp(a, b) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(a)).max(ird!(b)) + intl;
                     self.flags = threeway(self.iregs[a.0 as usize], self.iregs[b.0 as usize]);
                     self.flags_ready = fin!(r);
                 }
-                Inst::ICmpImm(a, v) => {
+                DInst::ICmpImm(a, v) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(a)) + intl;
-                    self.flags = threeway(self.iregs[a.0 as usize], *v);
+                    self.flags = threeway(self.iregs[a.0 as usize], v);
                     self.flags_ready = fin!(r);
                 }
-                Inst::IDec(d) => {
+                DInst::IDec(d) => {
                     let t = self.issue_at(0);
                     let r = t.max(ird!(d)) + intl;
                     self.iregs[d.0 as usize] -= 1;
@@ -860,33 +997,33 @@ impl Cpu {
                     ird!(d) = r;
                     self.flags_ready = fin!(r);
                 }
-                Inst::ILoad(d, a) => {
+                DInst::ILoad(d, a) => {
                     let t = self.issue_at(0);
-                    let start = t.max(self.addr_ready(a));
-                    let addr = self.ea(a);
+                    let start = t.max(self.addr_ready(&a));
+                    let addr = self.ea(&a);
                     let ready = self.load_access(addr, 8, start);
                     self.iregs[d.0 as usize] = mem.read_i64(addr)?;
                     ird!(d) = fin!(ready);
                 }
-                Inst::IStore(a, s) => {
+                DInst::IStore(a, s) => {
                     let t = self.issue_at(0);
-                    let te = t.max(self.addr_ready(a)).max(ird!(s));
-                    let addr = self.ea(a);
+                    let te = t.max(self.addr_ready(&a)).max(ird!(s));
+                    let addr = self.ea(&a);
                     self.store_access(addr, 8, te);
                     mem.write_i64(addr, self.iregs[s.0 as usize])?;
                 }
-                Inst::Jmp(l) => {
+                DInst::Jmp(target) => {
                     self.issue_at(0);
                     self.end_group();
-                    next_pc = prog.target(*l);
+                    next_pc = target as usize;
                 }
-                Inst::Jcc(c, l) => {
+                DInst::Jcc(c, target, static_taken) => {
                     let t = self.issue_at(0);
                     self.stats.branches += 1;
                     let taken = c.eval(self.flags);
                     let pred = self.predictor[pc];
                     let predicted_taken = match pred {
-                        PRED_UNSEEN => prog.target(*l) <= pc, // static: backward taken
+                        PRED_UNSEEN => static_taken, // static: backward taken
                         p => p == 1,
                     };
                     if predicted_taken != taken {
@@ -900,10 +1037,10 @@ impl Cpu {
                     }
                     self.predictor[pc] = taken as u8;
                     if taken {
-                        next_pc = prog.target(*l);
+                        next_pc = target as usize;
                     }
                 }
-                Inst::Halt => {
+                DInst::Halt => {
                     let now = self.cycle;
                     self.flush_wc(now);
                     // All in-flight results must complete.
@@ -922,212 +1059,206 @@ impl Cpu {
                     return Ok(self.stats);
                 }
 
-                Inst::FLd(d, a, p) => {
+                DInst::FLd(d, a, p) => {
                     let t = self.issue_at(0);
-                    let start = t.max(self.addr_ready(a));
-                    let addr = self.ea(a);
+                    let start = t.max(self.addr_ready(&a));
+                    let addr = self.ea(&a);
                     let ready = self.load_access(addr, p.bytes(), start);
                     let v = match p {
                         Prec::S => mem.read_f32(addr)? as f64,
                         Prec::D => mem.read_f64(addr)?,
                     };
                     self.fregs[d.0 as usize] = [0; 16];
-                    self.set_scalar(*d, *p, v);
+                    self.set_scalar(d, p, v);
                     frd!(d) = fin!(ready);
                 }
-                Inst::FSt(a, s, p) => {
+                DInst::FSt(a, s, p) => {
                     let t = self.issue_at(0);
-                    let te = t.max(self.addr_ready(a)).max(frd!(s));
-                    let addr = self.ea(a);
+                    let te = t.max(self.addr_ready(&a)).max(frd!(s));
+                    let addr = self.ea(&a);
                     self.store_access(addr, p.bytes(), te);
-                    let v = self.scalar(*s, *p);
+                    let v = self.scalar(s, p);
                     match p {
                         Prec::S => mem.write_f32(addr, v as f32)?,
                         Prec::D => mem.write_f64(addr, v)?,
                     }
                 }
-                Inst::FStNt(a, s, p) => {
+                DInst::FStNt(a, s, p) => {
                     let t = self.issue_at(0);
-                    let te = t.max(self.addr_ready(a)).max(frd!(s));
-                    let addr = self.ea(a);
+                    let te = t.max(self.addr_ready(&a)).max(frd!(s));
+                    let addr = self.ea(&a);
                     self.nt_store_access(addr, p.bytes(), te);
-                    let v = self.scalar(*s, *p);
+                    let v = self.scalar(s, p);
                     match p {
                         Prec::S => mem.write_f32(addr, v as f32)?,
                         Prec::D => mem.write_f64(addr, v)?,
                     }
                 }
-                Inst::FMov(d, s, _p) => {
+                DInst::FMov(d, s) => {
                     let t = self.issue_at(0);
                     let r = t.max(frd!(s)) + fmov;
                     self.fregs[d.0 as usize] = self.fregs[s.0 as usize];
                     frd!(d) = fin!(r);
                 }
-                Inst::FLdImm(d, v, p) => {
+                DInst::FLdImm(d, v, p) => {
                     let t = self.issue_at(0);
                     self.fregs[d.0 as usize] = [0; 16];
-                    self.set_scalar(*d, *p, *v);
+                    self.set_scalar(d, p, v);
                     frd!(d) = fin!(t + fmov);
                 }
-                Inst::FZero(d) => {
+                DInst::FZero(d) => {
                     let t = self.issue_at(0);
                     self.fregs[d.0 as usize] = [0; 16];
                     frd!(d) = fin!(t + fmov);
                 }
-                Inst::FAdd(d, s, p)
-                | Inst::FSub(d, s, p)
-                | Inst::FMul(d, s, p)
-                | Inst::FDiv(d, s, p)
-                | Inst::FMax(d, s, p) => {
+                DInst::FArith(op, d, s, p) => {
                     let t = self.issue_at(0);
-                    let load_at = t.max(self.rhs_issue_ready(s));
-                    let (rhs, rhs_ready) = self.scalar_rhs(s, *p, mem, load_at)?;
-                    let lhs = self.scalar(*d, *p);
-                    let (out, lat) = match inst {
-                        Inst::FAdd(..) => (lhs + rhs, fadd),
-                        Inst::FSub(..) => (lhs - rhs, fadd),
-                        Inst::FMul(..) => (lhs * rhs, fmul),
-                        Inst::FDiv(..) => (lhs / rhs, fdiv),
-                        Inst::FMax(..) => (if rhs > lhs { rhs } else { lhs }, fadd),
-                        _ => unreachable!(),
+                    let load_at = t.max(self.rhs_issue_ready(&s));
+                    let (rhs, rhs_ready) = self.scalar_rhs(&s, p, mem, load_at)?;
+                    let lhs = self.scalar(d, p);
+                    let (out, lat) = match op {
+                        AOp::Add => (lhs + rhs, fadd),
+                        AOp::Sub => (lhs - rhs, fadd),
+                        AOp::Mul => (lhs * rhs, fmul),
+                        AOp::Div => (lhs / rhs, fdiv),
+                        AOp::Max => (if rhs > lhs { rhs } else { lhs }, fadd),
                     };
                     let out = match p {
                         Prec::S => (out as f32) as f64,
                         Prec::D => out,
                     };
                     let r = t.max(frd!(d)).max(rhs_ready) + lat;
-                    self.set_scalar(*d, *p, out);
+                    self.set_scalar(d, p, out);
                     frd!(d) = fin!(r);
                 }
-                Inst::FAbs(d, p) => {
+                DInst::FAbs(d, p) => {
                     let t = self.issue_at(0);
                     let r = t.max(frd!(d)) + fmov;
-                    let v = self.scalar(*d, *p).abs();
-                    self.set_scalar(*d, *p, v);
+                    let v = self.scalar(d, p).abs();
+                    self.set_scalar(d, p, v);
                     frd!(d) = fin!(r);
                 }
-                Inst::FSqrt(d, p) => {
+                DInst::FSqrt(d, p) => {
                     let t = self.issue_at(0);
                     let r = t.max(frd!(d)) + fdiv; // sqrt ~ divide latency
                     let v = match p {
-                        Prec::S => (self.scalar(*d, *p) as f32).sqrt() as f64,
-                        Prec::D => self.scalar(*d, *p).sqrt(),
+                        Prec::S => (self.scalar(d, p) as f32).sqrt() as f64,
+                        Prec::D => self.scalar(d, p).sqrt(),
                     };
-                    self.set_scalar(*d, *p, v);
+                    self.set_scalar(d, p, v);
                     frd!(d) = fin!(r);
                 }
-                Inst::FCmp(a, b, p) => {
+                DInst::FCmp(a, b, p) => {
                     let t = self.issue_at(0);
-                    let load_at = t.max(self.rhs_issue_ready(b));
-                    let (rhs, rhs_ready) = self.scalar_rhs(b, *p, mem, load_at)?;
-                    let lhs = self.scalar(*a, *p);
+                    let load_at = t.max(self.rhs_issue_ready(&b));
+                    let (rhs, rhs_ready) = self.scalar_rhs(&b, p, mem, load_at)?;
+                    let lhs = self.scalar(a, p);
                     self.flags = fthreeway(lhs, rhs);
                     self.flags_ready = fin!(t.max(frd!(a)).max(rhs_ready) + self.cfg.fcmp_lat);
                 }
 
-                Inst::VLd(d, a, p, aligned) => {
+                DInst::VLd(d, a, p, aligned) => {
                     let t = self.issue_at(0);
-                    let start = t.max(self.addr_ready(a));
-                    let addr = self.ea(a);
+                    let start = t.max(self.addr_ready(&a));
+                    let addr = self.ea(&a);
                     let mut ready = self.load_access(addr, 16, start);
                     if !aligned {
                         ready += self.cfg.unaligned_penalty;
                     }
-                    let lanes = self.load_lanes(mem, addr, *p)?;
-                    self.write_lanes(*d, *p, lanes);
+                    let lanes = self.load_lanes(mem, addr, p)?;
+                    self.write_lanes(d, p, lanes);
                     frd!(d) = fin!(ready);
                 }
-                Inst::VSt(a, s, p, aligned) => {
+                DInst::VSt(a, s, p, aligned) => {
                     let t = self.issue_at(0);
-                    let mut te = t.max(self.addr_ready(a)).max(frd!(s));
+                    let mut te = t.max(self.addr_ready(&a)).max(frd!(s));
                     if !aligned {
                         te += self.cfg.unaligned_penalty;
                     }
-                    let addr = self.ea(a);
+                    let addr = self.ea(&a);
                     self.store_access(addr, 16, te);
-                    self.store_lanes(mem, addr, *p, *s)?;
+                    self.store_lanes(mem, addr, p, s)?;
                 }
-                Inst::VStNt(a, s, p) => {
+                DInst::VStNt(a, s, p) => {
                     let t = self.issue_at(0);
-                    let te = t.max(self.addr_ready(a)).max(frd!(s));
-                    let addr = self.ea(a);
+                    let te = t.max(self.addr_ready(&a)).max(frd!(s));
+                    let addr = self.ea(&a);
                     self.nt_store_access(addr, 16, te);
-                    self.store_lanes(mem, addr, *p, *s)?;
+                    self.store_lanes(mem, addr, p, s)?;
                 }
-                Inst::VMov(d, s) => {
+                DInst::VMov(d, s) => {
                     let t = self.issue_at(0);
                     let r = t.max(frd!(s)) + fmov;
                     self.fregs[d.0 as usize] = self.fregs[s.0 as usize];
                     frd!(d) = fin!(r);
                 }
-                Inst::VBcast(d, s, p) => {
+                DInst::VBcast(d, s, p) => {
                     let t = self.issue_at(0);
                     let r = t.max(frd!(s)) + self.cfg.bcast_lat;
-                    let v = self.scalar(*s, *p);
-                    self.write_lanes(*d, *p, [v, v, v, v]);
+                    let v = self.scalar(s, p);
+                    self.write_lanes(d, p, [v, v, v, v]);
                     frd!(d) = fin!(r);
                 }
-                Inst::VAdd(d, s, p)
-                | Inst::VSub(d, s, p)
-                | Inst::VMul(d, s, p)
-                | Inst::VMax(d, s, p) => {
+                DInst::VArith(op, d, s, p) => {
                     let t = self.issue_at(0);
-                    let load_at = t.max(self.rhs_issue_ready(s));
-                    let (rhs, rhs_ready) = self.vector_rhs(s, *p, mem, load_at)?;
-                    let lhs = self.read_lanes(*d, *p);
+                    let load_at = t.max(self.rhs_issue_ready(&s));
+                    let (rhs, rhs_ready) = self.vector_rhs(&s, p, mem, load_at)?;
+                    let lhs = self.read_lanes(d, p);
                     let n = p.veclen() as usize;
                     let mut out = lhs;
-                    let lat = match inst {
-                        Inst::VAdd(..) => {
+                    let lat = match op {
+                        AOp::Add => {
                             for i in 0..n {
                                 out[i] = lhs[i] + rhs[i];
                             }
                             fadd
                         }
-                        Inst::VSub(..) => {
+                        AOp::Sub => {
                             for i in 0..n {
                                 out[i] = lhs[i] - rhs[i];
                             }
                             fadd
                         }
-                        Inst::VMul(..) => {
+                        AOp::Mul => {
                             for i in 0..n {
                                 out[i] = lhs[i] * rhs[i];
                             }
                             fmul
                         }
-                        Inst::VMax(..) => {
+                        AOp::Max => {
                             for i in 0..n {
                                 out[i] = if rhs[i] > lhs[i] { rhs[i] } else { lhs[i] };
                             }
                             fadd
                         }
-                        _ => unreachable!(),
+                        // The ISA has no lanewise divide; the assembler
+                        // never emits one.
+                        AOp::Div => unreachable!("no vector divide"),
                     };
-                    if *p == Prec::S {
+                    if p == Prec::S {
                         for v in out.iter_mut().take(n) {
                             *v = (*v as f32) as f64;
                         }
                     }
                     let r = t.max(frd!(d)).max(rhs_ready) + lat;
-                    self.write_lanes(*d, *p, out);
+                    self.write_lanes(d, p, out);
                     frd!(d) = fin!(r);
                 }
-                Inst::VAbs(d, p) => {
+                DInst::VAbs(d, p) => {
                     let t = self.issue_at(0);
                     let r = t.max(frd!(d)) + fmov;
-                    let mut v = self.read_lanes(*d, *p);
+                    let mut v = self.read_lanes(d, p);
                     for x in &mut v {
                         *x = x.abs();
                     }
-                    self.write_lanes(*d, *p, v);
+                    self.write_lanes(d, p, v);
                     frd!(d) = fin!(r);
                 }
-                Inst::VCmpGt(d, s, p) => {
+                DInst::VCmpGt(d, s, p) => {
                     let t = self.issue_at(0);
-                    let load_at = t.max(self.rhs_issue_ready(s));
-                    let (rhs, rhs_ready) = self.vector_rhs(s, *p, mem, load_at)?;
-                    let lhs = self.read_lanes(*d, *p);
+                    let load_at = t.max(self.rhs_issue_ready(&s));
+                    let (rhs, rhs_ready) = self.vector_rhs(&s, p, mem, load_at)?;
+                    let lhs = self.read_lanes(d, p);
                     let n = p.veclen() as usize;
                     // Write lane masks as raw bit patterns (all-ones /
                     // all-zeros), exactly like cmpps — never through float
@@ -1145,7 +1276,7 @@ impl Cpu {
                     self.fregs[d.0 as usize] = raw;
                     frd!(d) = fin!(r);
                 }
-                Inst::VMovMsk(d, s, p) => {
+                DInst::VMovMsk(d, s, p) => {
                     let t = self.issue_at(0);
                     let n = p.veclen() as usize;
                     let mut mask = 0i64;
@@ -1166,35 +1297,35 @@ impl Cpu {
                     ird!(d) = r;
                     self.flags_ready = fin!(r);
                 }
-                Inst::VHSum(d, s, p) => {
+                DInst::VHSum(d, s, p) => {
                     let t = self.issue_at(0);
-                    let v = self.read_lanes(*s, *p);
+                    let v = self.read_lanes(s, p);
                     let n = p.veclen() as usize;
                     let sum: f64 = v[..n].iter().sum();
-                    let sum = if *p == Prec::S {
+                    let sum = if p == Prec::S {
                         (sum as f32) as f64
                     } else {
                         sum
                     };
                     self.fregs[d.0 as usize] = [0; 16];
-                    self.set_scalar(*d, *p, sum);
+                    self.set_scalar(d, p, sum);
                     frd!(d) = fin!(t.max(frd!(s)) + self.cfg.hsum_lat);
                 }
-                Inst::VHMax(d, s, p) => {
+                DInst::VHMax(d, s, p) => {
                     let t = self.issue_at(0);
-                    let v = self.read_lanes(*s, *p);
+                    let v = self.read_lanes(s, p);
                     let n = p.veclen() as usize;
                     let m = v[..n].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                     self.fregs[d.0 as usize] = [0; 16];
-                    self.set_scalar(*d, *p, m);
+                    self.set_scalar(d, p, m);
                     frd!(d) = fin!(t.max(frd!(s)) + self.cfg.hsum_lat);
                 }
 
-                Inst::Prefetch(a, kind) => {
+                DInst::Prefetch(a, kind) => {
                     let t = self.issue_at(0);
-                    let at = t.max(self.addr_ready(a));
-                    let addr = self.ea(a);
-                    self.prefetch_access(addr, *kind, at);
+                    let at = t.max(self.addr_ready(&a));
+                    let addr = self.ea(&a);
+                    self.prefetch_access(addr, kind, at);
                 }
             }
             pc = next_pc;

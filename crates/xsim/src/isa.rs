@@ -152,7 +152,7 @@ impl fmt::Display for RegOrMem {
 
 /// Branch conditions over the (signed) flags set by `ICmp*`, `IDec`,
 /// `ITest` and `FCmp`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Cond {
     Eq,
     Ne,
@@ -366,7 +366,7 @@ impl Inst {
 
 /// An assembled program: a flat instruction sequence plus resolved label
 /// targets (`labels[l]` is the instruction index label `l` points to).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Program {
     pub insts: Vec<Inst>,
     pub labels: Vec<usize>,

@@ -13,7 +13,7 @@
 //! ```
 
 use ifko_fko::ir::{PrefKind, PtrId};
-use ifko_fko::{analyze_kernel, compile_ir, ArgSlot, PrefSpec, TransformParams};
+use ifko_fko::{ArgSlot, CompileOpts, CompileSession, PrefSpec, TransformParams};
 use ifko_xsim::{p4e, Cpu, FReg, IReg, Memory};
 
 const WAXPBY: &str = r#"
@@ -38,7 +38,8 @@ ROUT_END
 
 fn main() {
     let mach = p4e();
-    let (ir, rep) = analyze_kernel(WAXPBY, &mach).expect("front end");
+    let sess = CompileSession::from_source(WAXPBY, &mach).expect("front end");
+    let rep = sess.report().clone();
 
     println!("FKO analysis of the custom kernel:");
     println!("  vectorizable : {:?}", rep.vectorizable.is_ok());
@@ -97,7 +98,7 @@ fn main() {
     println!("\n{:<24} {:>12} {:>10}", "variant", "cycles", "c/elem");
     let mut best = (String::new(), u64::MAX);
     for (name, params) in candidates {
-        let compiled = match compile_ir(&ir, &params, &rep) {
+        let compiled = match sess.compile(&params, CompileOpts::default()) {
             Ok(c) => c,
             Err(e) => {
                 println!("{name:<24} compile error: {e}");

@@ -27,6 +27,11 @@ chaos:
     cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
         --chaos 7 --max-retries 2 --db results/db
 
+# Compiler-throughput bench (candidates/sec) + regression gate against
+# the committed BENCH_pipeline.json baseline
+bench-pipeline:
+    scripts/bench_compare.sh
+
 # Search-strategy head-to-head on swap/dot, persisting winners to the db
 strategies:
     cargo run --release -p ifko-bench --bin strategies -- --db results/db

@@ -55,4 +55,11 @@ step "harness smoke: figure7 --quick (sample trace)"
 cargo run --release -p ifko-bench --bin figure7 -- --quick >/dev/null
 test -s results/traces/figure7-quick.jsonl
 
+step "pipeline throughput vs committed baseline (bench_compare)"
+# Short reps keep the gate fast; rates are calibration-normalized, so a
+# slower machine than the baseline's is fine. IFKO_BENCH_TOL loosens
+# the 10% floor; IFKO_BENCH_ATTEMPTS bounds re-benching on transient
+# host slowdowns.
+IFKO_BENCH_SECS="${IFKO_BENCH_SECS:-0.25}" scripts/bench_compare.sh
+
 printf '\nAll checks passed.\n'
