@@ -15,6 +15,9 @@
 //! Output goes to `results/BENCH_pipeline.json` (override with `--out`);
 //! `scripts/bench_compare.sh` diffs it against the committed baseline
 //! `BENCH_pipeline.json` at the repo root and fails CI on regression.
+//! Every run also appends one timestamped line per row to
+//! `results/bench_history.jsonl` (next to the `--out` file), so
+//! throughput can be plotted over time across commits.
 
 use ifko::runner::{run_once, Context, KernelArgs};
 use ifko::search::{line_search_batched, SearchOptions};
@@ -223,6 +226,43 @@ fn write_json(path: &str, rows: &[Row]) -> std::io::Result<()> {
     std::fs::write(path, out)
 }
 
+/// Append one timestamped JSONL line per row to `bench_history.jsonl`
+/// next to the `--out` file. Append-only: successive runs build a time
+/// series a plotting script (or `ifko explain`-style tooling) can read
+/// without parsing git history.
+fn append_history(out_path: &str, rows: &[Row]) -> std::io::Result<String> {
+    use std::fmt::Write as _;
+    use std::io::Write as _;
+    let dir = std::path::Path::new(out_path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("bench_history.jsonl");
+    let t_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::new();
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{{\"t_s\": {t_s}, \"bench\": \"pipeline\", \"kernel\": \"{}\", \
+             \"machine\": \"{}\", \"compile_cps\": {:.1}, \"eval_cps\": {:.1}}}",
+            json_escape(r.kernel),
+            json_escape(&r.machine),
+            r.compile_cps,
+            r.eval_cps,
+        );
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(path.display().to_string())
+}
+
 fn main() {
     let mut out_path = String::from("results/BENCH_pipeline.json");
     let mut args = std::env::args().skip(1);
@@ -265,6 +305,13 @@ fn main() {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => {
             eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    match append_history(&out_path, &rows) {
+        Ok(hist) => println!("appended {} row(s) to {hist}", rows.len()),
+        Err(e) => {
+            eprintln!("cannot append bench history: {e}");
             std::process::exit(1);
         }
     }

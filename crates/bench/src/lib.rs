@@ -3,7 +3,8 @@
 //! One binary per table/figure of the paper (see DESIGN.md's experiment
 //! index). The [`Experiment`] builder is the shared entry point: name the
 //! experiment, pick machines/contexts (or explicit sweeps), and `run()`
-//! — flags (`--quick`, `--jobs N`, `--trace PATH`, `--no-cache`) are
+//! — flags (`--quick`, `--jobs N`, `--trace PATH`, `--trace-chrome PATH`,
+//! `--no-cache`) are
 //! parsed from the command line, every sweep shares one evaluation cache
 //! (persisted under `results/cache/` so separate binaries reuse each
 //! other's points), and progress goes to stderr.
@@ -38,6 +39,10 @@ pub struct ExpConfig {
     pub jobs: usize,
     /// JSONL search-trace destination (`--trace PATH`).
     pub trace_path: Option<String>,
+    /// Chrome/Perfetto trace destination (`--trace-chrome PATH`): the
+    /// same event stream rendered as `trace_event` JSON, openable in
+    /// `ui.perfetto.dev` or `chrome://tracing`.
+    pub trace_chrome_path: Option<String>,
     /// Metrics-snapshot destination (`--metrics PATH`): the process-wide
     /// registry is written here when the experiment finishes (JSON, or
     /// Prometheus text for `.prom`/`.txt` paths).
@@ -76,6 +81,7 @@ impl ExpConfig {
                     }
                 }
                 "--trace" => cfg.trace_path = it.next().cloned(),
+                "--trace-chrome" => cfg.trace_chrome_path = it.next().cloned(),
                 "--metrics" => cfg.metrics_path = it.next().cloned(),
                 "--no-cache" => cfg.use_cache = false,
                 "--strategy" => {
@@ -149,6 +155,7 @@ impl ExpConfig {
             seed: 0xb1a5,
             jobs: 1,
             trace_path: None,
+            trace_chrome_path: None,
             metrics_path: None,
             use_cache: true,
             strategy: StrategySpec::Line,
@@ -393,6 +400,21 @@ impl Experiment {
             },
             _ => None,
         };
+        // The Chrome sink composes with `--trace`: both see the stream,
+        // and the render happens once on the final flush.
+        let chrome: Option<Arc<ifko::ChromeTraceSink>> = match &self.cfg.trace_chrome_path {
+            Some(p) => match ifko::ChromeTraceSink::create(p) {
+                Ok(s) => {
+                    eprintln!("[{}] rendering Chrome/Perfetto trace to {p}", self.name);
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("[{}] cannot open chrome trace {p}: {e}", self.name);
+                    None
+                }
+            },
+            None => None,
+        };
 
         let pairs: Vec<(MachineConfig, Context)> = if !self.explicit_sweeps.is_empty() {
             self.explicit_sweeps.clone()
@@ -408,6 +430,9 @@ impl Experiment {
             let mut tune_cfg = self.cfg.tune_config(&mach, ctx).cache(cache.clone());
             if let Some(t) = &trace {
                 tune_cfg = tune_cfg.trace(t.clone());
+            }
+            if let Some(c) = &chrome {
+                tune_cfg = tune_cfg.trace(c.clone());
             }
             let rows = self
                 .kernels
@@ -449,6 +474,9 @@ impl Experiment {
         );
         if let Some(t) = &trace {
             t.flush();
+        }
+        if let Some(c) = &chrome {
+            c.flush();
         }
         if let Some(p) = &self.cfg.metrics_path {
             match ifko::metrics::global().write_snapshot(p) {
@@ -681,6 +709,7 @@ mod tests {
             seed: 1,
             jobs: 1,
             trace_path: None,
+            trace_chrome_path: None,
             metrics_path: None,
             use_cache: false,
             strategy: StrategySpec::Line,

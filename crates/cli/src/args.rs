@@ -16,6 +16,8 @@ pub struct Args {
     pub pf_dist: Option<i64>,
     pub jobs: usize,
     pub trace: Option<String>,
+    pub trace_chrome: Option<String>,
+    pub timeseries: Option<String>,
     pub metrics: Option<String>,
     pub verify_ir: bool,
     pub no_prune: bool,
@@ -45,6 +47,8 @@ impl Args {
             pf_dist: None,
             jobs: 1,
             trace: None,
+            trace_chrome: None,
+            timeseries: None,
             metrics: None,
             verify_ir: false,
             no_prune: false,
@@ -90,6 +94,8 @@ impl Args {
                         .max(1)
                 }
                 "--trace" => a.trace = Some(value("--trace")?),
+                "--trace-chrome" => a.trace_chrome = Some(value("--trace-chrome")?),
+                "--timeseries" => a.timeseries = Some(value("--timeseries")?),
                 "--metrics" => a.metrics = Some(value("--metrics")?),
                 "--verify-ir" => a.verify_ir = true,
                 "--profile-pipeline" => a.profile_pipeline = true,
@@ -188,6 +194,25 @@ mod tests {
         // --jobs clamps to at least one worker.
         let a = Args::parse(v(&["k.hil", "-j", "0"])).unwrap();
         assert_eq!(a.jobs, 1);
+    }
+
+    #[test]
+    fn observability_sinks_parse() {
+        let a = Args::parse(v(&[
+            "k.hil",
+            "--trace-chrome",
+            "t.chrome.json",
+            "--timeseries",
+            "ts.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(a.trace_chrome.as_deref(), Some("t.chrome.json"));
+        assert_eq!(a.timeseries.as_deref(), Some("ts.jsonl"));
+        // Off by default, and both flags require a value.
+        let a = Args::parse(v(&["k.hil"])).unwrap();
+        assert!(a.trace_chrome.is_none() && a.timeseries.is_none());
+        assert!(Args::parse(v(&["k.hil", "--trace-chrome"])).is_err());
+        assert!(Args::parse(v(&["k.hil", "--timeseries"])).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!                          [--wnt] [--pf-dist BYTES] [--no-pf]
 //! ifko tune     kernel.hil [--machine M] [--context oc|ic] [--n N]
 //!                          [--seed S] [--full] [--jobs N] [--trace PATH]
+//!                          [--trace-chrome PATH] [--timeseries PATH]
 //!                          [--metrics PATH] [--verify-ir] [--no-prune]
 //!                          [--strategy line|random|hillclimb|anneal|portfolio]
 //!                          [--budget PROBES|WALL] [--warm-start] [--db DIR]
@@ -13,6 +14,8 @@
 //! ifko lint     kernel.hil [kernel2.hil ...] [--machine M]
 //!                          [--format text|json]
 //! ifko report   trace.jsonl [trace2.jsonl ...] [--format text|json|md]
+//! ifko explain  trace.jsonl [trace2.jsonl ...] [--format text|json|md]
+//!                          [--db DIR] [--check-chrome FILE]
 //! ```
 //!
 //! `analyze` prints what FKO reports back to the search (paper §2.2.2);
@@ -30,11 +33,17 @@
 //! tuning anything, and exits nonzero iff an error-severity diagnostic
 //! fires; `report` analyzes search traces written by `--trace`
 //! (convergence, per-phase attribution, stage time breakdown, cache
-//! effectiveness).
+//! effectiveness); `explain` answers *why* the winner won: it diffs the
+//! winner's hardware counters against the baseline and each probe's
+//! nearest neighbor (one parameter changed), prints a per-transform
+//! microarchitectural attribution table plus a bottleneck
+//! classification, cross-checks the tuned-results database with
+//! `--db DIR`, and `--check-chrome FILE` validates a `--trace-chrome`
+//! Chrome/Perfetto trace (JSON parses, spans nest).
 
 use ifko::report::{report_files, ReportFormat};
 use ifko::runner::Context;
-use ifko::strategy::{Budget, StrategySpec};
+use ifko::strategy::{Budget, StrategySpec, TunedDb};
 use ifko::{SearchOptions, TuneConfig};
 use ifko_fko::{
     analyze_kernel, lint_analysis, CompileError, CompileOpts, CompileSession, Diagnostic, Severity,
@@ -49,14 +58,24 @@ use args::Args;
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
-        eprintln!("usage: ifko <analyze|compile|tune|lint|report> <file> [options]");
+        eprintln!("usage: ifko <analyze|compile|tune|lint|report|explain> <file> [options]");
         return ExitCode::from(2);
     }
     let cmd = argv.remove(0);
-    // `report` and `lint` take multiple files, not one kernel file: they
-    // have their own tiny flag loops instead of the shared `Args`.
+    // `report`, `explain`, and `lint` take multiple files, not one kernel
+    // file: they have their own tiny flag loops instead of the shared
+    // `Args`.
     if cmd == "report" {
         return match cmd_report(argv) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ifko: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if cmd == "explain" {
+        return match cmd_explain(argv) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("ifko: {e}");
@@ -139,6 +158,58 @@ fn cmd_report(argv: Vec<String>) -> Result<(), String> {
         return Err("no trace files given (usage: ifko report TRACE.jsonl... [--format F])".into());
     }
     let out = report_files(&files, format).map_err(|e| e.to_string())?;
+    print!("{out}");
+    Ok(())
+}
+
+/// `ifko explain TRACE.jsonl... [--format F] [--db DIR] [--check-chrome
+/// FILE]`: microarchitectural attribution over a search trace — which
+/// transform bought which counter deltas, and what the winner is bound
+/// by. `--check-chrome` instead validates a `--trace-chrome` output
+/// (parses as JSON, spans nest) so CI needs no external JSON tooling.
+fn cmd_explain(argv: Vec<String>) -> Result<(), String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut format = ReportFormat::Text;
+    let mut db_dir: Option<String> = None;
+    let mut check_chrome: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--format" | "-f" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                format = ReportFormat::parse(&v)
+                    .ok_or_else(|| format!("unknown format `{v}` (text | json | md)"))?;
+            }
+            "--db" => db_dir = Some(it.next().ok_or("--db needs a value")?),
+            "--check-chrome" => {
+                check_chrome = Some(it.next().ok_or("--check-chrome needs a value")?)
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            file => files.push(file.to_string()),
+        }
+    }
+    if let Some(path) = &check_chrome {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let summary = ifko::validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: ok ({} events: {} span slices, {} candidate slices)",
+            summary.events, summary.spans, summary.evals
+        );
+        if files.is_empty() {
+            return Ok(());
+        }
+    }
+    if files.is_empty() {
+        return Err(
+            "no trace files given (usage: ifko explain TRACE.jsonl... [--format F] [--db DIR] [--check-chrome FILE])"
+                .into(),
+        );
+    }
+    let db = match &db_dir {
+        Some(dir) => Some(TunedDb::open(dir).map_err(|e| format!("--db {dir}: {e}"))?),
+        None => None,
+    };
+    let out = ifko::explain_files(&files, format, db.as_ref()).map_err(|e| e.to_string())?;
     print!("{out}");
     Ok(())
 }
@@ -411,6 +482,28 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
             .map_err(|e| format!("--trace {path}: {e}"))?;
         eprintln!("tracing evaluations to {path}");
     }
+    // The Chrome sink handle is kept so the pipeline stage profile can be
+    // appended as its own track after the tune finishes.
+    let chrome = match &args.trace_chrome {
+        Some(path) => {
+            let sink = ifko::ChromeTraceSink::create(path)
+                .map_err(|e| format!("--trace-chrome {path}: {e}"))?;
+            cfg = cfg.trace(sink.clone());
+            eprintln!("rendering Chrome/Perfetto trace to {path}");
+            Some(sink)
+        }
+        None => None,
+    };
+    let timeseries = match &args.timeseries {
+        Some(path) => {
+            let ts = ifko::metrics::global()
+                .timeseries(path, std::time::Duration::from_millis(50))
+                .map_err(|e| format!("--timeseries {path}: {e}"))?;
+            eprintln!("appending metrics timeseries to {path}");
+            Some(ts)
+        }
+        None => None,
+    };
     eprintln!(
         "tuning on {} ({}), N={n}, jobs={}, strategy={} ...",
         machine.name,
@@ -419,6 +512,18 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         strategy.name()
     );
     let out = cfg.tune_source(src).map_err(|e| e.to_string())?;
+    if let Some(ts) = timeseries {
+        ts.stop();
+    }
+    if let Some(sink) = &chrome {
+        sink.add_profile(&out.pipeline_profile);
+        sink.write_out().map_err(|e| {
+            format!(
+                "--trace-chrome {}: {e}",
+                args.trace_chrome.as_deref().unwrap_or("")
+            )
+        })?;
+    }
     println!("baseline (untuned) : not measured (search starts at FKO defaults)");
     println!(
         "FKO defaults       : {:>10} cycles",
@@ -464,6 +569,13 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
             g.phase.label(),
             (g.speedup() - 1.0) * 100.0
         );
+    }
+    println!("\nwinner feature vector (size-normalized rates):");
+    for (name, v) in ifko_xsim::FeatureVector::NAMES
+        .iter()
+        .zip(&out.features.values)
+    {
+        println!("  {name:<24} {v:>12.6}");
     }
     if !out.pipeline_profile.is_empty() {
         println!("\npipeline stage profile (wall time per candidate compile):");

@@ -17,7 +17,7 @@
 //! [`TraceSink`] every evaluation reports to.
 
 use crate::driver::{defaults_with_config, tune_with_config, TuneError, TuneOutcome};
-use crate::eval::{EvalCache, EvalEngine, JsonlSink, TraceSink};
+use crate::eval::{EvalCache, EvalEngine, JsonlSink, TeeSink, TraceSink};
 use crate::fault::FaultPlan;
 use crate::generic::{tune_source_with_config, GenericTuneOutcome};
 use crate::metrics::MetricsRegistry;
@@ -115,12 +115,25 @@ impl TuneConfig {
     /// Send every evaluation's [`SearchEvent`](crate::eval::SearchEvent)
     /// to this sink.
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
-        self.trace = Some(sink);
+        self.trace = Some(match self.trace.take() {
+            None => sink,
+            // Calling `trace` again adds a sink rather than replacing
+            // the first: every configured sink sees the whole stream.
+            Some(prev) => TeeSink::pair(prev, sink),
+        });
         self
     }
     /// Trace to a JSONL file at `path` (convenience over [`Self::trace`]).
     pub fn trace_file(self, path: impl AsRef<Path>) -> std::io::Result<Self> {
         let sink = JsonlSink::create(path)?;
+        Ok(self.trace(sink))
+    }
+    /// Additionally render the search as a Chrome/Perfetto trace at
+    /// `path` (convenience over [`Self::trace`] with a
+    /// [`ChromeTraceSink`](crate::chrome::ChromeTraceSink); composes
+    /// with `trace_file` — both sinks see the whole stream).
+    pub fn trace_chrome(self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let sink = crate::chrome::ChromeTraceSink::create(path)?;
         Ok(self.trace(sink))
     }
     /// Share an evaluation cache with other configs/processes.

@@ -13,7 +13,7 @@ use crate::strategy::{db_key, STRATEGY_WARM};
 use ifko_blas::hil_src::hil_source;
 use ifko_blas::{Kernel, Workload};
 use ifko_fko::{CompileOpts, CompileSession, CompiledKernel, TransformParams};
-use ifko_xsim::MachineConfig;
+use ifko_xsim::{FeatureVector, MachineConfig};
 
 /// Everything produced by tuning one kernel on one machine/context.
 #[derive(Clone, Debug)]
@@ -34,6 +34,9 @@ pub struct TuneOutcome {
     /// [`TuneConfig::profile_pipeline`](crate::TuneConfig::profile_pipeline)
     /// is on).
     pub pipeline_profile: Vec<ifko_fko::StageProfile>,
+    /// The winner's size-normalized counter vector (one clean run of the
+    /// recompiled winner) — the transfer warm-start hook (ROADMAP item 3).
+    pub features: FeatureVector,
 }
 
 /// Tuning failure.
@@ -138,6 +141,11 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
     drop(final_span);
     let cycles = cycles.map_err(|e| TuneError(format!("{}: {e}", kernel.name())))?;
     let mflops = flops_rate(kernel, n, cycles, machine);
+    // One clean run of the winner for its counter vector; the simulator
+    // is deterministic, so this costs one simulation, not a re-tune.
+    let features = crate::runner::run_once(&compiled, &args, machine)
+        .map(|out| FeatureVector::from_stats(&out.stats, n as u64))
+        .map_err(|e| TuneError(format!("{}: winner failed to run: {e}", kernel.name())))?;
 
     // Persist the verified winner — unless this run itself was answered
     // by the database (re-storing would overwrite the finder's name).
@@ -183,6 +191,7 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
         cycles,
         mflops,
         pipeline_profile: sess.profile(),
+        features,
     })
 }
 
@@ -237,6 +246,10 @@ mod tests {
         assert!(out.result.best_cycles <= out.result.default_cycles);
         assert!(out.mflops > 0.0);
         assert!(out.table3_row.starts_with("Y:"), "{}", out.table3_row);
+        // The winner's feature vector is populated and finite.
+        assert_eq!(out.features.values.len(), FeatureVector::NAMES.len());
+        assert!(out.features.get("cycles_per_elem").unwrap() > 0.0);
+        assert!(out.features.values.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -287,34 +287,20 @@ impl SpanEvent {
     }
 }
 
-/// Serialize the simulator counters as one flat JSON object.
+/// Serialize the simulator counters as one flat JSON object. Field
+/// names and order come from [`RunStats::FIELDS`] — the same table the
+/// report-side parser reads — so writer and reader cannot drift.
 pub fn stats_json(s: &RunStats) -> String {
-    format!(
-        "{{\"cycles\":{},\"insts\":{},\"loads\":{},\"stores\":{},\
-         \"l1_hits\":{},\"l1_misses\":{},\"l2_hits\":{},\"l2_misses\":{},\
-         \"bus_read_bytes\":{},\"bus_write_bytes\":{},\
-         \"prefetch_issued\":{},\"prefetch_dropped\":{},\"prefetch_useless\":{},\
-         \"hw_prefetches\":{},\"nt_stores\":{},\"wc_flushes\":{},\
-         \"branches\":{},\"mispredicts\":{}}}",
-        s.cycles,
-        s.insts,
-        s.loads,
-        s.stores,
-        s.l1_hits,
-        s.l1_misses,
-        s.l2_hits,
-        s.l2_misses,
-        s.bus_read_bytes,
-        s.bus_write_bytes,
-        s.prefetch_issued,
-        s.prefetch_dropped,
-        s.prefetch_useless,
-        s.hw_prefetches,
-        s.nt_stores,
-        s.wc_flushes,
-        s.branches,
-        s.mispredicts,
-    )
+    let mut out = String::with_capacity(RunStats::FIELDS.len() * 24);
+    out.push('{');
+    for (i, (name, get, _)) in RunStats::FIELDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{}", get(s)));
+    }
+    out.push('}');
+    out
 }
 
 /// Where search events go. Implementations must tolerate concurrent
@@ -324,6 +310,33 @@ pub trait TraceSink: Send + Sync {
     fn record(&self, ev: &SearchEvent);
     /// Flush buffered output (no-op by default).
     fn flush(&self) {}
+}
+
+/// Fan one search-event stream out to several sinks — how a single tune
+/// feeds a JSONL trace (`--trace`) and a Chrome trace (`--trace-chrome`)
+/// at the same time.
+pub struct TeeSink(Vec<Arc<dyn TraceSink>>);
+
+impl TeeSink {
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Arc<TeeSink> {
+        Arc::new(TeeSink(sinks))
+    }
+    pub fn pair(a: Arc<dyn TraceSink>, b: Arc<dyn TraceSink>) -> Arc<TeeSink> {
+        TeeSink::new(vec![a, b])
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, ev: &SearchEvent) {
+        for s in &self.0 {
+            s.record(ev);
+        }
+    }
+    fn flush(&self) {
+        for s in &self.0 {
+            s.flush();
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

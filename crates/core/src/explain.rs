@@ -1,0 +1,987 @@
+//! `ifko explain`: microarchitectural attribution over a search trace.
+//!
+//! `ifko report` answers *what happened* during a tune; this module
+//! answers *why the winner wins*. From the same JSONL trace it
+//! reconstructs, per scope:
+//!
+//! * **Winner vs baseline** — the counter-level difference between the
+//!   search's reference candidate (the first verified probe, i.e. FKO's
+//!   static defaults) and the winning point: Δcycles, ΔL1/L2 misses,
+//!   Δmispredicts, Δbus bytes, Δprefetch efficacy.
+//! * **Per-transform attribution** — every probe is diffed against its
+//!   *nearest neighbor*: the most recent earlier probe whose parameter
+//!   point differs in exactly one knob (derivable because the trace
+//!   records each candidate's full `TransformParams`). A one-knob pair
+//!   isolates that transform's counter movement; pairs are grouped by
+//!   transform (SV / UR / AE / WNT / PF INS / PF DST / ...) and the
+//!   best-improving pair per transform becomes the table's exemplar.
+//! * **Bottleneck classification** — each candidate on the convergence
+//!   path is labeled memory-bound / compute-bound / branch-bound /
+//!   prefetch-limited from simple counter ratios (thresholds documented
+//!   on [`classify`]).
+//! * **Winner feature vector** — the stable
+//!   [`FeatureVector`](ifko_xsim::FeatureVector) of size-normalized
+//!   rates that transfer warm-starts consume (ROADMAP item 3).
+//!
+//! Like `report`, everything renders deterministically in text, JSON,
+//! or markdown, so the JSON form is golden-testable.
+
+use crate::eval::{EvalEvent, SearchEvent};
+use crate::report::{f4, read_trace, scope_n, ReportFormat};
+use crate::strategy::TunedDb;
+use ifko_xsim::{FeatureVector, RunStats};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+// ---------------------------------------------------------------------------
+// Parameter-point knobs
+// ---------------------------------------------------------------------------
+
+/// One candidate point flattened into `(knob, value)` pairs.
+///
+/// Live traces record `params` as the `TransformParams` debug form
+/// (`TransformParams { simd: true, unroll: 8, ..., prefetch: [PrefSpec
+/// { ptr: PtrId(0), kind: Some(Nta), dist: 128 }, ...] }`), which this
+/// parses into knobs `simd`, `unroll`, `accum_expand`, `wnt`,
+/// `pf[i].kind`, `pf[i].dist`, `loop_control`, ... Hand-written traces
+/// with `k=v` tokens (`"simd=1 ur=4"`) flatten token-wise, and anything
+/// else becomes the single opaque knob `params`, so explain degrades
+/// gracefully on foreign traces.
+pub fn knobs(params: &str) -> Vec<(String, String)> {
+    let t = params.trim();
+    if let Some(body) = t
+        .strip_prefix("TransformParams {")
+        .and_then(|r| r.strip_suffix('}'))
+    {
+        let mut out = Vec::new();
+        for field in split_top(body.trim()) {
+            let Some((name, value)) = field.split_once(": ") else {
+                continue;
+            };
+            let (name, value) = (name.trim(), value.trim());
+            if name == "prefetch" {
+                let list = value
+                    .strip_prefix('[')
+                    .and_then(|r| r.strip_suffix(']'))
+                    .unwrap_or("")
+                    .trim();
+                if list.is_empty() {
+                    continue;
+                }
+                for (i, spec) in split_top(list).into_iter().enumerate() {
+                    let inner = spec
+                        .trim()
+                        .strip_prefix("PrefSpec {")
+                        .and_then(|r| r.strip_suffix('}'))
+                        .unwrap_or("")
+                        .trim();
+                    let mut idx = i.to_string();
+                    let (mut kind, mut dist) = (String::new(), String::new());
+                    for f in split_top(inner) {
+                        if let Some((k, v)) = f.split_once(": ") {
+                            match k.trim() {
+                                "ptr" => {
+                                    idx = v
+                                        .trim()
+                                        .trim_start_matches("PtrId(")
+                                        .trim_end_matches(')')
+                                        .to_string()
+                                }
+                                "kind" => kind = v.trim().to_string(),
+                                "dist" => dist = v.trim().to_string(),
+                                _ => {}
+                            }
+                        }
+                    }
+                    out.push((format!("pf[{idx}].kind"), kind));
+                    out.push((format!("pf[{idx}].dist"), dist));
+                }
+            } else {
+                out.push((name.to_string(), value.to_string()));
+            }
+        }
+        out
+    } else if t.contains('=') {
+        t.split_whitespace()
+            .map(|tok| match tok.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (tok.to_string(), "on".to_string()),
+            })
+            .collect()
+    } else {
+        vec![("params".to_string(), t.to_string())]
+    }
+}
+
+/// Split `s` on `", "` at nesting depth 0 (tracking `([{` / `}])`).
+fn split_top(s: &str) -> Vec<&str> {
+    let b = s.as_bytes();
+    let mut parts = Vec::new();
+    let (mut depth, mut start, mut i) = (0i32, 0usize, 0usize);
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b',' if depth == 0 && b.get(i + 1) == Some(&b' ') => {
+                parts.push(s[start..i].trim());
+                i += 2;
+                start = i;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < s.len() {
+        parts.push(s[start..].trim());
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// The knobs whose values differ between two points (union of keys; a
+/// knob missing on one side diffs against the empty string).
+fn knob_diff(a: &[(String, String)], b: &[(String, String)]) -> Vec<(String, String, String)> {
+    let bm: HashMap<&str, &str> = b.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    let am: HashMap<&str, &str> = a.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    let mut out = Vec::new();
+    for (k, va) in a {
+        let vb = bm.get(k.as_str()).copied().unwrap_or("");
+        if va != vb {
+            out.push((k.clone(), va.clone(), vb.to_string()));
+        }
+    }
+    for (k, vb) in b {
+        if !am.contains_key(k.as_str()) {
+            out.push((k.clone(), String::new(), vb.clone()));
+        }
+    }
+    out
+}
+
+/// Map a knob name onto the paper's transform label.
+pub fn transform_label(knob: &str) -> String {
+    match knob {
+        "simd" => "SV".to_string(),
+        "unroll" | "ur" => "UR".to_string(),
+        "accum_expand" | "ae" => "AE".to_string(),
+        "wnt" => "WNT".to_string(),
+        k if k.starts_with("pf") && k.ends_with(".kind") => "PF INS".to_string(),
+        k if k.starts_with("pf") && k.ends_with(".dist") => "PF DST".to_string(),
+        k => k.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bottleneck classification
+// ---------------------------------------------------------------------------
+
+/// Why a candidate spends its cycles, from simple counter ratios.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bottleneck {
+    Memory,
+    Compute,
+    Branch,
+    Prefetch,
+}
+
+impl Bottleneck {
+    pub fn label(self) -> &'static str {
+        match self {
+            Bottleneck::Memory => "memory-bound",
+            Bottleneck::Compute => "compute-bound",
+            Bottleneck::Branch => "branch-bound",
+            Bottleneck::Prefetch => "prefetch-limited",
+        }
+    }
+}
+
+/// Classify one candidate's counters. Rules (checked in order, so the
+/// classification is deterministic):
+///
+/// 1. **branch-bound** — ≥ 64 conditional branches and > 5% of them
+///    mispredicted (each costs a pipeline flush).
+/// 2. **prefetch-limited** — ≥ 16 software prefetches issued but under
+///    half did useful work (dropped on a busy bus or redundant).
+/// 3. **memory-bound** — under 1 instruction/cycle retired while either
+///    the L1 misses > 5% of accesses or the bus moves ≥ 1 byte per
+///    instruction (the core is waiting on the memory system).
+/// 4. **compute-bound** — everything else: the core, not the memory
+///    system, sets the pace.
+pub fn classify(s: &RunStats) -> Bottleneck {
+    if s.branches >= 64 && s.mispredict_ratio() > 0.05 {
+        Bottleneck::Branch
+    } else if s.prefetch_issued >= 16 && s.prefetch_efficacy() < 0.5 {
+        Bottleneck::Prefetch
+    } else if s.ipc() < 1.0 && (s.l1_miss_ratio() > 0.05 || s.bus_bytes_per_inst() >= 1.0) {
+        Bottleneck::Memory
+    } else {
+        Bottleneck::Compute
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+/// Signed counter movement between two measured candidates (`to - from`;
+/// negative is an improvement for everything except prefetch efficacy).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CounterDelta {
+    pub cycles: i64,
+    pub l1_misses: i64,
+    pub l2_misses: i64,
+    pub mispredicts: i64,
+    pub bus_bytes: i64,
+    pub prefetch_efficacy: f64,
+}
+
+impl CounterDelta {
+    fn between(from: &RunStats, to: &RunStats) -> CounterDelta {
+        let d = |a: u64, b: u64| b as i64 - a as i64;
+        CounterDelta {
+            cycles: d(from.cycles, to.cycles),
+            l1_misses: d(from.l1_misses, to.l1_misses),
+            l2_misses: d(from.l2_misses, to.l2_misses),
+            mispredicts: d(from.mispredicts, to.mispredicts),
+            bus_bytes: d(from.bus_bytes(), to.bus_bytes()),
+            prefetch_efficacy: to.prefetch_efficacy() - from.prefetch_efficacy(),
+        }
+    }
+}
+
+/// One candidate as explain presents it.
+#[derive(Clone, Debug)]
+pub struct CandidateView {
+    /// Probe index within the scope (order of appearance in the trace).
+    pub probe: u64,
+    pub phase: String,
+    pub params: String,
+    pub cycles: u64,
+    /// Counters of the candidate's fresh evaluation (cache hits resolve
+    /// through the first fresh evaluation of the same point).
+    pub stats: Option<RunStats>,
+    pub bottleneck: Option<Bottleneck>,
+}
+
+/// One row of the per-transform attribution table: the best-improving
+/// one-knob neighbor pair observed for this transform.
+#[derive(Clone, Debug)]
+pub struct TransformRow {
+    pub transform: String,
+    /// One-knob pairs observed for this transform across the search.
+    pub pairs: u64,
+    /// Exemplar pair: the knob change with the largest cycle win.
+    pub knob: String,
+    pub from: String,
+    pub to: String,
+    pub dcycles: i64,
+    /// Counter movement of the exemplar pair (`None` when either side
+    /// was never freshly measured, e.g. answered by the eval cache).
+    pub delta: Option<CounterDelta>,
+}
+
+/// Everything explain derives for one scope.
+#[derive(Clone, Debug)]
+pub struct ScopeExplain {
+    pub scope: String,
+    pub n: Option<u64>,
+    pub probes: u64,
+    /// Verified, timed candidates (the attribution population).
+    pub measured: u64,
+    pub baseline: Option<CandidateView>,
+    pub winner: Option<CandidateView>,
+    pub winner_vs_baseline: Option<CounterDelta>,
+    pub attribution: Vec<TransformRow>,
+    /// The convergence path: baseline plus every strict improvement.
+    pub path: Vec<CandidateView>,
+    /// The winner's transfer-learning feature vector (needs the winner's
+    /// counters and the scope's problem size).
+    pub features: Option<FeatureVector>,
+    /// Cross-check against a tuned database, when one was supplied.
+    pub db_note: Option<String>,
+}
+
+impl ScopeExplain {
+    pub fn speedup(&self) -> f64 {
+        match (&self.baseline, &self.winner) {
+            (Some(b), Some(w)) if w.cycles > 0 => b.cycles as f64 / w.cycles as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+/// The full explain analysis of one or more merged traces.
+#[derive(Clone, Debug, Default)]
+pub struct ExplainReport {
+    pub malformed: usize,
+    pub scopes: Vec<ScopeExplain>,
+}
+
+/// Analyze a merged event stream (the explain-side sibling of
+/// [`report::analyze`](crate::report::analyze)).
+pub fn analyze(events: &[SearchEvent], malformed: usize) -> ExplainReport {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_scope: HashMap<String, Vec<&EvalEvent>> = HashMap::new();
+    for ev in events {
+        if let SearchEvent::Eval(e) = ev {
+            if !by_scope.contains_key(&e.scope) {
+                order.push(e.scope.clone());
+            }
+            by_scope.entry(e.scope.clone()).or_default().push(e);
+        }
+    }
+    ExplainReport {
+        malformed,
+        scopes: order
+            .iter()
+            .map(|scope| explain_scope(scope, &by_scope[scope]))
+            .collect(),
+    }
+}
+
+fn explain_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeExplain {
+    // Cache hits carry no counters; the first fresh evaluation of a
+    // point speaks for every later hit on it.
+    let mut stats_by_params: HashMap<&str, RunStats> = HashMap::new();
+    for e in evs {
+        if let Some(st) = e.stats {
+            stats_by_params.entry(e.params.as_str()).or_insert(st);
+        }
+    }
+    let view = |probe: u64, e: &EvalEvent, cycles: u64| {
+        let stats = stats_by_params.get(e.params.as_str()).copied();
+        CandidateView {
+            probe,
+            phase: e.phase.clone(),
+            params: e.params.clone(),
+            cycles,
+            stats,
+            bottleneck: stats.map(|s| classify(&s)),
+        }
+    };
+
+    // Measured candidates, their knob maps, and the convergence path
+    // (same strict-improvement replay as report::analyze).
+    // (probe index, event, cycles, parsed knobs)
+    type Measured<'a> = (u64, &'a EvalEvent, u64, Vec<(String, String)>);
+    let mut measured: Vec<Measured> = Vec::new();
+    let mut path: Vec<CandidateView> = Vec::new();
+    let mut best: Option<u64> = None;
+    for (idx, e) in evs.iter().enumerate() {
+        let Some(cycles) = e.cycles.filter(|_| e.verified) else {
+            continue;
+        };
+        measured.push((idx as u64, e, cycles, knobs(&e.params)));
+        if best.is_none_or(|b| cycles < b) {
+            best = Some(cycles);
+            path.push(view(idx as u64, e, cycles));
+        }
+    }
+    let baseline = path.first().cloned();
+    let winner = path.last().cloned();
+    let winner_vs_baseline = match (&baseline, &winner) {
+        (Some(b), Some(w)) => match (&b.stats, &w.stats) {
+            (Some(bs), Some(ws)) => Some(CounterDelta::between(bs, ws)),
+            _ => None,
+        },
+        _ => None,
+    };
+
+    // Nearest-neighbor attribution: pair each probe with the most
+    // recent earlier probe differing in exactly one knob, and group the
+    // pairs by the transform that knob belongs to.
+    let mut label_order: Vec<String> = Vec::new();
+    let mut rows: HashMap<String, TransformRow> = HashMap::new();
+    for i in 0..measured.len() {
+        let (_, ei, ci, ki) = &measured[i];
+        let neighbor = measured[..i].iter().rev().find_map(|(_, ej, cj, kj)| {
+            let diffs = knob_diff(kj, ki);
+            match diffs.as_slice() {
+                [one] => Some((*cj, stats_by_params.get(ej.params.as_str()), one.clone())),
+                _ => None,
+            }
+        });
+        let Some((cj, sj, (knob, from, to))) = neighbor else {
+            continue;
+        };
+        let dcycles = *ci as i64 - cj as i64;
+        let delta = match (sj, stats_by_params.get(ei.params.as_str())) {
+            (Some(a), Some(b)) => Some(CounterDelta::between(a, b)),
+            _ => None,
+        };
+        let label = transform_label(&knob);
+        let row = rows.entry(label.clone()).or_insert_with(|| {
+            label_order.push(label.clone());
+            TransformRow {
+                transform: label,
+                pairs: 0,
+                knob: knob.clone(),
+                from: from.clone(),
+                to: to.clone(),
+                dcycles,
+                delta,
+            }
+        });
+        row.pairs += 1;
+        // Exemplar: the biggest cycle win; measured pairs beat
+        // cycles-only pairs at equal improvement.
+        if dcycles < row.dcycles
+            || (dcycles == row.dcycles && delta.is_some() && row.delta.is_none())
+        {
+            row.knob = knob;
+            row.from = from;
+            row.to = to;
+            row.dcycles = dcycles;
+            row.delta = delta;
+        }
+    }
+    let attribution: Vec<TransformRow> =
+        label_order.into_iter().map(|l| rows[&l].clone()).collect();
+
+    let n = scope_n(scope);
+    let features = winner
+        .as_ref()
+        .and_then(|w| w.stats.as_ref())
+        .zip(n)
+        .map(|(st, n)| FeatureVector::from_stats(st, n));
+
+    ScopeExplain {
+        scope: scope.to_string(),
+        n,
+        probes: evs.len() as u64,
+        measured: measured.len() as u64,
+        baseline,
+        winner,
+        winner_vs_baseline,
+        attribution,
+        path,
+        features,
+        db_note: None,
+    }
+}
+
+/// Cross-check each scope's trace winner against a tuned database:
+/// does the stored winner for the same kernel agree with what the trace
+/// converged to?
+pub fn annotate_with_db(rep: &mut ExplainReport, db: &TunedDb) {
+    let records = db.records();
+    for scope in &mut rep.scopes {
+        let kernel = scope.scope.split('@').next().unwrap_or("");
+        let Some(winner) = &scope.winner else {
+            continue;
+        };
+        let mut note = format!("no stored winner for kernel `{kernel}`");
+        for rec in &records {
+            if rec.kernel != kernel && !kernel.starts_with(&rec.kernel) {
+                continue;
+            }
+            let stored = format!("{:?}", rec.params);
+            note = if stored == winner.params {
+                format!("winner matches stored db entry ({} cycles)", rec.cycles)
+            } else {
+                format!(
+                    "winner differs from stored db entry ({} cycles, strategy {})",
+                    rec.cycles, rec.strategy
+                )
+            };
+            break;
+        }
+        scope.db_note = Some(note);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Render an explain report (deterministic for a given trace, like
+/// `report::render` — the JSON form is golden-tested).
+pub fn render(rep: &ExplainReport, format: ReportFormat) -> String {
+    match format {
+        ReportFormat::Text => render_text(rep),
+        ReportFormat::Json => render_json(rep),
+        ReportFormat::Markdown => render_md(rep),
+    }
+}
+
+fn fmt_params(p: &str) -> String {
+    // The debug form is long; compress the common prefix for display.
+    p.strip_prefix("TransformParams ").unwrap_or(p).to_string()
+}
+
+fn delta_cells(d: Option<&CounterDelta>) -> [String; 5] {
+    match d {
+        Some(d) => [
+            format!("{:+}", d.l1_misses),
+            format!("{:+}", d.l2_misses),
+            format!("{:+}", d.mispredicts),
+            format!("{:+}", d.bus_bytes),
+            format!("{:+.4}", d.prefetch_efficacy),
+        ],
+        None => std::array::from_fn(|_| "-".to_string()),
+    }
+}
+
+fn render_text(rep: &ExplainReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "ifko explain — why the winner wins");
+    if rep.malformed > 0 {
+        let _ = writeln!(out, "({} malformed line(s) skipped)", rep.malformed);
+    }
+    for s in &rep.scopes {
+        let _ = writeln!(out, "\n== {} ==", s.scope);
+        let _ = writeln!(
+            out,
+            "probes: {} ({} measured)  speedup: {}x",
+            s.probes,
+            s.measured,
+            f4(s.speedup())
+        );
+        for (name, c) in [("baseline", &s.baseline), ("winner", &s.winner)] {
+            if let Some(c) = c {
+                let _ = writeln!(
+                    out,
+                    "{:<8} [{}] {:>10} cycles  {}  {}",
+                    name,
+                    c.phase,
+                    c.cycles,
+                    c.bottleneck.map_or("unclassified", |b| b.label()),
+                    fmt_params(&c.params),
+                );
+            }
+        }
+        if let Some(d) = &s.winner_vs_baseline {
+            let _ = writeln!(out, "\nwinner vs baseline (counter movement):");
+            let _ = writeln!(out, "  cycles            {:+}", d.cycles);
+            let _ = writeln!(out, "  l1_misses         {:+}", d.l1_misses);
+            let _ = writeln!(out, "  l2_misses         {:+}", d.l2_misses);
+            let _ = writeln!(out, "  mispredicts       {:+}", d.mispredicts);
+            let _ = writeln!(out, "  bus_bytes         {:+}", d.bus_bytes);
+            let _ = writeln!(out, "  prefetch_efficacy {:+.4}", d.prefetch_efficacy);
+        }
+        if !s.attribution.is_empty() {
+            let _ = writeln!(out, "\nper-transform attribution (best one-knob pair):");
+            let _ = writeln!(
+                out,
+                "{:<10} {:>5} {:<14} {:<22} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8}",
+                "TRANSFORM",
+                "PAIRS",
+                "KNOB",
+                "CHANGE",
+                "dCYCLES",
+                "dL1MISS",
+                "dL2MISS",
+                "dMISPR",
+                "dBUSBYTES",
+                "dPFEFF"
+            );
+            for r in &s.attribution {
+                let cells = delta_cells(r.delta.as_ref());
+                let change = format!("{} -> {}", r.from, r.to);
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>5} {:<14} {:<22} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8}",
+                    r.transform,
+                    r.pairs,
+                    r.knob,
+                    change,
+                    format!("{:+}", r.dcycles),
+                    cells[0],
+                    cells[1],
+                    cells[2],
+                    cells[3],
+                    cells[4],
+                );
+            }
+        }
+        if s.path.len() > 1 {
+            let _ = writeln!(out, "\nconvergence path (bottleneck per candidate):");
+            let _ = writeln!(
+                out,
+                "{:>5} {:<8} {:>10} {:<16} {:>7} {:>7} {:>7} {:>7}",
+                "PROBE", "PHASE", "CYCLES", "BOTTLENECK", "IPC", "L1MR", "L2MR", "PFEFF"
+            );
+            for c in &s.path {
+                let dash = || "-".to_string();
+                let (ipc, l1, l2, pf) = match &c.stats {
+                    Some(st) => (
+                        f4(st.ipc()),
+                        f4(st.l1_miss_ratio()),
+                        f4(st.l2_miss_ratio()),
+                        f4(st.prefetch_efficacy()),
+                    ),
+                    None => (dash(), dash(), dash(), dash()),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:<8} {:>10} {:<16} {:>7} {:>7} {:>7} {:>7}",
+                    c.probe,
+                    c.phase,
+                    c.cycles,
+                    c.bottleneck.map_or("unclassified", |b| b.label()),
+                    ipc,
+                    l1,
+                    l2,
+                    pf,
+                );
+            }
+        }
+        if let Some(f) = &s.features {
+            let _ = writeln!(out, "\nwinner feature vector: {}", f.to_json());
+        }
+        if let Some(note) = &s.db_note {
+            let _ = writeln!(out, "tuned-db: {note}");
+        }
+    }
+    out
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn candidate_json(c: &CandidateView) -> String {
+    let mut o = format!(
+        "{{\"probe\":{},\"phase\":\"{}\",\"params\":\"{}\",\"cycles\":{}",
+        c.probe,
+        esc(&c.phase),
+        esc(&c.params),
+        c.cycles
+    );
+    if let Some(b) = c.bottleneck {
+        let _ = write!(o, ",\"bottleneck\":\"{}\"", b.label());
+    }
+    if let Some(st) = &c.stats {
+        let _ = write!(
+            o,
+            ",\"ipc\":{},\"l1_miss_ratio\":{},\"l2_miss_ratio\":{},\"prefetch_efficacy\":{}",
+            f4(st.ipc()),
+            f4(st.l1_miss_ratio()),
+            f4(st.l2_miss_ratio()),
+            f4(st.prefetch_efficacy())
+        );
+    }
+    o.push('}');
+    o
+}
+
+fn delta_json(d: &CounterDelta) -> String {
+    format!(
+        "{{\"cycles\":{},\"l1_misses\":{},\"l2_misses\":{},\"mispredicts\":{},\
+         \"bus_bytes\":{},\"prefetch_efficacy\":{}}}",
+        d.cycles,
+        d.l1_misses,
+        d.l2_misses,
+        d.mispredicts,
+        d.bus_bytes,
+        f4(d.prefetch_efficacy)
+    )
+}
+
+fn render_json(rep: &ExplainReport) -> String {
+    let mut out = format!("{{\n  \"malformed\": {},\n  \"scopes\": [", rep.malformed);
+    for (si, s) in rep.scopes.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"scope\":\"{}\",\"probes\":{},\"measured\":{},\"speedup\":{}",
+            esc(&s.scope),
+            s.probes,
+            s.measured,
+            f4(s.speedup())
+        );
+        if let Some(b) = &s.baseline {
+            let _ = write!(out, ",\n     \"baseline\":{}", candidate_json(b));
+        }
+        if let Some(w) = &s.winner {
+            let _ = write!(out, ",\n     \"winner\":{}", candidate_json(w));
+        }
+        if let Some(d) = &s.winner_vs_baseline {
+            let _ = write!(out, ",\n     \"winner_vs_baseline\":{}", delta_json(d));
+        }
+        out.push_str(",\n     \"attribution\":[");
+        for (i, r) in s.attribution.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"transform\":\"{}\",\"pairs\":{},\"knob\":\"{}\",\
+                 \"from\":\"{}\",\"to\":\"{}\",\"dcycles\":{}",
+                esc(&r.transform),
+                r.pairs,
+                esc(&r.knob),
+                esc(&r.from),
+                esc(&r.to),
+                r.dcycles
+            );
+            if let Some(d) = &r.delta {
+                let _ = write!(out, ",\"delta\":{}", delta_json(d));
+            }
+            out.push('}');
+        }
+        out.push_str("],\n     \"path\":[");
+        for (i, c) in s.path.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n      {}", candidate_json(c));
+        }
+        out.push(']');
+        if let Some(f) = &s.features {
+            let _ = write!(out, ",\n     \"features\":{}", f.to_json());
+        }
+        if let Some(note) = &s.db_note {
+            let _ = write!(out, ",\n     \"db\":\"{}\"", esc(note));
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn render_md(rep: &ExplainReport) -> String {
+    let mut out = String::from("# ifko explain\n");
+    if rep.malformed > 0 {
+        let _ = writeln!(out, "\n_{} malformed line(s) skipped_", rep.malformed);
+    }
+    for s in &rep.scopes {
+        let _ = writeln!(out, "\n## `{}`\n", s.scope);
+        let _ = writeln!(
+            out,
+            "{} probes ({} measured), speedup **{}x**\n",
+            s.probes,
+            s.measured,
+            f4(s.speedup())
+        );
+        let _ = writeln!(out, "| candidate | phase | cycles | bottleneck |");
+        let _ = writeln!(out, "|---|---|---:|---|");
+        for (name, c) in [("baseline", &s.baseline), ("winner", &s.winner)] {
+            if let Some(c) = c {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} |",
+                    name,
+                    c.phase,
+                    c.cycles,
+                    c.bottleneck.map_or("unclassified", |b| b.label())
+                );
+            }
+        }
+        if !s.attribution.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n| transform | pairs | knob | change | Δcycles | ΔL1 | ΔL2 | Δmispred | Δbus | Δpf-eff |"
+            );
+            let _ = writeln!(out, "|---|---:|---|---|---:|---:|---:|---:|---:|---:|");
+            for r in &s.attribution {
+                let cells = delta_cells(r.delta.as_ref());
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | `{}` | `{} -> {}` | {:+} | {} | {} | {} | {} | {} |",
+                    r.transform,
+                    r.pairs,
+                    r.knob,
+                    r.from,
+                    r.to,
+                    r.dcycles,
+                    cells[0],
+                    cells[1],
+                    cells[2],
+                    cells[3],
+                    cells[4],
+                );
+            }
+        }
+        if let Some(f) = &s.features {
+            let _ = writeln!(out, "\nwinner feature vector: `{}`", f.to_json());
+        }
+        if let Some(note) = &s.db_note {
+            let _ = writeln!(out, "\ntuned-db: {note}");
+        }
+    }
+    out
+}
+
+/// Convenience: read, merge, analyze, and render trace files, optionally
+/// cross-checking winners against a tuned database.
+pub fn explain_files(
+    paths: &[impl AsRef<Path>],
+    format: ReportFormat,
+    db: Option<&TunedDb>,
+) -> std::io::Result<String> {
+    let mut events = Vec::new();
+    let mut malformed = 0;
+    for p in paths {
+        let data = read_trace(p)?;
+        events.extend(data.events);
+        malformed += data.malformed;
+    }
+    let mut rep = analyze(&events, malformed);
+    if let Some(db) = db {
+        annotate_with_db(&mut rep, db);
+    }
+    Ok(render(&rep, format))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::parse_trace_line;
+
+    fn eval_line(phase: &str, params: &str, cycles: u64, stats: Option<(u64, u64)>) -> String {
+        let stats_part = match stats {
+            Some((insts, l1m)) => format!(
+                ",\"stats\":{{\"cycles\":{cycles},\"insts\":{insts},\"l1_hits\":900,\
+                 \"l1_misses\":{l1m},\"branches\":100,\"mispredicts\":1}}"
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{\"scope\":\"k@m/oc/n1024/s1/r1\",\"phase\":\"{phase}\",\"params\":\"{params}\",\
+             \"cycles\":{cycles},\"verified\":true,\"cache_hit\":false,\"wall_us\":5{stats_part}}}"
+        )
+    }
+
+    fn events(lines: &[String]) -> Vec<SearchEvent> {
+        lines.iter().map(|l| parse_trace_line(l).unwrap()).collect()
+    }
+
+    #[test]
+    fn knobs_parse_debug_form() {
+        let p = "TransformParams { simd: true, unroll: 8, accum_expand: 1, wnt: false, \
+                 prefetch: [PrefSpec { ptr: PtrId(0), kind: Some(Nta), dist: 128 }, \
+                 PrefSpec { ptr: PtrId(1), kind: None, dist: 64 }], loop_control: true, \
+                 cisc_memops: true, copy_prop: true, dead_code_elim: true, branch_cleanup: true }";
+        let k = knobs(p);
+        let get = |name: &str| {
+            k.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("?")
+        };
+        assert_eq!(get("simd"), "true");
+        assert_eq!(get("unroll"), "8");
+        assert_eq!(get("pf[0].kind"), "Some(Nta)");
+        assert_eq!(get("pf[0].dist"), "128");
+        assert_eq!(get("pf[1].kind"), "None");
+        assert_eq!(get("pf[1].dist"), "64");
+        assert_eq!(get("branch_cleanup"), "true");
+    }
+
+    #[test]
+    fn knobs_fall_back_on_foreign_params() {
+        assert_eq!(
+            knobs("simd=1 ur=4"),
+            vec![
+                ("simd".to_string(), "1".to_string()),
+                ("ur".to_string(), "4".to_string())
+            ]
+        );
+        assert_eq!(
+            knobs("<defaults>"),
+            vec![("params".to_string(), "<defaults>".to_string())]
+        );
+    }
+
+    #[test]
+    fn one_knob_neighbors_build_attribution() {
+        let lines = vec![
+            eval_line("SEED", "simd=0 ur=1", 1000, Some((500, 100))),
+            eval_line("SV", "simd=1 ur=1", 700, Some((500, 80))),
+            eval_line("UR", "simd=1 ur=4", 400, Some((400, 20))),
+            eval_line("UR", "simd=1 ur=8", 450, Some((420, 25))),
+        ];
+        let rep = analyze(&events(&lines), 0);
+        assert_eq!(rep.scopes.len(), 1);
+        let s = &rep.scopes[0];
+        assert_eq!(s.measured, 4);
+        assert_eq!(s.baseline.as_ref().unwrap().cycles, 1000);
+        assert_eq!(s.winner.as_ref().unwrap().cycles, 400);
+        assert_eq!(s.path.len(), 3);
+        // SV pair: 700 - 1000 = -300; UR exemplar: ur=1 -> ur=4 = -300.
+        let sv = s.attribution.iter().find(|r| r.transform == "SV").unwrap();
+        assert_eq!((sv.pairs, sv.dcycles), (1, -300));
+        let ur = s.attribution.iter().find(|r| r.transform == "UR").unwrap();
+        assert_eq!(ur.pairs, 2);
+        assert_eq!(ur.dcycles, -300);
+        assert_eq!((ur.from.as_str(), ur.to.as_str()), ("1", "4"));
+        let d = ur.delta.unwrap();
+        assert_eq!(d.cycles, -300);
+        assert_eq!(d.l1_misses, -60);
+        // Winner-vs-baseline delta spans the whole search.
+        let wd = s.winner_vs_baseline.unwrap();
+        assert_eq!(wd.cycles, -600);
+        assert_eq!(wd.l1_misses, -80);
+        // Feature vector derives from the winner's stats and scope n.
+        let f = s.features.as_ref().unwrap();
+        assert!((f.get("ipc").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classification_rules_in_order() {
+        let branchy = RunStats {
+            cycles: 1000,
+            insts: 2000,
+            branches: 100,
+            mispredicts: 10,
+            ..Default::default()
+        };
+        assert_eq!(classify(&branchy), Bottleneck::Branch);
+        let pf = RunStats {
+            cycles: 1000,
+            insts: 2000,
+            prefetch_issued: 100,
+            prefetch_dropped: 80,
+            ..Default::default()
+        };
+        assert_eq!(classify(&pf), Bottleneck::Prefetch);
+        let mem = RunStats {
+            cycles: 4000,
+            insts: 2000,
+            l1_hits: 80,
+            l1_misses: 20,
+            ..Default::default()
+        };
+        assert_eq!(classify(&mem), Bottleneck::Memory);
+        let cpu = RunStats {
+            cycles: 1000,
+            insts: 2500,
+            l1_hits: 1000,
+            ..Default::default()
+        };
+        assert_eq!(classify(&cpu), Bottleneck::Compute);
+    }
+
+    #[test]
+    fn renderers_are_deterministic_and_well_formed() {
+        let lines = vec![
+            eval_line("SEED", "simd=0 ur=1", 1000, Some((500, 100))),
+            eval_line("SV", "simd=1 ur=1", 700, None),
+        ];
+        let rep = analyze(&events(&lines), 1);
+        for fmt in [
+            ReportFormat::Text,
+            ReportFormat::Json,
+            ReportFormat::Markdown,
+        ] {
+            let a = render(&rep, fmt);
+            let b = render(&rep, fmt);
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+        }
+        let j = render(&rep, ReportFormat::Json);
+        let parsed = crate::report::parse_json(&j).expect("explain JSON must parse");
+        let scopes = parsed.get("scopes").unwrap();
+        if let crate::report::Json::Arr(items) = scopes {
+            assert_eq!(items.len(), 1);
+            assert!(items[0].get("winner").is_some());
+        } else {
+            panic!("scopes must be an array");
+        }
+    }
+}

@@ -185,6 +185,9 @@ pub struct GenericTuneOutcome {
     /// [`TuneConfig::profile_pipeline`](crate::TuneConfig::profile_pipeline)
     /// is on).
     pub pipeline_profile: Vec<ifko_fko::StageProfile>,
+    /// The winner's size-normalized counter vector (one clean run of the
+    /// recompiled winner) — the transfer warm-start hook (ROADMAP item 3).
+    pub features: ifko_xsim::FeatureVector,
 }
 
 /// Tune a user HIL kernel under a [`TuneConfig`] (called by
@@ -360,6 +363,9 @@ pub(crate) fn tune_source_with_config(
         }
     }
     let compiled = sess.compile(&result.best, CompileOpts::default())?;
+    let features = run_generic(&compiled, &w, context, machine)
+        .map(|out| ifko_xsim::FeatureVector::from_stats(&out.stats, n as u64))
+        .map_err(CompileError::codegen)?;
     let pipe = sess.stats();
     let reg = engine.metrics();
     reg.counter(crate::metrics::PIPE_COMPILES)
@@ -372,6 +378,7 @@ pub(crate) fn tune_source_with_config(
         result,
         compiled,
         pipeline_profile: sess.profile(),
+        features,
     })
 }
 

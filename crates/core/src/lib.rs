@@ -48,9 +48,11 @@
 //! assert!(out.result.best_cycles <= out.result.default_cycles);
 //! ```
 
+pub mod chrome;
 pub mod config;
 pub mod driver;
 pub mod eval;
+pub mod explain;
 pub mod fault;
 pub mod generic;
 pub mod metrics;
@@ -61,15 +63,17 @@ pub mod strategy;
 pub mod tester;
 pub mod timer;
 
+pub use chrome::{validate_chrome_trace, ChromeTraceSink};
 pub use config::TuneConfig;
 pub use driver::{flops_rate, TuneError, TuneOutcome};
 pub use eval::{
     machine_fingerprint, EvalCache, EvalEngine, EvalEvent, EvalScope, JsonlSink, MemSink,
-    SearchEvent, Span, SpanEvent, TraceSink,
+    SearchEvent, Span, SpanEvent, TeeSink, TraceSink,
 };
+pub use explain::{explain_files, Bottleneck, ExplainReport};
 pub use fault::FaultPlan;
 pub use generic::{tune_source, GenericTuneOutcome, GenericWorkload};
-pub use metrics::MetricsRegistry;
+pub use metrics::{MetricsRegistry, Timeseries};
 pub use runner::{Context, KernelArgs, Outputs, RunFailure};
 pub use search::{SearchOptions, SearchResult};
 pub use strategy::{Budget, SearchCtx, SearchDriver, StrategySpec, TunedDb, TunedRecord};

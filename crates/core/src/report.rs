@@ -281,28 +281,17 @@ pub fn parse_trace_line(line: &str) -> Option<SearchEvent> {
     }))
 }
 
-fn parse_stats(v: &Json) -> Option<RunStats> {
-    let f = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
-    Some(RunStats {
-        cycles: v.get("cycles")?.as_u64()?,
-        insts: f("insts"),
-        loads: f("loads"),
-        stores: f("stores"),
-        l1_hits: f("l1_hits"),
-        l1_misses: f("l1_misses"),
-        l2_hits: f("l2_hits"),
-        l2_misses: f("l2_misses"),
-        bus_read_bytes: f("bus_read_bytes"),
-        bus_write_bytes: f("bus_write_bytes"),
-        prefetch_issued: f("prefetch_issued"),
-        prefetch_dropped: f("prefetch_dropped"),
-        prefetch_useless: f("prefetch_useless"),
-        hw_prefetches: f("hw_prefetches"),
-        nt_stores: f("nt_stores"),
-        wc_flushes: f("wc_flushes"),
-        branches: f("branches"),
-        mispredicts: f("mispredicts"),
-    })
+/// Parse a trace `stats` object via [`RunStats::FIELDS`] — the same
+/// table the writer (`eval::stats_json`) iterates, so new counters
+/// cannot drift between writer and reader. `cycles` must be present;
+/// counters missing from older traces default to zero.
+pub(crate) fn parse_stats(v: &Json) -> Option<RunStats> {
+    v.get("cycles")?.as_u64()?;
+    let mut s = RunStats::default();
+    for (name, _, set) in RunStats::FIELDS {
+        set(&mut s, v.get(name).and_then(Json::as_u64).unwrap_or(0));
+    }
+    Some(s)
 }
 
 /// Read a trace file, skipping (and counting) malformed lines.
@@ -629,7 +618,7 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
 
 /// Parse the problem size back out of a scope key
 /// (`kernel@machine/ctx/n{N}/s{seed}/timer`).
-fn scope_n(scope: &str) -> Option<u64> {
+pub(crate) fn scope_n(scope: &str) -> Option<u64> {
     scope.split('/').find_map(|part| {
         part.strip_prefix('n')
             .and_then(|digits| digits.parse::<u64>().ok())
@@ -660,7 +649,7 @@ impl ReportFormat {
 }
 
 /// Deterministic float formatting shared by all renderers.
-fn f4(v: f64) -> String {
+pub(crate) fn f4(v: f64) -> String {
     format!("{v:.4}")
 }
 
@@ -736,7 +725,7 @@ fn render_text(rep: &TraceReport) -> String {
                 "winner hw: insts {}  L1 miss {}  L2 miss {}  bus rd/wr {}/{} B",
                 st.insts,
                 f4(st.l1_miss_ratio()),
-                f4(l2_miss_ratio(st)),
+                f4(st.l2_miss_ratio()),
                 st.bus_read_bytes,
                 st.bus_write_bytes
             ));
@@ -867,7 +856,7 @@ fn render_json(rep: &TraceReport) -> String {
                 ",\"winner\":{{\"insts\":{},\"l1_miss_ratio\":{},\"l2_miss_ratio\":{},\"bus_read_bytes\":{},\"bus_write_bytes\":{}",
                 st.insts,
                 f4(st.l1_miss_ratio()),
-                f4(l2_miss_ratio(st)),
+                f4(st.l2_miss_ratio()),
                 st.bus_read_bytes,
                 st.bus_write_bytes
             ));
@@ -965,15 +954,6 @@ fn opt_u64(v: Option<u64>) -> String {
     v.map_or("null".to_string(), |x| x.to_string())
 }
 
-fn l2_miss_ratio(s: &RunStats) -> f64 {
-    let total = s.l2_hits + s.l2_misses;
-    if total == 0 {
-        0.0
-    } else {
-        s.l2_misses as f64 / total as f64
-    }
-}
-
 /// Convenience: read, merge, analyze, and render trace files.
 pub fn report_files(paths: &[impl AsRef<Path>], format: ReportFormat) -> std::io::Result<String> {
     let mut events = Vec::new();
@@ -989,6 +969,24 @@ pub fn report_files(paths: &[impl AsRef<Path>], format: ReportFormat) -> std::io
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Writer (`eval::stats_json`) and reader (`parse_stats`) iterate
+    /// the same `RunStats::FIELDS` table, so any counter vector must
+    /// survive a serialize → parse round trip bit-exactly.
+    #[test]
+    fn stats_json_round_trips_through_field_table() {
+        let mut s = RunStats::default();
+        for (i, (_, _, set)) in RunStats::FIELDS.iter().enumerate() {
+            set(&mut s, (i as u64 + 1) * 1009);
+        }
+        let j = crate::eval::stats_json(&s);
+        let v = parse_json(&j).unwrap();
+        assert_eq!(parse_stats(&v), Some(s));
+        // Older traces may omit counters (default 0) but never `cycles`.
+        let minimal = parse_json(r#"{"cycles":7}"#).unwrap();
+        assert_eq!(parse_stats(&minimal).unwrap().cycles, 7);
+        assert!(parse_stats(&parse_json(r#"{"insts":7}"#).unwrap()).is_none());
+    }
 
     #[test]
     fn json_parser_round_trips_event_shapes() {

@@ -197,6 +197,15 @@ impl TunedDb {
         }
     }
 
+    /// All stored winners, sorted by key — a deterministic iteration
+    /// order for offline consumers (`ifko explain` cross-checks trace
+    /// winners against the database with it).
+    pub fn records(&self) -> Vec<TunedRecord> {
+        let mut v: Vec<TunedRecord> = self.entries.lock().unwrap().values().cloned().collect();
+        v.sort_by(|a, b| a.key.cmp(&b.key));
+        v
+    }
+
     pub fn len(&self) -> usize {
         self.entries.lock().unwrap().len()
     }

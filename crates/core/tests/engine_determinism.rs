@@ -6,8 +6,13 @@
 //! 2. **Cross-run caching** — a second identical run through a shared
 //!    cache performs zero fresh evaluations: every probe is a cache hit.
 //! 3. **Tracing** — every evaluation (including hits) emits one event.
+//! 4. **Counter determinism** — every probe's full hardware-counter
+//!    vector (all `RunStats::FIELDS`) is bit-identical across worker
+//!    counts and across reruns, so `ifko explain`'s attribution is
+//!    reproducible.
 
 use ifko::prelude::*;
+use ifko_xsim::RunStats;
 use std::sync::Arc;
 
 fn quick_cfg(n: usize) -> TuneConfig {
@@ -169,6 +174,58 @@ fn trace_covers_the_whole_search() {
     );
     assert!(spans.iter().any(|s| s.stage == "simulate"));
     assert!(spans.iter().all(|s| s.scope.contains("dot")));
+}
+
+/// Every probe's full counter vector — not just the best cycles — is
+/// bit-identical across `--jobs 1` / `--jobs 4` and across reruns.
+/// `ifko explain` diffs these counters probe against probe, so a single
+/// nondeterministic counter would corrupt the attribution table.
+#[test]
+fn counter_vectors_are_bit_identical_across_jobs_and_reruns() {
+    let k = Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::D,
+    };
+    // One (phase, params, cycles, full counter vector) row per probe,
+    // in trace order. wall_us is explicitly excluded: wall time is the
+    // one field allowed to vary between runs.
+    type ProbeRow = (String, String, Option<u64>, Option<Vec<u64>>);
+    let probe_rows = |jobs: usize| {
+        let sink = MemSink::new();
+        let out = quick_cfg(1024)
+            .trace(sink.clone())
+            .jobs(jobs)
+            .tune(k)
+            .unwrap();
+        let rows: Vec<ProbeRow> = sink
+            .evals()
+            .iter()
+            .map(|e| {
+                let counters = e
+                    .stats
+                    .as_ref()
+                    .map(|s| RunStats::FIELDS.iter().map(|(_, get, _)| get(s)).collect());
+                (e.phase.clone(), e.params.clone(), e.cycles, counters)
+            })
+            .collect();
+        (rows, out.features)
+    };
+    let (serial, serial_features) = probe_rows(1);
+    let (wide, wide_features) = probe_rows(4);
+    let (rerun, rerun_features) = probe_rows(1);
+    assert!(
+        serial.iter().any(|(_, _, _, c)| c.is_some()),
+        "no probe carried stats"
+    );
+    assert_eq!(
+        serial, wide,
+        "counter vectors differ between jobs=1 and jobs=4"
+    );
+    assert_eq!(serial, rerun, "counter vectors differ between reruns");
+    // The derived feature vector (explain's transfer hook) inherits the
+    // same determinism bit for bit.
+    assert_eq!(serial_features.values, wide_features.values);
+    assert_eq!(serial_features.values, rerun_features.values);
 }
 
 /// The generic (user HIL) tuning path is jobs-invariant too.

@@ -1,0 +1,122 @@
+//! `ifko explain` against committed fixtures: a frozen live trace must
+//! produce byte-identical JSON output (golden file), the analysis facts
+//! behind that rendering must hold, and explain must degrade gracefully
+//! over the hand-authored report fixture (simplified `k=v` params).
+
+use ifko::explain::analyze;
+use ifko::explain_files;
+use ifko::prelude::*;
+use ifko::report::{read_trace, ReportFormat};
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// `ifko explain --format json` over the committed trace is
+/// byte-identical to the committed golden file. Regenerate with:
+/// ```text
+/// target/release/ifko tune kernels/ddot.hil --n 512 --jobs 2 --trace /tmp/t.jsonl
+/// grep -v '"span"' /tmp/t.jsonl > crates/core/tests/fixtures/explain-trace.jsonl
+/// target/release/ifko explain crates/core/tests/fixtures/explain-trace.jsonl \
+///    --format json > crates/core/tests/fixtures/explain-report.json
+/// ```
+#[test]
+fn golden_json_explain() {
+    let got = explain_files(&[fixture("explain-trace.jsonl")], ReportFormat::Json, None).unwrap();
+    let want = std::fs::read_to_string(fixture("explain-report.json")).unwrap();
+    assert_eq!(got, want, "explain output drifted from the golden file");
+}
+
+/// The analysis behind the golden file: baseline/winner identified,
+/// counters attributed, bottlenecks classified, features extracted.
+#[test]
+fn fixture_attribution_is_faithful() {
+    let data = read_trace(fixture("explain-trace.jsonl")).unwrap();
+    assert_eq!(data.malformed, 0);
+    let rep = analyze(&data.events, data.malformed);
+    assert_eq!(rep.scopes.len(), 1);
+    let s = &rep.scopes[0];
+    assert_eq!(s.probes, 55);
+    assert_eq!(s.measured, 53);
+    let base = s.baseline.as_ref().expect("baseline probe");
+    let win = s.winner.as_ref().expect("winner probe");
+    assert_eq!(base.phase, "SEED");
+    assert_eq!(base.cycles, 8_058);
+    assert_eq!(win.cycles, 6_086);
+    assert!((s.speedup() - 8_058.0 / 6_086.0).abs() < 1e-9);
+    // Both endpoints carried stats, so both got a bottleneck verdict
+    // and the headline counter diff exists.
+    assert_eq!(base.bottleneck.map(|b| b.label()), Some("memory-bound"));
+    assert_eq!(win.bottleneck.map(|b| b.label()), Some("prefetch-limited"));
+    let d = s.winner_vs_baseline.as_ref().expect("winner/baseline diff");
+    assert_eq!(d.cycles, 6_086 - 8_058);
+    // The attribution table covers the transforms the search actually
+    // moved (one-knob pairs exist for prefetch and unroll at minimum),
+    // and every exemplar pair is a genuine single-knob step.
+    assert!(s.attribution.len() >= 3, "attribution table too small");
+    for row in &s.attribution {
+        assert!(row.pairs > 0);
+        assert_ne!(row.from, row.to, "{}: degenerate pair", row.knob);
+    }
+    assert!(s.attribution.iter().any(|r| r.transform == "PF DST"));
+    assert!(s.attribution.iter().any(|r| r.transform == "UR"));
+    // Convergence path replays the strict-improvement rule: monotone
+    // decreasing cycles, starting at the seed.
+    assert!(s.path.len() >= 2);
+    assert_eq!(s.path[0].probe, 0);
+    assert!(s.path.windows(2).all(|w| w[0].cycles > w[1].cycles));
+    // The winner's feature vector rode along for the transfer hook.
+    let f = s.features.as_ref().expect("winner feature vector");
+    assert_eq!(f.values.len(), ifko_xsim::FeatureVector::NAMES.len());
+    assert!(f.get("cycles_per_elem").unwrap() > 0.0);
+}
+
+/// The hand-authored report fixture uses simplified `k=v` params and
+/// injected faults — explain must analyze it without panicking and
+/// render in every format.
+#[test]
+fn explain_degrades_gracefully_on_foreign_params() {
+    for fmt in [
+        ReportFormat::Text,
+        ReportFormat::Json,
+        ReportFormat::Markdown,
+    ] {
+        let out = explain_files(&[fixture("sample-trace.jsonl")], fmt, None).unwrap();
+        assert!(out.contains("ddot"), "{fmt:?} render lost the scope");
+    }
+}
+
+/// End to end with the tuned-results database: tune with a db attached,
+/// then explain the trace with `--db` — the winner cross-check appears.
+#[test]
+fn explain_cross_checks_the_tuned_db() {
+    let dir = std::env::temp_dir().join(format!("ifko-explain-db-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.jsonl");
+
+    TuneConfig::quick(1024)
+        .trace_file(&trace)
+        .unwrap()
+        .tuned_db(dir.join("db"))
+        .unwrap()
+        .tune(Kernel {
+            op: BlasOp::Dot,
+            prec: Prec::D,
+        })
+        .unwrap();
+
+    let db = TunedDb::open(dir.join("db")).unwrap();
+    assert_eq!(db.len(), 1, "tune did not store its winner");
+    let out = explain_files(
+        &[trace.display().to_string()],
+        ReportFormat::Text,
+        Some(&db),
+    )
+    .unwrap();
+    assert!(
+        out.contains("matches stored db entry"),
+        "db cross-check missing from:\n{out}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

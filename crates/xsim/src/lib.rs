@@ -52,4 +52,4 @@ pub use isa::{Addr, Cond, FReg, IReg, Inst, Prec, PrefKind, Program, RegOrMem};
 pub use machine::{opteron, p4e, MachineConfig};
 pub use mem::Memory;
 pub use rng::Rng64;
-pub use stats::RunStats;
+pub use stats::{FeatureVector, RunStats};

@@ -49,6 +49,19 @@ observe:
         --metrics results/traces/figure7-quick-metrics.json
     cargo run --release -p ifko-cli -- report results/traces/figure7-quick.jsonl
 
+# Tune one kernel with every observability sink on, then explain the
+# winner (microarchitectural attribution + bottleneck classification)
+# and validate the Chrome/Perfetto trace. Open the .chrome.json file in
+# ui.perfetto.dev to browse the search timeline.
+explain:
+    mkdir -p results/traces
+    cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 --jobs 2 \
+        --trace results/traces/ddot.jsonl \
+        --trace-chrome results/traces/ddot.chrome.json \
+        --timeseries results/traces/ddot-ts.jsonl
+    cargo run --release -p ifko-cli -- explain results/traces/ddot.jsonl
+    cargo run --release -p ifko-cli -- explain --check-chrome results/traces/ddot.chrome.json
+
 # Drop the persistent evaluation cache and sample traces
 clean-cache:
     rm -rf results/cache results/traces

@@ -38,6 +38,18 @@ step "harness smoke: ifko report (trace analyzer)"
 cargo run --release -p ifko-cli -- report "$obs_tmp/table3.jsonl" | grep -q "stage time attribution"
 cargo run --release -p ifko-cli -- report "$obs_tmp/table3.jsonl" --format json >/dev/null
 
+step "harness smoke: ifko explain + --trace-chrome + --timeseries"
+cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 512 --jobs 2 \
+    --trace "$obs_tmp/explain.jsonl" --trace-chrome "$obs_tmp/explain.chrome.json" \
+    --timeseries "$obs_tmp/explain-ts.jsonl" >/dev/null
+test -s "$obs_tmp/explain-ts.jsonl"
+cargo run --release -p ifko-cli -- explain "$obs_tmp/explain.jsonl" \
+    | grep -q "per-transform attribution"
+cargo run --release -p ifko-cli -- explain "$obs_tmp/explain.jsonl" --format json >/dev/null
+# The Chrome trace must parse as JSON with properly nested spans — the
+# validator is built in, so the gate needs no external JSON tooling.
+cargo run --release -p ifko-cli -- explain --check-chrome "$obs_tmp/explain.chrome.json"
+
 step "harness smoke: strategies --quick (search strategies + tuned db)"
 cargo run --release -p ifko-bench --bin strategies -- --quick \
     --strategies line,random --budget 64 --db "$obs_tmp/db" > "$obs_tmp/strategies.txt"
