@@ -63,6 +63,9 @@ pub struct ExpConfig {
     /// Per-candidate retry budget for transient faults
     /// (`--max-retries N`; None leaves the library default).
     pub max_retries: Option<u32>,
+    /// Fraction of each batch the static cost model may prune before
+    /// compiling (`--model-prune FRAC`; 0 keeps predictions trace-only).
+    pub model_prune: f64,
 }
 
 impl ExpConfig {
@@ -134,6 +137,21 @@ impl ExpConfig {
                         }
                     }
                 }
+                "--model-prune" => {
+                    if let Some(v) = it.next() {
+                        match v.parse::<f64>() {
+                            Ok(f) if (0.0..=1.0).contains(&f) => cfg.model_prune = f,
+                            Ok(f) => {
+                                eprintln!("--model-prune: {f} outside [0, 1]");
+                                std::process::exit(2);
+                            }
+                            Err(e) => {
+                                eprintln!("--model-prune: {e}");
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -163,6 +181,7 @@ impl ExpConfig {
             db_dir: None,
             chaos: None,
             max_retries: None,
+            model_prune: 0.0,
         }
     }
     pub fn n_for(&self, ctx: Context) -> usize {
@@ -193,6 +212,9 @@ impl ExpConfig {
         }
         if let Some(r) = self.max_retries {
             cfg = cfg.max_retries(r);
+        }
+        if self.model_prune > 0.0 {
+            cfg = cfg.model_prune(self.model_prune);
         }
         if let Some(dir) = &self.db_dir {
             match cfg.clone().tuned_db(dir) {
@@ -717,6 +739,7 @@ mod tests {
             db_dir: None,
             chaos: None,
             max_retries: None,
+            model_prune: 0.0,
         }
     }
 

@@ -24,6 +24,7 @@ pub struct Args {
     pub strategy: Option<String>,
     pub budget: Option<String>,
     pub warm_start: bool,
+    pub model_prune: Option<f64>,
     pub db: Option<String>,
     pub chaos: Option<String>,
     pub max_retries: Option<u32>,
@@ -55,6 +56,7 @@ impl Args {
             strategy: None,
             budget: None,
             warm_start: false,
+            model_prune: None,
             db: None,
             chaos: None,
             max_retries: None,
@@ -103,6 +105,15 @@ impl Args {
                 "--strategy" => a.strategy = Some(value("--strategy")?),
                 "--budget" => a.budget = Some(value("--budget")?),
                 "--warm-start" => a.warm_start = true,
+                "--model-prune" => {
+                    let frac: f64 = value("--model-prune")?
+                        .parse()
+                        .map_err(|e| format!("--model-prune: {e}"))?;
+                    if !(0.0..=1.0).contains(&frac) {
+                        return Err(format!("--model-prune: {frac} outside [0, 1]"));
+                    }
+                    a.model_prune = Some(frac);
+                }
                 "--db" => a.db = Some(value("--db")?),
                 "--chaos" => a.chaos = Some(value("--chaos")?),
                 "--max-retries" => {
@@ -250,6 +261,19 @@ mod tests {
         assert_eq!(a.db.as_deref(), Some("results/db"));
         let a = Args::parse(v(&["k.hil"])).unwrap();
         assert!(a.strategy.is_none() && a.budget.is_none() && !a.warm_start && a.db.is_none());
+    }
+
+    #[test]
+    fn model_prune_flag_parses_and_validates() {
+        let a = Args::parse(v(&["k.hil", "--model-prune", "0.5"])).unwrap();
+        assert_eq!(a.model_prune, Some(0.5));
+        // Off by default; bad or out-of-range values are rejected.
+        let a = Args::parse(v(&["k.hil"])).unwrap();
+        assert!(a.model_prune.is_none());
+        assert!(Args::parse(v(&["k.hil", "--model-prune"])).is_err());
+        assert!(Args::parse(v(&["k.hil", "--model-prune", "1.5"])).is_err());
+        assert!(Args::parse(v(&["k.hil", "--model-prune", "-0.1"])).is_err());
+        assert!(Args::parse(v(&["k.hil", "--model-prune", "x"])).is_err());
     }
 
     #[test]

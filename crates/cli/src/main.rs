@@ -10,6 +10,7 @@
 //!                          [--metrics PATH] [--verify-ir] [--no-prune]
 //!                          [--strategy line|random|hillclimb|anneal|portfolio]
 //!                          [--budget PROBES|WALL] [--warm-start] [--db DIR]
+//!                          [--model-prune FRAC]
 //!                          [--chaos SEED[:RATE]] [--max-retries N]
 //! ifko lint     kernel.hil [kernel2.hil ...] [--machine M]
 //!                          [--format text|json]
@@ -25,7 +26,10 @@
 //! the winning parameters — for *any* kernel written in the HIL, not only
 //! the BLAS suite (`--strategy` swaps the search driver, `--budget` caps
 //! its probes or wall-clock, and `--warm-start`/`--db` persist winners in
-//! the tuned-results database; `--chaos SEED[:RATE]` injects deterministic
+//! the tuned-results database; `--model-prune FRAC` lets the static cost
+//! model skip the predicted-worst fraction of every batch before it
+//! compiles — 0, the default, keeps predictions trace-only;
+//! `--chaos SEED[:RATE]` injects deterministic
 //! compile/tester/timer/persistence faults to exercise the retry and
 //! recovery paths, with `--max-retries` bounding the per-candidate retry
 //! budget); `lint` runs the front end, the tuning-opportunity
@@ -307,6 +311,8 @@ fn lint_file(src: &str, machine: &MachineConfig) -> Vec<Diagnostic> {
         Err(e) => return e.diagnostics().to_vec(),
     };
     let mut diags = lint_analysis(sess.report());
+    // Cost-model advice (A105–A108): static predictions at FKO defaults.
+    diags.extend(ifko_fko::lint_costmodel(sess.ir(), sess.report(), machine));
     for params in [
         TransformParams::off(),
         TransformParams::defaults(sess.report(), machine),
@@ -469,6 +475,13 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
     if let Some(r) = args.max_retries {
         cfg = cfg.max_retries(r);
     }
+    if let Some(frac) = args.model_prune {
+        cfg = cfg.model_prune(frac);
+        eprintln!(
+            "cost-model pruning on: dropping worst {:.0}% of each batch by predicted cycles",
+            frac * 100.0
+        );
+    }
     // `--db DIR` attaches an explicit database; `--warm-start` alone uses
     // the conventional `results/db`.
     if args.db.is_some() || args.warm_start {
@@ -538,6 +551,12 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         "evaluations        : {} ({} rejected, {} cache hits, {} pruned)",
         out.result.evaluations, out.result.rejected, out.result.cache_hits, out.result.pruned
     );
+    if out.result.model_pruned > 0 {
+        println!(
+            "cost-model pruning : {} candidates skipped by predicted rank",
+            out.result.model_pruned
+        );
+    }
     if out.result.retries + out.result.faults + out.result.outliers + out.result.failed > 0 {
         println!(
             "fault handling     : {} faults injected, {} retries, {} outliers rejected, {} failed",

@@ -369,6 +369,7 @@ mod tests {
             cache_hit: false,
             wall_us: wall,
             stats: None,
+            predicted: None,
             pruned: None,
             strategy: "line".into(),
             retries: 0,

@@ -173,6 +173,14 @@ impl TuneConfig {
         self.search.prune = on;
         self
     }
+    /// Prune this fraction of each batch's fresh candidates from the
+    /// predicted-worst end of the static cost model's ranking
+    /// (`--model-prune FRAC`, clamped to [0, 1]). 0 (the default) keeps
+    /// every candidate; predictions still land in the trace.
+    pub fn model_prune(mut self, frac: f64) -> Self {
+        self.search.model_prune = frac.clamp(0.0, 1.0);
+        self
+    }
     /// Collect a per-stage wall-time profile (min/median/total per
     /// pipeline stage) across every candidate compile
     /// (`--profile-pipeline`). The profile lands on the outcome's

@@ -97,10 +97,40 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
         _ => None,
     };
 
+    // The static cost model for this session: locality follows the
+    // timing context (out-of-cache streams from memory; the in-L2
+    // context is bounded by the L2 side of the model). Always attached —
+    // at `--model-prune 0` predictions are trace-only.
+    let locality = if context == Context::OutOfCache {
+        ifko_fko::Locality::Mem
+    } else {
+        ifko_fko::Locality::L2
+    };
+    let model = |p: &TransformParams| {
+        sess.predict(p, machine)
+            .ok()
+            .map(|pred| pred.predicted_cycles(n as u64, locality))
+    };
+
+    // The kernel's static feature vector at FKO defaults: the similarity
+    // key stored with every tuned record, and — when the exact warm
+    // lookup missed — the probe for a transfer seed from the nearest
+    // tuned neighbor.
+    let defaults_sfv = sess
+        .predict(&TransformParams::defaults(sess.report(), machine), machine)
+        .ok()
+        .map(|pred| pred.features().values);
+    let transfer = match (&cfg.db, &key, &warm, &defaults_sfv) {
+        (Some(db), Some(k), None, Some(sfv)) => db.nearest_by_features(sfv, k),
+        _ => None,
+    };
+
     let result = crate::strategy::run_search(
         cfg.strategy,
         cfg.budget,
         warm.as_ref(),
+        transfer.as_ref(),
+        Some(&model),
         sess.report(),
         machine,
         &cfg.search,
@@ -164,6 +194,7 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
                     strategy: result.winner_strategy.clone(),
                     cycles: result.best_cycles,
                     params: result.best.clone(),
+                    features: defaults_sfv.clone(),
                 },
                 cfg.search.faults.as_ref(),
             );

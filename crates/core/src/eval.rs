@@ -161,8 +161,14 @@ pub struct EvalEvent {
     /// Simulator counters of the verification run (fresh evaluations
     /// only; cache hits do not re-run the simulator).
     pub stats: Option<RunStats>,
-    /// Legality-precheck rejection reason when the candidate was pruned
-    /// before compilation (`None` for evaluated / cached candidates).
+    /// Static cost-model prediction (cycles) for this candidate, when a
+    /// model was attached to the batch (`None` otherwise). Present for
+    /// hits and fresh evaluations alike, so predicted-vs-actual error is
+    /// computable from the trace.
+    pub predicted: Option<u64>,
+    /// Rejection reason when the candidate was pruned before compilation
+    /// (`None` for evaluated / cached candidates): a legality-precheck
+    /// code, or `model-rank` for cost-model pruning.
     pub pruned: Option<String>,
     /// Search strategy that submitted the candidate (`line`, `random`,
     /// ...; empty for untagged batches such as the driver's final
@@ -251,6 +257,11 @@ impl EvalEvent {
         }
         if let Some(st) = &self.stats {
             s.push_str(&format!(",\"stats\":{}", stats_json(st)));
+        }
+        // Model-era field: only present when a cost model was attached,
+        // so model-free traces stay byte-identical to older readers.
+        if let Some(p) = self.predicted {
+            s.push_str(&format!(",\"predicted\":{p}"));
         }
         if let Some(why) = &self.pruned {
             s.push_str(&format!(",\"pruned\":\"{}\"", esc(why)));
@@ -830,6 +841,41 @@ impl From<Option<u64>> for EvalRecord {
     }
 }
 
+/// Why a candidate was pruned before compilation: rejected by the
+/// analysis-driven legality precheck, or ranked into the discarded
+/// bottom fraction by the static cost model (`--model-prune`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PruneWhy {
+    /// The legality precheck proved the point futile.
+    Legality(Reject),
+    /// The cost model ranked the point into the pruned fraction.
+    Model,
+}
+
+impl PruneWhy {
+    /// Stable kebab-case reason string (trace/report vocabulary).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PruneWhy::Legality(r) => r.as_str(),
+            PruneWhy::Model => "model-rank",
+        }
+    }
+}
+
+/// Trace/report reason string for cost-model pruning (the `pruned` field
+/// value shared by [`PruneWhy::Model`], `ifko report`, and tests).
+pub const PRUNE_MODEL_RANK: &str = "model-rank";
+
+/// A static cost model attached to a batch: `hook` maps a candidate to
+/// its predicted cycles (`None` = no prediction, never pruned), and
+/// `prune_frac` is the fraction of fresh candidates to discard from the
+/// predicted-worst end (0.0 disables pruning; predictions still flow
+/// into the trace).
+pub struct ModelCtx<'m> {
+    pub hook: &'m (dyn Fn(&TransformParams) -> Option<u64> + Sync),
+    pub prune_frac: f64,
+}
+
 /// Outcome of one batch submission.
 #[derive(Clone, Debug)]
 pub struct BatchOutcome {
@@ -841,8 +887,10 @@ pub struct BatchOutcome {
     pub rejected: u32,
     /// Results served from the cache.
     pub cache_hits: u32,
-    /// Candidates pruned by the legality precheck (never compiled).
+    /// Candidates pruned before compilation (legality + cost model).
     pub pruned: u32,
+    /// The cost-model subset of `pruned` (`--model-prune`).
+    pub model_pruned: u32,
     /// Transient-failure retries burned across the batch.
     pub retries: u32,
     /// Faults injected across the batch by the chaos plan.
@@ -865,6 +913,7 @@ pub struct EngineStats {
     pub rejected: u64,
     pub cache_hits: u64,
     pub pruned: u64,
+    pub model_pruned: u64,
 }
 
 /// The evaluation engine: a scoped thread pool plus the shared cache and
@@ -883,6 +932,7 @@ pub struct EvalEngine {
     m_rejected: Arc<Counter>,
     m_cache_hits: Arc<Counter>,
     m_pruned: Arc<Counter>,
+    m_model_pruned: Arc<Counter>,
     m_retries: Arc<Counter>,
     m_faults: Arc<Counter>,
     m_outliers: Arc<Counter>,
@@ -920,6 +970,7 @@ impl EvalEngine {
             m_rejected: registry.counter(metrics::ENGINE_REJECTED),
             m_cache_hits: registry.counter(metrics::ENGINE_CACHE_HITS),
             m_pruned: registry.counter(metrics::ENGINE_PRUNED),
+            m_model_pruned: registry.counter(metrics::ENGINE_MODEL_PRUNED),
             m_retries: registry.counter(metrics::ENGINE_RETRIES),
             m_faults: registry.counter(metrics::ENGINE_FAULTS),
             m_outliers: registry.counter(metrics::ENGINE_OUTLIERS),
@@ -983,6 +1034,7 @@ impl EvalEngine {
             rejected: self.m_rejected.get(),
             cache_hits: self.m_cache_hits.get(),
             pruned: self.m_pruned.get(),
+            model_pruned: self.m_model_pruned.get(),
         }
     }
 
@@ -1062,6 +1114,37 @@ impl EvalEngine {
         P: Fn(&TransformParams) -> Result<(), Reject>,
         F: Fn(&TransformParams) -> EvalRecord + Sync,
     {
+        self.eval_batch_modeled(scope, strategy, phase, cands, precheck, None, eval)
+    }
+
+    /// [`EvalEngine::eval_batch_tagged`] with an optional static cost
+    /// model. When a [`ModelCtx`] is attached, every legal candidate gets
+    /// a predicted cycle count in its trace event, and — when
+    /// `prune_frac > 0` — the predicted-worst fraction of the batch is
+    /// pruned before compilation, exactly like legality pruning: result
+    /// `None`, reason `model-rank`, never cached. Cache hits count
+    /// toward the keep quota (a cached point is free but anchors the
+    /// cutoff) yet only *fresh* (unique, uncached, legal) candidates are
+    /// ever dropped. The keep/drop decision is made serially before the
+    /// parallel pass (sorted by predicted cycles, submission order
+    /// breaking ties; candidates tied with the cutoff prediction are all
+    /// kept; unpredicted candidates are never pruned), so the outcome is
+    /// bit-identical at any `jobs` width.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval_batch_modeled<P, F>(
+        &self,
+        scope: &EvalScope,
+        strategy: &'static str,
+        phase: &'static str,
+        cands: &[TransformParams],
+        precheck: P,
+        model: Option<ModelCtx<'_>>,
+        eval: F,
+    ) -> BatchOutcome
+    where
+        P: Fn(&TransformParams) -> Result<(), Reject>,
+        F: Fn(&TransformParams) -> EvalRecord + Sync,
+    {
         let keys: Vec<String> = cands.iter().map(|p| scope.point_key(p)).collect();
 
         // Serial pass: prune illegal points, then resolve cache hits and
@@ -1069,14 +1152,14 @@ impl EvalEngine {
         let mut results: Vec<Option<Option<u64>>> = vec![None; cands.len()];
         let mut stats: Vec<Option<RunStats>> = vec![None; cands.len()];
         let mut hit: Vec<bool> = vec![false; cands.len()];
-        let mut pruned_why: Vec<Option<Reject>> = vec![None; cands.len()];
+        let mut pruned_why: Vec<Option<PruneWhy>> = vec![None; cands.len()];
         let mut primary: HashMap<&str, usize> = HashMap::new();
         let mut dup_of: Vec<Option<usize>> = vec![None; cands.len()];
         let mut work: Vec<usize> = Vec::new();
         for i in 0..cands.len() {
             if let Err(why) = precheck(&cands[i]) {
                 results[i] = Some(None);
-                pruned_why[i] = Some(why);
+                pruned_why[i] = Some(PruneWhy::Legality(why));
             } else if let Some(v) = self.cache.get(&keys[i]) {
                 results[i] = Some(v);
                 hit[i] = true;
@@ -1085,6 +1168,55 @@ impl EvalEngine {
             } else {
                 primary.insert(keys[i].as_str(), i);
                 work.push(i);
+            }
+        }
+
+        // Serial model pass: predict every legal candidate (hits and
+        // duplicates included — predictions are session-cached and feed
+        // the predicted-vs-actual trace), then rank the fresh work and
+        // drop the predicted-worst fraction.
+        let mut predicted: Vec<Option<u64>> = vec![None; cands.len()];
+        if let Some(m) = &model {
+            for i in 0..cands.len() {
+                if pruned_why[i].is_none() {
+                    predicted[i] = (m.hook)(&cands[i]);
+                }
+            }
+            let frac = m.prune_frac.clamp(0.0, 1.0);
+            // Cache hits join the ranking pool: a cached point costs
+            // nothing to "evaluate" but still occupies a keep slot, so a
+            // refine sweep whose other arm is already cached can still
+            // prune its fresh arm against the cached prediction. Only
+            // fresh work is ever dropped.
+            let pool: Vec<usize> = (0..cands.len())
+                .filter(|&i| hit[i])
+                .chain(work.iter().copied())
+                .collect();
+            if frac > 0.0 && pool.len() > 1 && !work.is_empty() {
+                let mut ranked: Vec<usize> = pool
+                    .iter()
+                    .copied()
+                    .filter(|&i| predicted[i].is_some())
+                    .collect();
+                ranked.sort_by_key(|&i| (predicted[i], i));
+                let unranked = pool.len() - ranked.len();
+                let keep_total = (((1.0 - frac) * pool.len() as f64).ceil() as usize).max(1);
+                // Unpredicted candidates are always kept; the ranked ones
+                // fill the rest of the quota (at least one survives).
+                let keep_ranked = keep_total.saturating_sub(unranked).max(1).min(ranked.len());
+                if keep_ranked < ranked.len() {
+                    let cutoff = predicted[ranked[keep_ranked - 1]];
+                    for &i in &ranked[keep_ranked..] {
+                        // A candidate tied with the last survivor is kept:
+                        // the model cannot order ties, so it must not
+                        // split them.
+                        if predicted[i] > cutoff && !hit[i] {
+                            results[i] = Some(None);
+                            pruned_why[i] = Some(PruneWhy::Model);
+                        }
+                    }
+                    work.retain(|&i| pruned_why[i].is_none());
+                }
             }
         }
 
@@ -1167,6 +1299,10 @@ impl EvalEngine {
             .count() as u32;
         let cache_hits = hit.iter().filter(|&&h| h).count() as u32;
         let pruned = pruned_why.iter().filter(|w| w.is_some()).count() as u32;
+        let model_pruned = pruned_why
+            .iter()
+            .filter(|w| **w == Some(PruneWhy::Model))
+            .count() as u32;
         let retries: u32 = retries_v.iter().sum();
         let faults: u32 = faults_v.iter().sum();
         let outliers: u32 = outliers_v.iter().sum();
@@ -1178,6 +1314,7 @@ impl EvalEngine {
         self.m_rejected.add(rejected as u64);
         self.m_cache_hits.add(cache_hits as u64);
         self.m_pruned.add(pruned as u64);
+        self.m_model_pruned.add(model_pruned as u64);
         self.m_retries.add(retries as u64);
         self.m_faults.add(faults as u64);
         self.m_outliers.add(outliers as u64);
@@ -1194,6 +1331,7 @@ impl EvalEngine {
                     cache_hit: hit[i],
                     wall_us: wall_us[i],
                     stats: stats[i],
+                    predicted: predicted[i],
                     pruned: pruned_why[i].map(|w| w.as_str().to_string()),
                     strategy: strategy.to_string(),
                     retries: retries_v[i],
@@ -1210,6 +1348,7 @@ impl EvalEngine {
             rejected,
             cache_hits,
             pruned,
+            model_pruned,
             retries,
             faults,
             outliers,
@@ -1443,6 +1582,7 @@ mod tests {
             cache_hit: false,
             wall_us: 9,
             stats: None,
+            predicted: None,
             pruned: None,
             strategy: String::new(),
             retries: 0,
@@ -1461,6 +1601,14 @@ mod tests {
         assert!(tagged
             .to_json()
             .ends_with("\"wall_us\":9,\"strategy\":\"line\"}"));
+        let modeled = EvalEvent {
+            predicted: Some(1234),
+            pruned: Some(PRUNE_MODEL_RANK.to_string()),
+            ..ev.clone()
+        };
+        assert!(modeled
+            .to_json()
+            .ends_with("\"wall_us\":9,\"predicted\":1234,\"pruned\":\"model-rank\"}"));
         let chaotic = EvalEvent {
             retries: 2,
             faults: 3,
@@ -1572,6 +1720,159 @@ mod tests {
             .count();
         assert!(present >= 31, "only {present}/32 records survived");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_frac_zero_is_bit_identical_and_traces_predictions() {
+        let cands: Vec<_> = (1..=9).map(point).collect();
+        let f = |p: &TransformParams| {
+            if p.unroll == 5 {
+                EvalRecord::rejected()
+            } else {
+                EvalRecord::from(Some(2000 / p.unroll as u64))
+            }
+        };
+        let plain =
+            EvalEngine::new(2).eval_batch_tagged(&scope(), "line", "UR", &cands, |_| Ok(()), f);
+        let sink = MemSink::new();
+        let eng = EvalEngine::new(2).with_trace(sink.clone());
+        let hook = |p: &TransformParams| Some(p.unroll as u64 * 7);
+        let modeled = eng.eval_batch_modeled(
+            &scope(),
+            "line",
+            "UR",
+            &cands,
+            |_| Ok(()),
+            Some(ModelCtx {
+                hook: &hook,
+                prune_frac: 0.0,
+            }),
+            f,
+        );
+        // frac 0: identical outcome, predictions trace-only.
+        assert_eq!(plain.results, modeled.results);
+        assert_eq!(plain.evaluated, modeled.evaluated);
+        assert_eq!(plain.rejected, modeled.rejected);
+        assert_eq!(modeled.pruned, 0);
+        assert_eq!(modeled.model_pruned, 0);
+        let evs = sink.evals();
+        assert_eq!(evs.len(), 9);
+        for (ev, c) in evs.iter().zip(&cands) {
+            assert_eq!(ev.predicted, Some(c.unroll as u64 * 7));
+            assert!(ev.pruned.is_none());
+        }
+    }
+
+    #[test]
+    fn model_prunes_worst_fraction_before_compile() {
+        let sink = MemSink::new();
+        let reg = Arc::new(MetricsRegistry::new());
+        let eng = EvalEngine::new(2)
+            .with_trace(sink.clone())
+            .with_metrics(reg.clone());
+        let cands: Vec<_> = (1..=4).map(point).collect();
+        // Model ranks low unroll best; frac 0.5 keeps ceil(2) = {1, 2}.
+        let hook = |p: &TransformParams| Some(p.unroll as u64);
+        let out = eng.eval_batch_modeled(
+            &scope(),
+            "line",
+            "UR",
+            &cands,
+            |_| Ok(()),
+            Some(ModelCtx {
+                hook: &hook,
+                prune_frac: 0.5,
+            }),
+            |p| {
+                assert!(p.unroll <= 2, "pruned candidate reached the evaluator");
+                EvalRecord::from(Some(p.unroll as u64 * 10))
+            },
+        );
+        assert_eq!(out.results, vec![Some(10), Some(20), None, None]);
+        assert_eq!(out.evaluated, 2);
+        assert_eq!(out.pruned, 2);
+        assert_eq!(out.model_pruned, 2);
+        assert_eq!(eng.stats().model_pruned, 2);
+        assert_eq!(reg.counter_value(metrics::ENGINE_MODEL_PRUNED), Some(2));
+        let evs = sink.evals();
+        assert_eq!(evs[2].pruned.as_deref(), Some(PRUNE_MODEL_RANK));
+        assert_eq!(evs[3].predicted, Some(4));
+        // Model-pruned points are never cached: a model-free resubmission
+        // evaluates them fresh and the survivors hit.
+        let out2 = eng.eval_batch_records(&scope(), "UR", &cands, |p| {
+            EvalRecord::from(Some(p.unroll as u64 * 10))
+        });
+        assert_eq!(
+            out2.results,
+            (1..=4).map(|u| Some(u * 10)).collect::<Vec<_>>()
+        );
+        assert_eq!(out2.evaluated, 2);
+        assert_eq!(out2.cache_hits, 2);
+    }
+
+    #[test]
+    fn model_never_splits_ties_or_prunes_unpredicted() {
+        let eng = EvalEngine::new(1);
+        let cands: Vec<_> = (1..=4).map(point).collect();
+        // All candidates predict identically: the cutoff ties with every
+        // dropped candidate, so nothing may be pruned.
+        let flat = |_: &TransformParams| Some(100u64);
+        let out = eng.eval_batch_modeled(
+            &scope(),
+            "line",
+            "UR",
+            &cands,
+            |_| Ok(()),
+            Some(ModelCtx {
+                hook: &flat,
+                prune_frac: 0.5,
+            }),
+            |p| EvalRecord::from(Some(p.unroll as u64)),
+        );
+        assert_eq!(out.model_pruned, 0);
+        assert_eq!(out.evaluated, 4);
+        // A hook with no prediction never prunes.
+        let eng2 = EvalEngine::new(1);
+        let none = |_: &TransformParams| None;
+        let out2 = eng2.eval_batch_modeled(
+            &scope(),
+            "line",
+            "UR",
+            &cands,
+            |_| Ok(()),
+            Some(ModelCtx {
+                hook: &none,
+                prune_frac: 0.9,
+            }),
+            |p| EvalRecord::from(Some(p.unroll as u64)),
+        );
+        assert_eq!(out2.model_pruned, 0);
+        assert_eq!(out2.evaluated, 4);
+    }
+
+    #[test]
+    fn model_pruning_is_jobs_deterministic() {
+        let cands: Vec<_> = (1..=13).map(point).collect();
+        let hook = |p: &TransformParams| Some(1000 / p.unroll as u64);
+        let run = |jobs: usize| {
+            EvalEngine::new(jobs).eval_batch_modeled(
+                &scope(),
+                "line",
+                "UR",
+                &cands,
+                |_| Ok(()),
+                Some(ModelCtx {
+                    hook: &hook,
+                    prune_frac: 0.4,
+                }),
+                |p| EvalRecord::from(Some(p.unroll as u64 * 3)),
+            )
+        };
+        let serial = run(1);
+        let wide = run(8);
+        assert_eq!(serial.results, wide.results);
+        assert_eq!(serial.model_pruned, wide.model_pruned);
+        assert!(serial.model_pruned > 0);
     }
 
     #[test]

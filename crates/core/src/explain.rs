@@ -263,6 +263,19 @@ pub struct CandidateView {
     /// through the first fresh evaluation of the same point).
     pub stats: Option<RunStats>,
     pub bottleneck: Option<Bottleneck>,
+    /// The static cost model's cycle prediction for this point, when the
+    /// trace carries one (searches run with a model attached record a
+    /// prediction for every candidate, pruned or not).
+    pub predicted: Option<u64>,
+}
+
+impl CandidateView {
+    /// Signed prediction error, percent of measured cycles
+    /// (`+` = model overestimated).
+    pub fn pred_err_pct(&self) -> Option<f64> {
+        let p = self.predicted?;
+        (self.cycles > 0).then(|| (p as f64 - self.cycles as f64) / self.cycles as f64 * 100.0)
+    }
 }
 
 /// One row of the per-transform attribution table: the best-improving
@@ -345,9 +358,13 @@ fn explain_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeExplain {
     // Cache hits carry no counters; the first fresh evaluation of a
     // point speaks for every later hit on it.
     let mut stats_by_params: HashMap<&str, RunStats> = HashMap::new();
+    let mut pred_by_params: HashMap<&str, u64> = HashMap::new();
     for e in evs {
         if let Some(st) = e.stats {
             stats_by_params.entry(e.params.as_str()).or_insert(st);
+        }
+        if let Some(p) = e.predicted {
+            pred_by_params.entry(e.params.as_str()).or_insert(p);
         }
     }
     let view = |probe: u64, e: &EvalEvent, cycles: u64| {
@@ -359,6 +376,9 @@ fn explain_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeExplain {
             cycles,
             stats,
             bottleneck: stats.map(|s| classify(&s)),
+            predicted: e
+                .predicted
+                .or_else(|| pred_by_params.get(e.params.as_str()).copied()),
         }
     };
 
@@ -539,14 +559,22 @@ fn render_text(rep: &ExplainReport) -> String {
             s.measured,
             f4(s.speedup())
         );
+        // Model-era columns: only rendered when the trace carries
+        // predictions, so pre-model traces keep their exact output.
+        let has_pred = s.path.iter().any(|c| c.predicted.is_some());
         for (name, c) in [("baseline", &s.baseline), ("winner", &s.winner)] {
             if let Some(c) = c {
+                let pred = match (c.predicted, c.pred_err_pct()) {
+                    (Some(p), Some(err)) => format!("  pred {p} ({err:+.1}%)"),
+                    _ => String::new(),
+                };
                 let _ = writeln!(
                     out,
-                    "{:<8} [{}] {:>10} cycles  {}  {}",
+                    "{:<8} [{}] {:>10} cycles{}  {}  {}",
                     name,
                     c.phase,
                     c.cycles,
+                    pred,
                     c.bottleneck.map_or("unclassified", |b| b.label()),
                     fmt_params(&c.params),
                 );
@@ -598,11 +626,28 @@ fn render_text(rep: &ExplainReport) -> String {
         }
         if s.path.len() > 1 {
             let _ = writeln!(out, "\nconvergence path (bottleneck per candidate):");
-            let _ = writeln!(
-                out,
-                "{:>5} {:<8} {:>10} {:<16} {:>7} {:>7} {:>7} {:>7}",
-                "PROBE", "PHASE", "CYCLES", "BOTTLENECK", "IPC", "L1MR", "L2MR", "PFEFF"
-            );
+            if has_pred {
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:<8} {:>10} {:>10} {:>7} {:<16} {:>7} {:>7} {:>7} {:>7}",
+                    "PROBE",
+                    "PHASE",
+                    "CYCLES",
+                    "PRED",
+                    "ERR%",
+                    "BOTTLENECK",
+                    "IPC",
+                    "L1MR",
+                    "L2MR",
+                    "PFEFF"
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:<8} {:>10} {:<16} {:>7} {:>7} {:>7} {:>7}",
+                    "PROBE", "PHASE", "CYCLES", "BOTTLENECK", "IPC", "L1MR", "L2MR", "PFEFF"
+                );
+            }
             for c in &s.path {
                 let dash = || "-".to_string();
                 let (ipc, l1, l2, pf) = match &c.stats {
@@ -614,18 +659,37 @@ fn render_text(rep: &ExplainReport) -> String {
                     ),
                     None => (dash(), dash(), dash(), dash()),
                 };
-                let _ = writeln!(
-                    out,
-                    "{:>5} {:<8} {:>10} {:<16} {:>7} {:>7} {:>7} {:>7}",
-                    c.probe,
-                    c.phase,
-                    c.cycles,
-                    c.bottleneck.map_or("unclassified", |b| b.label()),
-                    ipc,
-                    l1,
-                    l2,
-                    pf,
-                );
+                if has_pred {
+                    let pred = c.predicted.map_or_else(dash, |p| p.to_string());
+                    let err = c.pred_err_pct().map_or_else(dash, |e| format!("{e:+.1}"));
+                    let _ = writeln!(
+                        out,
+                        "{:>5} {:<8} {:>10} {:>10} {:>7} {:<16} {:>7} {:>7} {:>7} {:>7}",
+                        c.probe,
+                        c.phase,
+                        c.cycles,
+                        pred,
+                        err,
+                        c.bottleneck.map_or("unclassified", |b| b.label()),
+                        ipc,
+                        l1,
+                        l2,
+                        pf,
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{:>5} {:<8} {:>10} {:<16} {:>7} {:>7} {:>7} {:>7}",
+                        c.probe,
+                        c.phase,
+                        c.cycles,
+                        c.bottleneck.map_or("unclassified", |b| b.label()),
+                        ipc,
+                        l1,
+                        l2,
+                        pf,
+                    );
+                }
             }
         }
         if let Some(f) = &s.features {
@@ -652,6 +716,14 @@ fn candidate_json(c: &CandidateView) -> String {
     );
     if let Some(b) = c.bottleneck {
         let _ = write!(o, ",\"bottleneck\":\"{}\"", b.label());
+    }
+    // Model-era fields: only present when the trace carried a prediction,
+    // so pre-model goldens stay byte-identical.
+    if let Some(p) = c.predicted {
+        let _ = write!(o, ",\"predicted\":{p}");
+        if let Some(err) = c.pred_err_pct() {
+            let _ = write!(o, ",\"pred_err_pct\":{}", f4(err));
+        }
     }
     if let Some(st) = &c.stats {
         let _ = write!(
@@ -758,18 +830,44 @@ fn render_md(rep: &ExplainReport) -> String {
             s.measured,
             f4(s.speedup())
         );
-        let _ = writeln!(out, "| candidate | phase | cycles | bottleneck |");
-        let _ = writeln!(out, "|---|---|---:|---|");
+        let has_pred = s.path.iter().any(|c| c.predicted.is_some());
+        if has_pred {
+            let _ = writeln!(
+                out,
+                "| candidate | phase | cycles | predicted | err% | bottleneck |"
+            );
+            let _ = writeln!(out, "|---|---|---:|---:|---:|---|");
+        } else {
+            let _ = writeln!(out, "| candidate | phase | cycles | bottleneck |");
+            let _ = writeln!(out, "|---|---|---:|---|");
+        }
         for (name, c) in [("baseline", &s.baseline), ("winner", &s.winner)] {
             if let Some(c) = c {
-                let _ = writeln!(
-                    out,
-                    "| {} | {} | {} | {} |",
-                    name,
-                    c.phase,
-                    c.cycles,
-                    c.bottleneck.map_or("unclassified", |b| b.label())
-                );
+                if has_pred {
+                    let pred = c.predicted.map_or_else(|| "-".into(), |p| p.to_string());
+                    let err = c
+                        .pred_err_pct()
+                        .map_or_else(|| "-".into(), |e| format!("{e:+.1}"));
+                    let _ = writeln!(
+                        out,
+                        "| {} | {} | {} | {} | {} | {} |",
+                        name,
+                        c.phase,
+                        c.cycles,
+                        pred,
+                        err,
+                        c.bottleneck.map_or("unclassified", |b| b.label())
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {} | {} | {} |",
+                        name,
+                        c.phase,
+                        c.cycles,
+                        c.bottleneck.map_or("unclassified", |b| b.label())
+                    );
+                }
             }
         }
         if !s.attribution.is_empty() {
@@ -920,6 +1018,60 @@ mod tests {
         // Feature vector derives from the winner's stats and scope n.
         let f = s.features.as_ref().unwrap();
         assert!((f.get("ipc").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictions_surface_next_to_measured_cycles() {
+        // Hand-authored trace with model predictions on every candidate.
+        let line = |phase: &str, params: &str, cycles: u64, predicted: u64| {
+            format!(
+                "{{\"scope\":\"k@m/oc/n1024/s1/r1\",\"phase\":\"{phase}\",\"params\":\"{params}\",\
+                 \"cycles\":{cycles},\"verified\":true,\"cache_hit\":false,\"wall_us\":5,\
+                 \"predicted\":{predicted}}}"
+            )
+        };
+        let lines = vec![
+            line("SEED", "simd=0 ur=1", 1000, 1100),
+            line("SV", "simd=1 ur=1", 700, 650),
+            line("UR", "simd=1 ur=4", 400, 410),
+        ];
+        let rep = analyze(&events(&lines), 0);
+        let s = &rep.scopes[0];
+        let base = s.baseline.as_ref().unwrap();
+        assert_eq!(base.predicted, Some(1100));
+        assert!((base.pred_err_pct().unwrap() - 10.0).abs() < 1e-9);
+        let win = s.winner.as_ref().unwrap();
+        assert_eq!(win.predicted, Some(410));
+        assert!((win.pred_err_pct().unwrap() - 2.5).abs() < 1e-9);
+
+        let text = render(&rep, ReportFormat::Text);
+        assert!(text.contains("PRED"), "{text}");
+        assert!(text.contains("ERR%"), "{text}");
+        assert!(text.contains("pred 410 (+2.5%)"), "{text}");
+        let json = render(&rep, ReportFormat::Json);
+        assert!(
+            json.contains("\"predicted\":410,\"pred_err_pct\":2.5000"),
+            "{json}"
+        );
+        let md = render(&rep, ReportFormat::Markdown);
+        assert!(md.contains("| predicted | err% |"), "{md}");
+
+        // Model-free traces keep the pre-model layout exactly.
+        let plain = vec![
+            eval_line("SEED", "simd=0 ur=1", 1000, Some((500, 100))),
+            eval_line("UR", "simd=1 ur=4", 400, Some((400, 20))),
+        ];
+        let rep = analyze(&events(&plain), 0);
+        for fmt in [
+            ReportFormat::Text,
+            ReportFormat::Json,
+            ReportFormat::Markdown,
+        ] {
+            let out = render(&rep, fmt);
+            for marker in ["PRED", "ERR%", "predicted", "pred_err_pct"] {
+                assert!(!out.contains(marker), "{fmt:?} leaked `{marker}`: {out}");
+            }
+        }
     }
 
     #[test]

@@ -235,10 +235,34 @@ pub(crate) fn tune_source_with_config(
         _ => None,
     };
 
+    // Static cost model (same contract as the BLAS driver): locality
+    // follows the timing context; predictions ride the trace at
+    // `--model-prune 0` and gate candidates above it.
+    let locality = if context == Context::OutOfCache {
+        ifko_fko::Locality::Mem
+    } else {
+        ifko_fko::Locality::L2
+    };
+    let model = |p: &TransformParams| {
+        sess.predict(p, machine)
+            .ok()
+            .map(|pred| pred.predicted_cycles(n as u64, locality))
+    };
+    let defaults_sfv = sess
+        .predict(&TransformParams::defaults(sess.report(), machine), machine)
+        .ok()
+        .map(|pred| pred.features().values);
+    let transfer = match (&cfg.db, &key, &warm, &defaults_sfv) {
+        (Some(db), Some(k), None, Some(sfv)) => db.nearest_by_features(sfv, k),
+        _ => None,
+    };
+
     let result = crate::strategy::run_search(
         cfg.strategy,
         cfg.budget,
         warm.as_ref(),
+        transfer.as_ref(),
+        Some(&model),
         sess.report(),
         machine,
         opts,
@@ -357,6 +381,7 @@ pub(crate) fn tune_source_with_config(
                     strategy: result.winner_strategy.clone(),
                     cycles: result.best_cycles,
                     params: result.best.clone(),
+                    features: defaults_sfv.clone(),
                 },
                 opts.faults.as_ref(),
             );

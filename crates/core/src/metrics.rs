@@ -543,6 +543,9 @@ pub const ENGINE_EVALS: &str = "ifko_engine_evals_total";
 pub const ENGINE_REJECTED: &str = "ifko_engine_rejected_total";
 /// Candidates pruned by the legality precheck before compilation.
 pub const ENGINE_PRUNED: &str = "ifko_engine_pruned_total";
+/// Candidates pruned by the static cost model (`--model-prune`), a
+/// subset of `ifko_engine_pruned_total`.
+pub const ENGINE_MODEL_PRUNED: &str = "ifko_engine_model_pruned_total";
 /// Candidates submitted across all batches (pruned + cached + fresh).
 pub const ENGINE_PROBES: &str = "ifko_engine_probes_total";
 /// Batch probes answered by the evaluation cache (incl. in-batch dups).
@@ -594,6 +597,9 @@ pub const STRATEGY_PROBES: &str = "ifko_strategy_probes_total";
 pub const STRATEGY_WINS: &str = "ifko_strategy_wins_total";
 /// Warm starts where the stored winner verified and ended the search.
 pub const DB_WARM_HITS: &str = "ifko_db_warm_hits_total";
+/// Transfer warm starts: searches seeded from the nearest tuned record
+/// by static-feature distance when no exact warm hit existed.
+pub const DB_XFER_SEEDS: &str = "ifko_db_xfer_seeds_total";
 /// Winners appended to the tuned-results database.
 pub const DB_STORES: &str = "ifko_db_stores_total";
 /// Malformed tuned-db records skipped (and repaired) on load.

@@ -268,6 +268,7 @@ pub fn parse_trace_line(line: &str) -> Option<SearchEvent> {
         cache_hit: v.get("cache_hit")?.as_bool()?,
         wall_us: v.get("wall_us")?.as_u64()?,
         stats: v.get("stats").and_then(parse_stats),
+        predicted: v.get("predicted").and_then(Json::as_u64),
         pruned: v.get("pruned").and_then(Json::as_str).map(str::to_string),
         strategy: v
             .get("strategy")
@@ -358,8 +359,12 @@ pub struct ScopeReport {
     pub fresh: u64,
     pub cache_hits: u64,
     pub rejected: u64,
-    /// Candidates pruned by the legality precheck (never compiled).
+    /// Candidates pruned before compiling (legality precheck plus the
+    /// cost-model cut — `model_pruned` is the model's share).
     pub pruned: u64,
+    /// The cost-model subset of `pruned`: candidates ranked out by
+    /// predicted cycles under `--model-prune` (0 for model-free traces).
+    pub model_pruned: u64,
     /// Transient-failure retries burned (compile/tester re-runs plus
     /// timing-rep re-times; 0 for fault-free traces).
     pub retries: u64,
@@ -494,6 +499,7 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         cache_hits: 0,
         rejected: 0,
         pruned: 0,
+        model_pruned: 0,
         retries: 0,
         faults: 0,
         outliers: 0,
@@ -518,6 +524,9 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         // nor a cache hit — it never reached the compiler.
         if e.pruned.is_some() {
             rep.pruned += 1;
+            if e.pruned.as_deref() == Some(crate::eval::PRUNE_MODEL_RANK) {
+                rep.model_pruned += 1;
+            }
         } else if e.cache_hit {
             rep.cache_hits += 1;
         } else {
@@ -672,6 +681,12 @@ fn render_text(rep: &TraceReport) -> String {
             "probes {} (fresh {}, cache hits {}, rejected {}, pruned {})\n",
             sc.probes, sc.fresh, sc.cache_hits, sc.rejected, sc.pruned
         ));
+        if sc.model_pruned > 0 {
+            s.push_str(&format!(
+                "cost model pruned {} of {} candidates before compile\n",
+                sc.model_pruned, sc.probes
+            ));
+        }
         if sc.retries + sc.faults + sc.outliers + sc.failed > 0 {
             s.push_str(&format!(
                 "chaos: {} retries, {} faults injected, {} outliers rejected, {} failed\n",
@@ -794,6 +809,11 @@ fn render_json(rep: &TraceReport) -> String {
             sc.rejected,
             sc.pruned
         ));
+        // Model-era field: present only when the cost model cut something,
+        // so reports over model-free traces stay byte-identical.
+        if sc.model_pruned > 0 {
+            s.push_str(&format!(",\"model_pruned\":{}", sc.model_pruned));
+        }
         s.push_str(&format!(
             ",\"retries\":{},\"faults\":{},\"outliers\":{},\"failed\":{}",
             sc.retries, sc.faults, sc.outliers, sc.failed
@@ -897,6 +917,9 @@ fn render_md(rep: &TraceReport) -> String {
             "{} probes — {} fresh, {} cache hits, {} rejected, {} pruned; ",
             sc.probes, sc.fresh, sc.cache_hits, sc.rejected, sc.pruned
         ));
+        if sc.model_pruned > 0 {
+            s.push_str(&format!("{} model-pruned; ", sc.model_pruned));
+        }
         if sc.retries + sc.faults + sc.outliers + sc.failed > 0 {
             s.push_str(&format!(
                 "chaos: {} retries, {} faults, {} outliers, {} failed; ",
@@ -1014,6 +1037,13 @@ mod tests {
         let e = ev.as_eval().unwrap();
         assert_eq!(e.cycles, Some(7));
         assert!(e.stats.is_none());
+        assert_eq!(e.predicted, None, "pre-model traces decode without it");
+
+        let ev = parse_trace_line(
+            r#"{"scope":"s","phase":"UR","params":"p","cycles":7,"verified":true,"cache_hit":false,"wall_us":3,"predicted":1234}"#,
+        )
+        .unwrap();
+        assert_eq!(ev.as_eval().unwrap().predicted, Some(1234));
 
         let ev = parse_trace_line(
             r#"{"scope":"s","phase":"UR","params":"p","cycles":null,"verified":false,"cache_hit":false,"wall_us":3,"stats":{"cycles":9,"insts":4}}"#,
@@ -1050,6 +1080,7 @@ mod tests {
                 l1_misses: 1,
                 ..Default::default()
             }),
+            predicted: None,
             pruned: None,
             retries: 0,
             faults: 0,
@@ -1090,6 +1121,38 @@ mod tests {
             "phase speedups compose"
         );
         assert_eq!(sc.best_stats.unwrap().cycles, 60);
+    }
+
+    #[test]
+    fn model_pruned_is_counted_and_rendered_only_when_present() {
+        // Model-free traces: no model_pruned accounting, no extra output.
+        let plain = vec![eval("SEED", Some(100), false), eval("UR", Some(80), false)];
+        let rep = analyze(&plain, 0);
+        assert_eq!(rep.scopes[0].model_pruned, 0);
+        assert!(!render(&rep, ReportFormat::Text).contains("cost model"));
+        assert!(!render(&rep, ReportFormat::Json).contains("model_pruned"));
+        assert!(!render(&rep, ReportFormat::Markdown).contains("model-pruned"));
+
+        // A "model-rank"-pruned probe counts into both pruned buckets;
+        // a legality-pruned probe only into the total.
+        let mut cut = eval("UR", None, false);
+        if let SearchEvent::Eval(e) = &mut cut {
+            e.pruned = Some(crate::eval::PRUNE_MODEL_RANK.to_string());
+        }
+        let mut illegal = eval("UR", None, false);
+        if let SearchEvent::Eval(e) = &mut illegal {
+            e.pruned = Some("simd-unsupported".to_string());
+        }
+        let events = vec![eval("SEED", Some(100), false), cut, illegal];
+        let rep = analyze(&events, 0);
+        let sc = &rep.scopes[0];
+        assert_eq!((sc.probes, sc.pruned, sc.model_pruned), (3, 2, 1));
+        assert!(render(&rep, ReportFormat::Text)
+            .contains("cost model pruned 1 of 3 candidates before compile"));
+        let json = render(&rep, ReportFormat::Json);
+        assert!(json.contains("\"model_pruned\":1"), "{json}");
+        assert!(parse_json(&json).is_some(), "bad report json: {json}");
+        assert!(render(&rep, ReportFormat::Markdown).contains("1 model-pruned; "));
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub struct SearchOptions {
     /// a kernel with no reduction) are pruned for free. Winner-neutral —
     /// see `prune_equivalence.rs`.
     pub prune: bool,
+    /// Fraction of each batch's fresh candidates to prune from the
+    /// predicted-worst end of the static cost model's ranking
+    /// (`--model-prune FRAC`). 0.0 (the default) disables pruning —
+    /// predictions still flow into the trace when a model is attached.
+    pub model_prune: f64,
     /// Chaos plan (`--chaos SEED[:RATE]`): inject deterministic transient
     /// faults into compile/tester/timing. `None` (the default) evaluates
     /// everything fault-free.
@@ -127,6 +132,7 @@ impl Default for SearchOptions {
             refine: true,
             verify_ir: false,
             prune: true,
+            model_prune: 0.0,
             faults: None,
             max_retries: 2,
         }
@@ -145,6 +151,7 @@ impl SearchOptions {
             refine: true,
             verify_ir: false,
             prune: true,
+            model_prune: 0.0,
             faults: None,
             max_retries: 2,
         }
@@ -165,8 +172,10 @@ pub struct SearchResult {
     pub rejected: u32,
     /// Evaluations answered by the cross-phase evaluation cache.
     pub cache_hits: u32,
-    /// Candidates pruned by the legality precheck (never compiled).
+    /// Candidates pruned before compilation (legality + cost model).
     pub pruned: u32,
+    /// The cost-model subset of `pruned` (`--model-prune`).
+    pub model_pruned: u32,
     /// Strategy that drove the search (`line`, `random`, `portfolio`,
     /// ...; `warm` when a tuned-database hit ended it early).
     pub strategy: String,
@@ -280,6 +289,8 @@ pub fn line_search_engine(
     crate::strategy::run_search(
         crate::strategy::StrategySpec::Line,
         crate::strategy::Budget::unlimited(),
+        None,
+        None,
         None,
         sess.report(),
         machine,
@@ -698,6 +709,7 @@ pub fn line_search_batched(
         rejected: 0,
         cache_hits: 0,
         pruned: 0,
+        model_pruned: 0,
         strategy: "line".to_string(),
         winner_strategy: "line".to_string(),
         retries: 0,

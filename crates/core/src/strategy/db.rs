@@ -50,6 +50,10 @@ pub struct TunedRecord {
     /// Winning cycles at tuning time.
     pub cycles: u64,
     pub params: TransformParams,
+    /// Static feature vector of the kernel at FKO defaults
+    /// (`StaticFeatureVector::values` order) — the similarity key for
+    /// transfer warm starts. `None` on records from older revisions.
+    pub features: Option<Vec<f64>>,
 }
 
 /// The canonical database key.
@@ -206,6 +210,36 @@ impl TunedDb {
         v
     }
 
+    /// The stored winner nearest to `features` by Euclidean distance
+    /// over the static feature vectors — the transfer warm-start lookup
+    /// for a kernel with no exact key hit. Only records that carry a
+    /// same-length feature vector participate; `exclude_key` (the exact
+    /// key that just missed) never matches itself. Ties break toward the
+    /// smaller key ([`TunedDb::records`] iterates key-sorted), so the
+    /// choice is deterministic.
+    pub fn nearest_by_features(&self, features: &[f64], exclude_key: &str) -> Option<TunedRecord> {
+        let mut best: Option<(f64, TunedRecord)> = None;
+        for rec in self.records() {
+            if rec.key == exclude_key {
+                continue;
+            }
+            let Some(f) = &rec.features else { continue };
+            if f.len() != features.len() {
+                continue;
+            }
+            let d = f
+                .iter()
+                .zip(features)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                best = Some((d, rec));
+            }
+        }
+        best.map(|(_, r)| r)
+    }
+
     pub fn len(&self) -> usize {
         self.entries.lock().unwrap().len()
     }
@@ -335,10 +369,10 @@ pub fn params_from_json(v: &Json) -> Option<TransformParams> {
 }
 
 fn record_json(rec: &TunedRecord) -> String {
-    format!(
+    let mut s = format!(
         "{{\"key\":\"{}\",\"kernel\":\"{}\",\"prec\":\"{}\",\"machine\":\"{}\",\
          \"context\":\"{}\",\"rev\":\"{}\",\"n\":{},\"seed\":{},\"strategy\":\"{}\",\
-         \"cycles\":{},\"params\":{}}}",
+         \"cycles\":{},\"params\":{}",
         esc(&rec.key),
         esc(&rec.kernel),
         esc(&rec.prec),
@@ -350,11 +384,31 @@ fn record_json(rec: &TunedRecord) -> String {
         esc(&rec.strategy),
         rec.cycles,
         params_json(&rec.params)
-    )
+    );
+    // Static feature vector rides at the end, only when present, so
+    // records without one stay byte-identical to the older format.
+    if let Some(f) = &rec.features {
+        let vals: Vec<String> = f.iter().map(|v| format!("{v:.6}")).collect();
+        s.push_str(&format!(",\"sfv\":[{}]", vals.join(",")));
+    }
+    s.push('}');
+    s
 }
 
 fn parse_record(line: &str) -> Option<TunedRecord> {
     let v = parse_json(line.trim())?;
+    // Tolerant: records from older revisions carry no `sfv` field, and a
+    // malformed one degrades to None rather than dropping the record.
+    let features = v.get("sfv").and_then(|j| match j {
+        Json::Arr(items) => items
+            .iter()
+            .map(|x| match x {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            })
+            .collect::<Option<Vec<f64>>>(),
+        _ => None,
+    });
     Some(TunedRecord {
         key: v.get("key")?.as_str()?.to_string(),
         kernel: v.get("kernel")?.as_str()?.to_string(),
@@ -367,6 +421,7 @@ fn parse_record(line: &str) -> Option<TunedRecord> {
         strategy: v.get("strategy")?.as_str()?.to_string(),
         cycles: v.get("cycles")?.as_u64()?,
         params: params_from_json(v.get("params")?)?,
+        features,
     })
 }
 
@@ -407,6 +462,7 @@ mod tests {
             strategy: "line".to_string(),
             cycles,
             params: sample_params(),
+            features: None,
         }
     }
 
@@ -498,6 +554,50 @@ mod tests {
         // final append can be torn on disk.
         let db = TunedDb::open(&dir).unwrap();
         assert!(db.len() >= 23, "only {}/24 records survived", db.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn features_round_trip_and_old_records_parse() {
+        // A record with a feature vector survives the JSONL round trip.
+        let mut rec = sample_record("fk", 500);
+        rec.features = Some(vec![1.5, 0.25, 3.0]);
+        let parsed = parse_record(&record_json(&rec)).unwrap();
+        assert_eq!(parsed.features, Some(vec![1.5, 0.25, 3.0]));
+        // A record without one serializes with no `sfv` field at all and
+        // parses back to None (old-format compatibility).
+        let bare = sample_record("fk2", 600);
+        let line = record_json(&bare);
+        assert!(!line.contains("sfv"));
+        assert_eq!(parse_record(&line).unwrap().features, None);
+    }
+
+    #[test]
+    fn nearest_by_features_picks_closest_and_skips_self() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-near-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = TunedDb::open(&dir).unwrap();
+        let mut near = sample_record("a-near", 100);
+        near.features = Some(vec![1.0, 1.0]);
+        let mut far = sample_record("b-far", 200);
+        far.features = Some(vec![10.0, 10.0]);
+        let mut bad_len = sample_record("c-badlen", 300);
+        bad_len.features = Some(vec![1.0]);
+        let no_feat = sample_record("d-none", 400);
+        for r in [&near, &far, &bad_len, &no_feat] {
+            db.store(r);
+        }
+        let hit = db.nearest_by_features(&[1.1, 0.9], "").unwrap();
+        assert_eq!(hit.key, "a-near");
+        // Excluding the nearest key falls through to the next one.
+        let hit = db.nearest_by_features(&[1.1, 0.9], "a-near").unwrap();
+        assert_eq!(hit.key, "b-far");
+        // Ties break toward the smaller key.
+        let mut tie = sample_record("a-tie", 500);
+        tie.features = Some(vec![10.0, 10.0]);
+        db.store(&tie);
+        let hit = db.nearest_by_features(&[10.0, 10.0], "").unwrap();
+        assert_eq!(hit.key, "a-tie");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

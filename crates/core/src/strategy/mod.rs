@@ -41,7 +41,7 @@ pub use global::{Anneal, HillClimb, RandomSearch, SearchSpace};
 pub use line::LineSearch;
 pub use portfolio::Portfolio;
 
-use crate::eval::{EvalEngine, EvalRecord, EvalScope, Span};
+use crate::eval::{EvalEngine, EvalRecord, EvalScope, ModelCtx, Span};
 use crate::metrics;
 use crate::search::{PhaseGain, SearchMetrics, SearchOptions, SearchResult, PHASE_SEED};
 use ifko_fko::{precheck, AnalysisReport, TransformParams};
@@ -53,6 +53,19 @@ pub const PHASE_WARM: &str = "WARM";
 
 /// Strategy label reported when a warm start short-circuits the search.
 pub const STRATEGY_WARM: &str = "warm";
+
+/// Phase label for probing a transfer seed: the nearest tuned record by
+/// static-feature distance when no exact warm hit exists.
+pub const PHASE_XFER: &str = "XFER";
+
+/// Strategy label attributed to transfer-seeded probes, so a winner that
+/// came straight from the transferred point is visible in reports.
+pub const STRATEGY_XFER: &str = "xfer";
+
+/// A static cost model as the harness sees it: candidate → predicted
+/// cycles (`None` = no prediction). Typically a closure over
+/// `CompileSession::predict` and the machine/context of the search.
+pub type ModelHook<'a> = dyn Fn(&TransformParams) -> Option<u64> + Sync + 'a;
 
 // ---------------------------------------------------------------------------
 // Budget
@@ -385,11 +398,19 @@ impl<'a> SearchCtx<'a> {
 /// single-point evaluator (compile → verify → time). When `warm` is
 /// given, the stored winner is re-verified first (`WARM` phase) and, if
 /// it still verifies, returned immediately without running the driver.
+/// When `model` is given, every batch flows through the static cost
+/// model (predictions traced; the predicted-worst `opts.model_prune`
+/// fraction pruned). When `transfer` is given (no exact warm hit, but a
+/// nearby tuned record by static-feature distance), the transferred
+/// point is probed once up front (`XFER` phase) so the driver's searches
+/// start from — and the final winner can be — a proven neighbor.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_search<F, E>(
     spec: StrategySpec,
     budget: Budget,
     warm: Option<&TunedRecord>,
+    transfer: Option<&TunedRecord>,
+    model: Option<&ModelHook<'_>>,
     rep: &AnalysisReport,
     machine: &MachineConfig,
     opts: &SearchOptions,
@@ -411,6 +432,7 @@ where
     let mut rejected = 0u32;
     let mut cache_hits = 0u32;
     let mut pruned = 0u32;
+    let mut model_pruned = 0u32;
     let mut retries = 0u32;
     let mut faults = 0u32;
     let mut outliers = 0u32;
@@ -423,7 +445,12 @@ where
         }
     };
     let mut eval = |strategy: &'static str, phase: &'static str, cands: &[TransformParams]| {
-        let out = engine.eval_batch_tagged(scope, strategy, phase, cands, check, &eval_point);
+        let mctx = model.map(|hook| ModelCtx {
+            hook,
+            prune_frac: opts.model_prune,
+        });
+        let out =
+            engine.eval_batch_modeled(scope, strategy, phase, cands, check, mctx, &eval_point);
         sm.observe_batch(phase, &out.results);
         reg.counter(&metrics::labeled(
             metrics::STRATEGY_PROBES,
@@ -435,6 +462,7 @@ where
         rejected += out.rejected;
         cache_hits += out.cache_hits;
         pruned += out.pruned;
+        model_pruned += out.model_pruned;
         retries += out.retries;
         faults += out.faults;
         outliers += out.outliers;
@@ -495,12 +523,34 @@ where
             // evaluation above stays cached, so nothing is wasted.
             ctx.strategy = spec.name();
         }
+        if warm.is_none() {
+            if let Some(rec) = transfer {
+                // Transfer warm start: probe the nearest tuned neighbor's
+                // winner once (re-verified like any candidate) before the
+                // driver runs. If it holds up, the strict-improvement
+                // winner tracking below lets it beat the driver's result;
+                // if it doesn't verify, the search proceeds unharmed.
+                ctx.strategy = STRATEGY_XFER;
+                let defaults = TransformParams::defaults(rep, machine);
+                let _ = ctx.submit(PHASE_SEED, std::slice::from_ref(&defaults));
+                let _ = ctx.submit(PHASE_XFER, std::slice::from_ref(&rec.params));
+                reg.counter(metrics::DB_XFER_SEEDS).inc();
+                ctx.strategy = spec.name();
+            }
+        }
         let mut driver = spec.build();
         let dr = driver.run(&mut ctx);
         let winner = ctx.winner_strategy.unwrap_or(driver.name()).to_string();
+        // The context tracked the best verified point across *every*
+        // submission, including the transfer probe, which the driver's
+        // own result cannot see. Prefer it when strictly better.
+        let (best, best_cycles) = match ctx.best() {
+            Some((p, c)) if c < dr.best_cycles => (p.clone(), c),
+            _ => (dr.best, dr.best_cycles),
+        };
         (
-            dr.best,
-            dr.best_cycles,
+            best,
+            best_cycles,
             dr.default_cycles,
             dr.gains,
             spec.name().to_string(),
@@ -524,6 +574,7 @@ where
         rejected,
         cache_hits,
         pruned,
+        model_pruned,
         strategy,
         winner_strategy: winner,
         retries,

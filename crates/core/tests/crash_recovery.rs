@@ -34,6 +34,7 @@ fn rec(key: &str, cycles: u64, seed: u64) -> TunedRecord {
         strategy: "line".into(),
         cycles,
         params: TransformParams::off(),
+        features: None,
     }
 }
 

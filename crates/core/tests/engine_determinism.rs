@@ -228,6 +228,58 @@ fn counter_vectors_are_bit_identical_across_jobs_and_reruns() {
     assert_eq!(serial_features.values, rerun_features.values);
 }
 
+/// The static cost model inherits the same contract: every probe's
+/// prediction in the trace is bit-identical across worker counts and
+/// across reruns, and the analysis-side feature vector from a *reused*
+/// compile session (prediction cache warm) matches a fresh session bit
+/// for bit.
+#[test]
+fn static_predictions_and_features_are_deterministic() {
+    let k = Kernel {
+        op: BlasOp::Dot,
+        prec: Prec::D,
+    };
+    type Row = (String, String, Option<u64>);
+    let rows = |jobs: usize| -> Vec<Row> {
+        let sink = MemSink::new();
+        quick_cfg(1024)
+            .trace(sink.clone())
+            .jobs(jobs)
+            .tune(k)
+            .unwrap();
+        sink.evals()
+            .iter()
+            .map(|e| (e.phase.clone(), e.params.clone(), e.predicted))
+            .collect()
+    };
+    let serial = rows(1);
+    assert!(
+        serial.iter().any(|(_, _, p)| p.is_some()),
+        "no probe carried a prediction"
+    );
+    assert_eq!(serial, rows(4), "predictions differ between jobs=1 and 4");
+    assert_eq!(serial, rows(1), "predictions differ between reruns");
+
+    // Session reuse: the second predict() of the same point answers from
+    // the session's prediction cache and must reproduce the fresh
+    // analysis exactly — features included. An independent session must
+    // agree too.
+    let m = p4e();
+    let src = ifko_blas::hil_src::hil_source(k.op, k.prec);
+    let sess = ifko_fko::CompileSession::from_source(&src, &m).unwrap();
+    let params = ifko_fko::TransformParams::defaults(sess.report(), &m);
+    let cold = sess.predict(&params, &m).unwrap();
+    let warm = sess.predict(&params, &m).unwrap();
+    assert_eq!(cold.features().values, warm.features().values);
+    let other = ifko_fko::CompileSession::from_source(&src, &m).unwrap();
+    let fresh = other.predict(&params, &m).unwrap();
+    assert_eq!(cold.features().values, fresh.features().values);
+    assert_eq!(
+        cold.predicted_cycles(1024, ifko_fko::costmodel::Locality::Mem),
+        fresh.predicted_cycles(1024, ifko_fko::costmodel::Locality::Mem)
+    );
+}
+
 /// The generic (user HIL) tuning path is jobs-invariant too.
 #[test]
 fn generic_tuning_is_jobs_invariant() {

@@ -71,6 +71,46 @@ fn fixture_attribution_is_faithful() {
     assert!(f.get("cycles_per_elem").unwrap() > 0.0);
 }
 
+/// Model-era golden: the committed trace was recorded with the static
+/// cost model attached, so every measured candidate carries a
+/// prediction and explain renders the predicted-vs-actual column.
+/// Regenerate exactly like `explain-trace.jsonl`, writing to the
+/// `explain-model-*` names.
+#[test]
+fn golden_json_explain_with_predictions() {
+    let got = explain_files(
+        &[fixture("explain-model-trace.jsonl")],
+        ReportFormat::Json,
+        None,
+    )
+    .unwrap();
+    let want = std::fs::read_to_string(fixture("explain-model-report.json")).unwrap();
+    assert_eq!(got, want, "model-era explain output drifted from golden");
+
+    // The facts the golden encodes: predictions on the whole path, and
+    // a rendered error column in the human format.
+    let data = read_trace(fixture("explain-model-trace.jsonl")).unwrap();
+    let rep = analyze(&data.events, data.malformed);
+    let s = &rep.scopes[0];
+    assert!(s.path.len() >= 2);
+    for c in &s.path {
+        assert!(
+            c.predicted.is_some(),
+            "path probe {} lost its prediction",
+            c.probe
+        );
+        assert!(c.pred_err_pct().is_some());
+    }
+    let text = explain_files(
+        &[fixture("explain-model-trace.jsonl")],
+        ReportFormat::Text,
+        None,
+    )
+    .unwrap();
+    assert!(text.contains("PRED"), "prediction column missing:\n{text}");
+    assert!(text.contains("ERR%"), "error column missing:\n{text}");
+}
+
 /// The hand-authored report fixture uses simplified `k=v` params and
 /// injected faults — explain must analyze it without panicking and
 /// render in every format.

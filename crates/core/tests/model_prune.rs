@@ -1,0 +1,182 @@
+//! The static cost model through the whole stack (ISSUE 8 acceptance):
+//!
+//! 1. **Off by default, bit-identical** — `--model-prune 0` attaches the
+//!    model for trace-side predictions only; tuned winners are identical
+//!    to a run with no pruning configured, on both machine models.
+//! 2. **Real savings at 0.5** — pruning the predicted-worst half of each
+//!    batch cuts fresh evaluations by ≥30% on the ddot/daxpy line-search
+//!    stream while converging to the same winner.
+//! 3. **Jobs-deterministic** — model pruning decisions are made serially
+//!    before the parallel pass, so any `--jobs` gives the same outcome.
+//! 4. **Transfer warm starts** — when `--warm-start` finds no exact hit,
+//!    the nearest tuned record by static-feature distance is probed
+//!    (visible in the trace as an `XFER` probe), after re-verification.
+
+use ifko::eval::{MemSink, SearchEvent};
+use ifko::prelude::*;
+use ifko::strategy::TunedDb;
+
+fn dk(op: BlasOp) -> Kernel {
+    Kernel { op, prec: Prec::D }
+}
+
+fn cfg(n: usize) -> TuneConfig {
+    TuneConfig::quick(n)
+}
+
+/// At the default `--model-prune 0`, winners are bit-identical to an
+/// explicit zero (the model is attached either way; only the cut differs)
+/// and nothing is model-pruned.
+#[test]
+fn frac_zero_is_bit_identical_on_both_machines() {
+    for mach in [p4e(), opteron()] {
+        for op in [BlasOp::Dot, BlasOp::Axpy] {
+            let k = dk(op);
+            let base = cfg(2048).machine(mach.clone()).tune(k).unwrap();
+            let zero = cfg(2048)
+                .machine(mach.clone())
+                .model_prune(0.0)
+                .tune(k)
+                .unwrap();
+            let tag = format!("{} on {}", k.name(), mach.name);
+            assert_eq!(base.result.best, zero.result.best, "{tag}");
+            assert_eq!(base.result.best_cycles, zero.result.best_cycles, "{tag}");
+            assert_eq!(base.result.evaluations, zero.result.evaluations, "{tag}");
+            assert_eq!(base.result.model_pruned, 0, "{tag}");
+            assert_eq!(zero.result.model_pruned, 0, "{tag}");
+        }
+    }
+}
+
+/// Pruning the predicted-worst half of every batch must buy a real
+/// reduction in fresh evaluations — ≥30% across the ddot/daxpy stream —
+/// without changing either winner.
+#[test]
+fn frac_half_cuts_evaluations_without_changing_winners() {
+    let mut full_evals = 0u32;
+    let mut pruned_evals = 0u32;
+    for op in [BlasOp::Dot, BlasOp::Axpy] {
+        let k = dk(op);
+        let full = cfg(4096).tune(k).unwrap();
+        let cut = cfg(4096).model_prune(0.5).tune(k).unwrap();
+        let tag = k.name();
+        assert_eq!(full.result.best, cut.result.best, "{tag}: winner changed");
+        assert_eq!(
+            full.result.best_cycles, cut.result.best_cycles,
+            "{tag}: winning cycles changed"
+        );
+        assert!(cut.result.model_pruned > 0, "{tag}: nothing model-pruned");
+        // probes = fresh + hits + pruned stays an invariant.
+        full_evals += full.result.evaluations;
+        pruned_evals += cut.result.evaluations;
+    }
+    assert!(
+        (pruned_evals as f64) <= 0.7 * full_evals as f64,
+        "model pruning saved too little: {pruned_evals} of {full_evals} fresh evaluations"
+    );
+}
+
+/// The pruning decision is taken serially before the batch fans out, so
+/// worker count cannot change what survives.
+#[test]
+fn model_pruning_is_jobs_deterministic() {
+    let k = dk(BlasOp::Dot);
+    let one = cfg(2048).model_prune(0.5).jobs(1).tune(k).unwrap();
+    let eight = cfg(2048).model_prune(0.5).jobs(8).tune(k).unwrap();
+    assert_eq!(one.result.best, eight.result.best);
+    assert_eq!(one.result.best_cycles, eight.result.best_cycles);
+    assert_eq!(one.result.evaluations, eight.result.evaluations);
+    assert_eq!(one.result.model_pruned, eight.result.model_pruned);
+}
+
+/// Every candidate that produced a measurement in a model-attached
+/// search also records its prediction in the trace, so `ifko explain`
+/// can render predicted vs actual. (Legality-pruned candidates never
+/// reach the model, and a candidate whose xform fails has no post-xform
+/// IR to predict from — those legitimately carry none.)
+#[test]
+fn trace_carries_predictions_for_every_candidate() {
+    let sink = MemSink::new();
+    cfg(1024).trace(sink.clone()).tune(dk(BlasOp::Dot)).unwrap();
+    let evals: Vec<_> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            SearchEvent::Eval(ev) => Some(ev.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(!evals.is_empty());
+    let measured: Vec<_> = evals.iter().filter(|e| e.cycles.is_some()).collect();
+    assert!(!measured.is_empty());
+    for ev in &measured {
+        assert!(
+            ev.predicted.is_some(),
+            "measured candidate without a prediction: {}",
+            ev.params
+        );
+    }
+    // Predictions must discriminate: a model that assigns every point
+    // the same cost can never rank (and thus never prune) anything.
+    let distinct: std::collections::BTreeSet<u64> =
+        measured.iter().filter_map(|e| e.predicted).collect();
+    assert!(
+        distinct.len() > 1,
+        "all {} predictions identical: {:?}",
+        measured.len(),
+        distinct
+    );
+}
+
+/// Warm-start transfer: a database holding a *different* kernel's tuned
+/// record (with its static feature vector) seeds the new search with
+/// that winner — the trace shows the XFER probe — and the search still
+/// converges to the same result as a cold run.
+#[test]
+fn nearest_neighbor_seeds_transfer_warm_start() {
+    let dir = std::env::temp_dir().join(format!("ifko-xfer-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Tune ddot with the db attached: stores its winner + features.
+    cfg(1024)
+        .tuned_db(dir.join("db"))
+        .unwrap()
+        .tune(dk(BlasOp::Dot))
+        .unwrap();
+    let db = TunedDb::open(dir.join("db")).unwrap();
+    assert_eq!(db.len(), 1);
+    let rec = &db.records()[0];
+    assert!(
+        rec.features.is_some(),
+        "stored record must carry the static feature vector"
+    );
+
+    // Tune daxpy against the same db: no exact key, so the ddot record
+    // is the nearest neighbor and gets probed first.
+    let sink = MemSink::new();
+    let warm = cfg(1024)
+        .tuned_db(dir.join("db"))
+        .unwrap()
+        .trace(sink.clone())
+        .tune(dk(BlasOp::Axpy))
+        .unwrap();
+    let xfer_probes: Vec<_> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            SearchEvent::Eval(ev) if ev.phase == "XFER" => Some(ev.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(xfer_probes.len(), 1, "exactly one transfer probe expected");
+    assert_eq!(xfer_probes[0].strategy, "xfer");
+
+    // The transferred point is re-verified, never trusted: the final
+    // winner matches a cold search exactly.
+    let cold = cfg(1024).tune(dk(BlasOp::Axpy)).unwrap();
+    assert_eq!(warm.result.best, cold.result.best);
+    assert_eq!(warm.result.best_cycles, cold.result.best_cycles);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -86,6 +86,7 @@ fn jsonl_sink_round_trips_and_survives_corruption() {
         cache_hit: false,
         wall_us: 12,
         stats: None,
+        predicted: None,
         pruned: None,
         retries: 1,
         faults: 2,

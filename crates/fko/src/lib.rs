@@ -21,6 +21,7 @@
 
 pub mod analysis;
 pub mod codegen;
+pub mod costmodel;
 pub mod dataflow;
 pub mod diag;
 pub mod ir;
@@ -33,6 +34,7 @@ pub mod xform;
 
 pub use analysis::{AnalysisReport, ScalarRole, VecBlocker};
 pub use codegen::{ArgSlot, CompiledKernel, RetSlot};
+pub use costmodel::{lint_costmodel, CostPrediction, Locality, StaticFeatureVector};
 pub use diag::{Diagnostic, Loc, Severity};
 pub use params::{PrefSpec, TransformParams};
 pub use verify::{lint_analysis, precheck, Reject};
@@ -235,6 +237,13 @@ impl OptKey {
     }
 }
 
+/// Cached cost prediction: keyed by normalized [`TransformParams`]; the
+/// stored params are the collision guard.
+struct PredEntry {
+    params: TransformParams,
+    pred: costmodel::CostPrediction,
+}
+
 /// L1 entry: keyed by normalized [`TransformParams`]; the stored params
 /// are the collision guard.
 struct L1Entry {
@@ -314,6 +323,7 @@ pub struct CompileSession {
     scratch: Mutex<Vec<Scratch>>,
     l1: Mutex<HashMap<u64, L1Entry>>,
     l2: Mutex<HashMap<u64, L2Entry>>,
+    pred: Mutex<HashMap<u64, PredEntry>>,
     compiles: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -330,6 +340,7 @@ impl CompileSession {
             scratch: Mutex::new(Vec::new()),
             l1: Mutex::new(HashMap::new()),
             l2: Mutex::new(HashMap::new()),
+            pred: Mutex::new(HashMap::new()),
             compiles: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -409,6 +420,39 @@ impl CompileSession {
             subcache_hits: self.hits.load(Ordering::Relaxed),
             subcache_misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Statically predict the cost of one candidate: run the transforms
+    /// (xform only — no opt/regalloc/codegen, no simulation) and analyze
+    /// the post-xform IR with [`costmodel::predict_lin`]. `mach` must be
+    /// the machine this session was analyzed for. Results are cached by
+    /// normalized parameters, so a search predicting every candidate in
+    /// every batch pays the transform cost once per distinct point.
+    pub fn predict(
+        &self,
+        params: &TransformParams,
+        mach: &MachineConfig,
+    ) -> Result<costmodel::CostPrediction, CompileError> {
+        let norm = normalized(params);
+        let key = fnv_of(&norm);
+        if let Some(e) = self.pred.lock().unwrap().get(&key) {
+            if e.params == norm {
+                return Ok(e.pred.clone());
+            }
+        }
+        let mut sc = self.scratch.lock().unwrap().pop().unwrap_or_default();
+        let lin = xform::apply_transforms_with(&self.ir, params, &self.rep, &mut sc.xform)
+            .map_err(|e| CompileError::xform(e.to_string()));
+        self.scratch.lock().unwrap().push(sc);
+        let pred = costmodel::predict_lin(&lin?, mach);
+        self.pred.lock().unwrap().insert(
+            key,
+            PredEntry {
+                params: norm,
+                pred: pred.clone(),
+            },
+        );
+        Ok(pred)
     }
 
     /// Compile the session's kernel under the given parameters.

@@ -246,14 +246,22 @@ impl FeatureVector {
     }
 
     /// Euclidean distance to another vector (the nearest-neighbor
-    /// metric transfer warm-starts will use).
-    pub fn distance(&self, other: &FeatureVector) -> f64 {
-        self.values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+    /// metric transfer warm-starts use). Returns `None` when the two
+    /// vectors have different lengths — i.e. they were produced by
+    /// different schema versions — instead of silently comparing the
+    /// common prefix.
+    pub fn distance(&self, other: &FeatureVector) -> Option<f64> {
+        if self.values.len() != other.values.len() {
+            return None;
+        }
+        Some(
+            self.values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt(),
+        )
     }
 
     /// Deterministic JSON object `{name: value, ...}` with fixed
@@ -397,9 +405,16 @@ mod tests {
         assert!((f.get("nt_store_fraction").unwrap() - 0.5).abs() < 1e-12);
         assert_eq!(f.get("no_such_feature"), None);
         // Distance to itself is zero; to the default vector it is not.
-        assert_eq!(f.distance(&f), 0.0);
+        assert_eq!(f.distance(&f), Some(0.0));
         let z = FeatureVector::from_stats(&RunStats::default(), 1024);
-        assert!(f.distance(&z) > 1.0);
+        assert!(f.distance(&z).unwrap() > 1.0);
+        // Vectors from different schema versions are incomparable, not
+        // silently truncated to the common prefix.
+        let short = FeatureVector {
+            values: f.values[..f.values.len() - 1].to_vec(),
+        };
+        assert_eq!(f.distance(&short), None);
+        assert_eq!(short.distance(&f), None);
         // JSON is deterministic and lists every feature by name.
         let j = f.to_json();
         for name in FeatureVector::NAMES {
