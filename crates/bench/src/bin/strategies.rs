@@ -103,7 +103,7 @@ fn main() {
     if let Some(dir) = &cfg.db_dir {
         match TunedDb::open(dir) {
             Ok(db) => eprintln!(
-                "tuned-results database: {} record(s) in {dir}/tuned.jsonl",
+                "tuned-results database: {} record(s) in {dir} (shard-*.jsonl)",
                 db.len()
             ),
             Err(e) => eprintln!("tuned-results db unreadable at {dir}: {e}"),

@@ -29,6 +29,7 @@ pub struct Args {
     pub chaos: Option<String>,
     pub max_retries: Option<u32>,
     pub profile_pipeline: bool,
+    pub remote: Option<String>,
 }
 
 impl Args {
@@ -61,6 +62,7 @@ impl Args {
             chaos: None,
             max_retries: None,
             profile_pipeline: false,
+            remote: None,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -115,6 +117,7 @@ impl Args {
                     a.model_prune = Some(frac);
                 }
                 "--db" => a.db = Some(value("--db")?),
+                "--remote" => a.remote = Some(value("--remote")?),
                 "--chaos" => a.chaos = Some(value("--chaos")?),
                 "--max-retries" => {
                     a.max_retries = Some(
@@ -286,6 +289,16 @@ mod tests {
         assert!(a.chaos.is_none() && a.max_retries.is_none());
         assert!(Args::parse(v(&["k.hil", "--max-retries", "x"])).is_err());
         assert!(Args::parse(v(&["k.hil", "--chaos"])).is_err());
+    }
+
+    #[test]
+    fn remote_flag_parses() {
+        let a = Args::parse(v(&["k.hil", "--remote", "results/ifkod.sock"])).unwrap();
+        assert_eq!(a.remote.as_deref(), Some("results/ifkod.sock"));
+        // Off by default, and the socket path is required.
+        let a = Args::parse(v(&["k.hil"])).unwrap();
+        assert!(a.remote.is_none());
+        assert!(Args::parse(v(&["k.hil", "--remote"])).is_err());
     }
 
     #[test]

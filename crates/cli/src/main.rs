@@ -10,13 +10,17 @@
 //!                          [--metrics PATH] [--verify-ir] [--no-prune]
 //!                          [--strategy line|random|hillclimb|anneal|portfolio]
 //!                          [--budget PROBES|WALL] [--warm-start] [--db DIR]
-//!                          [--model-prune FRAC]
+//!                          [--model-prune FRAC] [--remote SOCKET]
 //!                          [--chaos SEED[:RATE]] [--max-retries N]
 //! ifko lint     kernel.hil [kernel2.hil ...] [--machine M]
 //!                          [--format text|json]
 //! ifko report   trace.jsonl [trace2.jsonl ...] [--format text|json|md]
 //! ifko explain  trace.jsonl [trace2.jsonl ...] [--format text|json|md]
 //!                          [--db DIR] [--check-chrome FILE]
+//! ifko daemon   <ping|stop|metrics|stats|compact> [--socket PATH]
+//! ifko db       <stats|compact> [--db DIR] [--format text|json]
+//! ifko pack     [--db DIR] [--out FILE] [--socket PATH]
+//! ifko install  ARTIFACT [--db DIR] [--no-verify]
 //! ```
 //!
 //! `analyze` prints what FKO reports back to the search (paper §2.2.2);
@@ -44,11 +48,20 @@
 //! classification, cross-checks the tuned-results database with
 //! `--db DIR`, and `--check-chrome FILE` validates a `--trace-chrome`
 //! Chrome/Perfetto trace (JSON parses, spans nest).
+//!
+//! The daemon-facing commands talk to a running `ifkod` over its Unix
+//! socket: `tune --remote SOCKET` ships the tune to the daemon (shared
+//! eval cache + tuned-results index, so repeats warm-start without
+//! touching disk); `daemon <cmd>` is the control plane. `db` inspects
+//! or compacts a sharded tuned-results database in place, and
+//! `pack`/`install` move winners between machines as a checksummed,
+//! re-verified tune-cache artifact.
 
-use ifko::report::{report_files, ReportFormat};
+use ifko::report::{parse_json, report_files, Json, ReportFormat};
 use ifko::runner::Context;
 use ifko::strategy::{Budget, StrategySpec, TunedDb};
-use ifko::{SearchOptions, TuneConfig};
+use ifko::{artifact, SearchOptions, TuneConfig};
+use ifko_daemon::client::{Client, TuneRequest};
 use ifko_fko::{
     analyze_kernel, lint_analysis, CompileError, CompileOpts, CompileSession, Diagnostic, Severity,
     TransformParams,
@@ -62,13 +75,30 @@ use args::Args;
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
-        eprintln!("usage: ifko <analyze|compile|tune|lint|report|explain> <file> [options]");
+        eprintln!(
+            "usage: ifko <analyze|compile|tune|lint|report|explain|daemon|db|pack|install> [options]"
+        );
         return ExitCode::from(2);
     }
     let cmd = argv.remove(0);
-    // `report`, `explain`, and `lint` take multiple files, not one kernel
-    // file: they have their own tiny flag loops instead of the shared
-    // `Args`.
+    // `report`, `explain`, `lint`, and the database/daemon commands do
+    // not take one kernel file: they have their own tiny flag loops
+    // instead of the shared `Args`.
+    if let "daemon" | "db" | "pack" | "install" = cmd.as_str() {
+        let r = match cmd.as_str() {
+            "daemon" => cmd_daemon(argv),
+            "db" => cmd_db(argv),
+            "pack" => cmd_pack(argv),
+            _ => cmd_install(argv),
+        };
+        return match r {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ifko: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if cmd == "report" {
         return match cmd_report(argv) {
             Ok(()) => ExitCode::SUCCESS,
@@ -430,6 +460,9 @@ fn cmd_compile(src: &str, machine: &MachineConfig, args: &Args) -> Result<(), St
 }
 
 fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), String> {
+    if let Some(socket) = args.remote.clone() {
+        return cmd_tune_remote(src, args, &socket);
+    }
     let context = match args.context.as_str() {
         "oc" => Context::OutOfCache,
         "ic" => Context::InL2,
@@ -487,7 +520,7 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
     if args.db.is_some() || args.warm_start {
         let dir = args.db.clone().unwrap_or_else(|| "results/db".to_string());
         cfg = cfg.tuned_db(&dir).map_err(|e| format!("--db {dir}: {e}"))?;
-        eprintln!("tuned-results database: {dir}/tuned.jsonl");
+        eprintln!("tuned-results database: {dir} (sharded, shard-*.jsonl)");
     }
     if let Some(path) = &args.trace {
         cfg = cfg
@@ -614,6 +647,279 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
             .write_snapshot(path)
             .map_err(|e| format!("--metrics {path}: {e}"))?;
         eprintln!("metrics snapshot written to {path}");
+    }
+    Ok(())
+}
+
+/// `ifko tune FILE --remote SOCKET`: ship the tune to a running `ifkod`
+/// instead of searching in-process. The daemon holds the shared eval
+/// cache and tuned-results index, so identical requests coalesce and
+/// repeats short-circuit on verified warm starts.
+fn cmd_tune_remote(src: &str, args: &Args, socket: &str) -> Result<(), String> {
+    if args.trace.is_some()
+        || args.trace_chrome.is_some()
+        || args.timeseries.is_some()
+        || args.chaos.is_some()
+    {
+        eprintln!("note: trace/chaos flags are local-only and ignored with --remote");
+    }
+    let mut client = Client::connect(socket)
+        .map_err(|e| format!("--remote {socket}: {e} (is ifkod running?)"))?;
+    eprintln!("tuning remotely via {socket} ...");
+    let v = client.tune(&TuneRequest {
+        kernel: None,
+        src: Some(src.to_string()),
+        machine: args.machine.clone(),
+        context: args.context.clone(),
+        n: args.n,
+        seed: Some(args.seed),
+        full: args.full,
+        strategy: args.strategy.clone(),
+        budget: args.budget.clone(),
+    })?;
+    let num = |k: &str| v.get(k).and_then(|j| j.as_u64()).unwrap_or(0);
+    let txt = |k: &str| v.get(k).and_then(|j| j.as_str()).unwrap_or("?").to_string();
+    let default_cycles = num("default_cycles");
+    let best_cycles = num("best_cycles");
+    let speedup = if best_cycles > 0 {
+        default_cycles as f64 / best_cycles as f64
+    } else {
+        0.0
+    };
+    println!("daemon             : {socket} (machine {})", txt("machine"));
+    println!("FKO defaults       : {default_cycles:>10} cycles");
+    println!("iFKO best          : {best_cycles:>10} cycles  ({speedup:.2}x)");
+    println!(
+        "evaluations        : {} ({} cache hits, {} pruned)",
+        num("evaluations"),
+        num("cache_hits"),
+        num("pruned")
+    );
+    println!(
+        "strategy           : {} (winner found by: {})",
+        txt("strategy"),
+        txt("winner_strategy")
+    );
+    println!(
+        "warm start         : {}",
+        if v.get("warm").and_then(|j| j.as_bool()) == Some(true) {
+            "yes (answered from the daemon's tuned-results index)"
+        } else {
+            "no (cold search; winner now cached for the next client)"
+        }
+    );
+    if let Some(p) = v.get("params") {
+        let pnum = |k: &str| p.get(k).and_then(|j| j.as_u64()).unwrap_or(0);
+        let flag = |k: &str| {
+            if p.get(k).and_then(|j| j.as_bool()) == Some(true) {
+                "yes"
+            } else {
+                "no"
+            }
+        };
+        println!("\nwinning parameters:");
+        println!("  SV  : {}", flag("simd"));
+        println!("  UR  : {}", pnum("unroll"));
+        println!("  AE  : {}", pnum("ae"));
+        println!("  WNT : {}", flag("wnt"));
+        if let Some(Json::Arr(pf)) = p.get("pf") {
+            for s in pf {
+                let ptr = s.get("ptr").and_then(|j| j.as_u64()).unwrap_or(0);
+                match s.get("kind").and_then(|j| j.as_str()) {
+                    Some(k) => println!(
+                        "  PF  : array {ptr} -> {k}:{}",
+                        s.get("dist").and_then(|j| j.as_u64()).unwrap_or(0)
+                    ),
+                    None => println!("  PF  : array {ptr} -> none"),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `ifko daemon <ping|stop|metrics|stats|compact> [--socket PATH]`: the
+/// control plane for a running `ifkod`.
+fn cmd_daemon(argv: Vec<String>) -> Result<(), String> {
+    let mut socket = "results/ifkod.sock".to_string();
+    let mut sub: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--socket" | "-s" => socket = it.next().ok_or("--socket needs a value")?,
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            word if sub.is_none() => sub = Some(word.to_string()),
+            word => return Err(format!("unexpected argument `{word}`")),
+        }
+    }
+    let sub = sub.ok_or("usage: ifko daemon <ping|stop|metrics|stats|compact> [--socket PATH]")?;
+    let mut client =
+        Client::connect(&socket).map_err(|e| format!("{socket}: {e} (is ifkod running?)"))?;
+    match sub.as_str() {
+        "ping" => {
+            client.ping()?;
+            println!("ifkod at {socket}: alive");
+        }
+        "stop" => {
+            client.shutdown()?;
+            println!("ifkod at {socket}: shutting down");
+        }
+        "metrics" => print!("{}", client.metrics()?),
+        "stats" => print_db_stats(&client.stats()?),
+        "compact" => {
+            let stats = client.compact()?;
+            println!("compacted all shards");
+            print_db_stats(&stats);
+        }
+        other => {
+            return Err(format!(
+                "unknown daemon command `{other}` (ping | stop | metrics | stats | compact)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// `ifko db <stats|compact> [--db DIR] [--format text|json]`: inspect or
+/// compact a sharded tuned-results database in place, no daemon needed.
+fn cmd_db(argv: Vec<String>) -> Result<(), String> {
+    let mut dir = "results/db".to_string();
+    let mut json = false;
+    let mut sub: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--db" => dir = it.next().ok_or("--db needs a value")?,
+            "--format" | "-f" => {
+                json = match it.next().ok_or("--format needs a value")?.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => return Err(format!("unknown format `{other}` (text | json)")),
+                }
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            word if sub.is_none() => sub = Some(word.to_string()),
+            word => return Err(format!("unexpected argument `{word}`")),
+        }
+    }
+    let sub = sub.ok_or("usage: ifko db <stats|compact> [--db DIR] [--format text|json]")?;
+    let db = TunedDb::open(&dir).map_err(|e| format!("--db {dir}: {e}"))?;
+    let stats = match sub.as_str() {
+        "stats" => db.stats(),
+        "compact" => db.compact(),
+        other => return Err(format!("unknown db command `{other}` (stats | compact)")),
+    };
+    if json {
+        println!("{}", stats.to_json());
+    } else {
+        println!("tuned-results database: {dir}");
+        if sub == "compact" {
+            println!("compacted all shards");
+        }
+        let rendered = parse_json(&stats.to_json()).ok_or("stats rendering failed")?;
+        print_db_stats(&rendered);
+    }
+    Ok(())
+}
+
+/// Text rendering of a `DbStats` JSON object — shared by `ifko db` and
+/// `ifko daemon stats|compact`.
+fn print_db_stats(v: &Json) {
+    let num = |k: &str| v.get(k).and_then(|j| j.as_u64()).unwrap_or(0);
+    let (live, lines, dead) = (num("live"), num("file_lines"), num("dead"));
+    let ratio = if lines > 0 {
+        dead as f64 / lines as f64 * 100.0
+    } else {
+        0.0
+    };
+    println!("live records : {live}");
+    println!("file lines   : {lines}");
+    println!("dead records : {dead} ({ratio:.1}% of lines)");
+    println!("bytes        : {}", num("bytes"));
+    if let Some(Json::Arr(shards)) = v.get("shards") {
+        for s in shards {
+            let f = |k: &str| s.get(k).and_then(|j| j.as_u64()).unwrap_or(0);
+            println!(
+                "  shard {} : {:>6} live / {:>6} lines / {:>9} bytes",
+                f("shard"),
+                f("live"),
+                f("file_lines"),
+                f("bytes")
+            );
+        }
+    }
+}
+
+/// `ifko pack [--db DIR] [--out FILE] [--socket PATH]`: export a
+/// tuned-results database as a self-describing, checksummed tune-cache
+/// artifact — from the database directory, or from a live daemon's
+/// in-memory index with `--socket`.
+fn cmd_pack(argv: Vec<String>) -> Result<(), String> {
+    let mut dir = "results/db".to_string();
+    let mut out: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--db" => dir = it.next().ok_or("--db needs a value")?,
+            "--out" | "-o" => out = Some(it.next().ok_or("--out needs a value")?),
+            "--socket" | "-s" => socket = Some(it.next().ok_or("--socket needs a value")?),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let text = match &socket {
+        Some(sock) => Client::connect(sock)
+            .map_err(|e| format!("{sock}: {e} (is ifkod running?)"))?
+            .pack()?,
+        None => artifact::pack(&TunedDb::open(&dir).map_err(|e| format!("--db {dir}: {e}"))?),
+    };
+    let records = artifact::parse(&text)?.records.len();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("--out {path}: {e}"))?;
+            eprintln!("packed {records} record(s) to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `ifko install ARTIFACT [--db DIR] [--no-verify]`: import a tune-cache
+/// artifact into a database. Every record is re-verified on this build
+/// before it is trusted (bit-exact differential check against the
+/// untransformed kernel); records that fail are rejected, records this
+/// build cannot check (foreign machine, unknown kernel) install anyway
+/// because the tune-time warm path re-verifies before use.
+fn cmd_install(argv: Vec<String>) -> Result<(), String> {
+    let mut dir = "results/db".to_string();
+    let mut verify = true;
+    let mut file: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--db" => dir = it.next().ok_or("--db needs a value")?,
+            "--no-verify" => verify = false,
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            word if file.is_none() => file = Some(word.to_string()),
+            word => return Err(format!("unexpected argument `{word}`")),
+        }
+    }
+    let file = file.ok_or("usage: ifko install ARTIFACT [--db DIR] [--no-verify]")?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let db = TunedDb::open(&dir).map_err(|e| format!("--db {dir}: {e}"))?;
+    let report = artifact::install(&text, &db, verify)?;
+    for (key, why) in &report.rejected {
+        eprintln!("rejected {key}: {why}");
+    }
+    println!(
+        "installed {} record(s) into {dir} ({} verified, {} unverifiable, {} rejected)",
+        report.installed,
+        report.verified,
+        report.unverified,
+        report.rejected.len()
+    );
+    if report.installed == 0 && !report.rejected.is_empty() {
+        return Err("every record was rejected by re-verification".to_string());
     }
     Ok(())
 }

@@ -156,3 +156,208 @@ fn nrm2_sample_compiles_with_sqrt() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("fsqrt"), "sqrt epilogue expected:\n{text}");
 }
+
+#[test]
+fn db_tune_pack_install_round_trip() {
+    let dir = std::env::temp_dir().join(format!("ifko-cli-pack-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let src_db = dir.join("src-db");
+    let dst_db = dir.join("dst-db");
+    let artifact = dir.join("tunes.ifko");
+
+    // Cold tune with a database attached.
+    let out = Command::new(bin())
+        .args([
+            "tune",
+            &repo("kernels/ddot.hil"),
+            "--n",
+            "2000",
+            "--db",
+            src_db.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("sharded"), "db banner missing:\n{err}");
+
+    // `db stats` sees the stored winner, text and json.
+    let out = Command::new(bin())
+        .args(["db", "stats", "--db", src_db.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("live records : 1"), "stats:\n{text}");
+    let out = Command::new(bin())
+        .args([
+            "db",
+            "stats",
+            "--db",
+            src_db.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"live\":1"), "json stats:\n{json}");
+    assert!(json.contains("\"shards\":["));
+
+    // `db compact` leaves exactly the live records on disk.
+    let out = Command::new(bin())
+        .args(["db", "compact", "--db", src_db.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // pack → install into a fresh database, with re-verification.
+    let out = Command::new(bin())
+        .args([
+            "pack",
+            "--db",
+            src_db.to_str().unwrap(),
+            "--out",
+            artifact.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let packed = std::fs::read_to_string(&artifact).unwrap();
+    assert!(packed.starts_with("{\"magic\":\"ifko-tune-cache\""));
+
+    let out = Command::new(bin())
+        .args([
+            "install",
+            artifact.to_str().unwrap(),
+            "--db",
+            dst_db.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("installed 1 record(s)"),
+        "install said:\n{text}"
+    );
+
+    // The installed winner warm-starts the next tune in the new home.
+    let out = Command::new(bin())
+        .args([
+            "tune",
+            &repo("kernels/ddot.hil"),
+            "--n",
+            "2000",
+            "--db",
+            dst_db.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("strategy           : warm"),
+        "expected a warm start after install:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_remote_tune_and_control_plane() {
+    let dir = std::env::temp_dir().join(format!("ifko-cli-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("ifkod.sock");
+    let db = dir.join("db");
+
+    // `ifkod` lives in the daemon crate; drive it through the library so
+    // this test does not depend on a second binary being built first.
+    let handle = ifko_daemon::server::Daemon::start(ifko_daemon::server::DaemonConfig {
+        socket: socket.clone(),
+        db_dir: db.clone(),
+        cache_dir: None,
+        jobs: 1,
+        quiet: true,
+    })
+    .unwrap();
+
+    let remote_tune = || {
+        Command::new(bin())
+            .args([
+                "tune",
+                &repo("kernels/ddot.hil"),
+                "--n",
+                "2000",
+                "--remote",
+                socket.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    let out = remote_tune();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("warm start         : no"), "cold:\n{text}");
+
+    // Second identical request is a warm hit from the daemon's index.
+    let out = remote_tune();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("warm start         : yes"), "warm:\n{text}");
+
+    // Control plane: ping, metrics, stats.
+    let out = Command::new(bin())
+        .args(["daemon", "ping", "--socket", socket.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = Command::new(bin())
+        .args(["daemon", "metrics", "--socket", socket.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("ifkod_requests_total"),
+        "daemon metrics:\n{text}"
+    );
+    let out = Command::new(bin())
+        .args(["daemon", "stats", "--socket", socket.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("live records : 1"), "daemon stats:\n{text}");
+
+    // Clean shutdown through the CLI.
+    let out = Command::new(bin())
+        .args(["daemon", "stop", "--socket", socket.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -56,7 +56,9 @@ use crate::runner::Context;
 use crate::timer::Timer;
 
 /// FNV-1a over a byte string (stable fingerprinting, no external deps).
-pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+/// Public: shard selection, artifact checksums, and the daemon's
+/// single-flight keys all reuse it.
+pub fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

@@ -25,9 +25,9 @@
 //!   budget is recorded as *failed* in the trace, never cached, never a
 //!   winner, and never a panic;
 //! * crash-safe persistence: truncated trailing records in
-//!   `evals.jsonl` / `tuned.jsonl` are skipped with a diagnostic on load
-//!   and the file is atomically rewritten (tmp + rename) on the next
-//!   store.
+//!   `evals.jsonl` / the tuned-db `shard-*.jsonl` journals are skipped
+//!   with a diagnostic on load and the file is atomically rewritten
+//!   (tmp + rename) on the next store.
 
 use std::time::Duration;
 

@@ -48,6 +48,7 @@
 //! assert!(out.result.best_cycles <= out.result.default_cycles);
 //! ```
 
+pub mod artifact;
 pub mod chrome;
 pub mod config;
 pub mod driver;

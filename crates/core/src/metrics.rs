@@ -604,6 +604,19 @@ pub const DB_XFER_SEEDS: &str = "ifko_db_xfer_seeds_total";
 pub const DB_STORES: &str = "ifko_db_stores_total";
 /// Malformed tuned-db records skipped (and repaired) on load.
 pub const DB_RECOVERED: &str = "ifko_db_recovered_total";
+/// Tuned-db shard compactions (dedup rewrites), background or on-demand.
+pub const DB_COMPACTIONS: &str = "ifko_db_compactions_total";
+
+/// Daemon requests served, labeled `kind` (ping/tune/query/...).
+pub const DAEMON_REQUESTS: &str = "ifkod_requests_total";
+/// Tune sessions run by the daemon.
+pub const DAEMON_SESSIONS: &str = "ifkod_sessions_total";
+/// Daemon tune sessions that short-circuited on a verified warm start.
+pub const DAEMON_WARM_HITS: &str = "ifkod_warm_hits_total";
+/// Client connections accepted by the daemon.
+pub const DAEMON_CONNECTIONS: &str = "ifkod_connections_total";
+/// Daemon requests that failed to parse or errored mid-handling.
+pub const DAEMON_ERRORS: &str = "ifkod_errors_total";
 
 /// Tuning runs driven end to end.
 pub const TUNE_RUNS: &str = "ifko_tune_runs_total";

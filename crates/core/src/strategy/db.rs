@@ -1,6 +1,7 @@
 //! The persistent tuned-results database: winning parameter points,
-//! keyed by kernel / precision / machine / context / repo revision, in
-//! an append-only JSONL file (`results/db/tuned.jsonl` by convention).
+//! keyed by kernel / precision / machine / context / repo revision, held
+//! in an in-memory index mirrored to sharded append-only JSONL files
+//! (`results/db/shard-*.jsonl` by convention).
 //!
 //! The database is deliberately *not* keyed by problem size or workload
 //! seed: a tuned parameter point transfers across sizes (the paper tunes
@@ -10,10 +11,22 @@
 //! [`run_search`](super::run_search)). The repo revision is part of the
 //! key so a changed compiler invalidates old winners automatically.
 //!
-//! Concurrency: the file is append-only with last-record-wins semantics
-//! on load, so interrupted runs and concurrent writers degrade to stale
-//! entries, never corruption.
+//! Storage layout: records are sharded by FNV-64 of the
+//! `kernel|machine` key prefix into [`N_SHARDS`] files, so a hot shard's
+//! append traffic and compaction never touch the others. Every lookup —
+//! exact key or nearest-by-features — is answered from the in-memory
+//! index; the JSONL is replayed exactly once, at open. Appends beyond
+//! the live-record count are *dead* (superseded last-wins history);
+//! once a shard's dead count crosses a threshold a background
+//! compaction rewrites it (atomic tmp + rename, the same journal-repair
+//! machinery that heals torn appends), so file size and load time stay
+//! proportional to the live record count, not to append history.
+//!
+//! Concurrency: shard files are append-only with last-record-wins
+//! semantics on load, so interrupted runs and concurrent writers
+//! degrade to stale entries, never corruption.
 
+use crate::eval::fnv64;
 use crate::fault::{self, FaultPlan};
 use crate::metrics;
 use crate::report::{parse_json, Json};
@@ -23,8 +36,16 @@ use ifko_xsim::PrefKind;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of storage shards. Fixed: the shard of a record depends only
+/// on its key, so the count cannot change without a migration.
+pub const N_SHARDS: usize = 8;
+
+/// A shard accumulates this many dead (superseded) records before a
+/// background compaction rewrites it.
+const AUTO_COMPACT_MIN_DEAD: u64 = 128;
 
 /// One stored winner.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,70 +82,221 @@ pub fn db_key(kernel: &str, prec: &str, machine: &str, context: &str, rev: &str)
     format!("{kernel}|{prec}|{machine}|{context}|{rev}")
 }
 
-/// The tuned-results database: an in-memory map mirrored to an
-/// append-only `tuned.jsonl` in its directory.
-pub struct TunedDb {
+/// Shard index for a record key: FNV-64 of the `kernel|machine` prefix,
+/// so every precision/context/revision variant of one kernel on one
+/// machine lands in the same shard (a pack of one kernel's history
+/// touches one file). Malformed keys hash whole.
+fn shard_of(key: &str) -> usize {
+    let parts: Vec<&str> = key.split('|').collect();
+    let h = if parts.len() == 5 {
+        fnv64(format!("{}|{}", parts[0], parts[2]).as_bytes())
+    } else {
+        fnv64(key.as_bytes())
+    };
+    (h as usize) % N_SHARDS
+}
+
+/// One storage shard: a slice of the index plus its append-only file.
+struct Shard {
     path: PathBuf,
-    rev: String,
     entries: Mutex<HashMap<String, TunedRecord>>,
     file: Mutex<std::fs::File>,
-    /// The file is known to hold malformed/truncated records (detected on
-    /// load, or left by an injected persist fault). The next store
+    /// Record lines currently in the file — live plus dead (superseded
+    /// or malformed). `lines - live` is the compaction trigger.
+    lines: AtomicU64,
+    /// The file is known to hold malformed/truncated records (detected
+    /// on load, or left by an injected persist fault). The next store
     /// repairs it with an atomic rewrite instead of appending.
     dirty: AtomicBool,
+    /// A background compaction of this shard is in flight.
+    compacting: AtomicBool,
+}
+
+/// Shared state between the handle and background compaction threads.
+struct DbInner {
+    dir: PathBuf,
+    shards: Vec<Shard>,
+}
+
+/// Per-shard statistics snapshot.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    pub shard: usize,
+    /// Live (indexed) records.
+    pub live: usize,
+    /// Record lines in the file, live + dead.
+    pub file_lines: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// Database statistics snapshot (see [`TunedDb::stats`]).
+#[derive(Clone, Debug)]
+pub struct DbStats {
+    pub live: usize,
+    pub file_lines: u64,
+    pub bytes: u64,
+    pub shards: Vec<ShardStats>,
+}
+
+impl DbStats {
+    /// Dead (superseded or malformed) record lines across all shards.
+    pub fn dead(&self) -> u64 {
+        self.file_lines.saturating_sub(self.live as u64)
+    }
+
+    /// Dead lines as a fraction of all lines (0 when the db is empty).
+    pub fn dead_ratio(&self) -> f64 {
+        if self.file_lines == 0 {
+            0.0
+        } else {
+            self.dead() as f64 / self.file_lines as f64
+        }
+    }
+
+    /// JSON rendering (one object; `ifko db stats --format json` and the
+    /// daemon's `stats` response both emit it).
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"shard\":{},\"live\":{},\"file_lines\":{},\"bytes\":{}}}",
+                    s.shard, s.live, s.file_lines, s.bytes
+                )
+            })
+            .collect();
+        format!(
+            "{{\"live\":{},\"file_lines\":{},\"dead\":{},\"dead_ratio\":{:.4},\"bytes\":{},\
+             \"shards\":[{}]}}",
+            self.live,
+            self.file_lines,
+            self.dead(),
+            self.dead_ratio(),
+            self.bytes,
+            shards.join(",")
+        )
+    }
+}
+
+/// The tuned-results database: a sharded in-memory index mirrored to
+/// append-only `shard-*.jsonl` files with background compaction.
+pub struct TunedDb {
+    inner: Arc<DbInner>,
+    rev: String,
+    /// Outstanding background compaction threads; joined on drop so
+    /// short-lived processes never leave a rewrite in flight.
+    compactions: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl TunedDb {
     /// Open (creating if needed) the database in `dir`, loading every
-    /// well-formed record with last-record-wins semantics. Malformed
-    /// records — typically one truncated trailing line from a crash
-    /// mid-append — are skipped with a diagnostic and the file is
-    /// repaired (atomic tmp + rename rewrite) on the next store.
+    /// well-formed record into the in-memory index with
+    /// last-record-wins semantics. Malformed records — typically one
+    /// truncated trailing line from a crash mid-append — are skipped
+    /// with a diagnostic and the shard is repaired (atomic tmp + rename
+    /// rewrite) on the next store. A legacy single-file `tuned.jsonl`
+    /// is migrated into the sharded layout on first open.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<TunedDb> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join("tuned.jsonl");
-        let mut entries = HashMap::new();
-        let mut malformed = 0u64;
-        if let Ok(file) = std::fs::File::open(&path) {
-            for line in std::io::BufReader::new(file).lines() {
-                let Ok(line) = line else { break };
-                if line.trim().is_empty() {
-                    continue;
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut maps: Vec<HashMap<String, TunedRecord>> =
+            (0..N_SHARDS).map(|_| HashMap::new()).collect();
+        let mut malformed = [0u64; N_SHARDS];
+        let mut lines = [0u64; N_SHARDS];
+
+        // Legacy single-file layout loads first, so sharded records
+        // (written later by definition) win on key collision.
+        let legacy = dir.join("tuned.jsonl");
+        let migrate = legacy.exists();
+        if migrate {
+            load_jsonl(&legacy, |line| match parse_record(line) {
+                Some(rec) => {
+                    maps[shard_of(&rec.key)].insert(rec.key.clone(), rec);
                 }
-                if let Some(rec) = parse_record(&line) {
-                    entries.insert(rec.key.clone(), rec);
-                } else {
-                    malformed += 1;
-                }
-            }
+                None => malformed[0] += 1,
+            });
         }
-        if malformed > 0 {
+        // Records route to the shard their *key* hashes to, wherever
+        // they were read from — a record misplaced by a hand-edit (or a
+        // future shard-count migration) is re-homed by a full rewrite
+        // below rather than silently dropped by its file's compaction.
+        let mut misplaced = false;
+        for i in 0..N_SHARDS {
+            load_jsonl(&shard_path(&dir, i), |line| {
+                lines[i] += 1;
+                match parse_record(line) {
+                    Some(rec) => {
+                        let home = shard_of(&rec.key);
+                        misplaced |= home != i;
+                        maps[home].insert(rec.key.clone(), rec);
+                    }
+                    None => malformed[i] += 1,
+                }
+            });
+        }
+        let total_malformed: u64 = malformed.iter().sum();
+        if total_malformed > 0 {
             eprintln!(
-                "ifko: tuned db {}: skipped {malformed} malformed record(s) \
-                 (truncated write?); file will be rewritten on next store",
-                path.display()
+                "ifko: tuned db {}: skipped {total_malformed} malformed record(s) \
+                 (truncated write?); affected shard(s) will be rewritten on next store",
+                dir.display()
             );
             metrics::global()
                 .counter(metrics::DB_RECOVERED)
-                .add(malformed);
+                .add(total_malformed);
         }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)?;
+
+        let mut shards = Vec::with_capacity(N_SHARDS);
+        for (i, map) in maps.into_iter().enumerate() {
+            let path = shard_path(&dir, i);
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?;
+            shards.push(Shard {
+                path,
+                entries: Mutex::new(map),
+                file: Mutex::new(file),
+                lines: AtomicU64::new(lines[i]),
+                dirty: AtomicBool::new(malformed[i] > 0),
+                compacting: AtomicBool::new(false),
+            });
+        }
+        let inner = Arc::new(DbInner { dir, shards });
+        if migrate || misplaced {
+            // Materialize every shard from the merged index, then drop
+            // the legacy file — a crash between the two leaves both
+            // layouts present and the next open repeats the (idempotent)
+            // migration.
+            let live: usize = inner
+                .shards
+                .iter()
+                .map(|s| s.entries.lock().unwrap().len())
+                .sum();
+            for i in 0..N_SHARDS {
+                inner.compact_shard(i);
+            }
+            if migrate {
+                std::fs::remove_file(&legacy)?;
+                eprintln!(
+                    "ifko: tuned db {}: migrated {live} record(s) from legacy tuned.jsonl \
+                     into {N_SHARDS} shards",
+                    inner.dir.display()
+                );
+            }
+        }
         Ok(TunedDb {
-            path,
+            inner,
             rev: repo_rev(),
-            entries: Mutex::new(entries),
-            file: Mutex::new(file),
-            dirty: AtomicBool::new(malformed > 0),
+            compactions: Mutex::new(Vec::new()),
         })
     }
 
-    /// The backing JSONL file.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The backing directory (shard files live inside it).
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
     }
 
     /// The repo revision this process keys new records under.
@@ -132,80 +304,131 @@ impl TunedDb {
         &self.rev
     }
 
-    /// Stored winner for a key, if any.
+    /// Stored winner for a key, if any — answered from the in-memory
+    /// index, never from disk.
     pub fn lookup(&self, key: &str) -> Option<TunedRecord> {
-        self.entries.lock().unwrap().get(key).cloned()
+        let shard = &self.inner.shards[shard_of(key)];
+        shard.entries.lock().unwrap().get(key).cloned()
     }
 
-    /// Store (or overwrite) a winner, appending it to the file.
+    /// Store (or overwrite) a winner, appending it to its shard file.
     pub fn store(&self, rec: &TunedRecord) {
         self.store_with(rec, None);
     }
 
     /// [`TunedDb::store`] under a chaos plan: the plan may truncate the
     /// appended record mid-write (simulating a crash), which marks the
-    /// file dirty so the *next* store repairs it. The in-memory entry
+    /// shard dirty so the *next* store repairs it. The in-memory entry
     /// always lands, so lookups never depend on the fault.
     pub fn store_with(&self, rec: &TunedRecord, faults: Option<&FaultPlan>) {
+        let idx = shard_of(&rec.key);
+        let shard = &self.inner.shards[idx];
         // Memory first, so a repair rewrite includes this record.
-        self.entries
+        shard
+            .entries
             .lock()
             .unwrap()
             .insert(rec.key.clone(), rec.clone());
-        if self.dirty.swap(false, Ordering::SeqCst) {
-            self.rewrite();
+        if shard.dirty.swap(false, Ordering::SeqCst) {
+            self.inner.compact_shard(idx);
         } else {
             let line = record_json(rec);
-            let mut out = self.file.lock().unwrap();
+            let mut out = shard.file.lock().unwrap();
             match faults {
                 Some(plan) if plan.persist_truncates(&rec.key) => {
                     // Crash mid-append: half the bytes, no newline.
                     let _ = out.write_all(&line.as_bytes()[..line.len() / 2]);
                     let _ = out.flush();
-                    self.dirty.store(true, Ordering::SeqCst);
+                    shard.dirty.store(true, Ordering::SeqCst);
                 }
                 _ => {
                     let _ = writeln!(out, "{line}");
                     let _ = out.flush();
                 }
             }
+            shard.lines.fetch_add(1, Ordering::SeqCst);
+            drop(out);
+            self.maybe_compact_in_background(idx);
         }
         metrics::global().counter(metrics::DB_STORES).inc();
     }
 
-    /// Repair the file: atomically rewrite every in-memory record
-    /// (sorted by key, so the file is deterministic) and reopen the
-    /// append handle on the fresh file.
-    fn rewrite(&self) {
-        let mut entries: Vec<(String, String)> = self
-            .entries
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(k, rec)| (k.clone(), record_json(rec)))
-            .collect();
-        entries.sort();
-        let mut contents = String::with_capacity(entries.len() * 128);
-        for (_, line) in &entries {
-            contents.push_str(line);
-            contents.push('\n');
+    /// Spawn a background compaction of shard `idx` when its dead-line
+    /// count has crossed the threshold, unless one is already running.
+    fn maybe_compact_in_background(&self, idx: usize) {
+        let shard = &self.inner.shards[idx];
+        let live = shard.entries.lock().unwrap().len() as u64;
+        let dead = shard.lines.load(Ordering::SeqCst).saturating_sub(live);
+        if dead < AUTO_COMPACT_MIN_DEAD || dead < live {
+            return;
         }
-        let mut out = self.file.lock().unwrap();
-        if fault::atomic_write(&self.path, &contents).is_ok() {
-            if let Ok(file) = std::fs::OpenOptions::new().append(true).open(&self.path) {
-                *out = file;
-            }
-        } else {
-            // Repair failed (e.g. fs error): stay dirty, retry next store.
-            self.dirty.store(true, Ordering::SeqCst);
+        if shard
+            .compacting
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::spawn(move || {
+            inner.compact_shard(idx);
+            inner.shards[idx].compacting.store(false, Ordering::SeqCst);
+        });
+        let mut handles = self.compactions.lock().unwrap();
+        handles.retain(|h| !h.is_finished());
+        handles.push(handle);
+    }
+
+    /// Compact every shard now (atomic rewrite, one record per key),
+    /// returning post-compaction statistics. `ifko db compact` and the
+    /// pack path call this; routine operation relies on the automatic
+    /// background trigger instead.
+    pub fn compact(&self) -> DbStats {
+        self.join_compactions();
+        for i in 0..N_SHARDS {
+            self.inner.compact_shard(i);
+        }
+        self.stats()
+    }
+
+    /// Statistics snapshot: live records, file lines, and bytes, per
+    /// shard and in total.
+    pub fn stats(&self) -> DbStats {
+        let mut shards = Vec::with_capacity(N_SHARDS);
+        for (i, s) in self.inner.shards.iter().enumerate() {
+            let live = s.entries.lock().unwrap().len();
+            let bytes = std::fs::metadata(&s.path).map(|m| m.len()).unwrap_or(0);
+            shards.push(ShardStats {
+                shard: i,
+                live,
+                file_lines: s.lines.load(Ordering::SeqCst),
+                bytes,
+            });
+        }
+        DbStats {
+            live: shards.iter().map(|s| s.live).sum(),
+            file_lines: shards.iter().map(|s| s.file_lines).sum(),
+            bytes: shards.iter().map(|s| s.bytes).sum(),
+            shards,
+        }
+    }
+
+    /// Block until every outstanding background compaction finishes.
+    pub fn join_compactions(&self) {
+        let handles: Vec<_> = self.compactions.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
         }
     }
 
     /// All stored winners, sorted by key — a deterministic iteration
     /// order for offline consumers (`ifko explain` cross-checks trace
-    /// winners against the database with it).
+    /// winners against the database with it; `ifko pack` serializes it).
     pub fn records(&self) -> Vec<TunedRecord> {
-        let mut v: Vec<TunedRecord> = self.entries.lock().unwrap().values().cloned().collect();
+        let mut v: Vec<TunedRecord> = Vec::new();
+        for s in &self.inner.shards {
+            v.extend(s.entries.lock().unwrap().values().cloned());
+        }
         v.sort_by(|a, b| a.key.cmp(&b.key));
         v
     }
@@ -241,10 +464,76 @@ impl TunedDb {
     }
 
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.entries.lock().unwrap().len())
+            .sum()
     }
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl Drop for TunedDb {
+    fn drop(&mut self) {
+        self.join_compactions();
+    }
+}
+
+impl DbInner {
+    /// Rewrite one shard from its index: every live record, sorted by
+    /// key (so the file is deterministic), atomically (tmp + rename),
+    /// reopening the append handle on the fresh file. Doubles as the
+    /// dirty-shard journal repair. The file lock is held across the
+    /// snapshot and the rename so a concurrent append can never land in
+    /// the file being replaced.
+    fn compact_shard(&self, idx: usize) {
+        let shard = &self.shards[idx];
+        let mut out = shard.file.lock().unwrap();
+        let mut entries: Vec<(String, String)> = shard
+            .entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, rec)| (k.clone(), record_json(rec)))
+            .collect();
+        entries.sort();
+        let live = entries.len() as u64;
+        let mut contents = String::with_capacity(entries.len() * 128);
+        for (_, line) in &entries {
+            contents.push_str(line);
+            contents.push('\n');
+        }
+        if fault::atomic_write(&shard.path, &contents).is_ok() {
+            if let Ok(file) = std::fs::OpenOptions::new().append(true).open(&shard.path) {
+                *out = file;
+            }
+            shard.lines.store(live, Ordering::SeqCst);
+            shard.dirty.store(false, Ordering::SeqCst);
+            metrics::global().counter(metrics::DB_COMPACTIONS).inc();
+        } else {
+            // Rewrite failed (e.g. fs error): stay dirty, retry on the
+            // next store into this shard.
+            shard.dirty.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Shard file path: `dir/shard-<i>.jsonl`.
+pub fn shard_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("shard-{idx}.jsonl"))
+}
+
+fn load_jsonl(path: &Path, mut per_line: impl FnMut(&str)) {
+    if let Ok(file) = std::fs::File::open(path) {
+        for line in std::io::BufReader::new(file).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            per_line(&line);
+        }
     }
 }
 
@@ -368,7 +657,9 @@ pub fn params_from_json(v: &Json) -> Option<TransformParams> {
     })
 }
 
-fn record_json(rec: &TunedRecord) -> String {
+/// Serialize a record as one stable JSONL line — the on-disk and
+/// artifact wire format.
+pub fn record_json(rec: &TunedRecord) -> String {
     let mut s = format!(
         "{{\"key\":\"{}\",\"kernel\":\"{}\",\"prec\":\"{}\",\"machine\":\"{}\",\
          \"context\":\"{}\",\"rev\":\"{}\",\"n\":{},\"seed\":{},\"strategy\":\"{}\",\
@@ -395,7 +686,8 @@ fn record_json(rec: &TunedRecord) -> String {
     s
 }
 
-fn parse_record(line: &str) -> Option<TunedRecord> {
+/// Parse one [`record_json`] line back into a record.
+pub fn parse_record(line: &str) -> Option<TunedRecord> {
     let v = parse_json(line.trim())?;
     // Tolerant: records from older revisions carry no `sfv` field, and a
     // malformed one degrades to None rather than dropping the record.
@@ -466,6 +758,17 @@ mod tests {
         }
     }
 
+    /// Concatenated record lines across every shard file.
+    fn all_lines(dir: &Path) -> Vec<String> {
+        let mut v = Vec::new();
+        for i in 0..N_SHARDS {
+            if let Ok(text) = std::fs::read_to_string(shard_path(dir, i)) {
+                v.extend(text.lines().map(str::to_string));
+            }
+        }
+        v
+    }
+
     #[test]
     fn params_round_trip_through_json() {
         let p = sample_params();
@@ -502,9 +805,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ifko-tuneddb-bad-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let good = record_json(&sample_record("k", 100));
+        let rec = sample_record("k", 100);
+        let good = record_json(&rec);
         std::fs::write(
-            dir.join("tuned.jsonl"),
+            shard_path(&dir, shard_of("k")),
             format!("garbage\n{good}\n{{\"key\":\"half\"\n"),
         )
         .unwrap();
@@ -519,22 +823,24 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ifko-tuneddb-trunc-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let good = record_json(&sample_record("k", 100));
-        let torn = &good[..good.len() / 2];
-        std::fs::write(dir.join("tuned.jsonl"), format!("{good}\n{torn}")).unwrap();
+        let good = record_json(&sample_record("k2", 100));
+        let torn = &record_json(&sample_record("k-torn", 999));
+        let torn = &torn[..torn.len() / 2];
+        let shard = shard_of("k2");
+        std::fs::write(shard_path(&dir, shard), format!("{good}\n{torn}")).unwrap();
         let db = TunedDb::open(&dir).unwrap();
         assert_eq!(db.len(), 1, "torn record is skipped");
-        // The next store rewrites the file whole.
+        // The next store into the dirty shard rewrites it whole.
         db.store(&sample_record("k2", 200));
-        let text = std::fs::read_to_string(dir.join("tuned.jsonl")).unwrap();
-        assert_eq!(text.lines().count(), 2);
+        let text = std::fs::read_to_string(shard_path(&dir, shard)).unwrap();
         for line in text.lines() {
             assert!(parse_record(line).is_some(), "unparseable: {line}");
         }
         // And the reopened append handle keeps working.
         db.store(&sample_record("k3", 300));
         let db2 = TunedDb::open(&dir).unwrap();
-        assert_eq!(db2.len(), 3);
+        assert_eq!(db2.len(), 2);
+        assert_eq!(db2.lookup("k2").unwrap().cycles, 200);
         assert_eq!(db2.lookup("k3").unwrap().cycles, 300);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -550,10 +856,145 @@ mod tests {
                 db.store_with(&sample_record(&format!("key-{i}"), 100 + i), Some(&plan));
             }
         }
-        // A truncated append is repaired by the next store; at most the
-        // final append can be torn on disk.
+        // A truncated append is repaired by the next store into its
+        // shard; at most one trailing append per shard can stay torn.
         let db = TunedDb::open(&dir).unwrap();
-        assert!(db.len() >= 23, "only {}/24 records survived", db.len());
+        assert!(
+            db.len() >= 24 - N_SHARDS,
+            "only {}/24 records survived",
+            db.len()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_single_file_db_migrates_to_shards() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let keys: Vec<String> = (0..20)
+            .map(|i| db_key(&format!("kern{i}"), "D", "M#0", "oc", "r1"))
+            .collect();
+        let mut text = String::new();
+        for (i, k) in keys.iter().enumerate() {
+            text.push_str(&record_json(&sample_record(k, 100 + i as u64)));
+            text.push('\n');
+        }
+        // A stale duplicate early in the file: last wins through migration.
+        let dup = record_json(&sample_record(&keys[3], 9999));
+        std::fs::write(dir.join("tuned.jsonl"), format!("{dup}\n{text}")).unwrap();
+        let db = TunedDb::open(&dir).unwrap();
+        assert_eq!(db.len(), 20);
+        assert_eq!(db.lookup(&keys[3]).unwrap().cycles, 103);
+        assert!(!dir.join("tuned.jsonl").exists(), "legacy file removed");
+        drop(db);
+        // Reopen from shards alone.
+        let db = TunedDb::open(&dir).unwrap();
+        assert_eq!(db.len(), 20);
+        assert_eq!(db.lookup(&keys[19]).unwrap().cycles, 119);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misplaced_records_are_rehomed_on_open() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-rehome-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = db_key("kern", "D", "M#0", "oc", "r1");
+        let home = shard_of(&key);
+        let wrong = (home + 1) % N_SHARDS;
+        std::fs::write(
+            shard_path(&dir, wrong),
+            format!("{}\n", record_json(&sample_record(&key, 77))),
+        )
+        .unwrap();
+        let db = TunedDb::open(&dir).unwrap();
+        assert_eq!(db.lookup(&key).unwrap().cycles, 77);
+        // The open rewrote every shard from the routed index: the record
+        // now lives in its home shard file, and the wrong file is empty.
+        let home_text = std::fs::read_to_string(shard_path(&dir, home)).unwrap();
+        assert!(home_text.contains("kern|D|M#0"));
+        let wrong_text = std::fs::read_to_string(shard_path(&dir, wrong)).unwrap();
+        assert!(wrong_text.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_dedups_to_one_byte_identical_record_per_key() {
+        // The satellite regression: a 10k-append history compacts to
+        // exactly one line per key, and that line is byte-identical to
+        // the serialization of the winning (last-stored) record.
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-10k-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let keys: Vec<String> = (0..4)
+            .map(|i| db_key(&format!("kern{i}"), "D", "M#0", "oc", "r1"))
+            .collect();
+        let db = TunedDb::open(&dir).unwrap();
+        for i in 0..10_000u64 {
+            let mut rec = sample_record(&keys[(i % 4) as usize], i);
+            rec.seed = i;
+            db.store(&rec);
+        }
+        let stats = db.compact();
+        assert_eq!(stats.live, 4);
+        assert_eq!(stats.file_lines, 4, "dead records compacted away");
+        assert_eq!(stats.dead(), 0);
+        let lines = all_lines(&dir);
+        assert_eq!(lines.len(), 4);
+        for key in &keys {
+            let winner = db.lookup(key).unwrap();
+            let expect = record_json(&winner);
+            assert!(
+                lines.contains(&expect),
+                "winning record for {key} not byte-identical on disk"
+            );
+            assert_eq!(winner.cycles, winner.seed, "last store wins");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_compaction_bounds_file_growth() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-auto-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = db_key("kern", "D", "M#0", "oc", "r1");
+        {
+            let db = TunedDb::open(&dir).unwrap();
+            for i in 0..2_000u64 {
+                db.store(&sample_record(&key, i));
+            }
+            // Drop joins any in-flight background compaction.
+        }
+        let db = TunedDb::open(&dir).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.lookup(&key).unwrap().cycles, 1999);
+        let lines = all_lines(&dir).len() as u64;
+        assert!(
+            lines < 2_000,
+            "auto compaction never ran: {lines} lines on disk"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_report_live_dead_and_shards() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-stats-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = TunedDb::open(&dir).unwrap();
+        let key = db_key("kern", "D", "M#0", "oc", "r1");
+        for i in 0..10u64 {
+            db.store(&sample_record(&key, i));
+        }
+        let stats = db.stats();
+        assert_eq!(stats.live, 1);
+        assert_eq!(stats.file_lines, 10);
+        assert_eq!(stats.dead(), 9);
+        assert!((stats.dead_ratio() - 0.9).abs() < 1e-9);
+        assert_eq!(stats.shards.len(), N_SHARDS);
+        assert!(stats.bytes > 0);
+        let after = db.compact();
+        assert_eq!(after.live, 1);
+        assert_eq!(after.dead(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -22,9 +22,10 @@
 //! * [`Portfolio`] — a meta-driver that races the strategies under a
 //!   shared budget and cache, and reports which member found the winner.
 //! * [`TunedDb`] — a persistent tuned-results database
-//!   (`results/db/tuned.jsonl`) keyed by
-//!   kernel/precision/machine/context/repo-rev; any driver warm-starts
-//!   from it (the stored winner is *re-verified* before it is trusted).
+//!   (sharded `results/db/shard-*.jsonl` behind an in-memory index)
+//!   keyed by kernel/precision/machine/context/repo-rev; any driver
+//!   warm-starts from it (the stored winner is *re-verified* before it
+//!   is trusted).
 //!
 //! Per-candidate attribution flows through the whole observability
 //! stack: every [`EvalEvent`](crate::eval::EvalEvent) carries the
@@ -36,7 +37,7 @@ mod global;
 mod line;
 mod portfolio;
 
-pub use db::{db_key, repo_rev, TunedDb, TunedRecord};
+pub use db::{db_key, repo_rev, DbStats, ShardStats, TunedDb, TunedRecord};
 pub use global::{Anneal, HillClimb, RandomSearch, SearchSpace};
 pub use line::LineSearch;
 pub use portfolio::Portfolio;

@@ -1,0 +1,60 @@
+//! `ifkod` — the tuning daemon executable.
+//!
+//! ```text
+//! ifkod [--socket PATH] [--db DIR] [--cache DIR] [--jobs N] [--quiet]
+//! ```
+//!
+//! Serves tune/query/pack requests over the Unix socket until a client
+//! sends `shutdown` (`ifko daemon stop --socket PATH`). The tuned-results
+//! database and evaluation cache stay resident for the daemon's
+//! lifetime, so repeat tunes short-circuit on verified warm starts and
+//! repeat candidates hit the cross-phase cache.
+
+use ifko_daemon::server::{Daemon, DaemonConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = DaemonConfig::new("results/ifkod.sock", "results/db");
+    let mut it = std::env::args().skip(1);
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--socket" | "-s" => match it.next() {
+                Some(v) => cfg.socket = v.into(),
+                None => return usage("--socket needs a value"),
+            },
+            "--db" => match it.next() {
+                Some(v) => cfg.db_dir = v.into(),
+                None => return usage("--db needs a value"),
+            },
+            "--cache" => match it.next() {
+                Some(v) => cfg.cache_dir = Some(v.into()),
+                None => return usage("--cache needs a value"),
+            },
+            "--jobs" | "-j" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.jobs = v,
+                None => return usage("--jobs needs a number"),
+            },
+            "--quiet" | "-q" => cfg.quiet = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    match Daemon::start(cfg) {
+        Ok(handle) => {
+            handle.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ifkod: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("ifkod: {err}");
+    }
+    eprintln!("usage: ifkod [--socket PATH] [--db DIR] [--cache DIR] [--jobs N] [--quiet]");
+    ExitCode::from(if err.is_empty() { 0 } else { 2 })
+}

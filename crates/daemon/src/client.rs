@@ -1,0 +1,166 @@
+//! Blocking client for the `ifkod` socket protocol — the library behind
+//! `ifko tune --remote`, `ifko daemon <cmd>`, and the e2e tests.
+
+use crate::proto::{esc, read_frame, write_frame};
+use ifko::report::{parse_json, Json};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One connection to a running daemon.
+pub struct Client {
+    stream: UnixStream,
+}
+
+/// A tune request under construction (all optional fields have daemon
+/// defaults).
+#[derive(Clone, Debug, Default)]
+pub struct TuneRequest {
+    /// BLAS-suite kernel name (e.g. `ddot`). Mutually exclusive with `src`.
+    pub kernel: Option<String>,
+    /// HIL kernel source for a generic tune.
+    pub src: Option<String>,
+    pub machine: String,
+    pub context: String,
+    pub n: Option<usize>,
+    pub seed: Option<u64>,
+    pub full: bool,
+    pub strategy: Option<String>,
+    pub budget: Option<String>,
+}
+
+impl TuneRequest {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\"cmd\":\"tune\"");
+        if let Some(k) = &self.kernel {
+            s.push_str(&format!(",\"kernel\":\"{}\"", esc(k)));
+        }
+        if let Some(src) = &self.src {
+            s.push_str(&format!(",\"src\":\"{}\"", esc(src)));
+        }
+        if !self.machine.is_empty() {
+            s.push_str(&format!(",\"machine\":\"{}\"", esc(&self.machine)));
+        }
+        if !self.context.is_empty() {
+            s.push_str(&format!(",\"context\":\"{}\"", esc(&self.context)));
+        }
+        if let Some(n) = self.n {
+            s.push_str(&format!(",\"n\":{n}"));
+        }
+        if let Some(seed) = self.seed {
+            s.push_str(&format!(",\"seed\":{seed}"));
+        }
+        if self.full {
+            s.push_str(",\"full\":true");
+        }
+        if let Some(st) = &self.strategy {
+            s.push_str(&format!(",\"strategy\":\"{}\"", esc(st)));
+        }
+        if let Some(b) = &self.budget {
+            s.push_str(&format!(",\"budget\":\"{}\"", esc(b)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl Client {
+    /// Connect to a daemon socket.
+    pub fn connect(socket: impl AsRef<Path>) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// Send one raw JSON request and return the parsed response.
+    /// Protocol-level failures (`"ok":false`) become `Err` with the
+    /// daemon's error message.
+    pub fn request(&mut self, payload: &str) -> Result<Json, String> {
+        write_frame(&mut self.stream, payload).map_err(|e| format!("send: {e}"))?;
+        let reply = read_frame(&mut self.stream)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("daemon closed the connection")?;
+        let v = parse_json(&reply).ok_or_else(|| format!("unparseable response: {reply}"))?;
+        if v.get("ok").and_then(|j| j.as_bool()) == Some(true) {
+            Ok(v)
+        } else {
+            Err(v
+                .get("error")
+                .and_then(|j| j.as_str())
+                .unwrap_or("daemon error")
+                .to_string())
+        }
+    }
+
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.request("{\"cmd\":\"ping\"}").map(|_| ())
+    }
+
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.request("{\"cmd\":\"shutdown\"}").map(|_| ())
+    }
+
+    /// Prometheus text of the daemon's metrics registry.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        let v = self.request("{\"cmd\":\"metrics\"}")?;
+        Ok(v.get("text")
+            .and_then(|j| j.as_str())
+            .unwrap_or_default()
+            .to_string())
+    }
+
+    /// Database statistics (JSON object under `stats`).
+    pub fn stats(&mut self) -> Result<Json, String> {
+        let v = self.request("{\"cmd\":\"stats\"}")?;
+        v.get("stats").cloned().ok_or("missing stats".to_string())
+    }
+
+    /// Compact every shard now; returns post-compaction statistics.
+    pub fn compact(&mut self) -> Result<Json, String> {
+        let v = self.request("{\"cmd\":\"compact\"}")?;
+        v.get("stats").cloned().ok_or("missing stats".to_string())
+    }
+
+    /// Pack the daemon's database into artifact text.
+    pub fn pack(&mut self) -> Result<String, String> {
+        let v = self.request("{\"cmd\":\"pack\"}")?;
+        Ok(v.get("artifact")
+            .and_then(|j| j.as_str())
+            .unwrap_or_default()
+            .to_string())
+    }
+
+    /// Exact-key (optionally nearest-`sfv`) warm-start lookup. Returns
+    /// the full response object (`found`, `nearest`, `record`). `prec`
+    /// is required for kernels outside the built-in suite; for suite
+    /// kernels the daemon derives it from the kernel table.
+    pub fn query(
+        &mut self,
+        kernel: &str,
+        machine: &str,
+        context: &str,
+        prec: Option<&str>,
+        sfv: Option<&[f64]>,
+    ) -> Result<Json, String> {
+        let mut s = format!(
+            "{{\"cmd\":\"query\",\"kernel\":\"{}\",\"machine\":\"{}\",\"context\":\"{}\"",
+            esc(kernel),
+            esc(machine),
+            esc(context)
+        );
+        if let Some(p) = prec {
+            s.push_str(&format!(",\"prec\":\"{}\"", esc(p)));
+        }
+        if let Some(sfv) = sfv {
+            let vals: Vec<String> = sfv.iter().map(|v| format!("{v:.6}")).collect();
+            s.push_str(&format!(",\"sfv\":[{}]", vals.join(",")));
+        }
+        s.push('}');
+        self.request(&s)
+    }
+
+    /// Run (or coalesce into) a tune session; returns the full response
+    /// object.
+    pub fn tune(&mut self, req: &TuneRequest) -> Result<Json, String> {
+        self.request(&req.to_json())
+    }
+}

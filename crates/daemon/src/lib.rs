@@ -1,0 +1,33 @@
+//! `ifkod` — the long-running tuning daemon (tuning-as-a-service).
+//!
+//! A batch tuner pays full search cost on every invocation and forgets
+//! everything at exit. The daemon keeps the expensive state resident —
+//! the sharded [`TunedDb`](ifko::strategy::TunedDb) index and the
+//! cross-phase [`EvalCache`](ifko::EvalCache) — and serves tune / query
+//! / pack requests over a local Unix socket, so a warm-start lookup
+//! answers at in-memory-index latency and a repeat tune short-circuits
+//! on its verified stored winner.
+//!
+//! * [`proto`] — the wire protocol: length-prefixed JSON frames
+//!   (4-byte big-endian length + UTF-8 payload), zero-dep on both ends.
+//! * [`server`] — [`Daemon`](server::Daemon): the accept loop, one
+//!   handler thread per connection, single-flight coalescing of
+//!   identical concurrent tune requests, and `ifkod_*` metrics on the
+//!   global registry (scrapable via the `metrics` request).
+//! * [`client`] — [`Client`](client::Client): a thin blocking client
+//!   used by `ifko tune --remote`, `ifko daemon <cmd>`, and the tests.
+//!
+//! Determinism contract: the daemon extends the engine's bit-identity
+//! guarantee to the socket boundary. N concurrent clients tuning the
+//! same kernel/machine/context converge to the bit-identical winner of
+//! a serial run: identical requests coalesce (single-flight) so one
+//! session computes while the rest wait, then re-verify the stored
+//! winner through the normal warm-start path.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use proto::{read_frame, write_frame, MAX_FRAME};
+pub use server::{Daemon, DaemonConfig, DaemonHandle};

@@ -1,0 +1,546 @@
+//! The daemon proper: socket accept loop, per-connection handlers, and
+//! request dispatch over the shared [`TunedDb`] index and
+//! [`EvalCache`].
+//!
+//! Concurrency model: one OS thread per connection (connections are few
+//! and long-lived; candidate evaluation inside a tune session does its
+//! own `--jobs` parallelism). Identical concurrent tune requests
+//! coalesce through a single-flight table — the first computes while
+//! duplicates wait, then re-verify the freshly stored winner through
+//! the normal warm-start path — which is what extends the engine's
+//! bit-identity guarantee to the socket boundary. Every lookup the
+//! daemon answers comes from the in-memory index; disk is touched only
+//! to append or compact.
+
+use crate::proto::{error_response, object, ok_response, write_frame, Field};
+use ifko::artifact;
+use ifko::eval::{fnv64, machine_fingerprint, EvalCache};
+use ifko::metrics;
+use ifko::report::{parse_json, Json};
+use ifko::runner::Context;
+use ifko::strategy::db::{params_json, record_json};
+use ifko::strategy::{db_key, Budget, StrategySpec, TunedDb, STRATEGY_WARM};
+use ifko::{SearchOptions, TuneConfig};
+use ifko_blas::ops::EXTENDED_KERNELS;
+use ifko_blas::{Kernel, ALL_KERNELS};
+use ifko_xsim::{opteron, p4e, MachineConfig};
+use std::collections::HashSet;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Unix socket path to listen on (created at start, removed at stop).
+    pub socket: PathBuf,
+    /// Tuned-results database directory (shared across all sessions).
+    pub db_dir: PathBuf,
+    /// Evaluation-cache directory; `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// `--jobs` width for each tune session's eval engine.
+    pub jobs: usize,
+    /// Suppress per-request logging.
+    pub quiet: bool,
+}
+
+impl DaemonConfig {
+    pub fn new(socket: impl Into<PathBuf>, db_dir: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            socket: socket.into(),
+            db_dir: db_dir.into(),
+            cache_dir: None,
+            jobs: 1,
+            quiet: false,
+        }
+    }
+}
+
+/// Shared server state.
+struct Server {
+    cfg: DaemonConfig,
+    db: Arc<TunedDb>,
+    cache: Arc<EvalCache>,
+    stop: AtomicBool,
+    /// Single-flight table: fingerprints of tune requests in progress.
+    inflight: Mutex<HashSet<u64>>,
+    inflight_cv: Condvar,
+}
+
+/// A running daemon: join or stop it through this handle.
+pub struct Daemon;
+
+pub struct DaemonHandle {
+    server: Arc<Server>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind the socket, load the database and cache, and start serving
+    /// in background threads. A stale socket file from a crashed daemon
+    /// is replaced.
+    pub fn start(cfg: DaemonConfig) -> std::io::Result<DaemonHandle> {
+        let db = Arc::new(TunedDb::open(&cfg.db_dir)?);
+        let cache = match &cfg.cache_dir {
+            Some(dir) => Arc::new(EvalCache::persistent(dir)?),
+            None => Arc::new(EvalCache::new()),
+        };
+        if cfg.socket.exists() {
+            std::fs::remove_file(&cfg.socket)?;
+        }
+        if let Some(parent) = cfg.socket.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+        if !cfg.quiet {
+            eprintln!(
+                "ifkod: listening on {} (db {}, {} records, jobs {})",
+                cfg.socket.display(),
+                cfg.db_dir.display(),
+                db.len(),
+                cfg.jobs
+            );
+        }
+        let server = Arc::new(Server {
+            cfg,
+            db,
+            cache,
+            stop: AtomicBool::new(false),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+        });
+        let accept_server = Arc::clone(&server);
+        let accept_thread = std::thread::spawn(move || accept_loop(accept_server, listener));
+        Ok(DaemonHandle {
+            server,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl DaemonHandle {
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &Path {
+        &self.server.cfg.socket
+    }
+
+    /// Block until the daemon stops (a client sent `shutdown`).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop the daemon and wait for every handler to finish.
+    pub fn stop(mut self) {
+        self.server.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.server.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(server: Arc<Server>, listener: UnixListener) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !server.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                metrics::global().counter(metrics::DAEMON_CONNECTIONS).inc();
+                let s = Arc::clone(&server);
+                handlers.retain(|h| !h.is_finished());
+                handlers.push(std::thread::spawn(move || handle_connection(s, stream)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    let _ = std::fs::remove_file(&server.cfg.socket);
+    server.db.join_compactions();
+    if !server.cfg.quiet {
+        eprintln!("ifkod: stopped");
+    }
+}
+
+fn handle_connection(server: Arc<Server>, stream: UnixStream) {
+    // A short read timeout turns a blocking read into an idle tick, so
+    // a connection parked between requests still notices shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut stream = stream;
+    loop {
+        match read_frame_idle(&mut stream, &server.stop) {
+            Ok(Some(payload)) => {
+                let response = dispatch(&server, &payload);
+                if write_frame(&mut stream, &response).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean EOF or shutdown
+            Err(_) => {
+                // Torn frame — a client died mid-request. Drop the
+                // connection; the daemon itself is unaffected.
+                metrics::global().counter(metrics::DAEMON_ERRORS).inc();
+                break;
+            }
+        }
+    }
+}
+
+/// [`read_frame`] for the server side: read timeouts are idle ticks
+/// (partial progress is kept, so a timeout can never desync the
+/// framing), and a shutdown observed between frames reads as EOF.
+fn read_frame_idle(stream: &mut UnixStream, stop: &AtomicBool) -> std::io::Result<Option<String>> {
+    use std::io::Read;
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-length",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > crate::proto::MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    let mut got = 0;
+    while got < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(k) => got += k,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn dispatch(server: &Arc<Server>, payload: &str) -> String {
+    let Some(req) = parse_json(payload) else {
+        metrics::global().counter(metrics::DAEMON_ERRORS).inc();
+        return error_response("unparseable request");
+    };
+    let cmd = req.get("cmd").and_then(|j| j.as_str()).unwrap_or("");
+    metrics::global()
+        .counter(&metrics::labeled(metrics::DAEMON_REQUESTS, "kind", cmd))
+        .inc();
+    if !server.cfg.quiet && cmd != "ping" {
+        eprintln!("ifkod: {cmd} request");
+    }
+    let result = match cmd {
+        "ping" => Ok(object(&[Field::Str("pong", "ifkod")])),
+        "shutdown" => {
+            server.stop.store(true, Ordering::SeqCst);
+            Ok(ok_response())
+        }
+        "metrics" => Ok(object(&[Field::Str(
+            "text",
+            &metrics::global().prometheus_text(),
+        )])),
+        "stats" => Ok(object(&[Field::Raw("stats", server.db.stats().to_json())])),
+        "compact" => Ok(object(&[Field::Raw(
+            "stats",
+            server.db.compact().to_json(),
+        )])),
+        "pack" => Ok(object(&[Field::Str(
+            "artifact",
+            &artifact::pack(&server.db),
+        )])),
+        "query" => handle_query(server, &req),
+        "tune" => handle_tune(server, &req),
+        other => Err(format!("unknown cmd {other:?}")),
+    };
+    result.unwrap_or_else(|e| {
+        metrics::global().counter(metrics::DAEMON_ERRORS).inc();
+        error_response(&e)
+    })
+}
+
+fn parse_machine(name: &str) -> Option<MachineConfig> {
+    match name {
+        "p4e" => Some(p4e()),
+        "opteron" | "opt" => Some(opteron()),
+        _ => None,
+    }
+}
+
+fn find_kernel(name: &str) -> Option<Kernel> {
+    ALL_KERNELS
+        .iter()
+        .chain(EXTENDED_KERNELS.iter())
+        .find(|k| k.name() == name)
+        .copied()
+}
+
+fn parse_context(label: &str) -> Result<Context, String> {
+    match label {
+        "oc" | "" => Ok(Context::OutOfCache),
+        "ic" => Ok(Context::InL2),
+        other => Err(format!("unknown context {other:?} (oc | ic)")),
+    }
+}
+
+/// Exact-key (and optionally nearest-`sfv`) warm-start lookup, answered
+/// entirely from the in-memory index.
+fn handle_query(server: &Arc<Server>, req: &Json) -> Result<String, String> {
+    let kernel = req
+        .get("kernel")
+        .and_then(|j| j.as_str())
+        .ok_or("query needs a kernel name")?;
+    let machine_name = req
+        .get("machine")
+        .and_then(|j| j.as_str())
+        .ok_or("query needs a machine")?;
+    let context = parse_context(req.get("context").and_then(|j| j.as_str()).unwrap_or("oc"))?;
+    // The machine field accepts a model name (p4e/opteron) or a raw
+    // fingerprint from a foreign build.
+    let fingerprint = if machine_name.contains('#') {
+        machine_name.to_string()
+    } else {
+        machine_fingerprint(
+            &parse_machine(machine_name)
+                .ok_or_else(|| format!("unknown machine {machine_name:?}"))?,
+        )
+    };
+    let prec = match req.get("prec").and_then(|j| j.as_str()) {
+        Some(p) => p.to_string(),
+        None => {
+            let k = find_kernel(kernel)
+                .ok_or_else(|| format!("unknown kernel {kernel:?} (pass prec explicitly)"))?;
+            format!("{:?}", k.prec)
+        }
+    };
+    let key = db_key(
+        kernel,
+        &prec,
+        &fingerprint,
+        context.label(),
+        server.db.rev(),
+    );
+    if let Some(rec) = server.db.lookup(&key) {
+        return Ok(object(&[
+            Field::Bool("found", true),
+            Field::Bool("nearest", false),
+            Field::Raw("record", record_json(&rec)),
+        ]));
+    }
+    // Exact miss: nearest-by-static-features transfer lookup when the
+    // caller supplied a feature vector.
+    if let Some(Json::Arr(items)) = req.get("sfv") {
+        let sfv: Option<Vec<f64>> = items
+            .iter()
+            .map(|x| match x {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        if let Some(sfv) = sfv {
+            if let Some(rec) = server.db.nearest_by_features(&sfv, &key) {
+                return Ok(object(&[
+                    Field::Bool("found", true),
+                    Field::Bool("nearest", true),
+                    Field::Raw("record", record_json(&rec)),
+                ]));
+            }
+        }
+    }
+    Ok(object(&[Field::Bool("found", false)]))
+}
+
+/// Run one tune session over the shared database and cache.
+fn handle_tune(server: &Arc<Server>, req: &Json) -> Result<String, String> {
+    let kernel_name = req.get("kernel").and_then(|j| j.as_str());
+    let src = req.get("src").and_then(|j| j.as_str());
+    if kernel_name.is_none() && src.is_none() {
+        return Err("tune needs a kernel name or a src".to_string());
+    }
+    let machine_name = req.get("machine").and_then(|j| j.as_str()).unwrap_or("p4e");
+    let machine =
+        parse_machine(machine_name).ok_or_else(|| format!("unknown machine {machine_name:?}"))?;
+    let context = parse_context(req.get("context").and_then(|j| j.as_str()).unwrap_or("oc"))?;
+    let n = req
+        .get("n")
+        .and_then(|j| j.as_u64())
+        .unwrap_or(match context {
+            Context::OutOfCache => 40_000,
+            Context::InL2 => 1024,
+        }) as usize;
+    let seed = req.get("seed").and_then(|j| j.as_u64()).unwrap_or(0);
+    let full = req.get("full").and_then(|j| j.as_bool()).unwrap_or(false);
+    let strategy_name = req
+        .get("strategy")
+        .and_then(|j| j.as_str())
+        .unwrap_or("line");
+    let strategy = StrategySpec::parse(strategy_name)
+        .ok_or_else(|| format!("unknown strategy {strategy_name:?}"))?;
+    let budget = req.get("budget").and_then(|j| j.as_str());
+
+    // Single-flight: identical concurrent requests coalesce. The first
+    // computes and stores; waiters then find the stored winner and
+    // short-circuit through the (re-verifying) warm-start path — the
+    // determinism contract at the socket boundary.
+    let flight_key = fnv64(
+        format!(
+            "{}|{}|{}|{}|{n}|{seed}|{full}|{strategy_name}|{}",
+            kernel_name.unwrap_or(""),
+            src.map(|s| format!("{:016x}", fnv64(s.as_bytes())))
+                .unwrap_or_default(),
+            machine_name,
+            context.label(),
+            budget.unwrap_or(""),
+        )
+        .as_bytes(),
+    );
+    {
+        let mut inflight = server.inflight.lock().unwrap();
+        while inflight.contains(&flight_key) {
+            inflight = server.inflight_cv.wait(inflight).unwrap();
+        }
+        inflight.insert(flight_key);
+    }
+    let result = run_tune(
+        server,
+        kernel_name,
+        src,
+        machine,
+        context,
+        n,
+        seed,
+        full,
+        strategy,
+        budget,
+    );
+    {
+        let mut inflight = server.inflight.lock().unwrap();
+        inflight.remove(&flight_key);
+    }
+    server.inflight_cv.notify_all();
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_tune(
+    server: &Arc<Server>,
+    kernel_name: Option<&str>,
+    src: Option<&str>,
+    machine: MachineConfig,
+    context: Context,
+    n: usize,
+    seed: u64,
+    full: bool,
+    strategy: StrategySpec,
+    budget: Option<&str>,
+) -> Result<String, String> {
+    metrics::global().counter(metrics::DAEMON_SESSIONS).inc();
+    let opts = if full {
+        SearchOptions::default()
+    } else {
+        SearchOptions::quick()
+    };
+    let mut cfg = TuneConfig::paper()
+        .machine(machine.clone())
+        .context(context)
+        .n(n)
+        .seed(seed)
+        .search(opts)
+        .jobs(server.cfg.jobs)
+        .cache(Arc::clone(&server.cache))
+        .db(Arc::clone(&server.db))
+        .strategy(strategy);
+    if let Some(b) = budget {
+        cfg = cfg.budget(Budget::parse(b).map_err(|e| format!("budget: {e}"))?);
+    }
+
+    let (result, cycles, mflops, label) = match kernel_name {
+        Some(name) => {
+            let kernel = find_kernel(name).ok_or_else(|| format!("unknown kernel {name:?}"))?;
+            let out = cfg.tune(kernel).map_err(|e| e.to_string())?;
+            (out.result, out.cycles, out.mflops, name.to_string())
+        }
+        None => {
+            let out = cfg
+                .tune_source(src.expect("checked by caller"))
+                .map_err(|e| e.to_string())?;
+            let cycles = out.result.best_cycles;
+            (out.result, cycles, 0.0, "hil".to_string())
+        }
+    };
+    let warm = result.strategy == STRATEGY_WARM;
+    if warm {
+        metrics::global().counter(metrics::DAEMON_WARM_HITS).inc();
+    }
+    let fp = machine_fingerprint(&machine);
+    Ok(object(&[
+        Field::Str("kernel", &label),
+        Field::Str("machine", &fp),
+        Field::Str("context", context.label()),
+        Field::Num("n", n as u64),
+        Field::Num("seed", seed),
+        Field::Bool("warm", warm),
+        Field::Str("strategy", &result.strategy),
+        Field::Str("winner_strategy", &result.winner_strategy),
+        Field::Num("default_cycles", result.default_cycles),
+        Field::Num("best_cycles", result.best_cycles),
+        Field::Num("cycles", cycles),
+        Field::Float("mflops", mflops),
+        Field::Num("evaluations", result.evaluations as u64),
+        Field::Num("cache_hits", result.cache_hits as u64),
+        Field::Num("pruned", result.pruned as u64),
+        Field::Raw("params", params_json(&result.best)),
+    ]))
+}

@@ -1,0 +1,315 @@
+//! End-to-end tests for the `ifkod` daemon: the engine's determinism
+//! contract extended to the socket boundary, the in-memory-index
+//! guarantee, and the pack → install artifact round trip.
+
+use ifko::artifact;
+use ifko::eval::machine_fingerprint;
+use ifko::runner::Context;
+use ifko::strategy::db::{db_key, params_json, record_json, shard_path, N_SHARDS};
+use ifko::strategy::{repo_rev, StrategySpec, TunedDb, TunedRecord};
+use ifko::{SearchOptions, TuneConfig};
+use ifko_blas::hil_src::hil_source;
+use ifko_blas::{Kernel, ALL_KERNELS};
+use ifko_daemon::client::{Client, TuneRequest};
+use ifko_daemon::server::{Daemon, DaemonConfig};
+use ifko_fko::{CompileSession, TransformParams};
+use ifko_xsim::p4e;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ifkod-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ddot() -> Kernel {
+    *ALL_KERNELS.iter().find(|k| k.name() == "ddot").unwrap()
+}
+
+/// A synthetic-but-wellformed record keyed like a real tune of `kernel`
+/// on P4E/oc under this repo revision.
+fn synthetic_record(kernel: &str, cycles: u64) -> TunedRecord {
+    let fp = machine_fingerprint(&p4e());
+    let rev = repo_rev();
+    let m = p4e();
+    let k = ddot();
+    let sess = CompileSession::from_source(&hil_source(k.op, k.prec), &m).unwrap();
+    let params = TransformParams::defaults(sess.report(), &m);
+    TunedRecord {
+        key: db_key(kernel, "D", &fp, "oc", &rev),
+        kernel: kernel.to_string(),
+        prec: "D".to_string(),
+        machine: fp,
+        context: "oc".to_string(),
+        rev,
+        n: 1024,
+        seed: 7,
+        strategy: "line".to_string(),
+        cycles,
+        params,
+        features: Some(vec![cycles as f64, 1.0]),
+    }
+}
+
+/// The acceptance guard: a daemon holding >= 1k records answers
+/// warm-start queries from the in-memory index — proven by deleting
+/// every database file on disk after startup and querying anyway.
+#[test]
+fn queries_answer_from_memory_index_not_disk() {
+    let db_dir = tmp("memidx-db");
+    {
+        let db = TunedDb::open(&db_dir).unwrap();
+        for i in 0..1200u64 {
+            db.store(&synthetic_record(&format!("kern{i}"), 1000 + i));
+        }
+        db.store(&synthetic_record("ddot", 555));
+        db.compact();
+    }
+    let socket = db_dir.join("ifkod.sock");
+    let handle = Daemon::start(DaemonConfig {
+        socket: socket.clone(),
+        db_dir: db_dir.clone(),
+        cache_dir: None,
+        jobs: 1,
+        quiet: true,
+    })
+    .unwrap();
+
+    // Pull the rug: no database file remains on disk.
+    for i in 0..N_SHARDS {
+        std::fs::remove_file(shard_path(&db_dir, i)).unwrap();
+    }
+
+    let mut client = Client::connect(&socket).unwrap();
+    client.ping().unwrap();
+    let v = client.query("ddot", "p4e", "oc", None, None).unwrap();
+    assert_eq!(v.get("found").and_then(|j| j.as_bool()), Some(true));
+    let rec = v.get("record").unwrap();
+    assert_eq!(rec.get("cycles").and_then(|j| j.as_u64()), Some(555));
+
+    // A deep key from the 1k bulk answers too.
+    let v = client
+        .query("kern1100", "p4e", "oc", Some("D"), None)
+        .unwrap();
+    assert_eq!(v.get("found").and_then(|j| j.as_bool()), Some(true));
+    assert_eq!(
+        v.get("record")
+            .and_then(|r| r.get("cycles"))
+            .and_then(|j| j.as_u64()),
+        Some(2100)
+    );
+
+    // Nearest-sfv transfer lookup for a key with no exact hit.
+    let v = client
+        .query(
+            "no-such-kernel",
+            "p4e",
+            "oc",
+            Some("D"),
+            Some(&[1555.0, 1.0]),
+        )
+        .unwrap();
+    assert_eq!(v.get("found").and_then(|j| j.as_bool()), Some(true));
+    assert_eq!(v.get("nearest").and_then(|j| j.as_bool()), Some(true));
+
+    // Misses report cleanly.
+    let v = client
+        .query("no-such-kernel", "p4e", "oc", Some("D"), None)
+        .unwrap();
+    assert_eq!(v.get("found").and_then(|j| j.as_bool()), Some(false));
+
+    // Stats served from the index as well.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("live").and_then(|j| j.as_u64()), Some(1201));
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&db_dir);
+}
+
+/// Serial-reference tune used by the concurrency test.
+fn serial_reference(db_dir: &PathBuf, n: usize, seed: u64) -> (String, u64) {
+    let cfg = TuneConfig::paper()
+        .machine(p4e())
+        .context(Context::OutOfCache)
+        .n(n)
+        .seed(seed)
+        .search(SearchOptions::quick())
+        .jobs(1)
+        .strategy(StrategySpec::Line)
+        .tuned_db(db_dir)
+        .unwrap();
+    let out = cfg.tune(ddot()).unwrap();
+    (params_json(&out.result.best), out.result.best_cycles)
+}
+
+/// N parallel clients tuning the same kernel/machine converge to the
+/// bit-identical winner of a serial run — including while a client
+/// killed mid-request tears its connection.
+#[test]
+fn concurrent_daemon_sessions_match_serial_winner() {
+    let n = 2048;
+    let seed = 11;
+    let serial_dir = tmp("concurrent-serial");
+    let (serial_params, serial_cycles) = serial_reference(&serial_dir, n, seed);
+
+    let daemon_dir = tmp("concurrent-daemon");
+    let socket = daemon_dir.join("ifkod.sock");
+    let handle = Daemon::start(DaemonConfig {
+        socket: socket.clone(),
+        db_dir: daemon_dir.clone(),
+        cache_dir: None,
+        jobs: 2,
+        quiet: true,
+    })
+    .unwrap();
+
+    // A client dies mid-request: frame header promises 100 bytes, 10
+    // arrive, connection drops. The daemon must shrug it off.
+    {
+        use std::io::Write;
+        let mut s = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+        s.write_all(&100u32.to_be_bytes()).unwrap();
+        s.write_all(b"0123456789").unwrap();
+        drop(s);
+    }
+
+    let socket = Arc::new(socket);
+    let results: Vec<(String, u64, bool)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let socket = Arc::clone(&socket);
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(socket.as_path()).unwrap();
+                let v = client
+                    .tune(&TuneRequest {
+                        kernel: Some("ddot".to_string()),
+                        machine: "p4e".to_string(),
+                        context: "oc".to_string(),
+                        n: Some(n),
+                        seed: Some(seed),
+                        ..TuneRequest::default()
+                    })
+                    .unwrap();
+                (
+                    format!("{:?}", v.get("params").unwrap()),
+                    v.get("best_cycles").and_then(|j| j.as_u64()).unwrap(),
+                    v.get("warm").and_then(|j| j.as_bool()).unwrap(),
+                )
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    // Parse the serial params through the same Json debug rendering so
+    // the comparison is representation-for-representation.
+    let serial_rendered = format!("{:?}", ifko::report::parse_json(&serial_params).unwrap());
+    for (params, cycles, _warm) in &results {
+        assert_eq!(params, &serial_rendered, "winner params diverged");
+        assert_eq!(*cycles, serial_cycles, "winner cycles diverged");
+    }
+    // The duplicates coalesced behind the first session and finished on
+    // the warm path.
+    assert!(
+        results.iter().filter(|(_, _, warm)| *warm).count() >= 3,
+        "expected coalesced requests to warm-start: {results:?}"
+    );
+
+    // And a repeat tune over the live daemon is a warm hit end to end.
+    let mut client = Client::connect(socket.as_path()).unwrap();
+    let v = client
+        .tune(&TuneRequest {
+            kernel: Some("ddot".to_string()),
+            machine: "p4e".to_string(),
+            context: "oc".to_string(),
+            n: Some(n),
+            seed: Some(seed),
+            ..TuneRequest::default()
+        })
+        .unwrap();
+    assert_eq!(v.get("warm").and_then(|j| j.as_bool()), Some(true));
+
+    // Daemon metrics counted the sessions and the torn connection.
+    let text = client.metrics().unwrap();
+    assert!(text.contains("ifkod_sessions_total"), "{text}");
+    assert!(text.contains("ifkod_errors_total"), "{text}");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&daemon_dir);
+}
+
+/// `pack` from a live daemon → `install` into an empty results dir →
+/// the first tune against it short-circuits on a verified warm start
+/// with the bit-identical winner.
+#[test]
+fn pack_install_round_trip_warm_starts_fresh_deployment() {
+    let n = 2048;
+    let seed = 23;
+    let source_dir = tmp("pack-source");
+    // Tune once to populate the source database.
+    let cfg = TuneConfig::paper()
+        .machine(p4e())
+        .context(Context::OutOfCache)
+        .n(n)
+        .seed(seed)
+        .search(SearchOptions::quick())
+        .jobs(1)
+        .tuned_db(&source_dir)
+        .unwrap();
+    let out = cfg.tune(ddot()).unwrap();
+    assert_ne!(out.result.strategy, "warm");
+    let exported = params_json(&out.result.best);
+
+    // Pack through the daemon.
+    let socket = source_dir.join("ifkod.sock");
+    let handle = Daemon::start(DaemonConfig {
+        socket: socket.clone(),
+        db_dir: source_dir.clone(),
+        cache_dir: None,
+        jobs: 1,
+        quiet: true,
+    })
+    .unwrap();
+    let mut client = Client::connect(&socket).unwrap();
+    let text = client.pack().unwrap();
+    handle.stop();
+
+    // Install into an empty deployment, re-verification on.
+    let deploy_dir = tmp("pack-deploy");
+    let deploy_db = Arc::new(TunedDb::open(&deploy_dir).unwrap());
+    let report = artifact::install(&text, &deploy_db, true).unwrap();
+    assert_eq!(report.installed, 1);
+    assert_eq!(report.verified, 1);
+    assert!(report.rejected.is_empty());
+
+    // The deployment's first tune warm-starts bit-identically.
+    let cfg = TuneConfig::paper()
+        .machine(p4e())
+        .context(Context::OutOfCache)
+        .n(n)
+        .seed(seed)
+        .search(SearchOptions::quick())
+        .jobs(1)
+        .db(Arc::clone(&deploy_db))
+        .strategy(StrategySpec::Line);
+    let warm_out = cfg.tune(ddot()).unwrap();
+    assert_eq!(
+        warm_out.result.strategy, "warm",
+        "first tune not a warm hit"
+    );
+    assert_eq!(
+        params_json(&warm_out.result.best),
+        exported,
+        "winner diverged"
+    );
+
+    // The record text itself round-tripped bit-identically.
+    let art = artifact::parse(&text).unwrap();
+    let installed = deploy_db.lookup(&art.records[0].key).unwrap();
+    assert_eq!(record_json(&installed), record_json(&art.records[0]));
+
+    let _ = std::fs::remove_dir_all(&source_dir);
+    let _ = std::fs::remove_dir_all(&deploy_dir);
+}

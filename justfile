@@ -62,6 +62,29 @@ explain:
     cargo run --release -p ifko-cli -- explain results/traces/ddot.jsonl
     cargo run --release -p ifko-cli -- explain --check-chrome results/traces/ddot.chrome.json
 
+# Long-running tuning daemon on the conventional socket and db; clients
+# reach it with `ifko tune ... --remote results/ifkod.sock` and the
+# control plane with `ifko daemon <cmd>`. Stop with `just daemon-stop`.
+serve:
+    cargo run --release -p ifko-daemon --bin ifkod -- \
+        --socket results/ifkod.sock --db results/db --cache results/cache
+
+daemon-stop:
+    cargo run --release -p ifko-cli -- daemon stop --socket results/ifkod.sock
+
+# Tuned-results database statistics: live records, per-shard line
+# counts, dead-record ratio. `just db-compact` rewrites the shards.
+db-stats:
+    cargo run --release -p ifko-cli -- db stats
+
+db-compact:
+    cargo run --release -p ifko-cli -- db compact
+
+# Export the tuned-results db as a checksummed tune-cache artifact
+# (import elsewhere with `ifko install FILE` — records re-verify there)
+pack out="results/tunes.ifko":
+    cargo run --release -p ifko-cli -- pack --out {{out}}
+
 # Drop the persistent evaluation cache and sample traces
 clean-cache:
     rm -rf results/cache results/traces

@@ -55,13 +55,52 @@ cargo run --release -p ifko-bench --bin strategies -- --quick \
     --strategies line,random --budget 64 --db "$obs_tmp/db" > "$obs_tmp/strategies.txt"
 grep -q '^line ' "$obs_tmp/strategies.txt"
 grep -q '^random ' "$obs_tmp/strategies.txt"
-test -s "$obs_tmp/db/tuned.jsonl"
+# Winners persist into the sharded journal layout.
+cat "$obs_tmp/db/shard-"*.jsonl | grep -q '"key"'
+cargo run --release -p ifko-cli -- db stats --db "$obs_tmp/db" > "$obs_tmp/db-stats.txt"
+grep -q 'live records' "$obs_tmp/db-stats.txt"
 
 step "harness smoke: ifko tune --chaos (fault injection + recovery)"
 cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
     --chaos 7 --max-retries 2 --db "$obs_tmp/chaosdb" > "$obs_tmp/chaos.txt"
 grep -q 'iFKO best' "$obs_tmp/chaos.txt"
-test -s "$obs_tmp/chaosdb/tuned.jsonl"
+cat "$obs_tmp/chaosdb/shard-"*.jsonl | grep -q '"key"'
+
+step "harness smoke: ifkod daemon (remote tune, warm hit, pack/install)"
+daemon_sock="$obs_tmp/ifkod.sock"
+cargo run --release -p ifko-daemon --bin ifkod -- \
+    --socket "$daemon_sock" --db "$obs_tmp/daemondb" --quiet &
+daemon_pid=$!
+trap 'rm -rf "$obs_tmp"; kill "$daemon_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do [ -S "$daemon_sock" ] && break; sleep 0.1; done
+cargo run --release -p ifko-cli -- daemon ping --socket "$daemon_sock"
+# First remote tune is cold; the identical repeat must answer from the
+# daemon's in-memory tuned-results index.
+cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
+    --remote "$daemon_sock" > "$obs_tmp/remote-cold.txt"
+grep -q 'warm start         : no' "$obs_tmp/remote-cold.txt"
+cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
+    --remote "$daemon_sock" > "$obs_tmp/remote-warm.txt"
+grep -q 'warm start         : yes' "$obs_tmp/remote-warm.txt"
+cargo run --release -p ifko-cli -- daemon metrics --socket "$daemon_sock" \
+    > "$obs_tmp/daemon-metrics.txt"
+grep -q ifkod_requests_total "$obs_tmp/daemon-metrics.txt"
+# Pack the daemon's winners, re-verify them into a fresh results dir,
+# and check the import warm-starts the next local tune there.
+cargo run --release -p ifko-cli -- pack --socket "$daemon_sock" \
+    --out "$obs_tmp/tunes.ifko"
+cargo run --release -p ifko-cli -- install "$obs_tmp/tunes.ifko" \
+    --db "$obs_tmp/freshdb" > "$obs_tmp/install.txt"
+grep -q 'installed 1 record(s)' "$obs_tmp/install.txt"
+cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
+    --db "$obs_tmp/freshdb" > "$obs_tmp/fresh-warm.txt"
+grep -q 'strategy           : warm' "$obs_tmp/fresh-warm.txt"
+cargo run --release -p ifko-cli -- db stats --db "$obs_tmp/freshdb" \
+    > "$obs_tmp/freshdb-stats.txt"
+grep -q 'live records : 1' "$obs_tmp/freshdb-stats.txt"
+cargo run --release -p ifko-cli -- daemon stop --socket "$daemon_sock"
+wait "$daemon_pid"
+trap 'rm -rf "$obs_tmp"' EXIT
 
 step "harness smoke: figure7 --quick (sample trace)"
 cargo run --release -p ifko-bench --bin figure7 -- --quick >/dev/null
