@@ -3,8 +3,8 @@
 //! One binary per table/figure of the paper (see DESIGN.md's experiment
 //! index). The [`Experiment`] builder is the shared entry point: name the
 //! experiment, pick machines/contexts (or explicit sweeps), and `run()`
-//! — flags (`--quick`, `--jobs N`, `--trace PATH`, `--trace-chrome PATH`,
-//! `--no-cache`) are
+//! — flags (`--quick`, `--jobs N`, `--workers N`, `--trace PATH`,
+//! `--trace-chrome PATH`, `--no-cache`) are
 //! parsed from the command line, every sweep shares one evaluation cache
 //! (persisted under `results/cache/` so separate binaries reuse each
 //! other's points), and progress goes to stderr.
@@ -37,6 +37,10 @@ pub struct ExpConfig {
     /// Worker threads per candidate batch (`--jobs N`; results are
     /// bit-identical for every value).
     pub jobs: usize,
+    /// Worker *processes* per candidate batch (`--workers N`; 0 = stay
+    /// in-process). Dispatches evaluations to `ifko-worker` children —
+    /// results stay bit-identical to serial and threaded runs.
+    pub workers: usize,
     /// JSONL search-trace destination (`--trace PATH`).
     pub trace_path: Option<String>,
     /// Chrome/Perfetto trace destination (`--trace-chrome PATH`): the
@@ -81,6 +85,11 @@ impl ExpConfig {
                 "--jobs" => {
                     if let Some(v) = it.next() {
                         cfg.jobs = v.parse::<usize>().unwrap_or(1).max(1);
+                    }
+                }
+                "--workers" => {
+                    if let Some(v) = it.next() {
+                        cfg.workers = v.parse::<usize>().unwrap_or(0);
                     }
                 }
                 "--trace" => cfg.trace_path = it.next().cloned(),
@@ -172,6 +181,7 @@ impl ExpConfig {
             quick,
             seed: 0xb1a5,
             jobs: 1,
+            workers: 0,
             trace_path: None,
             trace_chrome_path: None,
             metrics_path: None,
@@ -205,6 +215,7 @@ impl ExpConfig {
             .n(n)
             .seed(self.seed)
             .jobs(self.jobs)
+            .workers(self.workers)
             .strategy(self.strategy)
             .budget(self.budget);
         if let Some(plan) = &self.chaos {
@@ -730,6 +741,7 @@ mod tests {
             quick: true,
             seed: 1,
             jobs: 1,
+            workers: 0,
             trace_path: None,
             trace_chrome_path: None,
             metrics_path: None,

@@ -15,6 +15,7 @@ pub struct Args {
     pub no_pf: bool,
     pub pf_dist: Option<i64>,
     pub jobs: usize,
+    pub workers: usize,
     pub trace: Option<String>,
     pub trace_chrome: Option<String>,
     pub timeseries: Option<String>,
@@ -48,6 +49,7 @@ impl Args {
             no_pf: false,
             pf_dist: None,
             jobs: 1,
+            workers: 0,
             trace: None,
             trace_chrome: None,
             timeseries: None,
@@ -96,6 +98,11 @@ impl Args {
                         .parse::<usize>()
                         .map_err(|e| format!("--jobs: {e}"))?
                         .max(1)
+                }
+                "--workers" => {
+                    a.workers = value("--workers")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--workers: {e}"))?
                 }
                 "--trace" => a.trace = Some(value("--trace")?),
                 "--trace-chrome" => a.trace_chrome = Some(value("--trace-chrome")?),
@@ -208,6 +215,19 @@ mod tests {
         // --jobs clamps to at least one worker.
         let a = Args::parse(v(&["k.hil", "-j", "0"])).unwrap();
         assert_eq!(a.jobs, 1);
+    }
+
+    #[test]
+    fn workers_parse() {
+        // --workers 0 (the default) means in-process evaluation — no
+        // clamp, unlike --jobs.
+        let a = Args::parse(v(&["k.hil"])).unwrap();
+        assert_eq!(a.workers, 0);
+        let a = Args::parse(v(&["k.hil", "--workers", "4", "--jobs", "2"])).unwrap();
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.jobs, 2);
+        assert!(Args::parse(v(&["k.hil", "--workers", "nope"])).is_err());
+        assert!(Args::parse(v(&["k.hil", "--workers"])).is_err());
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! ifko compile  kernel.hil [--machine M] [--scalar] [--ur N] [--ae N]
 //!                          [--wnt] [--pf-dist BYTES] [--no-pf]
 //! ifko tune     kernel.hil [--machine M] [--context oc|ic] [--n N]
-//!                          [--seed S] [--full] [--jobs N] [--trace PATH]
+//!                          [--seed S] [--full] [--jobs N] [--workers N]
+//!                          [--trace PATH]
 //!                          [--trace-chrome PATH] [--timeseries PATH]
 //!                          [--metrics PATH] [--verify-ir] [--no-prune]
 //!                          [--strategy line|random|hillclimb|anneal|portfolio]
@@ -18,7 +19,10 @@
 //! ifko explain  trace.jsonl [trace2.jsonl ...] [--format text|json|md]
 //!                          [--db DIR] [--check-chrome FILE]
 //! ifko daemon   <ping|stop|metrics|stats|compact> [--socket PATH]
-//! ifko db       <stats|compact> [--db DIR] [--format text|json]
+//! ifko worker   (candidate-evaluation worker on stdin/stdout; spawned
+//!                by `tune --workers N`, rarely run by hand)
+//! ifko db       <stats|compact|prune> [--rev-missing] [--db DIR]
+//!                          [--format text|json]
 //! ifko pack     [--db DIR] [--out FILE] [--socket PATH]
 //! ifko install  ARTIFACT [--db DIR] [--no-verify]
 //! ```
@@ -28,7 +32,10 @@
 //! generated pseudo-assembly; `tune` runs the empirical line search with
 //! differential verification against the untransformed build and reports
 //! the winning parameters — for *any* kernel written in the HIL, not only
-//! the BLAS suite (`--strategy` swaps the search driver, `--budget` caps
+//! the BLAS suite (`--workers N` dispatches candidate evaluations to a
+//! pool of `ifko worker` child processes over a length-prefixed JSON
+//! wire protocol, with bit-identical results to in-process evaluation;
+//! `--strategy` swaps the search driver, `--budget` caps
 //! its probes or wall-clock, and `--warm-start`/`--db` persist winners in
 //! the tuned-results database; `--model-prune FRAC` lets the static cost
 //! model skip the predicted-worst fraction of every batch before it
@@ -52,8 +59,10 @@
 //! The daemon-facing commands talk to a running `ifkod` over its Unix
 //! socket: `tune --remote SOCKET` ships the tune to the daemon (shared
 //! eval cache + tuned-results index, so repeats warm-start without
-//! touching disk); `daemon <cmd>` is the control plane. `db` inspects
-//! or compacts a sharded tuned-results database in place, and
+//! touching disk); `daemon <cmd>` is the control plane. `db` inspects,
+//! compacts, or prunes (`prune --rev-missing` drops records from repo
+//! revisions other than the current checkout's) a sharded tuned-results
+//! database in place, and
 //! `pack`/`install` move winners between machines as a checksummed,
 //! re-verified tune-cache artifact.
 
@@ -84,6 +93,18 @@ fn main() -> ExitCode {
     // `report`, `explain`, `lint`, and the database/daemon commands do
     // not take one kernel file: they have their own tiny flag loops
     // instead of the shared `Args`.
+    // `ifko worker`: become a candidate-evaluation worker speaking the
+    // wire protocol on stdin/stdout until shutdown or EOF (spawned by a
+    // `--workers N` dispatcher; see `ifko::worker`).
+    if cmd == "worker" {
+        return match ifko::worker::serve_stdio() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ifko: worker: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if let "daemon" | "db" | "pack" | "install" = cmd.as_str() {
         let r = match cmd.as_str() {
             "daemon" => cmd_daemon(argv),
@@ -487,6 +508,18 @@ fn cmd_tune(src: &str, machine: &MachineConfig, args: &mut Args) -> Result<(), S
         .prune(!args.no_prune)
         .profile_pipeline(args.profile_pipeline)
         .jobs(args.jobs);
+    if args.workers > 0 {
+        // Workers are this same binary re-invoked as `ifko worker`, so
+        // the pool works from any build/install location.
+        let exe = std::env::current_exe().map_err(|e| format!("--workers: {e}"))?;
+        cfg = cfg
+            .workers(args.workers)
+            .worker_launcher(ifko::worker::WorkerLauncher::new(exe).arg("worker"));
+        eprintln!(
+            "worker pool: dispatching evaluations to {} ifko worker processes",
+            args.workers
+        );
+    }
     let strategy = match &args.strategy {
         Some(s) => StrategySpec::parse(s).ok_or_else(|| {
             format!("unknown strategy `{s}` (line | random | hillclimb | anneal | portfolio)")
@@ -780,16 +813,22 @@ fn cmd_daemon(argv: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `ifko db <stats|compact> [--db DIR] [--format text|json]`: inspect or
-/// compact a sharded tuned-results database in place, no daemon needed.
+/// `ifko db <stats|compact|prune> [--rev-missing] [--db DIR]
+/// [--format text|json]`: inspect, compact, or prune a sharded
+/// tuned-results database in place, no daemon needed. `prune
+/// --rev-missing` drops every record stored under a repo revision other
+/// than the current checkout's — stale revisions can never answer an
+/// exact warm-start lookup, so they only cost space.
 fn cmd_db(argv: Vec<String>) -> Result<(), String> {
     let mut dir = "results/db".to_string();
     let mut json = false;
+    let mut rev_missing = false;
     let mut sub: Option<String> = None;
     let mut it = argv.into_iter();
     while let Some(tok) = it.next() {
         match tok.as_str() {
             "--db" => dir = it.next().ok_or("--db needs a value")?,
+            "--rev-missing" => rev_missing = true,
             "--format" | "-f" => {
                 json = match it.next().ok_or("--format needs a value")?.as_str() {
                     "text" => false,
@@ -802,19 +841,46 @@ fn cmd_db(argv: Vec<String>) -> Result<(), String> {
             word => return Err(format!("unexpected argument `{word}`")),
         }
     }
-    let sub = sub.ok_or("usage: ifko db <stats|compact> [--db DIR] [--format text|json]")?;
+    let sub = sub.ok_or(
+        "usage: ifko db <stats|compact|prune> [--rev-missing] [--db DIR] [--format text|json]",
+    )?;
+    if rev_missing && sub != "prune" {
+        return Err("--rev-missing only applies to `ifko db prune`".into());
+    }
     let db = TunedDb::open(&dir).map_err(|e| format!("--db {dir}: {e}"))?;
+    let mut pruned = 0usize;
     let stats = match sub.as_str() {
         "stats" => db.stats(),
         "compact" => db.compact(),
-        other => return Err(format!("unknown db command `{other}` (stats | compact)")),
+        "prune" => {
+            if !rev_missing {
+                return Err("ifko db prune requires a criterion: --rev-missing".into());
+            }
+            pruned = db.prune_missing_rev();
+            db.stats()
+        }
+        other => {
+            return Err(format!(
+                "unknown db command `{other}` (stats | compact | prune)"
+            ))
+        }
     };
     if json {
-        println!("{}", stats.to_json());
+        if sub == "prune" {
+            println!("{{\"pruned\":{pruned},\"stats\":{}}}", stats.to_json());
+        } else {
+            println!("{}", stats.to_json());
+        }
     } else {
         println!("tuned-results database: {dir}");
         if sub == "compact" {
             println!("compacted all shards");
+        }
+        if sub == "prune" {
+            println!(
+                "pruned {pruned} record(s) from revisions other than {}",
+                db.rev()
+            );
         }
         let rendered = parse_json(&stats.to_json()).ok_or("stats rendering failed")?;
         print_db_stats(&rendered);

@@ -281,6 +281,149 @@ fn db_tune_pack_install_round_trip() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `ifko worker` speaks the wire protocol on stdin/stdout: handshake
+/// with a scope ack, one evaluated candidate, clean shutdown.
+#[test]
+fn worker_subcommand_speaks_the_wire_protocol() {
+    use ifko::eval::EvalScope;
+    use ifko::report::{parse_json, Json};
+    use ifko::worker::WorkerSpec;
+    use ifko::{proto, SearchOptions};
+    use std::process::Stdio;
+
+    let mach = ifko_xsim::p4e();
+    let opts = SearchOptions::quick();
+    let ctx = ifko::runner::Context::OutOfCache;
+    let scope = EvalScope::new("ddot", &mach, ctx, 512, 0xb1a5, &opts.timer);
+    let spec = WorkerSpec::blas("ddot", &mach, ctx, 512, 0xb1a5, &opts, &scope);
+
+    let mut child = Command::new(bin())
+        .arg("worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = child.stdout.take().unwrap();
+    let mut reply = |req: &str| -> Json {
+        proto::write_frame(&mut stdin, req).unwrap();
+        parse_json(&proto::read_frame(&mut stdout).unwrap().unwrap()).unwrap()
+    };
+
+    let ack = reply(&spec.to_json());
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        ack.get("scope").and_then(Json::as_str),
+        Some(scope.key()),
+        "worker recomputed a different scope"
+    );
+
+    let ev = reply(&format!(
+        "{{\"cmd\":\"eval\",\"id\":42,\"params\":{}}}",
+        ifko::strategy::db::params_json(&ifko_fko::TransformParams::off())
+    ));
+    assert_eq!(ev.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(ev.get("id").and_then(Json::as_u64), Some(42));
+    assert!(ev.get("cycles").and_then(Json::as_u64).is_some());
+
+    let bye = reply("{\"cmd\":\"shutdown\"}");
+    assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(child.wait().unwrap().success());
+}
+
+/// `tune --workers 2` dispatches to a pool of `ifko worker` children
+/// and still prints the winning parameters.
+#[test]
+fn tune_with_worker_pool_smokes() {
+    let out = Command::new(bin())
+        .args([
+            "tune",
+            &repo("kernels/ddot.hil"),
+            "--n",
+            "2000",
+            "--workers",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("winning parameters"), "tune said:\n{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("worker pool"),
+        "worker-pool banner missing:\n{err}"
+    );
+}
+
+/// `ifko db prune --rev-missing` drops records from other repo
+/// revisions (IFKO_REPO_REV pins the revision on both sides).
+#[test]
+fn db_prune_rev_missing_drops_stale_records() {
+    let dir = std::env::temp_dir().join(format!("ifko-cli-prune-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db");
+
+    // Store a winner under revision "aaa".
+    let out = Command::new(bin())
+        .args([
+            "tune",
+            &repo("kernels/ddot.hil"),
+            "--n",
+            "2000",
+            "--db",
+            db.to_str().unwrap(),
+        ])
+        .env("IFKO_REPO_REV", "aaa")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Same revision: nothing to prune.
+    let out = Command::new(bin())
+        .args(["db", "prune", "--rev-missing", "--db", db.to_str().unwrap()])
+        .env("IFKO_REPO_REV", "aaa")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pruned 0 record(s)"), "prune said:\n{text}");
+
+    // From revision "bbb" the stored record's revision is missing.
+    let out = Command::new(bin())
+        .args(["db", "prune", "--rev-missing", "--db", db.to_str().unwrap()])
+        .env("IFKO_REPO_REV", "bbb")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pruned 1 record(s)"), "prune said:\n{text}");
+    assert!(text.contains("live records : 0"), "prune said:\n{text}");
+
+    // `prune` without a criterion is an error, as is --rev-missing on
+    // another subcommand.
+    let out = Command::new(bin())
+        .args(["db", "prune", "--db", db.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(bin())
+        .args(["db", "stats", "--rev-missing", "--db", db.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn daemon_remote_tune_and_control_plane() {
     let dir = std::env::temp_dir().join(format!("ifko-cli-daemon-{}", std::process::id()));

@@ -376,6 +376,7 @@ mod tests {
             faults: 0,
             outliers: 0,
             failed: false,
+            worker: None,
         })
     }
 

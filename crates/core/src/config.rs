@@ -25,6 +25,7 @@ use crate::runner::Context;
 use crate::search::SearchOptions;
 use crate::strategy::{Budget, StrategySpec, TunedDb};
 use crate::timer::Timer;
+use crate::worker::{WorkerLauncher, WorkerPool, WorkerSpec};
 use ifko_blas::Kernel;
 use ifko_fko::CompileError;
 use ifko_xsim::{p4e, MachineConfig};
@@ -48,6 +49,8 @@ pub struct TuneConfig {
     pub(crate) budget: Budget,
     pub(crate) db: Option<Arc<TunedDb>>,
     pub(crate) profile_pipeline: bool,
+    pub(crate) workers: usize,
+    pub(crate) worker_launcher: Option<WorkerLauncher>,
 }
 
 impl TuneConfig {
@@ -70,6 +73,8 @@ impl TuneConfig {
             budget: Budget::unlimited(),
             db: None,
             profile_pipeline: false,
+            workers: 0,
+            worker_launcher: None,
         }
     }
 
@@ -232,6 +237,22 @@ impl TuneConfig {
         let db = Arc::new(TunedDb::open(dir)?);
         Ok(self.db(db))
     }
+    /// Evaluate candidate batches on `workers` worker *processes*
+    /// (`--workers N`; 0, the default, keeps evaluation in-process on
+    /// [`Self::jobs`] threads). Results merge by candidate index, so the
+    /// winner is bit-identical either way; a worker that dies mid-batch
+    /// has its candidates re-dispatched, and an exhausted pool degrades
+    /// to in-process evaluation.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+    /// How to launch worker processes (default: the `ifko-worker` binary
+    /// found next to the current executable).
+    pub fn worker_launcher(mut self, launcher: WorkerLauncher) -> Self {
+        self.worker_launcher = Some(launcher);
+        self
+    }
 
     // ---- accessors -------------------------------------------------------
 
@@ -250,6 +271,9 @@ impl TuneConfig {
     }
     pub fn jobs_of(&self) -> usize {
         self.jobs
+    }
+    pub fn workers_of(&self) -> usize {
+        self.workers
     }
     pub fn search_ref(&self) -> &SearchOptions {
         &self.search
@@ -282,6 +306,36 @@ impl TuneConfig {
             e = e.with_faults(plan.clone());
         }
         e
+    }
+
+    /// Spawn the worker-process pool this config asks for (`None` when
+    /// `--workers 0`, when no worker binary can be found, or when every
+    /// spawn fails — callers then evaluate in-process, which is the
+    /// documented degradation path, not an error).
+    pub(crate) fn spawn_worker_pool(&self, spec: &WorkerSpec) -> Option<Arc<WorkerPool>> {
+        if self.workers == 0 {
+            return None;
+        }
+        let launcher = match &self.worker_launcher {
+            Some(l) => l.clone(),
+            None => match WorkerLauncher::sibling() {
+                Some(l) => l,
+                None => {
+                    eprintln!(
+                        "ifko: --workers {} requested but no ifko-worker binary found; \
+                         evaluating in-process",
+                        self.workers
+                    );
+                    return None;
+                }
+            },
+        };
+        let pool = WorkerPool::spawn(&launcher, &spec.to_json(), self.workers);
+        if pool.alive() == 0 {
+            eprintln!("ifko: worker pool failed to start; evaluating in-process");
+            return None;
+        }
+        Some(Arc::new(pool))
     }
 
     // ---- runners ---------------------------------------------------------

@@ -55,7 +55,7 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
     let machine = &cfg.machine;
     let context = cfg.context;
     let n = cfg.size();
-    let engine = cfg.engine();
+    let mut engine = cfg.engine();
     let reg = engine.metrics().clone();
     let sink = engine.trace().cloned();
     let scope = EvalScope::new(
@@ -66,6 +66,24 @@ pub(crate) fn tune_with_config(kernel: Kernel, cfg: &TuneConfig) -> Result<TuneO
         cfg.seed,
         &cfg.search.timer,
     );
+    // Worker-process pool (`--workers N`): candidates evaluate in `ifko
+    // worker` children. Spawn failure is the documented degradation path
+    // — the engine just keeps evaluating in-process.
+    if cfg.workers_of() > 0 {
+        let spec = crate::worker::WorkerSpec::blas(
+            &kernel.name(),
+            machine,
+            context,
+            n,
+            cfg.seed,
+            &cfg.search,
+            &scope,
+        );
+        match cfg.spawn_worker_pool(&spec) {
+            Some(pool) => engine = engine.with_worker_pool(pool),
+            None => reg.counter(metrics::ENGINE_WORKER_FALLBACKS).inc(),
+        }
+    }
     let tune_span = Span::root(sink, scope.key(), "tune");
     let t0 = std::time::Instant::now();
 

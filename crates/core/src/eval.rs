@@ -44,7 +44,7 @@
 
 use ifko_fko::{Reject, TransformParams};
 use ifko_xsim::{MachineConfig, RunStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -186,6 +186,9 @@ pub struct EvalEvent {
     /// The candidate kept failing transiently past the retry budget: it
     /// is skipped (and never cached), not rejected on its merits.
     pub failed: bool,
+    /// Pool worker process that evaluated this candidate (`None` for
+    /// in-process evaluations, cache hits, and pruned candidates).
+    pub worker: Option<u32>,
 }
 
 /// One completed pipeline span: a named stage of the
@@ -281,6 +284,11 @@ impl EvalEvent {
         }
         if self.failed {
             s.push_str(",\"failed\":true");
+        }
+        // Worker-pool tag: only present for pooled evaluations, so
+        // in-process traces stay byte-identical to older readers.
+        if let Some(w) = self.worker {
+            s.push_str(&format!(",\"worker\":{w}"));
         }
         s.push('}');
         s
@@ -929,6 +937,10 @@ pub struct EvalEngine {
     /// compile/tester/timer fault sites live in the evaluator closures,
     /// which own those stages.
     faults: Option<FaultPlan>,
+    /// Worker-process pool: fresh evaluations dispatch to `ifko worker`
+    /// children instead of running on this process's threads. Merging is
+    /// by candidate index, so results stay bit-identical either way.
+    pool: Option<Arc<crate::worker::WorkerPool>>,
     metrics: Arc<MetricsRegistry>,
     m_evaluated: Arc<Counter>,
     m_rejected: Arc<Counter>,
@@ -946,6 +958,11 @@ pub struct EvalEngine {
     m_eval_wall: Arc<Histogram>,
     m_batch_wall: Arc<Histogram>,
     m_queue_wait: Arc<Histogram>,
+    m_worker_evals: Arc<Counter>,
+    m_worker_redispatches: Arc<Counter>,
+    m_worker_deaths: Arc<Counter>,
+    m_worker_fallbacks: Arc<Counter>,
+    m_worker_proto: Arc<Counter>,
 }
 
 impl EvalEngine {
@@ -968,6 +985,7 @@ impl EvalEngine {
             cache,
             trace,
             faults: None,
+            pool: None,
             m_evaluated: registry.counter(metrics::ENGINE_EVALS),
             m_rejected: registry.counter(metrics::ENGINE_REJECTED),
             m_cache_hits: registry.counter(metrics::ENGINE_CACHE_HITS),
@@ -984,6 +1002,11 @@ impl EvalEngine {
             m_eval_wall: registry.histogram(metrics::ENGINE_EVAL_WALL_US, metrics::US_BUCKETS),
             m_batch_wall: registry.histogram(metrics::ENGINE_BATCH_WALL_US, metrics::US_BUCKETS),
             m_queue_wait: registry.histogram(metrics::ENGINE_QUEUE_WAIT_US, metrics::US_BUCKETS),
+            m_worker_evals: registry.counter(metrics::ENGINE_WORKER_EVALS),
+            m_worker_redispatches: registry.counter(metrics::ENGINE_WORKER_REDISPATCHES),
+            m_worker_deaths: registry.counter(metrics::ENGINE_WORKER_DEATHS),
+            m_worker_fallbacks: registry.counter(metrics::ENGINE_WORKER_FALLBACKS),
+            m_worker_proto: registry.counter(metrics::ENGINE_WORKER_PROTO_ERRORS),
             metrics: registry,
         }
     }
@@ -1012,7 +1035,28 @@ impl EvalEngine {
     pub fn with_metrics(self, registry: Arc<MetricsRegistry>) -> EvalEngine {
         let mut eng = EvalEngine::build(self.jobs, self.cache, self.trace, registry);
         eng.faults = self.faults;
+        if let Some(pool) = self.pool {
+            eng = eng.with_worker_pool(pool);
+        }
         eng
+    }
+
+    /// Dispatch fresh evaluations to a pool of worker processes (see
+    /// [`crate::worker`]). The in-process evaluator closure is still
+    /// required — it is the graceful-degradation path when every worker
+    /// has died — and results are merged by candidate index, so a pooled
+    /// batch stays bit-identical to `--jobs` threads and to serial.
+    pub fn with_worker_pool(mut self, pool: Arc<crate::worker::WorkerPool>) -> EvalEngine {
+        self.metrics
+            .gauge(metrics::ENGINE_WORKERS)
+            .set(pool.alive() as i64);
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The attached worker-process pool, if any.
+    pub fn worker_pool(&self) -> Option<&Arc<crate::worker::WorkerPool>> {
+        self.pool.as_ref()
     }
 
     pub fn jobs(&self) -> usize {
@@ -1228,39 +1272,118 @@ impl EvalEngine {
         let mut faults_v: Vec<u32> = vec![0; cands.len()];
         let mut outliers_v: Vec<u32> = vec![0; cands.len()];
         let mut failed_v: Vec<bool> = vec![false; cands.len()];
+        let mut worker_v: Vec<Option<u32>> = vec![None; cands.len()];
         if !work.is_empty() {
-            let workers = self.jobs.min(work.len());
             let batch_start = std::time::Instant::now();
-            let cursor = AtomicUsize::new(0);
-            let done: Mutex<Vec<(usize, EvalRecord, u64)>> =
-                Mutex::new(Vec::with_capacity(work.len()));
-            let run_worker = || loop {
-                let w = cursor.fetch_add(1, Ordering::Relaxed);
-                if w >= work.len() {
-                    break;
-                }
-                let i = work[w];
-                self.m_queue_wait
-                    .observe(batch_start.elapsed().as_micros() as u64);
-                let t0 = std::time::Instant::now();
-                let r = eval(&cands[i]);
-                let us = t0.elapsed().as_micros() as u64;
-                self.m_eval_wall.observe(us);
-                self.m_busy_us.add(us);
-                done.lock().unwrap().push((i, r, us));
-            };
-            if workers <= 1 {
-                run_worker();
-            } else {
-                std::thread::scope(|s| {
-                    for _ in 0..workers {
-                        s.spawn(run_worker);
+            // (candidate index, record, eval wall-µs, worker id)
+            type Done = (usize, EvalRecord, u64, Option<u32>);
+            let done: Mutex<Vec<Done>> = Mutex::new(Vec::with_capacity(work.len()));
+            if let Some(pool) = self.pool.as_ref().filter(|p| p.alive() > 0) {
+                // Worker-process dispatch: a shared re-dispatch queue of
+                // (candidate index, attempt). One dispatch thread per
+                // live worker; a thread whose worker dies, hangs, or
+                // answers garbage retires it, requeues the candidate
+                // (after the fault layer's backoff), and exits — the
+                // survivors drain the queue. Evaluation is a pure
+                // function of the candidate, so a re-dispatched point
+                // produces the identical record and the merge (by index,
+                // below) stays bit-identical to in-process evaluation.
+                let queue: Mutex<VecDeque<(usize, u32)>> =
+                    Mutex::new(work.iter().map(|&i| (i, 0)).collect());
+                let run_remote = || {
+                    let Some(mut h) = pool.checkout() else { return };
+                    loop {
+                        let job = queue.lock().unwrap().pop_front();
+                        let Some((i, attempt)) = job else { break };
+                        self.m_queue_wait
+                            .observe(batch_start.elapsed().as_micros() as u64);
+                        let t0 = std::time::Instant::now();
+                        match h.eval(pool.next_eval_id(), &cands[i]) {
+                            Ok(r) => {
+                                let us = t0.elapsed().as_micros() as u64;
+                                self.m_eval_wall.observe(us);
+                                self.m_busy_us.add(us);
+                                self.m_worker_evals.inc();
+                                done.lock().unwrap().push((i, r, us, Some(h.id)));
+                            }
+                            Err(e) => {
+                                if e.is_protocol() {
+                                    self.m_worker_proto.inc();
+                                }
+                                self.m_worker_deaths.inc();
+                                self.m_worker_redispatches.inc();
+                                self.metrics
+                                    .gauge(metrics::ENGINE_WORKERS)
+                                    .set(pool.alive().saturating_sub(1) as i64);
+                                queue.lock().unwrap().push_back((i, attempt + 1));
+                                pool.discard(h);
+                                std::thread::sleep(crate::fault::backoff(attempt));
+                                return;
+                            }
+                        }
                     }
-                });
+                    pool.checkin(h);
+                };
+                let dispatchers = pool.alive().min(work.len());
+                if dispatchers <= 1 {
+                    run_remote();
+                } else {
+                    std::thread::scope(|s| {
+                        for _ in 0..dispatchers {
+                            s.spawn(run_remote);
+                        }
+                    });
+                }
+                // Graceful degradation: whatever the (now possibly empty)
+                // pool left behind is evaluated in-process by the same
+                // closure — a batch always completes, with identical
+                // numbers.
+                let leftover: Vec<usize> = queue
+                    .into_inner()
+                    .unwrap()
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect();
+                for i in leftover {
+                    self.m_worker_fallbacks.inc();
+                    let t0 = std::time::Instant::now();
+                    let r = eval(&cands[i]);
+                    let us = t0.elapsed().as_micros() as u64;
+                    self.m_eval_wall.observe(us);
+                    self.m_busy_us.add(us);
+                    done.lock().unwrap().push((i, r, us, None));
+                }
+            } else {
+                let workers = self.jobs.min(work.len());
+                let cursor = AtomicUsize::new(0);
+                let run_worker = || loop {
+                    let w = cursor.fetch_add(1, Ordering::Relaxed);
+                    if w >= work.len() {
+                        break;
+                    }
+                    let i = work[w];
+                    self.m_queue_wait
+                        .observe(batch_start.elapsed().as_micros() as u64);
+                    let t0 = std::time::Instant::now();
+                    let r = eval(&cands[i]);
+                    let us = t0.elapsed().as_micros() as u64;
+                    self.m_eval_wall.observe(us);
+                    self.m_busy_us.add(us);
+                    done.lock().unwrap().push((i, r, us, None));
+                };
+                if workers <= 1 {
+                    run_worker();
+                } else {
+                    std::thread::scope(|s| {
+                        for _ in 0..workers {
+                            s.spawn(run_worker);
+                        }
+                    });
+                }
             }
             self.m_batch_wall
                 .observe(batch_start.elapsed().as_micros() as u64);
-            for (i, r, us) in done.into_inner().unwrap() {
+            for (i, r, us, wtag) in done.into_inner().unwrap() {
                 results[i] = Some(r.cycles);
                 stats[i] = r.stats;
                 wall_us[i] = us;
@@ -1268,6 +1391,7 @@ impl EvalEngine {
                 faults_v[i] = r.faults;
                 outliers_v[i] = r.outliers;
                 failed_v[i] = r.failed;
+                worker_v[i] = wtag;
             }
             // Serial: publish to the cache in candidate order. A *failed*
             // record is a transient artifact of the fault plan, not a
@@ -1340,6 +1464,7 @@ impl EvalEngine {
                     faults: faults_v[i],
                     outliers: outliers_v[i],
                     failed: failed_v[i],
+                    worker: worker_v[i],
                 }));
             }
         }
@@ -1591,6 +1716,7 @@ mod tests {
             faults: 0,
             outliers: 0,
             failed: false,
+            worker: None,
         };
         assert_eq!(
             ev.to_json(),

@@ -176,8 +176,15 @@ impl FaultPlan {
     /// Backoff before retry `attempt` (exponential, microsecond scale —
     /// the evaluation pipeline is simulated, so real sleeps stay tiny).
     pub fn backoff(&self, attempt: u32) -> Duration {
-        Duration::from_micros(20u64 << attempt.min(10))
+        backoff(attempt)
     }
+}
+
+/// Exponential retry backoff, usable without a [`FaultPlan`]: the worker
+/// pool waits this long before re-dispatching a candidate whose worker
+/// died (same schedule the chaos retries use).
+pub fn backoff(attempt: u32) -> Duration {
+    Duration::from_micros(20u64 << attempt.min(10))
 }
 
 /// Write `contents` to `path` atomically: write a sibling tmp file, then

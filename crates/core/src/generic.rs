@@ -177,6 +177,116 @@ fn outputs_agree(a: &GenericOutputs, b: &GenericOutputs, prec: Prec, n: usize) -
             .all(|(va, vb)| va.iter().zip(vb).all(|(x, y)| close(*x, *y)))
 }
 
+/// The per-candidate evaluator for an arbitrary HIL source: chaos-aware
+/// compile (retried with backoff), simulate, differential verification
+/// against the untransformed baseline, and chaos tester flakes — the
+/// generic-path twin of `search::blas_eval_point`. Shared between the
+/// in-process engine ([`tune_source_with_config`]) and the worker
+/// protocol ([`crate::worker::serve`]), which is what keeps remote
+/// evaluation bit-identical to local.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn generic_eval_point<'a>(
+    sess: &'a CompileSession,
+    w: &'a GenericWorkload,
+    baseline: &'a GenericOutputs,
+    prec: Prec,
+    context: Context,
+    machine: &'a MachineConfig,
+    opts: &'a SearchOptions,
+    sink: Option<std::sync::Arc<dyn crate::eval::TraceSink>>,
+    scope: &'a EvalScope,
+    search_id: u64,
+) -> impl Fn(&TransformParams) -> EvalRecord + Sync + 'a {
+    let n = w.n;
+    move |p: &TransformParams| -> EvalRecord {
+        let eval_span = Span::with_parent(sink.clone(), scope.key(), "eval", Some(search_id));
+        let fkey = opts.faults.as_ref().map(|_| scope.point_key(p));
+        let mut retries = 0u32;
+        let mut nfaults = 0u32;
+        // Chaos: transient compile failures, retried with backoff
+        // (same contract as the BLAS path in `search.rs`).
+        if let (Some(plan), Some(key)) = (opts.faults.as_ref(), fkey.as_deref()) {
+            let mut attempt = 0u32;
+            while plan.compile_fails(key, attempt) {
+                nfaults += 1;
+                if attempt >= opts.max_retries {
+                    return EvalRecord::failed(retries, nfaults);
+                }
+                retries += 1;
+                std::thread::sleep(plan.backoff(attempt));
+                attempt += 1;
+            }
+        }
+        let compile_span = eval_span.child("compile");
+        let compile_id = compile_span.id();
+        let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
+        let mut observe = |stage: &'static str, wall: std::time::Duration| {
+            stages.push((stage, wall));
+        };
+        let c = sess.compile(
+            p,
+            CompileOpts::observed(cfg!(debug_assertions) || opts.verify_ir, &mut observe),
+        );
+        drop(compile_span);
+        for (stage, wall) in stages {
+            Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
+        }
+        let Ok(c) = c else {
+            return EvalRecord {
+                retries,
+                faults: nfaults,
+                ..EvalRecord::rejected()
+            };
+        };
+        // Verify differentially, then time (best of the timer's
+        // reps — the simulator is deterministic, so one timed run
+        // suffices here; the BLAS path exercises the full
+        // min-of-6 protocol).
+        let sim_span = eval_span.child("simulate");
+        let got = run_generic(&c, w, context, machine);
+        drop(sim_span);
+        let Ok(got) = got else {
+            return EvalRecord {
+                retries,
+                faults: nfaults,
+                ..EvalRecord::rejected()
+            };
+        };
+        let _test_span = eval_span.child("test");
+        if !outputs_agree(&got, baseline, prec, n) {
+            return EvalRecord {
+                cycles: None,
+                stats: Some(got.stats),
+                retries,
+                faults: nfaults,
+                ..EvalRecord::default()
+            };
+        }
+        // Chaos: the differential tester may flake; retry until a
+        // clean verdict or the budget runs out.
+        if let (Some(plan), Some(key)) = (opts.faults.as_ref(), fkey.as_deref()) {
+            let mut attempt = 0u32;
+            while plan.tester_flakes(key, attempt) {
+                nfaults += 1;
+                if attempt >= opts.max_retries {
+                    return EvalRecord::failed(retries, nfaults);
+                }
+                retries += 1;
+                std::thread::sleep(plan.backoff(attempt));
+                let _ = outputs_agree(&got, baseline, prec, n);
+                attempt += 1;
+            }
+        }
+        EvalRecord {
+            cycles: Some(got.cycles),
+            stats: Some(got.stats),
+            retries,
+            faults: nfaults,
+            ..EvalRecord::default()
+        }
+    }
+}
+
 /// Result of tuning an arbitrary kernel.
 pub struct GenericTuneOutcome {
     pub result: SearchResult,
@@ -213,11 +323,24 @@ pub(crate) fn tune_source_with_config(
         run_generic(&base_compiled, &w, context, machine).map_err(CompileError::codegen)?;
     let prec = base_compiled.prec;
 
-    let engine = cfg.engine();
+    let mut engine = cfg.engine();
     // Arbitrary sources have no registry name: scope the cache by routine
     // name plus a content hash, so two different bodies never collide.
     let label = format!("hil:{}#{:016x}", sess.ir().name, fnv64(src.as_bytes()));
     let scope = EvalScope::new(label, machine, context, n, cfg.seed, &opts.timer);
+    // Worker-process pool (`--workers N`): the handshake ships the HIL
+    // source itself, so workers rebuild the identical session + baseline.
+    if cfg.workers_of() > 0 {
+        let spec =
+            crate::worker::WorkerSpec::generic(src, machine, context, n, cfg.seed, opts, &scope);
+        match cfg.spawn_worker_pool(&spec) {
+            Some(pool) => engine = engine.with_worker_pool(pool),
+            None => engine
+                .metrics()
+                .counter(crate::metrics::ENGINE_WORKER_FALLBACKS)
+                .inc(),
+        }
+    }
 
     // Warm start, keyed by the content-hashed label (see `driver.rs`).
     let prec_label = format!("{prec:?}");
@@ -270,99 +393,18 @@ pub(crate) fn tune_source_with_config(
         &engine,
         &scope,
         |search_id| {
-            let sink = engine.trace().cloned();
-            let sess = &sess;
-            let w = &w;
-            let baseline = &baseline;
-            let scope = &scope;
-            move |p: &TransformParams| -> EvalRecord {
-                let eval_span =
-                    Span::with_parent(sink.clone(), scope.key(), "eval", Some(search_id));
-                let fkey = opts.faults.as_ref().map(|_| scope.point_key(p));
-                let mut retries = 0u32;
-                let mut nfaults = 0u32;
-                // Chaos: transient compile failures, retried with backoff
-                // (same contract as the BLAS path in `search.rs`).
-                if let (Some(plan), Some(key)) = (opts.faults.as_ref(), fkey.as_deref()) {
-                    let mut attempt = 0u32;
-                    while plan.compile_fails(key, attempt) {
-                        nfaults += 1;
-                        if attempt >= opts.max_retries {
-                            return EvalRecord::failed(retries, nfaults);
-                        }
-                        retries += 1;
-                        std::thread::sleep(plan.backoff(attempt));
-                        attempt += 1;
-                    }
-                }
-                let compile_span = eval_span.child("compile");
-                let compile_id = compile_span.id();
-                let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
-                let mut observe = |stage: &'static str, wall: std::time::Duration| {
-                    stages.push((stage, wall));
-                };
-                let c = sess.compile(
-                    p,
-                    CompileOpts::observed(cfg!(debug_assertions) || opts.verify_ir, &mut observe),
-                );
-                drop(compile_span);
-                for (stage, wall) in stages {
-                    Span::emit(&sink, scope.key(), stage, Some(compile_id), wall);
-                }
-                let Ok(c) = c else {
-                    return EvalRecord {
-                        retries,
-                        faults: nfaults,
-                        ..EvalRecord::rejected()
-                    };
-                };
-                // Verify differentially, then time (best of the timer's
-                // reps — the simulator is deterministic, so one timed run
-                // suffices here; the BLAS path exercises the full
-                // min-of-6 protocol).
-                let sim_span = eval_span.child("simulate");
-                let got = run_generic(&c, w, context, machine);
-                drop(sim_span);
-                let Ok(got) = got else {
-                    return EvalRecord {
-                        retries,
-                        faults: nfaults,
-                        ..EvalRecord::rejected()
-                    };
-                };
-                let _test_span = eval_span.child("test");
-                if !outputs_agree(&got, baseline, prec, n) {
-                    return EvalRecord {
-                        cycles: None,
-                        stats: Some(got.stats),
-                        retries,
-                        faults: nfaults,
-                        ..EvalRecord::default()
-                    };
-                }
-                // Chaos: the differential tester may flake; retry until a
-                // clean verdict or the budget runs out.
-                if let (Some(plan), Some(key)) = (opts.faults.as_ref(), fkey.as_deref()) {
-                    let mut attempt = 0u32;
-                    while plan.tester_flakes(key, attempt) {
-                        nfaults += 1;
-                        if attempt >= opts.max_retries {
-                            return EvalRecord::failed(retries, nfaults);
-                        }
-                        retries += 1;
-                        std::thread::sleep(plan.backoff(attempt));
-                        let _ = outputs_agree(&got, baseline, prec, n);
-                        attempt += 1;
-                    }
-                }
-                EvalRecord {
-                    cycles: Some(got.cycles),
-                    stats: Some(got.stats),
-                    retries,
-                    faults: nfaults,
-                    ..EvalRecord::default()
-                }
-            }
+            generic_eval_point(
+                &sess,
+                &w,
+                &baseline,
+                prec,
+                context,
+                machine,
+                opts,
+                engine.trace().cloned(),
+                &scope,
+                search_id,
+            )
         },
     );
 

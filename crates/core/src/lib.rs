@@ -57,12 +57,14 @@ pub mod explain;
 pub mod fault;
 pub mod generic;
 pub mod metrics;
+pub mod proto;
 pub mod report;
 pub mod runner;
 pub mod search;
 pub mod strategy;
 pub mod tester;
 pub mod timer;
+pub mod worker;
 
 pub use chrome::{validate_chrome_trace, ChromeTraceSink};
 pub use config::TuneConfig;

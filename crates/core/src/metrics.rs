@@ -571,6 +571,21 @@ pub const ENGINE_FAULTS: &str = "ifko_engine_faults_injected_total";
 pub const ENGINE_OUTLIERS: &str = "ifko_engine_timer_outliers_rejected_total";
 /// Candidates that exhausted the retry budget and were skipped.
 pub const ENGINE_FAILED: &str = "ifko_engine_failed_total";
+/// Worker processes alive in the pool attached to the most recent engine
+/// (0 = in-process evaluation only).
+pub const ENGINE_WORKERS: &str = "ifko_engine_workers";
+/// Fresh evaluations answered by a pool worker process.
+pub const ENGINE_WORKER_EVALS: &str = "ifko_engine_worker_evals_total";
+/// Candidates re-dispatched after their worker died or misbehaved.
+pub const ENGINE_WORKER_REDISPATCHES: &str = "ifko_engine_worker_redispatches_total";
+/// Workers retired from the pool (died, hung, or protocol violation).
+pub const ENGINE_WORKER_DEATHS: &str = "ifko_engine_worker_deaths_total";
+/// Candidates evaluated in-process because the pool was exhausted (or
+/// never started) — the graceful-degradation path.
+pub const ENGINE_WORKER_FALLBACKS: &str = "ifko_engine_worker_fallbacks_total";
+/// Worker replies rejected as protocol violations (garbage JSON, wrong
+/// candidate id, typed remote error) — a subset of worker deaths.
+pub const ENGINE_WORKER_PROTO_ERRORS: &str = "ifko_engine_worker_proto_errors_total";
 
 /// Points resident in evaluation caches (insertions, process-wide).
 pub const CACHE_POINTS: &str = "ifko_cache_points";

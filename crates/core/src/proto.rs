@@ -13,11 +13,13 @@
 //! sources ride inside JSON strings. A frame longer than [`MAX_FRAME`]
 //! is rejected before allocation, so a corrupt or adversarial length
 //! word cannot balloon memory. JSON parsing reuses the repo's
-//! hand-rolled [`ifko::report::parse_json`]; serialization is the same
+//! hand-rolled [`crate::report::parse_json`]; serialization is the same
 //! hand-written style as the rest of the codebase — no external crates
 //! on either end.
 //!
-//! Requests are objects with a `cmd` discriminator:
+//! Two subsystems speak this framing: the `ifkod` daemon (over its Unix
+//! socket) and the [`crate::worker`] evaluation pool (over per-worker
+//! socketpairs). Daemon requests are objects with a `cmd` discriminator:
 //!
 //! | `cmd`      | fields                                                        |
 //! |------------|---------------------------------------------------------------|
@@ -182,7 +184,7 @@ mod tests {
             Field::Bool("warm", true),
             Field::Raw("params", "{\"x\":1}".to_string()),
         ]);
-        let v = ifko::report::parse_json(&s).unwrap();
+        let v = crate::report::parse_json(&s).unwrap();
         assert_eq!(v.get("ok").and_then(|j| j.as_bool()), Some(true));
         assert_eq!(v.get("name").and_then(|j| j.as_str()), Some("a\"b\nc"));
         assert_eq!(v.get("n").and_then(|j| j.as_u64()), Some(42));

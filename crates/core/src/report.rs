@@ -70,6 +70,12 @@ impl Json {
             _ => None,
         }
     }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
 }
 
 /// Parse one complete JSON value; `None` on any syntax error or trailing
@@ -279,6 +285,7 @@ pub fn parse_trace_line(line: &str) -> Option<SearchEvent> {
         faults: v.get("faults").and_then(Json::as_u64).unwrap_or(0) as u32,
         outliers: v.get("outliers").and_then(Json::as_u64).unwrap_or(0) as u32,
         failed: v.get("failed").and_then(Json::as_bool).unwrap_or(false),
+        worker: v.get("worker").and_then(Json::as_u64).map(|w| w as u32),
     }))
 }
 
@@ -348,6 +355,16 @@ pub struct StrategyRow {
     pub best_cycles: Option<u64>,
 }
 
+/// Per-worker attribution for pooled runs (`--workers N`): fresh
+/// evaluations answered by each worker process and their wall-clock.
+/// Empty for in-process traces.
+#[derive(Clone, Debug)]
+pub struct WorkerRow {
+    pub worker: u32,
+    pub evals: u64,
+    pub wall_us: u64,
+}
+
 /// Everything the trace says about one evaluation scope (one kernel on
 /// one machine/context/size).
 #[derive(Clone, Debug)]
@@ -391,6 +408,10 @@ pub struct ScopeReport {
     pub best_stats: Option<RunStats>,
     /// Total wall-clock of the fresh evaluations, microseconds.
     pub fresh_wall_us: u64,
+    /// Per-worker attribution for pooled runs, sorted by worker id
+    /// (completion order is nondeterministic; the sort keeps the report
+    /// deterministic). Empty for in-process traces.
+    pub workers: Vec<WorkerRow>,
 }
 
 impl ScopeReport {
@@ -513,7 +534,9 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         winner_strategy: None,
         best_stats: None,
         fresh_wall_us: 0,
+        workers: Vec::new(),
     };
+    let mut worker_map: HashMap<u32, WorkerRow> = HashMap::new();
     let mut phase_order: Vec<String> = Vec::new();
     let mut phase_map: HashMap<String, PhaseRow> = HashMap::new();
     let mut strat_order: Vec<String> = Vec::new();
@@ -543,6 +566,15 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         rep.retries += e.retries as u64;
         rep.faults += e.faults as u64;
         rep.outliers += e.outliers as u64;
+        if let Some(w) = e.worker {
+            let row = worker_map.entry(w).or_insert(WorkerRow {
+                worker: w,
+                evals: 0,
+                wall_us: 0,
+            });
+            row.evals += 1;
+            row.wall_us += e.wall_us;
+        }
         if !phase_map.contains_key(&e.phase) {
             phase_order.push(e.phase.clone());
             phase_map.insert(
@@ -622,6 +654,11 @@ fn analyze_scope(scope: &str, evs: &[&EvalEvent]) -> ScopeReport {
         .into_iter()
         .map(|p| strat_map.remove(&p).unwrap())
         .collect();
+    rep.workers = {
+        let mut rows: Vec<WorkerRow> = worker_map.into_values().collect();
+        rows.sort_by_key(|r| r.worker);
+        rows
+    };
     rep
 }
 
@@ -726,6 +763,17 @@ fn render_text(rep: &TraceReport) -> String {
             }
             if let Some(w) = &sc.winner_strategy {
                 s.push_str(&format!("winner strategy: {w}\n"));
+            }
+        }
+        if !sc.workers.is_empty() {
+            s.push_str("worker        evals    wall_us\n");
+            for wr in &sc.workers {
+                s.push_str(&format!(
+                    "{:<12} {:>6} {:>10}\n",
+                    format!("w{}", wr.worker),
+                    wr.evals,
+                    wr.wall_us
+                ));
             }
         }
         if !sc.convergence.is_empty() {
@@ -858,6 +906,21 @@ fn render_json(rep: &TraceReport) -> String {
         if let Some(w) = &sc.winner_strategy {
             s.push_str(&format!(",\"winner_strategy\":{}", jstr(w)));
         }
+        // Worker-pool attribution: present only for pooled traces, so
+        // reports over in-process traces stay byte-identical.
+        if !sc.workers.is_empty() {
+            s.push_str(",\"workers\":[");
+            for (j, wr) in sc.workers.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"worker\":{},\"evals\":{},\"wall_us\":{}}}",
+                    wr.worker, wr.evals, wr.wall_us
+                ));
+            }
+            s.push(']');
+        }
         s.push_str(",\"convergence\":[");
         for (j, c) in sc.convergence.iter().enumerate() {
             if j > 0 {
@@ -953,6 +1016,15 @@ fn render_md(rep: &TraceReport) -> String {
             }
             if let Some(w) = &sc.winner_strategy {
                 s.push_str(&format!("\nWinner strategy: **{w}**\n"));
+            }
+        }
+        if !sc.workers.is_empty() {
+            s.push_str("\n| worker | evals | wall µs |\n|---|---|---|\n");
+            for wr in &sc.workers {
+                s.push_str(&format!(
+                    "| w{} | {} | {} |\n",
+                    wr.worker, wr.evals, wr.wall_us
+                ));
             }
         }
         s.push('\n');
@@ -1087,6 +1159,7 @@ mod tests {
             outliers: 0,
             failed: false,
             strategy: "line".into(),
+            worker: if hit { None } else { Some(0) },
         })
     }
 

@@ -391,6 +391,30 @@ impl TunedDb {
         self.stats()
     }
 
+    /// Drop every record stored under a repo revision other than this
+    /// process's ([`TunedDb::rev`]) — the library behind
+    /// `ifko db prune --rev-missing`. Stale-revision records can never
+    /// answer an exact warm-start lookup (the revision is part of the
+    /// db key), so once the code moves on they only feed transfer
+    /// probes and cost space. Every shard is compacted afterwards so
+    /// the files shrink with the index. Returns the number of records
+    /// removed.
+    pub fn prune_missing_rev(&self) -> usize {
+        self.join_compactions();
+        let mut removed = 0usize;
+        for i in 0..N_SHARDS {
+            let shard = &self.inner.shards[i];
+            {
+                let mut entries = shard.entries.lock().unwrap();
+                let before = entries.len();
+                entries.retain(|_, rec| rec.rev == self.rev);
+                removed += before - entries.len();
+            }
+            self.inner.compact_shard(i);
+        }
+        removed
+    }
+
     /// Statistics snapshot: live records, file lines, and bytes, per
     /// shard and in total.
     pub fn stats(&self) -> DbStats {
@@ -797,6 +821,32 @@ mod tests {
         assert_eq!(rec.cycles, 2500, "last record wins");
         assert_eq!(rec.params, sample_params());
         assert!(db.lookup("other|key").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_missing_rev_drops_stale_revisions() {
+        let dir = std::env::temp_dir().join(format!("ifko-tuneddb-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = TunedDb::open(&dir).unwrap();
+        let mut live = sample_record("live|key", 100);
+        live.rev = db.rev().to_string();
+        db.store(&live);
+        // sample_record's rev is a fixed fake hash — never this repo's.
+        db.store(&sample_record("stale|key", 200));
+        db.store(&sample_record("stale|two", 300));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.prune_missing_rev(), 2);
+        assert_eq!(db.len(), 1);
+        assert!(db.lookup("live|key").is_some());
+        assert!(db.lookup("stale|key").is_none());
+        assert!(db.lookup("stale|two").is_none());
+        drop(db);
+        // The prune compacts every shard: a reopen sees only the
+        // survivor, and a second prune is a no-op.
+        let db = TunedDb::open(&dir).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.prune_missing_rev(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

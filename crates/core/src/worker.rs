@@ -1,0 +1,985 @@
+//! Worker-pool candidate evaluation: distribute a batch's fresh
+//! evaluations across worker *processes* (ROADMAP item 5).
+//!
+//! A worker is any process speaking the repo's length-prefixed JSON
+//! framing ([`crate::proto`]) on stdin/stdout — normally `ifko worker`
+//! or the `ifko-worker` binary. The dispatcher ([`WorkerPool`], driven
+//! by [`EvalEngine`](crate::eval::EvalEngine)) spawns `--workers N`
+//! children, each wired to a private socketpair so a hung worker can be
+//! detected by read timeout, and hands each one a **handshake** frame
+//! describing the evaluation universe:
+//!
+//! ```text
+//! {"cmd":"hello","machine":"P4E","context":"oc","n":1024,"seed":7,
+//!  "timer":{"reps":2,"interference":0.01,"seed":24301},
+//!  "verify_ir":false,"max_retries":2,"scope":"<scope key>",
+//!  "kernel":"ddot"}                      // or "src":"ROUTINE ..."
+//! ```
+//!
+//! The worker rebuilds the compile session, workload, and
+//! [`EvalScope`](crate::eval::EvalScope) from the handshake and checks
+//! that its recomputed scope key matches the dispatcher's `scope` —
+//! any drift (different machine model, timer protocol, workload seed)
+//! is a typed handshake error, never a silently wrong result. After
+//! the `{"ok":true,"scope":...}` acknowledgement, the loop is:
+//!
+//! ```text
+//! -> {"cmd":"eval","id":17,"params":{...}}      // db::params_json form
+//! <- {"ok":true,"id":17,"cycles":8123,"retries":0,...,"stats":{...}}
+//! -> {"cmd":"shutdown"}                          // or clean EOF
+//! <- {"ok":true}
+//! ```
+//!
+//! # The merge-determinism invariant
+//!
+//! Candidate evaluation is a pure function of the scope plus the
+//! parameter point: the simulator is deterministic, the timer's
+//! synthetic interference is a hash of `(timer seed, rep)`, and chaos
+//! fault decisions are a pure hash of `(plan seed, site, point key,
+//! attempt)` — nothing depends on which process (or thread) runs the
+//! evaluation, or when. The dispatcher merges replies by candidate
+//! *index* and the winner is still chosen by the serial in-order scan,
+//! so a search with `--workers N` is bit-identical to `--jobs N`
+//! threads and to a serial run.
+//!
+//! # Failure semantics
+//!
+//! A worker that dies (its stream tears or times out), answers with
+//! garbage, or replies to the wrong candidate id is retired; its
+//! in-flight candidate is re-dispatched to a surviving worker after the
+//! fault layer's exponential backoff ([`crate::fault::backoff`]). When
+//! every worker is gone, the engine degrades gracefully: leftovers are
+//! evaluated in-process by the same evaluator closure, so a batch always
+//! completes with the same numbers. `IFKO_WORKER_KILL_AFTER=K` makes a
+//! worker abort upon receiving its (K+1)-th eval request — the
+//! deterministic "SIGKILL at a seeded point" hook the chaos tests use.
+
+use std::io::{Read, Write};
+use std::os::fd::OwnedFd;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::eval::{fnv64, EvalRecord, EvalScope};
+use crate::fault::FaultPlan;
+use crate::generic::{run_generic, GenericOutputs, GenericWorkload};
+use crate::proto;
+use crate::report::{parse_json, parse_stats, Json};
+use crate::runner::Context;
+use crate::search::SearchOptions;
+use crate::strategy::db::{params_from_json, params_json};
+use crate::timer::Timer;
+use ifko_blas::hil_src::hil_source;
+use ifko_blas::ops::EXTENDED_KERNELS;
+use ifko_blas::{Kernel, Workload, ALL_KERNELS};
+use ifko_fko::{CompileOpts, CompileSession, TransformParams};
+use ifko_xsim::isa::Prec;
+use ifko_xsim::{opteron, p4e, MachineConfig};
+
+/// Default read timeout on the dispatcher's end of a worker stream: a
+/// worker silent this long is treated as hung and retired. Override per
+/// handle with [`WorkerHandle::set_timeout`].
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------------
+// Handshake spec
+// ---------------------------------------------------------------------------
+
+/// Everything a worker needs to reproduce the dispatcher's evaluation
+/// universe bit-exactly. Exactly one of `kernel` (a BLAS-suite name) or
+/// `src` (arbitrary HIL source, verified differentially) is set.
+#[derive(Clone, Debug)]
+pub struct WorkerSpec {
+    pub kernel: Option<String>,
+    pub src: Option<String>,
+    /// Machine model name (`P4E` / `Opteron`, case-insensitive).
+    pub machine: String,
+    /// Timing context label (`oc` / `ic`).
+    pub context: String,
+    pub n: usize,
+    pub seed: u64,
+    pub timer: Timer,
+    pub verify_ir: bool,
+    pub max_retries: u32,
+    /// Chaos plan, carried whole so worker fault decisions replay the
+    /// dispatcher's exactly (they are pure in seed + site + point key).
+    pub chaos: Option<FaultPlan>,
+    /// The dispatcher's scope key; the worker recomputes its own and
+    /// rejects the handshake on any mismatch (drift check).
+    pub scope_key: String,
+}
+
+impl WorkerSpec {
+    /// Spec for a BLAS-suite kernel (the `ifko tune` / driver path).
+    pub fn blas(
+        kernel_name: &str,
+        machine: &MachineConfig,
+        context: Context,
+        n: usize,
+        seed: u64,
+        opts: &SearchOptions,
+        scope: &EvalScope,
+    ) -> WorkerSpec {
+        WorkerSpec {
+            kernel: Some(kernel_name.to_string()),
+            src: None,
+            machine: machine.name.to_string(),
+            context: context.label().to_string(),
+            n,
+            seed,
+            timer: opts.timer.clone(),
+            verify_ir: opts.verify_ir,
+            max_retries: opts.max_retries,
+            chaos: opts.faults.clone(),
+            scope_key: scope.key().to_string(),
+        }
+    }
+
+    /// Spec for an arbitrary HIL source (differential verification).
+    pub fn generic(
+        src: &str,
+        machine: &MachineConfig,
+        context: Context,
+        n: usize,
+        seed: u64,
+        opts: &SearchOptions,
+        scope: &EvalScope,
+    ) -> WorkerSpec {
+        WorkerSpec {
+            kernel: None,
+            src: Some(src.to_string()),
+            machine: machine.name.to_string(),
+            context: context.label().to_string(),
+            n,
+            seed,
+            timer: opts.timer.clone(),
+            verify_ir: opts.verify_ir,
+            max_retries: opts.max_retries,
+            chaos: opts.faults.clone(),
+            scope_key: scope.key().to_string(),
+        }
+    }
+
+    /// The handshake frame. Floats use Rust's shortest round-trip form,
+    /// so the worker reconstructs bit-identical `f64` values.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"cmd\":\"hello\",\"machine\":\"{}\",\"context\":\"{}\",\"n\":{},\"seed\":{},\
+             \"timer\":{{\"reps\":{},\"interference\":{:?},\"seed\":{}}},\
+             \"verify_ir\":{},\"max_retries\":{},\"scope\":\"{}\"",
+            proto::esc(&self.machine),
+            proto::esc(&self.context),
+            self.n,
+            self.seed,
+            self.timer.reps,
+            self.timer.interference,
+            self.timer.seed,
+            self.verify_ir,
+            self.max_retries,
+            proto::esc(&self.scope_key),
+        );
+        if let Some(k) = &self.kernel {
+            s.push_str(&format!(",\"kernel\":\"{}\"", proto::esc(k)));
+        }
+        if let Some(src) = &self.src {
+            s.push_str(&format!(",\"src\":\"{}\"", proto::esc(src)));
+        }
+        if let Some(f) = &self.chaos {
+            s.push_str(&format!(
+                ",\"chaos\":{{\"seed\":{},\"compile\":{:?},\"tester\":{:?},\
+                 \"timer_rep\":{:?},\"persist\":{:?}}}",
+                f.seed, f.compile, f.tester, f.timer_rep, f.persist
+            ));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse a handshake frame (worker side).
+    pub fn from_json(v: &Json) -> Result<WorkerSpec, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("handshake missing `{k}`"))
+        };
+        let t = v.get("timer").ok_or("handshake missing `timer`")?;
+        let timer = Timer {
+            reps: t
+                .get("reps")
+                .and_then(Json::as_u64)
+                .ok_or("timer missing `reps`")? as u32,
+            interference: t
+                .get("interference")
+                .and_then(Json::as_f64)
+                .ok_or("timer missing `interference`")?,
+            seed: t
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("timer missing `seed`")?,
+        };
+        let chaos = match v.get("chaos") {
+            None | Some(Json::Null) => None,
+            Some(c) => {
+                let rate = |k: &str| {
+                    c.get(k)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("chaos missing `{k}`"))
+                };
+                Some(FaultPlan {
+                    seed: c
+                        .get("seed")
+                        .and_then(Json::as_u64)
+                        .ok_or("chaos missing `seed`")?,
+                    compile: rate("compile")?,
+                    tester: rate("tester")?,
+                    timer_rep: rate("timer_rep")?,
+                    persist: rate("persist")?,
+                })
+            }
+        };
+        let spec = WorkerSpec {
+            kernel: v.get("kernel").and_then(Json::as_str).map(str::to_string),
+            src: v.get("src").and_then(Json::as_str).map(str::to_string),
+            machine: str_field("machine")?,
+            context: str_field("context")?,
+            n: v.get("n")
+                .and_then(Json::as_u64)
+                .ok_or("handshake missing `n`")? as usize,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("handshake missing `seed`")?,
+            timer,
+            verify_ir: v.get("verify_ir").and_then(Json::as_bool).unwrap_or(false),
+            max_retries: v.get("max_retries").and_then(Json::as_u64).unwrap_or(2) as u32,
+            chaos,
+            scope_key: str_field("scope")?,
+        };
+        if spec.kernel.is_none() == spec.src.is_none() {
+            return Err("handshake needs exactly one of `kernel` / `src`".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+fn machine_from_name(name: &str) -> Option<MachineConfig> {
+    match name.to_ascii_lowercase().as_str() {
+        "p4e" => Some(p4e()),
+        "opteron" | "opt" => Some(opteron()),
+        _ => None,
+    }
+}
+
+fn context_from_label(label: &str) -> Option<Context> {
+    match label {
+        "oc" => Some(Context::OutOfCache),
+        "ic" => Some(Context::InL2),
+        _ => None,
+    }
+}
+
+fn find_kernel(name: &str) -> Option<Kernel> {
+    ALL_KERNELS
+        .iter()
+        .chain(EXTENDED_KERNELS.iter())
+        .find(|k| k.name() == name)
+        .copied()
+}
+
+// ---------------------------------------------------------------------------
+// Worker side: the serve loop
+// ---------------------------------------------------------------------------
+
+/// The worker's evaluation state, rebuilt from the handshake. Both arms
+/// call the very same evaluator closures the in-process engine uses
+/// (`search::blas_eval_point` / `generic::generic_eval_point`), so a
+/// remote evaluation cannot diverge from a local one.
+enum WorkerEval {
+    Blas {
+        sess: CompileSession,
+        kernel: Kernel,
+        workload: Workload,
+        context: Context,
+        machine: MachineConfig,
+        opts: SearchOptions,
+        scope: EvalScope,
+    },
+    Generic {
+        sess: CompileSession,
+        workload: GenericWorkload,
+        baseline: GenericOutputs,
+        prec: Prec,
+        context: Context,
+        machine: MachineConfig,
+        opts: SearchOptions,
+        scope: EvalScope,
+    },
+}
+
+impl WorkerEval {
+    fn build(spec: &WorkerSpec) -> Result<WorkerEval, String> {
+        let machine = machine_from_name(&spec.machine)
+            .ok_or_else(|| format!("unknown machine `{}`", spec.machine))?;
+        let context = context_from_label(&spec.context)
+            .ok_or_else(|| format!("unknown context `{}`", spec.context))?;
+        let opts = SearchOptions {
+            timer: spec.timer.clone(),
+            verify_ir: spec.verify_ir,
+            max_retries: spec.max_retries,
+            faults: spec.chaos.clone(),
+            ..SearchOptions::default()
+        };
+        let built = if let Some(name) = &spec.kernel {
+            let kernel = find_kernel(name).ok_or_else(|| format!("unknown kernel `{name}`"))?;
+            let src = hil_source(kernel.op, kernel.prec);
+            let sess =
+                CompileSession::from_source(&src, &machine).map_err(|e| format!("{name}: {e}"))?;
+            let workload = Workload::generate(spec.n, spec.seed);
+            let scope = EvalScope::new(
+                kernel.name(),
+                &machine,
+                context,
+                spec.n,
+                spec.seed,
+                &opts.timer,
+            );
+            WorkerEval::Blas {
+                sess,
+                kernel,
+                workload,
+                context,
+                machine,
+                opts,
+                scope,
+            }
+        } else {
+            let src = spec.src.as_deref().expect("spec validated");
+            let sess = CompileSession::from_source(src, &machine).map_err(|e| e.to_string())?;
+            let base = sess
+                .compile(&TransformParams::off(), CompileOpts::default())
+                .map_err(|e| e.to_string())?;
+            let workload = GenericWorkload::for_kernel(&base, spec.n, spec.seed);
+            let baseline = run_generic(&base, &workload, context, &machine)?;
+            let prec = base.prec;
+            let label = format!("hil:{}#{:016x}", sess.ir().name, fnv64(src.as_bytes()));
+            let scope = EvalScope::new(label, &machine, context, spec.n, spec.seed, &opts.timer);
+            WorkerEval::Generic {
+                sess,
+                workload,
+                baseline,
+                prec,
+                context,
+                machine,
+                opts,
+                scope,
+            }
+        };
+        // The drift check: a worker whose recomputed universe differs
+        // from the dispatcher's must refuse to evaluate anything.
+        if built.scope_key() != spec.scope_key {
+            return Err(format!(
+                "scope drift: dispatcher `{}` vs worker `{}`",
+                spec.scope_key,
+                built.scope_key()
+            ));
+        }
+        Ok(built)
+    }
+
+    fn scope_key(&self) -> &str {
+        match self {
+            WorkerEval::Blas { scope, .. } | WorkerEval::Generic { scope, .. } => scope.key(),
+        }
+    }
+
+    fn eval(&self, p: &TransformParams) -> EvalRecord {
+        match self {
+            WorkerEval::Blas {
+                sess,
+                kernel,
+                workload,
+                context,
+                machine,
+                opts,
+                scope,
+            } => (crate::search::blas_eval_point(
+                sess, *kernel, workload, *context, machine, opts, None, scope, 0,
+            ))(p),
+            WorkerEval::Generic {
+                sess,
+                workload,
+                baseline,
+                prec,
+                context,
+                machine,
+                opts,
+                scope,
+            } => (crate::generic::generic_eval_point(
+                sess, workload, baseline, *prec, *context, machine, opts, None, scope, 0,
+            ))(p),
+        }
+    }
+}
+
+fn eval_response(id: u64, rec: &EvalRecord) -> String {
+    let mut fields = vec![
+        proto::Field::Num("id", id),
+        proto::Field::Raw(
+            "cycles",
+            rec.cycles.map_or("null".to_string(), |c| c.to_string()),
+        ),
+        proto::Field::Num("retries", rec.retries as u64),
+        proto::Field::Num("faults", rec.faults as u64),
+        proto::Field::Num("outliers", rec.outliers as u64),
+        proto::Field::Bool("failed", rec.failed),
+    ];
+    if let Some(st) = &rec.stats {
+        fields.push(proto::Field::Raw("stats", crate::eval::stats_json(st)));
+    }
+    proto::object(&fields)
+}
+
+fn parse_eval_record(v: &Json) -> Option<EvalRecord> {
+    // Every field is required. Defaulting a missing `cycles`/`failed`
+    // would let a malformed-but-parseable reply merge as a phantom
+    // "failed candidate" instead of surfacing a protocol error and
+    // re-dispatching — never guess at a record.
+    let cycles = match v.get("cycles")? {
+        Json::Null => None,
+        j => Some(j.as_u64()?),
+    };
+    Some(EvalRecord {
+        cycles,
+        stats: v.get("stats").and_then(parse_stats),
+        retries: v.get("retries")?.as_u64()? as u32,
+        faults: v.get("faults")?.as_u64()? as u32,
+        outliers: v.get("outliers")?.as_u64()? as u32,
+        failed: v.get("failed")?.as_bool()?,
+    })
+}
+
+/// Run one worker session over arbitrary streams: handshake, then the
+/// eval loop until `shutdown` or a clean EOF. Protocol errors answer
+/// with a typed `{"ok":false,...}` frame and keep serving (the
+/// dispatcher decides whether to retire the worker).
+pub fn serve(r: &mut impl Read, w: &mut impl Write) -> std::io::Result<()> {
+    let Some(line) = proto::read_frame(r)? else {
+        return Ok(());
+    };
+    let evaluator = parse_json(&line)
+        .ok_or_else(|| "handshake is not valid JSON".to_string())
+        .and_then(|v| WorkerSpec::from_json(&v))
+        .and_then(|spec| WorkerEval::build(&spec));
+    let evaluator = match evaluator {
+        Ok(e) => e,
+        Err(msg) => {
+            proto::write_frame(w, &proto::error_response(&msg))?;
+            return Ok(());
+        }
+    };
+    proto::write_frame(
+        w,
+        &proto::object(&[proto::Field::Str("scope", evaluator.scope_key())]),
+    )?;
+
+    // Chaos hook: abort (no cleanup, stream torn mid-conversation) upon
+    // receiving eval request K+1 — a deterministic stand-in for a worker
+    // SIGKILLed mid-batch.
+    let kill_after: Option<u64> = std::env::var("IFKO_WORKER_KILL_AFTER")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let mut served = 0u64;
+
+    while let Some(line) = proto::read_frame(r)? {
+        let Some(v) = parse_json(&line) else {
+            proto::write_frame(w, &proto::error_response("request is not valid JSON"))?;
+            continue;
+        };
+        match v.get("cmd").and_then(Json::as_str) {
+            Some("eval") => {
+                let (Some(id), Some(params)) = (
+                    v.get("id").and_then(Json::as_u64),
+                    v.get("params").and_then(params_from_json),
+                ) else {
+                    proto::write_frame(w, &proto::error_response("eval needs `id` + `params`"))?;
+                    continue;
+                };
+                if kill_after.is_some_and(|k| served >= k) {
+                    std::process::abort();
+                }
+                served += 1;
+                let rec = evaluator.eval(&params);
+                proto::write_frame(w, &eval_response(id, &rec))?;
+            }
+            Some("ping") => proto::write_frame(w, &proto::ok_response())?,
+            Some("shutdown") => {
+                proto::write_frame(w, &proto::ok_response())?;
+                return Ok(());
+            }
+            other => {
+                let msg = format!("unknown cmd `{}`", other.unwrap_or("<none>"));
+                proto::write_frame(w, &proto::error_response(&msg))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`serve`] over stdin/stdout — the body of `ifko worker` and the
+/// `ifko-worker` binary. The dispatcher wires a socketpair to these fds,
+/// but plain pipes work too (the cli smoke test drives one by hand).
+pub fn serve_stdio() -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve(&mut stdin.lock(), &mut stdout.lock())
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher side: handles and the pool
+// ---------------------------------------------------------------------------
+
+/// Typed dispatcher-side failure for one worker interaction. Any of
+/// these retires the worker; the candidate is re-dispatched, never
+/// merged from a suspect reply.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Transport failure: the worker died, hung past the read timeout,
+    /// or tore the stream mid-frame.
+    Io(std::io::Error),
+    /// The worker answered with something that is not protocol JSON.
+    Protocol(String),
+    /// The worker replied to a different candidate id than asked.
+    WrongId { want: u64, got: u64 },
+    /// The worker reported a typed error (handshake rejection etc.).
+    Remote(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Io(e) => write!(f, "worker i/o: {e}"),
+            WorkerError::Protocol(m) => write!(f, "worker protocol: {m}"),
+            WorkerError::WrongId { want, got } => {
+                write!(f, "worker answered candidate {got}, asked {want}")
+            }
+            WorkerError::Remote(m) => write!(f, "worker error: {m}"),
+        }
+    }
+}
+impl std::error::Error for WorkerError {}
+
+impl From<std::io::Error> for WorkerError {
+    fn from(e: std::io::Error) -> WorkerError {
+        WorkerError::Io(e)
+    }
+}
+
+impl WorkerError {
+    /// A reply arrived but was wrong (vs the worker being dead/hung):
+    /// counted separately as a protocol error in the engine metrics.
+    pub fn is_protocol(&self) -> bool {
+        matches!(
+            self,
+            WorkerError::Protocol(_) | WorkerError::WrongId { .. } | WorkerError::Remote(_)
+        )
+    }
+}
+
+/// How to start a worker process. The program must speak the worker
+/// protocol on stdin/stdout (`ifko worker`, `ifko-worker`, or a test
+/// double).
+#[derive(Clone, Debug)]
+pub struct WorkerLauncher {
+    pub program: PathBuf,
+    pub args: Vec<String>,
+    pub envs: Vec<(String, String)>,
+}
+
+impl WorkerLauncher {
+    pub fn new(program: impl Into<PathBuf>) -> WorkerLauncher {
+        WorkerLauncher {
+            program: program.into(),
+            args: Vec::new(),
+            envs: Vec::new(),
+        }
+    }
+    pub fn arg(mut self, a: impl Into<String>) -> WorkerLauncher {
+        self.args.push(a.into());
+        self
+    }
+    pub fn env(mut self, k: impl Into<String>, v: impl Into<String>) -> WorkerLauncher {
+        self.envs.push((k.into(), v.into()));
+        self
+    }
+
+    /// Resolve the `ifko-worker` binary next to the current executable
+    /// (same cargo target directory) — the default when no launcher is
+    /// configured explicitly.
+    pub fn sibling() -> Option<WorkerLauncher> {
+        let exe = std::env::current_exe().ok()?;
+        let dir = exe.parent()?;
+        // Test binaries live one level down in target/<profile>/deps.
+        for d in [Some(dir), dir.parent()] {
+            let cand = d?.join("ifko-worker");
+            if cand.is_file() {
+                return Some(WorkerLauncher::new(cand));
+            }
+        }
+        None
+    }
+}
+
+/// One connected worker: the dispatcher's end of the socketpair plus
+/// the child process (absent for test doubles built with
+/// [`WorkerHandle::from_stream`]).
+pub struct WorkerHandle {
+    pub id: u32,
+    stream: UnixStream,
+    child: Option<Child>,
+}
+
+impl WorkerHandle {
+    /// Spawn a worker process with both stdio ends on a socketpair and
+    /// complete the handshake.
+    pub fn spawn(
+        launcher: &WorkerLauncher,
+        id: u32,
+        spec_json: &str,
+    ) -> Result<WorkerHandle, WorkerError> {
+        let (parent, child_end) = UnixStream::pair()?;
+        let child_in = child_end.try_clone()?;
+        let mut cmd = Command::new(&launcher.program);
+        cmd.args(&launcher.args)
+            .env("IFKO_WORKER_ID", id.to_string())
+            .stdin(Stdio::from(OwnedFd::from(child_in)))
+            .stdout(Stdio::from(OwnedFd::from(child_end)))
+            .stderr(Stdio::inherit());
+        for (k, v) in &launcher.envs {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn()?;
+        parent.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+        let mut h = WorkerHandle {
+            id,
+            stream: parent,
+            child: Some(child),
+        };
+        if let Err(e) = h.handshake(spec_json) {
+            h.kill();
+            return Err(e);
+        }
+        Ok(h)
+    }
+
+    /// Wrap an already-connected stream (protocol tests drive a scripted
+    /// peer thread on the other end of a socketpair).
+    pub fn from_stream(id: u32, stream: UnixStream) -> WorkerHandle {
+        let _ = stream.set_read_timeout(Some(DEFAULT_TIMEOUT));
+        WorkerHandle {
+            id,
+            stream,
+            child: None,
+        }
+    }
+
+    /// Change the hung-worker read timeout (`None` blocks forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        let _ = self.stream.set_read_timeout(timeout);
+    }
+
+    fn read_reply(&mut self) -> Result<Json, WorkerError> {
+        let line = proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+            WorkerError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "worker closed its stream",
+            ))
+        })?;
+        let v = parse_json(&line)
+            .ok_or_else(|| WorkerError::Protocol(format!("unparseable reply: {line:.80}")))?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_string();
+            return Err(WorkerError::Remote(msg));
+        }
+        Ok(v)
+    }
+
+    /// Send the handshake and await the scope acknowledgement.
+    pub fn handshake(&mut self, spec_json: &str) -> Result<(), WorkerError> {
+        proto::write_frame(&mut self.stream, spec_json)?;
+        let v = self.read_reply()?;
+        if v.get("scope").and_then(Json::as_str).is_none() {
+            return Err(WorkerError::Protocol("handshake ack lacks scope".into()));
+        }
+        Ok(())
+    }
+
+    /// Evaluate one candidate remotely. `id` must be unique per request;
+    /// a reply carrying any other id is a [`WorkerError::WrongId`] and
+    /// the result is discarded, never merged.
+    pub fn eval(&mut self, id: u64, p: &TransformParams) -> Result<EvalRecord, WorkerError> {
+        let req = format!(
+            "{{\"cmd\":\"eval\",\"id\":{id},\"params\":{}}}",
+            params_json(p)
+        );
+        proto::write_frame(&mut self.stream, &req)?;
+        let v = self.read_reply()?;
+        let got = v
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| WorkerError::Protocol("eval reply lacks id".into()))?;
+        if got != id {
+            return Err(WorkerError::WrongId { want: id, got });
+        }
+        parse_eval_record(&v)
+            .ok_or_else(|| WorkerError::Protocol("eval reply lacks record fields".into()))
+    }
+
+    /// Ask the worker to exit and reap it.
+    pub fn shutdown(mut self) {
+        let _ = proto::write_frame(&mut self.stream, "{\"cmd\":\"shutdown\"}");
+        let _ = self.read_reply();
+        if let Some(mut child) = self.child.take() {
+            let _ = child.wait();
+        }
+    }
+
+    fn kill(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// A pool of evaluation worker processes sharing one handshake spec.
+/// Attach to an engine with
+/// [`EvalEngine::with_worker_pool`](crate::eval::EvalEngine::with_worker_pool).
+pub struct WorkerPool {
+    idle: Mutex<Vec<WorkerHandle>>,
+    alive: AtomicUsize,
+    next_id: AtomicU64,
+    spawned: usize,
+}
+
+impl WorkerPool {
+    /// Spawn up to `size` workers (best effort: a worker that fails to
+    /// start or handshake is reported and skipped). Check
+    /// [`WorkerPool::alive`] afterwards; a fully-failed pool has 0.
+    pub fn spawn(launcher: &WorkerLauncher, spec_json: &str, size: usize) -> WorkerPool {
+        let mut idle = Vec::with_capacity(size);
+        for wid in 0..size {
+            match WorkerHandle::spawn(launcher, wid as u32, spec_json) {
+                Ok(h) => idle.push(h),
+                Err(e) => eprintln!("ifko: worker {wid} failed to start: {e}"),
+            }
+        }
+        let spawned = idle.len();
+        WorkerPool {
+            idle: Mutex::new(idle),
+            alive: AtomicUsize::new(spawned),
+            next_id: AtomicU64::new(1),
+            spawned,
+        }
+    }
+
+    /// Workers spawned successfully at construction.
+    pub fn size(&self) -> usize {
+        self.spawned
+    }
+
+    /// Workers still believed healthy.
+    pub fn alive(&self) -> usize {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Monotone per-pool eval-request id (wrong-id detection).
+    pub(crate) fn next_eval_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn checkout(&self) -> Option<WorkerHandle> {
+        self.idle.lock().unwrap().pop()
+    }
+
+    pub(crate) fn checkin(&self, h: WorkerHandle) {
+        self.idle.lock().unwrap().push(h);
+    }
+
+    /// Retire a dead/confused worker: kill its process and shrink the
+    /// pool. Never returns it to the idle set.
+    pub(crate) fn discard(&self, mut h: WorkerHandle) {
+        h.kill();
+        self.alive.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Shut every idle worker down cleanly.
+    pub fn shutdown(&self) {
+        let workers: Vec<WorkerHandle> = self.idle.lock().unwrap().drain(..).collect();
+        for h in workers {
+            self.alive.fetch_sub(1, Ordering::AcqRel);
+            h.shutdown();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let machine = p4e();
+        let opts = SearchOptions {
+            faults: Some(FaultPlan::uniform(7, 0.25)),
+            max_retries: 8,
+            ..SearchOptions::quick()
+        };
+        let scope = EvalScope::new("ddot", &machine, Context::OutOfCache, 1024, 7, &opts.timer);
+        let spec = WorkerSpec::blas(
+            "ddot",
+            &machine,
+            Context::OutOfCache,
+            1024,
+            7,
+            &opts,
+            &scope,
+        );
+        let v = parse_json(&spec.to_json()).unwrap();
+        let back = WorkerSpec::from_json(&v).unwrap();
+        assert_eq!(back.kernel.as_deref(), Some("ddot"));
+        assert_eq!(back.machine, "P4E");
+        assert_eq!(back.context, "oc");
+        assert_eq!(back.n, 1024);
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.timer.reps, opts.timer.reps);
+        assert_eq!(
+            back.timer.interference.to_bits(),
+            opts.timer.interference.to_bits()
+        );
+        assert_eq!(back.chaos, Some(FaultPlan::uniform(7, 0.25)));
+        assert_eq!(back.scope_key, scope.key());
+    }
+
+    #[test]
+    fn spec_rejects_malformed_handshakes() {
+        assert!(WorkerSpec::from_json(&parse_json("{}").unwrap()).is_err());
+        // Both kernel and src present is ambiguous.
+        let machine = p4e();
+        let opts = SearchOptions::quick();
+        let scope = EvalScope::new("x", &machine, Context::OutOfCache, 8, 1, &opts.timer);
+        let mut spec = WorkerSpec::blas("ddot", &machine, Context::OutOfCache, 8, 1, &opts, &scope);
+        spec.src = Some("ROUTINE x".to_string());
+        let v = parse_json(&spec.to_json()).unwrap();
+        assert!(WorkerSpec::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_scope_drift() {
+        let machine = p4e();
+        let opts = SearchOptions::quick();
+        let scope = EvalScope::new("ddot", &machine, Context::OutOfCache, 1024, 7, &opts.timer);
+        let mut spec = WorkerSpec::blas(
+            "ddot",
+            &machine,
+            Context::OutOfCache,
+            1024,
+            7,
+            &opts,
+            &scope,
+        );
+        spec.scope_key = "something@else/oc/n1024/s7/r2i0.01s5eed".to_string();
+        let mut req: Vec<u8> = Vec::new();
+        proto::write_frame(&mut req, &spec.to_json()).unwrap();
+        let mut out: Vec<u8> = Vec::new();
+        serve(&mut std::io::Cursor::new(req), &mut out).unwrap();
+        let reply = proto::read_frame(&mut std::io::Cursor::new(out))
+            .unwrap()
+            .unwrap();
+        let v = parse_json(&reply).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(
+            v.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("scope drift"),
+            "{reply}"
+        );
+    }
+
+    #[test]
+    fn serve_evaluates_one_candidate_in_memory() {
+        let machine = p4e();
+        let opts = SearchOptions::quick();
+        let scope = EvalScope::new("ddot", &machine, Context::OutOfCache, 512, 3, &opts.timer);
+        let spec = WorkerSpec::blas("ddot", &machine, Context::OutOfCache, 512, 3, &opts, &scope);
+        let mut req: Vec<u8> = Vec::new();
+        proto::write_frame(&mut req, &spec.to_json()).unwrap();
+        let p = TransformParams::off();
+        proto::write_frame(
+            &mut req,
+            &format!(
+                "{{\"cmd\":\"eval\",\"id\":42,\"params\":{}}}",
+                params_json(&p)
+            ),
+        )
+        .unwrap();
+        proto::write_frame(&mut req, "{\"cmd\":\"shutdown\"}").unwrap();
+        let mut out: Vec<u8> = Vec::new();
+        serve(&mut std::io::Cursor::new(req), &mut out).unwrap();
+        let mut r = std::io::Cursor::new(out);
+        let hello = parse_json(&proto::read_frame(&mut r).unwrap().unwrap()).unwrap();
+        assert_eq!(hello.get("scope").and_then(Json::as_str), Some(scope.key()));
+        let reply = parse_json(&proto::read_frame(&mut r).unwrap().unwrap()).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(42));
+        let rec = parse_eval_record(&reply).unwrap();
+        assert!(rec.cycles.is_some(), "defaults-off ddot must evaluate");
+        assert!(rec.stats.is_some(), "fresh evals carry counters");
+        let bye = parse_json(&proto::read_frame(&mut r).unwrap().unwrap()).unwrap();
+        assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn eval_response_round_trips_records() {
+        let rec = EvalRecord {
+            cycles: Some(12345),
+            stats: None,
+            retries: 2,
+            faults: 3,
+            outliers: 1,
+            failed: false,
+        };
+        let v = parse_json(&eval_response(9, &rec)).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
+        let back = parse_eval_record(&v).unwrap();
+        assert_eq!(back.cycles, Some(12345));
+        assert_eq!(back.retries, 2);
+        assert_eq!(back.faults, 3);
+        assert_eq!(back.outliers, 1);
+        assert!(!back.failed);
+        // Rejected candidates serialize cycles as null.
+        let rej = EvalRecord::rejected();
+        let v = parse_json(&eval_response(10, &rej)).unwrap();
+        assert_eq!(parse_eval_record(&v).unwrap().cycles, None);
+    }
+}

@@ -93,6 +93,7 @@ fn jsonl_sink_round_trips_and_survives_corruption() {
         outliers: 0,
         failed: false,
         strategy: "line".into(),
+        worker: Some(3),
     };
     sink.record(&SearchEvent::Eval(ev.clone()));
     sink.record(&SearchEvent::Span(SpanEvent {

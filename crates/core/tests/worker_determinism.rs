@@ -1,0 +1,194 @@
+//! Worker-pool bit-identity: a tune whose candidate evaluations run in
+//! `ifko-worker` child processes (`--workers N`, wire protocol over
+//! socketpairs) must return results **bit-identical** to the same
+//! search run serially and with in-process threads (`--jobs N`) — best
+//! params, cycle counts, per-phase gains, eval accounting, and the
+//! winner's full feature vector down to the f64 bit pattern — on both
+//! machine models, across worker counts, and across reruns.
+
+use ifko::prelude::*;
+use ifko::worker::WorkerLauncher;
+
+fn launcher() -> WorkerLauncher {
+    WorkerLauncher::new(env!("CARGO_BIN_EXE_ifko-worker"))
+}
+
+fn cfg(machine: MachineConfig, ctx: Context, workers: usize, jobs: usize) -> TuneConfig {
+    let mut c = TuneConfig::quick(1024)
+        .machine(machine)
+        .context(ctx)
+        .jobs(jobs);
+    if workers > 0 {
+        c = c.workers(workers).worker_launcher(launcher());
+    }
+    c
+}
+
+/// Everything a worker pool could plausibly perturb, in one comparable
+/// bundle. Feature values compare as raw bits: `==` on f64 would hide a
+/// NaN drift and accept -0.0 vs 0.0.
+fn outcome_key(out: &TuneOutcome) -> (String, u64, u64, String, Vec<u64>, u64, String) {
+    (
+        format!("{:?}", out.result.best),
+        out.result.best_cycles,
+        out.result.default_cycles,
+        format!("{:?}", out.result.gains),
+        out.features.values.iter().map(|v| v.to_bits()).collect(),
+        out.cycles,
+        out.table3_row.clone(),
+    )
+}
+
+/// workers ∈ {0, 1, 4} × jobs ∈ {1, 4} all agree with the serial run,
+/// on both machine models, and a rerun with workers reproduces itself.
+#[test]
+fn workers_match_serial_and_threads_on_both_machines() {
+    for (mach, ctx, kernel) in [
+        (
+            p4e(),
+            Context::OutOfCache,
+            Kernel {
+                op: BlasOp::Dot,
+                prec: Prec::D,
+            },
+        ),
+        (
+            opteron(),
+            Context::InL2,
+            Kernel {
+                op: BlasOp::Axpy,
+                prec: Prec::D,
+            },
+        ),
+    ] {
+        let name = format!("{} on {}", kernel.name(), mach.name);
+        let serial = cfg(mach.clone(), ctx, 0, 1).tune(kernel).unwrap();
+        let base = outcome_key(&serial);
+        for (workers, jobs) in [(0usize, 4usize), (1, 1), (4, 1), (4, 4)] {
+            let out = cfg(mach.clone(), ctx, workers, jobs).tune(kernel).unwrap();
+            assert_eq!(
+                outcome_key(&out),
+                base,
+                "{name}: workers={workers} jobs={jobs} diverged from serial"
+            );
+            assert_eq!(
+                out.result.evaluations, serial.result.evaluations,
+                "{name}: workers={workers} jobs={jobs} changed eval accounting"
+            );
+        }
+        // Rerun with a live pool: the pool reproduces itself too.
+        let a = cfg(mach.clone(), ctx, 2, 1).tune(kernel).unwrap();
+        let b = cfg(mach.clone(), ctx, 2, 1).tune(kernel).unwrap();
+        assert_eq!(
+            outcome_key(&a),
+            outcome_key(&b),
+            "{name}: worker-pool rerun is not reproducible"
+        );
+    }
+}
+
+/// The pool actually evaluates remotely (this is not a vacuous fallback
+/// test): worker-eval and workers-alive metrics fire, and fresh trace
+/// events carry the evaluating worker's id while cache hits stay
+/// untagged.
+#[test]
+fn worker_evals_go_remote_and_are_trace_tagged() {
+    let kernel = Kernel {
+        op: BlasOp::Scal,
+        prec: Prec::D,
+    };
+    let reg = std::sync::Arc::new(ifko::MetricsRegistry::new());
+    let sink = MemSink::new();
+    let out = cfg(p4e(), Context::OutOfCache, 2, 1)
+        .metrics(reg.clone())
+        .trace(sink.clone())
+        .tune(kernel)
+        .unwrap();
+    assert!(out.result.evaluations > 0);
+    let worker_evals = reg.counter(ifko::metrics::ENGINE_WORKER_EVALS).get();
+    assert!(worker_evals > 0, "no evaluation went through the pool");
+    assert_eq!(
+        reg.counter(ifko::metrics::ENGINE_WORKER_DEATHS).get(),
+        0,
+        "healthy pool reported worker deaths"
+    );
+    let evs = sink.evals();
+    let tagged = evs.iter().filter(|e| e.worker.is_some()).count() as u64;
+    assert_eq!(
+        tagged, worker_evals,
+        "trace worker tags disagree with the worker-eval counter"
+    );
+    for e in &evs {
+        if e.cache_hit {
+            assert!(e.worker.is_none(), "cache hit tagged with a worker");
+        }
+        if let Some(w) = e.worker {
+            assert!(w < 2, "worker id {w} out of pool range");
+        }
+        // Untagged events serialize without the field, so pre-worker
+        // trace files stay byte-identical.
+        if e.worker.is_none() {
+            assert!(!e.to_json().contains("\"worker\""), "{}", e.to_json());
+        }
+    }
+}
+
+/// A launcher pointing at a binary that does not exist degrades to
+/// in-process evaluation — same winner, fallback counter fires, no
+/// worker evals claimed.
+#[test]
+fn missing_worker_binary_degrades_to_in_process() {
+    let kernel = Kernel {
+        op: BlasOp::Asum,
+        prec: Prec::D,
+    };
+    let serial = cfg(p4e(), Context::OutOfCache, 0, 1).tune(kernel).unwrap();
+    let reg = std::sync::Arc::new(ifko::MetricsRegistry::new());
+    let broken = TuneConfig::quick(1024)
+        .workers(2)
+        .worker_launcher(WorkerLauncher::new("/nonexistent/ifko-worker"))
+        .metrics(reg.clone())
+        .tune(kernel)
+        .unwrap();
+    assert_eq!(outcome_key(&broken), outcome_key(&serial));
+    assert_eq!(reg.counter(ifko::metrics::ENGINE_WORKER_EVALS).get(), 0);
+    assert!(
+        reg.counter(ifko::metrics::ENGINE_WORKER_FALLBACKS).get() > 0,
+        "spawn failure did not count as a fallback"
+    );
+}
+
+/// The generic (user HIL) tuning path dispatches through the same pool
+/// and stays bit-identical too.
+#[test]
+fn generic_tuning_is_workers_invariant() {
+    const SRC: &str = r#"
+ROUTINE wsum(X, N);
+PARAMS :: X = DOUBLE_PTR, N = INT;
+SCALARS :: s = DOUBLE, x = DOUBLE;
+ROUT_BEGIN
+  s = 0.0;
+  !! TUNE LOOP
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    s += x;
+    X += 1;
+  LOOP_END
+  RETURN s;
+ROUT_END
+"#;
+    let serial = TuneConfig::quick(2000).tune_source(SRC).unwrap();
+    let pooled = TuneConfig::quick(2000)
+        .workers(2)
+        .worker_launcher(launcher())
+        .tune_source(SRC)
+        .unwrap();
+    assert_eq!(serial.result.best, pooled.result.best);
+    assert_eq!(serial.result.best_cycles, pooled.result.best_cycles);
+    assert_eq!(serial.result.evaluations, pooled.result.evaluations);
+    let bits = |f: &ifko_xsim::FeatureVector| -> Vec<u64> {
+        f.values.iter().map(|v| v.to_bits()).collect()
+    };
+    assert_eq!(bits(&serial.features), bits(&pooled.features));
+}

@@ -25,8 +25,12 @@
 //! winner through the normal warm-start path.
 
 pub mod client;
-pub mod proto;
 pub mod server;
+
+/// The wire protocol lives in the core crate (shared with the worker
+/// pool); re-exported here so `ifko_daemon::proto::*` paths keep
+/// working.
+pub use ifko::proto;
 
 pub use client::Client;
 pub use proto::{read_frame, write_frame, MAX_FRAME};

@@ -27,6 +27,12 @@ chaos:
     cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
         --chaos 7 --max-retries 2 --db results/db
 
+# Worker-pool smoke: tune with candidate evaluation dispatched to two
+# `ifko worker` child processes (bit-identical to an in-process run)
+workers:
+    cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
+        --workers 2
+
 # Compiler-throughput bench (candidates/sec) + regression gate against
 # the committed BENCH_pipeline.json baseline
 bench-pipeline:

@@ -66,6 +66,17 @@ cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
 grep -q 'iFKO best' "$obs_tmp/chaos.txt"
 cat "$obs_tmp/chaosdb/shard-"*.jsonl | grep -q '"key"'
 
+step "harness smoke: ifko tune --workers (worker-process pool)"
+cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
+    --workers 2 > "$obs_tmp/workers.txt"
+grep -q 'iFKO best' "$obs_tmp/workers.txt"
+# Same kernel/size in-process: the pooled winner line must match
+# bit-for-bit (the merge-determinism invariant, end to end).
+cargo run --release -p ifko-cli -- tune kernels/ddot.hil --n 1024 \
+    > "$obs_tmp/workers-serial.txt"
+diff <(grep 'iFKO best' "$obs_tmp/workers.txt") \
+     <(grep 'iFKO best' "$obs_tmp/workers-serial.txt")
+
 step "harness smoke: ifkod daemon (remote tune, warm hit, pack/install)"
 daemon_sock="$obs_tmp/ifkod.sock"
 cargo run --release -p ifko-daemon --bin ifkod -- \
